@@ -1,0 +1,757 @@
+(* Evaluation harness: regenerates every table and figure of the paper's
+   evaluation section (PASTA, CGO 2026) on the simulated substrate, plus
+   wall-clock Bechamel microbenches and ablations.
+
+     dune exec bench/main.exe            -- everything
+     dune exec bench/main.exe -- fig9    -- one experiment
+     dune exec bench/main.exe -- list    -- available experiments *)
+
+module Runner = Dlfw.Runner
+module MC = Pasta_tools.Memory_charact
+module UX = Pasta_tools.Uvm_experiment
+
+(* All experiment output goes through [ppf], which forwards to the current
+   target — stdout by default, a per-experiment results file under
+   [--out DIR]. *)
+let out_ppf = ref Format.std_formatter
+
+let ppf =
+  Format.make_formatter
+    (fun s pos len ->
+      let out = Format.pp_get_formatter_out_functions !out_ppf () in
+      out.Format.out_string s pos len)
+    (fun () -> Format.pp_print_flush !out_ppf ())
+
+let section title =
+  Format.fprintf ppf "@.=== %s ===@.@." title
+
+let mb bytes = float_of_int bytes /. 1048576.0
+
+let all_workloads =
+  List.concat_map
+    (fun abbr -> [ (abbr, Runner.Inference); (abbr, Runner.Train) ])
+    Runner.all_abbrs
+
+(* Run a workload on a fresh device; returns (device, ctx, model) post-run. *)
+let fresh_run ?(arch = Gpusim.Arch.a100) ?session_tool abbr mode =
+  let device = Gpusim.Device.create arch in
+  let ctx = Dlfw.Ctx.create device in
+  let session = Option.map (fun tool -> Pasta.Session.attach ~tool device) session_tool in
+  let model = Runner.run_default ctx abbr ~mode in
+  let result = Option.map Pasta.Session.detach session in
+  (device, ctx, model, result)
+
+let baseline_time ?(arch = Gpusim.Arch.a100) abbr mode =
+  let device, ctx, _, _ = fresh_run ~arch abbr mode in
+  let t = Gpusim.Device.now_us device in
+  Dlfw.Ctx.destroy ctx;
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Figure 4: cross-layer call stack of the hottest kernel.            *)
+(* ------------------------------------------------------------------ *)
+
+let fig4 () =
+  section "Figure 4: cross-layer call stack, most memory-referencing kernel (BERT inference)";
+  let kf = Pasta_tools.Kernel_freq.create () in
+  let _, ctx, _, _ =
+    fresh_run ~session_tool:(Pasta_tools.Kernel_freq.tool kf) "BERT" Runner.Inference
+  in
+  (match Pasta_tools.Kernel_freq.most_mem_referenced kf with
+  | None -> Format.fprintf ppf "no kernels observed@."
+  | Some (k, accesses) ->
+      Format.fprintf ppf "kernel: %s (%d memory references)@.@." k.Pasta.Event.name accesses;
+      Pasta.Callstack.pp ppf (Pasta.Callstack.of_kernel k));
+  Dlfw.Ctx.destroy ctx
+
+(* ------------------------------------------------------------------ *)
+(* Figure 7: kernel invocation frequency distribution.                *)
+(* ------------------------------------------------------------------ *)
+
+let fig7 () =
+  section "Figure 7: kernel invocation frequency across model inference and training";
+  List.iter
+    (fun (abbr, mode) ->
+      let kf = Pasta_tools.Kernel_freq.create () in
+      let _, ctx, _, _ =
+        fresh_run ~session_tool:(Pasta_tools.Kernel_freq.tool kf) abbr mode
+      in
+      Format.fprintf ppf "%s %s: %d launches, %d distinct kernels@." abbr
+        (Runner.mode_to_string mode)
+        (Pasta_tools.Kernel_freq.total_launches kf)
+        (Pasta_tools.Kernel_freq.distinct_kernels kf);
+      List.iter
+        (fun (name, count) -> Format.fprintf ppf "    %-62s %8d@." name count)
+        (Pasta_tools.Kernel_freq.top kf 6);
+      Dlfw.Ctx.destroy ctx)
+    all_workloads
+
+(* ------------------------------------------------------------------ *)
+(* Table V: memory characteristics of the DNN models.                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Reference values from the paper, for side-by-side comparison:
+   (kernel count, footprint MB, WS MB, avg MB, median MB, p90 MB). *)
+let paper_tablev = function
+  | "AN", Runner.Inference -> Some (1428, 1528.13, 876.12, 216.25, 148.26, 406.33)
+  | "RN-18", Runner.Inference -> Some (1497, 1232.13, 1024.0, 86.07, 64.0, 172.27)
+  | "RN-34", Runner.Inference -> Some (2657, 1261.59, 1024.0, 76.61, 43.25, 164.0)
+  | "BERT", Runner.Inference -> Some (487, 1179.64, 212.62, 75.23, 37.69, 141.75)
+  | "GPT-2", Runner.Inference -> Some (583, 4148.10, 1493.85, 59.02, 25.08, 138.0)
+  | "Whisper", Runner.Inference -> Some (663, 2304.15, 627.44, 78.54, 20.81, 153.81)
+  | "AN", Runner.Train -> Some (4040, 3285.17, 1512.09, 188.60, 144.62, 406.33)
+  | "RN-18", Runner.Train -> Some (1542, 3165.13, 1024.0, 84.58, 43.25, 172.27)
+  | "RN-34", Runner.Train -> Some (2734, 4316.86, 1024.0, 75.33, 43.25, 164.0)
+  | "BERT", Runner.Train -> Some (554, 5679.03, 235.47, 77.71, 37.97, 209.30)
+  | "GPT-2", Runner.Train -> Some (2004, 7862.10, 2240.77, 51.37, 24.0, 137.66)
+  | "Whisper", Runner.Train -> Some (665, 2104.80, 937.01, 80.42, 20.81, 153.81)
+  | _ -> None
+
+let tablev_row abbr mode =
+  let mc = MC.create ~variant:MC.Gpu () in
+  let _, ctx, _, _ = fresh_run ~session_tool:(MC.tool mc) abbr mode in
+  let r = MC.result mc in
+  Dlfw.Ctx.destroy ctx;
+  r
+
+let tablev () =
+  section "Table V: memory characteristics of diverse DNN models (measured vs paper)";
+  let header =
+    [ "mode"; "model"; "kernels"; "footprint"; "WS"; "min WS"; "avg WS"; "median"; "p90" ]
+  in
+  let fmt_pair ours paper = Printf.sprintf "%.0f/%.0f" ours paper in
+  let rows =
+    List.map
+      (fun (abbr, mode) ->
+        let r = tablev_row abbr mode in
+        let kc, fp, ws, avg, med, p90 =
+          match paper_tablev (abbr, mode) with
+          | Some p -> p
+          | None -> (0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        in
+        [
+          Runner.mode_to_string mode;
+          abbr;
+          Printf.sprintf "%d/%d" r.MC.kernel_count kc;
+          fmt_pair (mb r.MC.footprint_bytes) fp;
+          fmt_pair (mb r.MC.ws_bytes) ws;
+          Format.asprintf "%a" Pasta_util.Bytesize.pp r.MC.ws_min;
+          fmt_pair (r.MC.ws_mean /. 1048576.0) avg;
+          fmt_pair (r.MC.ws_median /. 1048576.0) med;
+          fmt_pair (r.MC.ws_p90 /. 1048576.0) p90;
+        ])
+      all_workloads
+  in
+  Format.fprintf ppf "cells are measured/paper; sizes in MB@.@.";
+  Pasta_util.Texttab.render ppf ~header
+    ~align:[ Pasta_util.Texttab.Left; Left; Right; Right; Right; Right; Right; Right; Right ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Figures 9 and 10: analysis-model overhead and its breakdown.       *)
+(* ------------------------------------------------------------------ *)
+
+type overhead_run = {
+  o_abbr : string;
+  o_mode : Runner.mode;
+  o_variant : MC.variant;
+  o_base_us : float;
+  o_total_us : float;
+  o_phases : Vendor.Phases.t;
+}
+
+let seven_days_us = 7.0 *. 24.0 *. 3600.0 *. 1.0e6
+
+(* Workloads whose footprint exceeds the device memory are skipped, as
+   they would OOM on the real part too (fp32 GPT-2 training does not fit
+   a 12 GB RTX 3060). *)
+let overhead_suite arch =
+  List.concat_map
+    (fun (abbr, mode) ->
+      match baseline_time ~arch abbr mode with
+      | exception Gpusim.Device_mem.Out_of_memory _ -> []
+      | base ->
+          List.map
+            (fun variant ->
+              let mc = MC.create ~variant () in
+              let _, ctx, _, result =
+                fresh_run ~arch ~session_tool:(MC.tool mc) abbr mode
+              in
+              Dlfw.Ctx.destroy ctx;
+              let result = Option.get result in
+              {
+                o_abbr = abbr;
+                o_mode = mode;
+                o_variant = variant;
+                o_base_us = base;
+                o_total_us = result.Pasta.Session.elapsed_us;
+                o_phases = result.Pasta.Session.phases;
+              })
+            [ MC.Gpu; MC.Cpu_sanitizer; MC.Cpu_nvbit ])
+    all_workloads
+
+let suites : (string, overhead_run list) Hashtbl.t = Hashtbl.create 4
+
+let suite_for arch =
+  let key = arch.Gpusim.Arch.name in
+  match Hashtbl.find_opt suites key with
+  | Some s -> s
+  | None ->
+      let s = overhead_suite arch in
+      Hashtbl.add suites key s;
+      s
+
+let overhead_string r =
+  if r.o_total_us > seven_days_us then "inf"
+  else Printf.sprintf "%.1fx" (r.o_total_us /. r.o_base_us)
+
+let fig9 () =
+  section "Figure 9: normalized overhead of analysis models (inf = > 7 days)";
+  List.iter
+    (fun arch ->
+      let suite = suite_for arch in
+      Format.fprintf ppf "--- %s ---@." arch.Gpusim.Arch.name;
+      let header = [ "workload"; "CS-GPU"; "CS-CPU"; "NVBIT-CPU" ] in
+      let find abbr mode v =
+        List.find_opt
+          (fun r -> r.o_abbr = abbr && r.o_mode = mode && r.o_variant = v)
+          suite
+      in
+      let rows =
+        List.map
+          (fun (abbr, mode) ->
+            Printf.sprintf "%s-%s" abbr (Runner.mode_to_string mode)
+            :: List.map
+                 (fun v ->
+                   match find abbr mode v with
+                   | Some r -> overhead_string r
+                   | None -> "OOM")
+                 [ MC.Gpu; MC.Cpu_sanitizer; MC.Cpu_nvbit ])
+          all_workloads
+      in
+      Pasta_util.Texttab.render ppf ~header
+        ~align:[ Pasta_util.Texttab.Left; Right; Right; Right ]
+        rows;
+      (* Average speedup of the GPU-accelerated tool over the CPU tools
+         (the paper reports 941x / 13006x on A100, 627x / 7353x on 3060). *)
+      let speedups v =
+        List.filter_map
+          (fun (abbr, mode) ->
+            match (find abbr mode MC.Gpu, find abbr mode v) with
+            | Some g, Some c when g.o_total_us > 0.0 ->
+                Some (c.o_total_us /. g.o_total_us)
+            | _ -> None)
+          all_workloads
+      in
+      let mean xs = Pasta_util.Stats.mean (Array.of_list xs) in
+      Format.fprintf ppf
+        "@.CS-GPU is on average %.0fx faster than CS-CPU and %.0fx faster than NVBIT-CPU@.@."
+        (mean (speedups MC.Cpu_sanitizer))
+        (mean (speedups MC.Cpu_nvbit)))
+    [ Gpusim.Arch.a100; Gpusim.Arch.rtx3060 ]
+
+let fig10 () =
+  section "Figure 10: breakdown of PASTA profiling time";
+  List.iter
+    (fun arch ->
+      let suite = suite_for arch in
+      Format.fprintf ppf "--- %s ---@." arch.Gpusim.Arch.name;
+      let header = [ "workload"; "variant"; "workload%"; "collect%"; "transfer%"; "analysis%" ] in
+      let rows =
+        List.map
+          (fun r ->
+            let w, c, t, a = Vendor.Phases.fractions r.o_phases in
+            [
+              Printf.sprintf "%s-%s" r.o_abbr (Runner.mode_to_string r.o_mode);
+              MC.variant_to_string r.o_variant;
+              Printf.sprintf "%.1f" (100.0 *. w);
+              Printf.sprintf "%.1f" (100.0 *. c);
+              Printf.sprintf "%.1f" (100.0 *. t);
+              Printf.sprintf "%.1f" (100.0 *. a);
+            ])
+          suite
+      in
+      Pasta_util.Texttab.render ppf ~header
+        ~align:[ Pasta_util.Texttab.Left; Left; Right; Right; Right; Right ]
+        rows;
+      Format.pp_print_newline ppf ())
+    [ Gpusim.Arch.a100; Gpusim.Arch.rtx3060 ]
+
+(* ------------------------------------------------------------------ *)
+(* Figures 11 and 12: UVM prefetching.                                *)
+(* ------------------------------------------------------------------ *)
+
+let uvm_figure ~oversub title =
+  section title;
+  List.iter
+    (fun (arch_name, arch) ->
+      Format.fprintf ppf "--- %s ---@." arch_name;
+      let header = [ "model"; "baseline"; "object-level"; "tensor-level"; "obj speedup"; "ten speedup" ] in
+      let outcomes =
+        List.map (fun abbr -> UX.run ~arch ~oversub abbr) Runner.all_abbrs
+      in
+      let rows =
+        List.map
+          (fun o ->
+            [
+              o.UX.abbr;
+              "1.00";
+              Printf.sprintf "%.2f" (o.UX.object_level.UX.elapsed_us /. o.UX.baseline.UX.elapsed_us);
+              Printf.sprintf "%.2f" (o.UX.tensor_level.UX.elapsed_us /. o.UX.baseline.UX.elapsed_us);
+              Printf.sprintf "%.2fx" (UX.speedup o `Object);
+              Printf.sprintf "%.2fx" (UX.speedup o `Tensor);
+            ])
+          outcomes
+      in
+      Pasta_util.Texttab.render ppf ~header
+        ~align:[ Pasta_util.Texttab.Left; Right; Right; Right; Right; Right ]
+        rows;
+      let avg f =
+        Pasta_util.Stats.mean (Array.of_list (List.map f outcomes))
+      in
+      Format.fprintf ppf
+        "@.average speedup: object-level %.2fx, tensor-level %.2fx@.@."
+        (avg (fun o -> UX.speedup o `Object))
+        (avg (fun o -> UX.speedup o `Tensor)))
+    [ ("RTX 3060", Gpusim.Arch.rtx3060); ("A100", Gpusim.Arch.a100) ]
+
+let fig11 () =
+  uvm_figure ~oversub:1.0
+    "Figure 11: object- vs tensor-level prefetch, no oversubscription (normalized time, lower is better)"
+
+let fig12 () =
+  uvm_figure ~oversub:3.0
+    "Figure 12: object- vs tensor-level prefetch, 3x oversubscription (normalized time, lower is better)"
+
+(* ------------------------------------------------------------------ *)
+(* Figure 13: time-series hotness of BERT inference.                  *)
+(* ------------------------------------------------------------------ *)
+
+let fig13 () =
+  section "Figure 13: memory access hotness of BERT inference over time (2 MiB blocks)";
+  let hot = Pasta_tools.Hotness.create () in
+  let _, ctx, _, _ =
+    fresh_run ~session_tool:(Pasta_tools.Hotness.tool hot) "BERT" Runner.Inference
+  in
+  Pasta_tools.Hotness.report hot ppf;
+  Dlfw.Ctx.destroy ctx
+
+(* ------------------------------------------------------------------ *)
+(* Figure 14: GPT-2 training memory usage, NVIDIA vs AMD.             *)
+(* ------------------------------------------------------------------ *)
+
+let mem_profile arch =
+  let device = Gpusim.Device.create arch in
+  let ctx = Dlfw.Ctx.create device in
+  let mt = Pasta_tools.Mem_timeline.create () in
+  let session = Pasta.Session.attach ~tool:(Pasta_tools.Mem_timeline.tool mt) device in
+  let model = Dlfw.Gpt2.build ctx in
+  Dlfw.Model.train_iter ctx model;
+  let _ = Pasta.Session.detach session in
+  Dlfw.Ctx.destroy ctx;
+  mt
+
+let fig14 () =
+  section "Figure 14: memory usage over one GPT-2 training iteration, NVIDIA vs AMD";
+  let buckets = 64 in
+  let nv = mem_profile Gpusim.Arch.a100 in
+  let amd = mem_profile Gpusim.Arch.mi300x in
+  let describe name mt =
+    Format.fprintf ppf "%-14s peak %8.0f MB, %5d allocs, %5d frees@.  " name
+      (Pasta_tools.Mem_timeline.peak_bytes mt /. 1048576.0)
+      (Pasta_tools.Mem_timeline.alloc_events mt)
+      (Pasta_tools.Mem_timeline.free_events mt);
+    Pasta_util.Timeline.pp_sparkline ppf (Pasta_tools.Mem_timeline.series mt ~buckets);
+    Format.pp_print_newline ppf ()
+  in
+  describe "NVIDIA (A100)" nv;
+  describe "AMD (MI300X)" amd;
+  let diff =
+    Pasta_util.Timeline.diff
+      (Pasta_tools.Mem_timeline.series nv ~buckets)
+      (Pasta_tools.Mem_timeline.series amd ~buckets)
+  in
+  let s = Pasta_util.Stats.summarize diff in
+  Format.fprintf ppf
+    "difference (NVIDIA - AMD, MB): min %.0f, max %.0f, mean %.0f@."
+    s.Pasta_util.Stats.min s.Pasta_util.Stats.max s.Pasta_util.Stats.mean;
+  Format.fprintf ppf
+    "(expected shape: same ramp-up/peak/ramp-down; NVIDIA fewer alloc events, slightly higher peak)@."
+
+(* ------------------------------------------------------------------ *)
+(* Figure 15: Megatron GPT-2 345M per-GPU memory, DP / TP / PP.       *)
+(* ------------------------------------------------------------------ *)
+
+let fig15 () =
+  section "Figure 15: per-GPU memory, Megatron GPT-2 345M, one training iteration";
+  List.iter
+    (fun strategy ->
+      let r = Megatron.Trainer.run_iteration strategy in
+      Format.fprintf ppf "--- %s ---@." (Megatron.Trainer.strategy_to_string strategy);
+      List.iter
+        (fun (id, mt) ->
+          Format.fprintf ppf "GPU%d  peak %8.0f MB  " id
+            (Pasta_tools.Mem_timeline.peak_bytes mt /. 1048576.0);
+          Pasta_util.Timeline.pp_sparkline ppf (Pasta_tools.Mem_timeline.series mt ~buckets:64);
+          Format.pp_print_newline ppf ())
+        r.Megatron.Trainer.timelines;
+      (match r.Megatron.Trainer.timelines with
+      | [ (_, t0); (_, t1) ] ->
+          let d =
+            Pasta_util.Timeline.diff
+              (Pasta_tools.Mem_timeline.series t0 ~buckets:64)
+              (Pasta_tools.Mem_timeline.series t1 ~buckets:64)
+          in
+          let s = Pasta_util.Stats.summarize d in
+          Format.fprintf ppf "GPU0-GPU1 difference (MB): min %.0f max %.0f mean %.0f@.@."
+            s.Pasta_util.Stats.min s.Pasta_util.Stats.max s.Pasta_util.Stats.mean
+      | _ -> ()))
+    Megatron.Trainer.all_strategies;
+  (* Multi-node mode (paper §IV-D): one PASTA profile per rank. *)
+  Format.fprintf ppf "--- DP across 2 nodes x 2 GPUs (per-rank profiles) ---@.";
+  let nr = Megatron.Trainer.run_multinode_dp ~nodes:2 ~gpus_per_node:2 () in
+  List.iter
+    (fun (node, rank, mt) ->
+      Format.fprintf ppf "node%d/rank%d  peak %8.0f MB@." node rank
+        (Pasta_tools.Mem_timeline.peak_bytes mt /. 1048576.0))
+    nr.Megatron.Trainer.per_rank;
+  Format.fprintf ppf
+    "iteration time: %.1f ms over InfiniBand vs %.1f ms single-node (x%.2f)@."
+    (nr.Megatron.Trainer.internode_elapsed_us /. 1000.0)
+    (nr.Megatron.Trainer.intranode_elapsed_us /. 1000.0)
+    (nr.Megatron.Trainer.internode_elapsed_us /. nr.Megatron.Trainer.intranode_elapsed_us)
+
+(* ------------------------------------------------------------------ *)
+(* Instruction-level analysis tools (paper §III-H).                    *)
+(* ------------------------------------------------------------------ *)
+
+let instr () =
+  section "Instruction-level tools (paper §III-H): divergence, barrier stalls, value hazards";
+  let base = baseline_time "BERT" Runner.Inference in
+  let run_tool name tool report =
+    let _, ctx, _, result = fresh_run ~session_tool:tool "BERT" Runner.Inference in
+    Dlfw.Ctx.destroy ctx;
+    let result = Option.get result in
+    Format.fprintf ppf "--- %s (overhead %.2fx) ---@." name
+      (result.Pasta.Session.elapsed_us /. base);
+    report ppf;
+    Format.pp_print_newline ppf ()
+  in
+  let d = Pasta_tools.Divergence.create () in
+  run_tool "branch divergence" (Pasta_tools.Divergence.tool d) (Pasta_tools.Divergence.report d);
+  let b = Pasta_tools.Barrier_stall.create () in
+  run_tool "barrier stalls + bank conflicts" (Pasta_tools.Barrier_stall.tool b)
+    (Pasta_tools.Barrier_stall.report b);
+  let v = Pasta_tools.Value_check.create () in
+  run_tool "value sanitizer" (Pasta_tools.Value_check.tool v) (Pasta_tools.Value_check.report v);
+  let s = Pasta_tools.Op_summary.create () in
+  run_tool "operator summary (DLProf-style)" (Pasta_tools.Op_summary.tool s)
+    (Pasta_tools.Op_summary.report s);
+  let u = Pasta_tools.Underutilized.create () in
+  run_tool "underutilized memory regions" (Pasta_tools.Underutilized.tool u)
+    (Pasta_tools.Underutilized.report u)
+
+(* ------------------------------------------------------------------ *)
+(* Ablations.                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let ablation () =
+  section "Ablation: oversubscription sweep (BERT, A100; normalized time vs demand paging)";
+  let header = [ "oversub"; "object-level"; "tensor-level" ] in
+  let rows =
+    List.map
+      (fun oversub ->
+        let o = UX.run ~arch:Gpusim.Arch.a100 ~oversub "BERT" in
+        [
+          Printf.sprintf "%.1fx" oversub;
+          Printf.sprintf "%.2f" (o.UX.object_level.UX.elapsed_us /. o.UX.baseline.UX.elapsed_us);
+          Printf.sprintf "%.2f" (o.UX.tensor_level.UX.elapsed_us /. o.UX.baseline.UX.elapsed_us);
+        ])
+      [ 1.0; 1.5; 2.0; 3.0; 4.0 ]
+  in
+  Pasta_util.Texttab.render ppf ~header
+    ~align:[ Pasta_util.Texttab.Right; Right; Right ] rows;
+
+  section "Ablation: batch size vs footprint and working set (BERT inference, A100)";
+  let header = [ "batch"; "footprint (MB)"; "WS (MB)"; "kernels" ] in
+  let rows =
+    List.map
+      (fun batch ->
+        let device = Gpusim.Device.create Gpusim.Arch.a100 in
+        let ctx = Dlfw.Ctx.create device in
+        let mc = MC.create () in
+        let session = Pasta.Session.attach ~tool:(MC.tool mc) device in
+        let model = Dlfw.Bert.build ~batch ctx in
+        Dlfw.Model.inference_iter ctx model;
+        let _ = Pasta.Session.detach session in
+        let r = MC.result mc in
+        Dlfw.Ctx.destroy ctx;
+        [
+          string_of_int batch;
+          Printf.sprintf "%.0f" (mb r.MC.footprint_bytes);
+          Printf.sprintf "%.0f" (mb r.MC.ws_bytes);
+          string_of_int r.MC.kernel_count;
+        ])
+      [ 1; 4; 16; 64 ]
+  in
+  Pasta_util.Texttab.render ppf ~header
+    ~align:[ Pasta_util.Texttab.Right; Right; Right; Right ]
+    rows;
+
+  section "Ablation: training-memory levers (GPT-2, A100): checkpointing and optimizer state";
+  let header = [ "configuration"; "peak alloc (MB)"; "kernels" ] in
+  let train ~checkpoint ~optimizer =
+    let device = Gpusim.Device.create Gpusim.Arch.a100 in
+    let ctx = Dlfw.Ctx.create device in
+    let m = Dlfw.Gpt2.build ~checkpoint ctx in
+    (match optimizer with
+    | Some opt -> Dlfw.Model.train_iter_opt ctx m ~optimizer:opt
+    | None -> Dlfw.Model.train_iter ctx m);
+    let peak = mb (Dlfw.Allocator.peak_allocated ctx.Dlfw.Ctx.pool) in
+    let kernels = Gpusim.Device.launches device in
+    Dlfw.Ctx.destroy ctx;
+    (peak, kernels)
+  in
+  let rows =
+    List.map
+      (fun (label, checkpoint, optimizer) ->
+        let peak, kernels = train ~checkpoint ~optimizer in
+        [ label; Printf.sprintf "%.0f" peak; string_of_int kernels ])
+      [
+        ("eager + SGD", false, None);
+        ("eager + Adam", false, Some (Dlfw.Optimizer.adam ()));
+        ("checkpointed + SGD", true, None);
+        ("checkpointed + Adam", true, Some (Dlfw.Optimizer.adam ()));
+      ]
+  in
+  Pasta_util.Texttab.render ppf ~header
+    ~align:[ Pasta_util.Texttab.Left; Right; Right ] rows;
+  Format.fprintf ppf
+    "(gradient checkpointing recovers the paper-scale training footprints; Adam adds 2x \
+     parameter bytes of optimizer state)@.";
+
+  section "Ablation: device trace-buffer size (BERT inference, CS-CPU, A100)";
+  let header = [ "buffer"; "simulated total (s)" ] in
+  let rows =
+    List.map
+      (fun buffer_bytes ->
+        let device = Gpusim.Device.create Gpusim.Arch.a100 in
+        let ctx = Dlfw.Ctx.create device in
+        let s = Vendor.Sanitizer.attach device in
+        Vendor.Sanitizer.patch_module s
+          (Vendor.Sanitizer.Host_analysis
+             {
+               buffer_records = buffer_bytes / Gpusim.Costmodel.record_bytes;
+               on_record = (fun _ _ -> ());
+               per_record_us = Gpusim.Costmodel.sanitizer_host_per_record_us;
+             });
+        ignore (Runner.run_default ctx "BERT" ~mode:Runner.Inference);
+        let t = Gpusim.Device.now_us device /. 1.0e6 in
+        Vendor.Sanitizer.detach s;
+        Dlfw.Ctx.destroy ctx;
+        [ Format.asprintf "%a" Pasta_util.Bytesize.pp buffer_bytes;
+          Printf.sprintf "%.1f" t ])
+      [ 1 lsl 20; 4 lsl 20; 16 lsl 20; 64 lsl 20 ]
+  in
+  Pasta_util.Texttab.render ppf ~header ~align:[ Pasta_util.Texttab.Right; Right ] rows;
+
+  section "Ablation: NVBit SASS dump+parse cost vs Sanitizer selective patching";
+  let device = Gpusim.Device.create Gpusim.Arch.a100 in
+  let ctx = Dlfw.Ctx.create device in
+  let nv = Vendor.Nvbit.attach device in
+  Vendor.Nvbit.instrument_memory nv ~on_record:(fun _ _ -> ()) ();
+  ignore (Runner.run_default ctx "RN-18" ~mode:Runner.Inference);
+  let p = Vendor.Nvbit.phases nv in
+  Format.fprintf ppf
+    "NVBit parsed %d distinct kernels; collect %.1f ms of which SASS dump/parse is the fixed per-function part@."
+    (Vendor.Nvbit.functions_parsed nv)
+    (p.Vendor.Phases.collect_us /. 1000.0);
+  Vendor.Nvbit.detach nv;
+  Dlfw.Ctx.destroy ctx;
+
+  section "Ablation: sampling cap vs working-set accuracy (BERT inference, CS-CPU)";
+  let header = [ "sample cap"; "WS (MB)"; "records seen" ] in
+  let rows =
+    List.map
+      (fun cap ->
+        let mc = MC.create ~variant:MC.Cpu_sanitizer () in
+        let device = Gpusim.Device.create Gpusim.Arch.a100 in
+        let ctx = Dlfw.Ctx.create device in
+        let seen = ref 0 in
+        let tool = MC.tool mc in
+        let tool =
+          { tool with Pasta.Tool.on_access = (fun i a -> incr seen; tool.Pasta.Tool.on_access i a) }
+        in
+        let session = Pasta.Session.attach ~sample_rate:cap ~tool device in
+        ignore (Runner.run_default ctx "BERT" ~mode:Runner.Inference);
+        let _ = Pasta.Session.detach session in
+        let r = MC.result mc in
+        Dlfw.Ctx.destroy ctx;
+        [ string_of_int cap;
+          Printf.sprintf "%.2f" (mb r.MC.ws_bytes);
+          string_of_int !seen ])
+      [ 4; 32; 128; 1024 ]
+  in
+  Pasta_util.Texttab.render ppf ~header
+    ~align:[ Pasta_util.Texttab.Right; Right; Right ] rows
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel wall-clock microbenches.                                   *)
+(* ------------------------------------------------------------------ *)
+
+let bechamel_benches () =
+  section "Bechamel: wall-clock microbenches of the core data paths";
+  let open Bechamel in
+  (* GPU-resident vs host-trace analysis over one identical kernel: the
+     wall-clock version of the paper's central overhead claim. *)
+  let mk_device () =
+    let device = Gpusim.Device.create Gpusim.Arch.a100 in
+    let a = Gpusim.Device.malloc device (8 * 1024 * 1024) in
+    let kernel =
+      Gpusim.Kernel.make ~name:"bench_kernel" ~grid:(Gpusim.Dim3.make 1024)
+        ~block:(Gpusim.Dim3.make 256)
+        ~regions:
+          [
+            Gpusim.Kernel.region ~base:a.Gpusim.Device_mem.base ~bytes:(4 * 1024 * 1024)
+              ~accesses:1_000_000 ();
+          ]
+        ()
+    in
+    (device, kernel)
+  in
+  let gpu_mode () =
+    let device, kernel = mk_device () in
+    let s = Vendor.Sanitizer.attach device in
+    let count = ref 0 in
+    Vendor.Sanitizer.patch_module s
+      (Vendor.Sanitizer.Device_analysis
+         {
+           map_bytes = (fun () -> 1024);
+           device_fn = (fun _ r -> count := !count + r.Gpusim.Kernel.accesses);
+           on_kernel_complete = (fun _ _ -> ());
+         });
+    fun () -> ignore (Gpusim.Device.launch device kernel)
+  in
+  let cpu_mode () =
+    let device, kernel = mk_device () in
+    Gpusim.Device.set_sample_cap device 4096;
+    let s = Vendor.Sanitizer.attach device in
+    let count = ref 0 in
+    Vendor.Sanitizer.patch_module s
+      (Vendor.Sanitizer.Host_analysis
+         {
+           buffer_records = Vendor.Sanitizer.default_buffer_records;
+           on_record = (fun _ a -> count := !count + a.Gpusim.Warp.weight);
+           per_record_us = Gpusim.Costmodel.sanitizer_host_per_record_us;
+         });
+    fun () -> ignore (Gpusim.Device.launch device kernel)
+  in
+  let rng = Pasta_util.Det_rng.of_string "bench" in
+  let objmap =
+    let m = Pasta.Objmap.create () in
+    for i = 0 to 999 do
+      Pasta.Objmap.on_alloc m ~addr:(i * 65536) ~bytes:65536 ~managed:false
+    done;
+    m
+  in
+  let hist = Pasta_util.Histogram.create () in
+  let kernel_for_sass =
+    Gpusim.Kernel.make ~name:"sass_bench" ~grid:(Gpusim.Dim3.make 64)
+      ~block:(Gpusim.Dim3.make 256)
+      ~regions:
+        [ Gpusim.Kernel.region ~base:0x1000 ~bytes:4096 ~accesses:4096 () ]
+      ~flops:1.0e9 ()
+  in
+  let tests =
+    [
+      Test.make ~name:"analysis/gpu-resident-kernel" (Staged.stage (gpu_mode ()));
+      Test.make ~name:"analysis/host-trace-kernel" (Staged.stage (cpu_mode ()));
+      Test.make ~name:"objmap/resolve"
+        (Staged.stage (fun () ->
+             ignore (Pasta.Objmap.resolve objmap (Pasta_util.Det_rng.int rng (1000 * 65536)))));
+      Test.make ~name:"histogram/add"
+        (Staged.stage (fun () -> Pasta_util.Histogram.add hist "kernel_name"));
+      Test.make ~name:"sass/dump+parse"
+        (Staged.stage (fun () ->
+             ignore (Gpusim.Sass.parse (Gpusim.Sass.dump kernel_for_sass))));
+      Test.make ~name:"normalize/api-name"
+        (Staged.stage (fun () -> ignore (Pasta.Normalize.canonical_api "cudaMemcpyAsync")));
+    ]
+  in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~kde:None () in
+  let raw = Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] (Test.make_grouped ~name:"pasta" tests) in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let names = Hashtbl.fold (fun k _ acc -> k :: acc) results [] |> List.sort compare in
+  List.iter
+    (fun name ->
+      let est = Analyze.OLS.estimates (Hashtbl.find results name) in
+      match est with
+      | Some [ ns ] -> Format.fprintf ppf "%-40s %12.1f ns/run@." name ns
+      | _ -> Format.fprintf ppf "%-40s (no estimate)@." name)
+    names
+
+(* ------------------------------------------------------------------ *)
+
+let experiments =
+  [
+    ("fig4", fig4);
+    ("fig7", fig7);
+    ("tablev", tablev);
+    ("fig9", fig9);
+    ("fig10", fig10);
+    ("fig11", fig11);
+    ("fig12", fig12);
+    ("fig13", fig13);
+    ("fig14", fig14);
+    ("fig15", fig15);
+    ("instr", instr);
+    ("ablation", ablation);
+    ("bechamel", bechamel_benches);
+  ]
+
+(* Run one experiment, optionally capturing its output into
+   <dir>/<name>.txt like the artifact's results/ tree. *)
+let run_experiment ~out (name, f) =
+  match out with
+  | None -> f ()
+  | Some dir ->
+      let path = Filename.concat dir (name ^ ".txt") in
+      let oc = open_out path in
+      let file_ppf = Format.formatter_of_out_channel oc in
+      let saved = !out_ppf in
+      Format.pp_print_flush ppf ();
+      out_ppf := file_ppf;
+      Fun.protect
+        ~finally:(fun () ->
+          Format.pp_print_flush ppf ();
+          Format.pp_print_flush file_ppf ();
+          close_out oc;
+          out_ppf := saved;
+          Format.fprintf saved "wrote %s@." path)
+        f
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl |> List.filter (fun a -> a <> "--") in
+  let out, args =
+    match args with
+    | "--out" :: dir :: rest ->
+        if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+        (Some dir, rest)
+    | args -> (None, args)
+  in
+  match args with
+  | [] -> List.iter (run_experiment ~out) experiments
+  | [ "list" ] ->
+      List.iter (fun (name, _) -> Format.fprintf ppf "%s@." name) experiments
+  | names ->
+      List.iter
+        (fun name ->
+          match List.assoc_opt name experiments with
+          | Some f -> run_experiment ~out (name, f)
+          | None ->
+              Format.fprintf ppf "unknown experiment %s (try 'list')@." name;
+              exit 1)
+        names

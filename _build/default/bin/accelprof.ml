@@ -1,0 +1,182 @@
+(* accelprof: the PASTA profiling client (the paper's artifact runs
+   `accelprof -v -t <tool> <executable> [args...]`; here the "executable"
+   is one of the simulated Table IV workloads).
+
+   Examples:
+     accelprof -t kernel_freq BERT
+     accelprof -t memory_charact --mode train --gpu rtx3060 GPT-2
+     accelprof -t hotness --start-grid 100 --end-grid 200 BERT
+     accelprof list-tools *)
+
+open Cmdliner
+
+let arch_of_string = function
+  | "a100" -> Ok Gpusim.Arch.a100
+  | "rtx3060" -> Ok Gpusim.Arch.rtx3060
+  | "mi300x" -> Ok Gpusim.Arch.mi300x
+  | s -> Error (`Msg (Printf.sprintf "unknown GPU %S (a100 | rtx3060 | mi300x)" s))
+
+let arch_conv =
+  Arg.conv
+    ( (fun s -> arch_of_string (String.lowercase_ascii s)),
+      fun ppf a -> Format.pp_print_string ppf a.Gpusim.Arch.name )
+
+let mode_conv =
+  Arg.conv
+    ( (fun s ->
+        match String.lowercase_ascii s with
+        | "inference" | "infer" -> Ok Dlfw.Runner.Inference
+        | "train" | "training" -> Ok Dlfw.Runner.Train
+        | s -> Error (`Msg (Printf.sprintf "unknown mode %S (inference | train)" s))),
+      fun ppf m -> Format.pp_print_string ppf (Dlfw.Runner.mode_to_string m) )
+
+let tool_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "t"; "tool" ] ~docv:"TOOL"
+        ~doc:"PASTA tool to run (see $(b,list-tools)); defaults to \\$PASTA_TOOL.")
+
+let gpu_arg =
+  Arg.(
+    value
+    & opt arch_conv Gpusim.Arch.a100
+    & info [ "gpu" ] ~docv:"GPU" ~doc:"Simulated GPU: a100, rtx3060 or mi300x.")
+
+let mode_arg =
+  Arg.(
+    value
+    & opt mode_conv Dlfw.Runner.Inference
+    & info [ "mode" ] ~docv:"MODE" ~doc:"Workload mode: inference or train.")
+
+let iters_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "iters" ] ~docv:"N" ~doc:"Iterations (default: the per-model evaluation count).")
+
+let sample_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "sample-rate" ] ~docv:"N"
+        ~doc:"Max materialized trace records per kernel region \
+              (ACCEL_PROF_ENV_SAMPLE_RATE).")
+
+let start_grid_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "start-grid" ] ~docv:"ID" ~doc:"First kernel launch to analyze (START_GRID_ID).")
+
+let end_grid_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "end-grid" ] ~docv:"ID" ~doc:"Last kernel launch to analyze (END_GRID_ID).")
+
+let verbose_arg =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print session statistics.")
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:"Also write a chrome://tracing / Perfetto trace of the run to \
+              $(docv).")
+
+let model_arg =
+  Arg.(
+    value
+    & pos 0 (some string) None
+    & info [] ~docv:"MODEL" ~doc:"Workload: AN, RN-18, RN-34, BERT, GPT-2 or Whisper.")
+
+let run_profile tool_name gpu mode iters sample_rate start_grid end_grid verbose trace
+    model =
+  Pasta_tools.Tools.register_all ();
+  match model with
+  | None -> `Error (true, "a MODEL argument is required (try list-tools or --help)")
+  | Some abbr when not (List.mem abbr Dlfw.Runner.all_abbrs) ->
+      `Error
+        ( false,
+          Printf.sprintf "unknown model %S; available: %s" abbr
+            (String.concat ", " Dlfw.Runner.all_abbrs) )
+  | Some abbr -> (
+      let tool =
+        match tool_name with
+        | Some name -> Option.map (fun mk -> mk ()) (Pasta.Registry.find name)
+        | None -> Pasta.Registry.resolve_from_config ()
+      in
+      match tool with
+      | None ->
+          `Error
+            ( false,
+              Printf.sprintf "no tool selected or unknown tool; available: %s"
+                (String.concat ", " (Pasta.Registry.names ())) )
+      | Some tool ->
+          let device = Gpusim.Device.create gpu in
+          let ctx = Dlfw.Ctx.create device in
+          let range = Pasta.Range.create ?start_grid ?end_grid () in
+          let iters =
+            match iters with
+            | Some n -> n
+            | None -> Dlfw.Runner.default_iters ~abbr ~mode
+          in
+          (* The optional trace exporter runs as a second, independent
+             session alongside the selected tool. *)
+          let tracer =
+            Option.map
+              (fun path ->
+                let tx = Pasta.Trace_export.create () in
+                let s = Pasta.Session.attach ~tool:(Pasta.Trace_export.tool tx) device in
+                (path, tx, s))
+              trace
+          in
+          let (), result =
+            Pasta.Session.run ~range ?sample_rate ~tool device (fun () ->
+                let model = Dlfw.Runner.build ctx abbr in
+                Dlfw.Runner.run ctx model ~mode ~iters)
+          in
+          Option.iter
+            (fun (path, tx, s) ->
+              let (_ : Pasta.Session.result) = Pasta.Session.detach s in
+              Pasta.Trace_export.write_file tx path;
+              Format.printf "[accelprof] trace written to %s (%d events)@." path
+                (Pasta.Trace_export.event_count tx))
+            tracer;
+          if verbose then
+            Format.printf
+              "[accelprof] tool=%s gpu=%s %s-%s x%d: %d kernels, %d events seen, %d \
+               dispatched, %.2f ms simulated (%a)@.@."
+              result.Pasta.Session.tool_name gpu.Gpusim.Arch.name abbr
+              (Dlfw.Runner.mode_to_string mode)
+              iters result.Pasta.Session.kernels result.Pasta.Session.events_seen
+              result.Pasta.Session.events_dispatched
+              (result.Pasta.Session.elapsed_us /. 1000.0)
+              Vendor.Phases.pp result.Pasta.Session.phases;
+          result.Pasta.Session.report Format.std_formatter;
+          Dlfw.Ctx.destroy ctx;
+          `Ok ())
+
+let profile_cmd =
+  let term =
+    Term.(
+      ret
+        (const run_profile $ tool_arg $ gpu_arg $ mode_arg $ iters_arg $ sample_arg
+       $ start_grid_arg $ end_grid_arg $ verbose_arg $ trace_arg $ model_arg))
+  in
+  let info =
+    Cmd.info "accelprof" ~version:"1.0.0"
+      ~doc:"run a PASTA analysis tool against a simulated DL workload"
+  in
+  Cmd.v info term
+
+let () =
+  (* "list-tools" is a convenience alias; everything else goes through the
+     cmdliner term. *)
+  if Array.length Sys.argv > 1 && Sys.argv.(1) = "list-tools" then begin
+    Pasta_tools.Tools.register_all ();
+    List.iter print_endline (Pasta.Registry.names ())
+  end
+  else exit (Cmd.eval profile_cmd)

@@ -1,0 +1,1 @@
+examples/async_streams.ml: Format Gpusim Pasta Pasta_tools

@@ -1,0 +1,1 @@
+examples/cross_vendor.ml: Dlfw Format Gpusim List Pasta Pasta_tools Pasta_util

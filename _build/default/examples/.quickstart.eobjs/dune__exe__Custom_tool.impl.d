@@ -1,0 +1,1 @@
+examples/custom_tool.ml: Dlfw Format Gpusim List Pasta Pasta_util

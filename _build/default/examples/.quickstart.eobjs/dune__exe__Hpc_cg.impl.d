@@ -1,0 +1,1 @@
+examples/hpc_cg.ml: Format Gpusim List Pasta Pasta_tools

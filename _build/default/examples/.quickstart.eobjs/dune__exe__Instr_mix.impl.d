@@ -1,0 +1,1 @@
+examples/instr_mix.ml: Dlfw Format Gpusim Hashtbl List Option Pasta Pasta_tools Vendor

@@ -1,0 +1,1 @@
+examples/instr_mix.mli:

@@ -1,0 +1,1 @@
+examples/layer_analysis.ml: Dlfw Format Gpusim List Pasta Pasta_tools

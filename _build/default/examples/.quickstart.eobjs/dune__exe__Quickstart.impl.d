@@ -1,0 +1,1 @@
+examples/quickstart.ml: Dlfw Format Gpusim Pasta Pasta_tools

@@ -1,0 +1,1 @@
+examples/tpu_backend.ml: Dlfw Format Gpusim List Pasta Pasta_tools

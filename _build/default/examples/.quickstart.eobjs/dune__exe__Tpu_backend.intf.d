@@ -1,0 +1,1 @@
+examples/tpu_backend.mli:

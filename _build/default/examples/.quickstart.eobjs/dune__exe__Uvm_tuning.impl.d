@@ -1,0 +1,1 @@
+examples/uvm_tuning.ml: Array Format Gpusim Pasta_tools Sys

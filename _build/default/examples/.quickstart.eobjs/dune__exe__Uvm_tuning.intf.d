@@ -1,0 +1,1 @@
+examples/uvm_tuning.mli:

@@ -1,0 +1,109 @@
+(* PASTA beyond deep learning (paper §III-G): profiling an HPC workload.
+
+   A conjugate-gradient solver written directly against the simulated
+   CUDA-like runtime — no DL framework, no tensors, just kernels and
+   device buffers, the way an HPC code uses a GPU.  PASTA profiles it
+   with the same tools, and the grid-id range mechanism
+   (START_GRID_ID / END_GRID_ID) isolates the steady-state iterations
+   from the setup phase.
+
+   Run with: dune exec examples/hpc_cg.exe *)
+
+module D = Gpusim.Device
+module K = Gpusim.Kernel
+
+let n = 4 * 1024 * 1024 (* unknowns *)
+let nnz = 27 * n (* 27-point stencil *)
+let iterations = 25
+
+let spmv device ~mat ~x ~y =
+  ignore
+    (D.launch device
+       (K.make ~name:"cg::spmv_csr_vector_kernel" ~grid:(Gpusim.Dim3.make (n / 256))
+          ~block:(Gpusim.Dim3.make 256)
+          ~regions:
+            [
+              K.region ~base:mat ~bytes:(nnz * 12) ~accesses:(2 * nnz) ();
+              K.region ~base:x ~bytes:(n * 8) ~accesses:nnz ~pattern:K.Random ();
+              K.region ~write:true ~base:y ~bytes:(n * 8) ~accesses:n ();
+            ]
+          ~flops:(2.0 *. float_of_int nnz)
+          ~prof:
+            (K.profile ~branches:nnz ~divergent_branches:(nnz / 6)
+               ~value_min:(-1.0e3) ~value_max:1.0e3 ())
+          ()))
+
+let dot device ~a ~b ~out =
+  ignore
+    (D.launch device
+       (K.make ~name:"cg::dot_product_kernel" ~grid:(Gpusim.Dim3.make (n / 512))
+          ~block:(Gpusim.Dim3.make 256)
+          ~regions:
+            [
+              K.region ~base:a ~bytes:(n * 8) ~accesses:n ();
+              K.region ~base:b ~bytes:(n * 8) ~accesses:n ();
+              K.region ~write:true ~base:out ~bytes:512 ~accesses:1 ();
+            ]
+          ~flops:(2.0 *. float_of_int n)
+          ~barriers:2
+          ~prof:
+            (K.profile ~branches:(n / 32 * 5) ~divergent_branches:(n / 32)
+               ~shared_accesses:(n / 2) ~bank_conflicts:(n / 256)
+               ~barrier_stall_us:4.0 ~value_min:(-1.0e6) ~value_max:1.0e6 ())
+          ()))
+
+let axpy device ~x ~y =
+  ignore
+    (D.launch device
+       (K.make ~name:"cg::axpy_kernel" ~grid:(Gpusim.Dim3.make (n / 256))
+          ~block:(Gpusim.Dim3.make 256)
+          ~regions:
+            [
+              K.region ~base:x ~bytes:(n * 8) ~accesses:n ();
+              K.region ~write:true ~base:y ~bytes:(n * 8) ~accesses:n ();
+            ]
+          ~flops:(2.0 *. float_of_int n)
+          ()))
+
+let run_cg device =
+  let buf bytes = (D.malloc device bytes).Gpusim.Device_mem.base in
+  let mat = buf (nnz * 12) in
+  let x = buf (n * 8) and r = buf (n * 8) and p = buf (n * 8) and q = buf (n * 8) in
+  let scalars = buf 4096 in
+  (* Setup: ship the matrix and the initial guess. *)
+  D.memcpy device ~dst:mat ~src:0 ~bytes:(nnz * 12) ~kind:D.Host_to_device ();
+  D.memcpy device ~dst:x ~src:0 ~bytes:(n * 8) ~kind:D.Host_to_device ();
+  (* CG iterations: spmv, two dots, three axpys each. *)
+  for _ = 1 to iterations do
+    spmv device ~mat ~x:p ~y:q;
+    dot device ~a:p ~b:q ~out:scalars;
+    axpy device ~x:q ~y:x;
+    axpy device ~x:q ~y:r;
+    dot device ~a:r ~b:r ~out:scalars;
+    axpy device ~x:r ~y:p
+  done;
+  D.synchronize device
+
+let profile ?range () =
+  let device = D.create Gpusim.Arch.a100 in
+  let kf = Pasta_tools.Kernel_freq.create () in
+  let (), result =
+    Pasta.Session.run ?range ~tool:(Pasta_tools.Kernel_freq.tool kf) device (fun () ->
+        run_cg device)
+  in
+  (kf, result)
+
+let () =
+  let kf, result = profile () in
+  Format.printf "whole solver: %d kernel launches, %.1f ms simulated@."
+    result.Pasta.Session.kernels
+    (result.Pasta.Session.elapsed_us /. 1000.0);
+  List.iter
+    (fun (name, count) -> Format.printf "  %-36s %5d@." name count)
+    (Pasta_tools.Kernel_freq.top kf 5);
+  (* Steady state only: skip the first five iterations (6 kernels each). *)
+  let kf, _ =
+    profile ~range:(Pasta.Range.create ~start_grid:31 ()) ()
+  in
+  Format.printf "@.steady state (START_GRID_ID=31): %d launches analyzed@."
+    (Pasta_tools.Kernel_freq.total_launches kf)

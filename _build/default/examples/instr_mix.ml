@@ -1,0 +1,51 @@
+(* Using the profiling libraries in conjunction (paper §III-D: "users have
+   the flexibility to choose either of these libraries independently or
+   use both in conjunction").
+
+   A PASTA session on the Sanitizer backend provides the coarse view
+   (kernels, operators, memory), while NVBit's "any specific instruction"
+   instrumentation — Table II's last row — counts FFMA/LDG/BAR executions
+   per kernel for an instruction-mix breakdown no single library exposes.
+
+   Run with: dune exec examples/instr_mix.exe *)
+
+let tracked = [ Gpusim.Instr.Ffma; Gpusim.Instr.Ld_global; Gpusim.Instr.Bar_sync ]
+
+let () =
+  let device = Gpusim.Device.create Gpusim.Arch.a100 in
+  let ctx = Dlfw.Ctx.create device in
+  (* NVBit side: opcode counters. *)
+  let nv = Vendor.Nvbit.attach device in
+  let mix : (string, (Gpusim.Instr.opcode * int) list) Hashtbl.t = Hashtbl.create 16 in
+  Vendor.Nvbit.instrument_opcodes nv ~opcodes:tracked
+    ~on_counts:(fun info counts ->
+      let name = info.Gpusim.Device.kernel.Gpusim.Kernel.name in
+      let prev = Option.value ~default:(List.map (fun o -> (o, 0)) tracked)
+          (Hashtbl.find_opt mix name) in
+      Hashtbl.replace mix name
+        (List.map2 (fun (o, a) (_, b) -> (o, a + b)) prev counts))
+    ();
+  (* PASTA side: the kernel-frequency tool through the NVBit backend (the
+     same library serves both coarse events and instrumentation). *)
+  let kf = Pasta_tools.Kernel_freq.create () in
+  let session =
+    Pasta.Session.attach ~backend:Pasta.Backend.Nvbit
+      ~tool:(Pasta_tools.Kernel_freq.tool kf) device
+  in
+  let model = Dlfw.Bert.build ~batch:1 ~seq:128 ~layers:2 ctx in
+  Dlfw.Model.inference_iter ctx model;
+  let result = Pasta.Session.detach session in
+  Vendor.Nvbit.detach nv;
+  Format.printf "%d kernels; instruction mix of the top 5 by invocation count:@.@."
+    result.Pasta.Session.kernels;
+  Format.printf "%-58s %12s %12s %10s@." "kernel" "FFMA" "LDG.E" "BAR.SYNC";
+  List.iter
+    (fun (name, _) ->
+      match Hashtbl.find_opt mix name with
+      | Some counts ->
+          let get o = Option.value ~default:0 (List.assoc_opt o counts) in
+          Format.printf "%-58s %12d %12d %10d@." name (get Gpusim.Instr.Ffma)
+            (get Gpusim.Instr.Ld_global) (get Gpusim.Instr.Bar_sync)
+      | None -> ())
+    (Pasta_tools.Kernel_freq.top kf 5);
+  Dlfw.Ctx.destroy ctx

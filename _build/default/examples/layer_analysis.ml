@@ -1,0 +1,46 @@
+(* Range-specific analysis with pasta.start / pasta.end annotations
+   (paper §III-F1, Listing 1).
+
+   In DL workloads the interesting unit is usually one layer or one
+   forward pass, not the whole program.  Here we profile GPT-2 twice with
+   the same tool: once over the whole run, once with annotations opened
+   only around the forward pass of a single iteration — PASTA then
+   dispatches only the kernels inside the annotated region.
+
+   Run with: dune exec examples/layer_analysis.exe *)
+
+let profile_with annotate =
+  let device = Gpusim.Device.create Gpusim.Arch.a100 in
+  let ctx = Dlfw.Ctx.create device in
+  let kf = Pasta_tools.Kernel_freq.create () in
+  let range =
+    if annotate then Pasta.Range.create ~annotations_only:true ()
+    else Pasta.Range.create ()
+  in
+  let (), result =
+    Pasta.Session.run ~range ~tool:(Pasta_tools.Kernel_freq.tool kf) device (fun () ->
+        let model = Dlfw.Gpt2.build ctx in
+        (* Warm-up iteration, outside any annotation. *)
+        Dlfw.Model.inference_iter ctx model;
+        if annotate then Pasta.Session.start ~label:"forward" ();
+        Dlfw.Model.inference_iter ctx model;
+        if annotate then Pasta.Session.end_ ~label:"forward" ();
+        (* Cool-down iteration, also outside. *)
+        Dlfw.Model.inference_iter ctx model)
+  in
+  Dlfw.Ctx.destroy ctx;
+  (kf, result)
+
+let () =
+  let whole, whole_res = profile_with false in
+  let ranged, ranged_res = profile_with true in
+  Format.printf "whole run:       %d launches dispatched (%d events)@."
+    (Pasta_tools.Kernel_freq.total_launches whole)
+    whole_res.Pasta.Session.events_dispatched;
+  Format.printf "annotated range: %d launches dispatched (%d events)@.@."
+    (Pasta_tools.Kernel_freq.total_launches ranged)
+    ranged_res.Pasta.Session.events_dispatched;
+  Format.printf "top kernels inside the annotated forward pass:@.";
+  List.iter
+    (fun (name, n) -> Format.printf "  %-60s %6d@." name n)
+    (Pasta_tools.Kernel_freq.top ranged 8)

@@ -1,0 +1,30 @@
+(* Quickstart: profile a model with a stock PASTA tool.
+
+   The five-line recipe:
+     1. create a simulated device,
+     2. create a framework context on it,
+     3. pick a tool from the collection,
+     4. run the workload inside a PASTA session,
+     5. print the tool's report.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+let () =
+  let device = Gpusim.Device.create Gpusim.Arch.a100 in
+  let ctx = Dlfw.Ctx.create device in
+
+  (* The kernel-invocation-frequency tool from the collection (paper
+     §V-B1). *)
+  let kf = Pasta_tools.Kernel_freq.create () in
+
+  let (), result =
+    Pasta.Session.run ~tool:(Pasta_tools.Kernel_freq.tool kf) device (fun () ->
+        let model = Dlfw.Resnet.build18 ctx in
+        Dlfw.Runner.run ctx model ~mode:Dlfw.Runner.Inference ~iters:2)
+  in
+
+  Format.printf "profiled %d kernel launches (%d events) in %.2f ms simulated@.@."
+    result.Pasta.Session.kernels result.Pasta.Session.events_seen
+    (result.Pasta.Session.elapsed_us /. 1000.0);
+  result.Pasta.Session.report Format.std_formatter;
+  Dlfw.Ctx.destroy ctx

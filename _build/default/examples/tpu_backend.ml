@@ -1,0 +1,29 @@
+(* Generalizing beyond GPUs (paper §III-G): the same PASTA tool against a
+   Google TPU through the XProf backend.
+
+   The TPU substrate reports XSpace planes — program executions, buffer
+   events, infeeds, plus vendor-unique systolic-array activity that the
+   normalization layer drops on purpose.  The kernel-frequency tool runs
+   unchanged and sees XLA program names instead of CUDA kernels.
+
+   Run with: dune exec examples/tpu_backend.exe *)
+
+let () =
+  let device = Gpusim.Device.create Gpusim.Arch.tpu_v4 in
+  let ctx = Dlfw.Ctx.create device in
+  let kf = Pasta_tools.Kernel_freq.create () in
+  let (), result =
+    Pasta.Session.run ~tool:(Pasta_tools.Kernel_freq.tool kf) device (fun () ->
+        let model = Dlfw.Gpt2.build ~batch:2 ~seq:256 ~layers:4 ctx in
+        Dlfw.Model.inference_iter ctx model)
+  in
+  Format.printf "device: %a@." Gpusim.Arch.pp (Gpusim.Device.arch device);
+  Format.printf "backend: %s@."
+    (Pasta.Backend.kind_to_string (Pasta.Backend.default_kind_for device));
+  Format.printf "programs executed: %d (%d events)@.@." result.Pasta.Session.kernels
+    result.Pasta.Session.events_seen;
+  Format.printf "top XLA programs:@.";
+  List.iter
+    (fun (name, n) -> Format.printf "  %-48s %6d@." name n)
+    (Pasta_tools.Kernel_freq.top kf 8);
+  Dlfw.Ctx.destroy ctx

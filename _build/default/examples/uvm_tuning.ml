@@ -1,0 +1,39 @@
+(* UVM prefetch tuning with the tensor-aware prefetcher (paper §V-C1).
+
+   Runs the full record-then-replay pipeline for one model under memory
+   oversubscription and reports which prefetch granularity to use — the
+   decision Figs. 11/12 of the paper are about.
+
+   Run with: dune exec examples/uvm_tuning.exe -- [model] [oversub]
+   e.g.      dune exec examples/uvm_tuning.exe -- BERT 3.0 *)
+
+let () =
+  let abbr = if Array.length Sys.argv > 1 then Sys.argv.(1) else "BERT" in
+  let oversub =
+    if Array.length Sys.argv > 2 then float_of_string Sys.argv.(2) else 3.0
+  in
+  let o = Pasta_tools.Uvm_experiment.run ~arch:Gpusim.Arch.rtx3060 ~oversub abbr in
+  let open Pasta_tools.Uvm_experiment in
+  Format.printf "model %s on RTX 3060, oversubscription %.1fx@." abbr oversub;
+  Format.printf "footprint %.0f MB, device capacity %.0f MB@.@."
+    (float_of_int o.footprint_bytes /. 1048576.0)
+    (float_of_int o.capacity_bytes /. 1048576.0);
+  let report name (r : run_stats) =
+    Format.printf
+      "%-14s %8.3f s   faults %6d (refaults %6d)   migrated %6.0f MB   prefetched %6.0f MB@."
+      name (r.elapsed_us /. 1.0e6) r.faults r.refaults
+      (float_of_int r.migrated_bytes /. 1048576.0)
+      (float_of_int r.prefetched_bytes /. 1048576.0)
+  in
+  report "demand paging" o.baseline;
+  report "object-level" o.object_level;
+  report "tensor-level" o.tensor_level;
+  Format.printf "@.object-level speedup %.2fx, tensor-level speedup %.2fx@."
+    (speedup o `Object) (speedup o `Tensor);
+  let best =
+    if speedup o `Tensor >= speedup o `Object && speedup o `Tensor > 1.0 then
+      "tensor-level prefetching"
+    else if speedup o `Object > 1.0 then "object-level prefetching"
+    else "demand paging (prefetching hurts at this pressure)"
+  in
+  Format.printf "recommendation: %s@." best

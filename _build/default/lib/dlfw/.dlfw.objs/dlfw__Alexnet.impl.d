@@ -1,0 +1,1 @@
+lib/dlfw/alexnet.ml: Dtype Layer Model Ops

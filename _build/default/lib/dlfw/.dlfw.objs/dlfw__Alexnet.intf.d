@@ -1,0 +1,1 @@
+lib/dlfw/alexnet.mli: Ctx Model

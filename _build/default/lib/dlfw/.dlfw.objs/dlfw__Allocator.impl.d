@@ -1,0 +1,1 @@
+lib/dlfw/allocator.ml: Callbacks Format Gpusim Hashtbl List Pasta_util

@@ -1,0 +1,1 @@
+lib/dlfw/allocator.mli: Gpusim

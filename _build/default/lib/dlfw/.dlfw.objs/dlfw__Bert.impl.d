@@ -1,0 +1,1 @@
+lib/dlfw/bert.ml: Ctx Dtype Gpusim Kernels Layer List Model Ops Tensor Transformer

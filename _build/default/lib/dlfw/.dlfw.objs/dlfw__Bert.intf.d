@@ -1,0 +1,1 @@
+lib/dlfw/bert.mli: Ctx Model

@@ -1,0 +1,1 @@
+lib/dlfw/callbacks.mli:

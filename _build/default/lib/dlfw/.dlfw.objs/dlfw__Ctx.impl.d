@@ -1,0 +1,1 @@
+lib/dlfw/ctx.ml: Allocator Gpusim Pasta_util Tensor

@@ -1,0 +1,1 @@
+lib/dlfw/ctx.mli: Allocator Gpusim Pasta_util Tensor

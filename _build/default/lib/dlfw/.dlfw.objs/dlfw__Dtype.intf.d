@@ -1,0 +1,1 @@
+lib/dlfw/dtype.mli: Format

@@ -1,0 +1,1 @@
+lib/dlfw/gpt2.ml: Dtype Layer List Model Ops Transformer

@@ -1,0 +1,1 @@
+lib/dlfw/gpt2.mli: Ctx Model

@@ -1,0 +1,1 @@
+lib/dlfw/kernels.ml: Ctx Dtype Gpusim List Printf String Tensor

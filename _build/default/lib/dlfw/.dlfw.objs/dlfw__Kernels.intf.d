@@ -1,0 +1,1 @@
+lib/dlfw/kernels.mli: Ctx Gpusim Tensor

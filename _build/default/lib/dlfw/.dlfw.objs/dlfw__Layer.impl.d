@@ -1,0 +1,1 @@
+lib/dlfw/layer.ml: Ctx Dtype Gpusim Kernels List Ops Option Printf Shape Tensor

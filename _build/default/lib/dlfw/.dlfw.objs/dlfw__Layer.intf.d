@@ -1,0 +1,1 @@
+lib/dlfw/layer.mli: Ctx Tensor

@@ -1,0 +1,1 @@
+lib/dlfw/model.ml: Ctx Gpusim Layer List Ops Optimizer Printf String Tensor

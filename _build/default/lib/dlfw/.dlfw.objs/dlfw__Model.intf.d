@@ -1,0 +1,1 @@
+lib/dlfw/model.mli: Ctx Layer Optimizer Tensor

@@ -1,0 +1,1 @@
+lib/dlfw/ops.ml: Callbacks Ctx Dtype Gpusim Kernels List Option Tensor

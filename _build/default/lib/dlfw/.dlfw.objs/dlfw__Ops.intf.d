@@ -1,0 +1,1 @@
+lib/dlfw/ops.mli: Ctx Dtype Shape Tensor

@@ -1,0 +1,1 @@
+lib/dlfw/optimizer.ml: Ctx Dtype Hashtbl Kernels List Ops Tensor

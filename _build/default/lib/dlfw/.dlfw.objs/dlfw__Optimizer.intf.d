@@ -1,0 +1,1 @@
+lib/dlfw/optimizer.mli: Ctx Tensor

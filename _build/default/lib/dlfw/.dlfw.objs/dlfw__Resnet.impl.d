@@ -1,0 +1,1 @@
+lib/dlfw/resnet.ml: Dtype Layer List Model Ops

@@ -1,0 +1,1 @@
+lib/dlfw/resnet.mli: Ctx Model

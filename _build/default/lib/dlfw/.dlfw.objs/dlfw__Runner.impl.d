@@ -1,0 +1,1 @@
+lib/dlfw/runner.ml: Alexnet Bert Gpt2 Model Resnet Whisper

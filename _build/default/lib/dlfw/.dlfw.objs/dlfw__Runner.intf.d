@@ -1,0 +1,1 @@
+lib/dlfw/runner.mli: Ctx Model

@@ -1,0 +1,1 @@
+lib/dlfw/shape.ml: Dtype Format Int List String

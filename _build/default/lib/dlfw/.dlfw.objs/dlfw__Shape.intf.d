@@ -1,0 +1,1 @@
+lib/dlfw/shape.mli: Dtype Format

@@ -1,0 +1,1 @@
+lib/dlfw/tensor.ml: Allocator Dtype Format Shape

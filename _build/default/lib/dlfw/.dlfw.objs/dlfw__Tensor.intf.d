@@ -1,0 +1,1 @@
+lib/dlfw/tensor.mli: Allocator Dtype Format Shape

@@ -1,0 +1,1 @@
+lib/dlfw/transformer.ml: Ctx Dtype Kernels Layer Ops Tensor

@@ -1,0 +1,1 @@
+lib/dlfw/transformer.mli: Ctx Layer

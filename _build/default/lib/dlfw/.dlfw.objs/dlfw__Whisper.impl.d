@@ -1,0 +1,1 @@
+lib/dlfw/whisper.ml: Ctx Dtype Kernels Layer List Model Ops Tensor Transformer

@@ -1,0 +1,1 @@
+lib/dlfw/whisper.mli: Ctx Model

@@ -1,0 +1,41 @@
+let file = "models/alexnet/model.py"
+
+let build ?(batch = 128) ctx =
+  let conv ~line ~in_ch ~out_ch ~k ~stride ~pad =
+    Layer.conv2d ctx ~file ~line ~in_ch ~out_ch ~k ~stride ~pad ~algo:`Im2col ()
+  in
+  let root =
+    Layer.sequential ~name:"AlexNet"
+      [
+        conv ~line:12 ~in_ch:3 ~out_ch:64 ~k:11 ~stride:4 ~pad:2;
+        Layer.relu ctx;
+        Layer.maxpool ctx ~k:3 ~stride:2;
+        conv ~line:15 ~in_ch:64 ~out_ch:192 ~k:5 ~stride:1 ~pad:2;
+        Layer.relu ctx;
+        Layer.maxpool ctx ~k:3 ~stride:2;
+        conv ~line:18 ~in_ch:192 ~out_ch:384 ~k:3 ~stride:1 ~pad:1;
+        Layer.relu ctx;
+        conv ~line:20 ~in_ch:384 ~out_ch:256 ~k:3 ~stride:1 ~pad:1;
+        Layer.relu ctx;
+        conv ~line:22 ~in_ch:256 ~out_ch:256 ~k:3 ~stride:1 ~pad:1;
+        Layer.relu ctx;
+        Layer.maxpool ctx ~k:3 ~stride:2;
+        Layer.avgpool_to ctx ~out_hw:6;
+        Layer.flatten ctx;
+        Layer.dropout ctx;
+        Layer.linear ctx ~file ~line:28 ~in_features:9216 ~out_features:4096 ();
+        Layer.relu ctx;
+        Layer.dropout ctx;
+        Layer.linear ctx ~file ~line:31 ~in_features:4096 ~out_features:4096 ();
+        Layer.relu ctx;
+        Layer.linear ctx ~file ~line:33 ~in_features:4096 ~out_features:1000 ();
+      ]
+  in
+  {
+    Model.name = "AlexNet";
+    abbr = "AN";
+    root;
+    make_input =
+      (fun ctx -> Ops.new_tensor ctx ~name:"input_images" [ batch; 3; 224; 224 ] Dtype.F32);
+    batch;
+  }

@@ -1,0 +1,7 @@
+(** AlexNet (paper Table IV: CNN, 8 layers, batch 128).
+
+    Convolutions take the aten im2col+GEMM fallback path, which is why
+    [at::native::im2col_kernel] dominates AlexNet's kernel-frequency
+    distribution in the paper's Fig. 7. *)
+
+val build : ?batch:int -> Ctx.t -> Model.t

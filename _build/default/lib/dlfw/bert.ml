@@ -1,0 +1,71 @@
+let file = "models/bert/bert_pytorch/model/bert.py"
+let vocab = 30522
+
+(* Select each sequence's [CLS] position before the pooler: the classifier
+   then works on tiny [batch; dim] tensors, giving BERT its kilobyte-scale
+   minimum working set (Table V). *)
+let take_cls ctx ~batch ~seq ~dim =
+  ignore ctx;
+  let fwd ctx l x =
+    Ops.record ctx "aten::select" @@ fun () ->
+    let out = Ops.new_tensor ctx ~name:"cls_tokens" [ batch; dim ] Dtype.F32 in
+    Kernels.launch ctx ~name:"at::native::index_select_cuda_kernel"
+      ~regions:
+        [
+          Kernels.region ~extent:(Tensor.bytes out)
+            ~pattern:(Gpusim.Kernel.Strided (seq * dim * 4))
+            x;
+          Kernels.region ~rw:Kernels.Write out;
+        ]
+      ~flops:0.0 ~work:(Tensor.numel out) ();
+    if ctx.Ctx.training then Layer.save l [ x ] else Tensor.release x;
+    out
+  in
+  let bwd ctx l g =
+    let x = match Layer.unsave l 1 with [ x ] -> x | _ -> assert false in
+    let gin = Ops.new_tensor ctx ~name:"grad_cls_scatter" (Tensor.shape x) Dtype.F32 in
+    Kernels.fill ctx gin;
+    Kernels.launch ctx ~name:"at::native::index_put_kernel"
+      ~regions:
+        [
+          Kernels.region g;
+          Kernels.region ~rw:Kernels.Write ~extent:(Tensor.bytes g) gin;
+        ]
+      ~flops:0.0 ~work:(Tensor.numel g) ();
+    Tensor.release x;
+    Tensor.release g;
+    gin
+  in
+  Layer.custom ~file ~line:84 ~name:"TakeCLS" ~fwd ~bwd ()
+
+let build ?(batch = 16) ?(seq = 512) ?(layers = 12) ?(dim = 768) ?(heads = 12) ctx =
+  let blocks =
+    List.init layers (fun _ -> Transformer.block_postnorm ctx ~file ~dim ~heads ~seq ())
+  in
+  let root =
+    Layer.sequential ~name:"BERT"
+      ([
+         Layer.embedding ctx ~file ~line:24 ~vocab ~dim
+           ~rows_touched:(min (batch * seq) (vocab / 8))
+           ();
+         Transformer.pos_add ctx ~file ~seq ~dim;
+         Layer.layernorm ctx ~features:dim;
+         Layer.dropout ctx;
+       ]
+      @ blocks
+      @ [
+          (* Pooler + sequence classifier over the [CLS] positions. *)
+          take_cls ctx ~batch ~seq ~dim;
+          Layer.linear ctx ~file ~line:88 ~in_features:dim ~out_features:dim ();
+          Layer.gelu ctx;
+          Layer.linear ctx ~file ~line:90 ~in_features:dim ~out_features:2 ();
+        ])
+  in
+  {
+    Model.name = "BERT";
+    abbr = "BERT";
+    root;
+    make_input =
+      (fun ctx -> Ops.new_tensor ctx ~name:"input_ids" [ batch; seq ] Dtype.I64);
+    batch;
+  }

@@ -1,0 +1,6 @@
+(** BERT base (paper Table IV: encoder-only transformer, 12 layers,
+    batch 16): d=768, 12 heads, sequence length 512, post-norm blocks and
+    a small classification head.  The materialized 201 MB attention-score
+    tensor is BERT's Table V working-set peak. *)
+
+val build : ?batch:int -> ?seq:int -> ?layers:int -> ?dim:int -> ?heads:int -> Ctx.t -> Model.t

@@ -1,0 +1,40 @@
+type mem_event = {
+  ptr : int;
+  size_delta : int;
+  total_allocated : int;
+  total_reserved : int;
+  device_id : int;
+  tag : string;
+}
+
+type op_event = {
+  op_name : string;
+  phase : [ `Begin | `End ];
+  device_id : int;
+  seq : int;
+}
+
+let mem_observers : (string * (mem_event -> unit)) list ref = ref []
+let op_observers : (string * (op_event -> unit)) list ref = ref []
+let op_seq = ref 0
+
+let report_memory_usage ev = List.iter (fun (_, f) -> f ev) !mem_observers
+let record_function ev = List.iter (fun (_, f) -> f ev) !op_observers
+
+let add_memory_observer name f = mem_observers := !mem_observers @ [ (name, f) ]
+
+let remove_memory_observer name =
+  mem_observers := List.filter (fun (n, _) -> not (String.equal n name)) !mem_observers
+
+let add_op_observer name f = op_observers := !op_observers @ [ (name, f) ]
+
+let remove_op_observer name =
+  op_observers := List.filter (fun (n, _) -> not (String.equal n name)) !op_observers
+
+let clear_observers () =
+  mem_observers := [];
+  op_observers := []
+
+let next_op_seq () =
+  incr op_seq;
+  !op_seq

@@ -1,0 +1,21 @@
+type t = {
+  device : Gpusim.Device.t;
+  pool : Allocator.t;
+  rng : Pasta_util.Det_rng.t;
+  mutable training : bool;
+  mutable cudnn_workspace : Tensor.t option;
+  mutable cublaslt_workspace : Tensor.t option;
+}
+
+let create ?(managed = false) ?(seed = 0xD1F0L) device =
+  {
+    device;
+    pool = Allocator.create ~managed device;
+    rng = Pasta_util.Det_rng.create seed;
+    training = false;
+    cudnn_workspace = None;
+    cublaslt_workspace = None;
+  }
+
+let vendor t = (Gpusim.Device.arch t.device).Gpusim.Arch.vendor
+let destroy t = Allocator.destroy t.pool

@@ -1,0 +1,27 @@
+(** Framework execution context: the device being driven, its caching
+    allocator, the training/inference mode flag and a deterministic RNG
+    stream for data-dependent shapes. *)
+
+type t = {
+  device : Gpusim.Device.t;
+  pool : Allocator.t;
+  rng : Pasta_util.Det_rng.t;
+  mutable training : bool;
+  mutable cudnn_workspace : Tensor.t option;
+      (** shared benchmark-mode convolution workspace (1 GiB, lazily
+          allocated), like cuDNN's workspace under PyTorch *)
+  mutable cublaslt_workspace : Tensor.t option;
+      (** persistent cuBLASLt GEMM workspace (NVIDIA backend only): one
+          lazy allocation that slightly raises peak usage, where the AMD
+          backend instead allocates transient per-call scratch — the
+          allocator-traffic asymmetry of the paper's Fig. 14 *)
+}
+
+val create : ?managed:bool -> ?seed:int64 -> Gpusim.Device.t -> t
+(** Fresh context with its own caching pool; [managed] puts the pool under
+    UVM. *)
+
+val vendor : t -> Gpusim.Arch.vendor
+
+val destroy : t -> unit
+(** Tear down the pool, releasing all its device memory. *)

@@ -1,0 +1,34 @@
+let file = "models/gpt2/model.py"
+let vocab = 50257
+
+let build ?(batch = 8) ?(seq = 1024) ?(layers = 12) ?(dim = 768) ?(heads = 12)
+    ?(checkpoint = false) ctx =
+  let blocks =
+    List.init layers (fun _ ->
+        let block = Transformer.block_prenorm ctx ~file ~dim ~heads ~seq () in
+        if checkpoint then Layer.checkpoint block else block)
+  in
+  let root =
+    Layer.sequential ~name:"GPT2"
+      ([
+         Layer.embedding ctx ~file ~line:31 ~vocab ~dim
+           ~rows_touched:(min (batch * seq) (vocab / 8))
+           ();
+         Transformer.pos_add ctx ~file ~seq ~dim;
+         Layer.dropout ctx;
+       ]
+      @ blocks
+      @ [
+          Layer.layernorm ctx ~features:dim;
+          Layer.linear ctx ~file ~line:52 ~bias:false ~in_features:dim
+            ~out_features:vocab ();
+        ])
+  in
+  {
+    Model.name = "GPT-2";
+    abbr = "GPT-2";
+    root;
+    make_input =
+      (fun ctx -> Ops.new_tensor ctx ~name:"input_ids" [ batch; seq ] Dtype.I64);
+    batch;
+  }

@@ -1,0 +1,10 @@
+(** GPT-2 small (paper Table IV: decoder-only transformer, 12 layers,
+    batch 8).  124M parameters: d=768, 12 heads, sequence length 1024,
+    vocabulary 50257.  The untied LM head produces the 1.6 GB logits
+    tensor that dominates GPT-2's footprint in Table V. *)
+
+val build :
+  ?batch:int -> ?seq:int -> ?layers:int -> ?dim:int -> ?heads:int ->
+  ?checkpoint:bool -> Ctx.t -> Model.t
+(** [checkpoint] wraps every transformer block in gradient checkpointing,
+    trading recomputation for training memory. *)

@@ -1,0 +1,508 @@
+module H = Gpusim.Hostctx
+
+type t = {
+  lname : string;
+  params : Tensor.t list;
+  mutable grads : Tensor.t list;
+  mutable saved : Tensor.t list;
+  children : t list;
+  fwd : Ctx.t -> t -> Tensor.t -> Tensor.t;
+  bwd : Ctx.t -> t -> Tensor.t -> Tensor.t;
+  py_file : string;
+  py_line : int;
+}
+
+let module_frame = { H.file = "torch/nn/modules/module.py"; line = 1518; symbol = "def _wrapped_call_impl()" }
+
+let forward ctx l x =
+  H.with_frame H.Python module_frame @@ fun () ->
+  H.with_frame H.Python { H.file = l.py_file; line = l.py_line; symbol = "def forward()" }
+  @@ fun () -> l.fwd ctx l x
+
+let backward ctx l g =
+  H.with_frame H.Python { H.file = l.py_file; line = l.py_line; symbol = "def backward()" }
+  @@ fun () -> l.bwd ctx l g
+
+let rec all_params l = l.params @ List.concat_map all_params l.children
+
+let rec take_grad_pairs l =
+  let own =
+    match (l.params, l.grads) with
+    | _, [] -> [] (* frozen or stateless: no gradients this step *)
+    | ps, gs when List.length ps = List.length gs -> List.combine ps gs
+    | ps, gs ->
+        invalid_arg
+          (Printf.sprintf "%s: %d params but %d grads" l.lname (List.length ps)
+             (List.length gs))
+  in
+  l.grads <- [];
+  own @ List.concat_map take_grad_pairs l.children
+
+let param_bytes l = List.fold_left (fun acc p -> acc + Tensor.bytes p) 0 (all_params l)
+
+(* Saved-activation helpers.  Forward pushes, backward pops; a mismatch is
+   an unbalanced layer implementation. *)
+let save l ts = l.saved <- l.saved @ ts
+
+let unsave l n =
+  let len = List.length l.saved in
+  if len < n then invalid_arg (l.lname ^ ": backward without matching forward");
+  let rec split i = function
+    | rest when i = 0 -> ([], rest)
+    | x :: rest ->
+        let taken, remaining = split (i - 1) rest in
+        (x :: taken, remaining)
+    | [] -> assert false
+  in
+  let keep, taken = split (len - n) l.saved in
+  l.saved <- keep;
+  taken
+
+let make ?(params = []) ?(children = []) ?(file = "model.py") ?(line = 1) lname fwd bwd =
+  { lname; params; grads = []; saved = []; children; fwd; bwd; py_file = file; py_line = line }
+
+let custom ?params ?children ?file ?line ~name ~fwd ~bwd () =
+  make ?params ?children ?file ?line name fwd bwd
+
+(* ----- parameterized layers ----- *)
+
+let linear ctx ?(file = "model.py") ?(line = 1) ?(bias = true) ~in_features
+    ~out_features () =
+  let w =
+    Tensor.create ctx.Ctx.pool ~name:"linear.weight" [ out_features; in_features ]
+      Dtype.F32
+  in
+  let b =
+    if bias then
+      Some (Tensor.create ctx.Ctx.pool ~name:"linear.bias" [ out_features ] Dtype.F32)
+    else None
+  in
+  let params = w :: Option.to_list b in
+  let fwd ctx l x =
+    let m = Tensor.numel x / in_features in
+    let out = Ops.linear ctx ~input:x ~weight:w ~bias:b ~m ~k:in_features ~n:out_features in
+    if ctx.Ctx.training then save l [ x ] else Tensor.release x;
+    out
+  in
+  let bwd ctx l g =
+    let x = match unsave l 1 with [ x ] -> x | _ -> assert false in
+    let m = Tensor.numel x / in_features in
+    let gin, gw, gb =
+      Ops.linear_bwd ctx ~input:x ~weight:w ~grad_out:g ~has_bias:bias ~m
+        ~k:in_features ~n:out_features
+    in
+    Tensor.release x;
+    Tensor.release g;
+    l.grads <- l.grads @ (gw :: Option.to_list gb);
+    gin
+  in
+  make ~params ~file ~line "Linear" fwd bwd
+
+let conv2d ctx ?(file = "model.py") ?(line = 1) ?(bias = true) ~in_ch ~out_ch ~k
+    ~stride ~pad ~algo () =
+  let w =
+    Tensor.create ctx.Ctx.pool ~name:"conv.weight" [ out_ch; in_ch; k; k ] Dtype.F32
+  in
+  let b =
+    if bias then Some (Tensor.create ctx.Ctx.pool ~name:"conv.bias" [ out_ch ] Dtype.F32)
+    else None
+  in
+  let params = w :: Option.to_list b in
+  let searched = ref false in
+  let cfg_of ~search x =
+    match Tensor.shape x with
+    | [ n; c; h; w_ ] when c = in_ch ->
+        { Ops.n; c; h; w = w_; oc = out_ch; kh = k; kw = k; stride; pad; algo;
+          benchmark_search = search }
+    | s ->
+        invalid_arg
+          (Printf.sprintf "Conv2d: bad input shape %s (expected [n;%d;h;w])"
+             (Shape.to_string s) in_ch)
+  in
+  let fwd ctx l x =
+    let search = not !searched in
+    searched := true;
+    let out = Ops.conv2d ctx ~input:x ~weight:w ~bias:b ~cfg:(cfg_of ~search x) in
+    if ctx.Ctx.training then save l [ x ] else Tensor.release x;
+    out
+  in
+  let bwd ctx l g =
+    let x = match unsave l 1 with [ x ] -> x | _ -> assert false in
+    let gin, gw, gb =
+      Ops.conv2d_bwd ctx ~input:x ~weight:w ~grad_out:g ~has_bias:bias
+        ~cfg:(cfg_of ~search:false x)
+    in
+    Tensor.release x;
+    Tensor.release g;
+    l.grads <- l.grads @ (gw :: Option.to_list gb);
+    gin
+  in
+  make ~params ~file ~line "Conv2d" fwd bwd
+
+let batchnorm ctx ~features =
+  let scale =
+    Tensor.create ctx.Ctx.pool ~name:"bn.scale" [ 4; features ] Dtype.F32
+  in
+  let fwd ctx l x =
+    let out = Ops.batchnorm ctx ~input:x ~scale in
+    if ctx.Ctx.training then save l [ x ] else Tensor.release x;
+    out
+  in
+  let bwd ctx l g =
+    let x = match unsave l 1 with [ x ] -> x | _ -> assert false in
+    let gin = Ops.batchnorm_bwd ctx ~input:x ~scale ~grad_out:g in
+    Tensor.release x;
+    Tensor.release g;
+    let gscale = Ops.new_tensor ctx ~name:"grad_bn_scale" (Tensor.shape scale) Dtype.F32 in
+    l.grads <- l.grads @ [ gscale ];
+    gin
+  in
+  make ~params:[ scale ] "BatchNorm2d" fwd bwd
+
+let layernorm ctx ~features =
+  let scale = Tensor.create ctx.Ctx.pool ~name:"ln.scale" [ 2; features ] Dtype.F32 in
+  let fwd ctx l x =
+    let out = Ops.layernorm ctx ~input:x ~scale in
+    if ctx.Ctx.training then save l [ x ] else Tensor.release x;
+    out
+  in
+  let bwd ctx l g =
+    let x = match unsave l 1 with [ x ] -> x | _ -> assert false in
+    let gin = Ops.layernorm_bwd ctx ~input:x ~scale ~grad_out:g in
+    Tensor.release x;
+    Tensor.release g;
+    let gscale = Ops.new_tensor ctx ~name:"grad_ln_scale" (Tensor.shape scale) Dtype.F32 in
+    l.grads <- l.grads @ [ gscale ];
+    gin
+  in
+  make ~params:[ scale ] "LayerNorm" fwd bwd
+
+(* ----- stateless layers ----- *)
+
+let relu _ctx =
+  let fwd ctx l x =
+    let out = Ops.relu ctx x in
+    Tensor.release x;
+    if ctx.Ctx.training then save l [ Tensor.retain out ];
+    out
+  in
+  let bwd ctx l g =
+    let out = match unsave l 1 with [ o ] -> o | _ -> assert false in
+    let gin = Ops.relu_bwd ctx ~output:out ~grad_out:g in
+    Tensor.release out;
+    Tensor.release g;
+    gin
+  in
+  make "ReLU" fwd bwd
+
+let gelu _ctx =
+  let fwd ctx l x =
+    let out = Ops.gelu ctx x in
+    if ctx.Ctx.training then save l [ x ] else Tensor.release x;
+    out
+  in
+  let bwd ctx l g =
+    let x = match unsave l 1 with [ x ] -> x | _ -> assert false in
+    let gin = Ops.gelu_bwd ctx ~input:x ~grad_out:g in
+    Tensor.release x;
+    Tensor.release g;
+    gin
+  in
+  make "GELU" fwd bwd
+
+let pool_out_shape shape ~k ~stride =
+  match shape with
+  | [ n; c; h; w ] -> [ n; c; ((h - k) / stride) + 1; ((w - k) / stride) + 1 ]
+  | s -> invalid_arg ("pool: bad input shape " ^ Shape.to_string s)
+
+let maxpool _ctx ~k ~stride =
+  let fwd ctx l x =
+    let out = Ops.maxpool ctx ~input:x ~out_shape:(pool_out_shape (Tensor.shape x) ~k ~stride) in
+    if ctx.Ctx.training then save l [ x ] else Tensor.release x;
+    out
+  in
+  let bwd ctx l g =
+    let x = match unsave l 1 with [ x ] -> x | _ -> assert false in
+    let gin = Ops.maxpool_bwd ctx ~grad_out:g ~in_shape:(Tensor.shape x) in
+    Tensor.release x;
+    Tensor.release g;
+    gin
+  in
+  make "MaxPool2d" fwd bwd
+
+let avgpool_to _ctx ~out_hw =
+  let fwd ctx l x =
+    let out_shape =
+      match Tensor.shape x with
+      | [ n; c; _; _ ] -> [ n; c; out_hw; out_hw ]
+      | s -> invalid_arg ("AvgPool: bad input shape " ^ Shape.to_string s)
+    in
+    let out = Ops.avgpool ctx ~input:x ~out_shape in
+    if ctx.Ctx.training then save l [ x ] else Tensor.release x;
+    out
+  in
+  let bwd ctx l g =
+    let x = match unsave l 1 with [ x ] -> x | _ -> assert false in
+    let gin = Ops.avgpool_bwd ctx ~grad_out:g ~in_shape:(Tensor.shape x) in
+    Tensor.release x;
+    Tensor.release g;
+    gin
+  in
+  make "AdaptiveAvgPool2d" fwd bwd
+
+let dropout _ctx =
+  let fwd ctx l x =
+    if not ctx.Ctx.training then x (* inference dropout is the identity *)
+    else begin
+      let out, mask = Ops.dropout ctx x in
+      Tensor.release x;
+      save l [ mask ];
+      out
+    end
+  in
+  let bwd ctx l g =
+    let mask = match unsave l 1 with [ m ] -> m | _ -> assert false in
+    let gin = Ops.dropout_bwd ctx ~mask ~grad_out:g in
+    Tensor.release mask;
+    Tensor.release g;
+    gin
+  in
+  make "Dropout" fwd bwd
+
+let flatten _ctx =
+  let flat_shape shape =
+    match shape with
+    | n :: rest -> [ n; Shape.numel rest ]
+    | [] -> invalid_arg "Flatten: scalar input"
+  in
+  let fwd ctx l x =
+    if ctx.Ctx.training then save l [ Ops.new_tensor ctx ~name:"shape_witness" [ 1 ] Dtype.I32 ];
+    ignore ctx;
+    Tensor.reshape x (flat_shape (Tensor.shape x))
+  in
+  let bwd _ctx l g =
+    (match unsave l 1 with [ w ] -> Tensor.release w | _ -> assert false);
+    g
+  in
+  make "Flatten" fwd bwd
+
+let embedding ctx ?(file = "model.py") ?(line = 1) ~vocab ~dim ~rows_touched () =
+  let table = Tensor.create ctx.Ctx.pool ~name:"embedding.weight" [ vocab; dim ] Dtype.F32 in
+  let fwd ctx l indices =
+    let out = Ops.embedding ctx ~table ~indices ~rows_touched ~embed_dim:dim in
+    ignore l;
+    Tensor.release indices;
+    out
+  in
+  let bwd ctx l g =
+    let gtable = Ops.embedding_bwd ctx ~table ~grad_out:g ~rows_touched in
+    Tensor.release g;
+    l.grads <- l.grads @ [ gtable ];
+    (* Indices have no gradient; return a token scalar so the chain stays
+       uniform. *)
+    Ops.new_tensor ctx ~name:"grad_none" [ 1 ] Dtype.F32
+  in
+  make ~params:[ table ] ~file ~line "Embedding" fwd bwd
+
+let attention ctx ?(file = "model.py") ?(line = 1) ?(fused = false) ~embed_dim
+    ~heads ~seq () =
+  if embed_dim mod heads <> 0 then invalid_arg "Layer.attention: heads must divide dim";
+  let d = embed_dim and dh = embed_dim / heads in
+  let w_qkv = Tensor.create ctx.Ctx.pool ~name:"attn.qkv.weight" [ 3 * d; d ] Dtype.F32 in
+  let b_qkv = Tensor.create ctx.Ctx.pool ~name:"attn.qkv.bias" [ 3 * d ] Dtype.F32 in
+  let w_o = Tensor.create ctx.Ctx.pool ~name:"attn.out.weight" [ d; d ] Dtype.F32 in
+  let b_o = Tensor.create ctx.Ctx.pool ~name:"attn.out.bias" [ d ] Dtype.F32 in
+  let params = [ w_qkv; b_qkv; w_o; b_o ] in
+  if fused then begin
+    (* Flash-attention style: qkv projection, one fused kernel that streams
+       tiles through shared memory without materializing the score matrix,
+       then the output projection. *)
+    let flash direction pool m =
+      let name =
+        match direction with
+        | `Fwd -> "flash::fmha_forward_kernel"
+        | `Bwd -> "flash::fmha_backward_kernel"
+      in
+      let out = Tensor.create pool ~name:"attn_ctx" [ m; d ] Dtype.F32 in
+      (out, name)
+    in
+    let fwd ctx l x =
+      let m = Tensor.numel x / d in
+      let qkv = Ops.linear ctx ~input:x ~weight:w_qkv ~bias:(Some b_qkv) ~m ~k:d ~n:(3 * d) in
+      let ctxv, name = flash `Fwd ctx.Ctx.pool m in
+      let flash_prof =
+        Gpusim.Kernel.profile
+          ~branches:(max 1 (m * seq / 64))
+          ~divergent_branches:(max 1 (m / 64))
+          ~shared_accesses:(m * seq / 4)
+          ~bank_conflicts:(m * seq / 1024)
+          ~barrier_stall_us:(0.05 *. float_of_int (seq / 64))
+          ~value_min:(-300.0) ~value_max:300.0 ()
+      in
+      Kernels.launch ctx ~name ~prof:flash_prof ~shared_bytes:(96 * 1024)
+        ~barriers:(seq / 64)
+        ~regions:
+          [
+            Kernels.region ~accesses:(m * seq / 16 * 3) qkv;
+            Kernels.region ~rw:Kernels.Write ctxv;
+          ]
+        ~flops:(4.0 *. float_of_int m *. float_of_int seq *. float_of_int d)
+        ~work:m ();
+      let out = Ops.linear ctx ~input:ctxv ~weight:w_o ~bias:(Some b_o) ~m ~k:d ~n:d in
+      if ctx.Ctx.training then save l [ x; qkv; ctxv ]
+      else List.iter Tensor.release [ x; qkv; ctxv ];
+      out
+    in
+    let bwd ctx l g =
+      let x, qkv, ctxv =
+        match unsave l 3 with [ a; b; c ] -> (a, b, c) | _ -> assert false
+      in
+      let m = Tensor.numel x / d in
+      let g_ctxv, gw_o, gb_o =
+        Ops.linear_bwd ctx ~input:ctxv ~weight:w_o ~grad_out:g ~has_bias:true ~m ~k:d ~n:d
+      in
+      let g_qkv, name = flash `Bwd ctx.Ctx.pool m in
+      let g_qkv = Tensor.reshape g_qkv [ m; d ] in
+      Kernels.launch ctx ~name ~shared_bytes:(96 * 1024) ~barriers:(seq / 64)
+        ~regions:
+          [
+            Kernels.region ~accesses:(m * seq / 16 * 4) qkv;
+            Kernels.region g_ctxv;
+            Kernels.region ~rw:Kernels.Write g_qkv;
+          ]
+        ~flops:(8.0 *. float_of_int m *. float_of_int seq *. float_of_int d)
+        ~work:m ();
+      let gin, gw_qkv, gb_qkv =
+        Ops.linear_bwd ctx ~input:x ~weight:w_qkv ~grad_out:g_qkv ~has_bias:true ~m
+          ~k:d ~n:(3 * d)
+      in
+      List.iter Tensor.release [ g; x; qkv; ctxv; g_ctxv; g_qkv ];
+      l.grads <-
+        l.grads
+        @ [ gw_qkv ] @ Option.to_list gb_qkv @ [ gw_o ] @ Option.to_list gb_o;
+      gin
+    in
+    make ~params ~file ~line "MultiheadAttention(fused)" fwd bwd
+  end
+  else
+  let fwd ctx l x =
+    let m = Tensor.numel x / d in
+    let batch = max 1 (m / seq) in
+    let qkv = Ops.linear ctx ~input:x ~weight:w_qkv ~bias:(Some b_qkv) ~m ~k:d ~n:(3 * d) in
+    let probs =
+      Ops.bmm ctx ~a:qkv ~b:qkv ~m:(batch * heads * seq) ~n:seq ~k:dh
+        ~out_shape:[ batch; heads; seq; seq ]
+    in
+    Ops.softmax_ ctx probs;
+    let ctxv = Ops.bmm ctx ~a:probs ~b:qkv ~m ~n:d ~k:seq ~out_shape:[ m; d ] in
+    let out = Ops.linear ctx ~input:ctxv ~weight:w_o ~bias:(Some b_o) ~m ~k:d ~n:d in
+    if ctx.Ctx.training then begin
+      save l [ x; qkv; probs; ctxv ]
+    end
+    else begin
+      Tensor.release x;
+      Tensor.release qkv;
+      Tensor.release probs;
+      Tensor.release ctxv
+    end;
+    out
+  in
+  let bwd ctx l g =
+    let x, qkv, probs, ctxv =
+      match unsave l 4 with
+      | [ x; qkv; probs; ctxv ] -> (x, qkv, probs, ctxv)
+      | _ -> assert false
+    in
+    let m = Tensor.numel x / d in
+    let batch = max 1 (m / seq) in
+    let g_ctxv, gw_o, gb_o =
+      Ops.linear_bwd ctx ~input:ctxv ~weight:w_o ~grad_out:g ~has_bias:true ~m ~k:d ~n:d
+    in
+    let g_probs =
+      Ops.bmm ctx ~a:g_ctxv ~b:qkv ~m:(batch * heads * seq) ~n:seq ~k:dh
+        ~out_shape:[ batch; heads; seq; seq ]
+    in
+    let g_scores = Ops.softmax_bwd ctx ~output:probs ~grad_out:g_probs in
+    let g_qkv = Ops.bmm ctx ~a:g_scores ~b:qkv ~m ~n:(3 * d) ~k:seq ~out_shape:[ m; 3 * d ] in
+    let gin, gw_qkv, gb_qkv =
+      Ops.linear_bwd ctx ~input:x ~weight:w_qkv ~grad_out:g_qkv ~has_bias:true ~m
+        ~k:d ~n:(3 * d)
+    in
+    List.iter Tensor.release [ g; x; qkv; probs; ctxv; g_ctxv; g_probs; g_scores; g_qkv ];
+    l.grads <-
+      l.grads
+      @ [ gw_qkv ] @ Option.to_list gb_qkv @ [ gw_o ] @ Option.to_list gb_o;
+    gin
+  in
+  make ~params ~file ~line "MultiheadAttention" fwd bwd
+
+(* ----- containers ----- *)
+
+let checkpoint inner =
+  let fwd ctx l x =
+    if not ctx.Ctx.training then forward ctx inner x
+    else begin
+      (* Keep only the input; run the body in no-grad mode so nothing is
+         saved inside. *)
+      save l [ Tensor.retain x ];
+      ctx.Ctx.training <- false;
+      let out = forward ctx inner x in
+      ctx.Ctx.training <- true;
+      out
+    end
+  in
+  let bwd ctx l g =
+    let x = match unsave l 1 with [ x ] -> x | _ -> assert false in
+    (* Recompute the forward with saving enabled, then backpropagate. *)
+    let out = forward ctx inner x in
+    Tensor.release out;
+    backward ctx inner g
+  in
+  make ~children:[ inner ]
+    ~file:"torch/utils/checkpoint.py" ~line:451 "Checkpoint" fwd bwd
+
+let container_file = "torch/nn/modules/container.py"
+
+let sequential ?(name = "Sequential") layers =
+  let fwd ctx l x =
+    ignore l;
+    List.fold_left (fun acc child -> forward ctx child acc) x layers
+  in
+  let bwd ctx l g =
+    ignore l;
+    List.fold_left (fun acc child -> backward ctx child acc) g (List.rev layers)
+  in
+  make ~children:layers ~file:container_file ~line:217 name fwd bwd
+
+let residual ?(name = "Residual") ?skip body =
+  let inner = sequential ~name:(name ^ ".body") body in
+  let skip_branch = Option.map (sequential ~name:(name ^ ".downsample")) skip in
+  let fwd ctx l x =
+    ignore l;
+    let skip_v =
+      match skip_branch with
+      | None -> Tensor.retain x
+      | Some s -> forward ctx s (Tensor.retain x)
+    in
+    let y = forward ctx inner x in
+    let out = Ops.add ctx y skip_v in
+    Tensor.release y;
+    Tensor.release skip_v;
+    out
+  in
+  let bwd ctx l g =
+    ignore l;
+    let g_skip =
+      match skip_branch with
+      | None -> Tensor.retain g
+      | Some s -> backward ctx s (Tensor.retain g)
+    in
+    let g_body = backward ctx inner g in
+    let gin = Ops.add ctx g_body g_skip in
+    Tensor.release g_body;
+    Tensor.release g_skip;
+    gin
+  in
+  make
+    ~children:(inner :: Option.to_list skip_branch)
+    ~file:container_file ~line:217 name fwd bwd

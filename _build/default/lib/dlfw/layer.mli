@@ -1,0 +1,120 @@
+(** Neural-network layer substrate with a saved-activation discipline.
+
+    A layer owns its parameters, composes {!Ops} in its forward pass, and
+    implements the matching backward pass over activations it saved during
+    forward — a miniature of PyTorch's autograd at module granularity,
+    which is the right granularity for PASTA: what the profiler observes
+    is operators and kernels, not gradient formulas.
+
+    {b Ownership protocol.}  [forward ctx l x] consumes [x] (the layer
+    releases it once used, unless it must be saved for backward) and
+    returns an owned output.  [backward ctx l g] consumes [g], releases
+    the activations saved in forward, appends parameter gradients to the
+    layer's gradient list, and returns the owned input gradient.  In
+    inference mode ([ctx.training = false]) nothing is saved, so memory
+    stays flat; in training mode activations accumulate through forward
+    and drain through backward, producing the ramp-up / peak / ramp-down
+    profile of the paper's Fig. 14.
+
+    Each layer carries a simulated Python source location; [forward]
+    pushes it as a CPython frame so kernels launched inside see a full
+    Python-side stack (paper Fig. 4). *)
+
+type t = {
+  lname : string;
+  params : Tensor.t list;
+  mutable grads : Tensor.t list;
+  mutable saved : Tensor.t list;  (** activation stack, innermost last *)
+  children : t list;
+  fwd : Ctx.t -> t -> Tensor.t -> Tensor.t;
+  bwd : Ctx.t -> t -> Tensor.t -> Tensor.t;
+  py_file : string;
+  py_line : int;
+}
+
+val forward : Ctx.t -> t -> Tensor.t -> Tensor.t
+val backward : Ctx.t -> t -> Tensor.t -> Tensor.t
+
+val all_params : t -> Tensor.t list
+(** This layer's and every descendant's parameters. *)
+
+val take_grad_pairs : t -> (Tensor.t * Tensor.t) list
+(** Collect and clear (parameter, gradient) pairs; layers that produced no
+    gradients this step (frozen subtrees) contribute nothing.  Raises
+    [Invalid_argument] if a layer's gradient count mismatches its
+    parameter count. *)
+
+val param_bytes : t -> int
+
+(** {2 Constructors} *)
+
+val linear :
+  Ctx.t -> ?file:string -> ?line:int -> ?bias:bool ->
+  in_features:int -> out_features:int -> unit -> t
+
+val conv2d :
+  Ctx.t -> ?file:string -> ?line:int -> ?bias:bool ->
+  in_ch:int -> out_ch:int -> k:int -> stride:int -> pad:int ->
+  algo:[ `Im2col | `Cudnn ] -> unit -> t
+
+val relu : Ctx.t -> t
+val gelu : Ctx.t -> t
+val batchnorm : Ctx.t -> features:int -> t
+val layernorm : Ctx.t -> features:int -> t
+val maxpool : Ctx.t -> k:int -> stride:int -> t
+val avgpool_to : Ctx.t -> out_hw:int -> t
+(** Adaptive average pool to a fixed spatial size. *)
+
+val dropout : Ctx.t -> t
+val flatten : Ctx.t -> t
+(** Metadata-only reshape to [[n; rest]]. *)
+
+val embedding :
+  Ctx.t -> ?file:string -> ?line:int -> vocab:int -> dim:int ->
+  rows_touched:int -> unit -> t
+(** Input is an index tensor [[b; s]]; output is [[b*s; dim]]. *)
+
+val attention :
+  Ctx.t -> ?file:string -> ?line:int -> ?fused:bool -> embed_dim:int ->
+  heads:int -> seq:int -> unit -> t
+(** Multi-head self-attention over [[b*s; d]] activations.  With [fused]
+    the score matrix is never materialized (flash-attention style): one
+    fused kernel replaces the bmm/softmax/bmm chain, keeping the working
+    set small. *)
+
+(** {2 Extension point} *)
+
+val custom :
+  ?params:Tensor.t list ->
+  ?children:t list ->
+  ?file:string ->
+  ?line:int ->
+  name:string ->
+  fwd:(Ctx.t -> t -> Tensor.t -> Tensor.t) ->
+  bwd:(Ctx.t -> t -> Tensor.t -> Tensor.t) ->
+  unit ->
+  t
+(** Build a layer from raw forward/backward functions; model files use
+    this for model-specific glue (positional adds, cross-attention,
+    encoder-decoder roots). *)
+
+val save : t -> Tensor.t list -> unit
+(** Push activations for backward (ownership transfers to the layer). *)
+
+val unsave : t -> int -> Tensor.t list
+(** Pop the [n] most recently saved activations (in save order); raises
+    [Invalid_argument] when fewer are available. *)
+
+val checkpoint : t -> t
+(** Gradient checkpointing ([torch.utils.checkpoint]): forward runs the
+    wrapped layer without saving activations and keeps only the input;
+    backward recomputes the forward (with saving) before running the
+    wrapped backward.  Trades ~one extra forward pass for dropping the
+    layer's saved activations — the standard fix for training-memory
+    pressure. *)
+
+val sequential : ?name:string -> t list -> t
+
+val residual : ?name:string -> ?skip:t list -> t list -> t
+(** Skip connection around the given body; [skip] replaces the identity
+    shortcut with a projection branch (ResNet downsample blocks). *)

@@ -1,0 +1,59 @@
+module H = Gpusim.Hostctx
+
+type t = {
+  name : string;
+  abbr : string;
+  root : Layer.t;
+  make_input : Ctx.t -> Tensor.t;
+  batch : int;
+}
+
+let script_frame m phase =
+  {
+    H.file = Printf.sprintf "models/%s/run_%s.py" (String.lowercase_ascii m.abbr) (String.lowercase_ascii m.abbr);
+    line = (match phase with `Test -> 146 | `Train -> 177);
+    symbol =
+      (match phase with
+      | `Test -> Printf.sprintf "def test_%s()" (String.lowercase_ascii m.abbr)
+      | `Train -> Printf.sprintf "def train_%s()" (String.lowercase_ascii m.abbr));
+  }
+
+let forward ctx m =
+  H.with_frame H.Python (script_frame m `Test) @@ fun () ->
+  Layer.forward ctx m.root (m.make_input ctx)
+
+let inference_iter ctx m =
+  ctx.Ctx.training <- false;
+  let logits = forward ctx m in
+  Tensor.release logits;
+  Gpusim.Device.synchronize ctx.Ctx.device
+
+let train_iter_full ctx m ?optimizer ~before_opt () =
+  H.with_frame H.Python (script_frame m `Train) @@ fun () ->
+  ctx.Ctx.training <- true;
+  let logits = Layer.forward ctx m.root (m.make_input ctx) in
+  let loss = Ops.cross_entropy ctx ~logits in
+  let grad_logits = Ops.cross_entropy_bwd ctx ~logits in
+  Tensor.release loss;
+  Tensor.release logits;
+  let grad_in = Layer.backward ctx m.root grad_logits in
+  Tensor.release grad_in;
+  let pairs = Layer.take_grad_pairs m.root in
+  before_opt pairs;
+  (match optimizer with
+  | Some opt -> Optimizer.step opt ctx pairs
+  | None ->
+      let params, grads = List.split pairs in
+      Ops.sgd_step ctx ~params ~grads);
+  List.iter (fun (_, g) -> Tensor.release g) pairs;
+  ctx.Ctx.training <- false;
+  Gpusim.Device.synchronize ctx.Ctx.device
+
+let train_iter_hooked ctx m ~before_opt = train_iter_full ctx m ~before_opt ()
+let train_iter ctx m = train_iter_full ctx m ~before_opt:ignore ()
+let train_iter_opt ctx m ~optimizer = train_iter_full ctx m ~optimizer ~before_opt:ignore ()
+
+let param_bytes m = Layer.param_bytes m.root
+
+let param_count m =
+  List.fold_left (fun acc p -> acc + Tensor.numel p) 0 (Layer.all_params m.root)

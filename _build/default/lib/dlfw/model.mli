@@ -1,0 +1,36 @@
+(** Model wrapper: a built network plus its input pipeline and loss,
+    with single-call inference and training iterations.
+
+    Iterations follow PyTorch lifetime semantics: inference frees every
+    activation as soon as it is consumed (flat memory profile); training
+    accumulates saved activations through forward, drains them through
+    backward, materializes gradients, applies a fused SGD step and frees
+    the gradients — the ramp-up / peak / ramp-down shape of the paper's
+    Fig. 14. *)
+
+type t = {
+  name : string;
+  abbr : string;  (** paper Table IV abbreviation, e.g. "RN-18" *)
+  root : Layer.t;
+  make_input : Ctx.t -> Tensor.t;
+  batch : int;
+}
+
+val forward : Ctx.t -> t -> Tensor.t
+(** Run one forward pass on a fresh input; returns the owned logits. *)
+
+val inference_iter : Ctx.t -> t -> unit
+val train_iter : Ctx.t -> t -> unit
+
+val train_iter_hooked :
+  Ctx.t -> t -> before_opt:((Tensor.t * Tensor.t) list -> unit) -> unit
+(** Like {!train_iter} but calls [before_opt] with the (parameter,
+    gradient) pairs before the optimizer step — the hook data-parallel
+    training uses to all-reduce gradients. *)
+
+val train_iter_opt : Ctx.t -> t -> optimizer:Optimizer.t -> unit
+(** Like {!train_iter} but stepping the given optimizer (e.g. Adam with
+    its persistent moment state) instead of plain fused SGD. *)
+
+val param_bytes : t -> int
+val param_count : t -> int

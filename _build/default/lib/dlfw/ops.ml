@@ -1,0 +1,505 @@
+module H = Gpusim.Hostctx
+
+type conv_cfg = {
+  n : int;
+  c : int;
+  h : int;
+  w : int;
+  oc : int;
+  kh : int;
+  kw : int;
+  stride : int;
+  pad : int;
+  algo : [ `Im2col | `Cudnn ];
+  benchmark_search : bool;
+}
+
+let conv_out_dims cfg =
+  let oh = ((cfg.h + (2 * cfg.pad) - cfg.kh) / cfg.stride) + 1 in
+  let ow = ((cfg.w + (2 * cfg.pad) - cfg.kw) / cfg.stride) + 1 in
+  if oh <= 0 || ow <= 0 then invalid_arg "Ops.conv_out_dims: degenerate geometry";
+  (oh, ow)
+
+let record (ctx : Ctx.t) name f =
+  let seq = Callbacks.next_op_seq () in
+  let device_id = Gpusim.Device.id ctx.Ctx.device in
+  Callbacks.record_function { Callbacks.op_name = name; phase = `Begin; device_id; seq };
+  let finish () =
+    Callbacks.record_function { Callbacks.op_name = name; phase = `End; device_id; seq }
+  in
+  match f () with
+  | v ->
+      finish ();
+      v
+  | exception e ->
+      finish ();
+      raise e
+
+let new_tensor (ctx : Ctx.t) ?name shape dtype = Tensor.create ctx.Ctx.pool ?name shape dtype
+
+(* Native dispatch frames, innermost last in the list we push. *)
+let with_native_frames frames f =
+  let rec go = function
+    | [] -> f ()
+    | (file, line, symbol) :: rest ->
+        H.with_frame H.Native { H.file; line; symbol } (fun () -> go rest)
+  in
+  go frames
+
+let gemm_frames =
+  [
+    ("torch/build/aten/src/ATen/RegisterCUDA.cpp", 17434, "wrapper_CUDA_addmm");
+    ("torch/aten/src/ATen/native/cuda/Blas.cpp", 281, "addmm_out_cuda_impl");
+    ("torch/aten/src/ATen/cuda/CUDABlas.cpp", 771, "at::cuda::blas::gemm_and_bias()");
+  ]
+
+let conv_frames =
+  [
+    ("torch/build/aten/src/ATen/RegisterCUDA.cpp", 9912, "wrapper_CUDA_convolution");
+    ("torch/aten/src/ATen/native/cudnn/Conv_v8.cpp", 403, "raw_cudnn_convolution_forward");
+  ]
+
+let elementwise_frames op =
+  [ ("torch/aten/src/ATen/native/cuda/CUDALoops.cuh", 312, "gpu_kernel_impl<" ^ op ^ ">") ]
+
+(* ----- forward ----- *)
+
+let big_gemm_threshold = 1 lsl 20
+let cublaslt_workspace_bytes = 64 * 1024 * 1024
+let rocblas_scratch_bytes = 32 * 1024 * 1024
+
+let cublaslt_workspace ctx =
+  match ctx.Ctx.cublaslt_workspace with
+  | Some ws -> ws
+  | None ->
+      let ws =
+        new_tensor ctx ~name:"cublaslt_workspace" [ cublaslt_workspace_bytes / 4 ]
+          Dtype.F32
+      in
+      ctx.Ctx.cublaslt_workspace <- Some ws;
+      ws
+
+let linear ctx ~input ~weight ~bias ~m ~k ~n =
+  record ctx "aten::addmm" @@ fun () ->
+  with_native_frames gemm_frames @@ fun () ->
+  let out = new_tensor ctx ~name:"addmm_out" [ m; n ] Dtype.F32 in
+  (match Ctx.vendor ctx with
+  | Gpusim.Arch.Nvidia ->
+      (* cuBLASLt: a persistent workspace and a fused bias epilogue. *)
+      let unused_args =
+        if m * n >= big_gemm_threshold then [ cublaslt_workspace ctx ] else []
+      in
+      Kernels.gemm ctx ?fused_bias:bias ~unused_args ~m ~n ~k ~a:input ~b:weight
+        ~c:out ()
+  | Gpusim.Arch.Amd ->
+      (* rocBLAS: transient per-call scratch and a separate bias kernel —
+         more allocator traffic, smaller persistent footprint (Fig. 14). *)
+      let scratch =
+        if m * n >= big_gemm_threshold then
+          Some (new_tensor ctx ~name:"rocblas_scratch" [ rocblas_scratch_bytes / 4 ] Dtype.F32)
+        else None
+      in
+      Kernels.gemm ctx ?unused_args:(Option.map (fun t -> [ t ]) scratch) ~m ~n ~k
+        ~a:input ~b:weight ~c:out ();
+      (match bias with
+      | Some b -> Kernels.elementwise ctx ~op:"add_bias" ~ins:[ out; b ] ~out
+      | None -> ());
+      Option.iter Tensor.release scratch
+  | Gpusim.Arch.Google ->
+      (* XLA fuses the bias into the dot and manages scratch itself. *)
+      Kernels.gemm ctx ?fused_bias:bias ~m ~n ~k ~a:input ~b:weight ~c:out ());
+  out
+
+let bmm ctx ~a ~b ~m ~n ~k ~out_shape =
+  record ctx "aten::bmm" @@ fun () ->
+  with_native_frames gemm_frames @@ fun () ->
+  let out = new_tensor ctx ~name:"bmm_out" out_shape Dtype.F32 in
+  Kernels.gemm ctx ~m ~n ~k ~a ~b ~c:out ();
+  out
+
+let cudnn_workspace_bytes = 1024 * 1024 * 1024
+
+let cudnn_workspace ctx =
+  match ctx.Ctx.cudnn_workspace with
+  | Some ws -> ws
+  | None ->
+      let ws =
+        new_tensor ctx ~name:"cudnn_workspace" [ cudnn_workspace_bytes / 4 ] Dtype.F32
+      in
+      ctx.Ctx.cudnn_workspace <- Some ws;
+      ws
+
+let conv2d ctx ~input ~weight ~bias ~cfg =
+  record ctx "aten::convolution" @@ fun () ->
+  with_native_frames conv_frames @@ fun () ->
+  let oh, ow = conv_out_dims cfg in
+  let out = new_tensor ctx ~name:"conv_out" [ cfg.n; cfg.oc; oh; ow ] Dtype.F32 in
+  (match cfg.algo with
+  | `Im2col ->
+      (* aten fallback: one im2col launch per image into a whole-batch
+         column buffer, then a single batched GEMM. *)
+      let kk = cfg.c * cfg.kh * cfg.kw in
+      let col = new_tensor ctx ~name:"im2col_buffer" [ cfg.n; kk; oh * ow ] Dtype.F32 in
+      for _img = 1 to cfg.n do
+        Kernels.im2col ctx ~input ~col
+      done;
+      Kernels.gemm ctx ?fused_bias:bias ~m:cfg.oc ~n:(cfg.n * oh * ow) ~k:kk
+        ~a:weight ~b:col ~c:out ();
+      Tensor.release col
+  | `Cudnn -> (
+      let ws = cudnn_workspace ctx in
+      (match Ctx.vendor ctx with
+      | Gpusim.Arch.Nvidia ->
+          (* Benchmark-mode search on the first call for this layer: the
+             algorithm sweep stages layouts through the whole shared
+             workspace.  Later calls reuse the cached algorithm. *)
+          if cfg.benchmark_search then
+            Kernels.launch ctx ~name:"cudnn::ops::nchwToNhwcKernel"
+              ~regions:[ Kernels.region ~rw:Kernels.Write ws ]
+              ~flops:0.0
+              ~work:(Tensor.numel input) ();
+          let conv_prof =
+            let work = Tensor.numel out in
+            let kk = cfg.c * cfg.kh * cfg.kw in
+            Gpusim.Kernel.profile
+              ~branches:(max 1 (work / 256 * cfg.kh * cfg.kw))
+              ~divergent_branches:(max 1 (work / 256 / 8))
+              ~shared_accesses:(work * cfg.kh * cfg.kw)
+              ~bank_conflicts:(work * cfg.kh * cfg.kw / 128)
+              ~barrier_stall_us:(2.0 *. float_of_int (cfg.kh * cfg.kw))
+              ~value_min:(-4.0 *. sqrt (float_of_int kk))
+              ~value_max:(4.0 *. sqrt (float_of_int kk))
+              ()
+          in
+          Kernels.launch ctx
+            ~name:"sm80_xmma_fprop_implicit_gemm_f32f32_tf32"
+            ~unused_args:[ ws ] ~shared_bytes:(64 * 1024) ~prof:conv_prof
+            ~barriers:(cfg.kh * cfg.kw)
+            ~regions:
+              [
+                Kernels.region ~accesses:(Tensor.numel out * cfg.kh * cfg.kw) input;
+                Kernels.region ~accesses:(Tensor.numel out * cfg.c / 8) weight;
+                Kernels.region ~rw:Kernels.Write out;
+              ]
+            ~flops:
+              (2.0 *. float_of_int (Tensor.numel out) *. float_of_int (cfg.c * cfg.kh * cfg.kw))
+            ~work:(Tensor.numel out) ()
+      | Gpusim.Arch.Google ->
+          (* XLA lowers convolution to one fused program. *)
+          Kernels.launch ctx ~name:"xla::conv_general_dilated"
+            ~unused_args:[ ws ]
+            ~regions:
+              [
+                Kernels.region ~accesses:(Tensor.numel out * cfg.kh * cfg.kw) input;
+                Kernels.region ~accesses:(Tensor.numel out * cfg.c / 8) weight;
+                Kernels.region ~rw:Kernels.Write out;
+              ]
+            ~flops:
+              (2.0 *. float_of_int (Tensor.numel out)
+              *. float_of_int (cfg.c * cfg.kh * cfg.kw))
+            ~work:(Tensor.numel out) ()
+      | Gpusim.Arch.Amd ->
+          (* MIOpen allocates a transient per-call workspace and issues a
+             separate transform + conv pair: more allocator traffic. *)
+          let scratch =
+            new_tensor ctx ~name:"miopen_scratch" [ max 1 (Tensor.numel out / 2) ] Dtype.F32
+          in
+          Kernels.launch ctx ~name:"miopen::transpose_NCHW2CNHW"
+            ~regions:[ Kernels.region ~rw:Kernels.Write scratch ]
+            ~flops:0.0 ~work:(Tensor.numel input) ();
+          Kernels.launch ctx ~name:"miopen::MIOpenConvUniC"
+            ~unused_args:[ ws ]
+            ~regions:
+              [
+                Kernels.region ~accesses:(Tensor.numel out * cfg.kh * cfg.kw) input;
+                Kernels.region ~accesses:(Tensor.numel out * cfg.c / 8) weight;
+                Kernels.region ~rw:Kernels.Write out;
+              ]
+            ~flops:
+              (2.0 *. float_of_int (Tensor.numel out) *. float_of_int (cfg.c * cfg.kh * cfg.kw))
+            ~work:(Tensor.numel out) ();
+          Tensor.release scratch);
+      match bias with
+      | Some b -> Kernels.elementwise ctx ~op:"add_bias" ~ins:[ out; b ] ~out
+      | None -> ()));
+  out
+
+let relu ctx input =
+  record ctx "aten::relu" @@ fun () ->
+  with_native_frames (elementwise_frames "relu") @@ fun () ->
+  let out = new_tensor ctx ~name:"relu_out" (Tensor.shape input) (Tensor.dtype input) in
+  Kernels.elementwise ctx ~op:"relu" ~ins:[ input ] ~out;
+  out
+
+let gelu ctx input =
+  record ctx "aten::gelu" @@ fun () ->
+  with_native_frames (elementwise_frames "gelu") @@ fun () ->
+  let out = new_tensor ctx ~name:"gelu_out" (Tensor.shape input) (Tensor.dtype input) in
+  Kernels.elementwise ctx ~op:"gelu" ~ins:[ input ] ~out;
+  out
+
+let add ctx a b =
+  record ctx "aten::add" @@ fun () ->
+  with_native_frames (elementwise_frames "add") @@ fun () ->
+  let out = new_tensor ctx ~name:"add_out" (Tensor.shape a) (Tensor.dtype a) in
+  Kernels.elementwise ctx ~op:"add" ~ins:[ a; b ] ~out;
+  out
+
+let batchnorm ctx ~input ~scale =
+  record ctx "aten::batch_norm" @@ fun () ->
+  let out = new_tensor ctx ~name:"bn_out" (Tensor.shape input) (Tensor.dtype input) in
+  Kernels.batchnorm_stats ctx ~input ~stats:scale;
+  Kernels.batchnorm_apply ctx ~input ~stats:scale ~out;
+  out
+
+let layernorm ctx ~input ~scale =
+  record ctx "aten::layer_norm" @@ fun () ->
+  let out = new_tensor ctx ~name:"ln_out" (Tensor.shape input) (Tensor.dtype input) in
+  let n_ln = Tensor.numel input in
+  Kernels.launch ctx ~name:"at::native::(anonymous namespace)::vectorized_layer_norm_kernel"
+    ~prof:
+      (Gpusim.Kernel.profile
+         ~branches:(max 1 (n_ln / 32 * 2))
+         ~divergent_branches:(max 1 (n_ln / 1024))
+         ~shared_accesses:(max 1 (n_ln / 4))
+         ~bank_conflicts:(n_ln / 512) ~barrier_stall_us:3.0 ~value_min:(-24.0)
+         ~value_max:24.0 ())
+    ~barriers:2
+    ~regions:
+      [
+        Kernels.region ~accesses:(2 * Tensor.numel input) input;
+        Kernels.region scale;
+        Kernels.region ~rw:Kernels.Write out;
+      ]
+    ~flops:(4.0 *. float_of_int (Tensor.numel input))
+    ~work:(Tensor.numel input) ();
+  out
+
+let softmax ctx input =
+  record ctx "aten::softmax" @@ fun () ->
+  let out = new_tensor ctx ~name:"softmax_out" (Tensor.shape input) (Tensor.dtype input) in
+  Kernels.softmax ctx ~direction:`Fwd ~src:input ~dst:out;
+  out
+
+let softmax_ ctx t =
+  record ctx "aten::softmax_" @@ fun () ->
+  Kernels.softmax ctx ~direction:`Fwd ~src:t ~dst:t
+
+let dropout ctx input =
+  record ctx "aten::dropout" @@ fun () ->
+  let out = new_tensor ctx ~name:"dropout_out" (Tensor.shape input) (Tensor.dtype input) in
+  let mask = new_tensor ctx ~name:"dropout_mask" (Tensor.shape input) Dtype.U8 in
+  let n_drop = Tensor.numel input in
+  Kernels.launch ctx ~name:"at::native::(anonymous namespace)::fused_dropout_kernel"
+    ~prof:
+      (Gpusim.Kernel.profile ~branches:n_drop ~divergent_branches:(n_drop / 2)
+         ~value_min:(-8.0) ~value_max:8.0 ())
+    ~regions:
+      [
+        Kernels.region input;
+        Kernels.region ~rw:Kernels.Write out;
+        Kernels.region ~rw:Kernels.Write mask;
+      ]
+    ~flops:(float_of_int (Tensor.numel input))
+    ~work:(Tensor.numel input) ();
+  (out, mask)
+
+let maxpool ctx ~input ~out_shape =
+  record ctx "aten::max_pool2d" @@ fun () ->
+  let out = new_tensor ctx ~name:"maxpool_out" out_shape (Tensor.dtype input) in
+  Kernels.pool ctx ~kind:`Max ~input ~out;
+  out
+
+let avgpool ctx ~input ~out_shape =
+  record ctx "aten::avg_pool2d" @@ fun () ->
+  let out = new_tensor ctx ~name:"avgpool_out" out_shape (Tensor.dtype input) in
+  Kernels.pool ctx ~kind:`Avg ~input ~out;
+  out
+
+let embedding ctx ~table ~indices ~rows_touched ~embed_dim =
+  record ctx "aten::embedding" @@ fun () ->
+  let n_idx = Tensor.numel indices in
+  let out = new_tensor ctx ~name:"embedding_out" [ n_idx; embed_dim ] Dtype.F32 in
+  let row_bytes = embed_dim * 4 in
+  Kernels.gather ctx ~table ~touched_bytes:(rows_touched * row_bytes) ~indices ~out;
+  out
+
+let cross_entropy ctx ~logits =
+  record ctx "aten::cross_entropy_loss" @@ fun () ->
+  let probs = new_tensor ctx ~name:"log_softmax_out" (Tensor.shape logits) Dtype.F32 in
+  Kernels.softmax ctx ~direction:`Fwd ~src:logits ~dst:probs;
+  let loss = new_tensor ctx ~name:"loss" [ 1 ] Dtype.F32 in
+  (* aten zero-initializes the loss accumulator with its own tiny kernel —
+     the 512 B minimum working set of the paper's training rows. *)
+  Kernels.fill ctx loss;
+  Kernels.reduce ctx ~op:"nll_loss" ~src:probs ~dst:loss;
+  Tensor.release probs;
+  loss
+
+(* ----- backward ----- *)
+
+let linear_bwd ctx ~input ~weight ~grad_out ~has_bias ~m ~k ~n =
+  record ctx "aten::addmm_backward" @@ fun () ->
+  with_native_frames gemm_frames @@ fun () ->
+  let grad_in = new_tensor ctx ~name:"grad_input" [ m; k ] Dtype.F32 in
+  Kernels.gemm ctx ~m ~n:k ~k:n ~a:grad_out ~b:weight ~c:grad_in ();
+  let grad_w = new_tensor ctx ~name:"grad_weight" (Tensor.shape weight) Dtype.F32 in
+  Kernels.gemm ctx ~m:k ~n ~k:m ~a:input ~b:grad_out ~c:grad_w ();
+  let grad_b =
+    if has_bias then begin
+      let gb = new_tensor ctx ~name:"grad_bias" [ n ] Dtype.F32 in
+      Kernels.reduce ctx ~op:"sum_bias" ~src:grad_out ~dst:gb;
+      Some gb
+    end
+    else None
+  in
+  (grad_in, grad_w, grad_b)
+
+let conv2d_bwd ctx ~input ~weight ~grad_out ~has_bias ~cfg =
+  record ctx "aten::convolution_backward" @@ fun () ->
+  with_native_frames conv_frames @@ fun () ->
+  let oh, ow = conv_out_dims cfg in
+  let kk = cfg.c * cfg.kh * cfg.kw in
+  let grad_in = new_tensor ctx ~name:"grad_input" (Tensor.shape input) Dtype.F32 in
+  let grad_w = new_tensor ctx ~name:"grad_weight" (Tensor.shape weight) Dtype.F32 in
+  (match cfg.algo with
+  | `Im2col ->
+      (* dgrad: GEMM into a column buffer, then col2im. *)
+      let col = new_tensor ctx ~name:"col_buffer_bwd" [ cfg.n; kk; oh * ow ] Dtype.F32 in
+      Kernels.gemm ctx ~m:kk ~n:(cfg.n * oh * ow) ~k:cfg.oc ~a:weight ~b:grad_out
+        ~c:col ();
+      Kernels.col2im ctx ~col ~output:grad_in;
+      (* wgrad: recompute im2col of the input, then GEMM. *)
+      for _img = 1 to cfg.n do
+        Kernels.im2col ctx ~input ~col
+      done;
+      Kernels.gemm ctx ~m:cfg.oc ~n:kk ~k:(cfg.n * oh * ow) ~a:grad_out ~b:col
+        ~c:grad_w ();
+      Tensor.release col
+  | `Cudnn ->
+      let ws = cudnn_workspace ctx in
+      Kernels.launch ctx ~name:"sm80_xmma_dgrad_implicit_gemm_f32f32_tf32"
+        ~unused_args:[ ws ] ~shared_bytes:(64 * 1024)
+        ~regions:
+          [
+            Kernels.region ~accesses:(Tensor.numel grad_in * cfg.kh * cfg.kw) grad_out;
+            Kernels.region weight;
+            Kernels.region ~rw:Kernels.Write grad_in;
+          ]
+        ~flops:(2.0 *. float_of_int (Tensor.numel grad_in) *. float_of_int kk)
+        ~work:(Tensor.numel grad_in) ();
+      Kernels.launch ctx ~name:"sm80_xmma_wgrad_implicit_gemm_f32f32_tf32"
+        ~unused_args:[ ws ] ~shared_bytes:(64 * 1024)
+        ~regions:
+          [
+            Kernels.region ~accesses:(Tensor.numel grad_out * cfg.kh * cfg.kw) input;
+            Kernels.region grad_out;
+            Kernels.region ~rw:Kernels.Write grad_w;
+          ]
+        ~flops:(2.0 *. float_of_int (Tensor.numel grad_out) *. float_of_int kk)
+        ~work:(Tensor.numel grad_w) ());
+  let grad_b =
+    if has_bias then begin
+      let gb = new_tensor ctx ~name:"grad_bias" [ cfg.oc ] Dtype.F32 in
+      Kernels.reduce ctx ~op:"sum_bias" ~src:grad_out ~dst:gb;
+      Some gb
+    end
+    else None
+  in
+  (grad_in, grad_w, grad_b)
+
+let relu_bwd ctx ~output ~grad_out =
+  record ctx "aten::threshold_backward" @@ fun () ->
+  let grad_in = new_tensor ctx ~name:"grad_relu" (Tensor.shape grad_out) Dtype.F32 in
+  Kernels.elementwise ctx ~op:"threshold_backward" ~ins:[ output; grad_out ]
+    ~out:grad_in;
+  grad_in
+
+let gelu_bwd ctx ~input ~grad_out =
+  record ctx "aten::gelu_backward" @@ fun () ->
+  let grad_in = new_tensor ctx ~name:"grad_gelu" (Tensor.shape grad_out) Dtype.F32 in
+  Kernels.elementwise ctx ~op:"gelu_backward" ~ins:[ input; grad_out ] ~out:grad_in;
+  grad_in
+
+let batchnorm_bwd ctx ~input ~scale ~grad_out =
+  record ctx "aten::native_batch_norm_backward" @@ fun () ->
+  let grad_in = new_tensor ctx ~name:"grad_bn" (Tensor.shape input) Dtype.F32 in
+  Kernels.batchnorm_stats ctx ~input:grad_out ~stats:scale;
+  Kernels.batchnorm_apply ctx ~input:grad_out ~stats:scale ~out:grad_in;
+  grad_in
+
+let layernorm_bwd ctx ~input ~scale ~grad_out =
+  record ctx "aten::native_layer_norm_backward" @@ fun () ->
+  let grad_in = new_tensor ctx ~name:"grad_ln" (Tensor.shape input) Dtype.F32 in
+  Kernels.launch ctx ~name:"at::native::(anonymous namespace)::layer_norm_grad_input_kernel"
+    ~barriers:2
+    ~regions:
+      [
+        Kernels.region input;
+        Kernels.region scale;
+        Kernels.region grad_out;
+        Kernels.region ~rw:Kernels.Write grad_in;
+      ]
+    ~flops:(6.0 *. float_of_int (Tensor.numel input))
+    ~work:(Tensor.numel input) ();
+  grad_in
+
+let softmax_bwd ctx ~output ~grad_out =
+  record ctx "aten::_softmax_backward_data" @@ fun () ->
+  let grad_in = new_tensor ctx ~name:"grad_softmax" (Tensor.shape output) Dtype.F32 in
+  Kernels.softmax ctx ~direction:`Bwd ~src:grad_out ~dst:grad_in;
+  ignore output;
+  grad_in
+
+let dropout_bwd ctx ~mask ~grad_out =
+  record ctx "aten::native_dropout_backward" @@ fun () ->
+  let grad_in = new_tensor ctx ~name:"grad_dropout" (Tensor.shape grad_out) Dtype.F32 in
+  Kernels.elementwise ctx ~op:"masked_scale" ~ins:[ mask; grad_out ] ~out:grad_in;
+  grad_in
+
+let maxpool_bwd ctx ~grad_out ~in_shape =
+  record ctx "aten::max_pool2d_with_indices_backward" @@ fun () ->
+  let grad_in = new_tensor ctx ~name:"grad_maxpool" in_shape Dtype.F32 in
+  Kernels.pool_bwd ctx ~kind:`Max ~grad_out ~grad_in;
+  grad_in
+
+let avgpool_bwd ctx ~grad_out ~in_shape =
+  record ctx "aten::avg_pool2d_backward" @@ fun () ->
+  let grad_in = new_tensor ctx ~name:"grad_avgpool" in_shape Dtype.F32 in
+  Kernels.pool_bwd ctx ~kind:`Avg ~grad_out ~grad_in;
+  grad_in
+
+let embedding_bwd ctx ~table ~grad_out ~rows_touched =
+  record ctx "aten::embedding_dense_backward" @@ fun () ->
+  let grad_table = new_tensor ctx ~name:"grad_embedding" (Tensor.shape table) Dtype.F32 in
+  Kernels.fill ctx grad_table;
+  let row_bytes =
+    match Tensor.shape table with
+    | _ :: dim :: _ -> dim * 4
+    | _ -> 4
+  in
+  Kernels.launch ctx ~name:"at::native::(anonymous namespace)::embedding_backward_kernel"
+    ~regions:
+      [
+        Kernels.region grad_out;
+        Kernels.region ~rw:Kernels.Write ~extent:(rows_touched * row_bytes)
+          ~pattern:Gpusim.Kernel.Random grad_table;
+      ]
+    ~flops:(float_of_int (Tensor.numel grad_out))
+    ~work:(Tensor.numel grad_out) ();
+  grad_table
+
+let cross_entropy_bwd ctx ~logits =
+  record ctx "aten::nll_loss_backward" @@ fun () ->
+  let grad_logits = new_tensor ctx ~name:"grad_logits" (Tensor.shape logits) Dtype.F32 in
+  Kernels.elementwise ctx ~op:"nll_loss_backward" ~ins:[ logits ] ~out:grad_logits;
+  grad_logits
+
+(* ----- optimizer ----- *)
+
+let sgd_step ctx ~params ~grads =
+  record ctx "optimizer::sgd_step" @@ fun () -> Kernels.sgd_step ctx ~params ~grads
+
+let zero_grad ctx tensors =
+  record ctx "optimizer::zero_grad" @@ fun () ->
+  List.iter (fun t -> Kernels.fill ctx t) tensors

@@ -1,0 +1,62 @@
+type kind = Sgd | Adam
+
+type t = {
+  kind : kind;
+  moments : (int, Tensor.t * Tensor.t) Hashtbl.t; (* param tensor id -> (m, v) *)
+}
+
+let sgd () = { kind = Sgd; moments = Hashtbl.create 1 }
+let adam () = { kind = Adam; moments = Hashtbl.create 64 }
+
+let name t = match t.kind with Sgd -> "sgd" | Adam -> "adam"
+
+let state_bytes t =
+  Hashtbl.fold (fun _ (m, v) acc -> acc + Tensor.bytes m + Tensor.bytes v) t.moments 0
+
+let moments_for t ctx p =
+  match Hashtbl.find_opt t.moments (Tensor.id p) with
+  | Some mv -> mv
+  | None ->
+      let m = Tensor.create ctx.Ctx.pool ~name:"adam.exp_avg" (Tensor.shape p) Dtype.F32 in
+      let v = Tensor.create ctx.Ctx.pool ~name:"adam.exp_avg_sq" (Tensor.shape p) Dtype.F32 in
+      Kernels.fill ctx m;
+      Kernels.fill ctx v;
+      Hashtbl.add t.moments (Tensor.id p) (m, v);
+      (m, v)
+
+let step t ctx pairs =
+  match t.kind with
+  | Sgd ->
+      let params, grads = List.split pairs in
+      if params <> [] then Ops.sgd_step ctx ~params ~grads
+  | Adam ->
+      Ops.record ctx "optimizer::adam_step" @@ fun () ->
+      (* One fused multi-tensor kernel over params, grads and both moment
+         buffers, like apex/fused Adam. *)
+      let regions =
+        List.concat_map
+          (fun (p, g) ->
+            let m, v = moments_for t ctx p in
+            [
+              Kernels.region ~rw:Kernels.Write p;
+              Kernels.region ~rw:Kernels.Read g;
+              Kernels.region ~rw:Kernels.Write m;
+              Kernels.region ~rw:Kernels.Write v;
+            ])
+          pairs
+      in
+      if regions <> [] then begin
+        let work = List.fold_left (fun acc (p, _) -> acc + Tensor.numel p) 0 pairs in
+        Kernels.launch ctx ~name:"at::native::multi_tensor_apply_kernel<adam>"
+          ~regions
+          ~flops:(8.0 *. float_of_int work)
+          ~work ()
+      end
+
+let destroy t =
+  Hashtbl.iter
+    (fun _ (m, v) ->
+      Tensor.release m;
+      Tensor.release v)
+    t.moments;
+  Hashtbl.reset t.moments

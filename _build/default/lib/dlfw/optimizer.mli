@@ -1,0 +1,26 @@
+(** Optimizers.
+
+    SGD applies one fused multi-tensor kernel.  Adam additionally owns
+    persistent first/second-moment state — two extra tensors per
+    parameter, lazily allocated on the first step — which is why switching
+    optimizer visibly moves a model's memory footprint (the effect the
+    allocator-timeline tools must be able to show). *)
+
+type t
+
+val sgd : unit -> t
+
+val adam : unit -> t
+(** Fresh Adam state; moments are allocated on the first {!step}. *)
+
+val name : t -> string
+
+val state_bytes : t -> int
+(** Persistent optimizer-state bytes currently held (0 for SGD). *)
+
+val step : t -> Ctx.t -> (Tensor.t * Tensor.t) list -> unit
+(** Apply one update over (parameter, gradient) pairs.  Gradients are
+    read, parameters written; the caller still owns both. *)
+
+val destroy : t -> unit
+(** Release optimizer state. *)

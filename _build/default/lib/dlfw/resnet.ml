@@ -1,0 +1,66 @@
+let file = "models/resnet/model.py"
+
+let conv ctx ~line ~in_ch ~out_ch ~k ~stride ~pad =
+  Layer.conv2d ctx ~file ~line ~bias:false ~in_ch ~out_ch ~k ~stride ~pad
+    ~algo:`Cudnn ()
+
+let basic_block ctx ~in_ch ~out_ch ~stride =
+  let body =
+    [
+      conv ctx ~line:41 ~in_ch ~out_ch ~k:3 ~stride ~pad:1;
+      Layer.batchnorm ctx ~features:out_ch;
+      Layer.relu ctx;
+      conv ctx ~line:44 ~in_ch:out_ch ~out_ch ~k:3 ~stride:1 ~pad:1;
+      Layer.batchnorm ctx ~features:out_ch;
+    ]
+  in
+  let skip =
+    if stride <> 1 || in_ch <> out_ch then
+      Some
+        [
+          conv ctx ~line:48 ~in_ch ~out_ch ~k:1 ~stride ~pad:0;
+          Layer.batchnorm ctx ~features:out_ch;
+        ]
+    else None
+  in
+  Layer.sequential ~name:"BasicBlock"
+    [ Layer.residual ~name:"BasicBlock.residual" ?skip body; Layer.relu ctx ]
+
+let stage ctx ~count ~in_ch ~out_ch ~stride =
+  List.init count (fun i ->
+      basic_block ctx
+        ~in_ch:(if i = 0 then in_ch else out_ch)
+        ~out_ch
+        ~stride:(if i = 0 then stride else 1))
+
+let build ~name ~abbr ~blocks ?(batch = 32) ctx =
+  let b1, b2, b3, b4 = blocks in
+  let root =
+    Layer.sequential ~name
+      ([
+         conv ctx ~line:12 ~in_ch:3 ~out_ch:64 ~k:7 ~stride:2 ~pad:3;
+         Layer.batchnorm ctx ~features:64;
+         Layer.relu ctx;
+         Layer.maxpool ctx ~k:3 ~stride:2;
+       ]
+      @ stage ctx ~count:b1 ~in_ch:64 ~out_ch:64 ~stride:1
+      @ stage ctx ~count:b2 ~in_ch:64 ~out_ch:128 ~stride:2
+      @ stage ctx ~count:b3 ~in_ch:128 ~out_ch:256 ~stride:2
+      @ stage ctx ~count:b4 ~in_ch:256 ~out_ch:512 ~stride:2
+      @ [
+          Layer.avgpool_to ctx ~out_hw:1;
+          Layer.flatten ctx;
+          Layer.linear ctx ~file ~line:77 ~in_features:512 ~out_features:1000 ();
+        ])
+  in
+  {
+    Model.name;
+    abbr;
+    root;
+    make_input =
+      (fun ctx -> Ops.new_tensor ctx ~name:"input_images" [ batch; 3; 224; 224 ] Dtype.F32);
+    batch;
+  }
+
+let build18 ?batch ctx = build ~name:"ResNet18" ~abbr:"RN-18" ~blocks:(2, 2, 2, 2) ?batch ctx
+let build34 ?batch ctx = build ~name:"ResNet34" ~abbr:"RN-34" ~blocks:(3, 4, 6, 3) ?batch ctx

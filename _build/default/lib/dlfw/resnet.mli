@@ -1,0 +1,6 @@
+(** ResNet-18 and ResNet-34 (paper Table IV: CNN, residual blocks,
+    batch 32).  Convolutions take the cuDNN/MIOpen implicit-GEMM path with
+    the shared 1 GiB benchmark workspace. *)
+
+val build18 : ?batch:int -> Ctx.t -> Model.t
+val build34 : ?batch:int -> Ctx.t -> Model.t

@@ -1,0 +1,44 @@
+type mode = Inference | Train
+
+let mode_to_string = function Inference -> "inference" | Train -> "train"
+
+let all_abbrs = [ "AN"; "RN-18"; "RN-34"; "BERT"; "GPT-2"; "Whisper" ]
+
+let build ctx abbr =
+  match abbr with
+  | "AN" -> Alexnet.build ctx
+  | "RN-18" -> Resnet.build18 ctx
+  | "RN-34" -> Resnet.build34 ctx
+  | "BERT" -> Bert.build ctx
+  | "GPT-2" -> Gpt2.build ctx
+  | "Whisper" -> Whisper.build ctx
+  | other -> invalid_arg ("Runner.build: unknown model " ^ other)
+
+let default_iters ~abbr ~mode =
+  match (abbr, mode) with
+  | "AN", Inference -> 2
+  | "AN", Train -> 3
+  | "RN-18", Inference -> 13
+  | "RN-18", Train -> 7
+  | "RN-34", Inference -> 13
+  | "RN-34", Train -> 7
+  | "BERT", Inference -> 3
+  | "BERT", Train -> 1
+  | "GPT-2", Inference -> 4
+  | "GPT-2", Train -> 4
+  | "Whisper", Inference -> 2
+  | "Whisper", Train -> 1
+  | other, _ -> invalid_arg ("Runner.default_iters: unknown model " ^ other)
+
+let run ctx model ~mode ~iters =
+  if iters <= 0 then invalid_arg "Runner.run: iters must be positive";
+  for _ = 1 to iters do
+    match mode with
+    | Inference -> Model.inference_iter ctx model
+    | Train -> Model.train_iter ctx model
+  done
+
+let run_default ctx abbr ~mode =
+  let model = build ctx abbr in
+  run ctx model ~mode ~iters:(default_iters ~abbr ~mode);
+  model

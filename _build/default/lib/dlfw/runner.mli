@@ -1,0 +1,25 @@
+(** Workload runner: builds the paper's six models (Table IV) by
+    abbreviation and runs inference / training loops with the iteration
+    counts used by the evaluation harness. *)
+
+type mode = Inference | Train
+
+val mode_to_string : mode -> string
+
+val all_abbrs : string list
+(** ["AN"; "RN-18"; "RN-34"; "BERT"; "GPT-2"; "Whisper"] — Table IV order. *)
+
+val build : Ctx.t -> string -> Model.t
+(** Build a model by abbreviation.  Raises [Invalid_argument] for an
+    unknown abbreviation. *)
+
+val default_iters : abbr:string -> mode:mode -> int
+(** Iterations per measured run, chosen so total kernel counts land in the
+    regime of the paper's Table V. *)
+
+val run : Ctx.t -> Model.t -> mode:mode -> iters:int -> unit
+(** Run [iters] iterations.  Raises [Invalid_argument] if [iters <= 0]. *)
+
+val run_default : Ctx.t -> string -> mode:mode -> Model.t
+(** Build by abbreviation and run the default number of iterations;
+    returns the model for inspection. *)

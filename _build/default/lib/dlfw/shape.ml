@@ -1,0 +1,16 @@
+type t = int list
+
+let numel t =
+  List.fold_left
+    (fun acc d ->
+      if d <= 0 then invalid_arg "Shape.numel: non-positive dimension";
+      acc * d)
+    1 t
+
+let bytes t dt = numel t * Dtype.size_bytes dt
+
+let pp ppf t =
+  Format.fprintf ppf "[%s]" (String.concat "," (List.map string_of_int t))
+
+let to_string t = Format.asprintf "%a" pp t
+let equal = List.equal Int.equal

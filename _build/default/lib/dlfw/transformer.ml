@@ -1,0 +1,64 @@
+let pos_add ctx ~file ~seq ~dim =
+  let wpe = Tensor.create ctx.Ctx.pool ~name:"wpe" [ seq; dim ] Dtype.F32 in
+  let fwd ctx l x =
+    ignore l;
+    Ops.record ctx "aten::add_" @@ fun () ->
+    (* Position ids are materialized by a tiny arange kernel — the
+       kilobyte-scale minimum working set of the transformer rows in the
+       paper's Table V. *)
+    let pos_ids = Ops.new_tensor ctx ~name:"position_ids" [ seq ] Dtype.I64 in
+    Kernels.launch ctx ~name:"at::native::arange_cuda_kernel"
+      ~regions:[ Kernels.region ~rw:Kernels.Write pos_ids ]
+      ~flops:0.0 ~work:seq ();
+    let out = Ops.new_tensor ctx ~name:"pos_add_out" (Tensor.shape x) Dtype.F32 in
+    Kernels.elementwise ctx ~op:"add_positional" ~ins:[ x; wpe ] ~out;
+    Tensor.release pos_ids;
+    Tensor.release x;
+    out
+  in
+  let bwd ctx l g =
+    (* d(x + wpe)/dx is the identity; the positional table's gradient is a
+       batch reduction of g. *)
+    let gwpe = Ops.new_tensor ctx ~name:"grad_wpe" (Tensor.shape wpe) Dtype.F32 in
+    Kernels.reduce ctx ~op:"sum_batch" ~src:g ~dst:gwpe;
+    l.Layer.grads <- l.Layer.grads @ [ gwpe ];
+    g
+  in
+  Layer.custom ~params:[ wpe ] ~file ~line:58 ~name:"PositionalEmbedding" ~fwd ~bwd ()
+
+let mlp ctx ~file ~dim ~ratio =
+  [
+    Layer.linear ctx ~file ~line:84 ~in_features:dim ~out_features:(ratio * dim) ();
+    Layer.gelu ctx;
+    Layer.linear ctx ~file ~line:86 ~in_features:(ratio * dim) ~out_features:dim ();
+  ]
+
+let block_prenorm ctx ~file ~dim ~heads ~seq ?(fused_attention = false)
+    ?(mlp_ratio = 4) () =
+  Layer.sequential ~name:"TransformerBlock"
+    [
+      Layer.residual ~name:"attn_residual"
+        [
+          Layer.layernorm ctx ~features:dim;
+          Layer.attention ctx ~file ~line:71 ~fused:fused_attention ~embed_dim:dim
+            ~heads ~seq ();
+          Layer.dropout ctx;
+        ];
+      Layer.residual ~name:"mlp_residual"
+        (Layer.layernorm ctx ~features:dim
+         :: (mlp ctx ~file ~dim ~ratio:mlp_ratio @ [ Layer.dropout ctx ]));
+    ]
+
+let block_postnorm ctx ~file ~dim ~heads ~seq ?(mlp_ratio = 4) () =
+  Layer.sequential ~name:"TransformerBlock"
+    [
+      Layer.residual ~name:"attn_residual"
+        [
+          Layer.attention ctx ~file ~line:71 ~embed_dim:dim ~heads ~seq ();
+          Layer.dropout ctx;
+        ];
+      Layer.layernorm ctx ~features:dim;
+      Layer.residual ~name:"mlp_residual"
+        (mlp ctx ~file ~dim ~ratio:mlp_ratio @ [ Layer.dropout ctx ]);
+      Layer.layernorm ctx ~features:dim;
+    ]

@@ -1,0 +1,18 @@
+(** Shared transformer building blocks for the GPT-2 / BERT / Whisper
+    model definitions. *)
+
+val pos_add : Ctx.t -> file:string -> seq:int -> dim:int -> Layer.t
+(** Learned positional embedding added to the activation stream. *)
+
+val block_prenorm :
+  Ctx.t -> file:string -> dim:int -> heads:int -> seq:int ->
+  ?fused_attention:bool -> ?mlp_ratio:int -> unit -> Layer.t
+(** GPT-style block: [x + Attn(LN(x))] then [x + MLP(LN(x))]. *)
+
+val block_postnorm :
+  Ctx.t -> file:string -> dim:int -> heads:int -> seq:int ->
+  ?mlp_ratio:int -> unit -> Layer.t
+(** BERT-style block: [LN(x + Attn(x))] then [LN(x + MLP(x))]. *)
+
+val mlp : Ctx.t -> file:string -> dim:int -> ratio:int -> Layer.t list
+(** The two-linear GELU feed-forward stack. *)

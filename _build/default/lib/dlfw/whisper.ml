@@ -1,0 +1,197 @@
+let file = "models/whisper/model.py"
+let vocab = 51865
+let dim = 768
+let heads = 12
+let enc_seq = 1500
+let dec_seq = 448
+let head_positions = 32
+
+(* Cross-attention: queries from the decoder stream, keys/values from the
+   encoder output published in [enc_holder] by the model root. *)
+let cross_attention ctx ~enc_holder =
+  let d = dim and dh = dim / heads in
+  let w_q = Tensor.create ctx.Ctx.pool ~name:"cross.q.weight" [ d; d ] Dtype.F32 in
+  let w_kv = Tensor.create ctx.Ctx.pool ~name:"cross.kv.weight" [ 2 * d; d ] Dtype.F32 in
+  let w_o = Tensor.create ctx.Ctx.pool ~name:"cross.out.weight" [ d; d ] Dtype.F32 in
+  let params = [ w_q; w_kv; w_o ] in
+  let fwd ctx l x =
+    let enc =
+      match !enc_holder with
+      | Some e -> e
+      | None -> invalid_arg "Whisper: cross-attention before encoder ran"
+    in
+    let m_dec = Tensor.numel x / d in
+    let m_enc = Tensor.numel enc / d in
+    let batch = max 1 (m_dec / dec_seq) in
+    let q = Ops.linear ctx ~input:x ~weight:w_q ~bias:None ~m:m_dec ~k:d ~n:d in
+    let kv = Ops.linear ctx ~input:enc ~weight:w_kv ~bias:None ~m:m_enc ~k:d ~n:(2 * d) in
+    let probs =
+      Ops.bmm ctx ~a:q ~b:kv ~m:(batch * heads * dec_seq) ~n:enc_seq ~k:dh
+        ~out_shape:[ batch; heads; dec_seq; enc_seq ]
+    in
+    Ops.softmax_ ctx probs;
+    let ctxv = Ops.bmm ctx ~a:probs ~b:kv ~m:m_dec ~n:d ~k:enc_seq ~out_shape:[ m_dec; d ] in
+    let out = Ops.linear ctx ~input:ctxv ~weight:w_o ~bias:None ~m:m_dec ~k:d ~n:d in
+    if ctx.Ctx.training then Layer.save l [ x; q; kv; probs; ctxv ]
+    else List.iter Tensor.release [ x; q; kv; probs; ctxv ];
+    out
+  in
+  let bwd ctx l g =
+    let x, q, kv, probs, ctxv =
+      match Layer.unsave l 5 with
+      | [ a; b; c; d'; e ] -> (a, b, c, d', e)
+      | _ -> assert false
+    in
+    let m_dec = Tensor.numel x / d in
+    let batch = max 1 (m_dec / dec_seq) in
+    let g_ctxv, gw_o, _ =
+      Ops.linear_bwd ctx ~input:ctxv ~weight:w_o ~grad_out:g ~has_bias:false ~m:m_dec
+        ~k:d ~n:d
+    in
+    let g_probs =
+      Ops.bmm ctx ~a:g_ctxv ~b:kv ~m:(batch * heads * dec_seq) ~n:enc_seq ~k:dh
+        ~out_shape:[ batch; heads; dec_seq; enc_seq ]
+    in
+    let g_scores = Ops.softmax_bwd ctx ~output:probs ~grad_out:g_probs in
+    let g_q = Ops.bmm ctx ~a:g_scores ~b:kv ~m:m_dec ~n:d ~k:enc_seq ~out_shape:[ m_dec; d ] in
+    let gin, gw_q, _ =
+      Ops.linear_bwd ctx ~input:x ~weight:w_q ~grad_out:g_q ~has_bias:false ~m:m_dec
+        ~k:d ~n:d
+    in
+    (* The key/value projection gradient flows toward the encoder; the
+       encoder's backward pass is driven separately by the model root. *)
+    let gw_kv = Ops.new_tensor ctx ~name:"grad_cross_kv" (Tensor.shape w_kv) Dtype.F32 in
+    Kernels.fill ctx gw_kv;
+    List.iter Tensor.release [ g; x; q; kv; probs; ctxv; g_ctxv; g_probs; g_scores; g_q ];
+    l.Layer.grads <- l.Layer.grads @ [ gw_q; gw_kv; gw_o ];
+    gin
+  in
+  Layer.custom ~params ~file ~line:63 ~name:"CrossAttention" ~fwd ~bwd ()
+
+(* Keep only the last [head_positions] positions before the LM head, as a
+   KV-cached decode loop would score. *)
+let take_tail ctx =
+  let fwd ctx l x =
+    ignore l;
+    Ops.record ctx "aten::slice" @@ fun () ->
+    let batch =
+      match Tensor.shape x with b :: _ -> max 1 (b / dec_seq) | [] -> 1
+    in
+    let out = Ops.new_tensor ctx ~name:"tail_slice" [ batch * head_positions; dim ] Dtype.F32 in
+    Kernels.launch ctx ~name:"at::native::slice_copy_kernel"
+      ~regions:
+        [
+          Kernels.region ~extent:(Tensor.bytes out) x;
+          Kernels.region ~rw:Kernels.Write out;
+        ]
+      ~flops:0.0 ~work:(Tensor.numel out) ();
+    if ctx.Ctx.training then Layer.save l [ x ] else Tensor.release x;
+    out
+  in
+  let bwd ctx l g =
+    let x = match Layer.unsave l 1 with [ x ] -> x | _ -> assert false in
+    let gin = Ops.new_tensor ctx ~name:"grad_tail" (Tensor.shape x) Dtype.F32 in
+    Kernels.fill ctx gin;
+    Kernels.launch ctx ~name:"at::native::slice_backward_kernel"
+      ~regions:
+        [
+          Kernels.region g;
+          Kernels.region ~rw:Kernels.Write ~extent:(Tensor.bytes g) gin;
+        ]
+      ~flops:0.0 ~work:(Tensor.numel g) ();
+    Tensor.release x;
+    Tensor.release g;
+    gin
+  in
+  ignore ctx;
+  Layer.custom ~file ~line:101 ~name:"TakeTail" ~fwd ~bwd ()
+
+let decoder_block ctx ~enc_holder =
+  Layer.sequential ~name:"DecoderBlock"
+    [
+      Layer.residual ~name:"self_attn_residual"
+        [
+          Layer.layernorm ctx ~features:dim;
+          Layer.attention ctx ~file ~line:81 ~embed_dim:dim ~heads ~seq:dec_seq ();
+        ];
+      Layer.residual ~name:"cross_attn_residual"
+        [ Layer.layernorm ctx ~features:dim; cross_attention ctx ~enc_holder ];
+      Layer.residual ~name:"mlp_residual"
+        (Layer.layernorm ctx ~features:dim :: Transformer.mlp ctx ~file ~dim ~ratio:4);
+    ]
+
+let build ?(batch = 16) ctx =
+  let enc_holder = ref None in
+  let encoder =
+    Layer.sequential ~name:"WhisperEncoder"
+      ([
+         Layer.conv2d ctx ~file ~line:21 ~in_ch:80 ~out_ch:dim ~k:3 ~stride:1 ~pad:1
+           ~algo:`Im2col ();
+         Layer.gelu ctx;
+         Layer.conv2d ctx ~file ~line:23 ~in_ch:dim ~out_ch:dim ~k:3 ~stride:2 ~pad:1
+           ~algo:`Im2col ();
+         Layer.gelu ctx;
+         Layer.flatten ctx;
+         Transformer.pos_add ctx ~file ~seq:enc_seq ~dim;
+       ]
+      @ List.init 12 (fun _ ->
+            Transformer.block_prenorm ctx ~file ~dim ~heads ~seq:enc_seq
+              ~fused_attention:true ())
+      @ [ Layer.layernorm ctx ~features:dim ])
+  in
+  let decoder =
+    Layer.sequential ~name:"WhisperDecoder"
+      ([
+         Layer.embedding ctx ~file ~line:75 ~vocab ~dim
+           ~rows_touched:(min (batch * dec_seq) (vocab / 16))
+           ();
+         Transformer.pos_add ctx ~file ~seq:dec_seq ~dim;
+       ]
+      @ List.init 12 (fun _ -> decoder_block ctx ~enc_holder)
+      @ [ Layer.layernorm ctx ~features:dim ])
+  in
+  let head =
+    Layer.sequential ~name:"WhisperHead"
+      [
+        take_tail ctx;
+        Layer.linear ctx ~file ~line:118 ~bias:false ~in_features:dim
+          ~out_features:vocab ();
+      ]
+  in
+  let fwd ctx l mel =
+    ignore l;
+    (* The encoder is frozen during fine-tuning (run under no_grad), the
+       standard Whisper training recipe: only the decoder accumulates
+       activations and gradients. *)
+    let was_training = ctx.Ctx.training in
+    ctx.Ctx.training <- false;
+    let enc_out = Layer.forward ctx encoder mel in
+    ctx.Ctx.training <- was_training;
+    enc_holder := Some enc_out;
+    let tokens = Ops.new_tensor ctx ~name:"decoder_input_ids" [ batch; dec_seq ] Dtype.I64 in
+    let dec_out = Layer.forward ctx decoder tokens in
+    enc_holder := None;
+    Tensor.release enc_out;
+    Layer.forward ctx head dec_out
+  in
+  let bwd ctx l g =
+    ignore l;
+    let g_dec = Layer.backward ctx head g in
+    let g_tokens = Layer.backward ctx decoder g_dec in
+    Tensor.release g_tokens;
+    (* The frozen encoder takes no backward pass; the chain ends with a
+       token gradient for the mel input. *)
+    Ops.new_tensor ctx ~name:"grad_mel" [ 1 ] Dtype.F32
+  in
+  let root =
+    Layer.custom ~children:[ encoder; decoder; head ] ~file ~line:130
+      ~name:"Whisper" ~fwd ~bwd ()
+  in
+  {
+    Model.name = "Whisper (small)";
+    abbr = "Whisper";
+    root;
+    make_input =
+      (fun ctx -> Ops.new_tensor ctx ~name:"mel_spectrogram" [ batch; 80; 1; 3000 ] Dtype.F32);
+    batch;
+  }

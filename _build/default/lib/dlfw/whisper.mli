@@ -1,0 +1,10 @@
+(** Whisper small (paper Table IV: encoder/decoder transformer, batch 16).
+
+    Encoder: two convolutions over the mel spectrogram then 12 pre-norm
+    blocks with fused (flash-style) self-attention over 1500 frames.
+    Decoder: 12 blocks of self-attention over 448 token positions plus
+    cross-attention into the encoder output; the materialized cross
+    scores are Whisper's working-set peak.  The LM head scores only the
+    trailing positions, as a KV-cached decode would. *)
+
+val build : ?batch:int -> Ctx.t -> Model.t

@@ -1,0 +1,1 @@
+lib/gpusim/costmodel.ml: Arch Float Kernel

@@ -1,0 +1,1 @@
+lib/gpusim/device.ml: Arch Clock Costmodel Device_mem Float Hashtbl Hostctx Int64 Kernel List Option Pasta_util String Uvm Warp

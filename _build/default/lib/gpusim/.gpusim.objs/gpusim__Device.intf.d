@@ -1,0 +1,1 @@
+lib/gpusim/device.mli: Arch Clock Device_mem Hostctx Kernel Uvm Warp

@@ -1,0 +1,1 @@
+lib/gpusim/device_mem.ml: Format Int List Map Pasta_util

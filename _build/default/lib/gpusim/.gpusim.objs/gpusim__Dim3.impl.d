@@ -1,0 +1,1 @@
+lib/gpusim/dim3.ml: Format

@@ -1,0 +1,1 @@
+lib/gpusim/hostctx.ml: Format List

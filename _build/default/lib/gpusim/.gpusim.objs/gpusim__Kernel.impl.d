@@ -1,0 +1,1 @@
+lib/gpusim/kernel.ml: Dim3 Format List Pasta_util

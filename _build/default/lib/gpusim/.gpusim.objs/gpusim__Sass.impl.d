@@ -1,0 +1,1 @@
+lib/gpusim/sass.ml: Buffer Float Format Instr Kernel List Printf Scanf String

@@ -1,0 +1,1 @@
+lib/gpusim/sass.mli: Instr Kernel

@@ -1,0 +1,1 @@
+lib/gpusim/uvm.ml: Arch Array Bytes Char Clock Costmodel Format Int Map Option Queue

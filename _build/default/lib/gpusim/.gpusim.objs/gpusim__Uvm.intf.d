@@ -1,0 +1,1 @@
+lib/gpusim/uvm.mli: Arch Clock

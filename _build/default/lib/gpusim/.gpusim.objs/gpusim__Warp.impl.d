@@ -1,0 +1,1 @@
+lib/gpusim/warp.ml: Kernel List Pasta_util

@@ -1,0 +1,1 @@
+lib/gpusim/warp.mli: Kernel Pasta_util

@@ -1,0 +1,110 @@
+type vendor = Nvidia | Amd | Google
+
+let vendor_to_string = function
+  | Nvidia -> "NVIDIA"
+  | Amd -> "AMD"
+  | Google -> "Google"
+let pp_vendor ppf v = Format.pp_print_string ppf (vendor_to_string v)
+
+type t = {
+  name : string;
+  vendor : vendor;
+  sm_count : int;
+  warp_size : int;
+  max_warps_per_sm : int;
+  mem_bytes : int;
+  mem_bw_gbps : float;
+  pcie_bw_gbps : float;
+  fp32_tflops : float;
+  clock_ghz : float;
+  launch_overhead_us : float;
+  uvm_page_bytes : int;
+  uvm_fault_latency_us : float;
+}
+
+let a100 =
+  {
+    name = "NVIDIA A100 (80GB)";
+    vendor = Nvidia;
+    sm_count = 108;
+    warp_size = 32;
+    max_warps_per_sm = 64;
+    mem_bytes = 80 * 1024 * 1024 * 1024;
+    mem_bw_gbps = 2039.0;
+    pcie_bw_gbps = 25.0;
+    fp32_tflops = 19.5;
+    clock_ghz = 1.41;
+    launch_overhead_us = 4.0;
+    uvm_page_bytes = 2 * 1024 * 1024;
+    uvm_fault_latency_us = 130.0;
+  }
+
+let rtx3060 =
+  {
+    name = "NVIDIA GeForce RTX 3060";
+    vendor = Nvidia;
+    sm_count = 28;
+    warp_size = 32;
+    max_warps_per_sm = 48;
+    mem_bytes = 12 * 1024 * 1024 * 1024;
+    mem_bw_gbps = 360.0;
+    pcie_bw_gbps = 12.0;
+    fp32_tflops = 12.7;
+    clock_ghz = 1.78;
+    launch_overhead_us = 5.0;
+    uvm_page_bytes = 2 * 1024 * 1024;
+    uvm_fault_latency_us = 180.0;
+  }
+
+let mi300x =
+  {
+    name = "AMD MI300X";
+    vendor = Amd;
+    sm_count = 304;
+    warp_size = 64;
+    max_warps_per_sm = 32;
+    mem_bytes = 192 * 1024 * 1024 * 1024;
+    mem_bw_gbps = 5300.0;
+    pcie_bw_gbps = 32.0;
+    fp32_tflops = 163.4;
+    clock_ghz = 2.1;
+    launch_overhead_us = 6.0;
+    uvm_page_bytes = 2 * 1024 * 1024;
+    uvm_fault_latency_us = 150.0;
+  }
+
+let tpu_v4 =
+  {
+    name = "Google TPU v4";
+    vendor = Google;
+    sm_count = 2; (* TensorCores *)
+    warp_size = 128; (* vector lane width *)
+    max_warps_per_sm = 16; (* in-flight program slots *)
+    mem_bytes = 32 * 1024 * 1024 * 1024;
+    mem_bw_gbps = 1228.0;
+    pcie_bw_gbps = 32.0;
+    fp32_tflops = 137.5; (* bf16 MXU throughput, halved for fp32 *)
+    clock_ghz = 1.05;
+    launch_overhead_us = 10.0; (* program dispatch via the TPU driver *)
+    uvm_page_bytes = 2 * 1024 * 1024;
+    uvm_fault_latency_us = 200.0;
+  }
+
+let all = [ a100; rtx3060; mi300x; tpu_v4 ]
+
+let concurrent_lanes t = t.sm_count * t.max_warps_per_sm * t.warp_size
+
+let analysis_lanes t =
+  (* Calibrated effective lanes for device-resident analysis: one warp
+     slot per SM sustains the atomic traffic; wider parts gain a modest
+     memory-subsystem factor on top. *)
+  match t.name with
+  | "NVIDIA A100 (80GB)" -> 3456
+  | "NVIDIA GeForce RTX 3060" -> 2304
+  | "AMD MI300X" -> 6912
+  | "Google TPU v4" -> 1024 (* sparse-core scalar units, not the MXU *)
+  | _ -> t.sm_count * t.warp_size
+
+let pp ppf t =
+  Format.fprintf ppf "%s (%a, %d SMs, %a, %.0f GB/s)" t.name pp_vendor t.vendor
+    t.sm_count Pasta_util.Bytesize.pp t.mem_bytes t.mem_bw_gbps

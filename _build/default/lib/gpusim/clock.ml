@@ -1,0 +1,10 @@
+type t = { mutable now : float }
+
+let create () = { now = 0.0 }
+let now_us t = t.now
+
+let advance_us t d =
+  if d < 0.0 then invalid_arg "Clock.advance_us: negative duration";
+  t.now <- t.now +. d
+
+let reset t = t.now <- 0.0

@@ -1,0 +1,18 @@
+(** Simulated time.
+
+    Every device owns a clock counting microseconds of simulated execution.
+    All costs computed by {!Costmodel} are charged here; the experiment
+    harness reads elapsed simulated time to reproduce the paper's
+    wall-clock-based figures deterministically. *)
+
+type t
+
+val create : unit -> t
+
+val now_us : t -> float
+
+val advance_us : t -> float -> unit
+(** Advance by a non-negative duration; a negative duration raises
+    [Invalid_argument]. *)
+
+val reset : t -> unit

@@ -1,0 +1,64 @@
+let record_bytes = 16
+
+let gb = 1.0e9
+
+let kernel_time_us (arch : Arch.t) k =
+  let compute_s = k.Kernel.flops /. (arch.fp32_tflops *. 1.0e12) in
+  let mem_s = float_of_int (Kernel.bytes_moved k) /. (arch.mem_bw_gbps *. gb) in
+  (Float.max compute_s mem_s *. 1.0e6) +. arch.launch_overhead_us
+
+let memcpy_time_us (arch : Arch.t) ~bytes ~kind =
+  let bw_gbps =
+    match kind with
+    | `H2d | `D2h -> arch.pcie_bw_gbps
+    | `P2p -> arch.pcie_bw_gbps *. 2.0 (* NVLink-ish peer link *)
+    | `D2d -> arch.mem_bw_gbps /. 2.0 (* read + write on the same bus *)
+  in
+  (float_of_int bytes /. (bw_gbps *. gb) *. 1.0e6) +. 8.0
+
+let memset_time_us (arch : Arch.t) ~bytes =
+  (float_of_int bytes /. (arch.mem_bw_gbps *. gb) *. 1.0e6) +. 4.0
+
+let malloc_time_us = 10.0
+let free_time_us = 6.0
+
+let sass_dump_parse_time_us ~static_instrs =
+  500.0 +. (1.5 *. float_of_int static_instrs)
+
+let device_analysis_time_us arch ~accesses ~per_access_us =
+  float_of_int accesses *. per_access_us
+  /. float_of_int (Arch.analysis_lanes arch)
+
+let collect_time_us arch ~accesses ~per_access_us =
+  float_of_int accesses *. per_access_us
+  /. float_of_int (Arch.analysis_lanes arch)
+
+let transfer_time_us (arch : Arch.t) ~records =
+  float_of_int (records * record_bytes) /. (arch.pcie_bw_gbps *. gb) *. 1.0e6
+
+let host_analysis_time_us ~records ~per_record_us =
+  float_of_int records *. per_record_us
+
+(* Backend cost constants, chosen so that the overhead ratios land in the
+   regime the paper reports (§V-B3: PASTA's GPU-resident tool is ~941x /
+   ~13006x faster than the Sanitizer- / NVBit-based CPU tools on A100). *)
+let sanitizer_gpu_per_access_us = 0.64
+let sanitizer_collect_per_access_us = 0.3
+let sanitizer_host_per_record_us = 0.18
+let nvbit_collect_per_access_us = 1.2
+let nvbit_host_per_record_us = 2.2
+let flush_overhead_us = 30.0
+
+let uvm_fault_time_us (arch : Arch.t) ~pages =
+  let transfer =
+    float_of_int (pages * arch.uvm_page_bytes) /. (arch.pcie_bw_gbps *. gb) *. 1.0e6
+  in
+  (float_of_int pages *. arch.uvm_fault_latency_us) +. transfer
+
+let uvm_prefetch_time_us (arch : Arch.t) ~bytes =
+  (float_of_int bytes /. (arch.pcie_bw_gbps *. gb) *. 1.0e6) +. 25.0
+
+let uvm_evict_time_us (arch : Arch.t) ~pages =
+  let bytes = pages * arch.uvm_page_bytes in
+  (float_of_int bytes /. (arch.pcie_bw_gbps *. gb) *. 1.0e6)
+  +. (2.0 *. float_of_int pages)

@@ -1,0 +1,68 @@
+(** Analytic timing model.
+
+    All simulated durations come from here, parameterized by the
+    architecture record.  Kernels follow a roofline (max of compute and
+    memory time); copies and migrations are bandwidth terms plus fixed
+    latencies; instrumentation costs follow the structure the paper
+    describes in §V-B3:
+
+    - device-resident analysis is serialized only within an effective
+      analysis lane, so its per-access cost is divided by
+      {!Arch.analysis_lanes};
+    - trace collection into a device buffer is likewise lane-parallel;
+    - trace *transfer* crosses the host link at PCIe bandwidth;
+    - trace *analysis* on the host is a single CPU thread paying a fixed
+      cost per record — the term that dominates and produces the paper's
+      hours-to-days CPU-side times (Figs. 9, 10). *)
+
+val record_bytes : int
+(** Size of one trace record (16 B: address + metadata). *)
+
+val kernel_time_us : Arch.t -> Kernel.t -> float
+(** Roofline execution time plus launch overhead; deterministic. *)
+
+val memcpy_time_us :
+  Arch.t -> bytes:int -> kind:[ `H2d | `D2h | `D2d | `P2p ] -> float
+
+val memset_time_us : Arch.t -> bytes:int -> float
+val malloc_time_us : float
+val free_time_us : float
+
+(** {2 Instrumentation} *)
+
+val sass_dump_parse_time_us : static_instrs:int -> float
+(** NVBit's per-kernel cost of dumping the SASS listing and parsing it to
+    find memory instructions. *)
+
+val device_analysis_time_us : Arch.t -> accesses:int -> per_access_us:float -> float
+(** In-situ analysis: [per_access_us] serialized within a lane, amortized
+    over all lanes. *)
+
+val collect_time_us : Arch.t -> accesses:int -> per_access_us:float -> float
+(** Device-side record emission into the trace buffer, lane-parallel. *)
+
+val transfer_time_us : Arch.t -> records:int -> float
+(** Device-to-host trace buffer copy over the host link. *)
+
+val host_analysis_time_us : records:int -> per_record_us:float -> float
+(** Single-threaded host-side processing. *)
+
+(** Default per-unit costs of the three profiling backends. *)
+
+val sanitizer_gpu_per_access_us : float
+val sanitizer_collect_per_access_us : float
+val sanitizer_host_per_record_us : float
+val nvbit_collect_per_access_us : float
+val nvbit_host_per_record_us : float
+val flush_overhead_us : float
+
+(** {2 UVM} *)
+
+val uvm_fault_time_us : Arch.t -> pages:int -> float
+(** Demand-migration: per-page fault latency plus transfer. *)
+
+val uvm_prefetch_time_us : Arch.t -> bytes:int -> float
+(** Bulk prefetch: bandwidth-bound plus one call overhead. *)
+
+val uvm_evict_time_us : Arch.t -> pages:int -> float
+(** Write-back of evicted pages to host memory. *)

@@ -1,0 +1,275 @@
+type memcpy_kind = Host_to_device | Device_to_host | Device_to_device | Peer of int
+
+type exec_stats = {
+  duration_us : float;
+  true_accesses : int;
+  faulted_pages : int;
+}
+
+type launch_info = {
+  device_id : int;
+  grid_id : int;
+  stream : int;
+  kernel : Kernel.t;
+  py_stack : Hostctx.frame list;
+  native_stack : Hostctx.frame list;
+}
+
+type event =
+  | Api of { name : string; phase : [ `Enter | `Exit ] }
+  | Malloc of { alloc : Device_mem.alloc }
+  | Free of { alloc : Device_mem.alloc }
+  | Memcpy of { dst : int; src : int; bytes : int; kind : memcpy_kind; stream : int }
+  | Memset of { addr : int; bytes : int; value : int; stream : int }
+  | Launch_begin of launch_info
+  | Launch_end of launch_info * exec_stats
+  | Sync of [ `Device | `Stream of int ]
+
+type probe = { probe_name : string; on_event : event -> unit }
+
+type instrument = {
+  instr_name : string;
+  materialize : bool;
+  on_kernel_entry : launch_info -> unit;
+  on_region : launch_info -> Kernel.region -> unit;
+  on_access : launch_info -> Warp.access -> unit;
+  on_kernel_exit : launch_info -> exec_stats -> unit;
+}
+
+type t = {
+  dev_id : int;
+  arch : Arch.t;
+  clock : Clock.t;
+  mem : Device_mem.t;
+  uvm : Uvm.t;
+  rng : Pasta_util.Det_rng.t;
+  mutable probes : probe list;
+  mutable instrument : instrument option;
+  mutable grid_counter : int;
+  mutable sample_cap : int;
+  stream_busy : (int, float) Hashtbl.t; (* stream -> absolute completion us *)
+}
+
+let create ?(id = 0) ?uvm_capacity ?(seed = 0x9A57AL) arch =
+  let clock = Clock.create () in
+  let uvm_capacity = Option.value ~default:arch.Arch.mem_bytes uvm_capacity in
+  {
+    dev_id = id;
+    arch;
+    clock;
+    mem = Device_mem.create ~capacity:arch.Arch.mem_bytes ();
+    uvm = Uvm.create arch clock ~capacity:uvm_capacity;
+    rng = Pasta_util.Det_rng.create (Int64.add seed (Int64.of_int id));
+    probes = [];
+    instrument = None;
+    grid_counter = 0;
+    sample_cap = 128;
+    stream_busy = Hashtbl.create 4;
+  }
+
+let id t = t.dev_id
+let arch t = t.arch
+let clock t = t.clock
+let now_us t = Clock.now_us t.clock
+let mem t = t.mem
+let uvm t = t.uvm
+let launches t = t.grid_counter
+
+let set_sample_cap t n =
+  if n <= 0 then invalid_arg "Device.set_sample_cap: must be positive";
+  t.sample_cap <- n
+
+let sample_cap t = t.sample_cap
+
+let add_probe t p = t.probes <- t.probes @ [ p ]
+let remove_probe t name =
+  t.probes <- List.filter (fun p -> not (String.equal p.probe_name name)) t.probes
+
+let set_instrument t i = t.instrument <- Some i
+let clear_instrument t = t.instrument <- None
+
+let emit t ev = List.iter (fun p -> p.on_event ev) t.probes
+
+let api_name t suffix =
+  match t.arch.Arch.vendor with
+  | Arch.Nvidia -> "cuda" ^ suffix
+  | Arch.Amd -> "hip" ^ suffix
+  | Arch.Google -> "TpuExecutor_" ^ suffix
+
+let with_api t name f =
+  emit t (Api { name; phase = `Enter });
+  let r = f () in
+  emit t (Api { name; phase = `Exit });
+  r
+
+let malloc t ?(tag = "device") bytes =
+  with_api t (api_name t "Malloc") @@ fun () ->
+  Clock.advance_us t.clock Costmodel.malloc_time_us;
+  let alloc = Device_mem.alloc t.mem ~tag ~managed:false bytes in
+  emit t (Malloc { alloc });
+  alloc
+
+let malloc_managed t ?(tag = "managed") bytes =
+  with_api t (api_name t "MallocManaged") @@ fun () ->
+  Clock.advance_us t.clock Costmodel.malloc_time_us;
+  let alloc = Device_mem.alloc t.mem ~tag ~managed:true bytes in
+  Uvm.register_range t.uvm ~base:alloc.Device_mem.base ~bytes:alloc.Device_mem.bytes;
+  emit t (Malloc { alloc });
+  alloc
+
+let free t base =
+  with_api t (api_name t "Free") @@ fun () ->
+  Clock.advance_us t.clock Costmodel.free_time_us;
+  let alloc = Device_mem.free t.mem base in
+  if alloc.Device_mem.managed then Uvm.unregister_range t.uvm ~base;
+  emit t (Free { alloc })
+
+let memcpy t ~dst ~src ~bytes ~kind ?(stream = 0) () =
+  let suffix = match kind with Peer _ -> "MemcpyPeer" | _ -> "Memcpy" in
+  with_api t (api_name t suffix) @@ fun () ->
+  let kind' =
+    match kind with
+    | Host_to_device -> `H2d
+    | Device_to_host -> `D2h
+    | Device_to_device -> `D2d
+    | Peer _ -> `P2p
+  in
+  Clock.advance_us t.clock (Costmodel.memcpy_time_us t.arch ~bytes ~kind:kind');
+  emit t (Memcpy { dst; src; bytes; kind; stream })
+
+let memset t ~addr ~bytes ~value ?(stream = 0) () =
+  with_api t (api_name t "Memset") @@ fun () ->
+  Clock.advance_us t.clock (Costmodel.memset_time_us t.arch ~bytes);
+  emit t (Memset { addr; bytes; value; stream })
+
+let launch t ?(stream = 0) kernel =
+  let api =
+    match t.arch.Arch.vendor with
+    | Arch.Nvidia -> "cuLaunchKernel"
+    | Arch.Amd -> "hipModuleLaunchKernel"
+    | Arch.Google -> "TpuExecutor_ExecuteProgram"
+  in
+  with_api t api @@ fun () ->
+  t.grid_counter <- t.grid_counter + 1;
+  let info =
+    {
+      device_id = t.dev_id;
+      grid_id = t.grid_counter;
+      stream;
+      kernel;
+      py_stack = Hostctx.snapshot Hostctx.Python;
+      native_stack = Hostctx.snapshot Hostctx.Native;
+    }
+  in
+  emit t (Launch_begin info);
+  (match t.instrument with Some i -> i.on_kernel_entry info | None -> ());
+  (* Demand-migrate managed pages the kernel touches. *)
+  let faulted = ref 0 in
+  List.iter
+    (fun (r : Kernel.region) ->
+      Uvm.touch t.uvm ~base:r.Kernel.base ~bytes:r.Kernel.bytes ~faulted_pages:faulted)
+    kernel.Kernel.regions;
+  let duration = Costmodel.kernel_time_us t.arch kernel in
+  Clock.advance_us t.clock duration;
+  let true_accesses =
+    match t.instrument with
+    | None -> Kernel.total_accesses kernel
+    | Some i ->
+        List.iter (fun r -> i.on_region info r) kernel.Kernel.regions;
+        if i.materialize then
+          Warp.generate ~rng:t.rng ~warp_size:t.arch.Arch.warp_size
+            ~max_records_per_region:t.sample_cap kernel ~f:(fun a ->
+              i.on_access info a)
+        else Kernel.total_accesses kernel
+  in
+  let stats = { duration_us = duration; true_accesses; faulted_pages = !faulted } in
+  (match t.instrument with Some i -> i.on_kernel_exit info stats | None -> ());
+  emit t (Launch_end (info, stats));
+  stats
+
+let stream_busy_until t s =
+  Float.max (Clock.now_us t.clock)
+    (Option.value ~default:0.0 (Hashtbl.find_opt t.stream_busy s))
+
+let join_host_with t completion =
+  let now = Clock.now_us t.clock in
+  if completion > now then Clock.advance_us t.clock (completion -. now)
+
+(* Enqueue [duration] of work on a stream, charging the host only the
+   submission cost. *)
+let enqueue t ~stream ~submit_us ~duration =
+  Clock.advance_us t.clock submit_us;
+  let start = stream_busy_until t stream in
+  Hashtbl.replace t.stream_busy stream (start +. duration)
+
+let launch_async t ~stream kernel =
+  if t.instrument <> None then
+    (* Instrumentation serializes execution, as on real hardware. *)
+    launch t ~stream kernel
+  else begin
+    let api =
+      match t.arch.Arch.vendor with
+      | Arch.Nvidia -> "cuLaunchKernel"
+      | Arch.Amd -> "hipModuleLaunchKernel"
+      | Arch.Google -> "TpuExecutor_ExecuteProgram"
+    in
+    with_api t api @@ fun () ->
+    t.grid_counter <- t.grid_counter + 1;
+    let info =
+      {
+        device_id = t.dev_id;
+        grid_id = t.grid_counter;
+        stream;
+        kernel;
+        py_stack = Hostctx.snapshot Hostctx.Python;
+        native_stack = Hostctx.snapshot Hostctx.Native;
+      }
+    in
+    emit t (Launch_begin info);
+    let faulted = ref 0 in
+    List.iter
+      (fun (r : Kernel.region) ->
+        Uvm.touch t.uvm ~base:r.Kernel.base ~bytes:r.Kernel.bytes ~faulted_pages:faulted)
+      kernel.Kernel.regions;
+    let duration = Costmodel.kernel_time_us t.arch kernel in
+    enqueue t ~stream ~submit_us:t.arch.Arch.launch_overhead_us
+      ~duration:(duration -. t.arch.Arch.launch_overhead_us);
+    let stats =
+      {
+        duration_us = duration;
+        true_accesses = Kernel.total_accesses kernel;
+        faulted_pages = !faulted;
+      }
+    in
+    emit t (Launch_end (info, stats));
+    stats
+  end
+
+let memcpy_async t ~dst ~src ~bytes ~kind ~stream =
+  if t.instrument <> None then memcpy t ~dst ~src ~bytes ~kind ~stream ()
+  else begin
+    let suffix = match kind with Peer _ -> "MemcpyPeerAsync" | _ -> "MemcpyAsync" in
+    with_api t (api_name t suffix) @@ fun () ->
+    let kind' =
+      match kind with
+      | Host_to_device -> `H2d
+      | Device_to_host -> `D2h
+      | Device_to_device -> `D2d
+      | Peer _ -> `P2p
+    in
+    let duration = Costmodel.memcpy_time_us t.arch ~bytes ~kind:kind' in
+    enqueue t ~stream ~submit_us:2.0 ~duration:(duration -. 2.0);
+    emit t (Memcpy { dst; src; bytes; kind; stream })
+  end
+
+let synchronize t =
+  with_api t (api_name t "DeviceSynchronize") @@ fun () ->
+  Hashtbl.iter (fun _ completion -> join_host_with t completion) t.stream_busy;
+  Clock.advance_us t.clock 3.0;
+  emit t (Sync `Device)
+
+let stream_synchronize t s =
+  with_api t (api_name t "StreamSynchronize") @@ fun () ->
+  join_host_with t (stream_busy_until t s);
+  Clock.advance_us t.clock 2.0;
+  emit t (Sync (`Stream s))

@@ -1,0 +1,36 @@
+type frame = { file : string; line : int; symbol : string }
+
+let pp_frame ppf f = Format.fprintf ppf "%s:%d %s" f.file f.line f.symbol
+
+type lang = Python | Native
+
+let python_stack : frame list ref = ref []
+let native_stack : frame list ref = ref []
+let stack_of = function Python -> python_stack | Native -> native_stack
+
+let push lang f =
+  let s = stack_of lang in
+  s := f :: !s
+
+let pop lang =
+  let s = stack_of lang in
+  match !s with
+  | [] -> invalid_arg "Hostctx.pop: empty stack (unbalanced scope)"
+  | _ :: rest -> s := rest
+
+let with_frame lang f k =
+  push lang f;
+  match k () with
+  | v ->
+      pop lang;
+      v
+  | exception e ->
+      pop lang;
+      raise e
+
+let snapshot lang = !(stack_of lang)
+let depth lang = List.length !(stack_of lang)
+
+let clear () =
+  python_stack := [];
+  native_stack := []

@@ -1,0 +1,34 @@
+(** Simulated host-process runtime context.
+
+    On real hardware PASTA reconstructs cross-layer call stacks from live
+    CPython frames and [libbacktrace] symbols.  Our substitute is this
+    per-process registry: the DL-framework substrate pushes frames as it
+    enters Python modules and C++ dispatch functions, and the profiling
+    layers snapshot the current stacks when a kernel is launched
+    (paper §III-F2 and Fig. 4). *)
+
+type frame = {
+  file : string;
+  line : int;
+  symbol : string;
+}
+
+val pp_frame : Format.formatter -> frame -> unit
+(** Rendered as "file:line symbol", the format of the paper's Fig. 4. *)
+
+type lang = Python | Native
+
+val push : lang -> frame -> unit
+val pop : lang -> unit
+(** Popping an empty stack raises [Invalid_argument] — it indicates an
+    unbalanced instrumentation scope in the framework substrate. *)
+
+val with_frame : lang -> frame -> (unit -> 'a) -> 'a
+(** Push, run, pop; exception-safe. *)
+
+val snapshot : lang -> frame list
+(** Innermost frame first. *)
+
+val depth : lang -> int
+val clear : unit -> unit
+(** Reset both stacks; used between independent experiment runs. *)

@@ -1,0 +1,96 @@
+type pattern = Sequential | Strided of int | Random
+
+type region = {
+  base : int;
+  bytes : int;
+  accesses : int;
+  write : bool;
+  pattern : pattern;
+}
+
+type profile = {
+  branches : int;
+  divergent_branches : int;
+  shared_accesses : int;
+  bank_conflicts : int;
+  barrier_stall_us : float;
+  value_min : float;
+  value_max : float;
+  redundant_loads : int;
+}
+
+let no_profile =
+  {
+    branches = 0;
+    divergent_branches = 0;
+    shared_accesses = 0;
+    bank_conflicts = 0;
+    barrier_stall_us = 0.0;
+    value_min = 0.0;
+    value_max = 0.0;
+    redundant_loads = 0;
+  }
+
+let profile ?(branches = 0) ?(divergent_branches = 0) ?(shared_accesses = 0)
+    ?(bank_conflicts = 0) ?(barrier_stall_us = 0.0) ?(value_min = 0.0)
+    ?(value_max = 0.0) ?(redundant_loads = 0) () =
+  if branches < 0 || divergent_branches < 0 || shared_accesses < 0
+     || bank_conflicts < 0 || redundant_loads < 0
+  then invalid_arg "Kernel.profile: negative count";
+  if divergent_branches > branches then
+    invalid_arg "Kernel.profile: divergent_branches > branches";
+  if bank_conflicts > shared_accesses then
+    invalid_arg "Kernel.profile: bank_conflicts > shared_accesses";
+  if value_min > value_max then invalid_arg "Kernel.profile: empty value range";
+  if barrier_stall_us < 0.0 then invalid_arg "Kernel.profile: negative stall";
+  {
+    branches;
+    divergent_branches;
+    shared_accesses;
+    bank_conflicts;
+    barrier_stall_us;
+    value_min;
+    value_max;
+    redundant_loads;
+  }
+
+type t = {
+  name : string;
+  grid : Dim3.t;
+  block : Dim3.t;
+  regions : region list;
+  arg_ptrs : int list;
+  flops : float;
+  shared_bytes : int;
+  barriers : int;
+  prof : profile;
+}
+
+let region ?(write = false) ?(pattern = Sequential) ~base ~bytes ~accesses () =
+  if bytes < 0 then invalid_arg "Kernel.region: negative extent";
+  if accesses < 0 then invalid_arg "Kernel.region: negative access count";
+  { base; bytes; accesses; write; pattern }
+
+let make ~name ~grid ~block ?(regions = []) ?arg_ptrs ?(flops = 0.0)
+    ?(shared_bytes = 0) ?(barriers = 0) ?(prof = no_profile) () =
+  List.iter
+    (fun r ->
+      if r.bytes < 0 || r.accesses < 0 then
+        invalid_arg "Kernel.make: invalid region")
+    regions;
+  let arg_ptrs =
+    match arg_ptrs with
+    | Some ps -> ps
+    | None -> List.map (fun r -> r.base) regions
+  in
+  { name; grid; block; regions; arg_ptrs; flops; shared_bytes; barriers; prof }
+
+let total_accesses t = List.fold_left (fun acc r -> acc + r.accesses) 0 t.regions
+let bytes_touched t = List.fold_left (fun acc r -> acc + r.bytes) 0 t.regions
+let bytes_moved t = max (bytes_touched t) (4 * total_accesses t)
+let threads t = Dim3.total t.grid * Dim3.total t.block
+
+let pp ppf t =
+  Format.fprintf ppf "%s<<<%a,%a>>> (%d regions, %d accesses, %a)" t.name
+    Dim3.pp t.grid Dim3.pp t.block (List.length t.regions) (total_accesses t)
+    Pasta_util.Bytesize.pp (bytes_touched t)

@@ -1,0 +1,103 @@
+(** Kernel descriptors.
+
+    A kernel is described by its launch geometry and an *access plan*: the
+    set of global-memory regions it touches, each with a dynamic access
+    count and an address pattern.  The plan is the ground truth that
+    instrumentation observes — sampled into individual access records for
+    trace-based profiling, or aggregated directly for device-resident
+    analysis.
+
+    [arg_ptrs] lists every pointer argument passed to the kernel, including
+    ones the kernel never dereferences: the paper's working-set analysis
+    (§V-B2) exists precisely because argument lists over-approximate the
+    memory a kernel uses. *)
+
+type pattern =
+  | Sequential  (** coalesced linear walk over the region *)
+  | Strided of int  (** fixed byte stride between consecutive warp accesses *)
+  | Random  (** uniform within the region *)
+
+(** Microarchitectural behaviour profile: the per-kernel aggregates that
+    instruction-level instrumentation observes (paper §III-H — branch
+    divergence, barrier stalls, shared-memory bank conflicts, operand
+    value ranges).  Ground truth lives here; profiling layers charge the
+    cost of observing it. *)
+type profile = {
+  branches : int;  (** dynamic branch instructions *)
+  divergent_branches : int;  (** branches whose warp splits *)
+  shared_accesses : int;  (** dynamic shared-memory accesses *)
+  bank_conflicts : int;  (** shared accesses serialized by conflicts *)
+  barrier_stall_us : float;  (** cumulative time warps wait at barriers *)
+  value_min : float;  (** smallest operand value produced *)
+  value_max : float;
+  redundant_loads : int;  (** loads that observed the previously loaded value *)
+}
+
+val no_profile : profile
+(** All-zero profile (value range collapses to 0). *)
+
+val profile :
+  ?branches:int ->
+  ?divergent_branches:int ->
+  ?shared_accesses:int ->
+  ?bank_conflicts:int ->
+  ?barrier_stall_us:float ->
+  ?value_min:float ->
+  ?value_max:float ->
+  ?redundant_loads:int ->
+  unit ->
+  profile
+(** Validates non-negative counts, [divergent_branches <= branches],
+    [bank_conflicts <= shared_accesses] and [value_min <= value_max]. *)
+
+type region = {
+  base : int;  (** device VA of the first byte accessed *)
+  bytes : int;  (** extent of the region touched *)
+  accesses : int;  (** dynamic global-memory access count (true, unsampled) *)
+  write : bool;
+  pattern : pattern;
+}
+
+type t = {
+  name : string;  (** demangled display name, e.g. "at::native::im2col_kernel" *)
+  grid : Dim3.t;
+  block : Dim3.t;
+  regions : region list;
+  arg_ptrs : int list;
+  flops : float;  (** floating-point work, for the roofline cost model *)
+  shared_bytes : int;
+  barriers : int;  (** dynamic barrier count *)
+  prof : profile;
+}
+
+val make :
+  name:string ->
+  grid:Dim3.t ->
+  block:Dim3.t ->
+  ?regions:region list ->
+  ?arg_ptrs:int list ->
+  ?flops:float ->
+  ?shared_bytes:int ->
+  ?barriers:int ->
+  ?prof:profile ->
+  unit ->
+  t
+(** Validates that region extents and access counts are non-negative.
+    When [arg_ptrs] is omitted it defaults to the region bases. *)
+
+val region :
+  ?write:bool -> ?pattern:pattern -> base:int -> bytes:int -> accesses:int -> unit -> region
+
+val total_accesses : t -> int
+(** Sum of dynamic accesses over all regions. *)
+
+val bytes_touched : t -> int
+(** Sum of region extents (the kernel's true footprint). *)
+
+val bytes_moved : t -> int
+(** Dynamic traffic estimate: [accesses * 4] bytes summed over regions,
+    capped below by [bytes_touched]. *)
+
+val threads : t -> int
+
+val pp : Format.formatter -> t -> unit

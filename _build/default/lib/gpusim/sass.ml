@@ -1,0 +1,105 @@
+exception Parse_error of { line : int; text : string }
+
+(* The compute body is capped so listings stay realistic (real kernels have
+   hundreds to a few thousand static instructions, independent of dynamic
+   trip counts). *)
+let max_body = 512
+
+let body_size k =
+  let flop_based = int_of_float (Float.log2 (Float.max 2.0 k.Kernel.flops)) * 8 in
+  min max_body (max 16 flop_based)
+
+let listing k =
+  let pc = ref 0 in
+  let instrs = ref [] in
+  let emit opcode operands =
+    instrs := { Instr.pc = !pc; opcode; operands } :: !instrs;
+    pc := !pc + 16
+  in
+  (* Prologue: thread-index computation. *)
+  emit Mov "R1, c[0x0][0x28]";
+  emit Imad "R0, R3, c[0x0][0x0], R2";
+  emit Mov "R4, c[0x0][0x160]";
+  (* One access block per region. *)
+  List.iteri
+    (fun i (r : Kernel.region) ->
+      let reg = 4 + (2 * i) in
+      emit Imad (Printf.sprintf "R%d, R0, 0x4, R%d" reg reg);
+      if r.write then emit Instr.St_global (Printf.sprintf "[R%d], R%d" reg (reg + 1))
+      else emit Instr.Ld_global (Printf.sprintf "R%d, [R%d]" (reg + 1) reg))
+    k.Kernel.regions;
+  if k.Kernel.shared_bytes > 0 then begin
+    emit Instr.Ldgsts "[R20], [R4]";
+    emit Instr.Pipeline_commit "";
+    emit Instr.Pipeline_wait "0x0";
+    emit Instr.Ld_shared "R21, [R20]"
+  end;
+  if k.Kernel.barriers > 0 then emit Instr.Bar_sync "0x0";
+  (* Compute body. *)
+  let body = body_size k in
+  for i = 0 to body - 1 do
+    match i mod 4 with
+    | 0 -> emit Instr.Ffma "R8, R9, R10, R8"
+    | 1 -> emit Instr.Fmul "R9, R9, R11"
+    | 2 -> emit Instr.Fadd "R10, R10, R12"
+    | _ -> emit Instr.Imad "R11, R11, 0x3, R13"
+  done;
+  (* Writeback of the first written region, if any, then exit. *)
+  (match List.find_opt (fun (r : Kernel.region) -> r.write) k.Kernel.regions with
+  | Some _ -> emit Instr.Bra "0x40"
+  | None -> ());
+  emit Instr.Exit "";
+  List.rev !instrs
+
+let static_size k =
+  let base = 3 + 1 in
+  let regions = 2 * List.length k.Kernel.regions in
+  let shared = if k.Kernel.shared_bytes > 0 then 4 else 0 in
+  let bar = if k.Kernel.barriers > 0 then 1 else 0 in
+  let wb =
+    if List.exists (fun (r : Kernel.region) -> r.write) k.Kernel.regions then 1
+    else 0
+  in
+  base + regions + shared + bar + wb + body_size k
+
+let dump k =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf ".text.%s:\n" k.Kernel.name);
+  List.iter
+    (fun i -> Buffer.add_string buf (Format.asprintf "%a\n" Instr.pp i))
+    (listing k);
+  Buffer.contents buf
+
+let parse_line lineno line =
+  let line = String.trim line in
+  if line = "" then None
+  else if String.length line > 0 && line.[0] = '.' then None (* section header *)
+  else
+    (* Format: "/*PC*/ MNEMONIC operands ;" *)
+    try
+      Scanf.sscanf line "/*%x*/ %s@;" (fun pc rest ->
+          let rest = String.trim rest in
+          let mnemonic, operands =
+            match String.index_opt rest ' ' with
+            | None -> (rest, "")
+            | Some i ->
+                ( String.sub rest 0 i,
+                  String.trim (String.sub rest (i + 1) (String.length rest - i - 1)) )
+          in
+          match Instr.opcode_of_mnemonic mnemonic with
+          | Some opcode -> Some { Instr.pc; opcode; operands }
+          | None -> raise (Parse_error { line = lineno; text = line }))
+    with Scanf.Scan_failure _ | End_of_file ->
+      raise (Parse_error { line = lineno; text = line })
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  List.concat
+    (List.mapi
+       (fun i line -> match parse_line (i + 1) line with Some x -> [ x ] | None -> [])
+       lines)
+
+let memory_pcs instrs =
+  List.filter_map
+    (fun (i : Instr.t) -> if Instr.is_global_memory i.opcode then Some i.pc else None)
+    instrs

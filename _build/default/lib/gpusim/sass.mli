@@ -1,0 +1,30 @@
+(** SASS listing generation, emission and parsing.
+
+    NVBit-style instrumentation cannot ask the runtime which instructions
+    are memory operations; it must dump each kernel's SASS text and parse
+    it back to find them (paper §V-B3 attributes NVBit's extra overhead to
+    exactly this).  This module provides the three pieces: a deterministic
+    listing synthesized from the kernel descriptor, a textual dump, and a
+    parser for the dump. *)
+
+val listing : Kernel.t -> Instr.t list
+(** Deterministic SASS-like listing for a kernel: a prologue, one
+    load/store block per region, a compute body scaled to the kernel's
+    FLOP count, barriers, and an exit.  Stable across calls. *)
+
+val static_size : Kernel.t -> int
+(** Length of [listing] without materializing it. *)
+
+val dump : Kernel.t -> string
+(** The listing rendered as text, one instruction per line, with a
+    function header — what NVBit's [nvbit_get_instrs] hands back. *)
+
+exception Parse_error of { line : int; text : string }
+
+val parse : string -> Instr.t list
+(** Parse a [dump]-formatted listing back.  Raises {!Parse_error} on
+    malformed lines. *)
+
+val memory_pcs : Instr.t list -> int list
+(** Program counters of the global-memory instructions — the set an
+    NVBit tool would instrument after parsing. *)

@@ -1,0 +1,51 @@
+type access = {
+  addr : int;
+  size : int;
+  write : bool;
+  warp_id : int;
+  pc : int;
+  weight : int;
+}
+
+let access_size = 4
+
+let region_records ~rng ~warp_size ~max_records (r : Kernel.region) ~pc ~f =
+  if r.accesses = 0 then ()
+  else begin
+    let n = min r.accesses max_records in
+    let base_weight = r.accesses / n and extra = r.accesses mod n in
+    let span = max 1 (r.bytes - access_size) in
+    for i = 0 to n - 1 do
+      let offset =
+        match r.pattern with
+        | Kernel.Sequential ->
+            (* Spread evenly so the samples cover the whole extent. *)
+            span * i / n
+        | Kernel.Strided stride ->
+            let s = max access_size stride in
+            s * i mod span
+        | Kernel.Random -> Pasta_util.Det_rng.int rng span
+      in
+      let warp_id = i * warp_size mod max warp_size (span / access_size) / warp_size in
+      f
+        {
+          addr = r.base + offset;
+          size = access_size;
+          write = r.write;
+          warp_id;
+          pc;
+          weight = (base_weight + if i < extra then 1 else 0);
+        }
+    done
+  end
+
+let generate ~rng ~warp_size ~max_records_per_region k ~f =
+  (* PCs must match the SASS listing: region i's access instruction is the
+     second instruction of its access block, after a 3-instruction
+     prologue. *)
+  List.iteri
+    (fun i r ->
+      let pc = (3 + (2 * i) + 1) * 16 in
+      region_records ~rng ~warp_size ~max_records:max_records_per_region r ~pc ~f)
+    k.Kernel.regions;
+  Kernel.total_accesses k

@@ -1,0 +1,35 @@
+(** Warp-level memory-access record generation.
+
+    Turns a kernel's access plan into concrete per-access records, the raw
+    material of trace-based profiling.  Real workloads issue billions of
+    accesses; materializing each one would make the simulator itself
+    intractable, so generation is *sampled*: at most
+    [max_records_per_region] records are emitted per region and each record
+    carries a [weight] — the number of true dynamic accesses it stands for.
+    Weights always sum to the region's exact access count, so aggregate
+    statistics computed from samples are exact in total and approximate
+    only in their spatial distribution. *)
+
+type access = {
+  addr : int;
+  size : int;  (** bytes per access (4) *)
+  write : bool;
+  warp_id : int;
+  pc : int;  (** PC of the issuing SASS instruction *)
+  weight : int;  (** true accesses this sampled record represents *)
+}
+
+val generate :
+  rng:Pasta_util.Det_rng.t ->
+  warp_size:int ->
+  max_records_per_region:int ->
+  Kernel.t ->
+  f:(access -> unit) ->
+  int
+(** [generate ~rng ~warp_size ~max_records_per_region k ~f] calls [f] on
+    each sampled record and returns the kernel's true total access count.
+    Sampled addresses follow the region's pattern: [Sequential] spreads
+    records uniformly over the extent, [Strided s] walks in stride [s]
+    (wrapping), [Random] draws uniformly.  Every non-empty region yields at
+    least one record, so object-coverage analyses never miss a touched
+    region. *)

@@ -1,0 +1,1 @@
+lib/megatron/comm.ml: Array Dlfw Float Gpusim List

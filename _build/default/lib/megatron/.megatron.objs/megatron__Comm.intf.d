@@ -1,0 +1,1 @@
+lib/megatron/comm.mli: Dlfw

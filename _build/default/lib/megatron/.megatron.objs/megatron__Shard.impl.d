@@ -1,0 +1,1 @@
+lib/megatron/shard.ml: Dlfw List

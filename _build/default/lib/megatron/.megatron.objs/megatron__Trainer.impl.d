@@ -1,0 +1,1 @@
+lib/megatron/trainer.ml: Comm Dlfw Float Gpusim Hashtbl Int64 List Option Pasta Pasta_tools Shard

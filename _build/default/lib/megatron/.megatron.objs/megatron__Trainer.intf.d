@@ -1,0 +1,1 @@
+lib/megatron/trainer.mli: Gpusim Pasta_tools Shard

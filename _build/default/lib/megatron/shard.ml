@@ -1,0 +1,161 @@
+module L = Dlfw.Layer
+module T = Dlfw.Tensor
+module Ops = Dlfw.Ops
+
+type cfg = {
+  layers : int;
+  dim : int;
+  heads : int;
+  seq : int;
+  vocab : int;
+  batch : int;
+}
+
+let gpt2_345m =
+  { layers = 24; dim = 1024; heads = 16; seq = 1024; vocab = 50257; batch = 4 }
+
+let file = "megatron/model/transformer.py"
+
+(* Column-parallel attention + row-parallel output projection. *)
+let tp_attention ctx cfg ~shard ~comm =
+  if cfg.heads mod shard <> 0 then invalid_arg "Shard.tp_attention: shard must divide heads";
+  let d = cfg.dim in
+  let d_local = d / shard in
+  let heads_local = cfg.heads / shard in
+  let dh = d / cfg.heads in
+  let w_qkv = T.create ctx.Dlfw.Ctx.pool ~name:"tp.attn.qkv.weight" [ 3 * d_local; d ] Dlfw.Dtype.F32 in
+  let w_o = T.create ctx.Dlfw.Ctx.pool ~name:"tp.attn.out.weight" [ d; d_local ] Dlfw.Dtype.F32 in
+  let params = [ w_qkv; w_o ] in
+  let fwd ctx l x =
+    let m = T.numel x / d in
+    let batch = max 1 (m / cfg.seq) in
+    let qkv = Ops.linear ctx ~input:x ~weight:w_qkv ~bias:None ~m ~k:d ~n:(3 * d_local) in
+    let probs =
+      Ops.bmm ctx ~a:qkv ~b:qkv ~m:(batch * heads_local * cfg.seq) ~n:cfg.seq ~k:dh
+        ~out_shape:[ batch; heads_local; cfg.seq; cfg.seq ]
+    in
+    Ops.softmax_ ctx probs;
+    let ctxv = Ops.bmm ctx ~a:probs ~b:qkv ~m ~n:d_local ~k:cfg.seq ~out_shape:[ m; d_local ] in
+    let out = Ops.linear ctx ~input:ctxv ~weight:w_o ~bias:None ~m ~k:d_local ~n:d in
+    (* RowParallelLinear: all-reduce the partial output across ranks. *)
+    comm ~bytes:(T.bytes out);
+    if ctx.Dlfw.Ctx.training then L.save l [ x; qkv; probs; ctxv ]
+    else List.iter T.release [ x; qkv; probs; ctxv ];
+    out
+  in
+  let bwd ctx l g =
+    let x, qkv, probs, ctxv =
+      match L.unsave l 4 with [ a; b; c; d' ] -> (a, b, c, d') | _ -> assert false
+    in
+    let m = T.numel x / d in
+    let batch = max 1 (m / cfg.seq) in
+    let g_ctxv, gw_o, _ =
+      Ops.linear_bwd ctx ~input:ctxv ~weight:w_o ~grad_out:g ~has_bias:false ~m
+        ~k:d_local ~n:d
+    in
+    let g_probs =
+      Ops.bmm ctx ~a:g_ctxv ~b:qkv ~m:(batch * heads_local * cfg.seq) ~n:cfg.seq ~k:dh
+        ~out_shape:[ batch; heads_local; cfg.seq; cfg.seq ]
+    in
+    let g_scores = Ops.softmax_bwd ctx ~output:probs ~grad_out:g_probs in
+    let g_qkv = Ops.bmm ctx ~a:g_scores ~b:qkv ~m ~n:(3 * d_local) ~k:cfg.seq ~out_shape:[ m; 3 * d_local ] in
+    let gin, gw_qkv, _ =
+      Ops.linear_bwd ctx ~input:x ~weight:w_qkv ~grad_out:g_qkv ~has_bias:false ~m
+        ~k:d ~n:(3 * d_local)
+    in
+    comm ~bytes:(T.bytes gin);
+    List.iter T.release [ g; x; qkv; probs; ctxv; g_ctxv; g_probs; g_scores; g_qkv ];
+    l.L.grads <- l.L.grads @ [ gw_qkv; gw_o ];
+    gin
+  in
+  L.custom ~params ~file ~line:312 ~name:"ParallelAttention" ~fwd ~bwd ()
+
+let tp_mlp ctx cfg ~shard ~comm =
+  let d = cfg.dim in
+  let hidden_local = 4 * d / shard in
+  let comm_after =
+    let fwd ctx l x =
+      ignore ctx;
+      ignore l;
+      comm ~bytes:(T.bytes x);
+      x
+    in
+    let bwd ctx l g =
+      ignore ctx;
+      ignore l;
+      comm ~bytes:(T.bytes g);
+      g
+    in
+    L.custom ~file ~line:120 ~name:"RowParallelReduce" ~fwd ~bwd ()
+  in
+  [
+    L.linear ctx ~file ~line:116 ~bias:false ~in_features:d ~out_features:hidden_local ();
+    L.gelu ctx;
+    L.linear ctx ~file ~line:118 ~bias:false ~in_features:hidden_local ~out_features:d ();
+    comm_after;
+  ]
+
+let tp_block ctx cfg ~shard ~comm =
+  L.sequential ~name:"ParallelTransformerLayer"
+    [
+      L.residual ~name:"attn_residual"
+        [ L.layernorm ctx ~features:cfg.dim; tp_attention ctx cfg ~shard ~comm ];
+      L.residual ~name:"mlp_residual"
+        (L.layernorm ctx ~features:cfg.dim :: tp_mlp ctx cfg ~shard ~comm);
+    ]
+
+let embedding_layers ctx cfg ~vocab_rows =
+  [
+    L.embedding ctx ~file ~line:44 ~vocab:vocab_rows ~dim:cfg.dim
+      ~rows_touched:(min (cfg.batch * cfg.seq) (vocab_rows / 8))
+      ();
+    Dlfw.Transformer.pos_add ctx ~file ~seq:cfg.seq ~dim:cfg.dim;
+  ]
+
+let head_layers ctx cfg ~vocab_rows =
+  [
+    L.layernorm ctx ~features:cfg.dim;
+    L.linear ctx ~file ~line:203 ~bias:false ~in_features:cfg.dim ~out_features:vocab_rows ();
+  ]
+
+let make_model name root cfg =
+  {
+    Dlfw.Model.name;
+    abbr = name;
+    root;
+    make_input =
+      (fun ctx -> Ops.new_tensor ctx ~name:"input_ids" [ cfg.batch; cfg.seq ] Dlfw.Dtype.I64);
+    batch = cfg.batch;
+  }
+
+let build_tp_model ctx cfg ~shard ~comm =
+  let vocab_rows = max 1 (cfg.vocab / shard) in
+  let root =
+    L.sequential ~name:"MegatronGPT2-TP"
+      (embedding_layers ctx cfg ~vocab_rows
+      @ List.init cfg.layers (fun _ -> tp_block ctx cfg ~shard ~comm)
+      @ head_layers ctx cfg ~vocab_rows)
+  in
+  make_model "Megatron-GPT2-345M/TP" root cfg
+
+let build_full_model ctx cfg =
+  let model =
+    Dlfw.Gpt2.build ~batch:cfg.batch ~seq:cfg.seq ~layers:cfg.layers ~dim:cfg.dim
+      ~heads:cfg.heads ctx
+  in
+  { model with Dlfw.Model.name = "Megatron-GPT2-345M/DP" }
+
+let build_pp_stages ctx0 ctx1 cfg =
+  let half = cfg.layers / 2 in
+  let block ctx = Dlfw.Transformer.block_prenorm ctx ~file ~dim:cfg.dim ~heads:cfg.heads ~seq:cfg.seq () in
+  let stage0 =
+    L.sequential ~name:"PP-stage0"
+      (embedding_layers ctx0 cfg ~vocab_rows:cfg.vocab
+      @ List.init half (fun _ -> block ctx0))
+  in
+  let stage1 =
+    L.sequential ~name:"PP-stage1"
+      (List.init (cfg.layers - half) (fun _ -> block ctx1)
+      @ head_layers ctx1 cfg ~vocab_rows:cfg.vocab)
+  in
+  (stage0, stage1)

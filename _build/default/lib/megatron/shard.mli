@@ -1,0 +1,35 @@
+(** Tensor-parallel (Megatron-style) model shards.
+
+    Column-parallel projections shrink by the shard factor, attention
+    runs on [heads/shard] heads, and every row-parallel output triggers an
+    activation all-reduce through the supplied [comm] hook — the
+    Megatron-LM partitioning that halves per-GPU peak memory at
+    [shard = 2] (paper Fig. 15, TP). *)
+
+type cfg = {
+  layers : int;
+  dim : int;
+  heads : int;
+  seq : int;
+  vocab : int;
+  batch : int;
+}
+
+val gpt2_345m : cfg
+(** 24 layers, d=1024, 16 heads, seq 1024, the Fig. 15 model. *)
+
+val tp_block :
+  Dlfw.Ctx.t -> cfg -> shard:int -> comm:(bytes:int -> unit) -> Dlfw.Layer.t
+
+val build_tp_model :
+  Dlfw.Ctx.t -> cfg -> shard:int -> comm:(bytes:int -> unit) -> Dlfw.Model.t
+(** Full sharded replica: vocab-parallel embedding, [cfg.layers] TP
+    blocks, final norm and a vocab-sharded LM head. *)
+
+val build_full_model : Dlfw.Ctx.t -> cfg -> Dlfw.Model.t
+(** Unsharded replica (the DP case), reusing the GPT-2 definition. *)
+
+val build_pp_stages : Dlfw.Ctx.t -> Dlfw.Ctx.t -> cfg -> Dlfw.Layer.t * Dlfw.Layer.t
+(** Pipeline split at the midpoint of the block stack: stage 0 holds the
+    embedding and the first half, stage 1 the second half plus the final
+    norm and LM head (built on the second context's device). *)

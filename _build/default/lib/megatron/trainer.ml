@@ -1,0 +1,188 @@
+module D = Gpusim.Device
+module T = Dlfw.Tensor
+module L = Dlfw.Layer
+module Ops = Dlfw.Ops
+
+type strategy = DP | TP | PP
+
+let strategy_to_string = function DP -> "DP" | TP -> "TP" | PP -> "PP"
+let all_strategies = [ DP; TP; PP ]
+
+type result = {
+  strategy : strategy;
+  timelines : (int * Pasta_tools.Mem_timeline.t) list;
+  peaks_mb : (int * float) list;
+  kernels : (int * int) list;
+  elapsed_us : float;
+}
+
+let microbatches = 4
+let grad_bucket_bytes = 25 * 1024 * 1024 (* DDP's 25 MB gradient buckets *)
+
+let allreduce_grads comm ~rank pairs =
+  let total = List.fold_left (fun acc (_, g) -> acc + T.bytes g) 0 pairs in
+  let rec go remaining =
+    if remaining > 0 then begin
+      Comm.local_reduce comm ~rank ~bytes:(min remaining grad_bucket_bytes);
+      go (remaining - grad_bucket_bytes)
+    end
+  in
+  go total
+
+let run_dp ctxs comm cfg =
+  List.iteri
+    (fun rank ctx ->
+      let model = Shard.build_full_model ctx cfg in
+      Dlfw.Model.train_iter_hooked ctx model ~before_opt:(allreduce_grads comm ~rank))
+    ctxs
+
+let run_tp ctxs comm cfg =
+  List.iteri
+    (fun rank ctx ->
+      let model =
+        Shard.build_tp_model ctx cfg ~shard:(List.length ctxs)
+          ~comm:(fun ~bytes -> Comm.local_reduce comm ~rank ~bytes)
+      in
+      Dlfw.Model.train_iter_hooked ctx model ~before_opt:ignore)
+    ctxs
+
+(* GPipe schedule: all microbatch forwards, then backwards in reverse
+   order (matching the layers' LIFO saved-activation stacks), gradient
+   accumulation across microbatches, one optimizer step per stage. *)
+let run_pp ctx0 ctx1 comm cfg =
+  (* Keep the global batch equal to the other strategies: split it into
+     microbatches rather than multiplying it. *)
+  let cfg = { cfg with Shard.batch = max 1 (cfg.Shard.batch * 2 / microbatches) } in
+  let stage0, stage1 = Shard.build_pp_stages ctx0 ctx1 cfg in
+  ctx0.Dlfw.Ctx.training <- true;
+  ctx1.Dlfw.Ctx.training <- true;
+  let act_bytes = cfg.Shard.batch * cfg.Shard.seq * cfg.Shard.dim * 4 in
+  (* Forward all microbatches through both stages. *)
+  let logits_list =
+    List.init microbatches (fun _ ->
+        let input =
+          Ops.new_tensor ctx0 ~name:"input_ids" [ cfg.Shard.batch; cfg.Shard.seq ]
+            Dlfw.Dtype.I64
+        in
+        let a0 = L.forward ctx0 stage0 input in
+        Comm.send_recv comm ~src:0 ~dst:1 ~bytes:act_bytes;
+        let a1 =
+          Ops.new_tensor ctx1 ~name:"pp_activation_in"
+            [ cfg.Shard.batch * cfg.Shard.seq; cfg.Shard.dim ]
+            Dlfw.Dtype.F32
+        in
+        T.release a0;
+        L.forward ctx1 stage1 a1)
+  in
+  (* Backward in reverse microbatch order, accumulating gradients. *)
+  let acc0 : (int, T.t) Hashtbl.t = Hashtbl.create 64 in
+  let acc1 : (int, T.t) Hashtbl.t = Hashtbl.create 64 in
+  let accumulate ctx acc pairs =
+    List.iter
+      (fun (p, g) ->
+        match Hashtbl.find_opt acc (T.id p) with
+        | None -> Hashtbl.add acc (T.id p) g
+        | Some g0 ->
+            Dlfw.Kernels.elementwise ctx ~op:"grad_accumulate" ~ins:[ g ] ~out:g0;
+            T.release g)
+      pairs
+  in
+  List.iter
+    (fun logits ->
+      let loss = Ops.cross_entropy ctx1 ~logits in
+      let g = Ops.cross_entropy_bwd ctx1 ~logits in
+      T.release loss;
+      T.release logits;
+      let g_a1 = L.backward ctx1 stage1 g in
+      Comm.send_recv comm ~src:1 ~dst:0 ~bytes:act_bytes;
+      T.release g_a1;
+      let g_a0 =
+        Ops.new_tensor ctx0 ~name:"pp_grad_in"
+          [ cfg.Shard.batch * cfg.Shard.seq; cfg.Shard.dim ]
+          Dlfw.Dtype.F32
+      in
+      let g_input = L.backward ctx0 stage0 g_a0 in
+      T.release g_input;
+      accumulate ctx1 acc1 (L.take_grad_pairs stage1);
+      accumulate ctx0 acc0 (L.take_grad_pairs stage0))
+    (List.rev logits_list);
+  (* Optimizer step per stage. *)
+  let step ctx stage acc =
+    let params = L.all_params stage in
+    let pairs =
+      List.filter_map
+        (fun p ->
+          Option.map (fun g -> (p, g)) (Hashtbl.find_opt acc (T.id p)))
+        params
+    in
+    let ps, gs = List.split pairs in
+    if ps <> [] then Ops.sgd_step ctx ~params:ps ~grads:gs;
+    List.iter T.release gs
+  in
+  step ctx1 stage1 acc1;
+  step ctx0 stage0 acc0;
+  ctx0.Dlfw.Ctx.training <- false;
+  ctx1.Dlfw.Ctx.training <- false;
+  D.synchronize ctx0.Dlfw.Ctx.device;
+  D.synchronize ctx1.Dlfw.Ctx.device
+
+type node_result = {
+  per_rank : (int * int * Pasta_tools.Mem_timeline.t) list;
+  internode_elapsed_us : float;
+  intranode_elapsed_us : float;
+}
+
+let run_dp_ranks ~arch ~cfg ~node_of ~nranks =
+  let devices = List.init nranks (fun id -> D.create ~id arch) in
+  let ctxs =
+    List.mapi (fun i d -> Dlfw.Ctx.create ~seed:(Int64.of_int (0x3E6A0 + i)) d) devices
+  in
+  let mg = Pasta_tools.Multi_gpu.attach devices in
+  let comm = Comm.create ~node_of ctxs ~buffer_bytes:(64 * 1024 * 1024) in
+  run_dp ctxs comm cfg;
+  Comm.destroy comm;
+  let timelines = Pasta_tools.Multi_gpu.timelines mg in
+  ignore (Pasta_tools.Multi_gpu.detach mg);
+  let elapsed = List.fold_left (fun acc d -> Float.max acc (D.now_us d)) 0.0 devices in
+  List.iter Dlfw.Ctx.destroy ctxs;
+  (timelines, elapsed)
+
+let run_multinode_dp ?(arch = Gpusim.Arch.a100) ?(cfg = Shard.gpt2_345m) ~nodes
+    ~gpus_per_node () =
+  if nodes <= 0 || gpus_per_node <= 0 || nodes * gpus_per_node < 2 then
+    invalid_arg "Trainer.run_multinode_dp: need at least two ranks";
+  let nranks = nodes * gpus_per_node in
+  let node_of rank = rank / gpus_per_node in
+  let timelines, internode_elapsed_us =
+    run_dp_ranks ~arch ~cfg ~node_of ~nranks
+  in
+  let _, intranode_elapsed_us = run_dp_ranks ~arch ~cfg ~node_of:(fun _ -> 0) ~nranks in
+  {
+    per_rank = List.map (fun (id, tl) -> (node_of id, id, tl)) timelines;
+    internode_elapsed_us;
+    intranode_elapsed_us;
+  }
+
+let run_iteration ?(arch = Gpusim.Arch.a100) ?(cfg = Shard.gpt2_345m) strategy =
+  let dev0 = D.create ~id:0 arch and dev1 = D.create ~id:1 arch in
+  let ctx0 = Dlfw.Ctx.create ~seed:0x3E6A0L dev0 in
+  let ctx1 = Dlfw.Ctx.create ~seed:0x3E6A1L dev1 in
+  let mg = Pasta_tools.Multi_gpu.attach [ dev0; dev1 ] in
+  let comm = Comm.create [ ctx0; ctx1 ] ~buffer_bytes:(64 * 1024 * 1024) in
+  (match strategy with
+  | DP -> run_dp [ ctx0; ctx1 ] comm cfg
+  | TP -> run_tp [ ctx0; ctx1 ] comm cfg
+  | PP -> run_pp ctx0 ctx1 comm cfg);
+  Comm.destroy comm;
+  let timelines = Pasta_tools.Multi_gpu.timelines mg in
+  let results = Pasta_tools.Multi_gpu.detach mg in
+  let peaks_mb =
+    List.map
+      (fun (id, tl) -> (id, Pasta_tools.Mem_timeline.peak_bytes tl /. 1048576.0))
+      timelines
+  in
+  let kernels = List.map (fun (id, r) -> (id, r.Pasta.Session.kernels)) results in
+  let elapsed_us = Float.max (D.now_us dev0) (D.now_us dev1) in
+  Dlfw.Ctx.destroy ctx0;
+  Dlfw.Ctx.destroy ctx1;
+  { strategy; timelines; peaks_mb; kernels; elapsed_us }

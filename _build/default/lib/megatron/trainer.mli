@@ -1,0 +1,44 @@
+(** Two-GPU Megatron GPT-2 345M training (paper §V-D2, Fig. 15).
+
+    Runs one training iteration under each parallelism strategy with a
+    PASTA memory-timeline session attached to every rank:
+
+    - [DP]: full replicas, gradient all-reduce before the optimizer —
+      identical per-GPU memory curves at full peak;
+    - [TP]: Megatron tensor parallelism — identical curves at roughly
+      half the peak;
+    - [PP]: pipeline split at the block-stack midpoint with GPipe-style
+      microbatching — asymmetric curves, the logits-producing stage 1
+      showing the heavier tail. *)
+
+type strategy = DP | TP | PP
+
+val strategy_to_string : strategy -> string
+val all_strategies : strategy list
+
+type result = {
+  strategy : strategy;
+  timelines : (int * Pasta_tools.Mem_timeline.t) list;  (** per device id *)
+  peaks_mb : (int * float) list;
+  kernels : (int * int) list;  (** kernels launched per device *)
+  elapsed_us : float;
+}
+
+val run_iteration : ?arch:Gpusim.Arch.t -> ?cfg:Shard.cfg -> strategy -> result
+
+type node_result = {
+  per_rank : (int * int * Pasta_tools.Mem_timeline.t) list;
+      (** (node, rank, timeline), one PASTA profile per rank — the
+          per-rank output of the paper's multi-node mode (§IV-D) *)
+  internode_elapsed_us : float;
+  intranode_elapsed_us : float;
+      (** the same iteration on a single node, for comparison: the
+          inter-node ring must be slower *)
+}
+
+val run_multinode_dp :
+  ?arch:Gpusim.Arch.t -> ?cfg:Shard.cfg -> nodes:int -> gpus_per_node:int ->
+  unit -> node_result
+(** Data-parallel training over [nodes x gpus_per_node] ranks, one PASTA
+    session per rank.  Raises [Invalid_argument] unless both counts are
+    positive and the total is at least two. *)

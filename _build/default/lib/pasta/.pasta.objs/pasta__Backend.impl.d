@@ -1,0 +1,1 @@
+lib/pasta/backend.ml: Event Gpusim List Normalize Objmap Processor Tool Vendor

@@ -1,0 +1,1 @@
+lib/pasta/backend.mli: Gpusim Processor Tool Vendor

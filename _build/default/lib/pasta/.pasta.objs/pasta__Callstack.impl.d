@@ -1,0 +1,1 @@
+lib/pasta/callstack.ml: Event Format Gpusim List

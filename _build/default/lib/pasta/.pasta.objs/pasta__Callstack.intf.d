@@ -1,0 +1,1 @@
+lib/pasta/callstack.mli: Event Format Gpusim

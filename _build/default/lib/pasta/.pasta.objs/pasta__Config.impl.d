@@ -1,0 +1,1 @@
+lib/pasta/config.ml: Hashtbl Option Sys

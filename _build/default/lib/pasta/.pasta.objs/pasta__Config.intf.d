@@ -1,0 +1,1 @@
+lib/pasta/config.mli:

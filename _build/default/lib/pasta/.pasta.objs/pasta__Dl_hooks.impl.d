@@ -1,0 +1,1 @@
+lib/pasta/dl_hooks.ml: Dlfw Event Gpusim Printf Processor

@@ -1,0 +1,1 @@
+lib/pasta/dl_hooks.mli: Gpusim Processor

@@ -1,0 +1,1 @@
+lib/pasta/event.ml: Format Gpusim Pasta_util

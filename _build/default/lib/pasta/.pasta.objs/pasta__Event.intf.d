@@ -1,0 +1,1 @@
+lib/pasta/event.mli: Format Gpusim

@@ -1,0 +1,1 @@
+lib/pasta/knobs.ml: Callstack Event Format

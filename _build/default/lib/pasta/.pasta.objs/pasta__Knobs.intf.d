@@ -1,0 +1,1 @@
+lib/pasta/knobs.mli: Event Format

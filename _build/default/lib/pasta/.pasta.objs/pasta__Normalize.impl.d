@@ -1,0 +1,1 @@
+lib/pasta/normalize.ml: Event Gpusim String Vendor

@@ -1,0 +1,1 @@
+lib/pasta/normalize.mli: Event Gpusim Vendor

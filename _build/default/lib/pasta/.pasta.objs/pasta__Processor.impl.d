@@ -1,0 +1,1 @@
+lib/pasta/processor.ml: Event Hashtbl List Objmap Range Tool

@@ -1,0 +1,1 @@
+lib/pasta/processor.mli: Event Gpusim Objmap Range Tool

@@ -1,0 +1,1 @@
+lib/pasta/range.ml: Config

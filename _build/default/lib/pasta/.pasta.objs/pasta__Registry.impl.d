@@ -1,0 +1,1 @@
+lib/pasta/registry.ml: Config Hashtbl List Option Tool

@@ -1,0 +1,1 @@
+lib/pasta/registry.mli: Tool

@@ -1,0 +1,1 @@
+lib/pasta/session.ml: Backend Config Dl_hooks Format Gpusim List Processor Tool Vendor

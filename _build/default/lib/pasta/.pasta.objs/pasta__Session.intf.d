@@ -1,0 +1,1 @@
+lib/pasta/session.mli: Backend Format Gpusim Processor Range Tool Vendor

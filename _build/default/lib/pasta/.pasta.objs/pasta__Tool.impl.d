@@ -1,0 +1,1 @@
+lib/pasta/tool.ml: Event Format Gpusim Objmap

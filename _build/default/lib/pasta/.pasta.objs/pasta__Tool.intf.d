@@ -1,0 +1,1 @@
+lib/pasta/tool.mli: Event Format Gpusim Objmap

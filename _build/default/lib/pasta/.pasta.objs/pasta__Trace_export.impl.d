@@ -1,0 +1,1 @@
+lib/pasta/trace_export.ml: Buffer Char Event Float Format Fun Gpusim Hashtbl List Printf String Tool

@@ -1,0 +1,1 @@
+lib/pasta/trace_export.mli: Event Tool

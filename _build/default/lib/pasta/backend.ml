@@ -1,0 +1,159 @@
+module D = Gpusim.Device
+
+type kind = Sanitizer | Nvbit | Rocprofiler | Xprof
+
+let kind_to_string = function
+  | Sanitizer -> "compute-sanitizer"
+  | Nvbit -> "nvbit"
+  | Rocprofiler -> "rocprofiler-sdk"
+  | Xprof -> "xprof"
+
+let default_kind_for device =
+  match (D.arch device).Gpusim.Arch.vendor with
+  | Gpusim.Arch.Nvidia -> Sanitizer
+  | Gpusim.Arch.Amd -> Rocprofiler
+  | Gpusim.Arch.Google -> Xprof
+
+type session =
+  | S_sanitizer of Vendor.Sanitizer.t
+  | S_nvbit of Vendor.Nvbit.t
+  | S_rocprofiler of Vendor.Rocprofiler.t
+  | S_xprof of Vendor.Xprof.t
+
+type t = { device : D.t; session : session; processor : Processor.t }
+
+let require_nvidia device name =
+  match (D.arch device).Gpusim.Arch.vendor with
+  | Gpusim.Arch.Nvidia -> ()
+  | Gpusim.Arch.Amd | Gpusim.Arch.Google ->
+      invalid_arg (name ^ ": requires an NVIDIA device")
+
+let pump t payloads =
+  let time_us = D.now_us t.device in
+  List.iter (fun p -> Processor.submit t.processor ~time_us p) payloads
+
+let attach kind device ~processor =
+  match kind with
+  | Sanitizer ->
+      require_nvidia device "Backend.attach(Sanitizer)";
+      let s = Vendor.Sanitizer.attach device in
+      List.iter
+        (Vendor.Sanitizer.enable_domain s)
+        [
+          Vendor.Sanitizer.Driver_api;
+          Vendor.Sanitizer.Launch;
+          Vendor.Sanitizer.Memcpy;
+          Vendor.Sanitizer.Memset;
+          Vendor.Sanitizer.Memory;
+          Vendor.Sanitizer.Synchronize;
+        ];
+      let t = { device; session = S_sanitizer s; processor } in
+      Vendor.Sanitizer.set_callback s (fun cb -> pump t (Normalize.of_sanitizer cb));
+      t
+  | Nvbit ->
+      require_nvidia device "Backend.attach(Nvbit)";
+      let s = Vendor.Nvbit.attach device in
+      let t = { device; session = S_nvbit s; processor } in
+      Vendor.Nvbit.at_cuda_event s (fun ev -> pump t (Normalize.of_nvbit ev));
+      t
+  | Rocprofiler ->
+      let s = Vendor.Rocprofiler.attach device in
+      let t = { device; session = S_rocprofiler s; processor } in
+      Vendor.Rocprofiler.configure_callback s (fun r -> pump t (Normalize.of_rocprofiler r));
+      t
+  | Xprof ->
+      let s = Vendor.Xprof.attach device in
+      let t = { device; session = S_xprof s; processor } in
+      Vendor.Xprof.configure_callback s (fun r -> pump t (Normalize.of_xprof r));
+      t
+
+let detach t =
+  match t.session with
+  | S_sanitizer s -> Vendor.Sanitizer.detach s
+  | S_nvbit s -> Vendor.Nvbit.detach s
+  | S_rocprofiler s -> Vendor.Rocprofiler.detach s
+  | S_xprof s -> Vendor.Xprof.detach s
+
+let kind t =
+  match t.session with
+  | S_sanitizer _ -> Sanitizer
+  | S_nvbit _ -> Nvbit
+  | S_rocprofiler _ -> Rocprofiler
+  | S_xprof _ -> Xprof
+
+let phases t =
+  match t.session with
+  | S_sanitizer s -> Vendor.Sanitizer.phases s
+  | S_nvbit s -> Vendor.Nvbit.phases s
+  | S_rocprofiler s -> Vendor.Rocprofiler.phases s
+  | S_xprof s -> Vendor.Xprof.phases s
+
+let device t = t.device
+
+let region_feeder t (info : D.launch_info) (r : Gpusim.Kernel.region) =
+  Processor.submit_region t.processor
+    (Event.kernel_info_of_launch info)
+    ~base:r.Gpusim.Kernel.base ~extent:r.Gpusim.Kernel.bytes
+    ~accesses:r.Gpusim.Kernel.accesses ~written:r.Gpusim.Kernel.write
+
+let completion_feeder t (info : D.launch_info) (_ : D.exec_stats) =
+  Processor.flush_kernel_summary t.processor ~time_us:(D.now_us t.device)
+    (Event.kernel_info_of_launch info)
+
+let access_feeder t (info : D.launch_info) (a : Gpusim.Warp.access) =
+  Processor.submit_access t.processor ~time_us:(D.now_us t.device)
+    (Event.kernel_info_of_launch info)
+    {
+      Event.addr = a.Gpusim.Warp.addr;
+      size = a.Gpusim.Warp.size;
+      write = a.Gpusim.Warp.write;
+      pc = a.Gpusim.Warp.pc;
+      warp = a.Gpusim.Warp.warp_id;
+      weight = a.Gpusim.Warp.weight;
+    }
+
+let enable_fine_grained t mode =
+  let map_bytes () = Objmap.map_bytes (Processor.objmap t.processor) in
+  match (mode, t.session) with
+  | Tool.No_fine_grained, _ -> ()
+  | Tool.Gpu_accelerated, S_sanitizer s ->
+      Vendor.Sanitizer.patch_module s
+        (Vendor.Sanitizer.Device_analysis
+           {
+             map_bytes;
+             device_fn = region_feeder t;
+             on_kernel_complete = completion_feeder t;
+           })
+  | Tool.Gpu_accelerated, S_rocprofiler s ->
+      Vendor.Rocprofiler.patch_kernels s ~map_bytes ~device_fn:(region_feeder t)
+        ~on_kernel_complete:(completion_feeder t)
+  | Tool.Gpu_accelerated, S_nvbit _ ->
+      invalid_arg "Backend: NVBit supports only CPU-side trace analysis"
+  | (Tool.Gpu_accelerated | Tool.Cpu_sanitizer | Tool.Cpu_nvbit | Tool.Instruction_level), S_xprof _ ->
+      invalid_arg "Backend: TPUs expose no fine-grained instrumentation"
+  | Tool.Cpu_sanitizer, S_sanitizer s ->
+      Vendor.Sanitizer.patch_module s
+        (Vendor.Sanitizer.Host_analysis
+           {
+             buffer_records = Vendor.Sanitizer.default_buffer_records;
+             on_record = access_feeder t;
+             per_record_us = Gpusim.Costmodel.sanitizer_host_per_record_us;
+           })
+  | Tool.Cpu_nvbit, S_nvbit s ->
+      Vendor.Nvbit.instrument_memory s ~on_record:(access_feeder t) ()
+  | Tool.Instruction_level, S_sanitizer s ->
+      Vendor.Sanitizer.patch_module s
+        (Vendor.Sanitizer.Instruction_analysis
+           {
+             classes = Vendor.Sanitizer.all_instr_classes;
+             on_profile =
+               (fun info profile ->
+                 Processor.submit_profile t.processor ~time_us:(D.now_us t.device)
+                   (Event.kernel_info_of_launch info)
+                   profile);
+           })
+  | Tool.Cpu_sanitizer, _ ->
+      invalid_arg "Backend: CPU-sanitizer analysis needs the Sanitizer backend"
+  | Tool.Cpu_nvbit, _ -> invalid_arg "Backend: CPU-NVBit analysis needs the NVBit backend"
+  | Tool.Instruction_level, _ ->
+      invalid_arg "Backend: instruction-level analysis needs the Sanitizer backend"

@@ -1,0 +1,40 @@
+(** Vendor-abstraction layer: attach any supported profiling substrate to
+    a device and pump normalized events into an event processor
+    (paper §III-D, "Support for Diverse GPU Platforms").
+
+    Supporting a new accelerator means adding one constructor here and a
+    normalization function in {!Normalize} — tools and the processor are
+    untouched, which is the modularity claim of the paper's design. *)
+
+type kind = Sanitizer | Nvbit | Rocprofiler | Xprof
+
+val kind_to_string : kind -> string
+
+val default_kind_for : Gpusim.Device.t -> kind
+(** Sanitizer on NVIDIA parts, Rocprofiler on AMD parts, Xprof on Google
+    parts. *)
+
+type t
+
+val attach : kind -> Gpusim.Device.t -> processor:Processor.t -> t
+(** Subscribe to every coarse event domain and forward normalized events
+    with device timestamps.  Raises [Invalid_argument] on a vendor
+    mismatch (e.g. [Rocprofiler] on an NVIDIA device). *)
+
+val detach : t -> unit
+val kind : t -> kind
+val phases : t -> Vendor.Phases.t
+val device : t -> Gpusim.Device.t
+
+val enable_fine_grained : t -> Tool.fine_grained -> unit
+(** Install the instrumentation the tool's analysis model needs:
+
+    - [Gpu_accelerated]: device-resident aggregation (Sanitizer patching
+      or ROCProfiler kernel patching) feeding
+      {!Processor.submit_region} / {!Processor.flush_kernel_summary};
+    - [Cpu_sanitizer]: Sanitizer host-buffer tracing feeding
+      {!Processor.submit_access};
+    - [Cpu_nvbit]: NVBit memory tracing (requires an [Nvbit] backend);
+    - [No_fine_grained]: nothing.
+
+    Raises [Invalid_argument] on unsupported backend/model combinations. *)

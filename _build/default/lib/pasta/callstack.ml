@@ -1,0 +1,23 @@
+module H = Gpusim.Hostctx
+
+type t = { native : H.frame list; python : H.frame list }
+
+let of_kernel (k : Event.kernel_info) =
+  { native = k.Event.native_stack; python = k.Event.py_stack }
+
+let depth t = List.length t.native + List.length t.python
+
+(* The process-entry frames every native backtrace bottoms out in. *)
+let libc_frames =
+  [
+    { H.file = "../sysdeps/nptl/libc_start_call_main.h"; line = 58; symbol = "__libc_start_call_main" };
+    { H.file = "../csu/libc-start.c"; line = 392; symbol = "__libc_start_main_impl" };
+  ]
+
+let pp ppf t =
+  List.iter (fun f -> Format.fprintf ppf "%a@." H.pp_frame f) t.native;
+  if t.native <> [] then begin
+    Format.fprintf ppf "...@.";
+    List.iter (fun f -> Format.fprintf ppf "%a@." H.pp_frame f) libc_frames
+  end;
+  List.iter (fun f -> Format.fprintf ppf "%a@." H.pp_frame f) t.python

@@ -1,0 +1,21 @@
+(** Cross-layer call-stack utilities (paper §III-F2, Fig. 4).
+
+    PASTA distinguishes itself by joining the low-level C/C++ backtrace
+    (libbacktrace on real hardware) with the high-level Python stack
+    (CPython frame walking) into one cross-layer view: native frames
+    innermost-first, then the Python frames that led there. *)
+
+type t = {
+  native : Gpusim.Hostctx.frame list;  (** innermost first *)
+  python : Gpusim.Hostctx.frame list;  (** innermost first *)
+}
+
+val of_kernel : Event.kernel_info -> t
+(** The stacks captured when the kernel was launched. *)
+
+val depth : t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Fig. 4 layout: native frames first (innermost to outermost, ending in
+    the libc entry frames), then the Python frames innermost to
+    outermost. *)

@@ -1,0 +1,17 @@
+let overrides : (string, string) Hashtbl.t = Hashtbl.create 8
+
+let set k v = Hashtbl.replace overrides k v
+let unset k = Hashtbl.remove overrides k
+let clear_overrides () = Hashtbl.reset overrides
+
+let get k =
+  match Hashtbl.find_opt overrides k with
+  | Some v -> Some v
+  | None -> Sys.getenv_opt k
+
+let get_int k = Option.bind (get k) int_of_string_opt
+
+let tool_name () = get "PASTA_TOOL"
+let start_grid_id () = get_int "START_GRID_ID"
+let end_grid_id () = get_int "END_GRID_ID"
+let sample_rate () = get_int "ACCEL_PROF_ENV_SAMPLE_RATE"

@@ -1,0 +1,20 @@
+(** Configuration knobs, settable programmatically or through the
+    environment variables the paper's artifact uses
+    ([PASTA_TOOL], [START_GRID_ID], [END_GRID_ID],
+    [ACCEL_PROF_ENV_SAMPLE_RATE]).  Programmatic overrides win over the
+    environment; [clear_overrides] restores environment-only behaviour. *)
+
+val set : string -> string -> unit
+val unset : string -> unit
+val clear_overrides : unit -> unit
+
+val get : string -> string option
+val get_int : string -> int option
+(** [None] when the variable is absent or not an integer. *)
+
+val tool_name : unit -> string option
+(** [PASTA_TOOL]. *)
+
+val start_grid_id : unit -> int option
+val end_grid_id : unit -> int option
+val sample_rate : unit -> int option

@@ -1,0 +1,52 @@
+type t = { device : Gpusim.Device.t; mem_name : string; op_name : string }
+
+let counter = ref 0
+
+let attach device ~processor =
+  incr counter;
+  let suffix = Printf.sprintf "%d-%d" (Gpusim.Device.id device) !counter in
+  let t =
+    {
+      device;
+      mem_name = "pasta-mem-" ^ suffix;
+      op_name = "pasta-op-" ^ suffix;
+    }
+  in
+  Dlfw.Callbacks.add_memory_observer t.mem_name (fun ev ->
+      if ev.Dlfw.Callbacks.device_id = Gpusim.Device.id device then begin
+        let time_us = Gpusim.Device.now_us device in
+        let payload =
+          if ev.Dlfw.Callbacks.size_delta >= 0 then
+            Event.Tensor_alloc
+              {
+                ptr = ev.Dlfw.Callbacks.ptr;
+                bytes = ev.Dlfw.Callbacks.size_delta;
+                pool_allocated = ev.Dlfw.Callbacks.total_allocated;
+                pool_reserved = ev.Dlfw.Callbacks.total_reserved;
+                tag = ev.Dlfw.Callbacks.tag;
+              }
+          else
+            Event.Tensor_free
+              {
+                ptr = ev.Dlfw.Callbacks.ptr;
+                bytes = -ev.Dlfw.Callbacks.size_delta;
+                pool_allocated = ev.Dlfw.Callbacks.total_allocated;
+                pool_reserved = ev.Dlfw.Callbacks.total_reserved;
+              }
+        in
+        Processor.submit processor ~time_us payload
+      end);
+  Dlfw.Callbacks.add_op_observer t.op_name (fun ev ->
+      if ev.Dlfw.Callbacks.device_id = Gpusim.Device.id device then
+        Processor.submit processor ~time_us:(Gpusim.Device.now_us device)
+          (Event.Operator
+             {
+               name = ev.Dlfw.Callbacks.op_name;
+               phase = (match ev.Dlfw.Callbacks.phase with `Begin -> `Enter | `End -> `Exit);
+               seq = ev.Dlfw.Callbacks.seq;
+             }));
+  t
+
+let detach t =
+  Dlfw.Callbacks.remove_memory_observer t.mem_name;
+  Dlfw.Callbacks.remove_op_observer t.op_name

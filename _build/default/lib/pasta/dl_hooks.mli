@@ -1,0 +1,15 @@
+(** DL-framework integration (paper §III-E): subscribe to the framework's
+    callback surface ([reportMemoryUsage] / [RecordFunction]) and forward
+    tensor and operator events, normalized, into the event processor.
+
+    This is the half of PASTA that vendor tools cannot see — it closes the
+    gap between pool-managed tensors and the raw runtime allocations the
+    profiling libraries report. *)
+
+type t
+
+val attach : Gpusim.Device.t -> processor:Processor.t -> t
+(** Events from other devices are filtered out, which is what makes
+    multi-GPU profiling attribute tensors to the right rank. *)
+
+val detach : t -> unit

@@ -1,0 +1,87 @@
+(** PASTA's unified event vocabulary (paper Table II).
+
+    Every profiling backend and DL-framework hook is normalized into this
+    one type, so tools are written once and run on any vendor or
+    framework.  Events are grouped exactly as the paper groups them:
+    coarse-grained host-called API events, fine-grained device-side
+    operations, and high-level DL framework events. *)
+
+type api_phase = [ `Enter | `Exit ]
+
+type copy_direction = [ `H2d | `D2h | `D2d | `P2p of int ]
+
+val pp_direction : Format.formatter -> copy_direction -> unit
+
+type kernel_info = {
+  device_id : int;
+  grid_id : int;
+  stream : int;
+  name : string;
+  grid : Gpusim.Dim3.t;
+  block : Gpusim.Dim3.t;
+  shared_bytes : int;
+  arg_ptrs : int list;
+  py_stack : Gpusim.Hostctx.frame list;
+  native_stack : Gpusim.Hostctx.frame list;
+}
+
+val kernel_info_of_launch : Gpusim.Device.launch_info -> kernel_info
+
+type kernel_end_summary = {
+  duration_us : float;
+  true_accesses : int;
+  faulted_pages : int;
+}
+
+type mem_access = {
+  addr : int;
+  size : int;
+  write : bool;
+  pc : int;
+  warp : int;
+  weight : int;  (** true accesses this sampled record stands for *)
+}
+
+type region_summary = {
+  base : int;
+  extent : int;
+  accesses : int;
+  written : bool;
+}
+
+type payload =
+  (* Coarse-grained host-called API events *)
+  | Driver_call of { name : string; phase : api_phase }
+  | Runtime_call of { name : string; phase : api_phase }
+  | Kernel_launch of { info : kernel_info; phase : [ `Begin | `End of kernel_end_summary ] }
+  | Memory_copy of { bytes : int; direction : copy_direction; stream : int }
+  | Memory_set of { addr : int; bytes : int; value : int }
+  | Memory_alloc of { addr : int; bytes : int; managed : bool }
+  | Memory_free of { addr : int; bytes : int }
+  | Synchronization of { scope : [ `Device | `Stream of int ] }
+  (* Fine-grained device-side operations *)
+  | Global_access of { kernel : kernel_info; access : mem_access }
+  | Shared_access of { kernel : kernel_info; access : mem_access }
+  | Kernel_region of { kernel : kernel_info; region : region_summary }
+      (** aggregated by GPU-resident analysis *)
+  | Barrier of { kernel : kernel_info; count : int }
+  (* High-level DL framework events *)
+  | Operator of { name : string; phase : api_phase; seq : int }
+  | Tensor_alloc of { ptr : int; bytes : int; pool_allocated : int; pool_reserved : int; tag : string }
+  | Tensor_free of { ptr : int; bytes : int; pool_allocated : int; pool_reserved : int }
+  | Annotation of { label : string; phase : [ `Start | `End ] }
+      (** pasta.start / pasta.end user annotations *)
+
+type t = {
+  device : int;
+  time_us : float;  (** simulated timestamp at emission *)
+  payload : payload;
+}
+
+val kind_name : payload -> string
+(** Short classifier used by filters and reports, e.g. "kernel_launch". *)
+
+val is_fine_grained : payload -> bool
+val is_dl_framework : payload -> bool
+
+val pp : Format.formatter -> t -> unit

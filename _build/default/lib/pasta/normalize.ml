@@ -1,0 +1,123 @@
+module D = Gpusim.Device
+
+let strip_prefix s p =
+  if String.length s >= String.length p && String.sub s 0 (String.length p) = p then
+    Some (String.sub s (String.length p) (String.length s - String.length p))
+  else None
+
+let canonical_api name =
+  match strip_prefix name "cuda" with
+  | Some rest -> rest
+  | None -> (
+      match strip_prefix name "hip" with
+      | Some rest -> (
+          match rest with "ModuleLaunchKernel" -> "LaunchKernel" | r -> r)
+      | None -> (
+          match strip_prefix name "TpuExecutor_" with
+          | Some rest -> rest
+          | None -> (
+              match strip_prefix name "cu" with
+              | Some rest -> rest
+              | None -> name)))
+
+let direction_of_kind = function
+  | D.Host_to_device -> `H2d
+  | D.Device_to_host -> `D2h
+  | D.Device_to_device -> `D2d
+  | D.Peer d -> `P2p d
+
+let launch_payload info phase =
+  Event.Kernel_launch { info = Event.kernel_info_of_launch info; phase }
+
+let end_summary (s : D.exec_stats) =
+  {
+    Event.duration_us = s.D.duration_us;
+    true_accesses = s.D.true_accesses;
+    faulted_pages = s.D.faulted_pages;
+  }
+
+let of_sanitizer (cb : Vendor.Sanitizer.callback) =
+  match cb with
+  | Vendor.Sanitizer.Api { name; phase } ->
+      [ Event.Driver_call { name = canonical_api name; phase } ]
+  | Launch_begin info -> [ launch_payload info `Begin ]
+  | Launch_end (info, stats) -> [ launch_payload info (`End (end_summary stats)) ]
+  | Memcpy_cb { bytes; kind; stream; _ } ->
+      [ Event.Memory_copy { bytes; direction = direction_of_kind kind; stream } ]
+  | Memset_cb { addr; bytes; value; _ } -> [ Event.Memory_set { addr; bytes; value } ]
+  | Alloc_cb alloc ->
+      [
+        Event.Memory_alloc
+          {
+            addr = alloc.Gpusim.Device_mem.base;
+            bytes = alloc.Gpusim.Device_mem.bytes;
+            managed = alloc.Gpusim.Device_mem.managed;
+          };
+      ]
+  | Free_cb alloc ->
+      [
+        Event.Memory_free
+          { addr = alloc.Gpusim.Device_mem.base; bytes = alloc.Gpusim.Device_mem.bytes };
+      ]
+  | Sync_cb scope -> [ Event.Synchronization { scope } ]
+
+let of_nvbit (ev : Vendor.Nvbit.cuda_event) =
+  match ev with
+  | Vendor.Nvbit.Ev_launch_begin info -> [ launch_payload info `Begin ]
+  | Ev_launch_end (info, stats) -> [ launch_payload info (`End (end_summary stats)) ]
+  | Ev_memcpy { bytes; kind } ->
+      [ Event.Memory_copy { bytes; direction = direction_of_kind kind; stream = 0 } ]
+  | Ev_malloc alloc ->
+      [
+        Event.Memory_alloc
+          {
+            addr = alloc.Gpusim.Device_mem.base;
+            bytes = alloc.Gpusim.Device_mem.bytes;
+            managed = alloc.Gpusim.Device_mem.managed;
+          };
+      ]
+  | Ev_free alloc ->
+      [
+        Event.Memory_free
+          { addr = alloc.Gpusim.Device_mem.base; bytes = alloc.Gpusim.Device_mem.bytes };
+      ]
+  | Ev_sync -> [ Event.Synchronization { scope = `Device } ]
+
+let of_rocprofiler (r : Vendor.Rocprofiler.record) =
+  match r with
+  | Vendor.Rocprofiler.Hip_api { name; phase } ->
+      [ Event.Runtime_call { name = canonical_api name; phase } ]
+  | Kernel_dispatch { dispatch; phase = `Begin; _ } -> [ launch_payload dispatch `Begin ]
+  | Kernel_dispatch { dispatch; phase = `End; stats = Some s; _ } ->
+      [ launch_payload dispatch (`End (end_summary s)) ]
+  | Kernel_dispatch { phase = `End; stats = None; _ } -> []
+  | Memory_copy { bytes; kind } ->
+      [ Event.Memory_copy { bytes; direction = direction_of_kind kind; stream = 0 } ]
+  | Memory_allocate { address; size_delta; _ } ->
+      (* The AMD convention reports release as a negative-sized allocation;
+         normalize to distinct alloc/free events. *)
+      if size_delta >= 0 then
+        [ Event.Memory_alloc { addr = address; bytes = size_delta; managed = false } ]
+      else [ Event.Memory_free { addr = address; bytes = -size_delta } ]
+  | Scratch_memory _ -> []
+  | Sync_event -> [ Event.Synchronization { scope = `Device } ]
+
+let of_xprof (r : Vendor.Xprof.record) =
+  match r with
+  | Vendor.Xprof.Program_execute { dispatch; phase = `Begin; _ } ->
+      [ launch_payload dispatch `Begin ]
+  | Program_execute { dispatch; phase = `End; stats = Some s; _ } ->
+      [ launch_payload dispatch (`End (end_summary s)) ]
+  | Program_execute { phase = `End; stats = None; _ } -> []
+  | Buffer_allocate { address; bytes } ->
+      [ Event.Memory_alloc { addr = address; bytes; managed = false } ]
+  | Buffer_deallocate { address; bytes } ->
+      [ Event.Memory_free { addr = address; bytes } ]
+  | Infeed { bytes } ->
+      [ Event.Memory_copy { bytes; direction = `H2d; stream = 0 } ]
+  | Outfeed { bytes } ->
+      [ Event.Memory_copy { bytes; direction = `D2h; stream = 0 } ]
+  | Step_marker -> [ Event.Synchronization { scope = `Device } ]
+  | Systolic_array_active _ ->
+      (* Vendor-unique plane with no cross-accelerator semantics. *)
+      []

@@ -1,0 +1,26 @@
+(** Vendor-record normalization (paper §III-G, "Handling Differences in
+    Low-Level Event Semantics").
+
+    Each vendor substrate reports the same semantic events with different
+    shapes — HIP vs CUDA API names, allocation/release as one
+    signed-delta record on AMD vs two distinct records on NVIDIA, agents
+    vs devices.  These functions map every vendor record onto the unified
+    {!Event.payload} vocabulary. *)
+
+val canonical_api : string -> string
+(** Strip the vendor prefix: "cudaMalloc", "hipMalloc" and
+    "TpuExecutor_Malloc" all become "Malloc"; "cuLaunchKernel" and
+    "hipModuleLaunchKernel" become "LaunchKernel"; unknown names pass
+    through unchanged. *)
+
+val direction_of_kind : Gpusim.Device.memcpy_kind -> Event.copy_direction
+
+val of_sanitizer : Vendor.Sanitizer.callback -> Event.payload list
+val of_nvbit : Vendor.Nvbit.cuda_event -> Event.payload list
+val of_rocprofiler : Vendor.Rocprofiler.record -> Event.payload list
+
+val of_xprof : Vendor.Xprof.record -> Event.payload list
+(** TPU XSpace records.  Vendor-unique planes ([Systolic_array_active])
+    normalize to nothing — the paper's "ignored on other accelerators"
+    rule — while programs, buffers and feeds map to the shared
+    vocabulary. *)

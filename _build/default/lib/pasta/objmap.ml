@@ -1,0 +1,56 @@
+module Imap = Map.Make (Int)
+
+type obj =
+  | Tensor of { ptr : int; bytes : int; tag : string }
+  | Device_alloc of { ptr : int; bytes : int; managed : bool }
+  | Unknown of int
+
+let obj_key = function
+  | Tensor { ptr; _ } | Device_alloc { ptr; _ } -> ptr
+  | Unknown addr -> addr
+
+let obj_bytes = function
+  | Tensor { bytes; _ } | Device_alloc { bytes; _ } -> bytes
+  | Unknown _ -> 0
+
+let obj_label = function
+  | Tensor { tag; _ } -> "tensor:" ^ tag
+  | Device_alloc { managed; _ } -> if managed then "managed-alloc" else "device-alloc"
+  | Unknown _ -> "unknown"
+
+type alloc_rec = { a_bytes : int; managed : bool }
+type tensor_rec = { t_bytes : int; tag : string }
+
+type t = {
+  mutable allocs : alloc_rec Imap.t;
+  mutable tensors : tensor_rec Imap.t;
+}
+
+let create () = { allocs = Imap.empty; tensors = Imap.empty }
+
+let on_alloc t ~addr ~bytes ~managed =
+  t.allocs <- Imap.add addr { a_bytes = bytes; managed } t.allocs
+
+let on_free t ~addr = t.allocs <- Imap.remove addr t.allocs
+
+let on_tensor_alloc t ~ptr ~bytes ~tag =
+  t.tensors <- Imap.add ptr { t_bytes = bytes; tag } t.tensors
+
+let on_tensor_free t ~ptr = t.tensors <- Imap.remove ptr t.tensors
+
+let find_covering map addr size_of =
+  match Imap.find_last_opt (fun b -> b <= addr) map with
+  | Some (base, r) when addr < base + size_of r -> Some (base, r)
+  | _ -> None
+
+let resolve t addr =
+  match find_covering t.tensors addr (fun r -> r.t_bytes) with
+  | Some (ptr, r) -> Tensor { ptr; bytes = r.t_bytes; tag = r.tag }
+  | None -> (
+      match find_covering t.allocs addr (fun r -> r.a_bytes) with
+      | Some (ptr, r) -> Device_alloc { ptr; bytes = r.a_bytes; managed = r.managed }
+      | None -> Unknown addr)
+
+let live_objects t = Imap.cardinal t.allocs + Imap.cardinal t.tensors
+let live_allocs t = List.map (fun (b, r) -> (b, r.a_bytes)) (Imap.bindings t.allocs)
+let map_bytes t = 16 * max 1 (live_objects t)

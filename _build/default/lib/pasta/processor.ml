@@ -1,0 +1,164 @@
+type stats = {
+  mutable events_seen : int;
+  mutable events_dispatched : int;
+  mutable kernels_seen : int;
+  mutable summaries_flushed : int;
+}
+
+type pending_region = { p_base : int; p_extent : int; p_accesses : int; p_written : bool }
+
+type t = {
+  device : int;
+  objmap : Objmap.t;
+  range : Range.t;
+  mutable tool : Tool.t option;
+  stats : stats;
+  mutable pending : (int * pending_region list) option;
+      (** (grid_id, regions) of the kernel currently being aggregated *)
+}
+
+let create ?range ~device () =
+  let range = match range with Some r -> r | None -> Range.of_config () in
+  {
+    device;
+    objmap = Objmap.create ();
+    range;
+    tool = None;
+    stats = { events_seen = 0; events_dispatched = 0; kernels_seen = 0; summaries_flushed = 0 };
+    pending = None;
+  }
+
+let set_tool t tool = t.tool <- Some tool
+let clear_tool t = t.tool <- None
+let tool t = t.tool
+let objmap t = t.objmap
+let range t = t.range
+let stats t = t.stats
+
+let update_registry t payload =
+  match payload with
+  | Event.Memory_alloc { addr; bytes; managed } ->
+      Objmap.on_alloc t.objmap ~addr ~bytes ~managed
+  | Event.Memory_free { addr; _ } -> Objmap.on_free t.objmap ~addr
+  | Event.Tensor_alloc { ptr; bytes; tag; _ } ->
+      Objmap.on_tensor_alloc t.objmap ~ptr ~bytes ~tag
+  | Event.Tensor_free { ptr; _ } -> Objmap.on_tensor_free t.objmap ~ptr
+  | _ -> ()
+
+let in_range t payload =
+  match payload with
+  | Event.Kernel_launch { info; _ }
+  | Event.Global_access { kernel = info; _ }
+  | Event.Shared_access { kernel = info; _ }
+  | Event.Kernel_region { kernel = info; _ }
+  | Event.Barrier { kernel = info; _ } ->
+      Range.active t.range ~grid_id:info.Event.grid_id
+  | _ -> Range.active_now t.range
+
+let dispatch t (ev : Event.t) =
+  match t.tool with
+  | None -> ()
+  | Some tool ->
+      t.stats.events_dispatched <- t.stats.events_dispatched + 1;
+      tool.Tool.on_event ev;
+      (match ev.Event.payload with
+      | Event.Kernel_launch { info; phase = `Begin } -> tool.Tool.on_kernel_begin info
+      | Event.Kernel_launch { info; phase = `End s } -> tool.Tool.on_kernel_end info s
+      | Event.Operator { name; phase; seq } -> tool.Tool.on_operator name phase seq
+      | Event.Tensor_alloc { ptr; bytes; tag; _ } ->
+          tool.Tool.on_tensor (`Alloc (ptr, bytes, tag))
+      | Event.Tensor_free { ptr; bytes; _ } -> tool.Tool.on_tensor (`Free (ptr, bytes))
+      | _ -> ())
+
+let submit t ~time_us payload =
+  t.stats.events_seen <- t.stats.events_seen + 1;
+  update_registry t payload;
+  (match payload with
+  | Event.Kernel_launch { phase = `Begin; _ } ->
+      t.stats.kernels_seen <- t.stats.kernels_seen + 1
+  | _ -> ());
+  if in_range t payload then
+    dispatch t { Event.device = t.device; time_us; payload }
+
+let submit_region t (info : Event.kernel_info) ~base ~extent ~accesses ~written =
+  let region = { p_base = base; p_extent = extent; p_accesses = accesses; p_written = written } in
+  match t.pending with
+  | Some (gid, regions) when gid = info.Event.grid_id ->
+      t.pending <- Some (gid, region :: regions)
+  | _ -> t.pending <- Some (info.Event.grid_id, [ region ])
+
+let flush_kernel_summary t ~time_us (info : Event.kernel_info) =
+  match t.pending with
+  | Some (gid, regions) when gid = info.Event.grid_id ->
+      t.pending <- None;
+      t.stats.summaries_flushed <- t.stats.summaries_flushed + 1;
+      if Range.active t.range ~grid_id:info.Event.grid_id then begin
+        (* Emit one Kernel_region event per raw region... *)
+        List.iter
+          (fun r ->
+            dispatch t
+              {
+                Event.device = t.device;
+                time_us;
+                payload =
+                  Event.Kernel_region
+                    {
+                      kernel = info;
+                      region =
+                        {
+                          Event.base = r.p_base;
+                          extent = r.p_extent;
+                          accesses = r.p_accesses;
+                          written = r.p_written;
+                        };
+                    };
+              })
+          (List.rev regions);
+        (* ...and the object-level aggregate for the tool. *)
+        match t.tool with
+        | None -> ()
+        | Some tool ->
+            let by_obj = Hashtbl.create 8 in
+            List.iter
+              (fun r ->
+                let obj = Objmap.resolve t.objmap r.p_base in
+                let key = Objmap.obj_key obj in
+                match Hashtbl.find_opt by_obj key with
+                | Some (o, count) -> Hashtbl.replace by_obj key (o, count + r.p_accesses)
+                | None -> Hashtbl.add by_obj key (obj, r.p_accesses))
+              regions;
+            let summary =
+              Hashtbl.fold (fun _ (o, c) acc -> (o, c) :: acc) by_obj []
+              |> List.sort (fun (a, _) (b, _) -> compare (Objmap.obj_key a) (Objmap.obj_key b))
+            in
+            tool.Tool.on_mem_summary info summary
+      end
+  | _ -> ()
+
+let submit_access t ~time_us (info : Event.kernel_info) access =
+  t.stats.events_seen <- t.stats.events_seen + 1;
+  if Range.active t.range ~grid_id:info.Event.grid_id then begin
+    dispatch t
+      {
+        Event.device = t.device;
+        time_us;
+        payload = Event.Global_access { kernel = info; access };
+      };
+    match t.tool with Some tool -> tool.Tool.on_access info access | None -> ()
+  end
+
+let submit_profile t ~time_us (info : Event.kernel_info) profile =
+  t.stats.events_seen <- t.stats.events_seen + 1;
+  ignore time_us;
+  if Range.active t.range ~grid_id:info.Event.grid_id then
+    match t.tool with
+    | Some tool -> tool.Tool.on_kernel_profile info profile
+    | None -> ()
+
+let annot_start t label =
+  Range.annot_start t.range label;
+  submit t ~time_us:0.0 (Event.Annotation { label; phase = `Start })
+
+let annot_end t label =
+  Range.annot_end t.range label;
+  submit t ~time_us:0.0 (Event.Annotation { label; phase = `End })

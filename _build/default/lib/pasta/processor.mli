@@ -1,0 +1,53 @@
+(** The PASTA event processor (paper §III-B): the dispatch and
+    preprocessing layer between the event handler and the tools.
+
+    It maintains the memory-object registry from the event stream, applies
+    the range filter, enriches fine-grained data (resolving raw addresses
+    to objects), and routes each event to the active tool's callbacks.
+    For GPU-accelerated analysis it accumulates per-kernel region
+    aggregates and flushes them as object-level summaries when the kernel
+    completes. *)
+
+type stats = {
+  mutable events_seen : int;
+  mutable events_dispatched : int;
+  mutable kernels_seen : int;
+  mutable summaries_flushed : int;
+}
+
+type t
+
+val create : ?range:Range.t -> device:int -> unit -> t
+
+val set_tool : t -> Tool.t -> unit
+val clear_tool : t -> unit
+val tool : t -> Tool.t option
+
+val objmap : t -> Objmap.t
+val range : t -> Range.t
+val stats : t -> stats
+
+val submit : t -> time_us:float -> Event.payload -> unit
+(** Feed one normalized event.  Registry updates happen regardless of the
+    range filter; tool dispatch respects it. *)
+
+val submit_region :
+  t -> Event.kernel_info -> base:int -> extent:int -> accesses:int -> written:bool -> unit
+(** Accumulate a device-side region aggregate for the kernel currently
+    executing (GPU-accelerated mode). *)
+
+val flush_kernel_summary : t -> time_us:float -> Event.kernel_info -> unit
+(** Resolve the accumulated regions to objects, aggregate per object, emit
+    [Kernel_region] events and call the tool's [on_mem_summary]. *)
+
+val submit_access : t -> time_us:float -> Event.kernel_info -> Event.mem_access -> unit
+(** Feed one host-analyzed trace record (CPU modes). *)
+
+val submit_profile :
+  t -> time_us:float -> Event.kernel_info -> Gpusim.Kernel.profile -> unit
+(** Feed a per-kernel behaviour profile (instruction-level mode);
+    dispatched to the tool's [on_kernel_profile] when in range. *)
+
+val annot_start : t -> string -> unit
+val annot_end : t -> string -> unit
+(** Range annotations, also forwarded as [Annotation] events. *)

@@ -1,0 +1,91 @@
+type t = {
+  device : Gpusim.Device.t;
+  backend : Backend.t;
+  dl : Dl_hooks.t;
+  proc : Processor.t;
+  the_tool : Tool.t;
+  start_us : float;
+  saved_sample_cap : int;
+}
+
+type result = {
+  tool_name : string;
+  phases : Vendor.Phases.t;
+  events_seen : int;
+  events_dispatched : int;
+  kernels : int;
+  elapsed_us : float;
+  report : Format.formatter -> unit;
+}
+
+let active : t list ref = ref []
+
+let attach ?backend ?range ?sample_rate ~tool device =
+  let kind =
+    match backend with
+    | Some k -> k
+    | None -> (
+        match tool.Tool.fine_grained with
+        | Tool.Cpu_nvbit -> Backend.Nvbit
+        | _ -> Backend.default_kind_for device)
+  in
+  let proc = Processor.create ?range ~device:(Gpusim.Device.id device) () in
+  Processor.set_tool proc tool;
+  let b = Backend.attach kind device ~processor:proc in
+  Backend.enable_fine_grained b tool.Tool.fine_grained;
+  let dl = Dl_hooks.attach device ~processor:proc in
+  let saved_sample_cap = Gpusim.Device.sample_cap device in
+  (match (sample_rate, Config.sample_rate ()) with
+  | Some r, _ | None, Some r -> Gpusim.Device.set_sample_cap device r
+  | None, None -> ());
+  let s =
+    {
+      device;
+      backend = b;
+      dl;
+      proc;
+      the_tool = tool;
+      start_us = Gpusim.Device.now_us device;
+      saved_sample_cap;
+    }
+  in
+  active := s :: !active;
+  s
+
+let detach s =
+  active := List.filter (fun x -> x != s) !active;
+  Dl_hooks.detach s.dl;
+  let phases = Vendor.Phases.add (Vendor.Phases.create ()) (Backend.phases s.backend) in
+  Backend.detach s.backend;
+  Gpusim.Device.set_sample_cap s.device s.saved_sample_cap;
+  let stats = Processor.stats s.proc in
+  {
+    tool_name = s.the_tool.Tool.name;
+    phases;
+    events_seen = stats.Processor.events_seen;
+    events_dispatched = stats.Processor.events_dispatched;
+    kernels = stats.Processor.kernels_seen;
+    elapsed_us = Gpusim.Device.now_us s.device -. s.start_us;
+    report = s.the_tool.Tool.report;
+  }
+
+let run ?backend ?range ?sample_rate ~tool device f =
+  let s = attach ?backend ?range ?sample_rate ~tool device in
+  match f () with
+  | v -> (v, detach s)
+  | exception e ->
+      let (_ : result) = detach s in
+      raise e
+
+let processor s = s.proc
+let tool s = s.the_tool
+
+let start ?(label = "region") () =
+  match !active with
+  | [] -> ()
+  | s :: _ -> Processor.annot_start s.proc label
+
+let end_ ?(label = "region") () =
+  match !active with
+  | [] -> ()
+  | s :: _ -> Processor.annot_end s.proc label

@@ -1,0 +1,58 @@
+(** A profiling session: the [LD_PRELOAD] injection equivalent.
+
+    Attaching a session wires the whole PASTA stack onto a device: the
+    vendor backend for low-level events, the DL-framework hooks for
+    high-level events, the event processor in between, and the selected
+    tool — plus whatever fine-grained instrumentation the tool's analysis
+    model requires.  Detaching tears it all down and returns the run's
+    accounting.
+
+    {!start} / {!end_} implement the [pasta.start()] / [pasta.end()]
+    Python annotations (paper Listing 1) against the innermost active
+    session. *)
+
+type t
+
+type result = {
+  tool_name : string;
+  phases : Vendor.Phases.t;  (** profiling-time phase breakdown (Fig. 10) *)
+  events_seen : int;
+  events_dispatched : int;
+  kernels : int;
+  elapsed_us : float;  (** simulated device time spent while attached *)
+  report : Format.formatter -> unit;  (** the tool's report *)
+}
+
+val attach :
+  ?backend:Backend.kind ->
+  ?range:Range.t ->
+  ?sample_rate:int ->
+  tool:Tool.t ->
+  Gpusim.Device.t ->
+  t
+(** [backend] defaults per vendor ({!Backend.default_kind_for}), except
+    that a tool requiring [Cpu_nvbit] forces the NVBit backend.
+    [sample_rate] caps materialized records per kernel region (defaults to
+    [ACCEL_PROF_ENV_SAMPLE_RATE] when set). *)
+
+val detach : t -> result
+
+val run :
+  ?backend:Backend.kind ->
+  ?range:Range.t ->
+  ?sample_rate:int ->
+  tool:Tool.t ->
+  Gpusim.Device.t ->
+  (unit -> 'a) ->
+  'a * result
+(** Attach, run the workload, detach — even on exception. *)
+
+val processor : t -> Processor.t
+val tool : t -> Tool.t
+
+val start : ?label:string -> unit -> unit
+(** [pasta.start()]: open an analysis range on the innermost active
+    session; a no-op when no session is attached. *)
+
+val end_ : ?label:string -> unit -> unit
+(** [pasta.end()]. *)

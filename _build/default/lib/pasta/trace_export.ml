@@ -1,0 +1,207 @@
+(* Trace Event Format reference:
+   https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU *)
+
+type trace_event = {
+  name : string;
+  cat : string;
+  ph : string;  (* "X" duration, "i" instant, "C" counter *)
+  ts : float;  (* microseconds *)
+  dur : float option;
+  pid : int;
+  tid : int;
+  arg : (string * string) list;  (* rendered into "args" *)
+}
+
+type t = {
+  mutable events : trace_event list; (* reverse order *)
+  mutable count : int;
+  open_kernels : (int, float) Hashtbl.t; (* grid_id -> begin ts *)
+  open_ops : (int, string * float) Hashtbl.t; (* seq -> (name, begin ts) *)
+}
+
+let create () =
+  { events = []; count = 0; open_kernels = Hashtbl.create 32; open_ops = Hashtbl.create 32 }
+
+let push t ev =
+  t.events <- ev :: t.events;
+  t.count <- t.count + 1
+
+let event_count t = t.count
+
+(* Track ids keep the trace readable: GPU kernels, framework operators and
+   runtime calls land on separate rows. *)
+let tid_kernels = 1
+let tid_operators = 2
+let tid_memory = 3
+
+let record t (e : Event.t) =
+  let pid = e.Event.device in
+  let ts = e.Event.time_us in
+  match e.Event.payload with
+  | Event.Kernel_launch { info; phase = `Begin } ->
+      Hashtbl.replace t.open_kernels info.Event.grid_id ts
+  | Event.Kernel_launch { info; phase = `End summary } -> (
+      match Hashtbl.find_opt t.open_kernels info.Event.grid_id with
+      | None -> ()
+      | Some t0 ->
+          Hashtbl.remove t.open_kernels info.Event.grid_id;
+          push t
+            {
+              name = info.Event.name;
+              cat = "kernel";
+              ph = "X";
+              ts = t0;
+              dur = Some (Float.max summary.Event.duration_us (ts -. t0));
+              pid;
+              tid = tid_kernels;
+              arg =
+                [
+                  ("grid", Gpusim.Dim3.to_string info.Event.grid);
+                  ("block", Gpusim.Dim3.to_string info.Event.block);
+                  ("accesses", string_of_int summary.Event.true_accesses);
+                ];
+            })
+  | Event.Operator { name; phase = `Enter; seq } ->
+      Hashtbl.replace t.open_ops seq (name, ts)
+  | Event.Operator { phase = `Exit; seq; _ } -> (
+      match Hashtbl.find_opt t.open_ops seq with
+      | None -> ()
+      | Some (name, t0) ->
+          Hashtbl.remove t.open_ops seq;
+          push t
+            {
+              name;
+              cat = "operator";
+              ph = "X";
+              ts = t0;
+              dur = Some (ts -. t0);
+              pid;
+              tid = tid_operators;
+              arg = [];
+            })
+  | Event.Memory_alloc { addr; bytes; managed } ->
+      push t
+        {
+          name = "alloc";
+          cat = "memory";
+          ph = "i";
+          ts;
+          dur = None;
+          pid;
+          tid = tid_memory;
+          arg =
+            [
+              ("addr", Printf.sprintf "0x%x" addr);
+              ("bytes", string_of_int bytes);
+              ("managed", string_of_bool managed);
+            ];
+        }
+  | Event.Memory_free { addr; bytes } ->
+      push t
+        {
+          name = "free";
+          cat = "memory";
+          ph = "i";
+          ts;
+          dur = None;
+          pid;
+          tid = tid_memory;
+          arg = [ ("addr", Printf.sprintf "0x%x" addr); ("bytes", string_of_int bytes) ];
+        }
+  | Event.Tensor_alloc { pool_allocated; _ } | Event.Tensor_free { pool_allocated; _ } ->
+      push t
+        {
+          name = "framework memory";
+          cat = "memory";
+          ph = "C";
+          ts;
+          dur = None;
+          pid;
+          tid = tid_memory;
+          arg = [ ("allocated", string_of_int pool_allocated) ];
+        }
+  | Event.Annotation { label; phase } ->
+      push t
+        {
+          name = Printf.sprintf "pasta.%s" (match phase with `Start -> "start" | `End -> "end");
+          cat = "annotation";
+          ph = "i";
+          ts;
+          dur = None;
+          pid;
+          tid = tid_operators;
+          arg = [ ("label", label) ];
+        }
+  | Event.Memory_copy { bytes; direction; _ } ->
+      push t
+        {
+          name = Format.asprintf "memcpy %a" Event.pp_direction direction;
+          cat = "transfer";
+          ph = "i";
+          ts;
+          dur = None;
+          pid;
+          tid = tid_memory;
+          arg = [ ("bytes", string_of_int bytes) ];
+        }
+  | _ -> ()
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_of_event e =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       {|{"name":"%s","cat":"%s","ph":"%s","ts":%.3f,"pid":%d,"tid":%d|}
+       (escape e.name) (escape e.cat) e.ph e.ts e.pid e.tid);
+  (match e.dur with
+  | Some d -> Buffer.add_string buf (Printf.sprintf {|,"dur":%.3f|} d)
+  | None -> ());
+  if e.arg <> [] then begin
+    Buffer.add_string buf {|,"args":{|};
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf (Printf.sprintf {|"%s":"%s"|} (escape k) (escape v)))
+      e.arg;
+    Buffer.add_char buf '}'
+  end;
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+let to_json t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf {|{"traceEvents":[|};
+  List.iteri
+    (fun i e ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (json_of_event e))
+    (List.rev t.events);
+  Buffer.add_string buf {|],"displayTimeUnit":"ms"}|};
+  Buffer.contents buf
+
+let write_file t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_json t))
+
+let tool t =
+  {
+    (Tool.default "trace_export") with
+    Tool.on_event = record t;
+    report =
+      (fun ppf ->
+        Format.fprintf ppf "trace_export: %d trace events materialized@." t.count);
+  }

@@ -1,0 +1,33 @@
+(** Chrome-trace export.
+
+    Serializes a unified event stream into the Trace Event Format consumed
+    by chrome://tracing and Perfetto — the interchange every mainstream
+    profiler (Nsight Systems, PyTorch profiler, XProf) speaks.  Kernel
+    launches and operators become duration events ([ph:"X"]); allocations,
+    frees and annotations become instants ([ph:"i"]); tensor pool usage
+    becomes a counter track ([ph:"C"]).
+
+    The exporter is itself a PASTA tool: attach it like any other and
+    write the trace at the end of the session. *)
+
+type t
+
+val create : unit -> t
+
+val record : t -> Event.t -> unit
+(** Feed one event.  [Kernel_launch]/[Operator] begin/end pairs are
+    matched internally; unbalanced ends are dropped. *)
+
+val event_count : t -> int
+(** Trace events materialized so far. *)
+
+val to_json : t -> string
+(** The complete trace as a JSON object
+    [{"traceEvents": [...], "displayTimeUnit": "ms"}].  Deterministic. *)
+
+val write_file : t -> string -> unit
+(** Write {!to_json} to the given path. *)
+
+val tool : t -> Tool.t
+(** A coarse-events tool whose report prints the event count; combine with
+    {!write_file} after the session. *)

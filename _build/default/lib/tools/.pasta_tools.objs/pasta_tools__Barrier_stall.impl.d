@@ -1,0 +1,1 @@
+lib/tools/barrier_stall.ml: Format Gpusim Hashtbl List Option Pasta

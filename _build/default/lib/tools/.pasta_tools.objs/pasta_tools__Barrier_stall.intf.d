@@ -1,0 +1,1 @@
+lib/tools/barrier_stall.mli: Format Pasta

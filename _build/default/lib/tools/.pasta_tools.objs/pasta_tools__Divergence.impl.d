@@ -1,0 +1,1 @@
+lib/tools/divergence.ml: Format Gpusim Hashtbl List Option Pasta

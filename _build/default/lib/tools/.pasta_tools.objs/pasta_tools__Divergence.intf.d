@@ -1,0 +1,1 @@
+lib/tools/divergence.mli: Format Pasta

@@ -1,0 +1,1 @@
+lib/tools/hotness.ml: Array Float Format List Pasta Pasta_util Printf

@@ -1,0 +1,1 @@
+lib/tools/hotness.mli: Format Pasta

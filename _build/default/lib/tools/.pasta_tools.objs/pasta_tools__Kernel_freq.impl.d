@@ -1,0 +1,1 @@
+lib/tools/kernel_freq.ml: Format Pasta Pasta_util

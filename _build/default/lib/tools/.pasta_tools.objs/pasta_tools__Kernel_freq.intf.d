@@ -1,0 +1,1 @@
+lib/tools/kernel_freq.mli: Format Pasta Pasta_util

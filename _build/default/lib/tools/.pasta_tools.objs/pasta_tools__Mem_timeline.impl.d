@@ -1,0 +1,1 @@
+lib/tools/mem_timeline.ml: Array Format Pasta Pasta_util

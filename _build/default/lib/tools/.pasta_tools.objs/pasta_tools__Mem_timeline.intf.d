@@ -1,0 +1,1 @@
+lib/tools/mem_timeline.mli: Format Pasta Pasta_util

@@ -1,0 +1,1 @@
+lib/tools/memory_charact.ml: Array Format Hashtbl List Pasta Pasta_util

@@ -1,0 +1,1 @@
+lib/tools/memory_charact.mli: Format Pasta

@@ -1,0 +1,1 @@
+lib/tools/multi_gpu.ml: Gpusim List Mem_timeline Pasta

@@ -1,0 +1,1 @@
+lib/tools/multi_gpu.mli: Gpusim Mem_timeline Pasta

@@ -1,0 +1,1 @@
+lib/tools/op_summary.ml: Format Hashtbl List Option Pasta String

@@ -1,0 +1,1 @@
+lib/tools/op_summary.mli: Format Pasta

@@ -1,0 +1,1 @@
+lib/tools/tools.ml: Barrier_stall Divergence Hotness Kernel_freq Mem_timeline Memory_charact Op_summary Pasta Transfer Underutilized Value_check

@@ -1,0 +1,1 @@
+lib/tools/tools.mli:

@@ -1,0 +1,1 @@
+lib/tools/transfer.ml: Format Hashtbl List Option Pasta Pasta_util

@@ -1,0 +1,1 @@
+lib/tools/transfer.mli: Format Pasta

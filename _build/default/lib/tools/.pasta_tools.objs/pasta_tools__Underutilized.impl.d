@@ -1,0 +1,1 @@
+lib/tools/underutilized.ml: Format Hashtbl List Pasta Pasta_util

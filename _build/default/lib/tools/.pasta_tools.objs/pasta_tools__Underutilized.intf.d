@@ -1,0 +1,1 @@
+lib/tools/underutilized.mli: Format Pasta

@@ -1,0 +1,1 @@
+lib/tools/uvm_experiment.ml: Dlfw Gpusim Pasta Uvm_prefetch

@@ -1,0 +1,1 @@
+lib/tools/uvm_experiment.mli: Dlfw Gpusim

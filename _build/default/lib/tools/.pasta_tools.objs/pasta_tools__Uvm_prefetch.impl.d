@@ -1,0 +1,1 @@
+lib/tools/uvm_prefetch.ml: Format Gpusim Int List Map Pasta

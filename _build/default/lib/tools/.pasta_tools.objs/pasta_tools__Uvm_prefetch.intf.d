@@ -1,0 +1,1 @@
+lib/tools/uvm_prefetch.mli: Gpusim Pasta

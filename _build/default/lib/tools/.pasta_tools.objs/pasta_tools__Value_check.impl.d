@@ -1,0 +1,1 @@
+lib/tools/value_check.ml: Float Format Gpusim Hashtbl List Option Pasta String

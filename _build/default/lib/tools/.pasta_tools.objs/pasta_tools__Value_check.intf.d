@@ -1,0 +1,1 @@
+lib/tools/value_check.mli: Format Pasta

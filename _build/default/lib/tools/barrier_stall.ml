@@ -1,0 +1,65 @@
+type row = {
+  kernel : string;
+  launches : int;
+  stall_us : float;
+  shared_accesses : int;
+  bank_conflicts : int;
+}
+
+let conflict_rate r =
+  if r.shared_accesses = 0 then 0.0
+  else float_of_int r.bank_conflicts /. float_of_int r.shared_accesses
+
+type t = { table : (string, row) Hashtbl.t }
+
+let create () = { table = Hashtbl.create 64 }
+
+let observe t (info : Pasta.Event.kernel_info) (p : Gpusim.Kernel.profile) =
+  let name = info.Pasta.Event.name in
+  let prev =
+    Option.value
+      ~default:
+        { kernel = name; launches = 0; stall_us = 0.0; shared_accesses = 0; bank_conflicts = 0 }
+      (Hashtbl.find_opt t.table name)
+  in
+  Hashtbl.replace t.table name
+    {
+      prev with
+      launches = prev.launches + 1;
+      stall_us = prev.stall_us +. p.Gpusim.Kernel.barrier_stall_us;
+      shared_accesses = prev.shared_accesses + p.Gpusim.Kernel.shared_accesses;
+      bank_conflicts = prev.bank_conflicts + p.Gpusim.Kernel.bank_conflicts;
+    }
+
+let rows t =
+  Hashtbl.fold (fun _ r acc -> r :: acc) t.table []
+  |> List.sort (fun a b -> compare b.stall_us a.stall_us)
+
+let total_stall_us t = List.fold_left (fun acc r -> acc +. r.stall_us) 0.0 (rows t)
+
+let stall_fraction t ~workload_us =
+  if workload_us <= 0.0 then 0.0 else total_stall_us t /. workload_us
+
+let report t ppf =
+  let rs = rows t in
+  if rs = [] then Format.fprintf ppf "barrier_stall: no kernels observed@."
+  else begin
+    Format.fprintf ppf "barrier_stall: %.1f ms cumulative barrier stall@."
+      (total_stall_us t /. 1000.0);
+    List.iteri
+      (fun i r ->
+        if i < 10 then
+          Format.fprintf ppf
+            "  %-58s %8.1f ms stall  %5.2f%% bank conflicts (%d launches)@."
+            r.kernel (r.stall_us /. 1000.0)
+            (100.0 *. conflict_rate r)
+            r.launches)
+      rs
+  end
+
+let tool t =
+  {
+    (Pasta.Tool.default ~fine_grained:Pasta.Tool.Instruction_level "barrier_stall") with
+    Pasta.Tool.on_kernel_profile = observe t;
+    report = report t;
+  }

@@ -1,0 +1,33 @@
+(** Memory-barrier stall and shared-memory bank-conflict analysis
+    (paper §III-H, "Memory-centric analysis tools").
+
+    From barrier and shared-memory instrumentation this tool aggregates,
+    per kernel name, the cumulative time warps wait at device-level
+    barriers and the fraction of shared-memory accesses serialized by
+    bank conflicts — identifying kernels (and through PASTA's operator
+    events, layers) that suffer excessive synchronization overhead. *)
+
+type row = {
+  kernel : string;
+  launches : int;
+  stall_us : float;
+  shared_accesses : int;
+  bank_conflicts : int;
+}
+
+val conflict_rate : row -> float
+
+type t
+
+val create : unit -> t
+val tool : t -> Pasta.Tool.t
+
+val rows : t -> row list
+(** Sorted by decreasing cumulative stall time. *)
+
+val total_stall_us : t -> float
+
+val stall_fraction : t -> workload_us:float -> float
+(** Total stall time as a fraction of the given workload time. *)
+
+val report : t -> Format.formatter -> unit

@@ -1,0 +1,67 @@
+type row = { kernel : string; launches : int; branches : int; divergent : int }
+
+let divergence_rate r =
+  if r.branches = 0 then 0.0 else float_of_int r.divergent /. float_of_int r.branches
+
+type t = { table : (string, row) Hashtbl.t }
+
+let create () = { table = Hashtbl.create 64 }
+
+let observe t (info : Pasta.Event.kernel_info) (p : Gpusim.Kernel.profile) =
+  let name = info.Pasta.Event.name in
+  let prev =
+    Option.value
+      ~default:{ kernel = name; launches = 0; branches = 0; divergent = 0 }
+      (Hashtbl.find_opt t.table name)
+  in
+  Hashtbl.replace t.table name
+    {
+      prev with
+      launches = prev.launches + 1;
+      branches = prev.branches + p.Gpusim.Kernel.branches;
+      divergent = prev.divergent + p.Gpusim.Kernel.divergent_branches;
+    }
+
+let rows t =
+  Hashtbl.fold (fun _ r acc -> r :: acc) t.table []
+  |> List.sort (fun a b -> compare b.divergent a.divergent)
+
+let total_branches t = List.fold_left (fun acc r -> acc + r.branches) 0 (rows t)
+let total_divergent t = List.fold_left (fun acc r -> acc + r.divergent) 0 (rows t)
+
+let worst t =
+  rows t
+  |> List.filter (fun r -> r.branches >= 1000)
+  |> List.sort (fun a b -> compare (divergence_rate b) (divergence_rate a))
+  |> function
+  | [] -> None
+  | r :: _ -> Some r
+
+let report t ppf =
+  let rs = rows t in
+  if rs = [] then Format.fprintf ppf "divergence: no kernels observed@."
+  else begin
+    let tb = total_branches t and td = total_divergent t in
+    Format.fprintf ppf
+      "divergence: %d dynamic branches, %d divergent (%.2f%% overall)@." tb td
+      (if tb = 0 then 0.0 else 100.0 *. float_of_int td /. float_of_int tb);
+    List.iteri
+      (fun i r ->
+        if i < 10 then
+          Format.fprintf ppf "  %-58s %10d branches  %6.2f%% divergent@." r.kernel
+            r.branches
+            (100.0 *. divergence_rate r))
+      rs;
+    match worst t with
+    | Some r ->
+        Format.fprintf ppf "highest divergence rate: %s (%.1f%%)@." r.kernel
+          (100.0 *. divergence_rate r)
+    | None -> ()
+  end
+
+let tool t =
+  {
+    (Pasta.Tool.default ~fine_grained:Pasta.Tool.Instruction_level "divergence") with
+    Pasta.Tool.on_kernel_profile = observe t;
+    report = report t;
+  }

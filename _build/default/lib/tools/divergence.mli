@@ -1,0 +1,36 @@
+(** Branch-divergence analysis (paper §III-H, "Instruction-level analysis
+    tools").
+
+    Intercepts device-side control-flow instructions and correlates them
+    with active thread masks, aggregating per kernel name: dynamic branch
+    counts, how many split their warp, and the resulting divergence rate —
+    the warp-inefficiency signal for SIMT architectures. *)
+
+type row = {
+  kernel : string;
+  launches : int;
+  branches : int;
+  divergent : int;
+}
+
+val divergence_rate : row -> float
+(** [divergent / branches]; 0 when the kernel has no branches. *)
+
+type t
+
+val create : unit -> t
+
+val tool : t -> Pasta.Tool.t
+(** [Instruction_level] instrumentation (Sanitizer control-flow patching). *)
+
+val rows : t -> row list
+(** Sorted by decreasing divergent-branch count. *)
+
+val total_branches : t -> int
+val total_divergent : t -> int
+
+val worst : t -> row option
+(** The kernel with the highest divergence rate among those with at least
+    1000 branches (noise floor). *)
+
+val report : t -> Format.formatter -> unit

@@ -1,0 +1,123 @@
+let block_bytes = 2 * 1024 * 1024
+
+type classification = Persistent_hot | Bursty | Cold
+
+let classification_to_string = function
+  | Persistent_hot -> "persistent-hot"
+  | Bursty -> "bursty"
+  | Cold -> "cold"
+
+type t = {
+  time_buckets : int;
+  mutable samples : (float * int * float) list; (* (time_us, absolute block, accesses) *)
+  mutable t_min : float;
+  mutable t_max : float;
+}
+
+let create ?(time_buckets = 48) () =
+  if time_buckets <= 0 then invalid_arg "Hotness.create: time_buckets must be positive";
+  { time_buckets; samples = []; t_min = infinity; t_max = neg_infinity }
+
+let add_region t ~time ~base ~extent ~accesses =
+  if extent > 0 && accesses > 0 then begin
+    let b0 = base / block_bytes and b1 = (base + extent - 1) / block_bytes in
+    let nblocks = b1 - b0 + 1 in
+    let share = float_of_int accesses /. float_of_int nblocks in
+    for b = b0 to b1 do
+      t.samples <- (time, b, share) :: t.samples
+    done;
+    t.t_min <- Float.min t.t_min time;
+    t.t_max <- Float.max t.t_max time
+  end
+
+let rec tool t =
+  {
+    (Pasta.Tool.default ~fine_grained:Pasta.Tool.Gpu_accelerated "hotness") with
+    Pasta.Tool.on_event =
+      (fun ev ->
+        match ev.Pasta.Event.payload with
+        | Pasta.Event.Kernel_region { region; _ } ->
+            add_region t ~time:ev.Pasta.Event.time_us ~base:region.Pasta.Event.base
+              ~extent:region.Pasta.Event.extent ~accesses:region.Pasta.Event.accesses
+        | _ -> ());
+    report = (fun ppf -> report t ppf);
+  }
+
+and matrix t =
+  if t.samples = [] then [||]
+  else begin
+    let bmin = List.fold_left (fun acc (_, b, _) -> min acc b) max_int t.samples in
+    let bmax = List.fold_left (fun acc (_, b, _) -> max acc b) min_int t.samples in
+    let rows = bmax - bmin + 1 in
+    let span = Float.max 1.0 (t.t_max -. t.t_min) in
+    let m = Array.make_matrix rows t.time_buckets 0.0 in
+    List.iter
+      (fun (time, b, c) ->
+        let col =
+          min (t.time_buckets - 1)
+            (int_of_float ((time -. t.t_min) /. span *. float_of_int t.time_buckets))
+        in
+        m.(b - bmin).(col) <- m.(b - bmin).(col) +. c)
+      t.samples;
+    m
+  end
+
+and block_count t = Array.length (matrix t)
+
+and classify t =
+  let m = matrix t in
+  Array.to_list
+    (Array.mapi
+       (fun i row ->
+         let total = Array.fold_left ( +. ) 0.0 row in
+         let active = Array.fold_left (fun acc v -> if v > 0.0 then acc + 1 else acc) 0 row in
+         let buckets = Array.length row in
+         let cls =
+           if total <= 0.0 then Cold
+           else if float_of_int active >= 0.6 *. float_of_int buckets then Persistent_hot
+           else begin
+             (* Share of accesses inside the top 20% of windows. *)
+             let sorted = Array.copy row in
+             Array.sort (fun a b -> compare b a) sorted;
+             let top_n = max 1 (buckets / 5) in
+             let top_sum = ref 0.0 in
+             for j = 0 to top_n - 1 do
+               top_sum := !top_sum +. sorted.(j)
+             done;
+             if !top_sum >= 0.9 *. total then Bursty else Cold
+           end
+         in
+         (i, cls))
+       m)
+
+and prefetch_candidates t =
+  List.filter_map (fun (i, c) -> if c = Persistent_hot then Some i else None) (classify t)
+
+and evict_candidates t =
+  List.filter_map (fun (i, c) -> if c = Bursty then Some i else None) (classify t)
+
+and report t ppf =
+  let m = matrix t in
+  if Array.length m = 0 then Format.fprintf ppf "hotness: no accesses observed@."
+  else begin
+    let rows = Array.length m in
+    Format.fprintf ppf "hotness: %d blocks of %a over %d time windows@." rows
+      Pasta_util.Bytesize.pp block_bytes t.time_buckets;
+    (* Downsample rows for display. *)
+    let display_rows = min rows 48 in
+    let group = (rows + display_rows - 1) / display_rows in
+    let display = Array.make_matrix display_rows t.time_buckets 0.0 in
+    Array.iteri
+      (fun i row ->
+        let d = min (display_rows - 1) (i / group) in
+        Array.iteri (fun j v -> display.(d).(j) <- display.(d).(j) +. v) row)
+      m;
+    Pasta_util.Heatmap.render ppf
+      ~row_label:(fun i -> Printf.sprintf "blk %5d" (i * group))
+      display;
+    let hot = prefetch_candidates t and burst = evict_candidates t in
+    Format.fprintf ppf "persistent-hot blocks (prefetch/pin candidates): %d@."
+      (List.length hot);
+    Format.fprintf ppf "bursty blocks (proactive-eviction candidates): %d@."
+      (List.length burst)
+  end

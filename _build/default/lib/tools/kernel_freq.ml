@@ -1,0 +1,42 @@
+type t = {
+  counts : Pasta_util.Histogram.t;
+  called_knob : Pasta.Knobs.t;
+  mem_knob : Pasta.Knobs.t;
+}
+
+let create () =
+  {
+    counts = Pasta_util.Histogram.create ();
+    called_knob = Pasta.Knobs.create Pasta.Knobs.max_called_kernel;
+    mem_knob = Pasta.Knobs.create Pasta.Knobs.max_mem_referenced_kernel;
+  }
+
+let counts t = t.counts
+let total_launches t = Pasta_util.Histogram.total t.counts
+let distinct_kernels t = Pasta_util.Histogram.distinct t.counts
+let top t k = Pasta_util.Histogram.top t.counts k
+let most_called t = Pasta.Knobs.best t.called_knob
+let most_mem_referenced t = Pasta.Knobs.best t.mem_knob
+
+let report t ppf =
+  Format.fprintf ppf "kernel invocation frequencies (%d launches, %d distinct):@."
+    (total_launches t) (distinct_kernels t);
+  Pasta_util.Histogram.pp ~limit:15 ppf t.counts;
+  Pasta.Knobs.pp_report ppf t.called_knob
+
+(* The paper's TOOL::record_kernel_freq: maintain a name->count map. *)
+let record_kernel_freq t (info : Pasta.Event.kernel_info) =
+  Pasta_util.Histogram.add t.counts info.Pasta.Event.name;
+  Pasta.Knobs.observe t.called_knob ~kernel:info
+    ~metric:(Pasta_util.Histogram.count t.counts info.Pasta.Event.name)
+
+let tool t =
+  {
+    (Pasta.Tool.default "kernel_freq") with
+    Pasta.Tool.on_kernel_begin = record_kernel_freq t;
+    on_kernel_end =
+      (fun info s ->
+        Pasta.Knobs.observe t.mem_knob ~kernel:info
+          ~metric:s.Pasta.Event.true_accesses);
+    report = report t;
+  }

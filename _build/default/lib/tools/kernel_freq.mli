@@ -1,0 +1,24 @@
+(** Kernel invocation frequency analysis (paper §V-B1, Fig. 7).
+
+    The paper's minimal-extension example: the whole tool is one override
+    ([record_kernel_freq]) over the template.  It also tracks the
+    [MAX_CALLED_KERNEL] and [MAX_MEM_REFERENCED_KERNEL] knobs so the
+    hottest kernel's cross-layer call stack can be reported (Fig. 4). *)
+
+type t
+
+val create : unit -> t
+
+val tool : t -> Pasta.Tool.t
+(** No fine-grained instrumentation: kernel-launch callbacks only. *)
+
+val counts : t -> Pasta_util.Histogram.t
+val total_launches : t -> int
+val distinct_kernels : t -> int
+
+val top : t -> int -> (string * int) list
+
+val most_called : t -> (Pasta.Event.kernel_info * int) option
+val most_mem_referenced : t -> (Pasta.Event.kernel_info * int) option
+
+val report : t -> Format.formatter -> unit

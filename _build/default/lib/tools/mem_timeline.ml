@@ -1,0 +1,45 @@
+type t = {
+  tl : Pasta_util.Timeline.t;
+  mutable allocs : int;
+  mutable frees : int;
+}
+
+let create () = { tl = Pasta_util.Timeline.create (); allocs = 0; frees = 0 }
+
+let timeline t = t.tl
+let peak_bytes t = Pasta_util.Timeline.peak t.tl
+let alloc_events t = t.allocs
+let free_events t = t.frees
+
+let series t ~buckets =
+  Array.map (fun b -> b /. 1048576.0) (Pasta_util.Timeline.bucketize t.tl ~buckets)
+
+let report t ppf =
+  Format.fprintf ppf
+    "mem_timeline: %d allocs, %d frees, peak %a, duration %.1f us@."
+    t.allocs t.frees Pasta_util.Bytesize.pp
+    (int_of_float (peak_bytes t))
+    (Pasta_util.Timeline.duration t.tl);
+  if not (Pasta_util.Timeline.is_empty t.tl) then begin
+    Format.fprintf ppf "usage: ";
+    Pasta_util.Timeline.pp_sparkline ppf (series t ~buckets:60);
+    Format.pp_print_newline ppf ()
+  end
+
+let tool t =
+  {
+    (Pasta.Tool.default "mem_timeline") with
+    Pasta.Tool.on_event =
+      (fun ev ->
+        match ev.Pasta.Event.payload with
+        | Pasta.Event.Tensor_alloc { pool_allocated; _ } ->
+            t.allocs <- t.allocs + 1;
+            Pasta_util.Timeline.record t.tl ~time:ev.Pasta.Event.time_us
+              (float_of_int pool_allocated)
+        | Pasta.Event.Tensor_free { pool_allocated; _ } ->
+            t.frees <- t.frees + 1;
+            Pasta_util.Timeline.record t.tl ~time:ev.Pasta.Event.time_us
+              (float_of_int pool_allocated)
+        | _ -> ());
+    report = report t;
+  }

@@ -1,0 +1,145 @@
+type variant = Gpu | Cpu_sanitizer | Cpu_nvbit
+
+let variant_to_string = function
+  | Gpu -> "CS-GPU"
+  | Cpu_sanitizer -> "CS-CPU"
+  | Cpu_nvbit -> "NVBIT-CPU"
+
+type row = {
+  kernel_count : int;
+  footprint_bytes : int;
+  ws_bytes : int;
+  ws_min : int;
+  ws_mean : float;
+  ws_median : float;
+  ws_p90 : float;
+}
+
+type t = {
+  var : variant;
+  (* CPU variants rebuild the object registry from the event stream; the
+     GPU variant receives already-resolved objects. *)
+  own_objmap : Pasta.Objmap.t;
+  mutable footprints : float list; (* reverse launch order *)
+  mutable kernels : int;
+  mutable peak_usage : int;
+  mutable live_direct : int; (* non-pool runtime allocations *)
+  current : (int, int) Hashtbl.t; (* obj_key -> obj_bytes for the running kernel *)
+}
+
+let create ?(variant = Gpu) () =
+  {
+    var = variant;
+    own_objmap = Pasta.Objmap.create ();
+    footprints = [];
+    kernels = 0;
+    peak_usage = 0;
+    live_direct = 0;
+    current = Hashtbl.create 32;
+  }
+
+let variant t = t.var
+let kernel_footprints t = Array.of_list (List.rev t.footprints)
+
+let push_footprint t bytes = t.footprints <- float_of_int bytes :: t.footprints
+
+let finish_kernel_cpu t =
+  let total = Hashtbl.fold (fun _ bytes acc -> acc + bytes) t.current 0 in
+  Hashtbl.reset t.current;
+  push_footprint t total
+
+let track_usage t (ev : Pasta.Event.t) =
+  match ev.Pasta.Event.payload with
+  | Pasta.Event.Tensor_alloc { pool_reserved; _ } | Pasta.Event.Tensor_free { pool_reserved; _ }
+    ->
+      t.peak_usage <- max t.peak_usage pool_reserved
+  | Pasta.Event.Memory_alloc { bytes; _ } ->
+      t.live_direct <- t.live_direct + bytes;
+      t.peak_usage <- max t.peak_usage t.live_direct
+  | Pasta.Event.Memory_free { bytes; _ } -> t.live_direct <- t.live_direct - bytes
+  | _ -> ()
+
+let feed_own_objmap t (ev : Pasta.Event.t) =
+  match ev.Pasta.Event.payload with
+  | Pasta.Event.Memory_alloc { addr; bytes; managed } ->
+      Pasta.Objmap.on_alloc t.own_objmap ~addr ~bytes ~managed
+  | Pasta.Event.Memory_free { addr; _ } -> Pasta.Objmap.on_free t.own_objmap ~addr
+  | Pasta.Event.Tensor_alloc { ptr; bytes; tag; _ } ->
+      Pasta.Objmap.on_tensor_alloc t.own_objmap ~ptr ~bytes ~tag
+  | Pasta.Event.Tensor_free { ptr; _ } -> Pasta.Objmap.on_tensor_free t.own_objmap ~ptr
+  | _ -> ()
+
+let result t =
+  if t.kernels = 0 || t.footprints = [] then
+    invalid_arg "Memory_charact.result: no kernels observed";
+  let xs = Array.of_list (List.rev t.footprints) in
+  let s = Pasta_util.Stats.summarize xs in
+  {
+    kernel_count = t.kernels;
+    footprint_bytes = t.peak_usage;
+    ws_bytes = int_of_float s.Pasta_util.Stats.max;
+    ws_min = int_of_float s.Pasta_util.Stats.min;
+    ws_mean = s.Pasta_util.Stats.mean;
+    ws_median = s.Pasta_util.Stats.median;
+    ws_p90 = s.Pasta_util.Stats.p90;
+  }
+
+let report t ppf =
+  match result t with
+  | exception Invalid_argument _ ->
+      Format.fprintf ppf "memory_charact (%s): no kernels observed@."
+        (variant_to_string t.var)
+  | r ->
+      Format.fprintf ppf
+        "memory_charact (%s): %d kernels, footprint %a, WS %a (min %a, avg %.2f MB, \
+         median %.2f MB, p90 %.2f MB)@."
+        (variant_to_string t.var) r.kernel_count Pasta_util.Bytesize.pp
+        r.footprint_bytes Pasta_util.Bytesize.pp r.ws_bytes Pasta_util.Bytesize.pp
+        r.ws_min
+        (r.ws_mean /. 1048576.0)
+        (r.ws_median /. 1048576.0)
+        (r.ws_p90 /. 1048576.0)
+
+let tool t =
+  let fine_grained =
+    match t.var with
+    | Gpu -> Pasta.Tool.Gpu_accelerated
+    | Cpu_sanitizer -> Pasta.Tool.Cpu_sanitizer
+    | Cpu_nvbit -> Pasta.Tool.Cpu_nvbit
+  in
+  let base = Pasta.Tool.default ~fine_grained "memory_charact" in
+  match t.var with
+  | Gpu ->
+      {
+        base with
+        Pasta.Tool.on_event = track_usage t;
+        on_mem_summary =
+          (fun _info summary ->
+            let bytes =
+              List.fold_left
+                (fun acc (obj, count) ->
+                  if count > 0 then acc + Pasta.Objmap.obj_bytes obj else acc)
+                0 summary
+            in
+            push_footprint t bytes);
+        on_kernel_end = (fun _ _ -> t.kernels <- t.kernels + 1);
+        report = report t;
+      }
+  | Cpu_sanitizer | Cpu_nvbit ->
+      {
+        base with
+        Pasta.Tool.on_event =
+          (fun ev ->
+            feed_own_objmap t ev;
+            track_usage t ev);
+        on_access =
+          (fun _info access ->
+            let obj = Pasta.Objmap.resolve t.own_objmap access.Pasta.Event.addr in
+            Hashtbl.replace t.current (Pasta.Objmap.obj_key obj)
+              (Pasta.Objmap.obj_bytes obj));
+        on_kernel_end =
+          (fun _ _ ->
+            t.kernels <- t.kernels + 1;
+            finish_kernel_cpu t);
+        report = report t;
+      }

@@ -1,0 +1,77 @@
+type row = {
+  op_name : string;
+  calls : int;
+  kernels : int;
+  gpu_time_us : float;
+  accesses : int;
+}
+
+type t = {
+  table : (string, row) Hashtbl.t;
+  mutable open_ops : string list; (* innermost first *)
+  mutable unattributed : int;
+}
+
+let create () = { table = Hashtbl.create 64; open_ops = []; unattributed = 0 }
+
+let row t name =
+  Option.value
+    ~default:{ op_name = name; calls = 0; kernels = 0; gpu_time_us = 0.0; accesses = 0 }
+    (Hashtbl.find_opt t.table name)
+
+let on_operator t name phase _seq =
+  match phase with
+  | `Enter ->
+      t.open_ops <- name :: t.open_ops;
+      let r = row t name in
+      Hashtbl.replace t.table name { r with calls = r.calls + 1 }
+  | `Exit -> (
+      match t.open_ops with
+      | top :: rest when String.equal top name -> t.open_ops <- rest
+      | _ :: rest -> t.open_ops <- rest (* tolerate interleaving *)
+      | [] -> ())
+
+let on_kernel_end t _info (summary : Pasta.Event.kernel_end_summary) =
+  match t.open_ops with
+  | [] -> t.unattributed <- t.unattributed + 1
+  | op :: _ ->
+      let r = row t op in
+      Hashtbl.replace t.table op
+        {
+          r with
+          kernels = r.kernels + 1;
+          gpu_time_us = r.gpu_time_us +. summary.Pasta.Event.duration_us;
+          accesses = r.accesses + summary.Pasta.Event.true_accesses;
+        }
+
+let rows t =
+  Hashtbl.fold (fun _ r acc -> r :: acc) t.table []
+  |> List.sort (fun a b -> compare b.gpu_time_us a.gpu_time_us)
+
+let total_gpu_time_us t = List.fold_left (fun acc r -> acc +. r.gpu_time_us) 0.0 (rows t)
+let unattributed_kernels t = t.unattributed
+
+let report t ppf =
+  let rs = rows t in
+  if rs = [] then Format.fprintf ppf "op_summary: no operators observed@."
+  else begin
+    Format.fprintf ppf "GPU time per framework operator (%.1f ms total):@."
+      (total_gpu_time_us t /. 1000.0);
+    List.iteri
+      (fun i r ->
+        if i < 15 then
+          Format.fprintf ppf "  %-42s %9.2f ms  %5d kernels  %5d calls@." r.op_name
+            (r.gpu_time_us /. 1000.0)
+            r.kernels r.calls)
+      rs;
+    if t.unattributed > 0 then
+      Format.fprintf ppf "  (%d kernels outside any operator scope)@." t.unattributed
+  end
+
+let tool t =
+  {
+    (Pasta.Tool.default "op_summary") with
+    Pasta.Tool.on_operator = on_operator t;
+    on_kernel_end = on_kernel_end t;
+    report = report t;
+  }

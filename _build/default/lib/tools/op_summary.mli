@@ -1,0 +1,32 @@
+(** Layer-wise / operator-wise kernel attribution (the DLProf-style
+    summary the paper cites as related work, built in a few lines on
+    PASTA's cross-layer events).
+
+    Correlates kernel-end events with the framework operator that was open
+    when the kernel launched (via [RecordFunction] begin/end), attributing
+    GPU time, launch counts and memory traffic per "aten::" operator —
+    something neither a vendor profiler (no operator boundaries) nor the
+    framework profiler (no kernel times) can produce alone. *)
+
+type row = {
+  op_name : string;
+  calls : int;  (** operator invocations *)
+  kernels : int;  (** kernels attributed *)
+  gpu_time_us : float;
+  accesses : int;  (** global-memory accesses by attributed kernels *)
+}
+
+type t
+
+val create : unit -> t
+val tool : t -> Pasta.Tool.t
+
+val rows : t -> row list
+(** Sorted by decreasing GPU time. *)
+
+val total_gpu_time_us : t -> float
+
+val unattributed_kernels : t -> int
+(** Kernels that launched outside any operator scope. *)
+
+val report : t -> Format.formatter -> unit

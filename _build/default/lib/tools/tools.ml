@@ -1,0 +1,20 @@
+let register_all () =
+  Pasta.Registry.register "kernel_freq" (fun () -> Kernel_freq.tool (Kernel_freq.create ()));
+  Pasta.Registry.register "memory_charact" (fun () ->
+      Memory_charact.tool (Memory_charact.create ~variant:Memory_charact.Gpu ()));
+  Pasta.Registry.register "memory_charact_cs_cpu" (fun () ->
+      Memory_charact.tool (Memory_charact.create ~variant:Memory_charact.Cpu_sanitizer ()));
+  Pasta.Registry.register "memory_charact_nvbit_cpu" (fun () ->
+      Memory_charact.tool (Memory_charact.create ~variant:Memory_charact.Cpu_nvbit ()));
+  Pasta.Registry.register "hotness" (fun () -> Hotness.tool (Hotness.create ()));
+  Pasta.Registry.register "mem_timeline" (fun () -> Mem_timeline.tool (Mem_timeline.create ()));
+  Pasta.Registry.register "divergence" (fun () -> Divergence.tool (Divergence.create ()));
+  Pasta.Registry.register "barrier_stall" (fun () ->
+      Barrier_stall.tool (Barrier_stall.create ()));
+  Pasta.Registry.register "value_check" (fun () -> Value_check.tool (Value_check.create ()));
+  Pasta.Registry.register "op_summary" (fun () -> Op_summary.tool (Op_summary.create ()));
+  Pasta.Registry.register "trace_export" (fun () ->
+      Pasta.Trace_export.tool (Pasta.Trace_export.create ()));
+  Pasta.Registry.register "transfer" (fun () -> Transfer.tool (Transfer.create ()));
+  Pasta.Registry.register "underutilized" (fun () ->
+      Underutilized.tool (Underutilized.create ()))

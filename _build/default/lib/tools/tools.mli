@@ -1,0 +1,8 @@
+(** Tool-collection registry glue: make every case-study tool selectable
+    by name (the [accelprof -t <tool>] / [PASTA_TOOL] mechanism). *)
+
+val register_all : unit -> unit
+(** Registers: "kernel_freq", "memory_charact" (GPU-accelerated),
+    "memory_charact_cs_cpu", "memory_charact_nvbit_cpu", "hotness",
+    "mem_timeline", "divergence", "barrier_stall", "value_check",
+    "op_summary", "trace_export", "transfer", "underutilized". *)

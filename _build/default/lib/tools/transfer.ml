@@ -1,0 +1,62 @@
+type direction_row = {
+  direction : Pasta.Event.copy_direction;
+  count : int;
+  bytes : int;
+}
+
+type t = { table : (Pasta.Event.copy_direction, direction_row) Hashtbl.t }
+
+let create () = { table = Hashtbl.create 8 }
+
+let observe t direction bytes =
+  let prev =
+    Option.value ~default:{ direction; count = 0; bytes = 0 }
+      (Hashtbl.find_opt t.table direction)
+  in
+  Hashtbl.replace t.table direction
+    { prev with count = prev.count + 1; bytes = prev.bytes + bytes }
+
+let rows t =
+  Hashtbl.fold (fun _ r acc -> r :: acc) t.table []
+  |> List.sort (fun a b -> compare b.bytes a.bytes)
+
+let total_bytes t = List.fold_left (fun acc r -> acc + r.bytes) 0 (rows t)
+let total_count t = List.fold_left (fun acc r -> acc + r.count) 0 (rows t)
+
+let bytes_of t d =
+  Option.value ~default:0
+    (Option.map (fun r -> r.bytes) (Hashtbl.find_opt t.table d))
+
+let h2d_bytes t = bytes_of t `H2d
+let d2h_bytes t = bytes_of t `D2h
+
+let imbalance t =
+  let h = float_of_int (h2d_bytes t) and d = float_of_int (d2h_bytes t) in
+  if h +. d <= 0.0 then 0.0 else h /. (h +. d)
+
+let report t ppf =
+  let rs = rows t in
+  if rs = [] then Format.fprintf ppf "transfer: no copies observed@."
+  else begin
+    Format.fprintf ppf "transfer: %d copies, %a total@." (total_count t)
+      Pasta_util.Bytesize.pp (total_bytes t);
+    List.iter
+      (fun r ->
+        Format.fprintf ppf "  %-12s %6d copies  %a@."
+          (Format.asprintf "%a" Pasta.Event.pp_direction r.direction)
+          r.count Pasta_util.Bytesize.pp r.bytes)
+      rs;
+    Format.fprintf ppf "host->device share of host-link traffic: %.0f%%@."
+      (100.0 *. imbalance t)
+  end
+
+let tool t =
+  {
+    (Pasta.Tool.default "transfer") with
+    Pasta.Tool.on_event =
+      (fun ev ->
+        match ev.Pasta.Event.payload with
+        | Pasta.Event.Memory_copy { bytes; direction; _ } -> observe t direction bytes
+        | _ -> ());
+    report = report t;
+  }

@@ -1,0 +1,31 @@
+(** Host-device transfer analysis: the Nsight-Systems-style memcpy summary
+    (counts, bytes and simulated bandwidth share per direction), built as
+    a trivial template extension over the coarse [Memory_copy] events.
+    Excessive or asymmetric transfer traffic is the classic first-order
+    inefficiency in accelerator applications (what DrGPUM/Diogenes hunt,
+    per the paper's related work). *)
+
+type direction_row = {
+  direction : Pasta.Event.copy_direction;
+  count : int;
+  bytes : int;
+}
+
+type t
+
+val create : unit -> t
+val tool : t -> Pasta.Tool.t
+
+val rows : t -> direction_row list
+(** One row per direction seen, sorted by decreasing bytes. *)
+
+val total_bytes : t -> int
+val total_count : t -> int
+
+val h2d_bytes : t -> int
+val d2h_bytes : t -> int
+
+val imbalance : t -> float
+(** [h2d / (h2d + d2h)] in bytes; 0.5 is balanced, 0 when no transfers. *)
+
+val report : t -> Format.formatter -> unit

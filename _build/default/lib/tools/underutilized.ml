@@ -1,0 +1,103 @@
+type row = { tag : string; bytes : int; accesses : int; kernels_touching : int }
+
+type acc = {
+  mutable a_tag : string;
+  a_bytes : int;
+  mutable a_accesses : int;
+  mutable a_kernels : int;
+}
+
+type t = {
+  cold_threshold : int;
+  (* Keyed by base address + size: distinct allocations at a reused
+     address stay distinct only while live, which is the right
+     granularity for "was this allocation ever used". *)
+  objects : (int * int, acc) Hashtbl.t;
+}
+
+let create ?(cold_threshold = 0) () =
+  if cold_threshold < 0 then invalid_arg "Underutilized.create: negative threshold";
+  { cold_threshold; objects = Hashtbl.create 256 }
+
+let note_alloc t ~ptr ~bytes ~tag =
+  match Hashtbl.find_opt t.objects (ptr, bytes) with
+  | Some acc ->
+      (* The pool reused this block for a new tensor: keep the access
+         totals (the bytes were utilized) but adopt the newest label. *)
+      acc.a_tag <- tag
+  | None ->
+      Hashtbl.add t.objects (ptr, bytes)
+        { a_tag = tag; a_bytes = bytes; a_accesses = 0; a_kernels = 0 }
+
+let note_access t ~ptr ~bytes ~count =
+  match Hashtbl.find_opt t.objects (ptr, bytes) with
+  | Some acc ->
+      acc.a_accesses <- acc.a_accesses + count;
+      acc.a_kernels <- acc.a_kernels + 1
+  | None -> ()
+
+let rows t =
+  Hashtbl.fold
+    (fun _ acc l ->
+      { tag = acc.a_tag; bytes = acc.a_bytes; accesses = acc.a_accesses;
+        kernels_touching = acc.a_kernels }
+      :: l)
+    t.objects []
+  |> List.sort (fun a b ->
+         let coldness r = (r.accesses, -r.bytes) in
+         compare (coldness a) (coldness b))
+
+let allocated_bytes_total t =
+  Hashtbl.fold (fun _ acc n -> n + acc.a_bytes) t.objects 0
+
+let cold_bytes t =
+  Hashtbl.fold
+    (fun _ acc n -> if acc.a_accesses <= t.cold_threshold then n + acc.a_bytes else n)
+    t.objects 0
+
+let cold_fraction t =
+  let total = allocated_bytes_total t in
+  if total = 0 then 0.0 else float_of_int (cold_bytes t) /. float_of_int total
+
+let report t ppf =
+  if Hashtbl.length t.objects = 0 then
+    Format.fprintf ppf "underutilized: no tensors observed@."
+  else begin
+    Format.fprintf ppf
+      "underutilized: %a allocated across %d tensors; %a (%.1f%%) with <= %d accesses@."
+      Pasta_util.Bytesize.pp (allocated_bytes_total t)
+      (Hashtbl.length t.objects) Pasta_util.Bytesize.pp (cold_bytes t)
+      (100.0 *. cold_fraction t)
+      t.cold_threshold;
+    Format.fprintf ppf "coldest tensors (offloading candidates):@.";
+    List.iteri
+      (fun i r ->
+        if i < 10 then
+          Format.fprintf ppf "  %-28s %12s  %10d accesses in %4d kernels@." r.tag
+            (Pasta_util.Bytesize.to_string r.bytes)
+            r.accesses r.kernels_touching)
+      (rows t)
+  end
+
+let tool t =
+  {
+    (Pasta.Tool.default ~fine_grained:Pasta.Tool.Gpu_accelerated "underutilized") with
+    Pasta.Tool.on_event =
+      (fun ev ->
+        match ev.Pasta.Event.payload with
+        | Pasta.Event.Tensor_alloc { ptr; bytes; tag; _ } -> note_alloc t ~ptr ~bytes ~tag
+        | _ -> ());
+    on_mem_summary =
+      (fun _info summary ->
+        List.iter
+          (fun (obj, count) ->
+            match obj with
+            | Pasta.Objmap.Tensor { ptr; bytes; tag } ->
+                (* Tensors created before the session attached (model
+                   parameters) still deserve rows. *)
+                note_alloc t ~ptr ~bytes ~tag;
+                note_access t ~ptr ~bytes ~count
+            | Pasta.Objmap.Device_alloc _ | Pasta.Objmap.Unknown _ -> ())
+          summary);
+    report = report t;
+  }

@@ -1,0 +1,38 @@
+(** Underutilized-memory-region analysis (paper §III-H and the §V-B2
+    conclusion: "a substantial fraction of memory is underutilized even
+    for memory-intensive DL workloads").
+
+    Correlates every live tensor (via the DL-framework events) with the
+    access counts the GPU-resident analysis reports, and quantifies how
+    much allocated memory is touched rarely or never — the theoretical
+    basis the paper gives for swapping and offloading optimizations. *)
+
+type row = {
+  tag : string;  (** tensor label *)
+  bytes : int;
+  accesses : int;  (** total dynamic accesses over the run *)
+  kernels_touching : int;
+}
+
+type t
+
+val create : ?cold_threshold:int -> unit -> t
+(** Objects with at most [cold_threshold] total accesses count as cold
+    (default 0: never accessed). *)
+
+val tool : t -> Pasta.Tool.t
+(** GPU-resident instrumentation. *)
+
+val rows : t -> row list
+(** Every allocated tensor seen during the run, coldest-per-byte first
+    (never-accessed large tensors on top). *)
+
+val allocated_bytes_total : t -> int
+(** Sum over all distinct tensors allocated during the run. *)
+
+val cold_bytes : t -> int
+(** Bytes belonging to cold tensors. *)
+
+val cold_fraction : t -> float
+
+val report : t -> Format.formatter -> unit

@@ -1,0 +1,85 @@
+type run_stats = {
+  elapsed_us : float;
+  faults : int;
+  refaults : int;
+  migrated_bytes : int;
+  prefetched_bytes : int;
+  evicted_pages : int;
+}
+
+type outcome = {
+  abbr : string;
+  arch : Gpusim.Arch.t;
+  oversub : float;
+  footprint_bytes : int;
+  capacity_bytes : int;
+  baseline : run_stats;
+  object_level : run_stats;
+  tensor_level : run_stats;
+}
+
+let speedup o variant =
+  let v = match variant with `Object -> o.object_level | `Tensor -> o.tensor_level in
+  o.baseline.elapsed_us /. v.elapsed_us
+
+let snapshot device =
+  let s = Gpusim.Uvm.stats (Gpusim.Device.uvm device) in
+  {
+    elapsed_us = Gpusim.Device.now_us device;
+    faults = s.Gpusim.Uvm.faults;
+    refaults = s.Gpusim.Uvm.refaults;
+    migrated_bytes = s.Gpusim.Uvm.migrated_bytes;
+    prefetched_bytes = s.Gpusim.Uvm.prefetched_bytes;
+    evicted_pages = s.Gpusim.Uvm.evicted_pages;
+  }
+
+let workload_seed = 0xF16AL
+
+let run ?(mode = Dlfw.Runner.Inference) ?(iters = 1) ~arch ~oversub abbr =
+  if oversub <= 0.0 then invalid_arg "Uvm_experiment.run: oversub must be positive";
+  (* Pass 1: profile under PASTA to learn the footprint and the plans. *)
+  let rec_ = Uvm_prefetch.recorder () in
+  let footprint =
+    let device = Gpusim.Device.create arch in
+    let ctx = Dlfw.Ctx.create ~managed:true ~seed:workload_seed device in
+    let (), _result =
+      Pasta.Session.run ~tool:(Uvm_prefetch.recorder_tool rec_) device (fun () ->
+          let model = Dlfw.Runner.build ctx abbr in
+          Dlfw.Runner.run ctx model ~mode ~iters)
+    in
+    let fp = Dlfw.Allocator.peak_reserved ctx.Dlfw.Ctx.pool in
+    Dlfw.Ctx.destroy ctx;
+    fp
+  in
+  let capacity =
+    if oversub <= 1.0 then arch.Gpusim.Arch.mem_bytes
+    else
+      max (2 * arch.Gpusim.Arch.uvm_page_bytes)
+        (int_of_float (float_of_int footprint /. oversub))
+  in
+  (* Passes 2-4: baseline, then each prefetch granularity, on the limited
+     device. *)
+  let replay plan =
+    let device = Gpusim.Device.create ~uvm_capacity:capacity arch in
+    let ctx = Dlfw.Ctx.create ~managed:true ~seed:workload_seed device in
+    (match plan with Some p -> Uvm_prefetch.install p device | None -> ());
+    let model = Dlfw.Runner.build ctx abbr in
+    Dlfw.Runner.run ctx model ~mode ~iters;
+    let stats = snapshot device in
+    (match plan with Some _ -> Uvm_prefetch.remove device | None -> ());
+    Dlfw.Ctx.destroy ctx;
+    stats
+  in
+  let baseline = replay None in
+  let object_level = replay (Some (Uvm_prefetch.plan_of rec_ Uvm_prefetch.Object_level)) in
+  let tensor_level = replay (Some (Uvm_prefetch.plan_of rec_ Uvm_prefetch.Tensor_level)) in
+  {
+    abbr;
+    arch;
+    oversub;
+    footprint_bytes = footprint;
+    capacity_bytes = capacity;
+    baseline;
+    object_level;
+    tensor_level;
+  }

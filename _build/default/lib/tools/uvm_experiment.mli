@@ -1,0 +1,51 @@
+(** End-to-end driver for the UVM prefetching evaluation
+    (paper §V-C1, Figs. 11 and 12).
+
+    For one (model, GPU, oversubscription) point it runs four deterministic
+    passes:
+
+    + a profiling pass with the {!Uvm_prefetch} recorder attached, which
+      yields the workload's device-memory footprint and the per-kernel
+      prefetch plans;
+    + a baseline pass under UVM demand paging with device capacity limited
+      to footprint / oversubscription;
+    + one pass per prefetch granularity with the prefetching probe
+      installed on the same limited capacity.
+
+    Determinism makes the passes address- and grid-id-compatible, standing
+    in for the paper's record-then-replay on real hardware. *)
+
+type run_stats = {
+  elapsed_us : float;
+  faults : int;
+  refaults : int;  (** faults on previously evicted pages — thrashing *)
+  migrated_bytes : int;
+  prefetched_bytes : int;
+  evicted_pages : int;
+}
+
+type outcome = {
+  abbr : string;
+  arch : Gpusim.Arch.t;
+  oversub : float;
+  footprint_bytes : int;
+  capacity_bytes : int;
+  baseline : run_stats;
+  object_level : run_stats;
+  tensor_level : run_stats;
+}
+
+val speedup : outcome -> [ `Object | `Tensor ] -> float
+(** Baseline time divided by the variant's time (> 1 is a speedup). *)
+
+val run :
+  ?mode:Dlfw.Runner.mode ->
+  ?iters:int ->
+  arch:Gpusim.Arch.t ->
+  oversub:float ->
+  string ->
+  outcome
+(** [run ~arch ~oversub abbr] with [oversub <= 1.0] meaning no
+    oversubscription (full device capacity).  [iters] defaults to one
+    iteration — the paper's UVM runs are single-iteration.  Raises
+    [Invalid_argument] for unknown models or non-positive oversub. *)

@@ -1,0 +1,109 @@
+let fp16_max = 65504.0
+let fp16_min_normal = 6.104e-5
+
+type hazard = Overflow | Underflow
+
+let hazard_to_string = function Overflow -> "fp16-overflow" | Underflow -> "fp16-underflow"
+
+type row = {
+  kernel : string;
+  launches : int;
+  value_min : float;
+  value_max : float;
+  hazards : hazard list;
+  loads : int;
+  redundant : int;
+}
+
+let redundancy r =
+  if r.loads = 0 then 0.0 else float_of_int r.redundant /. float_of_int r.loads
+
+let hazards_of_range ~value_min ~value_max =
+  let overflow = Float.max (Float.abs value_min) (Float.abs value_max) > fp16_max in
+  let underflow =
+    let magnitude = Float.min (Float.abs value_min) (Float.abs value_max) in
+    magnitude > 0.0 && magnitude < fp16_min_normal
+  in
+  (if overflow then [ Overflow ] else []) @ if underflow then [ Underflow ] else []
+
+type t = { table : (string, row) Hashtbl.t }
+
+let create () = { table = Hashtbl.create 64 }
+
+let observe t (info : Pasta.Event.kernel_info) (p : Gpusim.Kernel.profile) summary_loads =
+  let name = info.Pasta.Event.name in
+  let prev =
+    Option.value
+      ~default:
+        { kernel = name; launches = 0; value_min = infinity; value_max = neg_infinity;
+          hazards = []; loads = 0; redundant = 0 }
+      (Hashtbl.find_opt t.table name)
+  in
+  let value_min = Float.min prev.value_min p.Gpusim.Kernel.value_min in
+  let value_max = Float.max prev.value_max p.Gpusim.Kernel.value_max in
+  Hashtbl.replace t.table name
+    {
+      prev with
+      launches = prev.launches + 1;
+      value_min;
+      value_max;
+      hazards = hazards_of_range ~value_min ~value_max;
+      loads = prev.loads + summary_loads;
+      redundant = prev.redundant + p.Gpusim.Kernel.redundant_loads;
+    }
+
+let rows t =
+  Hashtbl.fold (fun _ r acc -> r :: acc) t.table []
+  |> List.sort (fun a b -> compare a.kernel b.kernel)
+
+let flagged t = List.filter (fun r -> r.hazards <> []) (rows t)
+
+let most_redundant t =
+  rows t
+  |> List.filter (fun r -> r.loads >= 1000)
+  |> List.sort (fun a b -> compare (redundancy b) (redundancy a))
+  |> function
+  | [] -> None
+  | r :: _ -> Some r
+
+let report t ppf =
+  let rs = rows t in
+  if rs = [] then Format.fprintf ppf "value_check: no kernels observed@."
+  else begin
+    let bad = flagged t in
+    Format.fprintf ppf "value_check: %d kernels observed, %d with fp16 hazards@."
+      (List.length rs) (List.length bad);
+    List.iter
+      (fun r ->
+        Format.fprintf ppf "  %-58s range [%.3g, %.3g]  %s@." r.kernel r.value_min
+          r.value_max
+          (String.concat "," (List.map hazard_to_string r.hazards)))
+      bad;
+    (match most_redundant t with
+    | Some r ->
+        Format.fprintf ppf "most redundant loads: %s (%.1f%% of %d loads)@." r.kernel
+          (100.0 *. redundancy r)
+          r.loads
+    | None -> ())
+  end
+
+let tool t =
+  {
+    (Pasta.Tool.default ~fine_grained:Pasta.Tool.Instruction_level "value_check") with
+    Pasta.Tool.on_kernel_profile =
+      (fun info p ->
+        (* Total loads come from the kernel's true access count, which the
+           launch-end summary reports; approximate with the kernel's
+           redundant count as a floor plus what on_kernel_end adds. *)
+        observe t info p 0);
+    on_kernel_end =
+      (fun info summary ->
+        (* Fold the exact load volume into the row created by the profile
+           callback (profile fires before launch-end). *)
+        match Hashtbl.find_opt t.table info.Pasta.Event.name with
+        | Some prev ->
+            Hashtbl.replace t.table info.Pasta.Event.name
+              { prev with loads = prev.loads + summary.Pasta.Event.true_accesses }
+        | None -> ());
+    report = report t;
+  }

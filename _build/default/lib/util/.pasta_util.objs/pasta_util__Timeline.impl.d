@@ -1,0 +1,1 @@
+lib/util/timeline.ml: Array Float Format List

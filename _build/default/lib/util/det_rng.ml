@@ -1,0 +1,69 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed = { state = seed }
+
+let fnv1a s =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001b3L)
+    s;
+  !h
+
+let of_string s = create (fnv1a s)
+
+let int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t =
+  let seed = int64 t in
+  create (mix64 seed)
+
+let copy t = { state = t.state }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Det_rng.int: bound must be positive";
+  (* Keep 62 bits so the value fits OCaml's 63-bit signed int. *)
+  let v = Int64.to_int (Int64.shift_right_logical (int64 t) 2) in
+  v mod bound
+
+let float t bound =
+  (* 53 high bits -> uniform in [0,1). *)
+  let bits = Int64.shift_right_logical (int64 t) 11 in
+  Int64.to_float bits /. 9007199254740992.0 *. bound
+
+let bool t = Int64.logand (int64 t) 1L = 1L
+
+let prob t p =
+  if p <= 0.0 then false else if p >= 1.0 then true else float t 1.0 < p
+
+let pick t arr =
+  if Array.length arr = 0 then invalid_arg "Det_rng.pick: empty array";
+  arr.(int t (Array.length arr))
+
+let geometric t p =
+  if p <= 0.0 || p > 1.0 then invalid_arg "Det_rng.geometric: p out of range";
+  if p >= 1.0 then 0
+  else
+    let u = float t 1.0 in
+    let u = if u <= 0.0 then min_float else u in
+    int_of_float (Float.floor (Float.log u /. Float.log (1.0 -. p)))
+
+let lognormal t ~mu ~sigma =
+  (* Box-Muller on two independent uniforms. *)
+  let u1 =
+    let u = float t 1.0 in
+    if u <= 0.0 then min_float else u
+  in
+  let u2 = float t 1.0 in
+  let z = Float.sqrt (-2.0 *. Float.log u1) *. Float.cos (2.0 *. Float.pi *. u2) in
+  Float.exp (mu +. (sigma *. z))

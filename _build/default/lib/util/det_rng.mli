@@ -1,0 +1,50 @@
+(** Deterministic, splittable pseudo-random number generator.
+
+    All randomness in the reproduction flows through this module so that
+    every experiment is reproducible bit-for-bit across runs and machines.
+    The generator is a SplitMix64 core: a 64-bit counter advanced by a fixed
+    odd increment, finalized by a mixing function.  [split] derives an
+    independent stream, which lets concurrent subsystems (devices, models,
+    tools) draw numbers without perturbing each other. *)
+
+type t
+
+val create : int64 -> t
+(** [create seed] is a fresh generator seeded with [seed]. *)
+
+val of_string : string -> t
+(** [of_string s] seeds a generator from the FNV-1a hash of [s]; used to give
+    each named subsystem its own stable stream. *)
+
+val split : t -> t
+(** [split t] advances [t] once and returns an independent generator whose
+    stream does not overlap with [t]'s in practice. *)
+
+val copy : t -> t
+(** [copy t] duplicates the current state; the copy evolves independently. *)
+
+val int64 : t -> int64
+(** Next raw 64-bit value. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. Requires [bound > 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val prob : t -> float -> bool
+(** [prob t p] is [true] with probability [p] (clamped to [\[0;1\]]). *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform choice from a non-empty array. Raises [Invalid_argument] on
+    an empty array. *)
+
+val geometric : t -> float -> int
+(** [geometric t p] draws from a geometric distribution with success
+    probability [p]; returns the number of failures before first success
+    (>= 0). Requires [0 < p <= 1]. *)
+
+val lognormal : t -> mu:float -> sigma:float -> float
+(** Log-normal draw, used for realistic kernel-duration jitter. *)

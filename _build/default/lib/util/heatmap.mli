@@ -1,0 +1,16 @@
+(** Text heatmap rendering for the time-series hotness figure
+    (paper Fig. 13): rows are memory blocks, columns are time windows,
+    cell intensity encodes access counts. *)
+
+val render :
+  Format.formatter ->
+  row_label:(int -> string) ->
+  float array array ->
+  unit
+(** [render ppf ~row_label cells] draws one text row per matrix row.
+    Intensities are normalized to the global maximum and mapped onto a
+    10-step character ramp.  Empty matrices render nothing. *)
+
+val intensity_char : float -> char
+(** Map a [0;1]-normalized intensity to the character ramp
+    [' ' '.' ':' '-' '=' '+' '*' '#' '%' '@'].  Values are clamped. *)

@@ -1,0 +1,27 @@
+(** Fixed-capacity FIFO ring buffer.
+
+    Models the device-side trace buffer of the CPU-analysis profiling
+    pipelines (paper Fig. 2a): producers push records until the buffer is
+    full, at which point the producing kernel must stall while a consumer
+    drains it. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** Raises [Invalid_argument] if [capacity <= 0]. *)
+
+val capacity : 'a t -> int
+val length : 'a t -> int
+val is_full : 'a t -> bool
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> bool
+(** [push t x] appends [x] and returns [true], or returns [false] without
+    modifying [t] when full. *)
+
+val pop : 'a t -> 'a option
+
+val drain : 'a t -> 'a list
+(** Remove and return all elements, oldest first. *)
+
+val clear : 'a t -> unit

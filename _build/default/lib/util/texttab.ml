@@ -1,0 +1,38 @@
+type align = Left | Right
+
+let render ppf ~header ~align rows =
+  let ncols = List.length header in
+  let pad_row r =
+    let len = List.length r in
+    if len >= ncols then List.filteri (fun i _ -> i < ncols) r
+    else r @ List.init (ncols - len) (fun _ -> "")
+  in
+  let rows = List.map pad_row rows in
+  let widths = Array.of_list (List.map String.length header) in
+  List.iter
+    (fun row ->
+      List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row)
+    rows;
+  let align_of i =
+    match List.nth_opt align i with Some a -> a | None -> Left
+  in
+  let pp_cell i cell =
+    let w = widths.(i) in
+    match align_of i with
+    | Left -> Format.fprintf ppf "%-*s" w cell
+    | Right -> Format.fprintf ppf "%*s" w cell
+  in
+  let pp_row row =
+    List.iteri
+      (fun i cell ->
+        if i > 0 then Format.pp_print_string ppf "  ";
+        pp_cell i cell)
+      row;
+    Format.pp_print_newline ppf ()
+  in
+  pp_row header;
+  let rule_width =
+    Array.fold_left ( + ) 0 widths + (2 * (ncols - 1))
+  in
+  Format.fprintf ppf "%s@." (String.make rule_width '-');
+  List.iter pp_row rows

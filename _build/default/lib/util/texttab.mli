@@ -1,0 +1,11 @@
+(** Plain-text table rendering for the experiment harness output
+    (Table V and the per-figure series dumps). *)
+
+type align = Left | Right
+
+val render :
+  Format.formatter -> header:string list -> align:align list -> string list list -> unit
+(** [render ppf ~header ~align rows] draws an aligned table with a rule
+    under the header.  [align] gives per-column alignment; missing entries
+    default to [Left].  Rows shorter than the header are padded with
+    empty cells. *)

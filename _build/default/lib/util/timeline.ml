@@ -1,0 +1,74 @@
+type t = { mutable times : float list; mutable values : float list; mutable n : int }
+(* Samples are kept in reverse order for O(1) append. *)
+
+let create () = { times = []; values = []; n = 0 }
+
+let record t ~time v =
+  (match t.times with
+  | last :: _ when time < last -> invalid_arg "Timeline.record: time went backwards"
+  | _ -> ());
+  t.times <- time :: t.times;
+  t.values <- v :: t.values;
+  t.n <- t.n + 1
+
+let length t = t.n
+let is_empty t = t.n = 0
+let last_value t = match t.values with [] -> 0.0 | v :: _ -> v
+let peak t = List.fold_left Float.max 0.0 t.values
+
+let samples t =
+  let times = Array.of_list (List.rev t.times) in
+  let values = Array.of_list (List.rev t.values) in
+  Array.map2 (fun a b -> (a, b)) times values
+
+let duration t =
+  match (t.times, List.rev t.times) with
+  | last :: _, first :: _ when t.n >= 2 -> last -. first
+  | _ -> 0.0
+
+let bucketize t ~buckets =
+  if buckets <= 0 then invalid_arg "Timeline.bucketize: buckets must be positive";
+  if t.n = 0 then invalid_arg "Timeline.bucketize: empty timeline";
+  let s = samples t in
+  let t0 = fst s.(0) and t1 = fst s.(Array.length s - 1) in
+  let span = t1 -. t0 in
+  let out = Array.make buckets 0.0 in
+  if span <= 0.0 then (
+    (* All samples at a single instant: hold the final value everywhere. *)
+    Array.fill out 0 buckets (snd s.(Array.length s - 1));
+    out)
+  else begin
+    let idx = ref 0 in
+    let current = ref (snd s.(0)) in
+    for b = 0 to buckets - 1 do
+      let slot_end = t0 +. (span *. float_of_int (b + 1) /. float_of_int buckets) in
+      while !idx < Array.length s && fst s.(!idx) <= slot_end do
+        current := snd s.(!idx);
+        incr idx
+      done;
+      out.(b) <- !current
+    done;
+    out
+  end
+
+let diff a b =
+  if Array.length a <> Array.length b then
+    invalid_arg "Timeline.diff: length mismatch";
+  Array.map2 ( -. ) a b
+
+let spark_chars = [| " "; "\xe2\x96\x81"; "\xe2\x96\x82"; "\xe2\x96\x83";
+                     "\xe2\x96\x84"; "\xe2\x96\x85"; "\xe2\x96\x86";
+                     "\xe2\x96\x87"; "\xe2\x96\x88" |]
+
+let pp_sparkline ppf series =
+  let hi = Array.fold_left Float.max 0.0 series in
+  Array.iter
+    (fun v ->
+      let level =
+        if hi <= 0.0 then 0
+        else
+          let l = int_of_float (Float.round (v /. hi *. 8.0)) in
+          max 0 (min 8 l)
+      in
+      Format.pp_print_string ppf spark_chars.(level))
+    series

@@ -1,0 +1,1 @@
+lib/vendor/nvbit.ml: Gpusim Hashtbl List Phases Printf

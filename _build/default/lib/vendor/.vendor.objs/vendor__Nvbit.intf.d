@@ -1,0 +1,1 @@
+lib/vendor/nvbit.mli: Gpusim Phases

@@ -1,0 +1,1 @@
+lib/vendor/phases.mli: Format Gpusim

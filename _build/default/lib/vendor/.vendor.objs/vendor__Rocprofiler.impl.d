@@ -1,0 +1,1 @@
+lib/vendor/rocprofiler.ml: Gpusim Phases Printf

@@ -1,0 +1,1 @@
+lib/vendor/rocprofiler.mli: Gpusim Phases

@@ -1,0 +1,1 @@
+lib/vendor/sanitizer.ml: Gpusim List Phases Printf

@@ -1,0 +1,1 @@
+lib/vendor/sanitizer.mli: Gpusim Phases

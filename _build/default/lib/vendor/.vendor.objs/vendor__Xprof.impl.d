@@ -1,0 +1,1 @@
+lib/vendor/xprof.ml: Gpusim Phases Printf

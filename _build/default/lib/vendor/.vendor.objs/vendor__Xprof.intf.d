@@ -1,0 +1,1 @@
+lib/vendor/xprof.mli: Gpusim Phases

@@ -1,0 +1,160 @@
+module D = Gpusim.Device
+module Cost = Gpusim.Costmodel
+
+type cuda_event =
+  | Ev_launch_begin of D.launch_info
+  | Ev_launch_end of D.launch_info * D.exec_stats
+  | Ev_memcpy of { bytes : int; kind : D.memcpy_kind }
+  | Ev_malloc of Gpusim.Device_mem.alloc
+  | Ev_free of Gpusim.Device_mem.alloc
+  | Ev_sync
+
+type t = {
+  device : D.t;
+  probe_name : string;
+  mutable callback : cuda_event -> unit;
+  mutable instrumented : bool;
+  parsed : (string, Gpusim.Instr.t list) Hashtbl.t;
+  phases : Phases.t;
+  mutable pending_true : int;
+  mutable pending_records : (D.launch_info * Gpusim.Warp.access) list;
+}
+
+let dispatch t ev =
+  match ev with
+  | D.Launch_begin info -> t.callback (Ev_launch_begin info)
+  | D.Launch_end (info, stats) ->
+      t.phases.Phases.workload_us <- t.phases.Phases.workload_us +. stats.D.duration_us;
+      t.callback (Ev_launch_end (info, stats))
+  | D.Memcpy { bytes; kind; _ } -> t.callback (Ev_memcpy { bytes; kind })
+  | D.Malloc { alloc } -> t.callback (Ev_malloc alloc)
+  | D.Free { alloc } -> t.callback (Ev_free alloc)
+  | D.Sync _ -> t.callback Ev_sync
+  | D.Api _ | D.Memset _ -> ()
+
+let attach device =
+  let t =
+    {
+      device;
+      probe_name = Printf.sprintf "nvbit-%d" (D.id device);
+      callback = ignore;
+      instrumented = false;
+      parsed = Hashtbl.create 64;
+      phases = Phases.create ();
+      pending_true = 0;
+      pending_records = [];
+    }
+  in
+  D.add_probe device { D.probe_name = t.probe_name; on_event = (fun ev -> dispatch t ev) };
+  t
+
+let uninstrument t =
+  if t.instrumented then begin
+    D.clear_instrument t.device;
+    t.instrumented <- false;
+    t.pending_true <- 0;
+    t.pending_records <- []
+  end
+
+let detach t =
+  uninstrument t;
+  D.remove_probe t.device t.probe_name
+
+let at_cuda_event t f = t.callback <- f
+
+let charge t ~phase us = Phases.charge (D.clock t.device) t.phases phase us
+
+let get_instrs t kernel =
+  let name = kernel.Gpusim.Kernel.name in
+  match Hashtbl.find_opt t.parsed name with
+  | Some instrs -> instrs
+  | None ->
+      (* Dump the SASS text and parse it back — the round trip a real
+         NVBit tool performs to locate memory instructions. *)
+      let text = Gpusim.Sass.dump kernel in
+      let instrs = Gpusim.Sass.parse text in
+      charge t ~phase:`Collect
+        (Cost.sass_dump_parse_time_us ~static_instrs:(List.length instrs));
+      Hashtbl.add t.parsed name instrs;
+      instrs
+
+let functions_parsed t = Hashtbl.length t.parsed
+
+let flush t ~on_record ~per_record_us =
+  if t.pending_true > 0 then begin
+    let arch = D.arch t.device in
+    charge t ~phase:`Transfer
+      (Cost.transfer_time_us arch ~records:t.pending_true +. Cost.flush_overhead_us);
+    charge t ~phase:`Analysis
+      (Cost.host_analysis_time_us ~records:t.pending_true ~per_record_us);
+    List.iter (fun (info, a) -> on_record info a) (List.rev t.pending_records);
+    t.pending_true <- 0;
+    t.pending_records <- []
+  end
+
+let instrument_memory t ?(buffer_records = 4 * 1024 * 1024 / Cost.record_bytes)
+    ?(per_record_us = Cost.nvbit_host_per_record_us) ~on_record () =
+  if buffer_records <= 0 then
+    invalid_arg "Nvbit.instrument_memory: buffer_records must be positive";
+  let arch = D.arch t.device in
+  let instrument =
+    {
+      D.instr_name = "nvbit-memtrace";
+      materialize = true;
+      on_kernel_entry =
+        (fun info ->
+          (* First launch of a function: dump + parse its SASS.  The parsed
+             memory PCs are what gets instrumented. *)
+          ignore (Gpusim.Sass.memory_pcs (get_instrs t info.D.kernel)));
+      on_region =
+        (fun _info region ->
+          charge t ~phase:`Collect
+            (Cost.collect_time_us arch ~accesses:region.Gpusim.Kernel.accesses
+               ~per_access_us:Cost.nvbit_collect_per_access_us));
+      on_access =
+        (fun info a ->
+          t.pending_true <- t.pending_true + a.Gpusim.Warp.weight;
+          t.pending_records <- (info, a) :: t.pending_records;
+          if t.pending_true >= buffer_records then flush t ~on_record ~per_record_us);
+      on_kernel_exit = (fun _info _stats -> flush t ~on_record ~per_record_us);
+    }
+  in
+  D.set_instrument t.device instrument;
+  t.instrumented <- true
+
+let instrument_opcodes t ~opcodes ~on_counts () =
+  let arch = D.arch t.device in
+  let instrument =
+    {
+      D.instr_name = "nvbit-opcode-counter";
+      materialize = false;
+      on_kernel_entry = (fun _ -> ());
+      on_region = (fun _ _ -> ());
+      on_access = (fun _ _ -> ());
+      on_kernel_exit =
+        (fun info _stats ->
+          let kernel = info.D.kernel in
+          let instrs = get_instrs t kernel in
+          let threads = Gpusim.Kernel.threads kernel in
+          let counts =
+            List.map
+              (fun opcode ->
+                let static =
+                  List.length
+                    (List.filter (fun (i : Gpusim.Instr.t) -> i.Gpusim.Instr.opcode = opcode) instrs)
+                in
+                (opcode, static * threads))
+              opcodes
+          in
+          let dynamic = List.fold_left (fun acc (_, n) -> acc + n) 0 counts in
+          charge t ~phase:`Collect
+            (Cost.collect_time_us arch ~accesses:dynamic
+               ~per_access_us:Cost.nvbit_collect_per_access_us);
+          on_counts info counts);
+    }
+  in
+  D.set_instrument t.device instrument;
+  t.instrumented <- true
+
+let phases t = t.phases
+let reset_phases t = Phases.reset t.phases

@@ -1,0 +1,69 @@
+(** NVBit-style dynamic binary instrumentation substrate.
+
+    NVBit differs from the Sanitizer path in how it finds what to
+    instrument: it receives CUDA events ([nvbit_at_cuda_event]) and, for
+    each new kernel, must *dump the SASS listing and parse it* to identify
+    memory instructions before inserting instrumentation calls — the extra
+    cost source the paper calls out in §V-B3.  Tracing then follows the
+    conventional collect-on-GPU / analyze-on-CPU model with a device
+    channel buffer (the NVBit MemTrace design, Fig. 2a).  Instrumented
+    functions are cached per kernel name, as [nvbit_at_function_first_load]
+    does. *)
+
+type cuda_event =
+  | Ev_launch_begin of Gpusim.Device.launch_info
+  | Ev_launch_end of Gpusim.Device.launch_info * Gpusim.Device.exec_stats
+  | Ev_memcpy of { bytes : int; kind : Gpusim.Device.memcpy_kind }
+  | Ev_malloc of Gpusim.Device_mem.alloc
+  | Ev_free of Gpusim.Device_mem.alloc
+  | Ev_sync
+
+type t
+
+val attach : Gpusim.Device.t -> t
+val detach : t -> unit
+
+val at_cuda_event : t -> (cuda_event -> unit) -> unit
+(** Register the CUDA-event callback (replaces the previous one). *)
+
+val get_instrs : t -> Gpusim.Kernel.t -> Gpusim.Instr.t list
+(** Dump and parse the kernel's SASS, charging the dump/parse cost; results
+    are cached per kernel name so each function pays once, like
+    [nvbit_get_instrs]. *)
+
+val instrument_memory :
+  t ->
+  ?buffer_records:int ->
+  ?per_record_us:float ->
+  on_record:(Gpusim.Device.launch_info -> Gpusim.Warp.access -> unit) ->
+  unit ->
+  unit
+(** Install memory tracing.  For every kernel: ensure its SASS has been
+    dumped/parsed (first launch only), instrument its global-memory
+    instructions, stream records through the channel buffer
+    ([buffer_records] capacity, default the 4 MB buffer) and hand each
+    (sampled, weighted) record to [on_record] on the host.  Costs use the
+    NVBit constants of {!Gpusim.Costmodel} plus a per-flush channel
+    overhead. *)
+
+val instrument_opcodes :
+  t ->
+  opcodes:Gpusim.Instr.opcode list ->
+  on_counts:(Gpusim.Device.launch_info -> (Gpusim.Instr.opcode * int) list -> unit) ->
+  unit ->
+  unit
+(** "Any Specific Instruction" instrumentation (paper Table II): count the
+    dynamic executions of the given opcodes per kernel.  The SASS listing
+    is dumped/parsed per function (cached), the matching static
+    instructions get counting trampolines, and each launch reports one
+    count per requested opcode (static occurrences x threads).  Collection
+    cost is charged per counted dynamic instruction.  Replaces any
+    previously installed instrumentation. *)
+
+val uninstrument : t -> unit
+
+val functions_parsed : t -> int
+(** Number of distinct kernels whose SASS has been dumped and parsed. *)
+
+val phases : t -> Phases.t
+val reset_phases : t -> unit

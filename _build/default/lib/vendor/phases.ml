@@ -1,0 +1,47 @@
+type t = {
+  mutable workload_us : float;
+  mutable collect_us : float;
+  mutable transfer_us : float;
+  mutable analysis_us : float;
+}
+
+let create () =
+  { workload_us = 0.0; collect_us = 0.0; transfer_us = 0.0; analysis_us = 0.0 }
+
+let reset t =
+  t.workload_us <- 0.0;
+  t.collect_us <- 0.0;
+  t.transfer_us <- 0.0;
+  t.analysis_us <- 0.0
+
+let total_us t = t.workload_us +. t.collect_us +. t.transfer_us +. t.analysis_us
+let overhead_us t = t.collect_us +. t.transfer_us +. t.analysis_us
+
+let add a b =
+  {
+    workload_us = a.workload_us +. b.workload_us;
+    collect_us = a.collect_us +. b.collect_us;
+    transfer_us = a.transfer_us +. b.transfer_us;
+    analysis_us = a.analysis_us +. b.analysis_us;
+  }
+
+let charge clock t phase us =
+  Gpusim.Clock.advance_us clock us;
+  match phase with
+  | `Collect -> t.collect_us <- t.collect_us +. us
+  | `Transfer -> t.transfer_us <- t.transfer_us +. us
+  | `Analysis -> t.analysis_us <- t.analysis_us +. us
+
+let pp ppf t =
+  Format.fprintf ppf
+    "workload %.1fus, collect %.1fus, transfer %.1fus, analysis %.1fus"
+    t.workload_us t.collect_us t.transfer_us t.analysis_us
+
+let fractions t =
+  let total = total_us t in
+  if total <= 0.0 then (0.0, 0.0, 0.0, 0.0)
+  else
+    ( t.workload_us /. total,
+      t.collect_us /. total,
+      t.transfer_us /. total,
+      t.analysis_us /. total )

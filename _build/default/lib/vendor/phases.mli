@@ -1,0 +1,37 @@
+(** Profiling-time phase accounting.
+
+    The paper's Fig. 10 breaks total profiling time into workload
+    execution, trace collection, trace transfer and trace analysis.  Every
+    profiling backend charges its costs through one of these accumulators
+    so the breakdown can be reported per run.  In the GPU-accelerated
+    model collection and analysis are fused into one device function, so
+    backends in that mode charge the fused time to [collect_us] — exactly
+    the convention the paper uses. *)
+
+type t = {
+  mutable workload_us : float;  (** baseline kernel / copy execution *)
+  mutable collect_us : float;  (** trace collection (device side) *)
+  mutable transfer_us : float;  (** device-to-host buffer copies *)
+  mutable analysis_us : float;  (** host-side record processing *)
+}
+
+val create : unit -> t
+val reset : t -> unit
+val total_us : t -> float
+val overhead_us : t -> float
+(** Everything but the workload itself. *)
+
+val add : t -> t -> t
+(** Fresh sum of two accountings. *)
+
+val charge :
+  Gpusim.Clock.t -> t -> [ `Collect | `Transfer | `Analysis ] -> float -> unit
+(** Advance the device clock by the duration and attribute it to the
+    given phase — the one way every profiling substrate charges its
+    overhead. *)
+
+val pp : Format.formatter -> t -> unit
+
+val fractions : t -> float * float * float * float
+(** (workload, collect, transfer, analysis) as fractions of the total;
+    all zero when the total is zero. *)

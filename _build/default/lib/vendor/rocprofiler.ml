@@ -1,0 +1,120 @@
+module D = Gpusim.Device
+module Cost = Gpusim.Costmodel
+
+type record =
+  | Hip_api of { name : string; phase : [ `Enter | `Exit ] }
+  | Kernel_dispatch of {
+      agent : int;
+      queue : int;
+      dispatch : D.launch_info;
+      phase : [ `Begin | `End ];
+      stats : D.exec_stats option;
+    }
+  | Memory_copy of { bytes : int; kind : D.memcpy_kind }
+  | Memory_allocate of { address : int; size_delta : int; agent : int }
+  | Scratch_memory of { bytes : int }
+  | Sync_event
+
+type t = {
+  device : D.t;
+  probe_name : string;
+  mutable callback : record -> unit;
+  mutable patched : bool;
+  phases : Phases.t;
+}
+
+let dispatch t ev =
+  let agent = D.id t.device in
+  match ev with
+  | D.Api { name; phase } -> t.callback (Hip_api { name; phase })
+  | D.Malloc { alloc } ->
+      t.callback
+        (Memory_allocate
+           { address = alloc.Gpusim.Device_mem.base;
+             size_delta = alloc.Gpusim.Device_mem.bytes;
+             agent })
+  | D.Free { alloc } ->
+      (* The SDK convention: a release is a negative-sized allocation. *)
+      t.callback
+        (Memory_allocate
+           { address = alloc.Gpusim.Device_mem.base;
+             size_delta = -alloc.Gpusim.Device_mem.bytes;
+             agent })
+  | D.Memcpy { bytes; kind; _ } -> t.callback (Memory_copy { bytes; kind })
+  | D.Memset { bytes; _ } -> t.callback (Scratch_memory { bytes })
+  | D.Launch_begin info ->
+      t.callback
+        (Kernel_dispatch
+           { agent; queue = info.D.stream; dispatch = info; phase = `Begin; stats = None })
+  | D.Launch_end (info, stats) ->
+      t.phases.Phases.workload_us <- t.phases.Phases.workload_us +. stats.D.duration_us;
+      t.callback
+        (Kernel_dispatch
+           { agent;
+             queue = info.D.stream;
+             dispatch = info;
+             phase = `End;
+             stats = Some stats })
+  | D.Sync _ -> t.callback Sync_event
+
+let attach device =
+  (match (D.arch device).Gpusim.Arch.vendor with
+  | Gpusim.Arch.Amd -> ()
+  | Gpusim.Arch.Nvidia | Gpusim.Arch.Google ->
+      invalid_arg "Rocprofiler.attach: not an AMD device");
+  let t =
+    {
+      device;
+      probe_name = Printf.sprintf "rocprofiler-%d" (D.id device);
+      callback = ignore;
+      patched = false;
+      phases = Phases.create ();
+    }
+  in
+  D.add_probe device { D.probe_name = t.probe_name; on_event = (fun ev -> dispatch t ev) };
+  t
+
+let unpatch_kernels t =
+  if t.patched then begin
+    D.clear_instrument t.device;
+    t.patched <- false
+  end
+
+let detach t =
+  unpatch_kernels t;
+  D.remove_probe t.device t.probe_name
+
+let configure_callback t f = t.callback <- f
+
+let charge t ~phase us = Phases.charge (D.clock t.device) t.phases phase us
+
+let patch_kernels t ~map_bytes ~device_fn ~on_kernel_complete =
+  let arch = D.arch t.device in
+  let instrument =
+    {
+      D.instr_name = "rocprofiler-device-analysis";
+      materialize = false;
+      on_kernel_entry =
+        (fun _info ->
+          charge t ~phase:`Transfer
+            (Cost.memcpy_time_us arch ~bytes:(map_bytes ()) ~kind:`H2d));
+      on_region =
+        (fun info region ->
+          charge t ~phase:`Collect
+            (Cost.device_analysis_time_us arch
+               ~accesses:region.Gpusim.Kernel.accesses
+               ~per_access_us:Cost.sanitizer_gpu_per_access_us);
+          device_fn info region);
+      on_access = (fun _ _ -> ());
+      on_kernel_exit =
+        (fun info stats ->
+          charge t ~phase:`Transfer
+            (Cost.memcpy_time_us arch ~bytes:(map_bytes ()) ~kind:`D2h);
+          on_kernel_complete info stats);
+    }
+  in
+  D.set_instrument t.device instrument;
+  t.patched <- true
+
+let phases t = t.phases
+let reset_phases t = Phases.reset t.phases

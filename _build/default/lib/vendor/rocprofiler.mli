@@ -1,0 +1,54 @@
+(** ROCProfiler-SDK-style profiling substrate for AMD devices.
+
+    Exposes the callback-tracing service shape of the ROCm SDK
+    ([rocprofiler_configure_callback_tracing_service]): HIP API records,
+    kernel dispatches, memory copies and memory allocations.  Two
+    deliberate convention differences from the NVIDIA substrates exercise
+    PASTA's cross-vendor normalization (paper §III-G):
+
+    - memory *release* is reported as an allocation record with a
+      {e negative} size delta rather than a distinct free record;
+    - kernels are dispatched on an "agent"/"queue" rather than a
+      device/stream.
+
+    Fine-grained patching also uses device-resident accumulation, mirroring
+    the Sanitizer path so AMD parts support the same working-set tools. *)
+
+type record =
+  | Hip_api of { name : string; phase : [ `Enter | `Exit ] }
+  | Kernel_dispatch of {
+      agent : int;
+      queue : int;
+      dispatch : Gpusim.Device.launch_info;
+      phase : [ `Begin | `End ];
+      stats : Gpusim.Device.exec_stats option;  (** present on [`End] *)
+    }
+  | Memory_copy of { bytes : int; kind : Gpusim.Device.memcpy_kind }
+  | Memory_allocate of { address : int; size_delta : int; agent : int }
+      (** positive on allocation, negative on release *)
+  | Scratch_memory of { bytes : int }
+  | Sync_event
+
+type t
+
+val attach : Gpusim.Device.t -> t
+(** Raises [Invalid_argument] when the device is not an AMD part — the SDK
+    does not load against CUDA devices. *)
+
+val detach : t -> unit
+
+val configure_callback : t -> (record -> unit) -> unit
+
+val patch_kernels :
+  t ->
+  map_bytes:(unit -> int) ->
+  device_fn:(Gpusim.Device.launch_info -> Gpusim.Kernel.region -> unit) ->
+  on_kernel_complete:(Gpusim.Device.launch_info -> Gpusim.Device.exec_stats -> unit) ->
+  unit
+(** Device-resident fine-grained accumulation, as {!Sanitizer.patch_module}
+    with [Device_analysis]. *)
+
+val unpatch_kernels : t -> unit
+
+val phases : t -> Phases.t
+val reset_phases : t -> unit

@@ -1,0 +1,211 @@
+module D = Gpusim.Device
+module Cost = Gpusim.Costmodel
+
+type domain = Driver_api | Launch | Memcpy | Memset | Memory | Synchronize
+
+type callback =
+  | Api of { name : string; phase : [ `Enter | `Exit ] }
+  | Launch_begin of D.launch_info
+  | Launch_end of D.launch_info * D.exec_stats
+  | Memcpy_cb of { dst : int; src : int; bytes : int; kind : D.memcpy_kind; stream : int }
+  | Memset_cb of { addr : int; bytes : int; value : int; stream : int }
+  | Alloc_cb of Gpusim.Device_mem.alloc
+  | Free_cb of Gpusim.Device_mem.alloc
+  | Sync_cb of [ `Device | `Stream of int ]
+
+type instr_class = Control_flow | Shared_mem | Barrier_sync | Operand_values
+
+let all_instr_classes = [ Control_flow; Shared_mem; Barrier_sync; Operand_values ]
+
+type patch_mode =
+  | Device_analysis of {
+      map_bytes : unit -> int;
+      device_fn : D.launch_info -> Gpusim.Kernel.region -> unit;
+      on_kernel_complete : D.launch_info -> D.exec_stats -> unit;
+    }
+  | Host_analysis of {
+      buffer_records : int;
+      on_record : D.launch_info -> Gpusim.Warp.access -> unit;
+      per_record_us : float;
+    }
+  | Instruction_analysis of {
+      classes : instr_class list;
+      on_profile : D.launch_info -> Gpusim.Kernel.profile -> unit;
+    }
+
+let default_buffer_records = 4 * 1024 * 1024 / Cost.record_bytes
+
+type t = {
+  device : D.t;
+  probe_name : string;
+  mutable domains : domain list;
+  mutable callback : callback -> unit;
+  mutable patched : bool;
+  phases : Phases.t;
+  (* Host-analysis buffering state: true (unsampled) record count pending in
+     the device buffer, plus the sampled payloads standing for them. *)
+  mutable pending_true : int;
+  mutable pending_records : (D.launch_info * Gpusim.Warp.access) list;
+}
+
+let enabled t d = List.mem d t.domains
+
+let dispatch t ev =
+  match ev with
+  | D.Api { name; phase } ->
+      if enabled t Driver_api then t.callback (Api { name; phase })
+  | D.Malloc { alloc } -> if enabled t Memory then t.callback (Alloc_cb alloc)
+  | D.Free { alloc } -> if enabled t Memory then t.callback (Free_cb alloc)
+  | D.Memcpy { dst; src; bytes; kind; stream } ->
+      if enabled t Memcpy then t.callback (Memcpy_cb { dst; src; bytes; kind; stream })
+  | D.Memset { addr; bytes; value; stream } ->
+      if enabled t Memset then t.callback (Memset_cb { addr; bytes; value; stream })
+  | D.Launch_begin info ->
+      if enabled t Launch then t.callback (Launch_begin info)
+  | D.Launch_end (info, stats) ->
+      t.phases.Phases.workload_us <- t.phases.Phases.workload_us +. stats.D.duration_us;
+      if enabled t Launch then t.callback (Launch_end (info, stats))
+  | D.Sync scope -> if enabled t Synchronize then t.callback (Sync_cb scope)
+
+let attach device =
+  let t =
+    {
+      device;
+      probe_name = Printf.sprintf "sanitizer-%d" (D.id device);
+      domains = [];
+      callback = ignore;
+      patched = false;
+      phases = Phases.create ();
+      pending_true = 0;
+      pending_records = [];
+    }
+  in
+  D.add_probe device { D.probe_name = t.probe_name; on_event = (fun ev -> dispatch t ev) };
+  t
+
+let unpatch_module t =
+  if t.patched then begin
+    D.clear_instrument t.device;
+    t.patched <- false;
+    t.pending_true <- 0;
+    t.pending_records <- []
+  end
+
+let detach t =
+  unpatch_module t;
+  D.remove_probe t.device t.probe_name
+
+let enable_domain t d = if not (enabled t d) then t.domains <- d :: t.domains
+let disable_domain t d = t.domains <- List.filter (fun x -> x <> d) t.domains
+let set_callback t f = t.callback <- f
+
+let charge t ~phase us = Phases.charge (D.clock t.device) t.phases phase us
+
+let flush_host t ~on_record ~per_record_us =
+  if t.pending_true > 0 then begin
+    let arch = D.arch t.device in
+    charge t ~phase:`Transfer (Cost.transfer_time_us arch ~records:t.pending_true);
+    charge t ~phase:`Analysis
+      (Cost.host_analysis_time_us ~records:t.pending_true ~per_record_us);
+    List.iter (fun (info, a) -> on_record info a) (List.rev t.pending_records);
+    t.pending_true <- 0;
+    t.pending_records <- []
+  end
+
+(* Restrict a ground-truth profile to the patched classes, and count the
+   dynamic instructions whose observation must be paid for. *)
+let mask_profile classes (p : Gpusim.Kernel.profile) =
+  let has c = List.mem c classes in
+  let masked =
+    {
+      Gpusim.Kernel.branches = (if has Control_flow then p.Gpusim.Kernel.branches else 0);
+      divergent_branches = (if has Control_flow then p.Gpusim.Kernel.divergent_branches else 0);
+      shared_accesses = (if has Shared_mem then p.Gpusim.Kernel.shared_accesses else 0);
+      bank_conflicts = (if has Shared_mem then p.Gpusim.Kernel.bank_conflicts else 0);
+      barrier_stall_us = (if has Barrier_sync then p.Gpusim.Kernel.barrier_stall_us else 0.0);
+      value_min = (if has Operand_values then p.Gpusim.Kernel.value_min else 0.0);
+      value_max = (if has Operand_values then p.Gpusim.Kernel.value_max else 0.0);
+      redundant_loads = (if has Operand_values then p.Gpusim.Kernel.redundant_loads else 0);
+    }
+  in
+  let instrumented =
+    (if has Control_flow then p.Gpusim.Kernel.branches else 0)
+    + (if has Shared_mem then p.Gpusim.Kernel.shared_accesses else 0)
+    + if has Operand_values then p.Gpusim.Kernel.redundant_loads else 0
+  in
+  (masked, instrumented)
+
+let patch_module t mode =
+  let arch = D.arch t.device in
+  let instrument =
+    match mode with
+    | Device_analysis { map_bytes; device_fn; on_kernel_complete } ->
+        {
+          D.instr_name = "sanitizer-device-analysis";
+          materialize = false;
+          on_kernel_entry =
+            (fun _info ->
+              (* Ship the object map to the device. *)
+              charge t ~phase:`Transfer
+                (Cost.memcpy_time_us arch ~bytes:(map_bytes ()) ~kind:`H2d));
+          on_region =
+            (fun info region ->
+              (* Fused in-situ collection + analysis (Fig. 2b): cost is
+                 per-access, amortized over hardware lanes. *)
+              charge t ~phase:`Collect
+                (Cost.device_analysis_time_us arch ~accesses:region.Gpusim.Kernel.accesses
+                   ~per_access_us:Cost.sanitizer_gpu_per_access_us);
+              device_fn info region);
+          on_access = (fun _ _ -> ());
+          on_kernel_exit =
+            (fun info stats ->
+              charge t ~phase:`Transfer
+                (Cost.memcpy_time_us arch ~bytes:(map_bytes ()) ~kind:`D2h);
+              on_kernel_complete info stats);
+        }
+    | Host_analysis { buffer_records; on_record; per_record_us } ->
+        if buffer_records <= 0 then
+          invalid_arg "Sanitizer.patch_module: buffer_records must be positive";
+        {
+          D.instr_name = "sanitizer-host-analysis";
+          materialize = true;
+          on_kernel_entry = (fun _ -> ());
+          on_region =
+            (fun _info region ->
+              charge t ~phase:`Collect
+                (Cost.collect_time_us arch ~accesses:region.Gpusim.Kernel.accesses
+                   ~per_access_us:Cost.sanitizer_collect_per_access_us));
+          on_access =
+            (fun info a ->
+              (* The buffer fills with *true* records; the GPU stalls while
+                 the host drains it (Fig. 2a). *)
+              t.pending_true <- t.pending_true + a.Gpusim.Warp.weight;
+              t.pending_records <- (info, a) :: t.pending_records;
+              if t.pending_true >= buffer_records then
+                flush_host t ~on_record ~per_record_us);
+          on_kernel_exit =
+            (fun _info _stats -> flush_host t ~on_record ~per_record_us);
+        }
+    | Instruction_analysis { classes; on_profile } ->
+        {
+          D.instr_name = "sanitizer-instruction-analysis";
+          materialize = false;
+          on_kernel_entry = (fun _ -> ());
+          on_region = (fun _ _ -> ());
+          on_access = (fun _ _ -> ());
+          on_kernel_exit =
+            (fun info _stats ->
+              let masked, instrumented =
+                mask_profile classes info.D.kernel.Gpusim.Kernel.prof
+              in
+              charge t ~phase:`Collect
+                (Cost.device_analysis_time_us arch ~accesses:instrumented
+                   ~per_access_us:Cost.sanitizer_gpu_per_access_us);
+              on_profile info masked);
+        }
+  in
+  D.set_instrument t.device instrument;
+  t.patched <- true
+
+let phases t = t.phases
+let reset_phases t = Phases.reset t.phases

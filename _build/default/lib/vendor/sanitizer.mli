@@ -1,0 +1,96 @@
+(** Compute-Sanitizer-style profiling substrate.
+
+    Mirrors the NVIDIA Sanitizer API surface PASTA builds on
+    (paper §III-D): callback *domains* that are enabled per subscription
+    ([sanitizerEnableDomain]), per-CBID callbacks for coarse host events,
+    and *module patching* ([sanitizerPatchModule]) for fine-grained
+    device events.  Patching supports the two analysis models of the
+    paper's Fig. 2:
+
+    - {!Device_analysis} — the GPU-resident collect-and-analyze model:
+      a device function aggregates accesses in place, only a small result
+      map crosses the link (Fig. 2b);
+    - {!Host_analysis} — trace collection into a fixed device buffer that
+      stalls when full and is drained by a single host thread (Fig. 2a).
+
+    All instrumentation costs are charged on the device clock and
+    attributed to a {!Phases.t} accounting. *)
+
+type domain = Driver_api | Launch | Memcpy | Memset | Memory | Synchronize
+
+type callback =
+  | Api of { name : string; phase : [ `Enter | `Exit ] }
+  | Launch_begin of Gpusim.Device.launch_info
+  | Launch_end of Gpusim.Device.launch_info * Gpusim.Device.exec_stats
+  | Memcpy_cb of {
+      dst : int;
+      src : int;
+      bytes : int;
+      kind : Gpusim.Device.memcpy_kind;
+      stream : int;
+    }
+  | Memset_cb of { addr : int; bytes : int; value : int; stream : int }
+  | Alloc_cb of Gpusim.Device_mem.alloc
+  | Free_cb of Gpusim.Device_mem.alloc
+  | Sync_cb of [ `Device | `Stream of int ]
+
+type instr_class = Control_flow | Shared_mem | Barrier_sync | Operand_values
+
+val all_instr_classes : instr_class list
+
+type patch_mode =
+  | Device_analysis of {
+      map_bytes : unit -> int;
+          (** size of the object→count map shipped to the device at launch
+              and back at completion *)
+      device_fn : Gpusim.Device.launch_info -> Gpusim.Kernel.region -> unit;
+          (** the \_\_device\_\_ accumulation function, invoked with exact
+              region aggregates *)
+      on_kernel_complete :
+        Gpusim.Device.launch_info -> Gpusim.Device.exec_stats -> unit;
+          (** host callback once the result map is back *)
+    }
+  | Host_analysis of {
+      buffer_records : int;  (** device trace-buffer capacity, in records *)
+      on_record : Gpusim.Device.launch_info -> Gpusim.Warp.access -> unit;
+          (** host analysis of each (sampled, weighted) record *)
+      per_record_us : float;  (** host cost per true record *)
+    }
+  | Instruction_analysis of {
+      classes : instr_class list;
+          (** instruction classes to patch; only those classes' aggregates
+              are observable (and paid for) *)
+      on_profile :
+        Gpusim.Device.launch_info -> Gpusim.Kernel.profile -> unit;
+          (** per-kernel behaviour aggregates, device-analyzed; fields of
+              unpatched classes are zeroed *)
+    }
+      (** Instruction-level patching (paper §III-H): control-flow for
+          branch-divergence analysis, shared-memory for bank conflicts,
+          barriers for stall analysis, operand values for value-based
+          tools.  Device-resident like {!Device_analysis}. *)
+
+type t
+
+val attach : Gpusim.Device.t -> t
+(** Subscribe to the device.  No callbacks fire until domains are enabled. *)
+
+val detach : t -> unit
+
+val enable_domain : t -> domain -> unit
+val disable_domain : t -> domain -> unit
+val set_callback : t -> (callback -> unit) -> unit
+
+val patch_module : t -> patch_mode -> unit
+(** Install fine-grained instrumentation (requires the [Memory] domain to
+    deliver events; patching replaces any previous patch on the device). *)
+
+val unpatch_module : t -> unit
+
+val phases : t -> Phases.t
+(** Cumulative phase accounting since attach (or the last [reset]). *)
+
+val reset_phases : t -> unit
+
+val default_buffer_records : int
+(** 262144 records = the 4 MB device buffer the paper mentions. *)

@@ -1,0 +1,73 @@
+module D = Gpusim.Device
+
+type record =
+  | Program_execute of {
+      core : int;
+      dispatch : D.launch_info;
+      phase : [ `Begin | `End ];
+      stats : D.exec_stats option;
+    }
+  | Buffer_allocate of { address : int; bytes : int }
+  | Buffer_deallocate of { address : int; bytes : int }
+  | Infeed of { bytes : int }
+  | Outfeed of { bytes : int }
+  | Step_marker
+  | Systolic_array_active of { cycles : int }
+
+type t = {
+  device : D.t;
+  probe_name : string;
+  mutable callback : record -> unit;
+  phases : Phases.t;
+}
+
+let dispatch t ev =
+  let core = D.id t.device in
+  match ev with
+  | D.Api _ | D.Memset _ -> ()
+  | D.Malloc { alloc } ->
+      t.callback
+        (Buffer_allocate
+           { address = alloc.Gpusim.Device_mem.base; bytes = alloc.Gpusim.Device_mem.bytes })
+  | D.Free { alloc } ->
+      t.callback
+        (Buffer_deallocate
+           { address = alloc.Gpusim.Device_mem.base; bytes = alloc.Gpusim.Device_mem.bytes })
+  | D.Memcpy { bytes; kind; _ } -> (
+      match kind with
+      | D.Host_to_device -> t.callback (Infeed { bytes })
+      | D.Device_to_host -> t.callback (Outfeed { bytes })
+      | D.Device_to_device | D.Peer _ -> t.callback (Infeed { bytes }))
+  | D.Launch_begin info ->
+      t.callback (Program_execute { core; dispatch = info; phase = `Begin; stats = None });
+      (* The MXU plane reports systolic activity alongside the program —
+         a vendor-unique event stream. *)
+      t.callback
+        (Systolic_array_active
+           { cycles = max 1 (int_of_float (info.D.kernel.Gpusim.Kernel.flops /. 16384.0)) })
+  | D.Launch_end (info, stats) ->
+      t.phases.Phases.workload_us <- t.phases.Phases.workload_us +. stats.D.duration_us;
+      t.callback
+        (Program_execute { core; dispatch = info; phase = `End; stats = Some stats })
+  | D.Sync _ -> t.callback Step_marker
+
+let attach device =
+  (match (D.arch device).Gpusim.Arch.vendor with
+  | Gpusim.Arch.Google -> ()
+  | Gpusim.Arch.Nvidia | Gpusim.Arch.Amd ->
+      invalid_arg "Xprof.attach: not a Google TPU");
+  let t =
+    {
+      device;
+      probe_name = Printf.sprintf "xprof-%d" (D.id device);
+      callback = ignore;
+      phases = Phases.create ();
+    }
+  in
+  D.add_probe device { D.probe_name = t.probe_name; on_event = (fun ev -> dispatch t ev) };
+  t
+
+let detach t = D.remove_probe t.device t.probe_name
+let configure_callback t f = t.callback <- f
+let phases t = t.phases
+let reset_phases t = Phases.reset t.phases

@@ -1,0 +1,38 @@
+(** XProf-style profiling substrate for Google TPUs.
+
+    The TPU execution profiler exposes *XSpace* event planes rather than
+    callback domains: program executions on a TensorCore, buffer
+    allocations/deallocations, infeed/outfeed transfers, step markers —
+    plus vendor-unique systolic-array activity that has no equivalent on
+    other accelerators (paper §III-G: such events are handled by a
+    specialized handler and ignored elsewhere).
+
+    No fine-grained patching exists on TPUs; instruction-level and
+    trace-based analysis models are unavailable on this substrate, which
+    is exactly the portability boundary the paper describes. *)
+
+type record =
+  | Program_execute of {
+      core : int;
+      dispatch : Gpusim.Device.launch_info;
+      phase : [ `Begin | `End ];
+      stats : Gpusim.Device.exec_stats option;
+    }
+  | Buffer_allocate of { address : int; bytes : int }
+  | Buffer_deallocate of { address : int; bytes : int }
+  | Infeed of { bytes : int }  (** host-to-device transfer *)
+  | Outfeed of { bytes : int }  (** device-to-host transfer *)
+  | Step_marker
+  | Systolic_array_active of { cycles : int }
+      (** vendor-unique MXU activity; unified-format normalization drops
+          it on purpose *)
+
+type t
+
+val attach : Gpusim.Device.t -> t
+(** Raises [Invalid_argument] unless the device is a Google part. *)
+
+val detach : t -> unit
+val configure_callback : t -> (record -> unit) -> unit
+val phases : t -> Phases.t
+val reset_phases : t -> unit

@@ -1,0 +1,1 @@
+test/test_coverage.ml: Alcotest Astring_contains Dlfw Format Gen Gpusim List Pasta Pasta_tools Pasta_util Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_determinism.ml: Alcotest Dlfw Format Gpusim Pasta Pasta_tools Pasta_util String

@@ -1,0 +1,1 @@
+test/test_dlfw.ml: Alcotest Allocator Callbacks Ctx Dlfw Dtype Gen Gpusim Layer List Model Ops Pasta_util Printf QCheck QCheck_alcotest Runner Shape String Tensor

@@ -1,0 +1,1 @@
+test/test_export_tools.ml: Alcotest Astring_contains Dlfw Filename Format Gpusim List Pasta Pasta_tools String Sys

@@ -1,0 +1,1 @@
+test/test_gpusim.ml: Alcotest Arch Clock Costmodel Device Device_mem Dim3 Gen Gpusim Hashtbl Hostctx Instr Kernel List Pasta_util QCheck QCheck_alcotest Sass Uvm Warp

@@ -1,0 +1,1 @@
+test/test_instr_tools.ml: Alcotest Astring_contains Dlfw Format Gpusim List Pasta Pasta_tools QCheck QCheck_alcotest Vendor

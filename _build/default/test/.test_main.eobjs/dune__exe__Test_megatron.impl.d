@@ -1,0 +1,1 @@
+test/test_megatron.ml: Alcotest Dlfw Float Gpusim List Megatron Pasta_tools Pasta_util

@@ -1,0 +1,1 @@
+test/test_models.ml: Alcotest Astring_contains Dlfw Gpusim List

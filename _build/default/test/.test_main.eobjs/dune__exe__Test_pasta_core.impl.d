@@ -1,0 +1,1 @@
+test/test_pasta_core.ml: Alcotest Astring_contains Dlfw Format Gpusim List Pasta String Vendor

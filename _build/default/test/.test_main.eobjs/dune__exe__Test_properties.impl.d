@@ -1,0 +1,1 @@
+test/test_properties.ml: Array Float Gen Gpusim Hashtbl List Pasta Pasta_util QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_tools.ml: Alcotest Array Astring_contains Dlfw Format Gpusim List Option Pasta Pasta_tools String

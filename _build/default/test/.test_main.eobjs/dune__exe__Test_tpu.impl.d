@@ -1,0 +1,1 @@
+test/test_tpu.ml: Alcotest Astring_contains Dlfw Gpusim List Pasta Pasta_tools Vendor

@@ -1,0 +1,1 @@
+test/test_training_features.ml: Alcotest Dlfw Gpusim List Pasta Pasta_tools Pasta_util

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Bytesize Det_rng Format Freelist Gen Heatmap Histogram List Pasta_util QCheck QCheck_alcotest Ring_buffer Stats String Texttab Timeline

@@ -1,0 +1,1 @@
+test/test_uvm.ml: Alcotest Arch Clock Gen Gpusim List QCheck QCheck_alcotest Uvm

@@ -1,0 +1,1 @@
+test/test_vendor.ml: Alcotest Arch Costmodel Device Device_mem Dim3 Gpusim Instr Kernel List Option Vendor Warp

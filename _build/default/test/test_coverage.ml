@@ -1,0 +1,271 @@
+(* Edge cases and cross-cutting properties that the per-module suites do
+   not reach: concurrent sessions, analysis-model equivalence on synthetic
+   streams, allocator cache-retry, UVM clipping, pretty-printer totality. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ---- Analysis-model equivalence on synthetic kernel streams ---- *)
+
+(* Generate a random stream of allocations + kernels over them; the
+   GPU-resident and CPU-trace working-set tools must agree exactly. *)
+let prop_analysis_models_equivalent =
+  QCheck.Test.make ~name:"working sets agree across analysis models (synthetic)" ~count:40
+    QCheck.(list_of_size (Gen.int_range 1 8) (pair (int_range 1 64) (int_range 1 4)))
+    (fun spec ->
+      let run variant =
+        let device = Gpusim.Device.create Gpusim.Arch.a100 in
+        Gpusim.Device.set_sample_cap device 16;
+        let mc = Pasta_tools.Memory_charact.create ~variant () in
+        let session =
+          Pasta.Session.attach ~tool:(Pasta_tools.Memory_charact.tool mc) device
+        in
+        let buffers =
+          List.map
+            (fun (kb, _) -> Gpusim.Device.malloc device (kb * 1024))
+            spec
+        in
+        List.iteri
+          (fun i (kb, nregions) ->
+            let base = (List.nth buffers i).Gpusim.Device_mem.base in
+            let regions =
+              List.init nregions (fun j ->
+                  Gpusim.Kernel.region ~base:(base + (j * 256))
+                    ~bytes:(min 256 ((kb * 1024) - (j * 256)))
+                    ~accesses:(100 * (j + 1))
+                    ())
+            in
+            ignore
+              (Gpusim.Device.launch device
+                 (Gpusim.Kernel.make
+                    ~name:(Printf.sprintf "synthetic_%d" i)
+                    ~grid:(Gpusim.Dim3.make 4) ~block:(Gpusim.Dim3.make 64) ~regions ())))
+          spec;
+        let _ = Pasta.Session.detach session in
+        Pasta_tools.Memory_charact.kernel_footprints mc
+      in
+      let gpu = run Pasta_tools.Memory_charact.Gpu in
+      let cpu = run Pasta_tools.Memory_charact.Cpu_sanitizer in
+      gpu = cpu)
+
+(* ---- Concurrent sessions ---- *)
+
+let test_two_sessions_coexist () =
+  let device = Gpusim.Device.create Gpusim.Arch.a100 in
+  let ctx = Dlfw.Ctx.create device in
+  let kf = Pasta_tools.Kernel_freq.create () in
+  let tx = Pasta.Trace_export.create () in
+  let s1 = Pasta.Session.attach ~tool:(Pasta_tools.Kernel_freq.tool kf) device in
+  let s2 = Pasta.Session.attach ~tool:(Pasta.Trace_export.tool tx) device in
+  let x = Dlfw.Ops.new_tensor ctx [ 16 ] Dlfw.Dtype.F32 in
+  let y = Dlfw.Ops.relu ctx x in
+  Dlfw.Tensor.release x;
+  Dlfw.Tensor.release y;
+  let r2 = Pasta.Session.detach s2 in
+  let r1 = Pasta.Session.detach s1 in
+  check_int "session 1 saw the kernel" 1 r1.Pasta.Session.kernels;
+  check_int "session 2 saw the kernel" 1 r2.Pasta.Session.kernels;
+  check_bool "trace captured too" true (Pasta.Trace_export.event_count tx > 0);
+  Dlfw.Ctx.destroy ctx
+
+let test_annotations_route_to_innermost () =
+  let device = Gpusim.Device.create Gpusim.Arch.a100 in
+  let kf_outer = Pasta_tools.Kernel_freq.create () in
+  let kf_inner = Pasta_tools.Kernel_freq.create () in
+  let s_outer =
+    Pasta.Session.attach ~tool:(Pasta_tools.Kernel_freq.tool kf_outer) device
+  in
+  let s_inner =
+    Pasta.Session.attach ~tool:(Pasta_tools.Kernel_freq.tool kf_inner) device
+  in
+  (* pasta.start binds to the innermost (most recently attached) session. *)
+  Pasta.Session.start ();
+  check_int "inner range opened" 1
+    (Pasta.Range.annotation_depth (Pasta.Processor.range (Pasta.Session.processor s_inner)));
+  check_int "outer untouched" 0
+    (Pasta.Range.annotation_depth (Pasta.Processor.range (Pasta.Session.processor s_outer)));
+  Pasta.Session.end_ ();
+  ignore (Pasta.Session.detach s_inner);
+  ignore (Pasta.Session.detach s_outer)
+
+(* ---- Allocator cache retry ---- *)
+
+let tiny_arch =
+  { Gpusim.Arch.a100 with Gpusim.Arch.name = "tiny"; mem_bytes = 32 * 1024 * 1024 }
+
+let test_allocator_cache_retry () =
+  let device = Gpusim.Device.create tiny_arch in
+  let pool = Dlfw.Allocator.create device in
+  (* A huge block gets its own exact-size segment; freeing caches it. *)
+  let a = Dlfw.Allocator.alloc pool (12 * 1024 * 1024) in
+  Dlfw.Allocator.free pool a;
+  check_bool "segment cached" true (Dlfw.Allocator.reserved_bytes pool > 0);
+  (* 24 MB does not fit alongside the cached 12 MB on a 32 MB device: the
+     allocator must release the cache and retry rather than fail. *)
+  let b = Dlfw.Allocator.alloc pool (24 * 1024 * 1024) in
+  check_bool "retry after releasing cache succeeded" true (b.Dlfw.Allocator.bytes > 0);
+  Dlfw.Allocator.free pool b;
+  Dlfw.Allocator.destroy pool
+
+let test_allocator_hard_oom () =
+  let device = Gpusim.Device.create tiny_arch in
+  let pool = Dlfw.Allocator.create device in
+  check_bool "oom propagates" true
+    (try
+       ignore (Dlfw.Allocator.alloc pool (64 * 1024 * 1024));
+       false
+     with Gpusim.Device_mem.Out_of_memory _ -> true);
+  Dlfw.Allocator.destroy pool
+
+(* ---- UVM clipping ---- *)
+
+let test_uvm_clips_to_range () =
+  let clock = Gpusim.Clock.create () in
+  let page = Gpusim.Arch.a100.Gpusim.Arch.uvm_page_bytes in
+  let u = Gpusim.Uvm.create Gpusim.Arch.a100 clock ~capacity:(16 * page) in
+  Gpusim.Uvm.register_range u ~base:0 ~bytes:(2 * page);
+  (* Prefetch far past the end of the range: must clip, not crash. *)
+  Gpusim.Uvm.prefetch u ~base:page ~bytes:(100 * page);
+  check_int "clipped to range" 1 (Gpusim.Uvm.resident_pages u);
+  let f = ref 0 in
+  Gpusim.Uvm.touch u ~base:0 ~bytes:(50 * page) ~faulted_pages:f;
+  check_int "touch clipped too" 1 !f;
+  Gpusim.Uvm.check_invariants u
+
+(* ---- Pretty-printer totality ---- *)
+
+let test_event_pp_total () =
+  let ki =
+    {
+      Pasta.Event.device_id = 0;
+      grid_id = 1;
+      stream = 0;
+      name = "k";
+      grid = Gpusim.Dim3.make 1;
+      block = Gpusim.Dim3.make 32;
+      shared_bytes = 0;
+      arg_ptrs = [];
+      py_stack = [];
+      native_stack = [];
+    }
+  in
+  let access = { Pasta.Event.addr = 0; size = 4; write = true; pc = 16; warp = 0; weight = 2 } in
+  let payloads =
+    [
+      Pasta.Event.Runtime_call { name = "Memcpy"; phase = `Exit };
+      Pasta.Event.Kernel_launch
+        { info = ki; phase = `End { Pasta.Event.duration_us = 1.0; true_accesses = 2; faulted_pages = 0 } };
+      Pasta.Event.Memory_set { addr = 0; bytes = 16; value = 0 };
+      Pasta.Event.Memory_free { addr = 0; bytes = 16 };
+      Pasta.Event.Synchronization { scope = `Stream 2 };
+      Pasta.Event.Global_access { kernel = ki; access };
+      Pasta.Event.Shared_access { kernel = ki; access };
+      Pasta.Event.Kernel_region
+        { kernel = ki; region = { Pasta.Event.base = 0; extent = 4; accesses = 1; written = true } };
+      Pasta.Event.Barrier { kernel = ki; count = 3 };
+      Pasta.Event.Operator { name = "aten::x"; phase = `Exit; seq = 9 };
+      Pasta.Event.Tensor_free { ptr = 0; bytes = 8; pool_allocated = 0; pool_reserved = 8 };
+      Pasta.Event.Annotation { label = "r"; phase = `End };
+      Pasta.Event.Memory_copy { bytes = 1; direction = `D2d; stream = 1 };
+    ]
+  in
+  List.iter
+    (fun payload ->
+      let s =
+        Format.asprintf "%a" Pasta.Event.pp { Pasta.Event.device = 0; time_us = 0.0; payload }
+      in
+      check_bool (Pasta.Event.kind_name payload) true (String.length s > 0))
+    payloads
+
+let test_misc_pps () =
+  check_bool "arch pp" true (String.length (Format.asprintf "%a" Gpusim.Arch.pp Gpusim.Arch.tpu_v4) > 0);
+  let k =
+    Gpusim.Kernel.make ~name:"k" ~grid:(Gpusim.Dim3.make 2) ~block:(Gpusim.Dim3.make 32)
+      ~regions:[ Gpusim.Kernel.region ~base:0 ~bytes:64 ~accesses:16 () ]
+      ()
+  in
+  check_bool "kernel pp" true
+    (Astring_contains.contains (Format.asprintf "%a" Gpusim.Kernel.pp k) "k<<<");
+  let i = { Gpusim.Instr.pc = 0x40; opcode = Gpusim.Instr.Ld_global; operands = "R2, [R4]" } in
+  check_bool "instr pp" true
+    (Astring_contains.contains (Format.asprintf "%a" Gpusim.Instr.pp i) "LDG.E")
+
+(* ---- Misc small behaviours ---- *)
+
+let test_processor_without_tool () =
+  let p = Pasta.Processor.create ~device:0 () in
+  (* Submitting with no tool installed must be a safe no-op. *)
+  Pasta.Processor.submit p ~time_us:0.0
+    (Pasta.Event.Memory_alloc { addr = 0; bytes = 64; managed = false });
+  Pasta.Processor.set_tool p (Pasta.Tool.default "t");
+  Pasta.Processor.clear_tool p;
+  check_bool "tool cleared" true (Pasta.Processor.tool p = None);
+  check_int "events still counted" 1 (Pasta.Processor.stats p).Pasta.Processor.events_seen
+
+let test_registry_replacement () =
+  Pasta.Registry.register "replaceme" (fun () -> Pasta.Tool.default "v1");
+  Pasta.Registry.register "replaceme" (fun () -> Pasta.Tool.default "v2");
+  match Pasta.Registry.find "replaceme" with
+  | Some mk -> Alcotest.(check string) "latest wins" "v2" (mk ()).Pasta.Tool.name
+  | None -> Alcotest.fail "expected tool"
+
+let test_runner_default_matches_explicit () =
+  let count abbr run =
+    let device = Gpusim.Device.create Gpusim.Arch.a100 in
+    let ctx = Dlfw.Ctx.create device in
+    run ctx abbr;
+    let n = Gpusim.Device.launches device in
+    Dlfw.Ctx.destroy ctx;
+    n
+  in
+  let via_default =
+    count "BERT" (fun ctx abbr ->
+        ignore (Dlfw.Runner.run_default ctx abbr ~mode:Dlfw.Runner.Inference))
+  in
+  let via_explicit =
+    count "BERT" (fun ctx abbr ->
+        let m = Dlfw.Runner.build ctx abbr in
+        Dlfw.Runner.run ctx m ~mode:Dlfw.Runner.Inference
+          ~iters:(Dlfw.Runner.default_iters ~abbr ~mode:Dlfw.Runner.Inference))
+  in
+  check_int "run_default = build + run" via_explicit via_default
+
+let prop_warp_strided_in_bounds =
+  QCheck.Test.make ~name:"strided warp accesses stay inside the region" ~count:200
+    QCheck.(pair (int_range 0 4096) (int_range 1 100))
+    (fun (stride, accesses) ->
+      let k =
+        Gpusim.Kernel.make ~name:"s" ~grid:(Gpusim.Dim3.make 1)
+          ~block:(Gpusim.Dim3.make 32)
+          ~regions:
+            [
+              Gpusim.Kernel.region ~base:0x1000 ~bytes:2048 ~accesses
+                ~pattern:(Gpusim.Kernel.Strided stride) ();
+            ]
+          ()
+      in
+      let rng = Pasta_util.Det_rng.create 17L in
+      let ok = ref true in
+      ignore
+        (Gpusim.Warp.generate ~rng ~warp_size:32 ~max_records_per_region:64 k
+           ~f:(fun a ->
+             if a.Gpusim.Warp.addr < 0x1000 || a.Gpusim.Warp.addr >= 0x1000 + 2048 then
+               ok := false));
+      !ok)
+
+let suite =
+  [
+    qtest prop_analysis_models_equivalent;
+    ("two sessions coexist", `Quick, test_two_sessions_coexist);
+    ("annotations route to innermost", `Quick, test_annotations_route_to_innermost);
+    ("allocator cache retry", `Quick, test_allocator_cache_retry);
+    ("allocator hard OOM", `Quick, test_allocator_hard_oom);
+    ("uvm clips to range", `Quick, test_uvm_clips_to_range);
+    ("event pp total", `Quick, test_event_pp_total);
+    ("misc pps", `Quick, test_misc_pps);
+    ("processor without tool", `Quick, test_processor_without_tool);
+    ("registry replacement", `Quick, test_registry_replacement);
+    ("runner default matches explicit", `Quick, test_runner_default_matches_explicit);
+    qtest prop_warp_strided_in_bounds;
+  ]

@@ -1,0 +1,77 @@
+(* End-to-end determinism: the whole stack — simulator, framework, PASTA,
+   tools, trace export — must produce bit-identical results across runs.
+   Every experiment in EXPERIMENTS.md depends on this property. *)
+
+let check_bool = Alcotest.(check bool)
+
+let profiled_run () =
+  let device = Gpusim.Device.create Gpusim.Arch.a100 in
+  let ctx = Dlfw.Ctx.create device in
+  let kf = Pasta_tools.Kernel_freq.create () in
+  let tx = Pasta.Trace_export.create () in
+  let trace_session = Pasta.Session.attach ~tool:(Pasta.Trace_export.tool tx) device in
+  let (), result =
+    Pasta.Session.run ~tool:(Pasta_tools.Kernel_freq.tool kf) device (fun () ->
+        let m = Dlfw.Bert.build ~batch:1 ~seq:64 ~layers:2 ~dim:64 ~heads:4 ctx in
+        Dlfw.Model.inference_iter ctx m;
+        Dlfw.Model.train_iter ctx m)
+  in
+  let _ = Pasta.Session.detach trace_session in
+  let elapsed = Gpusim.Device.now_us device in
+  let histogram = Pasta_util.Histogram.to_sorted (Pasta_tools.Kernel_freq.counts kf) in
+  let json = Pasta.Trace_export.to_json tx in
+  Dlfw.Ctx.destroy ctx;
+  (result.Pasta.Session.events_seen, elapsed, histogram, json)
+
+let test_run_twice_identical () =
+  let e1, t1, h1, j1 = profiled_run () in
+  let e2, t2, h2, j2 = profiled_run () in
+  Alcotest.(check int) "event counts" e1 e2;
+  Alcotest.(check (float 0.0)) "simulated time" t1 t2;
+  Alcotest.(check (list (pair string int))) "kernel histograms" h1 h2;
+  check_bool "trace json identical" true (String.equal j1 j2)
+
+let test_report_deterministic () =
+  let run () =
+    let device = Gpusim.Device.create Gpusim.Arch.a100 in
+    let ctx = Dlfw.Ctx.create device in
+    let mc = Pasta_tools.Memory_charact.create () in
+    let (), result =
+      Pasta.Session.run ~tool:(Pasta_tools.Memory_charact.tool mc) device (fun () ->
+          let m = Dlfw.Gpt2.build ~batch:1 ~seq:64 ~layers:2 ~dim:64 ~heads:4 ctx in
+          Dlfw.Model.inference_iter ctx m)
+    in
+    let report = Format.asprintf "%t" result.Pasta.Session.report in
+    Dlfw.Ctx.destroy ctx;
+    report
+  in
+  check_bool "reports identical" true (String.equal (run ()) (run ()))
+
+let test_cross_arch_differs () =
+  (* Different architectures must produce different timing but the same
+     kernel stream — a sanity check that determinism is not accidental
+     constancy. *)
+  let run arch =
+    let device = Gpusim.Device.create arch in
+    let ctx = Dlfw.Ctx.create device in
+    let kf = Pasta_tools.Kernel_freq.create () in
+    let (), _ =
+      Pasta.Session.run ~tool:(Pasta_tools.Kernel_freq.tool kf) device (fun () ->
+          let m = Dlfw.Bert.build ~batch:1 ~seq:64 ~layers:2 ~dim:64 ~heads:4 ctx in
+          Dlfw.Model.inference_iter ctx m)
+    in
+    let t = Gpusim.Device.now_us device in
+    Dlfw.Ctx.destroy ctx;
+    (Pasta_tools.Kernel_freq.total_launches kf, t)
+  in
+  let k1, t1 = run Gpusim.Arch.a100 in
+  let k2, t2 = run Gpusim.Arch.rtx3060 in
+  Alcotest.(check int) "same kernel stream" k1 k2;
+  check_bool "different timing" true (t1 <> t2)
+
+let suite =
+  [
+    ("run twice identical", `Quick, test_run_twice_identical);
+    ("report deterministic", `Quick, test_report_deterministic);
+    ("cross-arch differs only in timing", `Quick, test_cross_arch_differs);
+  ]

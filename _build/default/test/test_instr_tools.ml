@@ -1,0 +1,220 @@
+(* Instruction-level analysis: kernel profiles, the Sanitizer
+   instruction-patching mode, and the divergence / barrier-stall /
+   value-check tools (paper §III-H). *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ---- Kernel.profile ---- *)
+
+let test_profile_validation () =
+  Alcotest.check_raises "divergent > branches"
+    (Invalid_argument "Kernel.profile: divergent_branches > branches") (fun () ->
+      ignore (Gpusim.Kernel.profile ~branches:1 ~divergent_branches:2 ()));
+  Alcotest.check_raises "conflicts > shared"
+    (Invalid_argument "Kernel.profile: bank_conflicts > shared_accesses") (fun () ->
+      ignore (Gpusim.Kernel.profile ~shared_accesses:1 ~bank_conflicts:2 ()));
+  Alcotest.check_raises "empty range"
+    (Invalid_argument "Kernel.profile: empty value range") (fun () ->
+      ignore (Gpusim.Kernel.profile ~value_min:1.0 ~value_max:0.0 ()));
+  Alcotest.check_raises "negative stall"
+    (Invalid_argument "Kernel.profile: negative stall") (fun () ->
+      ignore (Gpusim.Kernel.profile ~barrier_stall_us:(-1.0) ()))
+
+let prop_profile_builders_valid =
+  QCheck.Test.make ~name:"dlfw kernel builders always produce valid profiles"
+    ~count:100
+    QCheck.(pair (int_range 1 512) (int_range 1 512))
+    (fun (m, n) ->
+      (* gemm exercise through a tiny linear op. *)
+      let ctx = Dlfw.Ctx.create (Gpusim.Device.create Gpusim.Arch.a100) in
+      let ok = ref true in
+      Gpusim.Device.add_probe ctx.Dlfw.Ctx.device
+        {
+          Gpusim.Device.probe_name = "p";
+          on_event =
+            (fun ev ->
+              match ev with
+              | Gpusim.Device.Launch_begin info ->
+                  let p = info.Gpusim.Device.kernel.Gpusim.Kernel.prof in
+                  if
+                    p.Gpusim.Kernel.divergent_branches > p.Gpusim.Kernel.branches
+                    || p.Gpusim.Kernel.bank_conflicts > p.Gpusim.Kernel.shared_accesses
+                    || p.Gpusim.Kernel.value_min > p.Gpusim.Kernel.value_max
+                  then ok := false
+              | _ -> ());
+        };
+      let x = Dlfw.Ops.new_tensor ctx [ m; 16 ] Dlfw.Dtype.F32 in
+      let w = Dlfw.Ops.new_tensor ctx [ n; 16 ] Dlfw.Dtype.F32 in
+      let y = Dlfw.Ops.linear ctx ~input:x ~weight:w ~bias:None ~m ~k:16 ~n in
+      let z = Dlfw.Ops.relu ctx y in
+      List.iter Dlfw.Tensor.release [ x; w; y; z ];
+      Dlfw.Ctx.destroy ctx;
+      !ok)
+
+(* ---- Sanitizer instruction patching ---- *)
+
+let launch_profiled device prof =
+  let a = Gpusim.Device.malloc device 4096 in
+  let k =
+    Gpusim.Kernel.make ~name:"profiled_kernel" ~grid:(Gpusim.Dim3.make 4)
+      ~block:(Gpusim.Dim3.make 64)
+      ~regions:
+        [ Gpusim.Kernel.region ~base:a.Gpusim.Device_mem.base ~bytes:4096 ~accesses:64 () ]
+      ~prof ()
+  in
+  ignore (Gpusim.Device.launch device k)
+
+let rich_profile =
+  Gpusim.Kernel.profile ~branches:1000 ~divergent_branches:100 ~shared_accesses:500
+    ~bank_conflicts:50 ~barrier_stall_us:7.0 ~value_min:(-2.0) ~value_max:99999.0
+    ~redundant_loads:10 ()
+
+let test_instruction_analysis_masking () =
+  let device = Gpusim.Device.create Gpusim.Arch.a100 in
+  let s = Vendor.Sanitizer.attach device in
+  let seen = ref Gpusim.Kernel.no_profile in
+  Vendor.Sanitizer.patch_module s
+    (Vendor.Sanitizer.Instruction_analysis
+       {
+         classes = [ Vendor.Sanitizer.Control_flow ];
+         on_profile = (fun _ p -> seen := p);
+       });
+  launch_profiled device rich_profile;
+  check_int "branches visible" 1000 !seen.Gpusim.Kernel.branches;
+  check_int "divergence visible" 100 !seen.Gpusim.Kernel.divergent_branches;
+  check_int "unpatched shared zeroed" 0 !seen.Gpusim.Kernel.shared_accesses;
+  Alcotest.(check (float 0.0)) "unpatched barrier zeroed" 0.0
+    !seen.Gpusim.Kernel.barrier_stall_us;
+  Alcotest.(check (float 0.0)) "unpatched values zeroed" 0.0
+    !seen.Gpusim.Kernel.value_max;
+  check_bool "collect charged" true
+    ((Vendor.Sanitizer.phases s).Vendor.Phases.collect_us > 0.0)
+
+let test_instruction_analysis_all_classes () =
+  let device = Gpusim.Device.create Gpusim.Arch.a100 in
+  let s = Vendor.Sanitizer.attach device in
+  let seen = ref Gpusim.Kernel.no_profile in
+  Vendor.Sanitizer.patch_module s
+    (Vendor.Sanitizer.Instruction_analysis
+       {
+         classes = Vendor.Sanitizer.all_instr_classes;
+         on_profile = (fun _ p -> seen := p);
+       });
+  launch_profiled device rich_profile;
+  check_int "shared" 500 !seen.Gpusim.Kernel.shared_accesses;
+  check_int "conflicts" 50 !seen.Gpusim.Kernel.bank_conflicts;
+  Alcotest.(check (float 1e-9)) "stall" 7.0 !seen.Gpusim.Kernel.barrier_stall_us;
+  check_int "redundant" 10 !seen.Gpusim.Kernel.redundant_loads
+
+(* ---- Tools over a real model run ---- *)
+
+let with_instr_tool tool f =
+  let device = Gpusim.Device.create Gpusim.Arch.a100 in
+  let ctx = Dlfw.Ctx.create device in
+  let (), result = Pasta.Session.run ~tool device (fun () -> f ctx) in
+  Dlfw.Ctx.destroy ctx;
+  result
+
+let small_bert ctx = Dlfw.Bert.build ~batch:1 ~seq:64 ~layers:2 ~dim:64 ~heads:4 ctx
+
+let test_divergence_tool () =
+  let d = Pasta_tools.Divergence.create () in
+  let result =
+    with_instr_tool (Pasta_tools.Divergence.tool d) (fun ctx ->
+        Dlfw.Model.inference_iter ctx (small_bert ctx))
+  in
+  check_bool "profiles observed" true (Pasta_tools.Divergence.rows d <> []);
+  check_int "one row bundle per kernel name seen" result.Pasta.Session.kernels
+    (List.fold_left (fun acc r -> acc + r.Pasta_tools.Divergence.launches) 0
+       (Pasta_tools.Divergence.rows d));
+  check_bool "branches counted" true (Pasta_tools.Divergence.total_branches d > 0);
+  check_bool "divergence bounded" true
+    (Pasta_tools.Divergence.total_divergent d <= Pasta_tools.Divergence.total_branches d);
+  (match Pasta_tools.Divergence.worst d with
+  | Some r ->
+      check_bool "rate in [0,1]" true
+        (Pasta_tools.Divergence.divergence_rate r >= 0.0
+        && Pasta_tools.Divergence.divergence_rate r <= 1.0)
+  | None -> Alcotest.fail "expected a worst kernel");
+  let report = Format.asprintf "%t" (Pasta_tools.Divergence.report d) in
+  check_bool "report" true (Astring_contains.contains report "divergent")
+
+let test_barrier_stall_tool () =
+  let b = Pasta_tools.Barrier_stall.create () in
+  let result =
+    with_instr_tool (Pasta_tools.Barrier_stall.tool b) (fun ctx ->
+        Dlfw.Model.inference_iter ctx (small_bert ctx))
+  in
+  check_bool "stall observed" true (Pasta_tools.Barrier_stall.total_stall_us b > 0.0);
+  check_bool "fraction sane" true
+    (Pasta_tools.Barrier_stall.stall_fraction b
+       ~workload_us:result.Pasta.Session.phases.Vendor.Phases.workload_us
+    < 1.0);
+  (match Pasta_tools.Barrier_stall.rows b with
+  | r :: _ ->
+      check_bool "conflict rate bounded" true
+        (Pasta_tools.Barrier_stall.conflict_rate r <= 1.0)
+  | [] -> Alcotest.fail "expected rows")
+
+let test_value_check_tool () =
+  let v = Pasta_tools.Value_check.create () in
+  let _ =
+    with_instr_tool (Pasta_tools.Value_check.tool v) (fun ctx ->
+        Dlfw.Model.inference_iter ctx (small_bert ctx))
+  in
+  (* The softmax exponentials exceed the fp16 range. *)
+  let flagged = Pasta_tools.Value_check.flagged v in
+  check_bool "softmax flagged" true
+    (List.exists
+       (fun r ->
+         Astring_contains.contains r.Pasta_tools.Value_check.kernel "softmax"
+         && List.mem Pasta_tools.Value_check.Overflow r.Pasta_tools.Value_check.hazards)
+       flagged);
+  (* GEMMs re-read operand tiles: redundancy must be detected. *)
+  (match Pasta_tools.Value_check.most_redundant v with
+  | Some r -> check_bool "redundancy positive" true (Pasta_tools.Value_check.redundancy r > 0.0)
+  | None -> Alcotest.fail "expected a redundant kernel");
+  let report = Format.asprintf "%t" (Pasta_tools.Value_check.report v) in
+  check_bool "report names hazard" true (Astring_contains.contains report "fp16-overflow")
+
+let test_hazard_classifier () =
+  let open Pasta_tools.Value_check in
+  check_bool "fp16 max is a boundary" true
+    (hazards_of_range ~value_min:0.0 ~value_max:fp16_max = []);
+  check_bool "overflow" true
+    (List.mem Overflow (hazards_of_range ~value_min:0.0 ~value_max:(fp16_max +. 1.0)));
+  check_bool "negative overflow" true
+    (List.mem Overflow (hazards_of_range ~value_min:(-70000.0) ~value_max:0.0));
+  check_bool "underflow" true
+    (List.mem Underflow (hazards_of_range ~value_min:1e-6 ~value_max:1e-5))
+
+(* ---- Instruction-level tools vs range filter ---- *)
+
+let test_profiles_respect_range () =
+  let d = Pasta_tools.Divergence.create () in
+  let device = Gpusim.Device.create Gpusim.Arch.a100 in
+  let ctx = Dlfw.Ctx.create device in
+  let range = Pasta.Range.create ~start_grid:1 ~end_grid:3 () in
+  let (), _ =
+    Pasta.Session.run ~range ~tool:(Pasta_tools.Divergence.tool d) device (fun () ->
+        Dlfw.Model.inference_iter ctx (small_bert ctx))
+  in
+  check_int "only the first three kernels profiled" 3
+    (List.fold_left (fun acc r -> acc + r.Pasta_tools.Divergence.launches) 0
+       (Pasta_tools.Divergence.rows d));
+  Dlfw.Ctx.destroy ctx
+
+let suite =
+  [
+    ("profile validation", `Quick, test_profile_validation);
+    qtest prop_profile_builders_valid;
+    ("instruction analysis masking", `Quick, test_instruction_analysis_masking);
+    ("instruction analysis all classes", `Quick, test_instruction_analysis_all_classes);
+    ("divergence tool", `Quick, test_divergence_tool);
+    ("barrier stall tool", `Quick, test_barrier_stall_tool);
+    ("value check tool", `Quick, test_value_check_tool);
+    ("hazard classifier", `Quick, test_hazard_classifier);
+    ("profiles respect range", `Quick, test_profiles_respect_range);
+  ]

@@ -1,0 +1,21 @@
+let () =
+  Alcotest.run "pasta"
+    [
+      ("util", Test_util.suite);
+      ("gpusim", Test_gpusim.suite);
+      ("uvm", Test_uvm.suite);
+      ("vendor", Test_vendor.suite);
+      ("dlfw", Test_dlfw.suite);
+      ("pasta-core", Test_pasta_core.suite);
+      ("tools", Test_tools.suite);
+      ("megatron", Test_megatron.suite);
+      ("instr-tools", Test_instr_tools.suite);
+      ("tpu", Test_tpu.suite);
+      ("export-tools", Test_export_tools.suite);
+      ("determinism", Test_determinism.suite);
+      ("coverage", Test_coverage.suite);
+      ("training-features", Test_training_features.suite);
+      ("properties", Test_properties.suite);
+      ("streams", Test_streams.suite);
+      ("models", Test_models.suite);
+    ]

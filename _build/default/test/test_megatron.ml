@@ -1,0 +1,165 @@
+(* Multi-GPU parallel-training tests with a reduced-size GPT-2 config so
+   the strategies stay fast; the Fig. 15 semantics (identical DP, halved
+   TP, asymmetric PP) must hold at any scale. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let tiny_cfg =
+  { Megatron.Shard.layers = 4; dim = 128; heads = 8; seq = 64; vocab = 2048; batch = 2 }
+
+(* ---- Comm ---- *)
+
+let mk_two_ctxs () =
+  let d0 = Gpusim.Device.create ~id:0 Gpusim.Arch.a100 in
+  let d1 = Gpusim.Device.create ~id:1 Gpusim.Arch.a100 in
+  (Dlfw.Ctx.create d0, Dlfw.Ctx.create d1)
+
+let test_comm_needs_two () =
+  let ctx0, _ = mk_two_ctxs () in
+  Alcotest.check_raises "one rank" (Invalid_argument "Comm.create: need at least two ranks")
+    (fun () -> ignore (Megatron.Comm.create [ ctx0 ] ~buffer_bytes:4096))
+
+let test_comm_all_reduce_synchronizes () =
+  let ctx0, ctx1 = mk_two_ctxs () in
+  let comm = Megatron.Comm.create [ ctx0; ctx1 ] ~buffer_bytes:(1 lsl 20) in
+  check_int "ranks" 2 (Megatron.Comm.ranks comm);
+  (* Skew the clocks, then all-reduce: both must land on the same time. *)
+  Gpusim.Clock.advance_us (Gpusim.Device.clock ctx0.Dlfw.Ctx.device) 1000.0;
+  Megatron.Comm.all_reduce comm ~bytes:(1 lsl 20);
+  Alcotest.(check (float 1e-6)) "clocks synchronized"
+    (Gpusim.Device.now_us ctx0.Dlfw.Ctx.device)
+    (Gpusim.Device.now_us ctx1.Dlfw.Ctx.device);
+  Megatron.Comm.destroy comm
+
+let test_comm_local_reduce_is_local () =
+  let ctx0, ctx1 = mk_two_ctxs () in
+  let comm = Megatron.Comm.create [ ctx0; ctx1 ] ~buffer_bytes:(1 lsl 20) in
+  let t1 = Gpusim.Device.now_us ctx1.Dlfw.Ctx.device in
+  Megatron.Comm.local_reduce comm ~rank:0 ~bytes:(1 lsl 20);
+  check_bool "rank 0 charged" true (Gpusim.Device.now_us ctx0.Dlfw.Ctx.device > 0.0);
+  Alcotest.(check (float 0.0)) "rank 1 untouched" t1
+    (Gpusim.Device.now_us ctx1.Dlfw.Ctx.device);
+  Megatron.Comm.destroy comm
+
+(* ---- Shard ---- *)
+
+let test_shard_validation () =
+  let ctx0, _ = mk_two_ctxs () in
+  Alcotest.check_raises "shard must divide heads"
+    (Invalid_argument "Shard.tp_attention: shard must divide heads") (fun () ->
+      ignore
+        (Megatron.Shard.tp_block ctx0 { tiny_cfg with Megatron.Shard.heads = 3 }
+           ~shard:2 ~comm:(fun ~bytes -> ignore bytes)))
+
+let test_shard_tp_params_halved () =
+  let ctx0, ctx1 = mk_two_ctxs () in
+  let full = Megatron.Shard.build_full_model ctx0 tiny_cfg in
+  let tp =
+    Megatron.Shard.build_tp_model ctx1 tiny_cfg ~shard:2 ~comm:(fun ~bytes -> ignore bytes)
+  in
+  let fp = Dlfw.Model.param_count full and tp_p = Dlfw.Model.param_count tp in
+  check_bool "tp shard holds roughly half the parameters" true
+    (float_of_int tp_p < 0.7 *. float_of_int fp)
+
+let test_shard_wider_tp () =
+  (* Sharding 4 ways shrinks the replica further than sharding 2 ways. *)
+  let params shard =
+    let ctx, _ = mk_two_ctxs () in
+    let m =
+      Megatron.Shard.build_tp_model ctx
+        { tiny_cfg with Megatron.Shard.heads = 8 }
+        ~shard ~comm:(fun ~bytes -> ignore bytes)
+    in
+    Dlfw.Model.param_count m
+  in
+  check_bool "4-way < 2-way" true (params 4 < params 2)
+
+let test_shard_pp_split () =
+  let ctx0, ctx1 = mk_two_ctxs () in
+  let s0, s1 = Megatron.Shard.build_pp_stages ctx0 ctx1 tiny_cfg in
+  check_bool "both stages have params" true
+    (Dlfw.Layer.param_bytes s0 > 0 && Dlfw.Layer.param_bytes s1 > 0);
+  (* Stage 0 holds the embedding, stage 1 the LM head: both vocab-sized. *)
+  check_bool "stage1 holds the head" true
+    (List.exists
+       (fun p -> Dlfw.Tensor.numel p >= tiny_cfg.Megatron.Shard.vocab * tiny_cfg.Megatron.Shard.dim)
+       (Dlfw.Layer.all_params s1))
+
+(* ---- Trainer ---- *)
+
+let run strategy = Megatron.Trainer.run_iteration ~cfg:tiny_cfg strategy
+
+let test_trainer_dp_symmetric () =
+  let r = run Megatron.Trainer.DP in
+  match (r.Megatron.Trainer.peaks_mb, r.Megatron.Trainer.kernels) with
+  | [ (0, p0); (1, p1) ], [ (_, k0); (_, k1) ] ->
+      Alcotest.(check (float 0.001)) "identical peaks" p0 p1;
+      check_int "identical kernel counts" k0 k1;
+      check_bool "ran kernels" true (k0 > 0)
+  | _ -> Alcotest.fail "expected two GPUs"
+
+let test_trainer_tp_halves_peak () =
+  let dp = run Megatron.Trainer.DP in
+  let tp = run Megatron.Trainer.TP in
+  let peak r = List.assoc 0 r.Megatron.Trainer.peaks_mb in
+  check_bool "tp peak well below dp peak" true (peak tp < 0.75 *. peak dp);
+  match tp.Megatron.Trainer.peaks_mb with
+  | [ (_, p0); (_, p1) ] -> Alcotest.(check (float 0.001)) "tp symmetric" p0 p1
+  | _ -> Alcotest.fail "expected two GPUs"
+
+let test_trainer_pp_asymmetric () =
+  let r = run Megatron.Trainer.PP in
+  match r.Megatron.Trainer.peaks_mb with
+  | [ (0, p0); (1, p1) ] ->
+      check_bool "stages differ" true (Float.abs (p0 -. p1) > 1.0);
+      check_bool "logits stage heavier" true (p1 > p0)
+  | _ -> Alcotest.fail "expected two GPUs"
+
+let test_multinode_dp () =
+  let r =
+    Megatron.Trainer.run_multinode_dp ~cfg:tiny_cfg ~nodes:2 ~gpus_per_node:2 ()
+  in
+  check_int "four ranks profiled" 4 (List.length r.Megatron.Trainer.per_rank);
+  (* Ranks 0-1 on node 0, ranks 2-3 on node 1. *)
+  List.iter
+    (fun (node, rank, _) -> check_int "node mapping" (rank / 2) node)
+    r.Megatron.Trainer.per_rank;
+  (* DP replicas: every rank's memory curve peaks identically. *)
+  let peaks =
+    List.map (fun (_, _, tl) -> Pasta_tools.Mem_timeline.peak_bytes tl) r.Megatron.Trainer.per_rank
+  in
+  List.iter (fun p -> Alcotest.(check (float 0.001)) "identical peaks" (List.hd peaks) p) peaks;
+  check_bool "inter-node ring slower than single-node" true
+    (r.Megatron.Trainer.internode_elapsed_us > r.Megatron.Trainer.intranode_elapsed_us)
+
+let test_multinode_validation () =
+  Alcotest.check_raises "one rank"
+    (Invalid_argument "Trainer.run_multinode_dp: need at least two ranks") (fun () ->
+      ignore (Megatron.Trainer.run_multinode_dp ~cfg:tiny_cfg ~nodes:1 ~gpus_per_node:1 ()))
+
+let test_trainer_timelines_populated () =
+  let r = run Megatron.Trainer.DP in
+  List.iter
+    (fun (_, mt) ->
+      check_bool "timeline non-empty" true
+        (not (Pasta_util.Timeline.is_empty (Pasta_tools.Mem_timeline.timeline mt))))
+    r.Megatron.Trainer.timelines;
+  check_bool "elapsed positive" true (r.Megatron.Trainer.elapsed_us > 0.0)
+
+let suite =
+  [
+    ("comm needs two ranks", `Quick, test_comm_needs_two);
+    ("comm all_reduce synchronizes", `Quick, test_comm_all_reduce_synchronizes);
+    ("comm local_reduce is local", `Quick, test_comm_local_reduce_is_local);
+    ("shard validation", `Quick, test_shard_validation);
+    ("shard tp params halved", `Quick, test_shard_tp_params_halved);
+    ("shard wider tp", `Quick, test_shard_wider_tp);
+    ("shard pp split", `Quick, test_shard_pp_split);
+    ("trainer DP symmetric", `Quick, test_trainer_dp_symmetric);
+    ("trainer TP halves peak", `Quick, test_trainer_tp_halves_peak);
+    ("trainer PP asymmetric", `Quick, test_trainer_pp_asymmetric);
+    ("multi-node DP", `Quick, test_multinode_dp);
+    ("multi-node validation", `Quick, test_multinode_validation);
+    ("trainer timelines populated", `Quick, test_trainer_timelines_populated);
+  ]

@@ -1,0 +1,156 @@
+(* Model-specific behaviour: shapes, structure and the lowering details
+   the experiments rely on. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let with_ctx ?(arch = Gpusim.Arch.a100) f =
+  let device = Gpusim.Device.create arch in
+  let ctx = Dlfw.Ctx.create device in
+  let r = f ctx device in
+  Dlfw.Ctx.destroy ctx;
+  r
+
+let kernel_names ctx device f =
+  let names = ref [] in
+  Gpusim.Device.add_probe device
+    {
+      Gpusim.Device.probe_name = "names";
+      on_event =
+        (fun ev ->
+          match ev with
+          | Gpusim.Device.Launch_begin i ->
+              names := i.Gpusim.Device.kernel.Gpusim.Kernel.name :: !names
+          | _ -> ());
+    };
+  f ctx;
+  List.rev !names
+
+let test_all_models_logit_shapes () =
+  with_ctx (fun ctx _ ->
+      let expectations =
+        [
+          ("AN", [ 128; 1000 ]);
+          ("RN-18", [ 32; 1000 ]);
+          ("RN-34", [ 32; 1000 ]);
+          ("BERT", [ 16; 2 ]);
+        ]
+      in
+      ctx.Dlfw.Ctx.training <- false;
+      List.iter
+        (fun (abbr, expected) ->
+          let m = Dlfw.Runner.build ctx abbr in
+          let logits = Dlfw.Model.forward ctx m in
+          Alcotest.(check (list int)) (abbr ^ " logits") expected (Dlfw.Tensor.shape logits);
+          Dlfw.Tensor.release logits)
+        expectations)
+
+let test_gpt2_logits_vocab () =
+  with_ctx (fun ctx _ ->
+      ctx.Dlfw.Ctx.training <- false;
+      let m = Dlfw.Gpt2.build ~batch:2 ~seq:64 ~layers:2 ctx in
+      let logits = Dlfw.Model.forward ctx m in
+      Alcotest.(check (list int)) "vocab-wide logits" [ 2 * 64; 50257 ]
+        (Dlfw.Tensor.shape logits);
+      Dlfw.Tensor.release logits)
+
+let test_alexnet_im2col_dominates () =
+  with_ctx (fun ctx device ->
+      let names =
+        kernel_names ctx device (fun ctx ->
+            let m = Dlfw.Alexnet.build ~batch:8 ctx in
+            Dlfw.Model.inference_iter ctx m)
+      in
+      let im2col =
+        List.length (List.filter (fun n -> n = "at::native::im2col_kernel") names)
+      in
+      (* One im2col launch per image per conv: 5 convs x batch 8. *)
+      check_int "per-image im2col launches" 40 im2col)
+
+let test_resnet_uses_cudnn_path () =
+  with_ctx (fun ctx device ->
+      let names =
+        kernel_names ctx device (fun ctx ->
+            let m = Dlfw.Resnet.build18 ctx in
+            Dlfw.Model.inference_iter ctx m)
+      in
+      check_bool "implicit gemm kernels" true
+        (List.exists (fun n -> Astring_contains.contains n "implicit_gemm") names);
+      check_bool "no im2col on the cudnn path" false
+        (List.exists (fun n -> n = "at::native::im2col_kernel") names);
+      (* Benchmark search: exactly one workspace transform per conv layer
+         across all iterations (20 convs in ResNet-18). *)
+      check_int "one algorithm search per conv" 20
+        (List.length (List.filter (fun n -> Astring_contains.contains n "nchwToNhwc") names)))
+
+let test_resnet34_deeper_than_18 () =
+  let launches abbr =
+    with_ctx (fun ctx device ->
+        let m = Dlfw.Runner.build ctx abbr in
+        Dlfw.Model.inference_iter ctx m;
+        Gpusim.Device.launches device)
+  in
+  check_bool "34 launches more kernels than 18" true (launches "RN-34" > launches "RN-18")
+
+let test_whisper_frozen_encoder () =
+  with_ctx (fun ctx _ ->
+      let m = Dlfw.Whisper.build ~batch:2 ctx in
+      ctx.Dlfw.Ctx.training <- true;
+      let logits = Dlfw.Layer.forward ctx m.Dlfw.Model.root (m.Dlfw.Model.make_input ctx) in
+      let g = Dlfw.Ops.cross_entropy_bwd ctx ~logits in
+      Dlfw.Tensor.release logits;
+      let gin = Dlfw.Layer.backward ctx m.Dlfw.Model.root g in
+      Dlfw.Tensor.release gin;
+      let pairs = Dlfw.Layer.take_grad_pairs m.Dlfw.Model.root in
+      let n_params = List.length (Dlfw.Layer.all_params m.Dlfw.Model.root) in
+      let n_grads = List.length pairs in
+      check_bool "encoder contributed no grads" true (n_grads < n_params);
+      check_bool "decoder still trains" true (n_grads > 30);
+      List.iter (fun (_, g) -> Dlfw.Tensor.release g) pairs)
+
+let test_bert_small_classifier_kernels () =
+  with_ctx (fun ctx device ->
+      let names =
+        kernel_names ctx device (fun ctx ->
+            let m = Dlfw.Bert.build ~batch:4 ~seq:64 ~layers:1 ctx in
+            Dlfw.Model.inference_iter ctx m)
+      in
+      check_bool "CLS selection kernel present" true
+        (List.exists (fun n -> Astring_contains.contains n "index_select") names))
+
+let test_amd_lowering_more_kernels () =
+  (* The HIP backend decomposes fused ops: same model, more launches. *)
+  let launches arch =
+    with_ctx ~arch (fun ctx device ->
+        let m = Dlfw.Gpt2.build ~batch:1 ~seq:64 ~layers:2 ~dim:64 ~heads:4 ctx in
+        Dlfw.Model.inference_iter ctx m;
+        Gpusim.Device.launches device)
+  in
+  check_bool "amd launches more kernels" true
+    (launches Gpusim.Arch.mi300x > launches Gpusim.Arch.a100)
+
+let test_training_kernel_multiple () =
+  (* Backward + optimizer roughly triples the launch count. *)
+  let launches mode =
+    with_ctx (fun ctx device ->
+        let m = Dlfw.Bert.build ~batch:1 ~seq:64 ~layers:2 ~dim:64 ~heads:4 ctx in
+        (match mode with
+        | `Inf -> Dlfw.Model.inference_iter ctx m
+        | `Train -> Dlfw.Model.train_iter ctx m);
+        Gpusim.Device.launches device)
+  in
+  let inf = launches `Inf and train = launches `Train in
+  check_bool "training at least doubles launches" true (train >= 2 * inf)
+
+let suite =
+  [
+    ("logit shapes", `Quick, test_all_models_logit_shapes);
+    ("gpt2 vocab logits", `Quick, test_gpt2_logits_vocab);
+    ("alexnet im2col per image", `Quick, test_alexnet_im2col_dominates);
+    ("resnet cudnn path", `Quick, test_resnet_uses_cudnn_path);
+    ("resnet34 deeper", `Quick, test_resnet34_deeper_than_18);
+    ("whisper frozen encoder", `Quick, test_whisper_frozen_encoder);
+    ("bert classifier kernels", `Quick, test_bert_small_classifier_kernels);
+    ("amd lowering decomposes", `Quick, test_amd_lowering_more_kernels);
+    ("training kernel multiple", `Quick, test_training_kernel_multiple);
+  ]

@@ -1,0 +1,150 @@
+(* Second property-test batch: cross-checking modules against naive
+   reference implementations on random inputs. *)
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let prop_histogram_merge_commutative =
+  QCheck.Test.make ~name:"histogram merge is commutative" ~count:200
+    QCheck.(pair (small_list (pair (string_of_size (Gen.int_range 1 4)) (int_range 1 10)))
+              (small_list (pair (string_of_size (Gen.int_range 1 4)) (int_range 1 10))))
+    (fun (xs, ys) ->
+      let mk items =
+        let h = Pasta_util.Histogram.create () in
+        List.iter (fun (k, n) -> Pasta_util.Histogram.add h ~count:n k) items;
+        h
+      in
+      let ab = Pasta_util.Histogram.merge (mk xs) (mk ys) in
+      let ba = Pasta_util.Histogram.merge (mk ys) (mk xs) in
+      Pasta_util.Histogram.to_sorted ab = Pasta_util.Histogram.to_sorted ba)
+
+let prop_timeline_bucket_values_from_samples =
+  QCheck.Test.make ~name:"bucketized values are recorded values" ~count:200
+    QCheck.(small_list (float_range 0.0 100.0))
+    (fun values ->
+      QCheck.assume (values <> []);
+      let tl = Pasta_util.Timeline.create () in
+      List.iteri (fun i v -> Pasta_util.Timeline.record tl ~time:(float_of_int i) v) values;
+      let buckets = Pasta_util.Timeline.bucketize tl ~buckets:7 in
+      Array.for_all (fun b -> List.exists (fun v -> v = b) values) buckets)
+
+let prop_canonical_api_idempotent =
+  QCheck.Test.make ~name:"canonical_api is idempotent" ~count:200
+    QCheck.(string_of_size (Gen.int_range 0 20))
+    (fun s ->
+      let once = Pasta.Normalize.canonical_api s in
+      Pasta.Normalize.canonical_api once = once
+      || (* stripping can expose another prefix once (e.g. "cudacuMalloc");
+            a second pass must then be the fixed point *)
+      Pasta.Normalize.canonical_api (Pasta.Normalize.canonical_api once)
+      = Pasta.Normalize.canonical_api once)
+
+let prop_devmem_find_matches_scan =
+  QCheck.Test.make ~name:"find_containing agrees with a linear scan" ~count:100
+    QCheck.(pair (list_of_size (Gen.int_range 1 20) (int_range 1 2048)) (int_range 0 65535))
+    (fun (sizes, probe_off) ->
+      let m = Gpusim.Device_mem.create ~base:0 ~capacity:(1 lsl 16) () in
+      let live = ref [] in
+      List.iter
+        (fun sz ->
+          match Gpusim.Device_mem.alloc m sz with
+          | a -> live := a :: !live
+          | exception Gpusim.Device_mem.Out_of_memory _ -> ())
+        sizes;
+      let addr = probe_off in
+      let expected =
+        List.find_opt
+          (fun (a : Gpusim.Device_mem.alloc) ->
+            addr >= a.Gpusim.Device_mem.base
+            && addr < a.Gpusim.Device_mem.base + a.Gpusim.Device_mem.bytes)
+          !live
+      in
+      let got = Gpusim.Device_mem.find_containing m addr in
+      match (expected, got) with
+      | None, None -> true
+      | Some a, Some b -> a.Gpusim.Device_mem.base = b.Gpusim.Device_mem.base
+      | _ -> false)
+
+let prop_uvm_touch_residency =
+  QCheck.Test.make ~name:"touched pages are resident when capacity suffices" ~count:100
+    QCheck.(list_of_size (Gen.int_range 1 10) (pair (int_range 0 31) (int_range 1 8)))
+    (fun touches ->
+      let page = Gpusim.Arch.a100.Gpusim.Arch.uvm_page_bytes in
+      let clock = Gpusim.Clock.create () in
+      let u = Gpusim.Uvm.create Gpusim.Arch.a100 clock ~capacity:(64 * page) in
+      Gpusim.Uvm.register_range u ~base:0 ~bytes:(32 * page);
+      let expected = Hashtbl.create 32 in
+      let f = ref 0 in
+      List.iter
+        (fun (start, len) ->
+          let lo = min start 31 in
+          let hi = min 31 (lo + len - 1) in
+          for p = lo to hi do
+            Hashtbl.replace expected p ()
+          done;
+          Gpusim.Uvm.touch u ~base:(lo * page)
+            ~bytes:((hi - lo + 1) * page)
+            ~faulted_pages:f)
+        touches;
+      Gpusim.Uvm.check_invariants u;
+      Gpusim.Uvm.resident_pages u = Hashtbl.length expected
+      && !f = Hashtbl.length expected)
+
+let prop_objmap_tensor_shadows_alloc =
+  QCheck.Test.make ~name:"objmap always prefers live tensors over allocations" ~count:200
+    QCheck.(pair (int_range 0 1000) (int_range 1 500))
+    (fun (t_off, t_len) ->
+      let m = Pasta.Objmap.create () in
+      Pasta.Objmap.on_alloc m ~addr:0 ~bytes:2000 ~managed:false;
+      Pasta.Objmap.on_tensor_alloc m ~ptr:t_off ~bytes:t_len ~tag:"t";
+      let inside = t_off + (t_len / 2) in
+      let is_tensor =
+        match Pasta.Objmap.resolve m inside with
+        | Pasta.Objmap.Tensor _ -> true
+        | _ -> false
+      in
+      let outside_ok =
+        t_off = 0
+        ||
+        match Pasta.Objmap.resolve m (t_off - 1) with
+        | Pasta.Objmap.Device_alloc _ -> true
+        | _ -> false
+      in
+      is_tensor && outside_ok)
+
+let prop_stats_scale_invariance =
+  QCheck.Test.make ~name:"summarize commutes with positive scaling" ~count:200
+    QCheck.(pair (array_of_size (Gen.int_range 1 30) (float_range 0.1 100.0)) (float_range 0.5 4.0))
+    (fun (xs, k) ->
+      let close a b = Float.abs (a -. b) <= 1e-6 *. (1.0 +. Float.abs a) in
+      let s = Pasta_util.Stats.summarize xs in
+      let scaled = Pasta_util.Stats.summarize (Array.map (fun x -> x *. k) xs) in
+      close (s.Pasta_util.Stats.mean *. k) scaled.Pasta_util.Stats.mean
+      && close (s.Pasta_util.Stats.median *. k) scaled.Pasta_util.Stats.median
+      && close (s.Pasta_util.Stats.p90 *. k) scaled.Pasta_util.Stats.p90)
+
+let prop_sass_static_counts =
+  QCheck.Test.make ~name:"memory PCs count matches region structure" ~count:100
+    QCheck.(int_range 0 6)
+    (fun nregions ->
+      let regions =
+        List.init nregions (fun i ->
+            Gpusim.Kernel.region ~base:(4096 * (i + 1)) ~bytes:512 ~accesses:32 ())
+      in
+      let k =
+        Gpusim.Kernel.make ~name:"p" ~grid:(Gpusim.Dim3.make 1)
+          ~block:(Gpusim.Dim3.make 32) ~regions ()
+      in
+      (* No shared-memory block: exactly one LDG/STG per region. *)
+      List.length (Gpusim.Sass.memory_pcs (Gpusim.Sass.listing k)) = nregions)
+
+let suite =
+  [
+    qtest prop_histogram_merge_commutative;
+    qtest prop_timeline_bucket_values_from_samples;
+    qtest prop_canonical_api_idempotent;
+    qtest prop_devmem_find_matches_scan;
+    qtest prop_uvm_touch_residency;
+    qtest prop_objmap_tensor_shadows_alloc;
+    qtest prop_stats_scale_invariance;
+    qtest prop_sass_static_counts;
+  ]

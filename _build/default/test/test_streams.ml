@@ -1,0 +1,134 @@
+(* Asynchronous stream semantics: overlap, synchronization joins, and the
+   serialize-under-instrumentation rule. *)
+
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-6))
+
+module D = Gpusim.Device
+
+let big_kernel device =
+  let a = D.malloc device (64 * 1024 * 1024) in
+  Gpusim.Kernel.make ~name:"async_k" ~grid:(Gpusim.Dim3.make 256)
+    ~block:(Gpusim.Dim3.make 256)
+    ~regions:
+      [
+        Gpusim.Kernel.region ~base:a.Gpusim.Device_mem.base
+          ~bytes:(64 * 1024 * 1024)
+          ~accesses:(16 * 1024 * 1024) ();
+      ]
+    ~flops:1.0e10 ()
+
+let test_async_host_does_not_wait () =
+  let device = D.create Gpusim.Arch.a100 in
+  let k = big_kernel device in
+  let t0 = D.now_us device in
+  let stats = D.launch_async device ~stream:1 k in
+  let submit_elapsed = D.now_us device -. t0 in
+  check_bool "host returns before the kernel finishes" true
+    (submit_elapsed < stats.D.duration_us);
+  check_bool "stream holds the pending work" true
+    (D.stream_busy_until device 1 > D.now_us device);
+  D.stream_synchronize device 1;
+  check_bool "sync waits for completion" true
+    (D.now_us device >= t0 +. stats.D.duration_us)
+
+let test_overlap_two_streams () =
+  (* Two independent kernels: concurrent on two streams, serialized on
+     one.  The two-stream run must be faster and close to max() rather
+     than sum(). *)
+  let run ~streams =
+    let device = D.create Gpusim.Arch.a100 in
+    let k1 = big_kernel device and k2 = big_kernel device in
+    let s1, s2 = match streams with `Two -> (1, 2) | `One -> (1, 1) in
+    let st1 = D.launch_async device ~stream:s1 k1 in
+    let st2 = D.launch_async device ~stream:s2 k2 in
+    D.synchronize device;
+    (D.now_us device, st1.D.duration_us, st2.D.duration_us)
+  in
+  let t_two, d1, d2 = run ~streams:`Two in
+  let t_one, _, _ = run ~streams:`One in
+  check_bool "two streams overlap" true (t_two < t_one);
+  check_bool "serialized ~ sum of durations" true (t_one >= d1 +. d2);
+  check_bool "concurrent ~ max of durations" true (t_two < d1 +. d2)
+
+let test_copy_compute_overlap () =
+  let run ~overlap =
+    let device = D.create Gpusim.Arch.a100 in
+    let k = big_kernel device in
+    let copy_stream = if overlap then 2 else 1 in
+    D.memcpy_async device ~dst:0 ~src:0 ~bytes:(256 * 1024 * 1024)
+      ~kind:D.Host_to_device ~stream:copy_stream;
+    ignore (D.launch_async device ~stream:1 k);
+    D.synchronize device;
+    D.now_us device
+  in
+  check_bool "copy overlaps compute on a second stream" true
+    (run ~overlap:true < run ~overlap:false)
+
+let test_same_stream_serializes () =
+  let device = D.create Gpusim.Arch.a100 in
+  let k = big_kernel device in
+  let s1 = D.launch_async device ~stream:3 k in
+  let s2 = D.launch_async device ~stream:3 k in
+  D.stream_synchronize device 3;
+  check_bool "same-stream work is sequential" true
+    (D.now_us device >= s1.D.duration_us +. s2.D.duration_us)
+
+let test_sync_idempotent () =
+  let device = D.create Gpusim.Arch.a100 in
+  let k = big_kernel device in
+  ignore (D.launch_async device ~stream:1 k);
+  D.synchronize device;
+  let t = D.now_us device in
+  D.synchronize device;
+  check_float "second sync only pays the call cost" (t +. 3.0) (D.now_us device)
+
+let test_instrumented_degrades_to_sync () =
+  let device = D.create Gpusim.Arch.a100 in
+  let s = Vendor.Sanitizer.attach device in
+  let regions = ref 0 in
+  Vendor.Sanitizer.patch_module s
+    (Vendor.Sanitizer.Device_analysis
+       {
+         map_bytes = (fun () -> 64);
+         device_fn = (fun _ _ -> incr regions);
+         on_kernel_complete = (fun _ _ -> ());
+       });
+  let k = big_kernel device in
+  let t0 = D.now_us device in
+  let stats = D.launch_async device ~stream:1 k in
+  (* With an instrument installed, the launch blocks and the instrument
+     observes the kernel. *)
+  check_bool "blocked for the full duration" true
+    (D.now_us device -. t0 >= stats.D.duration_us);
+  Alcotest.(check int) "instrument saw the region" 1 !regions
+
+let test_async_events_still_fire () =
+  let device = D.create Gpusim.Arch.a100 in
+  let launches = ref 0 and copies = ref 0 in
+  D.add_probe device
+    {
+      D.probe_name = "p";
+      on_event =
+        (fun ev ->
+          match ev with
+          | D.Launch_end _ -> incr launches
+          | D.Memcpy _ -> incr copies
+          | _ -> ());
+    };
+  let k = big_kernel device in
+  ignore (D.launch_async device ~stream:1 k);
+  D.memcpy_async device ~dst:0 ~src:0 ~bytes:1024 ~kind:D.Device_to_host ~stream:2;
+  Alcotest.(check int) "launch event" 1 !launches;
+  Alcotest.(check int) "copy event" 1 !copies
+
+let suite =
+  [
+    ("async host does not wait", `Quick, test_async_host_does_not_wait);
+    ("two streams overlap", `Quick, test_overlap_two_streams);
+    ("copy-compute overlap", `Quick, test_copy_compute_overlap);
+    ("same stream serializes", `Quick, test_same_stream_serializes);
+    ("sync idempotent", `Quick, test_sync_idempotent);
+    ("instrumented degrades to sync", `Quick, test_instrumented_degrades_to_sync);
+    ("async events still fire", `Quick, test_async_events_still_fire);
+  ]

@@ -1,0 +1,278 @@
+(* Case-study tool tests: kernel frequency, working sets, hotness,
+   timelines, the UVM prefetcher and the end-to-end UVM experiment. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+module MC = Pasta_tools.Memory_charact
+module UX = Pasta_tools.Uvm_experiment
+
+let small_gpt2 ctx = Dlfw.Gpt2.build ~batch:1 ~seq:64 ~layers:2 ~dim:64 ~heads:4 ctx
+
+let with_session ?range tool f =
+  let device = Gpusim.Device.create Gpusim.Arch.a100 in
+  let ctx = Dlfw.Ctx.create device in
+  let (), result = Pasta.Session.run ?range ~tool device (fun () -> f ctx) in
+  Dlfw.Ctx.destroy ctx;
+  result
+
+(* ---- Kernel_freq ---- *)
+
+let test_kernel_freq_counts () =
+  let kf = Pasta_tools.Kernel_freq.create () in
+  let result =
+    with_session (Pasta_tools.Kernel_freq.tool kf) (fun ctx ->
+        let m = small_gpt2 ctx in
+        Dlfw.Model.inference_iter ctx m)
+  in
+  check_int "tool count equals session count" result.Pasta.Session.kernels
+    (Pasta_tools.Kernel_freq.total_launches kf);
+  check_bool "distinct kernels" true (Pasta_tools.Kernel_freq.distinct_kernels kf > 5);
+  (match Pasta_tools.Kernel_freq.top kf 3 with
+  | (_, a) :: (_, b) :: _ -> check_bool "sorted" true (a >= b)
+  | _ -> Alcotest.fail "expected top kernels");
+  check_bool "most called tracked" true (Pasta_tools.Kernel_freq.most_called kf <> None);
+  check_bool "most mem tracked" true
+    (Pasta_tools.Kernel_freq.most_mem_referenced kf <> None);
+  let report = Format.asprintf "%t" (Pasta_tools.Kernel_freq.report kf) in
+  check_bool "report mentions launches" true (Astring_contains.contains report "launches")
+
+(* ---- Memory_charact ---- *)
+
+let run_mc variant =
+  let mc = MC.create ~variant () in
+  let _ =
+    with_session (MC.tool mc) (fun ctx ->
+        let m = small_gpt2 ctx in
+        Dlfw.Model.inference_iter ctx m)
+  in
+  MC.result mc
+
+let test_mc_variants_agree () =
+  let g = run_mc MC.Gpu in
+  let cs = run_mc MC.Cpu_sanitizer in
+  let nv = run_mc MC.Cpu_nvbit in
+  (* All three analysis models must compute identical working sets; only
+     their cost differs (paper Fig. 8). *)
+  check_int "gpu vs cs-cpu kernels" g.MC.kernel_count cs.MC.kernel_count;
+  check_int "gpu vs cs-cpu ws" g.MC.ws_bytes cs.MC.ws_bytes;
+  check_int "gpu vs nvbit ws" g.MC.ws_bytes nv.MC.ws_bytes;
+  check_int "footprints agree" g.MC.footprint_bytes cs.MC.footprint_bytes
+
+let test_mc_ordering () =
+  let r = run_mc MC.Gpu in
+  check_bool "min <= median" true (float_of_int r.MC.ws_min <= r.MC.ws_median);
+  check_bool "median <= p90" true (r.MC.ws_median <= r.MC.ws_p90);
+  check_bool "p90 <= max" true (r.MC.ws_p90 <= float_of_int r.MC.ws_bytes);
+  check_bool "ws <= footprint" true (r.MC.ws_bytes <= r.MC.footprint_bytes)
+
+let test_mc_empty () =
+  let mc = MC.create () in
+  Alcotest.check_raises "no kernels"
+    (Invalid_argument "Memory_charact.result: no kernels observed") (fun () ->
+      ignore (MC.result mc))
+
+let test_mc_footprints_per_kernel () =
+  let mc = MC.create ~variant:MC.Gpu () in
+  let result =
+    with_session (MC.tool mc) (fun ctx ->
+        let m = small_gpt2 ctx in
+        Dlfw.Model.inference_iter ctx m)
+  in
+  let fp = MC.kernel_footprints mc in
+  check_int "one footprint per kernel" result.Pasta.Session.kernels (Array.length fp)
+
+(* ---- Mem_timeline ---- *)
+
+let test_mem_timeline () =
+  let mt = Pasta_tools.Mem_timeline.create () in
+  let device = Gpusim.Device.create Gpusim.Arch.a100 in
+  let ctx = Dlfw.Ctx.create device in
+  let (), _ =
+    Pasta.Session.run ~tool:(Pasta_tools.Mem_timeline.tool mt) device (fun () ->
+        let m = small_gpt2 ctx in
+        Dlfw.Model.train_iter ctx m)
+  in
+  check_bool "alloc events seen" true (Pasta_tools.Mem_timeline.alloc_events mt > 10);
+  check_bool "free events seen" true (Pasta_tools.Mem_timeline.free_events mt > 10);
+  (* The tool's peak must match the allocator's true peak (params are
+     allocated before the session attaches, so compare against live
+     tracking tolerance: the tool sees everything allocated during the
+     session). *)
+  check_bool "peak positive" true (Pasta_tools.Mem_timeline.peak_bytes mt > 0.0);
+  let s = Pasta_tools.Mem_timeline.series mt ~buckets:16 in
+  check_int "series buckets" 16 (Array.length s);
+  Dlfw.Ctx.destroy ctx
+
+(* ---- Hotness ---- *)
+
+let test_hotness_matrix () =
+  let hot = Pasta_tools.Hotness.create ~time_buckets:8 () in
+  let _ =
+    with_session (Pasta_tools.Hotness.tool hot) (fun ctx ->
+        let m = small_gpt2 ctx in
+        Dlfw.Model.inference_iter ctx m;
+        Dlfw.Model.inference_iter ctx m)
+  in
+  let matrix = Pasta_tools.Hotness.matrix hot in
+  check_bool "blocks observed" true (Array.length matrix > 0);
+  Array.iter (fun row -> check_int "row width" 8 (Array.length row)) matrix;
+  let classes = Pasta_tools.Hotness.classify hot in
+  check_int "one class per block" (Array.length matrix) (List.length classes);
+  (* Model parameters are accessed in both iterations: some block must be
+     persistent-hot. *)
+  check_bool "persistent-hot blocks exist" true
+    (Pasta_tools.Hotness.prefetch_candidates hot <> []);
+  let report = Format.asprintf "%t" (fun ppf -> Pasta_tools.Hotness.report hot ppf) in
+  check_bool "report renders" true (Astring_contains.contains report "blocks")
+
+let test_hotness_empty () =
+  let hot = Pasta_tools.Hotness.create () in
+  check_int "empty matrix" 0 (Array.length (Pasta_tools.Hotness.matrix hot));
+  let report = Format.asprintf "%t" (fun ppf -> Pasta_tools.Hotness.report hot ppf) in
+  check_bool "empty report" true (Astring_contains.contains report "no accesses")
+
+(* ---- Uvm_prefetch ---- *)
+
+let test_prefetch_plans () =
+  let rec_ = Pasta_tools.Uvm_prefetch.recorder () in
+  let device = Gpusim.Device.create Gpusim.Arch.a100 in
+  let ctx = Dlfw.Ctx.create ~managed:true device in
+  let (), result =
+    Pasta.Session.run ~tool:(Pasta_tools.Uvm_prefetch.recorder_tool rec_) device
+      (fun () ->
+        let m = small_gpt2 ctx in
+        Dlfw.Model.inference_iter ctx m)
+  in
+  let obj = Pasta_tools.Uvm_prefetch.plan_of rec_ Pasta_tools.Uvm_prefetch.Object_level in
+  let ten = Pasta_tools.Uvm_prefetch.plan_of rec_ Pasta_tools.Uvm_prefetch.Tensor_level in
+  check_int "plan covers every kernel"
+    result.Pasta.Session.kernels
+    (Pasta_tools.Uvm_prefetch.plan_kernels obj);
+  check_bool "tensor plans at least as fine" true
+    (Pasta_tools.Uvm_prefetch.plan_ranges ten
+    >= Pasta_tools.Uvm_prefetch.plan_ranges obj);
+  Dlfw.Ctx.destroy ctx
+
+let test_prefetch_probe_install_remove () =
+  let rec_ = Pasta_tools.Uvm_prefetch.recorder () in
+  let plan = Pasta_tools.Uvm_prefetch.plan_of rec_ Pasta_tools.Uvm_prefetch.Tensor_level in
+  let device = Gpusim.Device.create Gpusim.Arch.a100 in
+  Pasta_tools.Uvm_prefetch.install plan device;
+  Pasta_tools.Uvm_prefetch.remove device;
+  (* Removing twice is harmless. *)
+  Pasta_tools.Uvm_prefetch.remove device
+
+(* ---- Uvm_experiment ---- *)
+
+let test_uvm_experiment_no_oversub () =
+  let o = UX.run ~arch:Gpusim.Arch.a100 ~oversub:1.0 "BERT" in
+  check_bool "prefetching helps without oversubscription" true
+    (UX.speedup o `Object > 1.0 && UX.speedup o `Tensor > 1.0);
+  check_int "no thrashing" 0 o.UX.baseline.UX.refaults;
+  check_bool "footprint measured" true (o.UX.footprint_bytes > 0);
+  check_int "full capacity" Gpusim.Arch.a100.Gpusim.Arch.mem_bytes o.UX.capacity_bytes
+
+let test_uvm_experiment_oversub () =
+  (* AlexNet's pool segments bundle the huge im2col buffers with the
+     activations, so object-level prefetching thrashes at 3x (paper
+     Fig. 12). *)
+  let o = UX.run ~arch:Gpusim.Arch.a100 ~oversub:3.0 "AN" in
+  check_bool "capacity limited" true (o.UX.capacity_bytes < o.UX.footprint_bytes);
+  check_bool "baseline thrashes" true (o.UX.baseline.UX.refaults > 0);
+  check_bool "object-level thrashes harder than tensor-level" true
+    (o.UX.object_level.UX.refaults > o.UX.tensor_level.UX.refaults);
+  check_bool "tensor-level beats object-level under pressure" true
+    (UX.speedup o `Tensor > UX.speedup o `Object);
+  check_bool "object-level prefetch hurts under pressure" true
+    (UX.speedup o `Object < 1.0)
+
+let test_uvm_experiment_train_mode () =
+  (* Training under UVM exercises the same machinery; prefetching must
+     still help at full capacity. *)
+  let o =
+    UX.run ~mode:Dlfw.Runner.Train ~iters:1 ~arch:Gpusim.Arch.a100 ~oversub:1.0 "RN-18"
+  in
+  check_bool "prefetch helps training too" true (UX.speedup o `Tensor > 1.0)
+
+let test_uvm_experiment_validation () =
+  check_bool "bad oversub" true
+    (try
+       ignore (UX.run ~arch:Gpusim.Arch.a100 ~oversub:0.0 "BERT");
+       false
+     with Invalid_argument _ -> true)
+
+let test_uvm_replay_determinism () =
+  let a = UX.run ~arch:Gpusim.Arch.a100 ~oversub:2.0 "RN-18" in
+  let b = UX.run ~arch:Gpusim.Arch.a100 ~oversub:2.0 "RN-18" in
+  Alcotest.(check (float 0.0)) "baselines identical"
+    a.UX.baseline.UX.elapsed_us b.UX.baseline.UX.elapsed_us;
+  Alcotest.(check (float 0.0)) "tensor replays identical"
+    a.UX.tensor_level.UX.elapsed_us b.UX.tensor_level.UX.elapsed_us
+
+(* ---- Multi_gpu ---- *)
+
+let test_multi_gpu_attach () =
+  let d0 = Gpusim.Device.create ~id:0 Gpusim.Arch.a100 in
+  let d1 = Gpusim.Device.create ~id:1 Gpusim.Arch.a100 in
+  let mg =
+    Pasta_tools.Multi_gpu.attach
+      ~has_context:(fun d -> Gpusim.Device.id d = 0)
+      [ d0; d1 ]
+  in
+  check_int "helper process skipped" 1 (Pasta_tools.Multi_gpu.instrumented_devices mg);
+  let results = Pasta_tools.Multi_gpu.detach mg in
+  check_int "one result" 1 (List.length results);
+  let mg2 = Pasta_tools.Multi_gpu.attach [ d0; d1 ] in
+  check_int "both instrumented" 2 (Pasta_tools.Multi_gpu.instrumented_devices mg2);
+  (match Pasta_tools.Multi_gpu.timelines mg2 with
+  | [ (0, _); (1, _) ] -> ()
+  | _ -> Alcotest.fail "expected timelines for devices 0 and 1");
+  ignore (Pasta_tools.Multi_gpu.detach mg2)
+
+(* ---- Registry glue ---- *)
+
+let test_register_all () =
+  Pasta_tools.Tools.register_all ();
+  List.iter
+    (fun name ->
+      check_bool name true (Pasta.Registry.find name <> None))
+    [ "kernel_freq"; "memory_charact"; "memory_charact_cs_cpu";
+      "memory_charact_nvbit_cpu"; "hotness"; "mem_timeline" ]
+
+let test_registered_tools_run () =
+  Pasta_tools.Tools.register_all ();
+  List.iter
+    (fun name ->
+      let tool = (Option.get (Pasta.Registry.find name)) () in
+      let result =
+        with_session tool (fun ctx ->
+            let m = small_gpt2 ctx in
+            Dlfw.Model.inference_iter ctx m)
+      in
+      let report = Format.asprintf "%t" result.Pasta.Session.report in
+      check_bool (name ^ " produces a report") true (String.length report > 0))
+    (Pasta.Registry.names ()
+    |> List.filter (fun n -> not (Astring_contains.contains n "test_tool")))
+
+let suite =
+  [
+    ("kernel_freq counts", `Quick, test_kernel_freq_counts);
+    ("memory_charact variants agree", `Quick, test_mc_variants_agree);
+    ("memory_charact ordering", `Quick, test_mc_ordering);
+    ("memory_charact empty", `Quick, test_mc_empty);
+    ("memory_charact per-kernel footprints", `Quick, test_mc_footprints_per_kernel);
+    ("mem_timeline", `Quick, test_mem_timeline);
+    ("hotness matrix", `Quick, test_hotness_matrix);
+    ("hotness empty", `Quick, test_hotness_empty);
+    ("uvm_prefetch plans", `Quick, test_prefetch_plans);
+    ("uvm_prefetch probe install/remove", `Quick, test_prefetch_probe_install_remove);
+    ("uvm experiment: no oversubscription", `Slow, test_uvm_experiment_no_oversub);
+    ("uvm experiment: oversubscription", `Slow, test_uvm_experiment_oversub);
+    ("uvm experiment: train mode", `Slow, test_uvm_experiment_train_mode);
+    ("uvm experiment: validation", `Quick, test_uvm_experiment_validation);
+    ("uvm experiment: replay determinism", `Slow, test_uvm_replay_determinism);
+    ("multi_gpu attach", `Quick, test_multi_gpu_attach);
+    ("register_all", `Quick, test_register_all);
+    ("registered tools run", `Quick, test_registered_tools_run);
+  ]

@@ -1,0 +1,125 @@
+(* TPU generalization tests (paper §III-G): the XProf substrate, its
+   normalization, and a full PASTA session against the Google backend. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let tpu () = Gpusim.Device.create Gpusim.Arch.tpu_v4
+
+let test_arch () =
+  check_string "vendor" "Google" (Gpusim.Arch.vendor_to_string Gpusim.Arch.tpu_v4.Gpusim.Arch.vendor);
+  check_bool "listed" true (List.mem Gpusim.Arch.tpu_v4 Gpusim.Arch.all);
+  check_bool "analysis lanes defined" true (Gpusim.Arch.analysis_lanes Gpusim.Arch.tpu_v4 > 0)
+
+let test_api_names () =
+  let d = tpu () in
+  check_string "tpu api prefix" "TpuExecutor_Malloc" (Gpusim.Device.api_name d "Malloc");
+  check_string "canonical strips it" "Malloc"
+    (Pasta.Normalize.canonical_api "TpuExecutor_Malloc")
+
+let test_xprof_vendor_check () =
+  let nv = Gpusim.Device.create Gpusim.Arch.a100 in
+  Alcotest.check_raises "cuda rejected" (Invalid_argument "Xprof.attach: not a Google TPU")
+    (fun () -> ignore (Vendor.Xprof.attach nv))
+
+let test_xprof_records () =
+  let d = tpu () in
+  let x = Vendor.Xprof.attach d in
+  let records = ref [] in
+  Vendor.Xprof.configure_callback x (fun r -> records := r :: !records);
+  let a = Gpusim.Device.malloc d 4096 in
+  Gpusim.Device.memcpy d ~dst:a.Gpusim.Device_mem.base ~src:0 ~bytes:4096
+    ~kind:Gpusim.Device.Host_to_device ();
+  let k =
+    Gpusim.Kernel.make ~name:"xla::dot" ~grid:(Gpusim.Dim3.make 1)
+      ~block:(Gpusim.Dim3.make 128)
+      ~regions:
+        [ Gpusim.Kernel.region ~base:a.Gpusim.Device_mem.base ~bytes:4096 ~accesses:64 () ]
+      ~flops:1.0e8 ()
+  in
+  ignore (Gpusim.Device.launch d k);
+  Gpusim.Device.free d a.Gpusim.Device_mem.base;
+  let tags =
+    List.rev_map
+      (function
+        | Vendor.Xprof.Buffer_allocate _ -> "alloc"
+        | Buffer_deallocate _ -> "free"
+        | Infeed _ -> "infeed"
+        | Outfeed _ -> "outfeed"
+        | Program_execute { phase = `Begin; _ } -> "pb"
+        | Program_execute { phase = `End; _ } -> "pe"
+        | Step_marker -> "step"
+        | Systolic_array_active _ -> "mxu")
+      !records
+  in
+  Alcotest.(check (list string)) "record planes"
+    [ "alloc"; "infeed"; "pb"; "mxu"; "pe"; "free" ]
+    tags
+
+let test_xprof_normalization () =
+  (* Vendor-unique systolic activity must normalize to nothing. *)
+  check_int "systolic dropped" 0
+    (List.length (Pasta.Normalize.of_xprof (Vendor.Xprof.Systolic_array_active { cycles = 10 })));
+  (match Pasta.Normalize.of_xprof (Vendor.Xprof.Infeed { bytes = 42 }) with
+  | [ Pasta.Event.Memory_copy { bytes = 42; direction = `H2d; _ } ] -> ()
+  | _ -> Alcotest.fail "infeed should be an H2D copy");
+  (match Pasta.Normalize.of_xprof (Vendor.Xprof.Outfeed { bytes = 7 }) with
+  | [ Pasta.Event.Memory_copy { direction = `D2h; _ } ] -> ()
+  | _ -> Alcotest.fail "outfeed should be a D2H copy");
+  match Pasta.Normalize.of_xprof Vendor.Xprof.Step_marker with
+  | [ Pasta.Event.Synchronization _ ] -> ()
+  | _ -> Alcotest.fail "step marker should be a synchronization"
+
+let test_tpu_session_end_to_end () =
+  let d = tpu () in
+  check_bool "default backend is xprof" true
+    (Pasta.Backend.default_kind_for d = Pasta.Backend.Xprof);
+  let ctx = Dlfw.Ctx.create d in
+  let kf = Pasta_tools.Kernel_freq.create () in
+  let (), result =
+    Pasta.Session.run ~tool:(Pasta_tools.Kernel_freq.tool kf) d (fun () ->
+        let m = Dlfw.Gpt2.build ~batch:1 ~seq:64 ~layers:2 ~dim:64 ~heads:4 ctx in
+        Dlfw.Model.inference_iter ctx m)
+  in
+  check_bool "programs observed" true (result.Pasta.Session.kernels > 10);
+  check_bool "xla-flavoured names" true
+    (List.exists
+       (fun (name, _) -> Astring_contains.contains name "xla::")
+       (Pasta_tools.Kernel_freq.top kf 20));
+  Dlfw.Ctx.destroy ctx
+
+let test_tpu_no_fine_grained () =
+  let d = tpu () in
+  let proc = Pasta.Processor.create ~device:(Gpusim.Device.id d) () in
+  let b = Pasta.Backend.attach Pasta.Backend.Xprof d ~processor:proc in
+  Alcotest.check_raises "no fine-grained on TPUs"
+    (Invalid_argument "Backend: TPUs expose no fine-grained instrumentation") (fun () ->
+      Pasta.Backend.enable_fine_grained b Pasta.Tool.Gpu_accelerated);
+  Pasta.Backend.detach b
+
+let test_tpu_mem_timeline () =
+  (* The memory-timeline tool works unchanged on the third vendor. *)
+  let d = tpu () in
+  let ctx = Dlfw.Ctx.create d in
+  let mt = Pasta_tools.Mem_timeline.create () in
+  let (), _ =
+    Pasta.Session.run ~tool:(Pasta_tools.Mem_timeline.tool mt) d (fun () ->
+        let m = Dlfw.Gpt2.build ~batch:1 ~seq:64 ~layers:2 ~dim:64 ~heads:4 ctx in
+        Dlfw.Model.train_iter ctx m)
+  in
+  check_bool "allocs seen" true (Pasta_tools.Mem_timeline.alloc_events mt > 10);
+  check_bool "peak positive" true (Pasta_tools.Mem_timeline.peak_bytes mt > 0.0);
+  Dlfw.Ctx.destroy ctx
+
+let suite =
+  [
+    ("tpu arch", `Quick, test_arch);
+    ("tpu api names", `Quick, test_api_names);
+    ("xprof vendor check", `Quick, test_xprof_vendor_check);
+    ("xprof records", `Quick, test_xprof_records);
+    ("xprof normalization", `Quick, test_xprof_normalization);
+    ("tpu session end-to-end", `Quick, test_tpu_session_end_to_end);
+    ("tpu no fine-grained", `Quick, test_tpu_no_fine_grained);
+    ("tpu mem_timeline", `Quick, test_tpu_mem_timeline);
+  ]

@@ -1,0 +1,146 @@
+(* Gradient checkpointing and optimizer-state features. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let peak_and_kernels ~checkpoint ?optimizer () =
+  let device = Gpusim.Device.create Gpusim.Arch.a100 in
+  let ctx = Dlfw.Ctx.create device in
+  let m = Dlfw.Gpt2.build ~batch:1 ~seq:128 ~layers:4 ~dim:128 ~heads:4 ~checkpoint ctx in
+  (match optimizer with
+  | Some opt -> Dlfw.Model.train_iter_opt ctx m ~optimizer:opt
+  | None -> Dlfw.Model.train_iter ctx m);
+  let peak = Dlfw.Allocator.peak_allocated ctx.Dlfw.Ctx.pool in
+  let live = Dlfw.Allocator.allocated_bytes ctx.Dlfw.Ctx.pool in
+  let kernels = Gpusim.Device.launches device in
+  Dlfw.Ctx.destroy ctx;
+  (peak, live, kernels)
+
+(* ---- Gradient checkpointing ---- *)
+
+(* Measure the block stack alone (no vocab-sized logits dwarfing the
+   activations): forward + backward through 6 transformer blocks. *)
+let block_stack_peak ~checkpoint =
+  let device = Gpusim.Device.create Gpusim.Arch.a100 in
+  let ctx = Dlfw.Ctx.create device in
+  let block () =
+    let b = Dlfw.Transformer.block_prenorm ctx ~file:"t.py" ~dim:256 ~heads:4 ~seq:256 () in
+    if checkpoint then Dlfw.Layer.checkpoint b else b
+  in
+  let stack = Dlfw.Layer.sequential (List.init 6 (fun _ -> block ())) in
+  ctx.Dlfw.Ctx.training <- true;
+  let x = Dlfw.Ops.new_tensor ctx [ 2 * 256; 256 ] Dlfw.Dtype.F32 in
+  let y = Dlfw.Layer.forward ctx stack x in
+  let gin = Dlfw.Layer.backward ctx stack y in
+  Dlfw.Tensor.release gin;
+  List.iter (fun (_, g) -> Dlfw.Tensor.release g) (Dlfw.Layer.take_grad_pairs stack);
+  let peak = Dlfw.Allocator.peak_allocated ctx.Dlfw.Ctx.pool in
+  let kernels = Gpusim.Device.launches device in
+  Dlfw.Ctx.destroy ctx;
+  (peak, kernels)
+
+let test_checkpoint_reduces_memory () =
+  let peak_plain, k_plain = block_stack_peak ~checkpoint:false in
+  let peak_ckpt, k_ckpt = block_stack_peak ~checkpoint:true in
+  check_bool "checkpointing reduces peak training memory" true
+    (float_of_int peak_ckpt < 0.8 *. float_of_int peak_plain);
+  check_bool "checkpointing recomputes (more kernels)" true (k_ckpt > k_plain)
+
+let test_checkpoint_same_grads () =
+  (* Both variants must produce gradients for every parameter. *)
+  let grads_of checkpoint =
+    let device = Gpusim.Device.create Gpusim.Arch.a100 in
+    let ctx = Dlfw.Ctx.create device in
+    let m = Dlfw.Gpt2.build ~batch:1 ~seq:64 ~layers:2 ~dim:64 ~heads:4 ~checkpoint ctx in
+    ctx.Dlfw.Ctx.training <- true;
+    let logits = Dlfw.Layer.forward ctx m.Dlfw.Model.root (m.Dlfw.Model.make_input ctx) in
+    let g = Dlfw.Ops.cross_entropy_bwd ctx ~logits in
+    Dlfw.Tensor.release logits;
+    let gin = Dlfw.Layer.backward ctx m.Dlfw.Model.root g in
+    Dlfw.Tensor.release gin;
+    let pairs = Dlfw.Layer.take_grad_pairs m.Dlfw.Model.root in
+    let n_params = List.length (Dlfw.Layer.all_params m.Dlfw.Model.root) in
+    let n_grads = List.length pairs in
+    List.iter (fun (_, g) -> Dlfw.Tensor.release g) pairs;
+    Dlfw.Ctx.destroy ctx;
+    (n_params, n_grads)
+  in
+  let p1, g1 = grads_of false in
+  let p2, g2 = grads_of true in
+  check_int "plain: grad per param" p1 g1;
+  check_int "checkpointed: grad per param" p2 g2;
+  check_int "same param count" p1 p2
+
+let test_checkpoint_inference_passthrough () =
+  let device = Gpusim.Device.create Gpusim.Arch.a100 in
+  let ctx = Dlfw.Ctx.create device in
+  let inner = Dlfw.Layer.relu ctx in
+  let wrapped = Dlfw.Layer.checkpoint inner in
+  ctx.Dlfw.Ctx.training <- false;
+  let x = Dlfw.Ops.new_tensor ctx [ 8 ] Dlfw.Dtype.F32 in
+  let y = Dlfw.Layer.forward ctx wrapped x in
+  Dlfw.Tensor.release y;
+  (* Nothing saved in inference mode, so backward is unbalanced. *)
+  Alcotest.check_raises "no state saved in inference"
+    (Invalid_argument "Checkpoint: backward without matching forward") (fun () ->
+      ignore
+        (Dlfw.Layer.backward ctx wrapped (Dlfw.Ops.new_tensor ctx [ 8 ] Dlfw.Dtype.F32)));
+  Dlfw.Ctx.destroy ctx
+
+(* ---- Optimizers ---- *)
+
+let test_adam_allocates_state () =
+  let device = Gpusim.Device.create Gpusim.Arch.a100 in
+  let ctx = Dlfw.Ctx.create device in
+  let m = Dlfw.Gpt2.build ~batch:1 ~seq:64 ~layers:2 ~dim:64 ~heads:4 ctx in
+  let opt = Dlfw.Optimizer.adam () in
+  check_int "no state before first step" 0 (Dlfw.Optimizer.state_bytes opt);
+  Dlfw.Model.train_iter_opt ctx m ~optimizer:opt;
+  let param_bytes = Dlfw.Model.param_bytes m in
+  check_int "two moments per parameter" (2 * param_bytes) (Dlfw.Optimizer.state_bytes opt);
+  (* Second step reuses the state, no growth. *)
+  Dlfw.Model.train_iter_opt ctx m ~optimizer:opt;
+  check_int "state stable across steps" (2 * param_bytes) (Dlfw.Optimizer.state_bytes opt);
+  let live_with_state = Dlfw.Allocator.allocated_bytes ctx.Dlfw.Ctx.pool in
+  Dlfw.Optimizer.destroy opt;
+  check_bool "destroy releases the moments" true
+    (Dlfw.Allocator.allocated_bytes ctx.Dlfw.Ctx.pool
+    <= live_with_state - (2 * param_bytes) + 1024);
+  Dlfw.Ctx.destroy ctx
+
+let test_adam_vs_sgd_memory () =
+  let _, live_sgd, _ = peak_and_kernels ~checkpoint:false () in
+  let _, live_adam, _ =
+    peak_and_kernels ~checkpoint:false ~optimizer:(Dlfw.Optimizer.adam ()) ()
+  in
+  check_bool "adam holds more persistent memory" true (live_adam > live_sgd)
+
+let test_optimizer_names () =
+  Alcotest.(check string) "sgd" "sgd" (Dlfw.Optimizer.name (Dlfw.Optimizer.sgd ()));
+  Alcotest.(check string) "adam" "adam" (Dlfw.Optimizer.name (Dlfw.Optimizer.adam ()))
+
+let test_adam_kernel_visible_to_pasta () =
+  let device = Gpusim.Device.create Gpusim.Arch.a100 in
+  let ctx = Dlfw.Ctx.create device in
+  let kf = Pasta_tools.Kernel_freq.create () in
+  let (), _ =
+    Pasta.Session.run ~tool:(Pasta_tools.Kernel_freq.tool kf) device (fun () ->
+        let m = Dlfw.Gpt2.build ~batch:1 ~seq:64 ~layers:2 ~dim:64 ~heads:4 ctx in
+        Dlfw.Model.train_iter_opt ctx m ~optimizer:(Dlfw.Optimizer.adam ()))
+  in
+  check_int "one fused adam kernel" 1
+    (Pasta_util.Histogram.count
+       (Pasta_tools.Kernel_freq.counts kf)
+       "at::native::multi_tensor_apply_kernel<adam>");
+  Dlfw.Ctx.destroy ctx
+
+let suite =
+  [
+    ("checkpoint reduces memory", `Quick, test_checkpoint_reduces_memory);
+    ("checkpoint same grads", `Quick, test_checkpoint_same_grads);
+    ("checkpoint inference passthrough", `Quick, test_checkpoint_inference_passthrough);
+    ("adam allocates state", `Quick, test_adam_allocates_state);
+    ("adam vs sgd memory", `Quick, test_adam_vs_sgd_memory);
+    ("optimizer names", `Quick, test_optimizer_names);
+    ("adam kernel visible to pasta", `Quick, test_adam_kernel_visible_to_pasta);
+  ]

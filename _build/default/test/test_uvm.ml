@@ -1,0 +1,191 @@
+(* UVM subsystem tests: residency, faulting, eviction, prefetch, pinning. *)
+
+open Gpusim
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let qtest = QCheck_alcotest.to_alcotest
+
+let page = Arch.a100.Arch.uvm_page_bytes
+
+let mk ?(capacity_pages = 8) () =
+  let clock = Clock.create () in
+  let u = Uvm.create Arch.a100 clock ~capacity:(capacity_pages * page) in
+  (u, clock)
+
+let test_register () =
+  let u, _ = mk () in
+  Uvm.register_range u ~base:0 ~bytes:(3 * page);
+  check_bool "inside" true (Uvm.is_managed u (page + 1));
+  check_bool "last byte" true (Uvm.is_managed u ((3 * page) - 1));
+  check_bool "outside" false (Uvm.is_managed u (3 * page));
+  Alcotest.check_raises "overlap" (Invalid_argument "Uvm.register_range: overlapping range")
+    (fun () -> Uvm.register_range u ~base:page ~bytes:page);
+  Uvm.unregister_range u ~base:0;
+  check_bool "gone" false (Uvm.is_managed u 0);
+  Alcotest.check_raises "unknown" (Invalid_argument "Uvm.unregister_range: unknown base")
+    (fun () -> Uvm.unregister_range u ~base:42)
+
+let test_touch_faults_once () =
+  let u, clock = mk () in
+  Uvm.register_range u ~base:0 ~bytes:(4 * page);
+  let faulted = ref 0 in
+  Uvm.touch u ~base:0 ~bytes:(2 * page) ~faulted_pages:faulted;
+  check_int "cold faults" 2 !faulted;
+  check_int "resident" 2 (Uvm.resident_pages u);
+  check_bool "clock advanced" true (Clock.now_us clock > 0.0);
+  let t = Clock.now_us clock in
+  Uvm.touch u ~base:0 ~bytes:(2 * page) ~faulted_pages:faulted;
+  check_int "warm: no new faults" 2 !faulted;
+  Alcotest.(check (float 0.0)) "warm touch is free" t (Clock.now_us clock);
+  Uvm.check_invariants u
+
+let test_unmanaged_touch_ignored () =
+  let u, _ = mk () in
+  let faulted = ref 0 in
+  Uvm.touch u ~base:0x999999 ~bytes:page ~faulted_pages:faulted;
+  check_int "ordinary memory never faults" 0 !faulted
+
+let test_eviction_under_pressure () =
+  let u, _ = mk ~capacity_pages:2 () in
+  Uvm.register_range u ~base:0 ~bytes:(4 * page);
+  let f = ref 0 in
+  Uvm.touch u ~base:0 ~bytes:(4 * page) ~faulted_pages:f;
+  check_int "all pages faulted" 4 !f;
+  check_bool "capacity respected" true (Uvm.resident_pages u <= 2);
+  check_bool "evictions happened" true ((Uvm.stats u).Uvm.evicted_pages >= 2);
+  Uvm.check_invariants u
+
+let test_refault_counting () =
+  let u, _ = mk ~capacity_pages:1 () in
+  Uvm.register_range u ~base:0 ~bytes:(2 * page);
+  let f = ref 0 in
+  Uvm.touch u ~base:0 ~bytes:page ~faulted_pages:f;
+  Uvm.touch u ~base:page ~bytes:page ~faulted_pages:f (* evicts page 0 *);
+  Uvm.touch u ~base:0 ~bytes:page ~faulted_pages:f (* refault *);
+  check_int "refaults counted" 1 (Uvm.stats u).Uvm.refaults
+
+let test_prefetch_avoids_faults () =
+  let u, clock = mk () in
+  Uvm.register_range u ~base:0 ~bytes:(4 * page);
+  Uvm.prefetch u ~base:0 ~bytes:(4 * page);
+  check_int "resident after prefetch" 4 (Uvm.resident_pages u);
+  check_int "prefetched bytes" (4 * page) (Uvm.stats u).Uvm.prefetched_bytes;
+  let t = Clock.now_us clock in
+  let f = ref 0 in
+  Uvm.touch u ~base:0 ~bytes:(4 * page) ~faulted_pages:f;
+  check_int "no faults after prefetch" 0 !f;
+  Alcotest.(check (float 0.0)) "no fault time" t (Clock.now_us clock);
+  (* Prefetching again moves nothing new. *)
+  Uvm.prefetch u ~base:0 ~bytes:(4 * page);
+  check_int "idempotent bytes" (4 * page) (Uvm.stats u).Uvm.prefetched_bytes
+
+let test_prefetch_cheaper_than_faulting () =
+  let demand, clock_d = mk () in
+  Uvm.register_range demand ~base:0 ~bytes:(8 * page);
+  let f = ref 0 in
+  Uvm.touch demand ~base:0 ~bytes:(8 * page) ~faulted_pages:f;
+  let fault_time = Clock.now_us clock_d in
+  let pre, clock_p = mk () in
+  Uvm.register_range pre ~base:0 ~bytes:(8 * page);
+  Uvm.prefetch pre ~base:0 ~bytes:(8 * page);
+  let prefetch_time = Clock.now_us clock_p in
+  check_bool "bulk prefetch beats demand faulting" true (prefetch_time < fault_time)
+
+let test_evict_range () =
+  let u, _ = mk () in
+  Uvm.register_range u ~base:0 ~bytes:(4 * page);
+  Uvm.prefetch u ~base:0 ~bytes:(4 * page);
+  Uvm.evict_range u ~base:0 ~bytes:(2 * page);
+  check_int "partially evicted" 2 (Uvm.resident_pages u);
+  Uvm.check_invariants u
+
+let test_pinning () =
+  let u, _ = mk ~capacity_pages:2 () in
+  Uvm.register_range u ~base:0 ~bytes:(4 * page);
+  Uvm.prefetch u ~base:0 ~bytes:page;
+  Uvm.pin u ~base:0 ~bytes:page;
+  let f = ref 0 in
+  (* Touch the other three pages; the pinned one must survive. *)
+  Uvm.touch u ~base:page ~bytes:(3 * page) ~faulted_pages:f;
+  Uvm.evict_range u ~base:0 ~bytes:page;
+  let f2 = ref 0 in
+  Uvm.touch u ~base:0 ~bytes:page ~faulted_pages:f2;
+  check_int "pinned page never left" 0 !f2;
+  Uvm.unpin u ~base:0 ~bytes:page;
+  Uvm.evict_range u ~base:0 ~bytes:page;
+  let f3 = ref 0 in
+  Uvm.touch u ~base:0 ~bytes:page ~faulted_pages:f3;
+  check_int "after unpin it can be evicted" 1 !f3
+
+let test_forced_eviction_when_all_pinned () =
+  let u, _ = mk ~capacity_pages:1 () in
+  Uvm.register_range u ~base:0 ~bytes:(2 * page);
+  Uvm.prefetch u ~base:0 ~bytes:page;
+  Uvm.pin u ~base:0 ~bytes:(2 * page);
+  let f = ref 0 in
+  (* Needs a page but everything resident is pinned: the last-resort scan
+     must still make room rather than deadlock. *)
+  Uvm.touch u ~base:page ~bytes:page ~faulted_pages:f;
+  check_int "still fits capacity" 1 (Uvm.resident_pages u);
+  Uvm.check_invariants u
+
+let test_unregister_releases_residency () =
+  let u, _ = mk () in
+  Uvm.register_range u ~base:0 ~bytes:(4 * page);
+  Uvm.prefetch u ~base:0 ~bytes:(4 * page);
+  Uvm.unregister_range u ~base:0;
+  check_int "residency released" 0 (Uvm.resident_pages u);
+  Uvm.check_invariants u
+
+let test_reset_stats () =
+  let u, _ = mk () in
+  Uvm.register_range u ~base:0 ~bytes:page;
+  let f = ref 0 in
+  Uvm.touch u ~base:0 ~bytes:page ~faulted_pages:f;
+  Uvm.reset_stats u;
+  check_int "faults cleared" 0 (Uvm.stats u).Uvm.faults;
+  check_int "bytes cleared" 0 (Uvm.stats u).Uvm.migrated_bytes
+
+let test_capacity_too_small () =
+  let clock = Clock.create () in
+  Alcotest.check_raises "below one page"
+    (Invalid_argument "Uvm.create: capacity below one page") (fun () ->
+      ignore (Uvm.create Arch.a100 clock ~capacity:100))
+
+let prop_uvm_capacity_invariant =
+  QCheck.Test.make ~name:"uvm never exceeds capacity under random ops" ~count:100
+    QCheck.(list_of_size (Gen.int_range 1 60) (pair (int_range 0 15) (int_range 1 4)))
+    (fun ops ->
+      let u, _ = mk ~capacity_pages:4 () in
+      Uvm.register_range u ~base:0 ~bytes:(16 * page);
+      let f = ref 0 in
+      List.iter
+        (fun (start, len) ->
+          let base = start * page in
+          let bytes = min (len * page) ((16 * page) - base) in
+          if bytes > 0 then
+            if (start + len) mod 3 = 0 then Uvm.prefetch u ~base ~bytes
+            else if (start + len) mod 3 = 1 then Uvm.touch u ~base ~bytes ~faulted_pages:f
+            else Uvm.evict_range u ~base ~bytes)
+        ops;
+      Uvm.check_invariants u;
+      Uvm.resident_pages u <= Uvm.capacity_pages u)
+
+let suite =
+  [
+    ("register/unregister", `Quick, test_register);
+    ("touch faults once", `Quick, test_touch_faults_once);
+    ("unmanaged touch ignored", `Quick, test_unmanaged_touch_ignored);
+    ("eviction under pressure", `Quick, test_eviction_under_pressure);
+    ("refault counting", `Quick, test_refault_counting);
+    ("prefetch avoids faults", `Quick, test_prefetch_avoids_faults);
+    ("prefetch cheaper than faulting", `Quick, test_prefetch_cheaper_than_faulting);
+    ("evict_range", `Quick, test_evict_range);
+    ("pinning", `Quick, test_pinning);
+    ("forced eviction when all pinned", `Quick, test_forced_eviction_when_all_pinned);
+    ("unregister releases residency", `Quick, test_unregister_releases_residency);
+    ("reset stats", `Quick, test_reset_stats);
+    ("capacity too small", `Quick, test_capacity_too_small);
+    qtest prop_uvm_capacity_invariant;
+  ]

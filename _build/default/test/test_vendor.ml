@@ -1,0 +1,322 @@
+(* Vendor profiling substrate tests: Sanitizer, NVBit, ROCProfiler. *)
+
+open Gpusim
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let mk_device ?(arch = Arch.a100) () = Device.create arch
+
+let mk_kernel device ~bytes ~accesses =
+  let a = Device.malloc device bytes in
+  Kernel.make ~name:"vendor_test_kernel" ~grid:(Dim3.make 8) ~block:(Dim3.make 128)
+    ~regions:[ Kernel.region ~base:a.Device_mem.base ~bytes ~accesses () ]
+    ()
+
+(* ---- Sanitizer ---- *)
+
+let test_sanitizer_domains () =
+  let d = mk_device () in
+  let s = Vendor.Sanitizer.attach d in
+  let hits = ref 0 in
+  Vendor.Sanitizer.set_callback s (fun _ -> incr hits);
+  ignore (Device.malloc d 512);
+  check_int "nothing before enable" 0 !hits;
+  Vendor.Sanitizer.enable_domain s Vendor.Sanitizer.Memory;
+  ignore (Device.malloc d 512);
+  check_int "alloc delivered" 1 !hits;
+  Vendor.Sanitizer.disable_domain s Vendor.Sanitizer.Memory;
+  ignore (Device.malloc d 512);
+  check_int "disabled again" 1 !hits;
+  Vendor.Sanitizer.detach s;
+  Vendor.Sanitizer.enable_domain s Vendor.Sanitizer.Memory;
+  ignore (Device.malloc d 512);
+  check_int "detached" 1 !hits
+
+let test_sanitizer_launch_events () =
+  let d = mk_device () in
+  let s = Vendor.Sanitizer.attach d in
+  Vendor.Sanitizer.enable_domain s Vendor.Sanitizer.Launch;
+  let begins = ref 0 and ends = ref 0 in
+  Vendor.Sanitizer.set_callback s (function
+    | Vendor.Sanitizer.Launch_begin _ -> incr begins
+    | Vendor.Sanitizer.Launch_end _ -> incr ends
+    | _ -> ());
+  let k = mk_kernel d ~bytes:4096 ~accesses:100 in
+  ignore (Device.launch d k);
+  check_int "begin" 1 !begins;
+  check_int "end" 1 !ends;
+  check_bool "workload time recorded" true
+    ((Vendor.Sanitizer.phases s).Vendor.Phases.workload_us > 0.0)
+
+let test_sanitizer_device_analysis () =
+  let d = mk_device () in
+  let s = Vendor.Sanitizer.attach d in
+  let regions = ref 0 and completes = ref 0 and order_ok = ref true in
+  Vendor.Sanitizer.patch_module s
+    (Vendor.Sanitizer.Device_analysis
+       {
+         map_bytes = (fun () -> 1024);
+         device_fn =
+           (fun _ _ ->
+             incr regions;
+             if !completes > 0 then order_ok := false);
+         on_kernel_complete = (fun _ _ -> incr completes);
+       });
+  let k = mk_kernel d ~bytes:8192 ~accesses:50000 in
+  ignore (Device.launch d k);
+  check_int "one region" 1 !regions;
+  check_int "one completion" 1 !completes;
+  check_bool "regions before completion" true !order_ok;
+  let p = Vendor.Sanitizer.phases s in
+  check_bool "collect charged" true (p.Vendor.Phases.collect_us > 0.0);
+  check_bool "transfer charged (map both ways)" true (p.Vendor.Phases.transfer_us > 0.0);
+  Alcotest.(check (float 0.0)) "no host analysis in GPU mode" 0.0 p.Vendor.Phases.analysis_us
+
+let test_sanitizer_host_analysis () =
+  let d = mk_device () in
+  Device.set_sample_cap d 8;
+  let s = Vendor.Sanitizer.attach d in
+  let weight = ref 0 in
+  Vendor.Sanitizer.patch_module s
+    (Vendor.Sanitizer.Host_analysis
+       {
+         buffer_records = 1000;
+         on_record = (fun _ a -> weight := !weight + a.Warp.weight);
+         per_record_us = 0.1;
+       });
+  let k = mk_kernel d ~bytes:8192 ~accesses:12345 in
+  ignore (Device.launch d k);
+  check_int "weights cover all true records" 12345 !weight;
+  let p = Vendor.Sanitizer.phases s in
+  check_bool "analysis charged" true (p.Vendor.Phases.analysis_us > 0.0);
+  check_bool "transfer charged" true (p.Vendor.Phases.transfer_us > 0.0);
+  (* Host analysis must cost per true record. *)
+  Alcotest.(check (float 1.0)) "per-record accounting" 1234.5 p.Vendor.Phases.analysis_us
+
+let test_sanitizer_buffer_stall () =
+  (* A smaller device buffer forces more flushes but identical totals. *)
+  let run buffer_records =
+    let d = mk_device () in
+    Device.set_sample_cap d 64;
+    let s = Vendor.Sanitizer.attach d in
+    let flushed_batches = ref 0 in
+    let last = ref (-1) in
+    Vendor.Sanitizer.patch_module s
+      (Vendor.Sanitizer.Host_analysis
+         {
+           buffer_records;
+           on_record =
+             (fun info _ ->
+               if info.Device.grid_id <> !last then begin
+                 incr flushed_batches;
+                 last := info.Device.grid_id
+               end);
+           per_record_us = 0.1;
+         });
+    let k = mk_kernel d ~bytes:65536 ~accesses:100000 in
+    ignore (Device.launch d k);
+    (Vendor.Sanitizer.phases s).Vendor.Phases.analysis_us
+  in
+  Alcotest.(check (float 1.0)) "total analysis independent of buffer size"
+    (run 100) (run 100000)
+
+let test_sanitizer_invalid_buffer () =
+  let d = mk_device () in
+  let s = Vendor.Sanitizer.attach d in
+  Alcotest.check_raises "zero buffer"
+    (Invalid_argument "Sanitizer.patch_module: buffer_records must be positive")
+    (fun () ->
+      Vendor.Sanitizer.patch_module s
+        (Vendor.Sanitizer.Host_analysis
+           { buffer_records = 0; on_record = (fun _ _ -> ()); per_record_us = 0.1 }))
+
+(* ---- NVBit ---- *)
+
+let test_nvbit_parse_cache () =
+  let d = mk_device () in
+  let nv = Vendor.Nvbit.attach d in
+  let k = mk_kernel d ~bytes:4096 ~accesses:10 in
+  let i1 = Vendor.Nvbit.get_instrs nv k in
+  let cost_after_first = (Vendor.Nvbit.phases nv).Vendor.Phases.collect_us in
+  let i2 = Vendor.Nvbit.get_instrs nv k in
+  check_int "cached same listing" (List.length i1) (List.length i2);
+  Alcotest.(check (float 0.0)) "second dump free (cached)" cost_after_first
+    (Vendor.Nvbit.phases nv).Vendor.Phases.collect_us;
+  check_int "one function parsed" 1 (Vendor.Nvbit.functions_parsed nv)
+
+let test_nvbit_instrument () =
+  let d = mk_device () in
+  Device.set_sample_cap d 16;
+  let nv = Vendor.Nvbit.attach d in
+  let weight = ref 0 in
+  Vendor.Nvbit.instrument_memory nv
+    ~on_record:(fun _ a -> weight := !weight + a.Warp.weight)
+    ();
+  let k = mk_kernel d ~bytes:8192 ~accesses:777 in
+  ignore (Device.launch d k);
+  check_int "records delivered" 777 !weight;
+  check_int "kernel parsed on first launch" 1 (Vendor.Nvbit.functions_parsed nv);
+  ignore (Device.launch d k);
+  check_int "second launch reuses parse" 1 (Vendor.Nvbit.functions_parsed nv)
+
+let test_nvbit_costlier_than_sanitizer () =
+  (* Same workload, both CPU-analysis models: NVBit must cost more
+     (heavier trampoline, SASS parse, per-flush channel overhead). *)
+  let run attach_and_patch =
+    let d = mk_device () in
+    Device.set_sample_cap d 16;
+    attach_and_patch d;
+    let k = mk_kernel d ~bytes:65536 ~accesses:1_000_000 in
+    ignore (Device.launch d k);
+    Device.now_us d
+  in
+  let t_cs =
+    run (fun d ->
+        let s = Vendor.Sanitizer.attach d in
+        Vendor.Sanitizer.patch_module s
+          (Vendor.Sanitizer.Host_analysis
+             {
+               buffer_records = Vendor.Sanitizer.default_buffer_records;
+               on_record = (fun _ _ -> ());
+               per_record_us = Costmodel.sanitizer_host_per_record_us;
+             }))
+  in
+  let t_nvbit =
+    run (fun d ->
+        let nv = Vendor.Nvbit.attach d in
+        Vendor.Nvbit.instrument_memory nv ~on_record:(fun _ _ -> ()) ())
+  in
+  check_bool "nvbit slower than sanitizer" true (t_nvbit > t_cs)
+
+let test_nvbit_opcode_counts () =
+  let d = mk_device () in
+  let nv = Vendor.Nvbit.attach d in
+  let seen = ref [] in
+  Vendor.Nvbit.instrument_opcodes nv
+    ~opcodes:[ Instr.Ld_global; Instr.Exit ]
+    ~on_counts:(fun _ counts -> seen := counts)
+    ();
+  let k = mk_kernel d ~bytes:4096 ~accesses:100 in
+  ignore (Device.launch d k);
+  let threads = Kernel.threads k in
+  let get o = Option.value ~default:(-1) (List.assoc_opt o !seen) in
+  (* The test kernel has one read region -> one LDG, and every listing ends
+     in one EXIT; dynamic count = static x threads. *)
+  check_int "ldg dynamic count" (1 * threads) (get Instr.Ld_global);
+  check_int "exit dynamic count" (1 * threads) (get Instr.Exit);
+  check_bool "collect charged" true
+    ((Vendor.Nvbit.phases nv).Vendor.Phases.collect_us > 0.0)
+
+let test_nvbit_events () =
+  let d = mk_device () in
+  let nv = Vendor.Nvbit.attach d in
+  let events = ref [] in
+  Vendor.Nvbit.at_cuda_event nv (fun ev ->
+      let tag =
+        match ev with
+        | Vendor.Nvbit.Ev_launch_begin _ -> "lb"
+        | Ev_launch_end _ -> "le"
+        | Ev_memcpy _ -> "cp"
+        | Ev_malloc _ -> "ma"
+        | Ev_free _ -> "fr"
+        | Ev_sync -> "sy"
+      in
+      events := tag :: !events);
+  let a = Device.malloc d 4096 in
+  Device.memcpy d ~dst:a.Device_mem.base ~src:0 ~bytes:4096 ~kind:Device.Host_to_device ();
+  Device.free d a.Device_mem.base;
+  Device.synchronize d;
+  Alcotest.(check (list string)) "event kinds" [ "ma"; "cp"; "fr"; "sy" ] (List.rev !events)
+
+(* ---- ROCProfiler ---- *)
+
+let test_rocprofiler_vendor_check () =
+  let d = mk_device ~arch:Arch.a100 () in
+  Alcotest.check_raises "nvidia rejected"
+    (Invalid_argument "Rocprofiler.attach: not an AMD device") (fun () ->
+      ignore (Vendor.Rocprofiler.attach d))
+
+let test_rocprofiler_negative_free () =
+  let d = mk_device ~arch:Arch.mi300x () in
+  let r = Vendor.Rocprofiler.attach d in
+  let deltas = ref [] in
+  Vendor.Rocprofiler.configure_callback r (function
+    | Vendor.Rocprofiler.Memory_allocate { size_delta; _ } ->
+        deltas := size_delta :: !deltas
+    | _ -> ());
+  let a = Device.malloc d 1000 in
+  Device.free d a.Device_mem.base;
+  (match List.rev !deltas with
+  | [ alloc; free ] ->
+      check_int "allocation positive" 1024 alloc;
+      check_int "release negative" (-1024) free
+  | _ -> Alcotest.fail "expected two allocate records")
+
+let test_rocprofiler_dispatch () =
+  let d = mk_device ~arch:Arch.mi300x () in
+  let r = Vendor.Rocprofiler.attach d in
+  let phases_seen = ref [] in
+  Vendor.Rocprofiler.configure_callback r (function
+    | Vendor.Rocprofiler.Kernel_dispatch { phase; stats; agent; _ } ->
+        phases_seen := (phase, stats <> None, agent) :: !phases_seen
+    | _ -> ());
+  let k = mk_kernel d ~bytes:4096 ~accesses:10 in
+  ignore (Device.launch d k);
+  (match List.rev !phases_seen with
+  | [ (`Begin, false, a1); (`End, true, a2) ] ->
+      check_int "agent is device id" (Device.id d) a1;
+      check_int "same agent" a1 a2
+  | _ -> Alcotest.fail "expected begin/end dispatch records")
+
+let test_rocprofiler_patch () =
+  let d = mk_device ~arch:Arch.mi300x () in
+  let r = Vendor.Rocprofiler.attach d in
+  let regions = ref 0 in
+  Vendor.Rocprofiler.patch_kernels r
+    ~map_bytes:(fun () -> 512)
+    ~device_fn:(fun _ _ -> incr regions)
+    ~on_kernel_complete:(fun _ _ -> ());
+  let k = mk_kernel d ~bytes:4096 ~accesses:10 in
+  ignore (Device.launch d k);
+  check_int "region delivered" 1 !regions
+
+(* ---- Phases ---- *)
+
+let test_phases_arith () =
+  let p = Vendor.Phases.create () in
+  p.Vendor.Phases.workload_us <- 10.0;
+  p.Vendor.Phases.collect_us <- 20.0;
+  p.Vendor.Phases.transfer_us <- 30.0;
+  p.Vendor.Phases.analysis_us <- 40.0;
+  Alcotest.(check (float 1e-9)) "total" 100.0 (Vendor.Phases.total_us p);
+  Alcotest.(check (float 1e-9)) "overhead" 90.0 (Vendor.Phases.overhead_us p);
+  let w, c, t, a = Vendor.Phases.fractions p in
+  Alcotest.(check (float 1e-9)) "w" 0.1 w;
+  Alcotest.(check (float 1e-9)) "c" 0.2 c;
+  Alcotest.(check (float 1e-9)) "t" 0.3 t;
+  Alcotest.(check (float 1e-9)) "a" 0.4 a;
+  let q = Vendor.Phases.add p p in
+  Alcotest.(check (float 1e-9)) "add" 200.0 (Vendor.Phases.total_us q);
+  Vendor.Phases.reset p;
+  Alcotest.(check (float 0.0)) "reset" 0.0 (Vendor.Phases.total_us p)
+
+let suite =
+  [
+    ("sanitizer domains", `Quick, test_sanitizer_domains);
+    ("sanitizer launch events", `Quick, test_sanitizer_launch_events);
+    ("sanitizer device analysis", `Quick, test_sanitizer_device_analysis);
+    ("sanitizer host analysis", `Quick, test_sanitizer_host_analysis);
+    ("sanitizer buffer-size invariance", `Quick, test_sanitizer_buffer_stall);
+    ("sanitizer invalid buffer", `Quick, test_sanitizer_invalid_buffer);
+    ("nvbit parse cache", `Quick, test_nvbit_parse_cache);
+    ("nvbit instrument", `Quick, test_nvbit_instrument);
+    ("nvbit costlier than sanitizer", `Quick, test_nvbit_costlier_than_sanitizer);
+    ("nvbit opcode counts", `Quick, test_nvbit_opcode_counts);
+    ("nvbit events", `Quick, test_nvbit_events);
+    ("rocprofiler vendor check", `Quick, test_rocprofiler_vendor_check);
+    ("rocprofiler negative free", `Quick, test_rocprofiler_negative_free);
+    ("rocprofiler dispatch", `Quick, test_rocprofiler_dispatch);
+    ("rocprofiler patch", `Quick, test_rocprofiler_patch);
+    ("phases arithmetic", `Quick, test_phases_arith);
+  ]
