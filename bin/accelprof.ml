@@ -78,6 +78,30 @@ let end_grid_arg =
 let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print session statistics.")
 
+let health_arg =
+  Arg.(
+    value & flag
+    & info [ "health" ]
+        ~doc:
+          "Print the pipeline health report: tool failures and quarantines, \
+           bounded-buffer drop counts, watchdog trips and injected-fault totals.")
+
+let inject_faults_arg =
+  Arg.(
+    value & flag
+    & info [ "inject-faults" ]
+        ~doc:
+          "Enable deterministic fault injection (corrupted records, \
+           dropped/duplicated events, ECC errors, stuck kernels), seeded from \
+           $(b,--fault-seed) / \\$ACCEL_PROF_FAULT_SEED.")
+
+let fault_seed_arg =
+  Arg.(
+    value
+    & opt (some int64) None
+    & info [ "fault-seed" ] ~docv:"SEED"
+        ~doc:"Fault-injection seed (ACCEL_PROF_FAULT_SEED); same seed, same faults.")
+
 let trace_arg =
   Arg.(
     value
@@ -92,9 +116,13 @@ let model_arg =
     & pos 0 (some string) None
     & info [] ~docv:"MODEL" ~doc:"Workload: AN, RN-18, RN-34, BERT, GPT-2 or Whisper.")
 
-let run_profile tool_name gpu mode iters sample_rate start_grid end_grid verbose trace
-    model =
+let run_profile tool_name gpu mode iters sample_rate start_grid end_grid verbose health
+    inject_faults fault_seed trace model =
   Pasta_tools.Tools.register_all ();
+  if inject_faults then Pasta.Config.set "ACCEL_PROF_INJECT_FAULTS" "1";
+  Option.iter
+    (fun s -> Pasta.Config.set "ACCEL_PROF_FAULT_SEED" (Int64.to_string s))
+    fault_seed;
   match model with
   | None -> `Error (true, "a MODEL argument is required (try list-tools or --help)")
   | Some abbr when not (List.mem abbr Dlfw.Runner.all_abbrs) ->
@@ -155,6 +183,9 @@ let run_profile tool_name gpu mode iters sample_rate start_grid end_grid verbose
               result.Pasta.Session.events_dispatched
               (result.Pasta.Session.elapsed_us /. 1000.0)
               Vendor.Phases.pp result.Pasta.Session.phases;
+          if health || inject_faults then
+            Format.printf "[accelprof] %a@." Pasta.Session.pp_health
+              result.Pasta.Session.health;
           result.Pasta.Session.report Format.std_formatter;
           Dlfw.Ctx.destroy ctx;
           `Ok ())
@@ -164,7 +195,8 @@ let profile_cmd =
     Term.(
       ret
         (const run_profile $ tool_arg $ gpu_arg $ mode_arg $ iters_arg $ sample_arg
-       $ start_grid_arg $ end_grid_arg $ verbose_arg $ trace_arg $ model_arg))
+       $ start_grid_arg $ end_grid_arg $ verbose_arg $ health_arg
+       $ inject_faults_arg $ fault_seed_arg $ trace_arg $ model_arg))
   in
   let info =
     Cmd.info "accelprof" ~version:"1.0.0"

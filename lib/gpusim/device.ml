@@ -47,6 +47,7 @@ type t = {
   mutable instrument : instrument option;
   mutable grid_counter : int;
   mutable sample_cap : int;
+  mutable faults : Faults.t option;
   stream_busy : (int, float) Hashtbl.t; (* stream -> absolute completion us *)
 }
 
@@ -64,6 +65,7 @@ let create ?(id = 0) ?uvm_capacity ?(seed = 0x9A57AL) arch =
     instrument = None;
     grid_counter = 0;
     sample_cap = 128;
+    faults = None;
     stream_busy = Hashtbl.create 4;
   }
 
@@ -88,7 +90,29 @@ let remove_probe t name =
 let set_instrument t i = t.instrument <- Some i
 let clear_instrument t = t.instrument <- None
 
-let emit t ev = List.iter (fun p -> p.on_event ev) t.probes
+let set_faults t f = t.faults <- Some f
+let clear_faults t = t.faults <- None
+let faults t = t.faults
+
+(* API enter/exit events pair with phase accounting in the vendor
+   substrates, and alloc/free events keep the object registry truthful, so
+   fault injection never touches those; everything else on the hook bus is
+   fair game for loss and duplication. *)
+let droppable = function
+  | Memcpy _ | Memset _ | Launch_begin _ | Launch_end _ | Sync _ -> true
+  | Api _ | Malloc _ | Free _ -> false
+
+let emit t ev =
+  let deliver () = List.iter (fun p -> p.on_event ev) t.probes in
+  match t.faults with
+  | Some f when droppable ev -> (
+      match Faults.event_fate f with
+      | `Deliver -> deliver ()
+      | `Drop -> ()
+      | `Duplicate ->
+          deliver ();
+          deliver ())
+  | _ -> deliver ()
 
 let api_name t suffix =
   match t.arch.Arch.vendor with
@@ -169,7 +193,15 @@ let launch t ?(stream = 0) kernel =
     (fun (r : Kernel.region) ->
       Uvm.touch t.uvm ~base:r.Kernel.base ~bytes:r.Kernel.bytes ~faulted_pages:faulted)
     kernel.Kernel.regions;
+  (match t.faults with
+  | Some f -> ignore (Faults.ecc_check f t.mem : int option)
+  | None -> ());
   let duration = Costmodel.kernel_time_us t.arch kernel in
+  let duration =
+    match t.faults with
+    | Some f -> Faults.kernel_duration_us f duration
+    | None -> duration
+  in
   Clock.advance_us t.clock duration;
   let true_accesses =
     match t.instrument with
@@ -179,6 +211,11 @@ let launch t ?(stream = 0) kernel =
         if i.materialize then
           Warp.generate ~rng:t.rng ~warp_size:t.arch.Arch.warp_size
             ~max_records_per_region:t.sample_cap kernel ~f:(fun a ->
+              let a =
+                match t.faults with
+                | Some f -> Faults.corrupt_access f a
+                | None -> a
+              in
               i.on_access info a)
         else Kernel.total_accesses kernel
   in
@@ -231,7 +268,15 @@ let launch_async t ~stream kernel =
       (fun (r : Kernel.region) ->
         Uvm.touch t.uvm ~base:r.Kernel.base ~bytes:r.Kernel.bytes ~faulted_pages:faulted)
       kernel.Kernel.regions;
+    (match t.faults with
+    | Some f -> ignore (Faults.ecc_check f t.mem : int option)
+    | None -> ());
     let duration = Costmodel.kernel_time_us t.arch kernel in
+    let duration =
+      match t.faults with
+      | Some f -> Faults.kernel_duration_us f duration
+      | None -> duration
+    in
     enqueue t ~stream ~submit_us:t.arch.Arch.launch_overhead_us
       ~duration:(duration -. t.arch.Arch.launch_overhead_us);
     let stats =

@@ -84,6 +84,17 @@ val remove_probe : t -> string -> unit
 val set_instrument : t -> instrument -> unit
 val clear_instrument : t -> unit
 
+(** {2 Fault injection}
+
+    With an injector installed ({!Faults}), the device deterministically
+    drops/duplicates probe events (except API and alloc/free events),
+    corrupts materialized access records, turns launches into stuck
+    kernels, and develops ECC-style errors in live allocations. *)
+
+val set_faults : t -> Faults.t -> unit
+val clear_faults : t -> unit
+val faults : t -> Faults.t option
+
 (** {2 Runtime surface} *)
 
 val malloc : t -> ?tag:string -> int -> Device_mem.alloc

@@ -1,0 +1,111 @@
+type rates = {
+  corrupt_access : float;
+  drop_event : float;
+  duplicate_event : float;
+  ecc_per_kernel : float;
+  stuck_kernel : float;
+}
+
+let default_rates =
+  {
+    corrupt_access = 0.02;
+    drop_event = 0.02;
+    duplicate_event = 0.01;
+    ecc_per_kernel = 0.05;
+    stuck_kernel = 0.01;
+  }
+
+let stuck_multiplier = 10_000.0
+
+type stats = {
+  mutable corrupted_accesses : int;
+  mutable dropped_events : int;
+  mutable duplicated_events : int;
+  mutable ecc_errors : int;
+  mutable ecc_addrs : int list;
+  mutable stuck_kernels : int;
+}
+
+type t = {
+  seed : int64;
+  rates : rates;
+  rng : Pasta_util.Det_rng.t;
+  stats : stats;
+}
+
+let create ?(rates = default_rates) ~seed () =
+  {
+    seed;
+    rates;
+    rng = Pasta_util.Det_rng.create seed;
+    stats =
+      {
+        corrupted_accesses = 0;
+        dropped_events = 0;
+        duplicated_events = 0;
+        ecc_errors = 0;
+        ecc_addrs = [];
+        stuck_kernels = 0;
+      };
+  }
+
+let seed t = t.seed
+let rates t = t.rates
+let stats t = t.stats
+
+let event_fate t =
+  (* One draw per decision keeps the stream aligned across runs whatever
+     the outcome. *)
+  let u = Pasta_util.Det_rng.float t.rng 1.0 in
+  if u < t.rates.drop_event then begin
+    t.stats.dropped_events <- t.stats.dropped_events + 1;
+    `Drop
+  end
+  else if u < t.rates.drop_event +. t.rates.duplicate_event then begin
+    t.stats.duplicated_events <- t.stats.duplicated_events + 1;
+    `Duplicate
+  end
+  else `Deliver
+
+let corrupt_access t (a : Warp.access) =
+  if not (Pasta_util.Det_rng.prob t.rng t.rates.corrupt_access) then a
+  else begin
+    t.stats.corrupted_accesses <- t.stats.corrupted_accesses + 1;
+    match Pasta_util.Det_rng.int t.rng 3 with
+    | 0 ->
+        (* Bit flip in the address: the record now points nowhere sane. *)
+        let bit = Pasta_util.Det_rng.int t.rng 40 in
+        { a with Warp.addr = a.Warp.addr lxor (1 lsl bit) }
+    | 1 ->
+        (* Garbage transfer size. *)
+        { a with Warp.size = 1 lsl Pasta_util.Det_rng.int t.rng 12 }
+    | _ ->
+        (* Load/store kind inverted. *)
+        { a with Warp.write = not a.Warp.write }
+  end
+
+let kernel_duration_us t duration =
+  if Pasta_util.Det_rng.prob t.rng t.rates.stuck_kernel then begin
+    t.stats.stuck_kernels <- t.stats.stuck_kernels + 1;
+    duration *. stuck_multiplier
+  end
+  else duration
+
+let ecc_check t mem =
+  if not (Pasta_util.Det_rng.prob t.rng t.rates.ecc_per_kernel) then None
+  else
+    match Device_mem.live mem with
+    | [] -> None
+    | allocs ->
+        let a = List.nth allocs (Pasta_util.Det_rng.int t.rng (List.length allocs)) in
+        let addr = a.Device_mem.base + Pasta_util.Det_rng.int t.rng a.Device_mem.bytes in
+        t.stats.ecc_errors <- t.stats.ecc_errors + 1;
+        t.stats.ecc_addrs <- addr :: t.stats.ecc_addrs;
+        Some addr
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "corrupted accesses %d, dropped events %d, duplicated events %d, ECC errors %d, \
+     stuck kernels %d"
+    s.corrupted_accesses s.dropped_events s.duplicated_events s.ecc_errors
+    s.stuck_kernels

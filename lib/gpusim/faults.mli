@@ -1,0 +1,60 @@
+(** Deterministic fault injection for the simulated device.
+
+    A production profiler must keep working when the machine under it
+    misbehaves: trace records arrive corrupted, events get lost or
+    delivered twice, memory develops ECC errors, kernels hang.  This
+    module injects exactly those failures into the device's profiling
+    hook bus, driven entirely by a {!Pasta_util.Det_rng} stream so that a
+    run with a fixed seed reproduces the same faults bit-for-bit.
+
+    Install an injector with {!Device.set_faults}; the device then routes
+    every decision point (event emission, access materialization, kernel
+    timing, per-launch memory checks) through it. *)
+
+type rates = {
+  corrupt_access : float;  (** P(a materialized access record is corrupted) *)
+  drop_event : float;  (** P(a droppable probe event is lost) *)
+  duplicate_event : float;  (** P(a droppable probe event is delivered twice) *)
+  ecc_per_kernel : float;  (** P(a launch flips a bit in a live allocation) *)
+  stuck_kernel : float;  (** P(a launch hangs for [stuck_multiplier]x) *)
+}
+
+val default_rates : rates
+(** Noticeable but non-catastrophic: a few percent per category. *)
+
+val stuck_multiplier : float
+(** Duration multiplier applied to a stuck kernel (10000x), chosen to push
+    any realistic kernel past the session watchdog. *)
+
+type stats = {
+  mutable corrupted_accesses : int;
+  mutable dropped_events : int;
+  mutable duplicated_events : int;
+  mutable ecc_errors : int;
+  mutable ecc_addrs : int list;  (** addresses hit, most recent first *)
+  mutable stuck_kernels : int;
+}
+
+type t
+
+val create : ?rates:rates -> seed:int64 -> unit -> t
+val seed : t -> int64
+val rates : t -> rates
+val stats : t -> stats
+
+(** {2 Decision points, called by {!Device}} *)
+
+val event_fate : t -> [ `Deliver | `Drop | `Duplicate ]
+(** Fate of one droppable probe event. *)
+
+val corrupt_access : t -> Warp.access -> Warp.access
+(** Possibly perturb the record's address/size/kind, counting it. *)
+
+val kernel_duration_us : t -> float -> float
+(** Possibly turn the launch into a stuck kernel. *)
+
+val ecc_check : t -> Device_mem.t -> int option
+(** Possibly pick an address inside a live allocation for an ECC-style
+    single-bit error; [None] when no error fires this launch. *)
+
+val pp_stats : Format.formatter -> stats -> unit

@@ -15,3 +15,40 @@ let tool_name () = get "PASTA_TOOL"
 let start_grid_id () = get_int "START_GRID_ID"
 let end_grid_id () = get_int "END_GRID_ID"
 let sample_rate () = get_int "ACCEL_PROF_ENV_SAMPLE_RATE"
+
+(* --- Robustness / supervision knobs --- *)
+
+let guard_threshold () =
+  match get_int "ACCEL_PROF_GUARD_THRESHOLD" with
+  | Some n when n > 0 -> n
+  | _ -> 10
+
+let guard_cooldown_kernels () =
+  match get_int "ACCEL_PROF_GUARD_COOLDOWN_KERNELS" with
+  | Some n when n > 0 -> n
+  | _ -> 25
+
+let buffer_capacity () =
+  match get_int "ACCEL_PROF_BUFFER_CAP" with
+  | Some n when n > 0 -> n
+  | _ -> 4096
+
+let overflow_policy () =
+  match Option.bind (get "ACCEL_PROF_OVERFLOW_POLICY") Pasta_util.Ring_buffer.overflow_of_string with
+  | Some p -> p
+  | None -> Pasta_util.Ring_buffer.Block
+
+let watchdog_us () =
+  match Option.bind (get "ACCEL_PROF_WATCHDOG_US") float_of_string_opt with
+  | Some v when v > 0.0 -> v
+  | _ -> 1_000_000.0
+
+let inject_faults () =
+  match get "ACCEL_PROF_INJECT_FAULTS" with
+  | Some ("1" | "true" | "yes" | "on") -> true
+  | _ -> false
+
+let fault_seed () =
+  match Option.bind (get "ACCEL_PROF_FAULT_SEED") Int64.of_string_opt with
+  | Some s -> s
+  | None -> 0x5EEDL

@@ -18,3 +18,34 @@ val tool_name : unit -> string option
 val start_grid_id : unit -> int option
 val end_grid_id : unit -> int option
 val sample_rate : unit -> int option
+
+(** {2 Robustness knobs}
+
+    These return a usable default when the variable is unset or invalid,
+    because the supervision layer must never fail to configure itself. *)
+
+val guard_threshold : unit -> int
+(** [ACCEL_PROF_GUARD_THRESHOLD]: tool-callback failures tolerated before
+    quarantine (default 10). *)
+
+val guard_cooldown_kernels : unit -> int
+(** [ACCEL_PROF_GUARD_COOLDOWN_KERNELS]: kernels a quarantined tool sits
+    out before a half-open probe (default 25). *)
+
+val buffer_capacity : unit -> int
+(** [ACCEL_PROF_BUFFER_CAP]: bounded record-buffer capacity (default 4096). *)
+
+val overflow_policy : unit -> Pasta_util.Ring_buffer.overflow
+(** [ACCEL_PROF_OVERFLOW_POLICY]: drop-oldest | drop-newest | block
+    (default block, which is lossless). *)
+
+val watchdog_us : unit -> float
+(** [ACCEL_PROF_WATCHDOG_US]: kernel duration above which the session
+    watchdog flags a stuck kernel (default 1e6 us). *)
+
+val inject_faults : unit -> bool
+(** [ACCEL_PROF_INJECT_FAULTS]: enable deterministic fault injection for
+    sessions that don't install their own injector. *)
+
+val fault_seed : unit -> int64
+(** [ACCEL_PROF_FAULT_SEED]: seed for injected faults (default 0x5EED). *)

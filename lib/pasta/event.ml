@@ -65,10 +65,12 @@ type payload =
   | Shared_access of { kernel : kernel_info; access : mem_access }
   | Kernel_region of { kernel : kernel_info; region : region_summary }
   | Barrier of { kernel : kernel_info; count : int }
+  | Kernel_profile of { kernel : kernel_info; profile : Gpusim.Kernel.profile }
   | Operator of { name : string; phase : api_phase; seq : int }
   | Tensor_alloc of { ptr : int; bytes : int; pool_allocated : int; pool_reserved : int; tag : string }
   | Tensor_free of { ptr : int; bytes : int; pool_allocated : int; pool_reserved : int }
   | Annotation of { label : string; phase : [ `Start | `End ] }
+  | Tool_quarantined of { tool : string; failures : int }
 
 type t = { device : int; time_us : float; payload : payload }
 
@@ -85,13 +87,16 @@ let kind_name = function
   | Shared_access _ -> "shared_access"
   | Kernel_region _ -> "kernel_region"
   | Barrier _ -> "barrier"
+  | Kernel_profile _ -> "kernel_profile"
   | Operator _ -> "operator"
   | Tensor_alloc _ -> "tensor_alloc"
   | Tensor_free _ -> "tensor_free"
   | Annotation _ -> "annotation"
+  | Tool_quarantined _ -> "tool_quarantined"
 
 let is_fine_grained = function
-  | Global_access _ | Shared_access _ | Kernel_region _ | Barrier _ -> true
+  | Global_access _ | Shared_access _ | Kernel_region _ | Barrier _ | Kernel_profile _ ->
+      true
   | _ -> false
 
 let is_dl_framework = function
@@ -134,6 +139,9 @@ let pp ppf { device; time_us; payload } =
       Format.fprintf ppf "region %s 0x%x+%a %d accesses" kernel.name region.base
         Pasta_util.Bytesize.pp region.extent region.accesses
   | Barrier { kernel; count } -> Format.fprintf ppf "barrier %s x%d" kernel.name count
+  | Kernel_profile { kernel; profile } ->
+      Format.fprintf ppf "profile %s branches=%d shared=%d" kernel.name
+        profile.Gpusim.Kernel.branches profile.Gpusim.Kernel.shared_accesses
   | Operator { name; phase; seq } ->
       Format.fprintf ppf "op %s (%a) seq=%d" name pp_phase phase seq
   | Tensor_alloc { ptr; bytes; tag; _ } ->
@@ -144,3 +152,5 @@ let pp ppf { device; time_us; payload } =
       Format.fprintf ppf "pasta.%s(%s)"
         (match phase with `Start -> "start" | `End -> "end")
         label
+  | Tool_quarantined { tool; failures } ->
+      Format.fprintf ppf "tool %s quarantined after %d failures" tool failures

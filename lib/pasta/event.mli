@@ -65,12 +65,17 @@ type payload =
   | Kernel_region of { kernel : kernel_info; region : region_summary }
       (** aggregated by GPU-resident analysis *)
   | Barrier of { kernel : kernel_info; count : int }
+  | Kernel_profile of { kernel : kernel_info; profile : Gpusim.Kernel.profile }
+      (** per-kernel behaviour aggregate from instruction-level patching *)
   (* High-level DL framework events *)
   | Operator of { name : string; phase : api_phase; seq : int }
   | Tensor_alloc of { ptr : int; bytes : int; pool_allocated : int; pool_reserved : int; tag : string }
   | Tensor_free of { ptr : int; bytes : int; pool_allocated : int; pool_reserved : int }
   | Annotation of { label : string; phase : [ `Start | `End ] }
       (** pasta.start / pasta.end user annotations *)
+  | Tool_quarantined of { tool : string; failures : int }
+      (** emitted by the supervision layer when a tool's circuit breaker
+          trips ({!Guard}); the workload keeps running *)
 
 type t = {
   device : int;

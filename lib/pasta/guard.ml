@@ -1,0 +1,160 @@
+type callback =
+  | On_event
+  | On_kernel_begin
+  | On_kernel_end
+  | On_mem_summary
+  | On_access
+  | On_kernel_profile
+  | On_operator
+  | On_tensor
+  | Report
+
+let all_callbacks =
+  [
+    On_event;
+    On_kernel_begin;
+    On_kernel_end;
+    On_mem_summary;
+    On_access;
+    On_kernel_profile;
+    On_operator;
+    On_tensor;
+    Report;
+  ]
+
+let callback_name = function
+  | On_event -> "on_event"
+  | On_kernel_begin -> "on_kernel_begin"
+  | On_kernel_end -> "on_kernel_end"
+  | On_mem_summary -> "on_mem_summary"
+  | On_access -> "on_access"
+  | On_kernel_profile -> "on_kernel_profile"
+  | On_operator -> "on_operator"
+  | On_tensor -> "on_tensor"
+  | Report -> "report"
+
+let callback_index = function
+  | On_event -> 0
+  | On_kernel_begin -> 1
+  | On_kernel_end -> 2
+  | On_mem_summary -> 3
+  | On_access -> 4
+  | On_kernel_profile -> 5
+  | On_operator -> 6
+  | On_tensor -> 7
+  | Report -> 8
+
+type state = Closed | Quarantined | Half_open
+
+let state_name = function
+  | Closed -> "closed"
+  | Quarantined -> "quarantined"
+  | Half_open -> "half-open"
+
+type t = {
+  the_tool : Tool.t;
+  threshold : int;
+  cooldown : int;
+  on_trip : failures:int -> unit;
+  on_failure : callback -> unit;
+  failures : int array; (* indexed by callback_index *)
+  mutable window_failures : int; (* resets when the breaker closes *)
+  mutable total : int;
+  mutable quarantined_since : int option; (* kernel ordinal at trip *)
+  mutable kernels : int;
+  mutable quarantines : int;
+  mutable reinstated : int;
+  mutable suppressed : int;
+}
+
+let create ?threshold ?cooldown_kernels ?(on_failure = fun _ -> ()) ~on_trip tool =
+  let threshold = Option.value threshold ~default:(Config.guard_threshold ()) in
+  let cooldown =
+    Option.value cooldown_kernels ~default:(Config.guard_cooldown_kernels ())
+  in
+  if threshold <= 0 then invalid_arg "Guard.create: threshold must be positive";
+  if cooldown <= 0 then invalid_arg "Guard.create: cooldown must be positive";
+  {
+    the_tool = tool;
+    threshold;
+    cooldown;
+    on_trip;
+    on_failure;
+    failures = Array.make (List.length all_callbacks) 0;
+    window_failures = 0;
+    total = 0;
+    quarantined_since = None;
+    kernels = 0;
+    quarantines = 0;
+    reinstated = 0;
+    suppressed = 0;
+  }
+
+let tool t = t.the_tool
+
+let cooldown_elapsed t =
+  match t.quarantined_since with
+  | None -> false
+  | Some since -> t.kernels - since >= t.cooldown
+
+let state t =
+  match t.quarantined_since with
+  | None -> Closed
+  | Some _ -> if cooldown_elapsed t then Half_open else Quarantined
+
+let note_kernel t = t.kernels <- t.kernels + 1
+
+let record_failure t cb =
+  let i = callback_index cb in
+  t.failures.(i) <- t.failures.(i) + 1;
+  t.total <- t.total + 1;
+  t.window_failures <- t.window_failures + 1;
+  t.on_failure cb
+
+let call t cb f =
+  match state t with
+  | Quarantined -> t.suppressed <- t.suppressed + 1
+  | Half_open -> (
+      (* One probe decides: success reinstates, failure re-quarantines for
+         another full cooldown. *)
+      match f t.the_tool with
+      | () ->
+          t.quarantined_since <- None;
+          t.window_failures <- 0;
+          t.reinstated <- t.reinstated + 1
+      | exception _ ->
+          record_failure t cb;
+          t.quarantined_since <- Some t.kernels;
+          t.quarantines <- t.quarantines + 1;
+          t.on_trip ~failures:t.window_failures)
+  | Closed -> (
+      match f t.the_tool with
+      | () -> ()
+      | exception _ ->
+          record_failure t cb;
+          if t.window_failures >= t.threshold then begin
+            t.quarantined_since <- Some t.kernels;
+            t.quarantines <- t.quarantines + 1;
+            t.on_trip ~failures:t.window_failures
+          end)
+
+let guarded_report t ppf =
+  match t.the_tool.Tool.report ppf with
+  | () -> ()
+  | exception e ->
+      record_failure t Report;
+      Format.fprintf ppf "tool %s: report failed (%s)@." t.the_tool.Tool.name
+        (Printexc.to_string e)
+
+let total_failures t = t.total
+
+let failures_by_callback t =
+  List.filter_map
+    (fun cb ->
+      let n = t.failures.(callback_index cb) in
+      if n > 0 then Some (callback_name cb, n) else None)
+    all_callbacks
+
+let quarantine_count t = t.quarantines
+let reinstated_count t = t.reinstated
+let suppressed_count t = t.suppressed

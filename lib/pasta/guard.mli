@@ -1,0 +1,70 @@
+(** Tool sandboxing: a per-session circuit breaker around every {!Tool.t}
+    callback.
+
+    PASTA's contract is that attaching a profiler must never take the
+    workload down.  A tool is user code, though, and any of its callbacks
+    can raise.  The guard catches every exception, counts it per callback,
+    and — once a failure threshold is crossed — {e quarantines} the tool:
+    callbacks become no-ops and the workload proceeds unobserved.  After a
+    cooldown measured in kernels the breaker goes {e half-open}: the next
+    callback runs as a probe, and on success the tool is reinstated with a
+    fresh failure budget.
+
+    The guard never raises and never lets a tool exception escape. *)
+
+type callback =
+  | On_event
+  | On_kernel_begin
+  | On_kernel_end
+  | On_mem_summary
+  | On_access
+  | On_kernel_profile
+  | On_operator
+  | On_tensor
+  | Report
+
+val callback_name : callback -> string
+
+type state = Closed | Quarantined | Half_open
+
+val state_name : state -> string
+
+type t
+
+val create :
+  ?threshold:int ->
+  ?cooldown_kernels:int ->
+  ?on_failure:(callback -> unit) ->
+  on_trip:(failures:int -> unit) ->
+  Tool.t ->
+  t
+(** [threshold] and [cooldown_kernels] default to the
+    {!Config.guard_threshold} / {!Config.guard_cooldown_kernels} knobs.
+    [on_failure] fires on every caught exception (lets the processor
+    mirror counts into its stats); [on_trip] fires exactly once per
+    quarantine, after the state flip. *)
+
+val tool : t -> Tool.t
+val state : t -> state
+
+val note_kernel : t -> unit
+(** Advance the cooldown clock; call once per kernel launch observed. *)
+
+val call : t -> callback -> (Tool.t -> unit) -> unit
+(** Run one callback under the breaker.  Quarantined: no-op (counted as
+    suppressed).  Cooldown elapsed: the call is the half-open probe. *)
+
+val guarded_report : t -> Format.formatter -> unit
+(** The tool's report, exception-safe; always attempted (quarantine only
+    silences the event-path callbacks, not end-of-run reporting). *)
+
+(** {2 Accounting} *)
+
+val total_failures : t -> int
+val failures_by_callback : t -> (string * int) list
+(** Callbacks with a non-zero failure count, stable order. *)
+
+val quarantine_count : t -> int
+val reinstated_count : t -> int
+val suppressed_count : t -> int
+(** Callback invocations skipped while quarantined. *)

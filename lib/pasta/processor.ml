@@ -1,8 +1,16 @@
+module Ring_buffer = Pasta_util.Ring_buffer
+
 type stats = {
   mutable events_seen : int;
   mutable events_dispatched : int;
+  mutable events_suppressed : int;
   mutable kernels_seen : int;
   mutable summaries_flushed : int;
+  mutable tool_failures : int;
+  callback_failures : (string, int) Hashtbl.t;
+  mutable records_dropped : int;
+  mutable records_buffered_peak : int;
+  mutable buffer_stalls : int;
 }
 
 type pending_region = { p_base : int; p_extent : int; p_accesses : int; p_written : bool }
@@ -11,29 +19,114 @@ type t = {
   device : int;
   objmap : Objmap.t;
   range : Range.t;
-  mutable tool : Tool.t option;
+  mutable guard : Guard.t option;
   stats : stats;
+  buf : (Event.kernel_info * Event.mem_access * float) Ring_buffer.t;
+  policy : Ring_buffer.overflow;
+  mutable incidents : Event.t list; (* most recent first *)
+  mutable last_time_us : float;
   mutable pending : (int * pending_region list) option;
       (** (grid_id, regions) of the kernel currently being aggregated *)
 }
 
-let create ?range ~device () =
+let create ?range ?buffer_capacity ?overflow_policy ~device () =
   let range = match range with Some r -> r | None -> Range.of_config () in
+  let capacity =
+    match buffer_capacity with Some c -> c | None -> Config.buffer_capacity ()
+  in
+  let policy =
+    match overflow_policy with Some p -> p | None -> Config.overflow_policy ()
+  in
   {
     device;
     objmap = Objmap.create ();
     range;
-    tool = None;
-    stats = { events_seen = 0; events_dispatched = 0; kernels_seen = 0; summaries_flushed = 0 };
+    guard = None;
+    stats =
+      {
+        events_seen = 0;
+        events_dispatched = 0;
+        events_suppressed = 0;
+        kernels_seen = 0;
+        summaries_flushed = 0;
+        tool_failures = 0;
+        callback_failures = Hashtbl.create 8;
+        records_dropped = 0;
+        records_buffered_peak = 0;
+        buffer_stalls = 0;
+      };
+    buf = Ring_buffer.create ~capacity;
+    policy;
+    incidents = [];
+    last_time_us = 0.0;
     pending = None;
   }
 
-let set_tool t tool = t.tool <- Some tool
-let clear_tool t = t.tool <- None
-let tool t = t.tool
 let objmap t = t.objmap
 let range t = t.range
 let stats t = t.stats
+let guard t = t.guard
+let tool t = Option.map Guard.tool t.guard
+let incidents t = List.rev t.incidents
+let buffer_capacity t = Ring_buffer.capacity t.buf
+let overflow_policy t = t.policy
+
+let guard_call t cb f =
+  match t.guard with None -> () | Some g -> Guard.call g cb f
+
+let dispatch t (ev : Event.t) =
+  match t.guard with
+  | None -> ()
+  | Some g ->
+      (match Guard.state g with
+      | Guard.Quarantined ->
+          t.stats.events_suppressed <- t.stats.events_suppressed + 1
+      | Guard.Closed | Guard.Half_open ->
+          t.stats.events_dispatched <- t.stats.events_dispatched + 1);
+      Guard.call g Guard.On_event (fun tool -> tool.Tool.on_event ev);
+      (match ev.Event.payload with
+      | Event.Kernel_launch { info; phase = `Begin } ->
+          Guard.call g Guard.On_kernel_begin (fun tool -> tool.Tool.on_kernel_begin info)
+      | Event.Kernel_launch { info; phase = `End s } ->
+          Guard.call g Guard.On_kernel_end (fun tool -> tool.Tool.on_kernel_end info s)
+      | Event.Operator { name; phase; seq } ->
+          Guard.call g Guard.On_operator (fun tool -> tool.Tool.on_operator name phase seq)
+      | Event.Tensor_alloc { ptr; bytes; tag; _ } ->
+          Guard.call g Guard.On_tensor (fun tool ->
+              tool.Tool.on_tensor (`Alloc (ptr, bytes, tag)))
+      | Event.Tensor_free { ptr; bytes; _ } ->
+          Guard.call g Guard.On_tensor (fun tool -> tool.Tool.on_tensor (`Free (ptr, bytes)))
+      | _ -> ())
+
+let quarantine_incident t ~failures =
+  let tool_name = match tool t with Some tl -> tl.Tool.name | None -> "<none>" in
+  let ev =
+    {
+      Event.device = t.device;
+      time_us = t.last_time_us;
+      payload = Event.Tool_quarantined { tool = tool_name; failures };
+    }
+  in
+  t.incidents <- ev :: t.incidents;
+  (* Keep the unified stream complete; the quarantined tool itself will
+     only see this if it is later reinstated and another trip occurs. *)
+  dispatch t ev
+
+let set_tool t tool =
+  let stats = t.stats in
+  let guard =
+    Guard.create
+      ~on_failure:(fun cb ->
+        stats.tool_failures <- stats.tool_failures + 1;
+        let name = Guard.callback_name cb in
+        let n = Option.value ~default:0 (Hashtbl.find_opt stats.callback_failures name) in
+        Hashtbl.replace stats.callback_failures name (n + 1))
+      ~on_trip:(fun ~failures -> quarantine_incident t ~failures)
+      tool
+  in
+  t.guard <- Some guard
+
+let clear_tool t = t.guard <- None
 
 let update_registry t payload =
   match payload with
@@ -51,31 +144,50 @@ let in_range t payload =
   | Event.Global_access { kernel = info; _ }
   | Event.Shared_access { kernel = info; _ }
   | Event.Kernel_region { kernel = info; _ }
+  | Event.Kernel_profile { kernel = info; _ }
   | Event.Barrier { kernel = info; _ } ->
       Range.active t.range ~grid_id:info.Event.grid_id
   | _ -> Range.active_now t.range
 
-let dispatch t (ev : Event.t) =
-  match t.tool with
-  | None -> ()
-  | Some tool ->
-      t.stats.events_dispatched <- t.stats.events_dispatched + 1;
-      tool.Tool.on_event ev;
-      (match ev.Event.payload with
-      | Event.Kernel_launch { info; phase = `Begin } -> tool.Tool.on_kernel_begin info
-      | Event.Kernel_launch { info; phase = `End s } -> tool.Tool.on_kernel_end info s
-      | Event.Operator { name; phase; seq } -> tool.Tool.on_operator name phase seq
-      | Event.Tensor_alloc { ptr; bytes; tag; _ } ->
-          tool.Tool.on_tensor (`Alloc (ptr, bytes, tag))
-      | Event.Tensor_free { ptr; bytes; _ } -> tool.Tool.on_tensor (`Free (ptr, bytes))
-      | _ -> ())
+(* --- Bounded record buffer (paper Fig. 2a's device trace buffer) --- *)
+
+let deliver_record t (info, access, time_us) =
+  dispatch t
+    {
+      Event.device = t.device;
+      time_us;
+      payload = Event.Global_access { kernel = info; access };
+    };
+  guard_call t Guard.On_access (fun tool -> tool.Tool.on_access info access)
+
+let flush_records t = List.iter (deliver_record t) (Ring_buffer.drain t.buf)
+
+let buffer_record t item =
+  (match Ring_buffer.push_overflow t.buf ~overflow:t.policy item with
+  | `Stored -> ()
+  | `Evicted _ | `Rejected -> t.stats.records_dropped <- t.stats.records_dropped + 1
+  | `Full ->
+      (* Block: the producer stalls while the consumer drains, then the
+         record lands; nothing is lost. *)
+      t.stats.buffer_stalls <- t.stats.buffer_stalls + 1;
+      flush_records t;
+      let (_ : bool) = Ring_buffer.push t.buf item in
+      ());
+  t.stats.records_buffered_peak <-
+    max t.stats.records_buffered_peak (Ring_buffer.length t.buf)
 
 let submit t ~time_us payload =
   t.stats.events_seen <- t.stats.events_seen + 1;
+  t.last_time_us <- time_us;
   update_registry t payload;
   (match payload with
   | Event.Kernel_launch { phase = `Begin; _ } ->
-      t.stats.kernels_seen <- t.stats.kernels_seen + 1
+      t.stats.kernels_seen <- t.stats.kernels_seen + 1;
+      Option.iter Guard.note_kernel t.guard
+  | Event.Kernel_launch { phase = `End _; _ } ->
+      (* Kernel boundary: drain the record buffer so every record of this
+         kernel reaches the tool before its on_kernel_end. *)
+      flush_records t
   | _ -> ());
   if in_range t payload then
     dispatch t { Event.device = t.device; time_us; payload }
@@ -91,6 +203,7 @@ let flush_kernel_summary t ~time_us (info : Event.kernel_info) =
   match t.pending with
   | Some (gid, regions) when gid = info.Event.grid_id ->
       t.pending <- None;
+      t.last_time_us <- time_us;
       t.stats.summaries_flushed <- t.stats.summaries_flushed + 1;
       if Range.active t.range ~grid_id:info.Event.grid_id then begin
         (* Emit one Kernel_region event per raw region... *)
@@ -115,9 +228,9 @@ let flush_kernel_summary t ~time_us (info : Event.kernel_info) =
               })
           (List.rev regions);
         (* ...and the object-level aggregate for the tool. *)
-        match t.tool with
+        match t.guard with
         | None -> ()
-        | Some tool ->
+        | Some g ->
             let by_obj = Hashtbl.create 8 in
             List.iter
               (fun r ->
@@ -131,34 +244,35 @@ let flush_kernel_summary t ~time_us (info : Event.kernel_info) =
               Hashtbl.fold (fun _ (o, c) acc -> (o, c) :: acc) by_obj []
               |> List.sort (fun (a, _) (b, _) -> compare (Objmap.obj_key a) (Objmap.obj_key b))
             in
-            tool.Tool.on_mem_summary info summary
+            Guard.call g Guard.On_mem_summary (fun tool ->
+                tool.Tool.on_mem_summary info summary)
       end
   | _ -> ()
 
 let submit_access t ~time_us (info : Event.kernel_info) access =
   t.stats.events_seen <- t.stats.events_seen + 1;
+  t.last_time_us <- time_us;
+  if Range.active t.range ~grid_id:info.Event.grid_id then
+    buffer_record t (info, access, time_us)
+
+let submit_profile t ~time_us (info : Event.kernel_info) profile =
+  t.stats.events_seen <- t.stats.events_seen + 1;
+  t.last_time_us <- time_us;
   if Range.active t.range ~grid_id:info.Event.grid_id then begin
     dispatch t
       {
         Event.device = t.device;
         time_us;
-        payload = Event.Global_access { kernel = info; access };
+        payload = Event.Kernel_profile { kernel = info; profile };
       };
-    match t.tool with Some tool -> tool.Tool.on_access info access | None -> ()
+    guard_call t Guard.On_kernel_profile (fun tool ->
+        tool.Tool.on_kernel_profile info profile)
   end
 
-let submit_profile t ~time_us (info : Event.kernel_info) profile =
-  t.stats.events_seen <- t.stats.events_seen + 1;
-  ignore time_us;
-  if Range.active t.range ~grid_id:info.Event.grid_id then
-    match t.tool with
-    | Some tool -> tool.Tool.on_kernel_profile info profile
-    | None -> ()
-
-let annot_start t label =
+let annot_start t ~time_us label =
   Range.annot_start t.range label;
-  submit t ~time_us:0.0 (Event.Annotation { label; phase = `Start })
+  submit t ~time_us (Event.Annotation { label; phase = `Start })
 
-let annot_end t label =
+let annot_end t ~time_us label =
   Range.annot_end t.range label;
-  submit t ~time_us:0.0 (Event.Annotation { label; phase = `End })
+  submit t ~time_us (Event.Annotation { label; phase = `End })

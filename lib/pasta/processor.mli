@@ -6,30 +6,68 @@
     to objects), and routes each event to the active tool's callbacks.
     For GPU-accelerated analysis it accumulates per-kernel region
     aggregates and flushes them as object-level summaries when the kernel
-    completes. *)
+    completes.
+
+    Every tool callback runs under a {!Guard} circuit breaker — a raising
+    tool is counted, eventually quarantined, and never takes the workload
+    down.  Fine-grained access records flow through a bounded
+    {!Pasta_util.Ring_buffer} with a configurable overflow policy; drops
+    and stalls are accounted in {!stats}. *)
 
 type stats = {
   mutable events_seen : int;
   mutable events_dispatched : int;
+  mutable events_suppressed : int;
+      (** events withheld while the tool was quarantined *)
   mutable kernels_seen : int;
   mutable summaries_flushed : int;
+  mutable tool_failures : int;  (** tool-callback exceptions caught *)
+  callback_failures : (string, int) Hashtbl.t;
+      (** per-callback failure counts, keyed by callback name *)
+  mutable records_dropped : int;
+      (** fine-grained records lost to buffer overflow *)
+  mutable records_buffered_peak : int;  (** bounded-buffer high-water mark *)
+  mutable buffer_stalls : int;
+      (** producer stalls under the [Block] overflow policy *)
 }
 
 type t
 
-val create : ?range:Range.t -> device:int -> unit -> t
+val create :
+  ?range:Range.t ->
+  ?buffer_capacity:int ->
+  ?overflow_policy:Pasta_util.Ring_buffer.overflow ->
+  device:int ->
+  unit ->
+  t
+(** [buffer_capacity] and [overflow_policy] default to the
+    {!Config.buffer_capacity} / {!Config.overflow_policy} knobs. *)
 
 val set_tool : t -> Tool.t -> unit
+(** Installs the tool behind a fresh circuit breaker configured from the
+    guard knobs. *)
+
 val clear_tool : t -> unit
 val tool : t -> Tool.t option
+val guard : t -> Guard.t option
+(** The active tool's circuit breaker, for health inspection. *)
 
 val objmap : t -> Objmap.t
 val range : t -> Range.t
 val stats : t -> stats
 
+val incidents : t -> Event.t list
+(** Supervision incidents ({!Event.Tool_quarantined} so far) in emission
+    order. *)
+
+val buffer_capacity : t -> int
+val overflow_policy : t -> Pasta_util.Ring_buffer.overflow
+
 val submit : t -> time_us:float -> Event.payload -> unit
 (** Feed one normalized event.  Registry updates happen regardless of the
-    range filter; tool dispatch respects it. *)
+    range filter; tool dispatch respects it.  A kernel-end event first
+    drains the bounded record buffer so every record of the finishing
+    kernel reaches the tool before its [on_kernel_end]. *)
 
 val submit_region :
   t -> Event.kernel_info -> base:int -> extent:int -> accesses:int -> written:bool -> unit
@@ -41,13 +79,21 @@ val flush_kernel_summary : t -> time_us:float -> Event.kernel_info -> unit
     [Kernel_region] events and call the tool's [on_mem_summary]. *)
 
 val submit_access : t -> time_us:float -> Event.kernel_info -> Event.mem_access -> unit
-(** Feed one host-analyzed trace record (CPU modes). *)
+(** Feed one host-analyzed trace record (CPU modes).  In-range records
+    enter the bounded buffer and are delivered at the next kernel-end (or
+    {!flush_records}); the overflow policy decides what happens when the
+    producer outruns the drain points. *)
+
+val flush_records : t -> unit
+(** Drain the bounded record buffer to the tool now. *)
 
 val submit_profile :
   t -> time_us:float -> Event.kernel_info -> Gpusim.Kernel.profile -> unit
 (** Feed a per-kernel behaviour profile (instruction-level mode);
-    dispatched to the tool's [on_kernel_profile] when in range. *)
+    dispatched as a {!Event.Kernel_profile} unified event and to the
+    tool's [on_kernel_profile] when in range. *)
 
-val annot_start : t -> string -> unit
-val annot_end : t -> string -> unit
-(** Range annotations, also forwarded as [Annotation] events. *)
+val annot_start : t -> time_us:float -> string -> unit
+val annot_end : t -> time_us:float -> string -> unit
+(** Range annotations, also forwarded as [Annotation] events stamped with
+    the simulated time at which they happened. *)

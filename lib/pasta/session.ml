@@ -1,3 +1,9 @@
+type watchdog = {
+  probe_name : string;
+  limit_us : float;
+  mutable trips : (string * float) list; (* kernel name, duration; newest first *)
+}
+
 type t = {
   device : Gpusim.Device.t;
   backend : Backend.t;
@@ -6,6 +12,26 @@ type t = {
   the_tool : Tool.t;
   start_us : float;
   saved_sample_cap : int;
+  dog : watchdog;
+  installed_faults : Gpusim.Faults.t option;
+      (* the injector this session installed (and must tear down) *)
+}
+
+type health = {
+  guard_state : string;
+  tool_failures : int;
+  failures_by_callback : (string * int) list;
+  quarantines : int;
+  reinstated : int;
+  events_suppressed : int;
+  records_dropped : int;
+  records_buffered_peak : int;
+  buffer_capacity : int;
+  overflow_policy : string;
+  buffer_stalls : int;
+  watchdog_trips : (string * float) list;
+  fault_stats : Gpusim.Faults.stats option;
+  incidents : Event.t list;
 }
 
 type result = {
@@ -15,12 +41,15 @@ type result = {
   events_dispatched : int;
   kernels : int;
   elapsed_us : float;
+  health : health;
   report : Format.formatter -> unit;
 }
 
 let active : t list ref = ref []
 
-let attach ?backend ?range ?sample_rate ~tool device =
+let watchdog_counter = ref 0
+
+let attach ?backend ?range ?sample_rate ?faults ~tool device =
   let kind =
     match backend with
     | Some k -> k
@@ -31,6 +60,20 @@ let attach ?backend ?range ?sample_rate ~tool device =
   in
   let proc = Processor.create ?range ~device:(Gpusim.Device.id device) () in
   Processor.set_tool proc tool;
+  (* Fault injection: an explicit injector wins; otherwise the config knob
+     turns on a seeded one — but never stack a second injector onto a
+     device that already has one (e.g. a tracer session riding along). *)
+  let installed_faults =
+    match (faults, Gpusim.Device.faults device) with
+    | Some f, None ->
+        Gpusim.Device.set_faults device f;
+        Some f
+    | None, None when Config.inject_faults () ->
+        let f = Gpusim.Faults.create ~seed:(Config.fault_seed ()) () in
+        Gpusim.Device.set_faults device f;
+        Some f
+    | _ -> None
+  in
   let b = Backend.attach kind device ~processor:proc in
   Backend.enable_fine_grained b tool.Tool.fine_grained;
   let dl = Dl_hooks.attach device ~processor:proc in
@@ -38,6 +81,28 @@ let attach ?backend ?range ?sample_rate ~tool device =
   (match (sample_rate, Config.sample_rate ()) with
   | Some r, _ | None, Some r -> Gpusim.Device.set_sample_cap device r
   | None, None -> ());
+  incr watchdog_counter;
+  let dog =
+    {
+      probe_name = Printf.sprintf "pasta-watchdog-%d" !watchdog_counter;
+      limit_us = Config.watchdog_us ();
+      trips = [];
+    }
+  in
+  (* The watchdog listens on the raw hook bus: a kernel whose duration
+     blows past the limit is flagged even if the tool never sees it. *)
+  Gpusim.Device.add_probe device
+    {
+      Gpusim.Device.probe_name = dog.probe_name;
+      on_event =
+        (function
+        | Gpusim.Device.Launch_end (info, stats)
+          when stats.Gpusim.Device.duration_us > dog.limit_us ->
+            dog.trips <-
+              (info.Gpusim.Device.kernel.Gpusim.Kernel.name, stats.Gpusim.Device.duration_us)
+              :: dog.trips
+        | _ -> ());
+    };
   let s =
     {
       device;
@@ -47,18 +112,91 @@ let attach ?backend ?range ?sample_rate ~tool device =
       the_tool = tool;
       start_us = Gpusim.Device.now_us device;
       saved_sample_cap;
+      dog;
+      installed_faults;
     }
   in
   active := s :: !active;
   s
 
+let health_of s =
+  let stats = Processor.stats s.proc in
+  let g = Processor.guard s.proc in
+  {
+    guard_state =
+      (match g with Some g -> Guard.state_name (Guard.state g) | None -> "closed");
+    tool_failures = stats.Processor.tool_failures;
+    failures_by_callback =
+      (match g with Some g -> Guard.failures_by_callback g | None -> []);
+    quarantines = (match g with Some g -> Guard.quarantine_count g | None -> 0);
+    reinstated = (match g with Some g -> Guard.reinstated_count g | None -> 0);
+    events_suppressed = stats.Processor.events_suppressed;
+    records_dropped = stats.Processor.records_dropped;
+    records_buffered_peak = stats.Processor.records_buffered_peak;
+    buffer_capacity = Processor.buffer_capacity s.proc;
+    overflow_policy =
+      Pasta_util.Ring_buffer.overflow_to_string (Processor.overflow_policy s.proc);
+    buffer_stalls = stats.Processor.buffer_stalls;
+    watchdog_trips = List.rev s.dog.trips;
+    fault_stats = Option.map Gpusim.Faults.stats (Gpusim.Device.faults s.device);
+    incidents = Processor.incidents s.proc;
+  }
+
+let pp_health ppf h =
+  Format.fprintf ppf "pipeline health: guard %s, %d tool failure%s" h.guard_state
+    h.tool_failures
+    (if h.tool_failures = 1 then "" else "s");
+  if h.failures_by_callback <> [] then begin
+    Format.fprintf ppf " (";
+    List.iteri
+      (fun i (cb, n) -> Format.fprintf ppf "%s%s x%d" (if i > 0 then ", " else "") cb n)
+      h.failures_by_callback;
+    Format.fprintf ppf ")"
+  end;
+  Format.fprintf ppf "@.";
+  if h.quarantines > 0 || h.reinstated > 0 then
+    Format.fprintf ppf "  quarantined %d time%s, reinstated %d, %d events suppressed@."
+      h.quarantines
+      (if h.quarantines = 1 then "" else "s")
+      h.reinstated h.events_suppressed;
+  Format.fprintf ppf "  record buffer: cap %d (%s), peak %d, dropped %d, stalls %d@."
+    h.buffer_capacity h.overflow_policy h.records_buffered_peak h.records_dropped
+    h.buffer_stalls;
+  (match h.watchdog_trips with
+  | [] -> ()
+  | trips ->
+      Format.fprintf ppf "  watchdog: %d stuck kernel%s" (List.length trips)
+        (if List.length trips = 1 then "" else "s");
+      List.iteri
+        (fun i (name, dur) ->
+          if i < 3 then Format.fprintf ppf "%s %s (%.0fus)" (if i > 0 then "," else "") name dur)
+        trips;
+      Format.fprintf ppf "@.");
+  match h.fault_stats with
+  | None -> ()
+  | Some fs -> Format.fprintf ppf "  injected faults: %a@." Gpusim.Faults.pp_stats fs
+
 let detach s =
   active := List.filter (fun x -> x != s) !active;
+  (* Anything still sitting in the bounded buffer belongs to the tool. *)
+  Processor.flush_records s.proc;
   Dl_hooks.detach s.dl;
+  let health = health_of s in
   let phases = Vendor.Phases.add (Vendor.Phases.create ()) (Backend.phases s.backend) in
+  phases.Vendor.Phases.dropped_records <-
+    phases.Vendor.Phases.dropped_records + health.records_dropped;
   Backend.detach s.backend;
+  Gpusim.Device.remove_probe s.device s.dog.probe_name;
+  (match s.installed_faults with
+  | Some _ -> Gpusim.Device.clear_faults s.device
+  | None -> ());
   Gpusim.Device.set_sample_cap s.device s.saved_sample_cap;
   let stats = Processor.stats s.proc in
+  let report =
+    match Processor.guard s.proc with
+    | Some g -> Guard.guarded_report g
+    | None -> s.the_tool.Tool.report
+  in
   {
     tool_name = s.the_tool.Tool.name;
     phases;
@@ -66,11 +204,12 @@ let detach s =
     events_dispatched = stats.Processor.events_dispatched;
     kernels = stats.Processor.kernels_seen;
     elapsed_us = Gpusim.Device.now_us s.device -. s.start_us;
-    report = s.the_tool.Tool.report;
+    health;
+    report;
   }
 
-let run ?backend ?range ?sample_rate ~tool device f =
-  let s = attach ?backend ?range ?sample_rate ~tool device in
+let run ?backend ?range ?sample_rate ?faults ~tool device f =
+  let s = attach ?backend ?range ?sample_rate ?faults ~tool device in
   match f () with
   | v -> (v, detach s)
   | exception e ->
@@ -83,9 +222,11 @@ let tool s = s.the_tool
 let start ?(label = "region") () =
   match !active with
   | [] -> ()
-  | s :: _ -> Processor.annot_start s.proc label
+  | s :: _ ->
+      Processor.annot_start s.proc ~time_us:(Gpusim.Device.now_us s.device) label
 
 let end_ ?(label = "region") () =
   match !active with
   | [] -> ()
-  | s :: _ -> Processor.annot_end s.proc label
+  | s :: _ ->
+      Processor.annot_end s.proc ~time_us:(Gpusim.Device.now_us s.device) label

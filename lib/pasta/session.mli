@@ -7,11 +7,38 @@
     model requires.  Detaching tears it all down and returns the run's
     accounting.
 
+    The session is also the supervision root: the tool runs behind a
+    {!Guard} circuit breaker, fine-grained records flow through a bounded
+    buffer, a watchdog probe flags stuck kernels, and (when enabled)
+    deterministic fault injection exercises all of it.  {!result.health}
+    reports what happened.
+
     {!start} / {!end_} implement the [pasta.start()] / [pasta.end()]
     Python annotations (paper Listing 1) against the innermost active
     session. *)
 
 type t
+
+type health = {
+  guard_state : string;  (** "closed" | "quarantined" | "half-open" *)
+  tool_failures : int;  (** tool-callback exceptions caught *)
+  failures_by_callback : (string * int) list;
+  quarantines : int;  (** times the breaker tripped *)
+  reinstated : int;  (** successful half-open probes *)
+  events_suppressed : int;  (** events withheld during quarantine *)
+  records_dropped : int;  (** bounded-buffer overflow losses *)
+  records_buffered_peak : int;
+  buffer_capacity : int;
+  overflow_policy : string;
+  buffer_stalls : int;  (** producer stalls under the Block policy *)
+  watchdog_trips : (string * float) list;
+      (** kernels whose duration exceeded [ACCEL_PROF_WATCHDOG_US] *)
+  fault_stats : Gpusim.Faults.stats option;
+      (** what the injector actually did, when fault injection was on *)
+  incidents : Event.t list;  (** [Tool_quarantined] events, in order *)
+}
+
+val pp_health : Format.formatter -> health -> unit
 
 type result = {
   tool_name : string;
@@ -20,20 +47,26 @@ type result = {
   events_dispatched : int;
   kernels : int;
   elapsed_us : float;  (** simulated device time spent while attached *)
-  report : Format.formatter -> unit;  (** the tool's report *)
+  health : health;  (** supervision-layer accounting *)
+  report : Format.formatter -> unit;  (** the tool's report, exception-safe *)
 }
 
 val attach :
   ?backend:Backend.kind ->
   ?range:Range.t ->
   ?sample_rate:int ->
+  ?faults:Gpusim.Faults.t ->
   tool:Tool.t ->
   Gpusim.Device.t ->
   t
 (** [backend] defaults per vendor ({!Backend.default_kind_for}), except
     that a tool requiring [Cpu_nvbit] forces the NVBit backend.
     [sample_rate] caps materialized records per kernel region (defaults to
-    [ACCEL_PROF_ENV_SAMPLE_RATE] when set). *)
+    [ACCEL_PROF_ENV_SAMPLE_RATE] when set).  [faults] installs the given
+    injector on the device for the session's lifetime; without it, the
+    [ACCEL_PROF_INJECT_FAULTS] knob creates one seeded from
+    [ACCEL_PROF_FAULT_SEED].  A device that already carries an injector is
+    left untouched. *)
 
 val detach : t -> result
 
@@ -41,6 +74,7 @@ val run :
   ?backend:Backend.kind ->
   ?range:Range.t ->
   ?sample_rate:int ->
+  ?faults:Gpusim.Faults.t ->
   tool:Tool.t ->
   Gpusim.Device.t ->
   (unit -> 'a) ->

@@ -132,6 +132,18 @@ let record t (e : Event.t) =
           tid = tid_operators;
           arg = [ ("label", label) ];
         }
+  | Event.Tool_quarantined { tool; failures } ->
+      push t
+        {
+          name = "tool quarantined";
+          cat = "supervision";
+          ph = "i";
+          ts;
+          dur = None;
+          pid;
+          tid = tid_operators;
+          arg = [ ("tool", tool); ("failures", string_of_int failures) ];
+        }
   | Event.Memory_copy { bytes; direction; _ } ->
       push t
         {

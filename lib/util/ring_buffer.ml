@@ -4,6 +4,20 @@ type 'a t = {
   mutable len : int;
 }
 
+type overflow = Drop_oldest | Drop_newest | Block
+
+let overflow_of_string s =
+  match String.lowercase_ascii s with
+  | "drop-oldest" | "drop_oldest" | "oldest" -> Some Drop_oldest
+  | "drop-newest" | "drop_newest" | "newest" -> Some Drop_newest
+  | "block" | "stall" -> Some Block
+  | _ -> None
+
+let overflow_to_string = function
+  | Drop_oldest -> "drop-oldest"
+  | Drop_newest -> "drop-newest"
+  | Block -> "block"
+
 let create ~capacity =
   if capacity <= 0 then invalid_arg "Ring_buffer.create: capacity must be positive";
   { slots = Array.make capacity None; head = 0; len = 0 }
@@ -31,6 +45,22 @@ let pop t =
     t.len <- t.len - 1;
     x
   end
+
+let push_overflow t ~overflow x =
+  if not (is_full t) then begin
+    let (_ : bool) = push t x in
+    `Stored
+  end
+  else
+    match overflow with
+    | Drop_newest -> `Rejected
+    | Block -> `Full
+    | Drop_oldest -> (
+        match pop t with
+        | None -> assert false (* full implies non-empty *)
+        | Some old ->
+            let (_ : bool) = push t x in
+            `Evicted old)
 
 let drain t =
   let rec go acc = match pop t with None -> List.rev acc | Some x -> go (x :: acc) in

@@ -3,16 +3,24 @@ type t = {
   mutable collect_us : float;
   mutable transfer_us : float;
   mutable analysis_us : float;
+  mutable dropped_records : int;
 }
 
 let create () =
-  { workload_us = 0.0; collect_us = 0.0; transfer_us = 0.0; analysis_us = 0.0 }
+  {
+    workload_us = 0.0;
+    collect_us = 0.0;
+    transfer_us = 0.0;
+    analysis_us = 0.0;
+    dropped_records = 0;
+  }
 
 let reset t =
   t.workload_us <- 0.0;
   t.collect_us <- 0.0;
   t.transfer_us <- 0.0;
-  t.analysis_us <- 0.0
+  t.analysis_us <- 0.0;
+  t.dropped_records <- 0
 
 let total_us t = t.workload_us +. t.collect_us +. t.transfer_us +. t.analysis_us
 let overhead_us t = t.collect_us +. t.transfer_us +. t.analysis_us
@@ -23,6 +31,7 @@ let add a b =
     collect_us = a.collect_us +. b.collect_us;
     transfer_us = a.transfer_us +. b.transfer_us;
     analysis_us = a.analysis_us +. b.analysis_us;
+    dropped_records = a.dropped_records + b.dropped_records;
   }
 
 let charge clock t phase us =
@@ -35,7 +44,9 @@ let charge clock t phase us =
 let pp ppf t =
   Format.fprintf ppf
     "workload %.1fus, collect %.1fus, transfer %.1fus, analysis %.1fus"
-    t.workload_us t.collect_us t.transfer_us t.analysis_us
+    t.workload_us t.collect_us t.transfer_us t.analysis_us;
+  if t.dropped_records > 0 then
+    Format.fprintf ppf ", %d records dropped" t.dropped_records
 
 let fractions t =
   let total = total_us t in

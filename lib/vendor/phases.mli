@@ -13,6 +13,8 @@ type t = {
   mutable collect_us : float;  (** trace collection (device side) *)
   mutable transfer_us : float;  (** device-to-host buffer copies *)
   mutable analysis_us : float;  (** host-side record processing *)
+  mutable dropped_records : int;
+      (** fine-grained records lost to bounded-buffer overflow *)
 }
 
 val create : unit -> t

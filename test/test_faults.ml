@@ -1,0 +1,289 @@
+(* The fault-tolerance layer: tool sandboxing (Guard), bounded record
+   buffers, the session watchdog and deterministic fault injection.
+
+   The contract under test is the paper's "attaching a profiler must never
+   take the workload down" — here pushed to the adversarial extreme: tools
+   that always raise, producers that outrun the buffer, and a device that
+   actively corrupts, drops and duplicates its own telemetry. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let mk_kernel_info ?(grid_id = 1) ?(name = "k") () =
+  {
+    Pasta.Event.device_id = 0;
+    grid_id;
+    stream = 0;
+    name;
+    grid = Gpusim.Dim3.make 1;
+    block = Gpusim.Dim3.make 32;
+    shared_bytes = 0;
+    arg_ptrs = [];
+    py_stack = [];
+    native_stack = [];
+  }
+
+let mk_access addr =
+  { Pasta.Event.addr; size = 4; write = false; pc = 0; warp = 0; weight = 1 }
+
+(* ---- Circuit breaker: a raising tool never aborts the workload ---- *)
+
+let test_raising_tool_quarantined () =
+  let device = Gpusim.Device.create Gpusim.Arch.a100 in
+  let ctx = Dlfw.Ctx.create device in
+  let bomb =
+    {
+      (Pasta.Tool.default "bomb") with
+      Pasta.Tool.on_event = (fun _ -> failwith "boom");
+      report = (fun ppf -> Format.fprintf ppf "bomb: survived@.");
+    }
+  in
+  let v, result =
+    Pasta.Session.run ~tool:bomb device (fun () ->
+        let m = Dlfw.Bert.build ~batch:1 ~seq:32 ~layers:2 ~dim:64 ~heads:4 ctx in
+        Dlfw.Model.inference_iter ctx m;
+        42)
+  in
+  let h = result.Pasta.Session.health in
+  check_int "workload return value unaffected" 42 v;
+  check_bool "failures counted" true (h.Pasta.Session.tool_failures >= 10);
+  check_bool "breaker tripped" true (h.Pasta.Session.quarantines >= 1);
+  check_bool "events suppressed during quarantine" true
+    (h.Pasta.Session.events_suppressed > 0);
+  check_bool "on_event named in breakdown" true
+    (List.mem_assoc "on_event" h.Pasta.Session.failures_by_callback);
+  check_bool "quarantine incident emitted" true
+    (List.exists
+       (fun (e : Pasta.Event.t) ->
+         match e.Pasta.Event.payload with
+         | Pasta.Event.Tool_quarantined { tool; _ } -> String.equal tool "bomb"
+         | _ -> false)
+       h.Pasta.Session.incidents);
+  (* The report path is exception-safe and still reachable. *)
+  check_string "report still runs" "bomb: survived\n"
+    (Format.asprintf "%t" result.Pasta.Session.report);
+  Dlfw.Ctx.destroy ctx
+
+let test_raising_tool_matches_clean_run () =
+  (* The supervised-but-broken run must see the same workload as a clean
+     one: same kernel count, same simulated event stream underneath. *)
+  let run tool =
+    let device = Gpusim.Device.create Gpusim.Arch.a100 in
+    let ctx = Dlfw.Ctx.create device in
+    let (), result =
+      Pasta.Session.run ~tool device (fun () ->
+          let m = Dlfw.Bert.build ~batch:1 ~seq:32 ~layers:2 ~dim:64 ~heads:4 ctx in
+          Dlfw.Model.inference_iter ctx m)
+    in
+    let t = Gpusim.Device.now_us device in
+    Dlfw.Ctx.destroy ctx;
+    (result.Pasta.Session.kernels, result.Pasta.Session.events_seen, t)
+  in
+  let clean = run (Pasta.Tool.default "quiet") in
+  let broken =
+    run
+      {
+        (Pasta.Tool.default "bomb") with
+        Pasta.Tool.on_event = (fun _ -> failwith "boom");
+      }
+  in
+  check_bool "kernels, events and timing identical" true (clean = broken)
+
+let test_guard_half_open_reinstates () =
+  let trips = ref 0 in
+  let tool =
+    { (Pasta.Tool.default "flaky") with Pasta.Tool.on_event = ignore }
+  in
+  let g =
+    Pasta.Guard.create ~threshold:2 ~cooldown_kernels:3
+      ~on_trip:(fun ~failures:_ -> incr trips)
+      tool
+  in
+  let boom _ = failwith "boom" in
+  Pasta.Guard.call g Pasta.Guard.On_event (fun t -> boom t.Pasta.Tool.name);
+  Pasta.Guard.call g Pasta.Guard.On_event (fun t -> boom t.Pasta.Tool.name);
+  check_string "quarantined after threshold" "quarantined"
+    (Pasta.Guard.state_name (Pasta.Guard.state g));
+  check_int "tripped once" 1 !trips;
+  (* Suppressed while quarantined. *)
+  let ran = ref false in
+  Pasta.Guard.call g Pasta.Guard.On_event (fun _ -> ran := true);
+  check_bool "suppressed during quarantine" false !ran;
+  check_bool "suppression counted" true (Pasta.Guard.suppressed_count g >= 1);
+  (* Cooldown elapses in kernels; the next call is the half-open probe. *)
+  Pasta.Guard.note_kernel g;
+  Pasta.Guard.note_kernel g;
+  Pasta.Guard.note_kernel g;
+  check_string "half-open after cooldown" "half-open"
+    (Pasta.Guard.state_name (Pasta.Guard.state g));
+  Pasta.Guard.call g Pasta.Guard.On_event (fun _ -> ran := true);
+  check_bool "probe ran" true !ran;
+  check_string "reinstated on probe success" "closed"
+    (Pasta.Guard.state_name (Pasta.Guard.state g));
+  check_int "reinstatement counted" 1 (Pasta.Guard.reinstated_count g)
+
+(* ---- Bounded buffers: exact drop accounting per policy ---- *)
+
+let overflow_run policy =
+  let p =
+    Pasta.Processor.create ~range:(Pasta.Range.create ()) ~buffer_capacity:4
+      ~overflow_policy:policy ~device:0 ()
+  in
+  let seen = ref [] in
+  Pasta.Processor.set_tool p
+    {
+      (Pasta.Tool.default "sink") with
+      Pasta.Tool.on_access =
+        (fun _ a -> seen := a.Pasta.Event.addr :: !seen);
+    };
+  let ki = mk_kernel_info () in
+  for i = 1 to 10 do
+    Pasta.Processor.submit_access p ~time_us:0.0 ki (mk_access i)
+  done;
+  Pasta.Processor.flush_records p;
+  let stats = Pasta.Processor.stats p in
+  (List.rev !seen, stats.Pasta.Processor.records_dropped,
+   stats.Pasta.Processor.buffer_stalls)
+
+let test_drop_oldest_counts () =
+  let delivered, dropped, stalls =
+    overflow_run Pasta_util.Ring_buffer.Drop_oldest
+  in
+  (* 10 pushed into capacity 4: the six oldest are evicted. *)
+  check_int "exactly 6 dropped" 6 dropped;
+  check_int "no stalls" 0 stalls;
+  Alcotest.(check (list int)) "newest 4 survive" [ 7; 8; 9; 10 ] delivered
+
+let test_drop_newest_counts () =
+  let delivered, dropped, stalls =
+    overflow_run Pasta_util.Ring_buffer.Drop_newest
+  in
+  (* 10 pushed into capacity 4: the six newest are rejected at the door. *)
+  check_int "exactly 6 dropped" 6 dropped;
+  check_int "no stalls" 0 stalls;
+  Alcotest.(check (list int)) "oldest 4 survive" [ 1; 2; 3; 4 ] delivered
+
+let test_block_is_lossless () =
+  let delivered, dropped, stalls = overflow_run Pasta_util.Ring_buffer.Block in
+  check_int "nothing dropped" 0 dropped;
+  check_bool "producer stalled to drain" true (stalls >= 1);
+  Alcotest.(check (list int)) "all 10 delivered in order"
+    [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ]
+    delivered
+
+(* ---- Fault injection: deterministic, and survivable ---- *)
+
+let fault_run seed =
+  let device = Gpusim.Device.create Gpusim.Arch.a100 in
+  let ctx = Dlfw.Ctx.create device in
+  let faults = Gpusim.Faults.create ~seed () in
+  let kf = Pasta_tools.Kernel_freq.create () in
+  let tx = Pasta.Trace_export.create () in
+  (* The injector rides on the first session to attach; later sessions on
+     the same device never stack a second one. *)
+  let trace_session =
+    Pasta.Session.attach ~faults ~tool:(Pasta.Trace_export.tool tx) device
+  in
+  let (), result =
+    Pasta.Session.run ~faults ~tool:(Pasta_tools.Kernel_freq.tool kf) device
+      (fun () ->
+        let m = Dlfw.Bert.build ~batch:1 ~seq:32 ~layers:2 ~dim:64 ~heads:4 ctx in
+        Dlfw.Model.inference_iter ctx m;
+        Dlfw.Model.train_iter ctx m)
+  in
+  let _ = Pasta.Session.detach trace_session in
+  let json = Pasta.Trace_export.to_json tx in
+  let report = Format.asprintf "%t" result.Pasta.Session.report in
+  let health = Format.asprintf "%a" Pasta.Session.pp_health result.Pasta.Session.health in
+  let fs = result.Pasta.Session.health.Pasta.Session.fault_stats in
+  Dlfw.Ctx.destroy ctx;
+  (json, report, health, fs)
+
+let test_fault_injection_deterministic () =
+  let j1, r1, h1, fs1 = fault_run 0x5EEDL in
+  let j2, r2, h2, fs2 = fault_run 0x5EEDL in
+  check_bool "event stream byte-identical" true (String.equal j1 j2);
+  check_bool "tool report byte-identical" true (String.equal r1 r2);
+  check_bool "health report byte-identical" true (String.equal h1 h2);
+  (match (fs1, fs2) with
+  | Some a, Some b ->
+      check_int "same dropped" a.Gpusim.Faults.dropped_events
+        b.Gpusim.Faults.dropped_events;
+      check_int "same duplicated" a.Gpusim.Faults.duplicated_events
+        b.Gpusim.Faults.duplicated_events;
+      check_int "same corrupted" a.Gpusim.Faults.corrupted_accesses
+        b.Gpusim.Faults.corrupted_accesses;
+      check_int "same ecc" a.Gpusim.Faults.ecc_errors b.Gpusim.Faults.ecc_errors;
+      check_bool "faults actually fired" true
+        (a.Gpusim.Faults.dropped_events + a.Gpusim.Faults.duplicated_events
+         + a.Gpusim.Faults.ecc_errors
+         > 0)
+  | _ -> Alcotest.fail "fault stats missing from health report")
+
+let test_fault_seed_matters () =
+  let j1, _, _, _ = fault_run 0x5EEDL in
+  let j2, _, _, _ = fault_run 0xACE1L in
+  check_bool "different seeds, different streams" false (String.equal j1 j2)
+
+let test_stuck_kernel_trips_watchdog () =
+  (* Force the stuck-kernel fault on every launch; the session watchdog
+     must flag them without the run failing. *)
+  let device = Gpusim.Device.create Gpusim.Arch.a100 in
+  let ctx = Dlfw.Ctx.create device in
+  let rates =
+    {
+      Gpusim.Faults.stuck_kernel = 1.0;
+      drop_event = 0.0;
+      duplicate_event = 0.0;
+      corrupt_access = 0.0;
+      ecc_per_kernel = 0.0;
+    }
+  in
+  let faults = Gpusim.Faults.create ~rates ~seed:7L () in
+  (* A tiny kernel x10000 is still short; lower the limit so the trip is
+     about detection, not about waiting out a real hour-long hang. *)
+  Pasta.Config.set "ACCEL_PROF_WATCHDOG_US" "10.0";
+  Fun.protect ~finally:(fun () -> Pasta.Config.unset "ACCEL_PROF_WATCHDOG_US")
+  @@ fun () ->
+  let (), result =
+    Pasta.Session.run ~faults ~tool:(Pasta.Tool.default "quiet") device
+      (fun () ->
+        let x = Dlfw.Ops.new_tensor ctx [ 256; 256 ] Dlfw.Dtype.F32 in
+        let y = Dlfw.Ops.relu ctx x in
+        Dlfw.Tensor.release x;
+        Dlfw.Tensor.release y)
+  in
+  let h = result.Pasta.Session.health in
+  check_bool "watchdog tripped" true (h.Pasta.Session.watchdog_trips <> []);
+  (match h.Pasta.Session.fault_stats with
+  | Some fs -> check_bool "stuck kernels counted" true (fs.Gpusim.Faults.stuck_kernels >= 1)
+  | None -> Alcotest.fail "fault stats missing");
+  Dlfw.Ctx.destroy ctx
+
+let test_faults_cleared_after_session () =
+  let device = Gpusim.Device.create Gpusim.Arch.a100 in
+  let faults = Gpusim.Faults.create ~seed:1L () in
+  let (), _ =
+    Pasta.Session.run ~faults ~tool:(Pasta.Tool.default "quiet") device
+      (fun () -> ())
+  in
+  check_bool "injector removed at detach" true
+    (Gpusim.Device.faults device = None)
+
+let suite =
+  [
+    ("raising tool is quarantined, workload survives", `Quick,
+     test_raising_tool_quarantined);
+    ("broken tool does not perturb the workload", `Quick,
+     test_raising_tool_matches_clean_run);
+    ("guard half-open probe reinstates", `Quick, test_guard_half_open_reinstates);
+    ("drop-oldest: exact counts", `Quick, test_drop_oldest_counts);
+    ("drop-newest: exact counts", `Quick, test_drop_newest_counts);
+    ("block policy is lossless", `Quick, test_block_is_lossless);
+    ("fault injection deterministic under fixed seed", `Quick,
+     test_fault_injection_deterministic);
+    ("fault seed changes the stream", `Quick, test_fault_seed_matters);
+    ("stuck kernel trips the watchdog", `Quick, test_stuck_kernel_trips_watchdog);
+    ("injector cleared after session", `Quick, test_faults_cleared_after_session);
+  ]

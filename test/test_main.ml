@@ -16,6 +16,7 @@ let () =
       ("coverage", Test_coverage.suite);
       ("training-features", Test_training_features.suite);
       ("properties", Test_properties.suite);
+      ("faults", Test_faults.suite);
       ("streams", Test_streams.suite);
       ("models", Test_models.suite);
     ]

@@ -260,8 +260,14 @@ let test_processor_access_dispatch () =
   Pasta.Processor.set_tool p
     { (Pasta.Tool.default "t") with Pasta.Tool.on_access = (fun _ _ -> incr accesses) };
   let access = { Pasta.Event.addr = 0; size = 4; write = false; pc = 0; warp = 0; weight = 1 } in
+  (* Records sit in the bounded buffer until a kernel-end or explicit flush. *)
   Pasta.Processor.submit_access p ~time_us:0.0 (mk_kernel_info ()) access;
-  check_int "access dispatched" 1 !accesses
+  check_int "record buffered, not yet dispatched" 0 !accesses;
+  Pasta.Processor.flush_records p;
+  check_int "access dispatched on flush" 1 !accesses;
+  Pasta.Processor.flush_records p;
+  check_int "flush is idempotent" 1 !accesses;
+  check_int "nothing dropped" 0 (Pasta.Processor.stats p).Pasta.Processor.records_dropped
 
 (* ---- Session end-to-end ---- *)
 

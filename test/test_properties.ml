@@ -137,6 +137,117 @@ let prop_sass_static_counts =
       (* No shared-memory block: exactly one LDG/STG per region. *)
       List.length (Gpusim.Sass.memory_pcs (Gpusim.Sass.listing k)) = nregions)
 
+(* ---- Bounded ring buffer under overflow policies ---- *)
+
+let overflow_gen =
+  QCheck.make
+    ~print:(fun p -> Pasta_util.Ring_buffer.overflow_to_string p)
+    (QCheck.Gen.oneofl
+       Pasta_util.Ring_buffer.[ Drop_oldest; Drop_newest; Block ])
+
+let prop_ring_overflow_conservation =
+  QCheck.Test.make ~name:"ring overflow: stored + dropped + stalled = pushed"
+    ~count:300
+    QCheck.(
+      triple (int_range 1 16) (small_list small_nat) overflow_gen)
+    (fun (cap, xs, policy) ->
+      let rb = Pasta_util.Ring_buffer.create ~capacity:cap in
+      (* Per push: entered the buffer, rejected at the door, or stalled the
+         producer.  An eviction both enters the new and drops an old one. *)
+      let entered = ref 0 and evicted = ref 0 and rejected = ref 0 in
+      let stalled = ref 0 in
+      List.iter
+        (fun x ->
+          match Pasta_util.Ring_buffer.push_overflow rb ~overflow:policy x with
+          | `Stored -> incr entered
+          | `Evicted _ -> incr entered; incr evicted
+          | `Rejected -> incr rejected
+          | `Full -> incr stalled)
+        xs;
+      !entered + !rejected + !stalled = List.length xs
+      && Pasta_util.Ring_buffer.length rb = !entered - !evicted
+      && Pasta_util.Ring_buffer.length rb = min cap !entered)
+
+let prop_ring_drop_oldest_keeps_newest =
+  QCheck.Test.make ~name:"drop-oldest keeps exactly the newest K" ~count:300
+    QCheck.(pair (int_range 1 16) (small_list small_nat))
+    (fun (cap, xs) ->
+      let rb = Pasta_util.Ring_buffer.create ~capacity:cap in
+      List.iter
+        (fun x ->
+          let (_ : [ `Stored | `Evicted of int | `Rejected | `Full ]) =
+            Pasta_util.Ring_buffer.push_overflow rb
+              ~overflow:Pasta_util.Ring_buffer.Drop_oldest x
+          in
+          ())
+        xs;
+      let rec drain acc =
+        match Pasta_util.Ring_buffer.pop rb with
+        | None -> List.rev acc
+        | Some x -> drain (x :: acc)
+      in
+      let n = List.length xs in
+      let expected =
+        List.filteri (fun i _ -> i >= n - min cap n) xs
+      in
+      drain [] = expected)
+
+let prop_ring_drop_newest_keeps_oldest =
+  QCheck.Test.make ~name:"drop-newest keeps exactly the oldest K" ~count:300
+    QCheck.(pair (int_range 1 16) (small_list small_nat))
+    (fun (cap, xs) ->
+      let rb = Pasta_util.Ring_buffer.create ~capacity:cap in
+      List.iter
+        (fun x ->
+          let (_ : [ `Stored | `Evicted of int | `Rejected | `Full ]) =
+            Pasta_util.Ring_buffer.push_overflow rb
+              ~overflow:Pasta_util.Ring_buffer.Drop_newest x
+          in
+          ())
+        xs;
+      let rec drain acc =
+        match Pasta_util.Ring_buffer.pop rb with
+        | None -> List.rev acc
+        | Some x -> drain (x :: acc)
+      in
+      let n = List.length xs in
+      let expected = List.filteri (fun i _ -> i < min cap n) xs in
+      drain [] = expected)
+
+let prop_ring_block_never_loses =
+  QCheck.Test.make ~name:"block policy never loses a record" ~count:300
+    QCheck.(pair (int_range 1 8) (small_list small_nat))
+    (fun (cap, xs) ->
+      let rb = Pasta_util.Ring_buffer.create ~capacity:cap in
+      let out = ref [] in
+      let drain () =
+        let rec go () =
+          match Pasta_util.Ring_buffer.pop rb with
+          | None -> ()
+          | Some x -> out := x :: !out; go ()
+        in
+        go ()
+      in
+      List.iter
+        (fun x ->
+          match
+            Pasta_util.Ring_buffer.push_overflow rb
+              ~overflow:Pasta_util.Ring_buffer.Block x
+          with
+          | `Stored | `Evicted _ | `Rejected -> ()
+          | `Full ->
+              (* the producer stalls: drain, then the push must succeed *)
+              drain ();
+              (match
+                 Pasta_util.Ring_buffer.push_overflow rb
+                   ~overflow:Pasta_util.Ring_buffer.Block x
+               with
+              | `Stored -> ()
+              | _ -> failwith "push after drain must store"))
+        xs;
+      drain ();
+      List.rev !out = xs)
+
 let suite =
   [
     qtest prop_histogram_merge_commutative;
@@ -147,4 +258,8 @@ let suite =
     qtest prop_objmap_tensor_shadows_alloc;
     qtest prop_stats_scale_invariance;
     qtest prop_sass_static_counts;
+    qtest prop_ring_overflow_conservation;
+    qtest prop_ring_drop_oldest_keeps_newest;
+    qtest prop_ring_drop_newest_keeps_oldest;
+    qtest prop_ring_block_never_loses;
   ]
