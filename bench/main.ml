@@ -543,6 +543,7 @@ let ablation () =
              {
                buffer_records = buffer_bytes / Gpusim.Costmodel.record_bytes;
                on_record = (fun _ _ -> ());
+               on_batch = None;
                per_record_us = Gpusim.Costmodel.sanitizer_host_per_record_us;
              });
         ignore (Runner.run_default ctx "BERT" ~mode:Runner.Inference);
@@ -642,6 +643,7 @@ let bechamel_benches () =
          {
            buffer_records = Vendor.Sanitizer.default_buffer_records;
            on_record = (fun _ a -> count := !count + a.Gpusim.Warp.weight);
+           on_batch = None;
            per_record_us = Gpusim.Costmodel.sanitizer_host_per_record_us;
          });
     fun () -> ignore (Gpusim.Device.launch device kernel)
@@ -694,6 +696,172 @@ let bechamel_benches () =
     names
 
 (* ------------------------------------------------------------------ *)
+(* Pipeline: batched parallel preprocessing vs per-record delivery.    *)
+(* ------------------------------------------------------------------ *)
+
+type pipeline_run = {
+  p_records : int;
+  p_wall_s : float;
+  p_report : string;  (* rendered tool output, for byte-identity checks *)
+}
+
+(* One BERT-inference run under fine-grained hotness.  [`Serial] is the
+   legacy per-record path: every sampled record crosses the ring buffer
+   alone and becomes one event allocation, one dispatch and one
+   [on_access] call.  [`Parallel n] is the batched path: packed chunks,
+   an [n]-domain device-side reduction, one merged summary per kernel. *)
+let pipeline_run ~sample_cap ~iters kind =
+  (match kind with
+  | `Serial ->
+      Pasta.Config.set "ACCEL_PROF_DOMAINS" "1";
+      (* the pre-batching pipeline: one host callback, one ring-buffer
+         push and one event dispatch per record *)
+      Pasta.Config.set "ACCEL_PROF_BATCH_DELIVERY" "0"
+  | `Parallel n -> Pasta.Config.set "ACCEL_PROF_DOMAINS" (string_of_int n));
+  let device = Gpusim.Device.create Gpusim.Arch.a100 in
+  let ctx = Dlfw.Ctx.create device in
+  let records = ref 0 in
+  let tool, render =
+    match kind with
+    | `Serial ->
+        (* Same unit of per-sample tool work as the hotness accumulator,
+           so the comparison measures the delivery pipeline, not the tool. *)
+        let samples = ref [] in
+        let tool =
+          {
+            (Pasta.Tool.default ~fine_grained:Pasta.Tool.Cpu_sanitizer "hotness_serial") with
+            Pasta.Tool.on_access =
+              (fun _ a ->
+                incr records;
+                samples :=
+                  (a.Pasta.Event.addr / Pasta_tools.Hotness.block_bytes, a.Pasta.Event.weight)
+                  :: !samples);
+          }
+        in
+        (tool, fun () -> Printf.sprintf "serial: %d block samples" (List.length !samples))
+    | `Parallel _ ->
+        let hot = Pasta_tools.Hotness.create () in
+        let base = Pasta_tools.Hotness.tool_fine hot in
+        let tool =
+          {
+            base with
+            Pasta.Tool.on_device_summary =
+              (fun info s ->
+                records := !records + s.Pasta.Devagg.sampled_records;
+                base.Pasta.Tool.on_device_summary info s);
+          }
+        in
+        (tool, fun () -> Format.asprintf "%t" (fun ppf -> Pasta_tools.Hotness.report hot ppf))
+  in
+  let t0 = Unix.gettimeofday () in
+  let session = Pasta.Session.attach ~sample_rate:sample_cap ~tool device in
+  let model = Runner.build ctx "BERT" in
+  Runner.run ctx model ~mode:Runner.Inference ~iters;
+  let (_ : Pasta.Session.result) = Pasta.Session.detach session in
+  let wall = Unix.gettimeofday () -. t0 in
+  Dlfw.Ctx.destroy ctx;
+  Pasta.Config.unset "ACCEL_PROF_DOMAINS";
+  Pasta.Config.unset "ACCEL_PROF_BATCH_DELIVERY";
+  { p_records = !records; p_wall_s = wall; p_report = render () }
+
+let pipeline () =
+  section
+    "Pipeline: per-record delivery vs batched parallel preprocessing (BERT inference, \
+     fine-grained hotness)";
+  let sample_cap = 4096 and iters = 1 and reps = 3 in
+  let best kind =
+    let runs = List.init reps (fun _ -> pipeline_run ~sample_cap ~iters kind) in
+    List.fold_left
+      (fun acc r -> if r.p_wall_s < acc.p_wall_s then r else acc)
+      (List.hd runs) (List.tl runs)
+  in
+  let serial = best `Serial in
+  let par = List.map (fun d -> (d, best (`Parallel d))) [ 1; 2; 4; 8 ] in
+  let rps r = float_of_int r.p_records /. r.p_wall_s in
+  let row name r =
+    [
+      name;
+      string_of_int r.p_records;
+      Printf.sprintf "%.1f" (1000.0 *. r.p_wall_s);
+      Printf.sprintf "%.2e" (rps r);
+      Printf.sprintf "%.2fx" (serial.p_wall_s /. r.p_wall_s);
+    ]
+  in
+  Pasta_util.Texttab.render ppf
+    ~header:[ "configuration"; "records"; "wall (ms)"; "records/s"; "speedup" ]
+    ~align:[ Pasta_util.Texttab.Left; Right; Right; Right; Right ]
+    (row "serial (per-record)" serial
+    :: List.map
+         (fun (d, r) ->
+           row (Printf.sprintf "batched, %d domain%s" d (if d = 1 then "" else "s")) r)
+         par);
+  let digests = List.map (fun (d, r) -> (d, Digest.to_hex (Digest.string r.p_report))) par in
+  let deterministic =
+    match digests with
+    | [] -> true
+    | (_, d0) :: rest -> List.for_all (fun (_, d) -> d = d0) rest
+  in
+  Format.fprintf ppf "@.tool output %s across domain counts (md5 %s)@."
+    (if deterministic then "byte-identical" else "DIVERGES")
+    (match digests with (_, d) :: _ -> d | [] -> "-");
+  let b = Buffer.create 1024 in
+  Printf.bprintf b "{\n";
+  Printf.bprintf b "  \"experiment\": \"pipeline\",\n";
+  Printf.bprintf b "  \"workload\": \"BERT-inference\",\n";
+  Printf.bprintf b "  \"sample_cap\": %d,\n  \"iters\": %d,\n" sample_cap iters;
+  Printf.bprintf b
+    "  \"serial\": { \"records\": %d, \"wall_s\": %.6f, \"records_per_sec\": %.1f },\n"
+    serial.p_records serial.p_wall_s (rps serial);
+  Printf.bprintf b "  \"parallel\": [\n";
+  List.iteri
+    (fun i (d, r) ->
+      Printf.bprintf b
+        "    { \"domains\": %d, \"records\": %d, \"wall_s\": %.6f, \"records_per_sec\": \
+         %.1f, \"speedup_vs_serial\": %.3f, \"digest\": \"%s\" }%s\n"
+        d r.p_records r.p_wall_s (rps r)
+        (serial.p_wall_s /. r.p_wall_s)
+        (Digest.to_hex (Digest.string r.p_report))
+        (if i = List.length par - 1 then "" else ","))
+    par;
+  Printf.bprintf b "  ],\n";
+  let sp4 =
+    match List.assoc_opt 4 par with
+    | Some r -> serial.p_wall_s /. r.p_wall_s
+    | None -> 0.0
+  in
+  Printf.bprintf b "  \"speedup_4_domains_vs_serial\": %.3f,\n" sp4;
+  Printf.bprintf b "  \"deterministic_across_domains\": %b\n}\n" deterministic;
+  let oc = open_out "BENCH_pipeline.json" in
+  output_string oc (Buffer.contents b);
+  close_out oc;
+  Format.fprintf ppf "wrote BENCH_pipeline.json@."
+
+(* Tiny divergence gate for `dune build @perf-smoke` (part of runtest):
+   the batched path must see exactly the records the per-record path
+   sees, and its output must not depend on the domain count. *)
+let pipeline_smoke () =
+  let sample_cap = 64 and iters = 1 in
+  let serial = pipeline_run ~sample_cap ~iters `Serial in
+  let par = List.map (fun d -> (d, pipeline_run ~sample_cap ~iters (`Parallel d))) [ 1; 2; 4 ] in
+  let digests = List.map (fun (_, r) -> Digest.to_hex (Digest.string r.p_report)) par in
+  let same_digest =
+    match digests with [] -> true | d :: rest -> List.for_all (( = ) d) rest
+  in
+  if not same_digest then begin
+    prerr_endline "perf-smoke: FAIL - parallel tool output diverges across domain counts";
+    exit 1
+  end;
+  if List.exists (fun (_, r) -> r.p_records <> serial.p_records) par then begin
+    Printf.eprintf "perf-smoke: FAIL - record counts diverge (serial %d vs parallel %s)\n"
+      serial.p_records
+      (String.concat "/" (List.map (fun (_, r) -> string_of_int r.p_records) par));
+    exit 1
+  end;
+  Printf.printf "perf-smoke: OK - %d records, identical output at 1/2/4 domains (md5 %s)\n"
+    serial.p_records
+    (match digests with d :: _ -> d | [] -> "-")
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -710,6 +878,7 @@ let experiments =
     ("instr", instr);
     ("ablation", ablation);
     ("bechamel", bechamel_benches);
+    ("pipeline", pipeline);
   ]
 
 (* Run one experiment, optionally capturing its output into
@@ -734,6 +903,11 @@ let run_experiment ~out (name, f) =
         f
 
 let () =
+  (* The simulated workloads allocate heavily, and every minor collection
+     is a stop-the-world handshake across all domains — including parked
+     pool workers.  A larger minor heap keeps the GC out of the
+     measurements for serial and parallel configurations alike. *)
+  Gc.set { (Gc.get ()) with Gc.minor_heap_size = 8 * 1024 * 1024 };
   let args = Array.to_list Sys.argv |> List.tl |> List.filter (fun a -> a <> "--") in
   let out, args =
     match args with
@@ -744,6 +918,7 @@ let () =
   in
   match args with
   | [] -> List.iter (run_experiment ~out) experiments
+  | [ "pipeline-smoke" ] -> pipeline_smoke ()
   | [ "list" ] ->
       List.iter (fun (name, _) -> Format.fprintf ppf "%s@." name) experiments
   | names ->

@@ -63,6 +63,17 @@ let sample_arg =
         ~doc:"Max materialized trace records per kernel region \
               (ACCEL_PROF_ENV_SAMPLE_RATE).")
 
+let domains_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "domains" ] ~docv:"N"
+        ~doc:
+          "Domain-pool size for parallel device-side preprocessing \
+           (ACCEL_PROF_DOMAINS). 1 runs fully serial; the default is the \
+           machine's recommended domain count, capped at 8. Results are \
+           identical for every value.")
+
 let start_grid_arg =
   Arg.(
     value
@@ -116,10 +127,13 @@ let model_arg =
     & pos 0 (some string) None
     & info [] ~docv:"MODEL" ~doc:"Workload: AN, RN-18, RN-34, BERT, GPT-2 or Whisper.")
 
-let run_profile tool_name gpu mode iters sample_rate start_grid end_grid verbose health
-    inject_faults fault_seed trace model =
+let run_profile tool_name gpu mode iters sample_rate domains start_grid end_grid verbose
+    health inject_faults fault_seed trace model =
   Pasta_tools.Tools.register_all ();
   if inject_faults then Pasta.Config.set "ACCEL_PROF_INJECT_FAULTS" "1";
+  Option.iter
+    (fun n -> Pasta.Config.set "ACCEL_PROF_DOMAINS" (string_of_int n))
+    domains;
   Option.iter
     (fun s -> Pasta.Config.set "ACCEL_PROF_FAULT_SEED" (Int64.to_string s))
     fault_seed;
@@ -195,7 +209,7 @@ let profile_cmd =
     Term.(
       ret
         (const run_profile $ tool_arg $ gpu_arg $ mode_arg $ iters_arg $ sample_arg
-       $ start_grid_arg $ end_grid_arg $ verbose_arg $ health_arg
+       $ domains_arg $ start_grid_arg $ end_grid_arg $ verbose_arg $ health_arg
        $ inject_faults_arg $ fault_seed_arg $ trace_arg $ model_arg))
   in
   let info =

@@ -33,6 +33,7 @@ type instrument = {
   on_kernel_entry : launch_info -> unit;
   on_region : launch_info -> Kernel.region -> unit;
   on_access : launch_info -> Warp.access -> unit;
+  on_access_batch : (launch_info -> Warp.batch -> unit) option;
   on_kernel_exit : launch_info -> exec_stats -> unit;
 }
 
@@ -43,11 +44,13 @@ type t = {
   mem : Device_mem.t;
   uvm : Uvm.t;
   rng : Pasta_util.Det_rng.t;
+  key_seed : int64;  (* root of the per-chunk generation streams *)
   mutable probes : probe list;
   mutable instrument : instrument option;
   mutable grid_counter : int;
   mutable sample_cap : int;
   mutable faults : Faults.t option;
+  mutable pool : Pasta_util.Domain_pool.t option;
   stream_busy : (int, float) Hashtbl.t; (* stream -> absolute completion us *)
 }
 
@@ -61,11 +64,13 @@ let create ?(id = 0) ?uvm_capacity ?(seed = 0x9A57AL) arch =
     mem = Device_mem.create ~capacity:arch.Arch.mem_bytes ();
     uvm = Uvm.create arch clock ~capacity:uvm_capacity;
     rng = Pasta_util.Det_rng.create (Int64.add seed (Int64.of_int id));
+    key_seed = Int64.add seed (Int64.of_int id);
     probes = [];
     instrument = None;
     grid_counter = 0;
     sample_cap = 128;
     faults = None;
+    pool = None;
     stream_busy = Hashtbl.create 4;
   }
 
@@ -93,6 +98,10 @@ let clear_instrument t = t.instrument <- None
 let set_faults t f = t.faults <- Some f
 let clear_faults t = t.faults <- None
 let faults t = t.faults
+
+let set_pool t p = t.pool <- Some p
+let clear_pool t = t.pool <- None
+let pool t = t.pool
 
 (* API enter/exit events pair with phase accounting in the vendor
    substrates, and alloc/free events keep the object registry truthful, so
@@ -208,15 +217,47 @@ let launch t ?(stream = 0) kernel =
     | None -> Kernel.total_accesses kernel
     | Some i ->
         List.iter (fun r -> i.on_region info r) kernel.Kernel.regions;
-        if i.materialize then
-          Warp.generate ~rng:t.rng ~warp_size:t.arch.Arch.warp_size
-            ~max_records_per_region:t.sample_cap kernel ~f:(fun a ->
-              let a =
-                match t.faults with
-                | Some f -> Faults.corrupt_access f a
-                | None -> a
-              in
-              i.on_access info a)
+        if i.materialize then begin
+          (* Chunked generation: the chunk layout and every per-chunk RNG
+             stream are pure functions of (kernel, sample cap, grid_id), so
+             running the chunks inline or on a pool of any size yields the
+             same batches.  The merge below walks the plan order, giving
+             downstream consumers one deterministic record stream. *)
+          let specs = Warp.plan ~max_records_per_region:t.sample_cap kernel in
+          let nspecs = Array.length specs in
+          let corrupt =
+            match t.faults with
+            | Some f ->
+                let rates = Faults.rates f and fseed = Faults.seed f in
+                fun b -> Faults.corrupt_batch ~rates ~seed:fseed ~grid_id:info.grid_id b
+            | None -> fun _ -> 0
+          in
+          let gen idx =
+            let spec = specs.(idx) in
+            let rng =
+              Pasta_util.Det_rng.of_key t.key_seed
+                [| info.grid_id; spec.Warp.cs_region_idx; spec.Warp.cs_chunk |]
+            in
+            let b = Warp.fill_chunk ~rng ~warp_size:t.arch.Arch.warp_size spec in
+            (b, corrupt b)
+          in
+          let results =
+            match t.pool with
+            | Some p when Pasta_util.Domain_pool.size p > 1 && nspecs > 1 ->
+                Pasta_util.Domain_pool.map p nspecs gen
+            | _ -> Array.init nspecs gen
+          in
+          Array.iter
+            (fun (b, corrupted) ->
+              (match t.faults with
+              | Some f when corrupted > 0 -> Faults.note_corrupted f corrupted
+              | _ -> ());
+              match i.on_access_batch with
+              | Some fb -> fb info b
+              | None -> Warp.iter_batch b ~f:(fun a -> i.on_access info a))
+            results;
+          Kernel.total_accesses kernel
+        end
         else Kernel.total_accesses kernel
   in
   let stats = { duration_us = duration; true_accesses; faulted_pages = !faulted } in

@@ -51,6 +51,10 @@ type instrument = {
   on_kernel_entry : launch_info -> unit;
   on_region : launch_info -> Kernel.region -> unit;
   on_access : launch_info -> Warp.access -> unit;
+  on_access_batch : (launch_info -> Warp.batch -> unit) option;
+      (** when set, materialized records arrive as packed {!Warp.batch}es
+          (in deterministic (region, chunk) order) instead of one
+          [on_access] call per record *)
   on_kernel_exit : launch_info -> exec_stats -> unit;
 }
 
@@ -94,6 +98,18 @@ val clear_instrument : t -> unit
 val set_faults : t -> Faults.t -> unit
 val clear_faults : t -> unit
 val faults : t -> Faults.t option
+
+(** {2 Parallel preprocessing}
+
+    With a {!Pasta_util.Domain_pool} installed, materialized record
+    generation (and fault corruption of those records) shards across the
+    pool by region-chunk.  Chunk layout and per-chunk RNG streams are
+    independent of the pool size, so output is byte-identical with or
+    without a pool. *)
+
+val set_pool : t -> Pasta_util.Domain_pool.t -> unit
+val clear_pool : t -> unit
+val pool : t -> Pasta_util.Domain_pool.t option
 
 (** {2 Runtime surface} *)
 

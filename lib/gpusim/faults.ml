@@ -84,6 +84,39 @@ let corrupt_access t (a : Warp.access) =
         { a with Warp.write = not a.Warp.write }
   end
 
+let corrupt_batch ~rates ~seed ~grid_id (b : Warp.batch) =
+  if rates.corrupt_access <= 0.0 then 0
+  else begin
+    (* Purely keyed by (seed, grid, region, chunk): workers corrupt their
+       own chunks on any domain without touching shared injector state, and
+       the faults land on the same records for every domain count.  The
+       salt keeps this stream clear of the generation stream even if the
+       fault seed and device seed coincide. *)
+    let rng =
+      Pasta_util.Det_rng.of_key
+        (Int64.logxor seed 0x3C6EF372FE94F82BL)
+        [| grid_id; b.Warp.b_region; b.Warp.b_chunk |]
+    in
+    let corrupted = ref 0 in
+    for i = 0 to b.Warp.b_len - 1 do
+      if Pasta_util.Det_rng.prob rng rates.corrupt_access then begin
+        incr corrupted;
+        match Pasta_util.Det_rng.int rng 3 with
+        | 0 ->
+            let bit = Pasta_util.Det_rng.int rng 40 in
+            b.Warp.addrs.(i) <- b.Warp.addrs.(i) lxor (1 lsl bit)
+        | 1 -> b.Warp.sizes.(i) <- 1 lsl Pasta_util.Det_rng.int rng 12
+        | _ ->
+            Bytes.set b.Warp.writes i
+              (if Bytes.get b.Warp.writes i = '\000' then '\001' else '\000')
+      end
+    done;
+    !corrupted
+  end
+
+let note_corrupted t n =
+  t.stats.corrupted_accesses <- t.stats.corrupted_accesses + n
+
 let kernel_duration_us t duration =
   if Pasta_util.Det_rng.prob t.rng t.rates.stuck_kernel then begin
     t.stats.stuck_kernels <- t.stats.stuck_kernels + 1;

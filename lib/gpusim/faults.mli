@@ -50,6 +50,17 @@ val event_fate : t -> [ `Deliver | `Drop | `Duplicate ]
 val corrupt_access : t -> Warp.access -> Warp.access
 (** Possibly perturb the record's address/size/kind, counting it. *)
 
+val corrupt_batch : rates:rates -> seed:int64 -> grid_id:int -> Warp.batch -> int
+(** [corrupt_batch ~rates ~seed ~grid_id b] perturbs records of [b] in
+    place, drawing from a stream keyed purely by
+    [(seed, grid_id, b.b_region, b.b_chunk)], and returns how many records
+    were corrupted.  Stateless and domain-safe: the same faults hit the
+    same records for any domain count.  Callers account the returned count
+    with {!note_corrupted} during the ordered merge. *)
+
+val note_corrupted : t -> int -> unit
+(** Add [n] to the injector's corrupted-access total. *)
+
 val kernel_duration_us : t -> float -> float
 (** Possibly turn the launch into a stuck kernel. *)
 

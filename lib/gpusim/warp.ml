@@ -39,6 +39,120 @@ let region_records ~rng ~warp_size ~max_records (r : Kernel.region) ~pc ~f =
     done
   end
 
+(* ---- Chunked generation into packed batches ------------------------- *)
+
+(* Fixed shard size, deliberately independent of how many domains will run
+   the chunks: the chunk layout — and therefore every derived RNG stream —
+   is a function of the kernel alone, which is what makes output identical
+   for any domain count. *)
+let chunk_records = 1024
+
+type batch = {
+  b_region : int;
+  b_chunk : int;
+  b_pc : int;
+  b_len : int;
+  addrs : int array;
+  sizes : int array;
+  warps : int array;
+  weights : int array;
+  writes : Bytes.t;  (* one 0/1 byte per record *)
+}
+
+let batch_len b = b.b_len
+let batch_weight b = Array.fold_left ( + ) 0 b.weights
+
+let batch_get b i =
+  {
+    addr = b.addrs.(i);
+    size = b.sizes.(i);
+    write = Bytes.get b.writes i <> '\000';
+    warp_id = b.warps.(i);
+    pc = b.b_pc;
+    weight = b.weights.(i);
+  }
+
+let iter_batch b ~f =
+  for i = 0 to b.b_len - 1 do
+    f (batch_get b i)
+  done
+
+type chunk_spec = {
+  cs_region : Kernel.region;
+  cs_region_idx : int;
+  cs_pc : int;
+  cs_n : int;  (* sampled records in the whole region *)
+  cs_chunk : int;
+  cs_start : int;  (* first record index of this chunk *)
+  cs_len : int;
+}
+
+let plan ~max_records_per_region k =
+  let specs = ref [] in
+  List.iteri
+    (fun ri (r : Kernel.region) ->
+      if r.accesses > 0 then begin
+        let pc = (3 + (2 * ri) + 1) * 16 in
+        let n = min r.accesses max_records_per_region in
+        let chunks = (n + chunk_records - 1) / chunk_records in
+        for c = 0 to chunks - 1 do
+          let start = c * chunk_records in
+          let len = min chunk_records (n - start) in
+          specs :=
+            {
+              cs_region = r;
+              cs_region_idx = ri;
+              cs_pc = pc;
+              cs_n = n;
+              cs_chunk = c;
+              cs_start = start;
+              cs_len = len;
+            }
+            :: !specs
+        done
+      end)
+    k.Kernel.regions;
+  Array.of_list (List.rev !specs)
+
+let fill_chunk ~rng ~warp_size spec =
+  let r = spec.cs_region in
+  let n = spec.cs_n and len = spec.cs_len in
+  let base_weight = r.Kernel.accesses / n and extra = r.Kernel.accesses mod n in
+  let span = max 1 (r.Kernel.bytes - access_size) in
+  let addrs = Array.make len 0
+  and sizes = Array.make len access_size
+  and warps = Array.make len 0
+  and weights = Array.make len 0
+  and writes = Bytes.make len (if r.Kernel.write then '\001' else '\000') in
+  for j = 0 to len - 1 do
+    let i = spec.cs_start + j in
+    (* Same sampling formulas as [region_records]; [Random] draws from the
+       chunk-keyed stream so the values do not depend on which domain — or
+       in which order — chunks execute. *)
+    let offset =
+      match r.Kernel.pattern with
+      | Kernel.Sequential -> span * i / n
+      | Kernel.Strided stride ->
+          let s = max access_size stride in
+          s * i mod span
+      | Kernel.Random -> Pasta_util.Det_rng.int rng span
+    in
+    addrs.(j) <- r.Kernel.base + offset;
+    warps.(j) <- i * warp_size mod max warp_size (span / access_size) / warp_size;
+    weights.(j) <- (base_weight + if i < extra then 1 else 0)
+  done;
+  {
+    b_region = spec.cs_region_idx;
+    b_chunk = spec.cs_chunk;
+    b_pc = spec.cs_pc;
+    b_len = len;
+    addrs;
+    sizes;
+    warps;
+    weights;
+    writes;
+  }
+
 let generate ~rng ~warp_size ~max_records_per_region k ~f =
   (* PCs must match the SASS listing: region i's access instruction is the
      second instruction of its access block, after a 3-instruction

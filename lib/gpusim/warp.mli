@@ -19,6 +19,61 @@ type access = {
   weight : int;  (** true accesses this sampled record represents *)
 }
 
+(** {2 Chunked generation}
+
+    The parallel preprocessing path shards each region's records into
+    fixed-size chunks and fills one packed flat-array {!batch} per chunk.
+    The chunk layout depends only on the kernel and the sampling cap — never
+    on the domain count — and each chunk draws from its own
+    [Det_rng.of_key]-derived stream, so the concatenated batches are
+    byte-identical whether chunks run serially or on any number of
+    domains. *)
+
+val chunk_records : int
+(** Records per generation chunk (fixed; the determinism contract depends on
+    it being independent of the domain count). *)
+
+type batch = private {
+  b_region : int;  (** region index within the kernel *)
+  b_chunk : int;  (** chunk index within the region *)
+  b_pc : int;  (** PC shared by every record of the region *)
+  b_len : int;
+  addrs : int array;
+  sizes : int array;
+  warps : int array;
+  weights : int array;
+  writes : Bytes.t;  (** one 0/1 byte per record *)
+}
+(** A packed chunk of sampled records.  Mutable internals are exposed
+    read-only; fault injection mutates them through {!Faults}. *)
+
+val batch_len : batch -> int
+val batch_weight : batch -> int
+(** Sum of record weights, i.e. the true accesses the batch stands for. *)
+
+val batch_get : batch -> int -> access
+val iter_batch : batch -> f:(access -> unit) -> unit
+
+type chunk_spec = private {
+  cs_region : Kernel.region;
+  cs_region_idx : int;
+  cs_pc : int;
+  cs_n : int;  (** sampled records in the whole region *)
+  cs_chunk : int;
+  cs_start : int;  (** first record index covered by this chunk *)
+  cs_len : int;
+}
+
+val plan : max_records_per_region:int -> Kernel.t -> chunk_spec array
+(** [plan ~max_records_per_region k] lists the generation chunks of [k] in
+    (region, chunk) order; empty regions yield no chunks. *)
+
+val fill_chunk : rng:Pasta_util.Det_rng.t -> warp_size:int -> chunk_spec -> batch
+(** [fill_chunk ~rng ~warp_size spec] materializes the records of one chunk.
+    Addresses follow the same sampling formulas as {!generate}; [Random]
+    regions draw from [rng], which callers must derive per chunk with
+    [Det_rng.of_key]. Safe to call from any domain. *)
+
 val generate :
   rng:Pasta_util.Det_rng.t ->
   warp_size:int ->

@@ -112,6 +112,15 @@ let access_feeder t (info : D.launch_info) (a : Gpusim.Warp.access) =
       weight = a.Gpusim.Warp.weight;
     }
 
+let batch_feeder t (info : D.launch_info) (b : Gpusim.Warp.batch) =
+  Processor.submit_access_batch t.processor ~time_us:(D.now_us t.device)
+    (Event.kernel_info_of_launch info)
+    b
+
+let parallel_completion_feeder t (info : D.launch_info) (_ : D.exec_stats) =
+  Processor.flush_parallel_summary t.processor ~time_us:(D.now_us t.device)
+    (Event.kernel_info_of_launch info)
+
 let enable_fine_grained t mode =
   let map_bytes () = Objmap.map_bytes (Processor.objmap t.processor) in
   match (mode, t.session) with
@@ -129,14 +138,28 @@ let enable_fine_grained t mode =
         ~on_kernel_complete:(completion_feeder t)
   | Tool.Gpu_accelerated, S_nvbit _ ->
       invalid_arg "Backend: NVBit supports only CPU-side trace analysis"
-  | (Tool.Gpu_accelerated | Tool.Cpu_sanitizer | Tool.Cpu_nvbit | Tool.Instruction_level), S_xprof _ ->
+  | ( ( Tool.Gpu_accelerated | Tool.Gpu_parallel | Tool.Cpu_sanitizer | Tool.Cpu_nvbit
+      | Tool.Instruction_level ),
+      S_xprof _ ) ->
       invalid_arg "Backend: TPUs expose no fine-grained instrumentation"
+  | Tool.Gpu_parallel, S_sanitizer s ->
+      Vendor.Sanitizer.patch_module s
+        (Vendor.Sanitizer.Parallel_analysis
+           {
+             map_bytes;
+             on_batch = batch_feeder t;
+             on_kernel_complete = parallel_completion_feeder t;
+           })
+  | Tool.Gpu_parallel, _ ->
+      invalid_arg "Backend: parallel device analysis needs the Sanitizer backend"
   | Tool.Cpu_sanitizer, S_sanitizer s ->
       Vendor.Sanitizer.patch_module s
         (Vendor.Sanitizer.Host_analysis
            {
              buffer_records = Vendor.Sanitizer.default_buffer_records;
              on_record = access_feeder t;
+             on_batch =
+               (if Config.batch_delivery () then Some (batch_feeder t) else None);
              per_record_us = Gpusim.Costmodel.sanitizer_host_per_record_us;
            })
   | Tool.Cpu_nvbit, S_nvbit s ->

@@ -43,6 +43,17 @@ let watchdog_us () =
   | Some v when v > 0.0 -> v
   | _ -> 1_000_000.0
 
+let batch_delivery () =
+  match get "ACCEL_PROF_BATCH_DELIVERY" with
+  | Some ("0" | "false" | "no" | "off") -> false
+  | _ -> true
+
+let domains () =
+  let cap = max 1 (min 8 (Domain.recommended_domain_count ())) in
+  match get_int "ACCEL_PROF_DOMAINS" with
+  | Some n when n > 0 -> min n 64
+  | _ -> cap
+
 let inject_faults () =
   match get "ACCEL_PROF_INJECT_FAULTS" with
   | Some ("1" | "true" | "yes" | "on") -> true

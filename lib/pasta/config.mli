@@ -43,6 +43,18 @@ val watchdog_us : unit -> float
 (** [ACCEL_PROF_WATCHDOG_US]: kernel duration above which the session
     watchdog flags a stuck kernel (default 1e6 us). *)
 
+val batch_delivery : unit -> bool
+(** [ACCEL_PROF_BATCH_DELIVERY]: deliver host-analyzed records to the
+    processor as packed batches (default).  Setting it to [0]/[off]
+    restores the legacy one-callback-per-record path — same results,
+    higher overhead; kept as an A/B switch for overhead studies. *)
+
+val domains : unit -> int
+(** [ACCEL_PROF_DOMAINS]: domain-pool size for parallel device-side
+    preprocessing.  Defaults to [Domain.recommended_domain_count ()]
+    capped at 8; explicit values are honoured up to 64.  Size 1 means
+    fully serial (no domains spawned). *)
+
 val inject_faults : unit -> bool
 (** [ACCEL_PROF_INJECT_FAULTS]: enable deterministic fault injection for
     sessions that don't install their own injector. *)

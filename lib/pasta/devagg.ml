@@ -1,0 +1,243 @@
+(* Device-side partial aggregation of materialized access batches.
+
+   Mirrors the paper's GPU-resident reduction (Fig. 2b): each shard — one
+   generation chunk — reduces its records into per-object counts, a block
+   histogram and coalesced address intervals, independently and on any
+   domain; the shards then merge in deterministic chunk order at kernel
+   end.  Summary-only tools consume the merged result and never see raw
+   records.  All per-count quantities are weighted by record weight, i.e.
+   they are exact true-access counts, not sample counts. *)
+
+module W = Gpusim.Warp
+
+let block_bytes = 2 * 1024 * 1024
+
+type shard = {
+  s_objects : (int, Objmap.obj * int) Hashtbl.t;  (* obj_key -> (obj, weight) *)
+  s_blocks : (int, int) Hashtbl.t;  (* block index -> weight *)
+  s_intervals : (int * int) list;  (* sorted disjoint [base, limit) *)
+  s_records : int;
+  s_weight : int;
+  s_writes : int;
+}
+
+type summary = {
+  objects : (Objmap.obj * int) list;
+  blocks : (int * int) list;
+  coalesced : (int * int) list;
+  sampled_records : int;
+  true_accesses : int;
+  writes : int;
+}
+
+(* Fuse overlapping or adjacent [base, limit) pairs of a base-sorted list. *)
+let fuse = function
+  | [] -> []
+  | (b0, l0) :: rest ->
+      let acc, cur =
+        List.fold_left
+          (fun (acc, (cb, cl)) (b, l) ->
+            if b <= cl then (acc, (cb, max cl l)) else ((cb, cl) :: acc, (b, l)))
+          ([], (b0, l0))
+          rest
+      in
+      List.rev (cur :: acc)
+
+(* Merge two base-sorted interval lists, preserving base order. *)
+let rec merge_sorted a b =
+  match (a, b) with
+  | [], l | l, [] -> l
+  | ((ab, _) as x) :: a', ((bb, _) as y) :: b' ->
+      if (ab : int) <= bb then x :: merge_sorted a' b else y :: merge_sorted a b'
+
+(* In-place quicksort of [a.(lo..hi)] with primitive int comparisons;
+   [Array.sort compare] would pay a polymorphic-compare call per
+   comparison, which dominates the whole reduction. *)
+let rec qsort (a : int array) lo hi =
+  if hi - lo < 16 then
+    for i = lo + 1 to hi do
+      let v = a.(i) in
+      let j = ref (i - 1) in
+      while !j >= lo && a.(!j) > v do
+        a.(!j + 1) <- a.(!j);
+        decr j
+      done;
+      a.(!j + 1) <- v
+    done
+  else begin
+    let x = a.(lo) and y = a.(lo + ((hi - lo) / 2)) and z = a.(hi) in
+    let pivot = max (min x y) (min (max x y) z) in
+    let i = ref lo and j = ref hi in
+    while !i <= !j do
+      while a.(!i) < pivot do
+        incr i
+      done;
+      while a.(!j) > pivot do
+        decr j
+      done;
+      if !i <= !j then begin
+        let t = a.(!i) in
+        a.(!i) <- a.(!j);
+        a.(!j) <- t;
+        incr i;
+        decr j
+      end
+    done;
+    if lo < !j then qsort a lo !j;
+    if !i < hi then qsort a !i hi
+  end
+
+let is_sorted (a : int array) n =
+  let ok = ref true in
+  let i = ref 1 in
+  while !ok && !i < n do
+    if a.(!i - 1) > a.(!i) then ok := false;
+    incr i
+  done;
+  !ok
+
+(* Access sizes fit comfortably below this, so an interval packs into one
+   immediate int as [addr * pack + size]; sorting the packed array orders
+   by (addr, size) without boxing anything. *)
+let ival_pack = 8192
+
+let aggregate view (b : W.batch) =
+  let objects = Hashtbl.create 16 and blocks = Hashtbl.create 32 in
+  let weight = ref 0 and writes = ref 0 in
+  let ivals = Array.make (max 1 b.W.b_len) 0 in
+  (* Generation chunks have strong locality — long runs of records hit the
+     same object and the same 2 MiB block — so both tallies are run-length
+     accumulated and only touch their hashtable when the run breaks.  The
+     resolve memo is shard-local for the same reason Objmap's is not used
+     here: it must be domain-safe. *)
+  let memo_base = ref min_int and memo_limit = ref min_int in
+  let memo_obj = ref (Objmap.Unknown 0) in
+  let cur_key = ref min_int and cur_obj = ref (Objmap.Unknown 0) and cur_w = ref 0 in
+  let cur_blk = ref min_int and cur_blk_w = ref 0 in
+  let flush_obj () =
+    if !cur_w > 0 then begin
+      let key = !cur_key in
+      match Hashtbl.find_opt objects key with
+      | Some (o, acc) -> Hashtbl.replace objects key (o, acc + !cur_w)
+      | None -> Hashtbl.add objects key (!cur_obj, !cur_w)
+    end
+  in
+  let flush_blk () =
+    if !cur_blk_w > 0 then
+      Hashtbl.replace blocks !cur_blk
+        (!cur_blk_w + Option.value ~default:0 (Hashtbl.find_opt blocks !cur_blk))
+  in
+  for i = 0 to b.W.b_len - 1 do
+    let addr = b.W.addrs.(i) and w = b.W.weights.(i) in
+    let obj =
+      if addr >= !memo_base && addr < !memo_limit then !memo_obj
+      else
+        match Objmap.resolve_view view addr with
+        | Objmap.Unknown _ as u -> u
+        | obj ->
+            let base = Objmap.obj_key obj in
+            memo_base := base;
+            memo_limit := base + Objmap.obj_bytes obj;
+            memo_obj := obj;
+            obj
+    in
+    let key = Objmap.obj_key obj in
+    if key = !cur_key then cur_w := !cur_w + w
+    else begin
+      flush_obj ();
+      cur_key := key;
+      cur_obj := obj;
+      cur_w := w
+    end;
+    let blk = addr / block_bytes in
+    if blk = !cur_blk then cur_blk_w := !cur_blk_w + w
+    else begin
+      flush_blk ();
+      cur_blk := blk;
+      cur_blk_w := w
+    end;
+    weight := !weight + w;
+    if Bytes.get b.W.writes i <> '\000' then writes := !writes + w;
+    ivals.(i) <- (addr * ival_pack) + min (ival_pack - 1) b.W.sizes.(i)
+  done;
+  flush_obj ();
+  flush_blk ();
+  let intervals =
+    let n = b.W.b_len in
+    if n = 0 then []
+    else begin
+      (* Sequential chunks arrive already sorted; only strided/random
+         layouts pay for the sort. *)
+      if not (is_sorted ivals n) then qsort ivals 0 (n - 1);
+      (* One coalescing pass over the sorted packed endpoints. *)
+      let out = ref [] in
+      let cb = ref (ivals.(0) / ival_pack) in
+      let cl = ref (!cb + (ivals.(0) mod ival_pack)) in
+      for i = 1 to n - 1 do
+        let base = ivals.(i) / ival_pack in
+        let limit = base + (ivals.(i) mod ival_pack) in
+        if base <= !cl then cl := max !cl limit
+        else begin
+          out := (!cb, !cl) :: !out;
+          cb := base;
+          cl := limit
+        end
+      done;
+      List.rev ((!cb, !cl) :: !out)
+    end
+  in
+  {
+    s_objects = objects;
+    s_blocks = blocks;
+    s_intervals = intervals;
+    s_records = b.W.b_len;
+    s_weight = !weight;
+    s_writes = !writes;
+  }
+
+let merge shards =
+  let objects = Hashtbl.create 32 and blocks = Hashtbl.create 64 in
+  let intervals = ref [] and records = ref 0 and weight = ref 0 and writes = ref 0 in
+  Array.iter
+    (fun s ->
+      (* Accumulating sums is order-insensitive, and the sorted output below
+         makes the result independent of hash iteration order. *)
+      Hashtbl.iter
+        (fun key (obj, w) ->
+          match Hashtbl.find_opt objects key with
+          | Some (o, acc) -> Hashtbl.replace objects key (o, acc + w)
+          | None -> Hashtbl.add objects key (obj, w))
+        s.s_objects;
+      Hashtbl.iter
+        (fun blk w ->
+          Hashtbl.replace blocks blk (w + Option.value ~default:0 (Hashtbl.find_opt blocks blk)))
+        s.s_blocks;
+      (* Each shard's intervals are sorted and disjoint, so a linear merge
+         keeps the accumulator sorted without ever re-sorting. *)
+      intervals := merge_sorted s.s_intervals !intervals;
+      records := !records + s.s_records;
+      weight := !weight + s.s_weight;
+      writes := !writes + s.s_writes)
+    shards;
+  {
+    objects =
+      List.sort
+        (fun (a, _) (b, _) -> compare (Objmap.obj_key a) (Objmap.obj_key b))
+        (Hashtbl.fold (fun _ ow acc -> ow :: acc) objects []);
+    blocks =
+      List.sort
+        (fun ((a, _) : int * int) (b, _) -> compare a b)
+        (Hashtbl.fold (fun b w acc -> (b, w) :: acc) blocks []);
+    coalesced = fuse !intervals;
+    sampled_records = !records;
+    true_accesses = !weight;
+    writes = !writes;
+  }
+
+let pp ppf s =
+  Format.fprintf ppf
+    "@[<v>%d objects, %d hot blocks, %d coalesced extents; %d records standing for %d \
+     accesses (%d writes)@]"
+    (List.length s.objects) (List.length s.blocks)
+    (List.length s.coalesced)
+    s.sampled_records s.true_accesses s.writes

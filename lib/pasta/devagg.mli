@@ -1,0 +1,32 @@
+(** Device-side partial aggregation of access batches.
+
+    The parallel preprocessing path reduces each generation chunk into a
+    {!shard} — per-object weighted counts (through an {!Objmap.view}
+    snapshot), a [block_bytes]-granular access histogram and coalesced
+    address intervals — then {!merge}s the shards in deterministic chunk
+    order.  Aggregation is pure with respect to shared state, so shards can
+    be computed on any domain; the merged {!summary} is identical for every
+    domain count.  Counts are weighted, i.e. exact true-access totals. *)
+
+val block_bytes : int
+(** Histogram granularity (2 MiB, matching the hotness tool's blocks). *)
+
+type shard
+
+val aggregate : Objmap.view -> Gpusim.Warp.batch -> shard
+(** Reduce one batch.  Safe to call concurrently from worker domains. *)
+
+type summary = {
+  objects : (Objmap.obj * int) list;  (** weighted counts, sorted by object key *)
+  blocks : (int * int) list;  (** (block index, weighted count), sorted *)
+  coalesced : (int * int) list;  (** disjoint touched extents, sorted *)
+  sampled_records : int;
+  true_accesses : int;  (** sum of record weights *)
+  writes : int;  (** weighted write accesses *)
+}
+
+val merge : shard array -> summary
+(** Combine shards (callers pass them in chunk order; the result is in fact
+    order-insensitive because all counts are sums and outputs are sorted). *)
+
+val pp : Format.formatter -> summary -> unit

@@ -62,6 +62,8 @@ type payload =
   | Memory_free of { addr : int; bytes : int }
   | Synchronization of { scope : [ `Device | `Stream of int ] }
   | Global_access of { kernel : kernel_info; access : mem_access }
+  | Access_batch of { kernel : kernel_info; batch : Gpusim.Warp.batch }
+  | Device_summary of { kernel : kernel_info; summary : Devagg.summary }
   | Shared_access of { kernel : kernel_info; access : mem_access }
   | Kernel_region of { kernel : kernel_info; region : region_summary }
   | Barrier of { kernel : kernel_info; count : int }
@@ -84,6 +86,8 @@ let kind_name = function
   | Memory_free _ -> "memory_free"
   | Synchronization _ -> "synchronization"
   | Global_access _ -> "global_access"
+  | Access_batch _ -> "access_batch"
+  | Device_summary _ -> "device_summary"
   | Shared_access _ -> "shared_access"
   | Kernel_region _ -> "kernel_region"
   | Barrier _ -> "barrier"
@@ -95,7 +99,8 @@ let kind_name = function
   | Tool_quarantined _ -> "tool_quarantined"
 
 let is_fine_grained = function
-  | Global_access _ | Shared_access _ | Kernel_region _ | Barrier _ | Kernel_profile _ ->
+  | Global_access _ | Access_batch _ | Device_summary _ | Shared_access _
+  | Kernel_region _ | Barrier _ | Kernel_profile _ ->
       true
   | _ -> false
 
@@ -134,6 +139,12 @@ let pp ppf { device; time_us; payload } =
       Format.fprintf ppf "gmem %s 0x%x %s w=%d" kernel.name access.addr
         (if access.write then "st" else "ld")
         access.weight
+  | Access_batch { kernel; batch } ->
+      Format.fprintf ppf "gmem-batch %s %d records w=%d" kernel.name
+        (Gpusim.Warp.batch_len batch)
+        (Gpusim.Warp.batch_weight batch)
+  | Device_summary { kernel; summary } ->
+      Format.fprintf ppf "device-summary %s %a" kernel.name Devagg.pp summary
   | Shared_access { kernel; _ } -> Format.fprintf ppf "smem %s" kernel.name
   | Kernel_region { kernel; region } ->
       Format.fprintf ppf "region %s 0x%x+%a %d accesses" kernel.name region.base

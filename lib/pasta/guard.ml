@@ -3,7 +3,9 @@ type callback =
   | On_kernel_begin
   | On_kernel_end
   | On_mem_summary
+  | On_device_summary
   | On_access
+  | On_access_batch
   | On_kernel_profile
   | On_operator
   | On_tensor
@@ -15,7 +17,9 @@ let all_callbacks =
     On_kernel_begin;
     On_kernel_end;
     On_mem_summary;
+    On_device_summary;
     On_access;
+    On_access_batch;
     On_kernel_profile;
     On_operator;
     On_tensor;
@@ -27,7 +31,9 @@ let callback_name = function
   | On_kernel_begin -> "on_kernel_begin"
   | On_kernel_end -> "on_kernel_end"
   | On_mem_summary -> "on_mem_summary"
+  | On_device_summary -> "on_device_summary"
   | On_access -> "on_access"
+  | On_access_batch -> "on_access_batch"
   | On_kernel_profile -> "on_kernel_profile"
   | On_operator -> "on_operator"
   | On_tensor -> "on_tensor"
@@ -38,11 +44,13 @@ let callback_index = function
   | On_kernel_begin -> 1
   | On_kernel_end -> 2
   | On_mem_summary -> 3
-  | On_access -> 4
-  | On_kernel_profile -> 5
-  | On_operator -> 6
-  | On_tensor -> 7
-  | Report -> 8
+  | On_device_summary -> 4
+  | On_access -> 5
+  | On_access_batch -> 6
+  | On_kernel_profile -> 7
+  | On_operator -> 8
+  | On_tensor -> 9
+  | Report -> 10
 
 type state = Closed | Quarantined | Half_open
 

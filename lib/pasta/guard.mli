@@ -17,7 +17,9 @@ type callback =
   | On_kernel_begin
   | On_kernel_end
   | On_mem_summary
+  | On_device_summary
   | On_access
+  | On_access_batch
   | On_kernel_profile
   | On_operator
   | On_tensor

@@ -21,35 +21,75 @@ let obj_label = function
 type alloc_rec = { a_bytes : int; managed : bool }
 type tensor_rec = { t_bytes : int; tag : string }
 
+(* Single-entry memoization of the last successful resolve: access streams
+   have strong sequential locality (consecutive records usually fall in the
+   same object), so one cached extent absorbs most lookups.  Any registry
+   mutation invalidates the entry wholesale — a new tensor can overlay the
+   memoized allocation, changing what the same address resolves to. *)
+type memo = { m_base : int; m_limit : int; m_obj : obj }
+
 type t = {
   mutable allocs : alloc_rec Imap.t;
   mutable tensors : tensor_rec Imap.t;
+  mutable memo : memo option;
+  mutable memo_hits : int;
+  mutable memo_misses : int;
 }
 
-let create () = { allocs = Imap.empty; tensors = Imap.empty }
+let create () =
+  { allocs = Imap.empty; tensors = Imap.empty; memo = None; memo_hits = 0; memo_misses = 0 }
 
 let on_alloc t ~addr ~bytes ~managed =
+  t.memo <- None;
   t.allocs <- Imap.add addr { a_bytes = bytes; managed } t.allocs
 
-let on_free t ~addr = t.allocs <- Imap.remove addr t.allocs
+let on_free t ~addr =
+  t.memo <- None;
+  t.allocs <- Imap.remove addr t.allocs
 
 let on_tensor_alloc t ~ptr ~bytes ~tag =
+  t.memo <- None;
   t.tensors <- Imap.add ptr { t_bytes = bytes; tag } t.tensors
 
-let on_tensor_free t ~ptr = t.tensors <- Imap.remove ptr t.tensors
+let on_tensor_free t ~ptr =
+  t.memo <- None;
+  t.tensors <- Imap.remove ptr t.tensors
 
 let find_covering map addr size_of =
   match Imap.find_last_opt (fun b -> b <= addr) map with
   | Some (base, r) when addr < base + size_of r -> Some (base, r)
   | _ -> None
 
-let resolve t addr =
-  match find_covering t.tensors addr (fun r -> r.t_bytes) with
+let resolve_uncached tensors allocs addr =
+  match find_covering tensors addr (fun r -> r.t_bytes) with
   | Some (ptr, r) -> Tensor { ptr; bytes = r.t_bytes; tag = r.tag }
   | None -> (
-      match find_covering t.allocs addr (fun r -> r.a_bytes) with
+      match find_covering allocs addr (fun r -> r.a_bytes) with
       | Some (ptr, r) -> Device_alloc { ptr; bytes = r.a_bytes; managed = r.managed }
       | None -> Unknown addr)
+
+let resolve t addr =
+  match t.memo with
+  | Some m when addr >= m.m_base && addr < m.m_limit ->
+      t.memo_hits <- t.memo_hits + 1;
+      m.m_obj
+  | _ -> (
+      t.memo_misses <- t.memo_misses + 1;
+      match resolve_uncached t.tensors t.allocs addr with
+      | Unknown _ as u -> u
+      | obj ->
+          let base = obj_key obj in
+          t.memo <- Some { m_base = base; m_limit = base + obj_bytes obj; m_obj = obj };
+          obj)
+
+let memo_stats t = (t.memo_hits, t.memo_misses)
+
+(* Immutable snapshot for worker domains: the maps are persistent, so a view
+   shares structure with the registry but never observes later mutations. *)
+type view = { v_allocs : alloc_rec Imap.t; v_tensors : tensor_rec Imap.t }
+
+let view t = { v_allocs = t.allocs; v_tensors = t.tensors }
+let resolve_view v addr = resolve_uncached v.v_tensors v.v_allocs addr
 
 let live_objects t = Imap.cardinal t.allocs + Imap.cardinal t.tensors
 let live_allocs t = List.map (fun (b, r) -> (b, r.a_bytes)) (Imap.bindings t.allocs)

@@ -33,6 +33,21 @@ val on_tensor_alloc : t -> ptr:int -> bytes:int -> tag:string -> unit
 val on_tensor_free : t -> ptr:int -> unit
 
 val resolve : t -> int -> obj
+(** Resolution keeps a single-entry memo of the last successful lookup —
+    access streams are sequentially local, so most resolutions hit it.  Any
+    registry mutation invalidates the memo. *)
+
+val memo_stats : t -> int * int
+(** [(hits, misses)] of the resolve memo since [create]. *)
+
+type view
+(** Immutable snapshot of the registry, safe to share across domains. *)
+
+val view : t -> view
+val resolve_view : view -> int -> obj
+(** Like {!resolve} against the snapshot; no memo, no mutation, and
+    therefore callable from any domain concurrently. *)
+
 val live_objects : t -> int
 (** Count of live allocations plus live tensors. *)
 

@@ -11,9 +11,24 @@ type stats = {
   mutable records_dropped : int;
   mutable records_buffered_peak : int;
   mutable buffer_stalls : int;
+  mutable accesses_filtered : int;
+  mutable batches_delivered : int;
+  mutable objmap_memo_hits : int;
+  mutable objmap_memo_misses : int;
 }
 
 type pending_region = { p_base : int; p_extent : int; p_accesses : int; p_written : bool }
+
+(* The bounded buffer holds either legacy single records or packed batches;
+   all drop/peak accounting below counts *records*, so the two shapes are
+   indistinguishable in the health report. *)
+type buffered =
+  | B_one of Event.kernel_info * Event.mem_access * float
+  | B_batch of Event.kernel_info * Gpusim.Warp.batch * float
+
+let buffered_count = function
+  | B_one _ -> 1
+  | B_batch (_, b, _) -> Gpusim.Warp.batch_len b
 
 type t = {
   device : int;
@@ -21,8 +36,10 @@ type t = {
   range : Range.t;
   mutable guard : Guard.t option;
   stats : stats;
-  buf : (Event.kernel_info * Event.mem_access * float) Ring_buffer.t;
+  buf : buffered Ring_buffer.t;
   policy : Ring_buffer.overflow;
+  mutable pool : Pasta_util.Domain_pool.t option;
+  mutable buffered_records : int;  (* records currently in [buf] *)
   mutable incidents : Event.t list; (* most recent first *)
   mutable last_time_us : float;
   mutable pending : (int * pending_region list) option;
@@ -54,9 +71,15 @@ let create ?range ?buffer_capacity ?overflow_policy ~device () =
         records_dropped = 0;
         records_buffered_peak = 0;
         buffer_stalls = 0;
+        accesses_filtered = 0;
+        batches_delivered = 0;
+        objmap_memo_hits = 0;
+        objmap_memo_misses = 0;
       };
     buf = Ring_buffer.create ~capacity;
     policy;
+    pool = None;
+    buffered_records = 0;
     incidents = [];
     last_time_us = 0.0;
     pending = None;
@@ -64,7 +87,15 @@ let create ?range ?buffer_capacity ?overflow_policy ~device () =
 
 let objmap t = t.objmap
 let range t = t.range
-let stats t = t.stats
+
+let stats t =
+  let hits, misses = Objmap.memo_stats t.objmap in
+  t.stats.objmap_memo_hits <- hits;
+  t.stats.objmap_memo_misses <- misses;
+  t.stats
+
+let set_pool t p = t.pool <- Some p
+let clear_pool t = t.pool <- None
 let guard t = t.guard
 let tool t = Option.map Guard.tool t.guard
 let incidents t = List.rev t.incidents
@@ -142,6 +173,8 @@ let in_range t payload =
   match payload with
   | Event.Kernel_launch { info; _ }
   | Event.Global_access { kernel = info; _ }
+  | Event.Access_batch { kernel = info; _ }
+  | Event.Device_summary { kernel = info; _ }
   | Event.Shared_access { kernel = info; _ }
   | Event.Kernel_region { kernel = info; _ }
   | Event.Kernel_profile { kernel = info; _ }
@@ -150,6 +183,16 @@ let in_range t payload =
   | _ -> Range.active_now t.range
 
 (* --- Bounded record buffer (paper Fig. 2a's device trace buffer) --- *)
+
+let mem_access_of_warp (a : Gpusim.Warp.access) =
+  {
+    Event.addr = a.Gpusim.Warp.addr;
+    size = a.Gpusim.Warp.size;
+    write = a.Gpusim.Warp.write;
+    pc = a.Gpusim.Warp.pc;
+    warp = a.Gpusim.Warp.warp_id;
+    weight = a.Gpusim.Warp.weight;
+  }
 
 let deliver_record t (info, access, time_us) =
   dispatch t
@@ -160,21 +203,57 @@ let deliver_record t (info, access, time_us) =
     };
   guard_call t Guard.On_access (fun tool -> tool.Tool.on_access info access)
 
-let flush_records t = List.iter (deliver_record t) (Ring_buffer.drain t.buf)
+let deliver_batch t info batch time_us =
+  let batch_aware =
+    match tool t with
+    | Some tl -> tl.Tool.on_access_batch <> None
+    | None -> false
+  in
+  if batch_aware then begin
+    t.stats.batches_delivered <- t.stats.batches_delivered + 1;
+    dispatch t
+      {
+        Event.device = t.device;
+        time_us;
+        payload = Event.Access_batch { kernel = info; batch };
+      };
+    guard_call t Guard.On_access_batch (fun tool ->
+        match tool.Tool.on_access_batch with
+        | Some f -> f info batch
+        | None -> ())
+  end
+  else
+    (* Per-record fallback: exactly the legacy event stream — one
+       Global_access dispatch and one on_access call per record. *)
+    Gpusim.Warp.iter_batch batch ~f:(fun a ->
+        deliver_record t (info, mem_access_of_warp a, time_us))
 
-let buffer_record t item =
+let deliver_item t = function
+  | B_one (info, access, time_us) -> deliver_record t (info, access, time_us)
+  | B_batch (info, batch, time_us) -> deliver_batch t info batch time_us
+
+let flush_records t =
+  let items = Ring_buffer.drain t.buf in
+  t.buffered_records <- 0;
+  List.iter (deliver_item t) items
+
+let buffer_item t item =
   (match Ring_buffer.push_overflow t.buf ~overflow:t.policy item with
-  | `Stored -> ()
-  | `Evicted _ | `Rejected -> t.stats.records_dropped <- t.stats.records_dropped + 1
+  | `Stored -> t.buffered_records <- t.buffered_records + buffered_count item
+  | `Evicted old ->
+      t.stats.records_dropped <- t.stats.records_dropped + buffered_count old;
+      t.buffered_records <-
+        t.buffered_records + buffered_count item - buffered_count old
+  | `Rejected -> t.stats.records_dropped <- t.stats.records_dropped + buffered_count item
   | `Full ->
       (* Block: the producer stalls while the consumer drains, then the
          record lands; nothing is lost. *)
       t.stats.buffer_stalls <- t.stats.buffer_stalls + 1;
       flush_records t;
       let (_ : bool) = Ring_buffer.push t.buf item in
-      ());
+      t.buffered_records <- buffered_count item);
   t.stats.records_buffered_peak <-
-    max t.stats.records_buffered_peak (Ring_buffer.length t.buf)
+    max t.stats.records_buffered_peak t.buffered_records
 
 let submit t ~time_us payload =
   t.stats.events_seen <- t.stats.events_seen + 1;
@@ -253,7 +332,57 @@ let submit_access t ~time_us (info : Event.kernel_info) access =
   t.stats.events_seen <- t.stats.events_seen + 1;
   t.last_time_us <- time_us;
   if Range.active t.range ~grid_id:info.Event.grid_id then
-    buffer_record t (info, access, time_us)
+    buffer_item t (B_one (info, access, time_us))
+  else t.stats.accesses_filtered <- t.stats.accesses_filtered + 1
+
+let submit_access_batch t ~time_us (info : Event.kernel_info) batch =
+  let len = Gpusim.Warp.batch_len batch in
+  t.stats.events_seen <- t.stats.events_seen + len;
+  t.last_time_us <- time_us;
+  if Range.active t.range ~grid_id:info.Event.grid_id then
+    buffer_item t (B_batch (info, batch, time_us))
+  else t.stats.accesses_filtered <- t.stats.accesses_filtered + len
+
+(* Kernel-end reduction for [Gpu_parallel] tools: drain this kernel's
+   batches, aggregate each shard (over the pool when one is installed),
+   merge in deterministic order, and hand the tool a single summary.  Raw
+   records never reach the tool. *)
+let flush_parallel_summary t ~time_us (info : Event.kernel_info) =
+  t.last_time_us <- time_us;
+  let items = Ring_buffer.drain t.buf in
+  t.buffered_records <- 0;
+  let mine, others =
+    List.partition
+      (function
+        | B_batch (i, _, _) -> i.Event.grid_id = info.Event.grid_id
+        | B_one _ -> false)
+      items
+  in
+  List.iter (deliver_item t) others;
+  let batches =
+    Array.of_list
+      (List.filter_map (function B_batch (_, b, _) -> Some b | B_one _ -> None) mine)
+  in
+  if Array.length batches > 0 then begin
+    t.stats.summaries_flushed <- t.stats.summaries_flushed + 1;
+    let view = Objmap.view t.objmap in
+    let shards =
+      match t.pool with
+      | Some p when Pasta_util.Domain_pool.size p > 1 && Array.length batches > 1 ->
+          Pasta_util.Domain_pool.map p (Array.length batches) (fun i ->
+              Devagg.aggregate view batches.(i))
+      | _ -> Array.map (Devagg.aggregate view) batches
+    in
+    let summary = Devagg.merge shards in
+    dispatch t
+      {
+        Event.device = t.device;
+        time_us;
+        payload = Event.Device_summary { kernel = info; summary };
+      };
+    guard_call t Guard.On_device_summary (fun tool ->
+        tool.Tool.on_device_summary info summary)
+  end
 
 let submit_profile t ~time_us (info : Event.kernel_info) profile =
   t.stats.events_seen <- t.stats.events_seen + 1;

@@ -26,9 +26,19 @@ type stats = {
       (** per-callback failure counts, keyed by callback name *)
   mutable records_dropped : int;
       (** fine-grained records lost to buffer overflow *)
-  mutable records_buffered_peak : int;  (** bounded-buffer high-water mark *)
+  mutable records_buffered_peak : int;
+      (** bounded-buffer high-water mark, in records (a batch counts its
+          length) *)
   mutable buffer_stalls : int;
       (** producer stalls under the [Block] overflow policy *)
+  mutable accesses_filtered : int;
+      (** access records counted in [events_seen] but withheld from the
+          tool by the range filter; [events_seen = delivered + dropped +
+          filtered + buffered] for the access path *)
+  mutable batches_delivered : int;
+      (** packed batches handed to a batch-aware tool *)
+  mutable objmap_memo_hits : int;  (** {!Objmap} resolve-memo hits *)
+  mutable objmap_memo_misses : int;
 }
 
 type t
@@ -54,7 +64,16 @@ val guard : t -> Guard.t option
 
 val objmap : t -> Objmap.t
 val range : t -> Range.t
+
 val stats : t -> stats
+(** Live counters; the objmap memo fields are refreshed on each call. *)
+
+val set_pool : t -> Pasta_util.Domain_pool.t -> unit
+(** Install a domain pool for parallel kernel-end aggregation
+    ([Gpu_parallel] mode).  Without one, shards aggregate inline — same
+    results, serially. *)
+
+val clear_pool : t -> unit
 
 val incidents : t -> Event.t list
 (** Supervision incidents ({!Event.Tool_quarantined} so far) in emission
@@ -83,6 +102,22 @@ val submit_access : t -> time_us:float -> Event.kernel_info -> Event.mem_access 
     enter the bounded buffer and are delivered at the next kernel-end (or
     {!flush_records}); the overflow policy decides what happens when the
     producer outruns the drain points. *)
+
+val submit_access_batch :
+  t -> time_us:float -> Event.kernel_info -> Gpusim.Warp.batch -> unit
+(** Feed one packed record batch.  Counts every record in [events_seen];
+    in-range batches enter the bounded buffer whole.  At delivery a tool
+    with [on_access_batch] receives the batch as-is (one {!Event.Access_batch}
+    event); any other tool gets the legacy per-record stream — one
+    [Global_access] event and [on_access] call per record, in batch
+    order. *)
+
+val flush_parallel_summary : t -> time_us:float -> Event.kernel_info -> unit
+(** Kernel-end reduction for [Gpu_parallel] tools: drain the finishing
+    kernel's batches, aggregate shards (on the installed pool when
+    present), merge deterministically and dispatch one
+    {!Event.Device_summary} plus the tool's [on_device_summary].  Buffered
+    items belonging to other kernels are delivered normally. *)
 
 val flush_records : t -> unit
 (** Drain the bounded record buffer to the tool now. *)

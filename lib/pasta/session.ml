@@ -12,6 +12,8 @@ type t = {
   the_tool : Tool.t;
   start_us : float;
   saved_sample_cap : int;
+  saved_pool : Pasta_util.Domain_pool.t option;
+      (* whatever pool the device had before we attached *)
   dog : watchdog;
   installed_faults : Gpusim.Faults.t option;
       (* the injector this session installed (and must tear down) *)
@@ -26,6 +28,9 @@ type health = {
   events_suppressed : int;
   records_dropped : int;
   records_buffered_peak : int;
+  accesses_filtered : int;
+  batches_delivered : int;
+  domains : int;
   buffer_capacity : int;
   overflow_policy : string;
   buffer_stalls : int;
@@ -78,6 +83,16 @@ let attach ?backend ?range ?sample_rate ?faults ~tool device =
   Backend.enable_fine_grained b tool.Tool.fine_grained;
   let dl = Dl_hooks.attach device ~processor:proc in
   let saved_sample_cap = Gpusim.Device.sample_cap device in
+  (* Parallel preprocessing: one process-wide pool, persistent across
+     sessions; results are identical for every pool size, so installing
+     it is purely a throughput decision. *)
+  let saved_pool = Gpusim.Device.pool device in
+  let dsize = Config.domains () in
+  if dsize > 1 then begin
+    let p = Pasta_util.Domain_pool.global ~size:dsize in
+    Gpusim.Device.set_pool device p;
+    Processor.set_pool proc p
+  end;
   (match (sample_rate, Config.sample_rate ()) with
   | Some r, _ | None, Some r -> Gpusim.Device.set_sample_cap device r
   | None, None -> ());
@@ -112,6 +127,7 @@ let attach ?backend ?range ?sample_rate ?faults ~tool device =
       the_tool = tool;
       start_us = Gpusim.Device.now_us device;
       saved_sample_cap;
+      saved_pool;
       dog;
       installed_faults;
     }
@@ -133,6 +149,12 @@ let health_of s =
     events_suppressed = stats.Processor.events_suppressed;
     records_dropped = stats.Processor.records_dropped;
     records_buffered_peak = stats.Processor.records_buffered_peak;
+    accesses_filtered = stats.Processor.accesses_filtered;
+    batches_delivered = stats.Processor.batches_delivered;
+    domains =
+      (match Gpusim.Device.pool s.device with
+      | Some p -> Pasta_util.Domain_pool.size p
+      | None -> 1);
     buffer_capacity = Processor.buffer_capacity s.proc;
     overflow_policy =
       Pasta_util.Ring_buffer.overflow_to_string (Processor.overflow_policy s.proc);
@@ -162,6 +184,13 @@ let pp_health ppf h =
   Format.fprintf ppf "  record buffer: cap %d (%s), peak %d, dropped %d, stalls %d@."
     h.buffer_capacity h.overflow_policy h.records_buffered_peak h.records_dropped
     h.buffer_stalls;
+  Format.fprintf ppf "  preprocessing: %d domain%s, %d record%s range-filtered, %d batch%s delivered@."
+    h.domains
+    (if h.domains = 1 then "" else "s")
+    h.accesses_filtered
+    (if h.accesses_filtered = 1 then "" else "s")
+    h.batches_delivered
+    (if h.batches_delivered = 1 then "" else "es");
   (match h.watchdog_trips with
   | [] -> ()
   | trips ->
@@ -191,6 +220,12 @@ let detach s =
   | Some _ -> Gpusim.Device.clear_faults s.device
   | None -> ());
   Gpusim.Device.set_sample_cap s.device s.saved_sample_cap;
+  (* The global pool itself stays warm for the next session; only the
+     device's installation reverts. *)
+  (match s.saved_pool with
+  | Some p -> Gpusim.Device.set_pool s.device p
+  | None -> Gpusim.Device.clear_pool s.device);
+  Processor.clear_pool s.proc;
   let stats = Processor.stats s.proc in
   let report =
     match Processor.guard s.proc with

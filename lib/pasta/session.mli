@@ -28,6 +28,11 @@ type health = {
   events_suppressed : int;  (** events withheld during quarantine *)
   records_dropped : int;  (** bounded-buffer overflow losses *)
   records_buffered_peak : int;
+  accesses_filtered : int;
+      (** records seen but withheld by the range filter; with drops and
+          deliveries this makes the event accounting add up *)
+  batches_delivered : int;  (** packed batches handed to a batch-aware tool *)
+  domains : int;  (** preprocessing domain-pool size in effect (1 = serial) *)
   buffer_capacity : int;
   overflow_policy : string;
   buffer_stalls : int;  (** producer stalls under the Block policy *)

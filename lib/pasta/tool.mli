@@ -15,6 +15,11 @@
 type fine_grained =
   | No_fine_grained
   | Gpu_accelerated
+  | Gpu_parallel
+      (** device-resident *parallel* reduction over materialized records:
+          shards aggregate on a domain pool and merge deterministically;
+          the tool receives one {!Devagg.summary} per kernel via
+          [on_device_summary] and never sees raw records *)
   | Cpu_sanitizer
   | Cpu_nvbit
   | Instruction_level
@@ -31,8 +36,14 @@ type t = {
   on_kernel_end : Event.kernel_info -> Event.kernel_end_summary -> unit;
   on_mem_summary : Event.kernel_info -> (Objmap.obj * int) list -> unit;
       (** per-kernel (object, access count) aggregates, GPU-analyzed *)
+  on_device_summary : Event.kernel_info -> Devagg.summary -> unit;
+      (** per-kernel merged parallel reduction ([Gpu_parallel] mode) *)
   on_access : Event.kernel_info -> Event.mem_access -> unit;
       (** per-record host analysis (sampled, weighted) *)
+  on_access_batch : (Event.kernel_info -> Gpusim.Warp.batch -> unit) option;
+      (** when set, fine-grained records are delivered as packed flat-array
+          batches instead of per-record [on_access] calls; [None] (the
+          default) keeps the per-record loop *)
   on_kernel_profile : Event.kernel_info -> Gpusim.Kernel.profile -> unit;
       (** per-kernel microarchitectural aggregates (divergence, barrier
           stalls, bank conflicts, value ranges), instruction-level mode *)

@@ -121,3 +121,27 @@ and report t ppf =
     Format.fprintf ppf "bursty blocks (proactive-eviction candidates): %d@."
       (List.length burst)
   end
+
+(* Fine-grained variant: per-block counts come from the parallel
+   device-side reduction instead of region summaries, so a block's heat
+   reflects the records actually sampled inside it rather than an even
+   share of its region.  Devagg uses the same 2 MiB block size. *)
+let tool_fine t =
+  {
+    (Pasta.Tool.default ~fine_grained:Pasta.Tool.Gpu_parallel "hotness_fine") with
+    Pasta.Tool.on_event =
+      (fun ev ->
+        match ev.Pasta.Event.payload with
+        | Pasta.Event.Device_summary { summary; _ } ->
+            let time = ev.Pasta.Event.time_us in
+            List.iter
+              (fun (blk, count) ->
+                if count > 0 then begin
+                  t.samples <- (time, blk, float_of_int count) :: t.samples;
+                  t.t_min <- Float.min t.t_min time;
+                  t.t_max <- Float.max t.t_max time
+                end)
+              summary.Pasta.Devagg.blocks
+        | _ -> ());
+    report = (fun ppf -> report t ppf);
+  }

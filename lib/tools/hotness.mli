@@ -11,6 +11,12 @@ type t
 val create : ?time_buckets:int -> unit -> t
 val tool : t -> Pasta.Tool.t
 
+val tool_fine : t -> Pasta.Tool.t
+(** Fine-grained variant ([Gpu_parallel] analysis model): block heat
+    comes from the sampled records of the parallel device-side reduction
+    ({!Pasta.Devagg}, same 2 MiB blocks) rather than an even per-region
+    share, so hot spots inside a large region stand out. *)
+
 type classification = Persistent_hot | Bursty | Cold
 
 val classification_to_string : classification -> string

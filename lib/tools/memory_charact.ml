@@ -1,7 +1,8 @@
-type variant = Gpu | Cpu_sanitizer | Cpu_nvbit
+type variant = Gpu | Gpu_parallel | Cpu_sanitizer | Cpu_nvbit
 
 let variant_to_string = function
   | Gpu -> "CS-GPU"
+  | Gpu_parallel -> "CS-GPU-PAR"
   | Cpu_sanitizer -> "CS-CPU"
   | Cpu_nvbit -> "NVBIT-CPU"
 
@@ -104,6 +105,7 @@ let tool t =
   let fine_grained =
     match t.var with
     | Gpu -> Pasta.Tool.Gpu_accelerated
+    | Gpu_parallel -> Pasta.Tool.Gpu_parallel
     | Cpu_sanitizer -> Pasta.Tool.Cpu_sanitizer
     | Cpu_nvbit -> Pasta.Tool.Cpu_nvbit
   in
@@ -120,6 +122,22 @@ let tool t =
                 (fun acc (obj, count) ->
                   if count > 0 then acc + Pasta.Objmap.obj_bytes obj else acc)
                 0 summary
+            in
+            push_footprint t bytes);
+        on_kernel_end = (fun _ _ -> t.kernels <- t.kernels + 1);
+        report = report t;
+      }
+  | Gpu_parallel ->
+      {
+        base with
+        Pasta.Tool.on_event = track_usage t;
+        on_device_summary =
+          (fun _info summary ->
+            let bytes =
+              List.fold_left
+                (fun acc (obj, count) ->
+                  if count > 0 then acc + Pasta.Objmap.obj_bytes obj else acc)
+                0 summary.Pasta.Devagg.objects
             in
             push_footprint t bytes);
         on_kernel_end = (fun _ _ -> t.kernels <- t.kernels + 1);

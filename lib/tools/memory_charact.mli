@@ -11,6 +11,9 @@
 
     - [Gpu] — GPU-resident collect-and-analyze (PASTA's low-overhead
       design): the tool consumes per-kernel object summaries;
+    - [Gpu_parallel] — like [Gpu], but footprints come from the
+      domain-parallel device-side reduction over sampled records
+      ({!Pasta.Devagg}); the tool consumes one merged summary per kernel;
     - [Cpu_sanitizer] — Compute Sanitizer MemoryTracker style: the tool
       processes every trace record on the host;
     - [Cpu_nvbit] — NVBit MemTrace style: ditto, behind SASS dump/parse.
@@ -18,7 +21,7 @@
     All three produce the same working-set numbers; only the analysis
     model (and hence the overhead) differs. *)
 
-type variant = Gpu | Cpu_sanitizer | Cpu_nvbit
+type variant = Gpu | Gpu_parallel | Cpu_sanitizer | Cpu_nvbit
 
 val variant_to_string : variant -> string
 

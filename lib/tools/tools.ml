@@ -6,7 +6,10 @@ let register_all () =
       Memory_charact.tool (Memory_charact.create ~variant:Memory_charact.Cpu_sanitizer ()));
   Pasta.Registry.register "memory_charact_nvbit_cpu" (fun () ->
       Memory_charact.tool (Memory_charact.create ~variant:Memory_charact.Cpu_nvbit ()));
+  Pasta.Registry.register "memory_charact_par" (fun () ->
+      Memory_charact.tool (Memory_charact.create ~variant:Memory_charact.Gpu_parallel ()));
   Pasta.Registry.register "hotness" (fun () -> Hotness.tool (Hotness.create ()));
+  Pasta.Registry.register "hotness_fine" (fun () -> Hotness.tool_fine (Hotness.create ()));
   Pasta.Registry.register "mem_timeline" (fun () -> Mem_timeline.tool (Mem_timeline.create ()));
   Pasta.Registry.register "divergence" (fun () -> Divergence.tool (Divergence.create ()));
   Pasta.Registry.register "barrier_stall" (fun () ->

@@ -20,6 +20,19 @@ let fnv1a s =
 
 let of_string s = create (fnv1a s)
 
+let of_key seed parts =
+  (* Fold each key component through the finalizer so that streams keyed by
+     distinct (seed, parts) tuples are independent.  Purely a function of
+     its arguments: chunked record generation derives one stream per
+     (grid_id, region, chunk) and gets the same stream no matter which
+     domain — or how many domains — run the chunk. *)
+  let h = ref (mix64 (Int64.logxor seed 0x6A09E667F3BCC909L)) in
+  Array.iter
+    (fun p ->
+      h := mix64 (Int64.add (Int64.mul !h golden_gamma) (Int64.of_int (p + 1))))
+    parts;
+  create !h
+
 let int64 t =
   t.state <- Int64.add t.state golden_gamma;
   mix64 t.state

@@ -16,6 +16,13 @@ val of_string : string -> t
 (** [of_string s] seeds a generator from the FNV-1a hash of [s]; used to give
     each named subsystem its own stable stream. *)
 
+val of_key : int64 -> int array -> t
+(** [of_key seed parts] derives an independent stream purely from [seed] and
+    the integer key components [parts] — no generator state is consumed.
+    Used to give each (grid_id, region, chunk) shard of parallel record
+    generation its own stream, so output is identical for any domain
+    count. *)
+
 val split : t -> t
 (** [split t] advances [t] once and returns an independent generator whose
     stream does not overlap with [t]'s in practice. *)

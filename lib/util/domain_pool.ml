@@ -1,0 +1,168 @@
+(* A small persistent pool of OCaml 5 domains for data-parallel map over an
+   index space.  Spawning a domain costs far more than the chunk-sized tasks
+   the profiling pipeline runs, so workers are created once and parked on a
+   condition variable between jobs.
+
+   The pool runs one job at a time ([map] holds an internal job slot until
+   every index has completed); the submitting domain participates in the
+   work, so a pool of size [n] brings [n-1] spawned workers plus the caller.
+   A pool of size 1 never spawns anything and runs jobs inline — the inline
+   and pooled paths execute the same per-index closures in the same index
+   order of completion-independent slots, which is what makes serial and
+   parallel runs byte-identical downstream. *)
+
+type job = {
+  run : int -> unit;
+  n : int;
+  mutable next : int;  (* next unclaimed index *)
+  mutable done_ : int;  (* completed indices *)
+  mutable exn : (exn * Printexc.raw_backtrace) option;
+}
+
+type t = {
+  size : int;
+  mutex : Mutex.t;
+  work : Condition.t;  (* signalled when a job is posted or on shutdown *)
+  finished : Condition.t;  (* signalled when a job's last index completes *)
+  mutable job : job option;
+  mutable stop : bool;
+  mutable workers : unit Domain.t array;
+}
+
+let size t = t.size
+
+(* Claim and run indices of [j] until exhausted.  Runs outside the lock. *)
+let drain t j =
+  let continue_ = ref true in
+  while !continue_ do
+    Mutex.lock t.mutex;
+    if j.next >= j.n then begin
+      Mutex.unlock t.mutex;
+      continue_ := false
+    end
+    else begin
+      let i = j.next in
+      j.next <- j.next + 1;
+      Mutex.unlock t.mutex;
+      let outcome =
+        match j.run i with
+        | () -> None
+        | exception e -> Some (e, Printexc.get_raw_backtrace ())
+      in
+      Mutex.lock t.mutex;
+      (match outcome with
+      | Some _ when j.exn = None -> j.exn <- outcome
+      | _ -> ());
+      j.done_ <- j.done_ + 1;
+      if j.done_ = j.n then Condition.broadcast t.finished;
+      Mutex.unlock t.mutex
+    end
+  done
+
+let worker_loop t () =
+  let running = ref true in
+  while !running do
+    Mutex.lock t.mutex;
+    while (not t.stop) && (match t.job with Some j -> j.next >= j.n | None -> true) do
+      Condition.wait t.work t.mutex
+    done;
+    if t.stop then begin
+      Mutex.unlock t.mutex;
+      running := false
+    end
+    else begin
+      let j = match t.job with Some j -> j | None -> assert false in
+      Mutex.unlock t.mutex;
+      drain t j
+    end
+  done
+
+let create size =
+  if size < 1 then invalid_arg "Domain_pool.create: size must be >= 1";
+  let t =
+    {
+      size;
+      mutex = Mutex.create ();
+      work = Condition.create ();
+      finished = Condition.create ();
+      job = None;
+      stop = false;
+      workers = [||];
+    }
+  in
+  if size > 1 then
+    t.workers <- Array.init (size - 1) (fun _ -> Domain.spawn (worker_loop t));
+  t
+
+let run t n f =
+  if n > 0 then
+    if t.size = 1 || n < 4 * t.size then
+      (* Sequential cutoff: waking a worker costs more than a handful of
+         chunk-sized tasks, and on a machine with fewer cores than the
+         pool the handshake serializes anyway.  Results don't depend on
+         who runs an index, so this is purely a scheduling choice. *)
+      for i = 0 to n - 1 do
+        f i
+      done
+    else begin
+      let j = { run = f; n; next = 0; done_ = 0; exn = None } in
+      Mutex.lock t.mutex;
+      (* One job at a time: wait for any previous job to finish. *)
+      while t.job <> None do
+        Condition.wait t.finished t.mutex
+      done;
+      t.job <- Some j;
+      (* Wake only as many workers as there are indices beyond the one the
+         caller takes itself: a broadcast on every small job thrashes the
+         scheduler when the machine has fewer cores than the pool. *)
+      let wake = min (n - 1) (Array.length t.workers) in
+      for _ = 1 to wake do
+        Condition.signal t.work
+      done;
+      Mutex.unlock t.mutex;
+      drain t j;
+      Mutex.lock t.mutex;
+      while j.done_ < j.n do
+        Condition.wait t.finished t.mutex
+      done;
+      t.job <- None;
+      Condition.broadcast t.finished;
+      Mutex.unlock t.mutex;
+      match j.exn with
+      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> ()
+    end
+
+let map t n f =
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n None in
+    (* Distinct cells, and [run]'s completion handshake publishes the
+       writes, so reading them back after [run] returns is race-free. *)
+    run t n (fun i -> out.(i) <- Some (f i));
+    Array.map (function Some v -> v | None -> assert false) out
+  end
+
+let shutdown t =
+  if Array.length t.workers > 0 then begin
+    Mutex.lock t.mutex;
+    t.stop <- true;
+    Condition.broadcast t.work;
+    Mutex.unlock t.mutex;
+    Array.iter Domain.join t.workers;
+    t.workers <- [||]
+  end
+
+(* The profiling session and the benchmarks share one process-wide pool so
+   repeated attach/detach cycles do not spawn fresh domains each time. *)
+let current = ref None
+
+let global ~size =
+  let size = max 1 size in
+  match !current with
+  | Some t when t.size = size -> t
+  | existing ->
+      Option.iter shutdown existing;
+      let t = create size in
+      current := Some t;
+      t

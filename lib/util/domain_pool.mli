@@ -1,0 +1,36 @@
+(** Persistent domain pool for data-parallel preprocessing.
+
+    The profiling pipeline shards record generation and aggregation into
+    chunk-sized tasks; this pool keeps [size - 1] worker domains parked
+    between jobs and lets the caller participate in each job, so a pool of
+    size [n] uses [n] domains of compute.  A pool of size 1 spawns nothing
+    and runs jobs inline, which keeps the serial path on exactly the same
+    code as the parallel one. *)
+
+type t
+
+val create : int -> t
+(** [create size] makes a pool of [size] compute lanes ([size - 1] spawned
+    domains).  Raises [Invalid_argument] if [size < 1]. *)
+
+val size : t -> int
+
+val run : t -> int -> (int -> unit) -> unit
+(** [run t n f] evaluates [f i] for every [i] in [\[0, n)], distributing
+    indices over the pool, and returns once all have completed.  Jobs with
+    fewer than 4 indices per compute lane run inline on the caller — a
+    sequential cutoff below which the worker handshake costs more than the
+    work.  [f] must be safe to call from multiple domains; index execution
+    order is unspecified.  If any [f i] raises, the first exception
+    observed is re-raised after the job drains. *)
+
+val map : t -> int -> (int -> 'a) -> 'a array
+(** [map t n f] is [\[| f 0; ...; f (n-1) |\]] computed over the pool; the
+    result array is in index order regardless of execution order. *)
+
+val shutdown : t -> unit
+(** Joins the worker domains.  The pool must be idle.  Idempotent. *)
+
+val global : size:int -> t
+(** [global ~size] returns a process-wide shared pool, (re)creating it if the
+    previously shared pool had a different size. *)

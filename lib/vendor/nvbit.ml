@@ -116,6 +116,9 @@ let instrument_memory t ?(buffer_records = 4 * 1024 * 1024 / Cost.record_bytes)
           t.pending_true <- t.pending_true + a.Gpusim.Warp.weight;
           t.pending_records <- (info, a) :: t.pending_records;
           if t.pending_true >= buffer_records then flush t ~on_record ~per_record_us);
+      (* NVBit's trampoline really is one callback per dynamic access;
+         batching is a Sanitizer-substrate capability. *)
+      on_access_batch = None;
       on_kernel_exit = (fun _info _stats -> flush t ~on_record ~per_record_us);
     }
   in
@@ -131,6 +134,7 @@ let instrument_opcodes t ~opcodes ~on_counts () =
       on_kernel_entry = (fun _ -> ());
       on_region = (fun _ _ -> ());
       on_access = (fun _ _ -> ());
+      on_access_batch = None;
       on_kernel_exit =
         (fun info _stats ->
           let kernel = info.D.kernel in

@@ -106,6 +106,7 @@ let patch_kernels t ~map_bytes ~device_fn ~on_kernel_complete =
                ~per_access_us:Cost.sanitizer_gpu_per_access_us);
           device_fn info region);
       on_access = (fun _ _ -> ());
+      on_access_batch = None;
       on_kernel_exit =
         (fun info stats ->
           charge t ~phase:`Transfer

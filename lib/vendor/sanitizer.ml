@@ -26,7 +26,13 @@ type patch_mode =
   | Host_analysis of {
       buffer_records : int;
       on_record : D.launch_info -> Gpusim.Warp.access -> unit;
+      on_batch : (D.launch_info -> Gpusim.Warp.batch -> unit) option;
       per_record_us : float;
+    }
+  | Parallel_analysis of {
+      map_bytes : unit -> int;
+      on_batch : D.launch_info -> Gpusim.Warp.batch -> unit;
+      on_kernel_complete : D.launch_info -> D.exec_stats -> unit;
     }
   | Instruction_analysis of {
       classes : instr_class list;
@@ -46,6 +52,7 @@ type t = {
      the device buffer, plus the sampled payloads standing for them. *)
   mutable pending_true : int;
   mutable pending_records : (D.launch_info * Gpusim.Warp.access) list;
+  mutable pending_batches : (D.launch_info * Gpusim.Warp.batch) list;
 }
 
 let enabled t d = List.mem d t.domains
@@ -78,6 +85,7 @@ let attach device =
       phases = Phases.create ();
       pending_true = 0;
       pending_records = [];
+      pending_batches = [];
     }
   in
   D.add_probe device { D.probe_name = t.probe_name; on_event = (fun ev -> dispatch t ev) };
@@ -88,7 +96,8 @@ let unpatch_module t =
     D.clear_instrument t.device;
     t.patched <- false;
     t.pending_true <- 0;
-    t.pending_records <- []
+    t.pending_records <- [];
+    t.pending_batches <- []
   end
 
 let detach t =
@@ -101,15 +110,22 @@ let set_callback t f = t.callback <- f
 
 let charge t ~phase us = Phases.charge (D.clock t.device) t.phases phase us
 
-let flush_host t ~on_record ~per_record_us =
+let flush_host t ~on_record ~on_batch ~per_record_us =
   if t.pending_true > 0 then begin
     let arch = D.arch t.device in
     charge t ~phase:`Transfer (Cost.transfer_time_us arch ~records:t.pending_true);
     charge t ~phase:`Analysis
       (Cost.host_analysis_time_us ~records:t.pending_true ~per_record_us);
     List.iter (fun (info, a) -> on_record info a) (List.rev t.pending_records);
+    List.iter
+      (fun (info, b) ->
+        match on_batch with
+        | Some fb -> fb info b
+        | None -> Gpusim.Warp.iter_batch b ~f:(fun a -> on_record info a))
+      (List.rev t.pending_batches);
     t.pending_true <- 0;
-    t.pending_records <- []
+    t.pending_records <- [];
+    t.pending_batches <- []
   end
 
 (* Restrict a ground-truth profile to the patched classes, and count the
@@ -157,13 +173,14 @@ let patch_module t mode =
                    ~per_access_us:Cost.sanitizer_gpu_per_access_us);
               device_fn info region);
           on_access = (fun _ _ -> ());
+          on_access_batch = None;
           on_kernel_exit =
             (fun info stats ->
               charge t ~phase:`Transfer
                 (Cost.memcpy_time_us arch ~bytes:(map_bytes ()) ~kind:`D2h);
               on_kernel_complete info stats);
         }
-    | Host_analysis { buffer_records; on_record; per_record_us } ->
+    | Host_analysis { buffer_records; on_record; on_batch; per_record_us } ->
         if buffer_records <= 0 then
           invalid_arg "Sanitizer.patch_module: buffer_records must be positive";
         {
@@ -182,9 +199,44 @@ let patch_module t mode =
               t.pending_true <- t.pending_true + a.Gpusim.Warp.weight;
               t.pending_records <- (info, a) :: t.pending_records;
               if t.pending_true >= buffer_records then
-                flush_host t ~on_record ~per_record_us);
+                flush_host t ~on_record ~on_batch ~per_record_us);
+          on_access_batch =
+            Some
+              (fun info b ->
+                t.pending_true <- t.pending_true + Gpusim.Warp.batch_weight b;
+                t.pending_batches <- (info, b) :: t.pending_batches;
+                if t.pending_true >= buffer_records then
+                  flush_host t ~on_record ~on_batch ~per_record_us);
           on_kernel_exit =
-            (fun _info _stats -> flush_host t ~on_record ~per_record_us);
+            (fun _info _stats -> flush_host t ~on_record ~on_batch ~per_record_us);
+        }
+    | Parallel_analysis { map_bytes; on_batch; on_kernel_complete } ->
+        {
+          D.instr_name = "sanitizer-parallel-analysis";
+          materialize = true;
+          on_kernel_entry =
+            (fun _info ->
+              (* Ship the object map to the device; the in-situ reduction
+                 resolves objects there (Fig. 2b). *)
+              charge t ~phase:`Transfer
+                (Cost.memcpy_time_us arch ~bytes:(map_bytes ()) ~kind:`H2d));
+          on_region =
+            (fun _info region ->
+              (* Collection + parallel reduction happen on-device, amortized
+                 over the analysis lanes, as in Device_analysis. *)
+              charge t ~phase:`Collect
+                (Cost.device_analysis_time_us arch ~accesses:region.Gpusim.Kernel.accesses
+                   ~per_access_us:Cost.sanitizer_gpu_per_access_us));
+          on_access = (fun _ _ -> ());
+          (* Batches model device-side shard buffers: the simulated cost of
+             producing them is the Collect charge above; only the merged
+             summary map is charged as a D2h transfer at kernel exit. *)
+          on_access_batch = Some on_batch;
+          on_kernel_exit =
+            (fun info stats ->
+              charge t ~phase:`Transfer
+                (Cost.memcpy_time_us arch ~bytes:(map_bytes ()) ~kind:`D2h);
+              on_kernel_complete info stats);
         }
     | Instruction_analysis { classes; on_profile } ->
         {
@@ -193,6 +245,7 @@ let patch_module t mode =
           on_kernel_entry = (fun _ -> ());
           on_region = (fun _ _ -> ());
           on_access = (fun _ _ -> ());
+          on_access_batch = None;
           on_kernel_exit =
             (fun info _stats ->
               let masked, instrumented =

@@ -54,8 +54,28 @@ type patch_mode =
       buffer_records : int;  (** device trace-buffer capacity, in records *)
       on_record : Gpusim.Device.launch_info -> Gpusim.Warp.access -> unit;
           (** host analysis of each (sampled, weighted) record *)
+      on_batch :
+        (Gpusim.Device.launch_info -> Gpusim.Warp.batch -> unit) option;
+          (** when set, drained records are forwarded as packed batches in
+              generation order instead of through [on_record] *)
       per_record_us : float;  (** host cost per true record *)
     }
+  | Parallel_analysis of {
+      map_bytes : unit -> int;
+          (** size of the object map shipped to the device at launch and of
+              the merged summary shipped back at completion *)
+      on_batch : Gpusim.Device.launch_info -> Gpusim.Warp.batch -> unit;
+          (** device-side shard buffer handoff: packed record batches in
+              deterministic (region, chunk) order, produced in parallel on
+              the device *)
+      on_kernel_complete :
+        Gpusim.Device.launch_info -> Gpusim.Device.exec_stats -> unit;
+          (** host callback once the merged summary map is back *)
+    }
+      (** The GPU-accelerated preprocessing model with materialized
+          records (Fig. 2b applied to trace reduction): records are
+          generated and reduced in parallel on the device, and only the
+          merged summary is charged as a host transfer. *)
   | Instruction_analysis of {
       classes : instr_class list;
           (** instruction classes to patch; only those classes' aggregates

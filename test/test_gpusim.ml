@@ -360,6 +360,7 @@ let test_device_sample_cap () =
         (fun _ a ->
           incr records;
           weight := !weight + a.Warp.weight);
+      on_access_batch = None;
       on_kernel_exit = (fun _ _ -> ());
     };
   let stats = Device.launch d k in

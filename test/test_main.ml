@@ -18,5 +18,6 @@ let () =
       ("properties", Test_properties.suite);
       ("faults", Test_faults.suite);
       ("streams", Test_streams.suite);
+      ("pipeline", Test_pipeline.suite);
       ("models", Test_models.suite);
     ]

@@ -1,0 +1,277 @@
+(* The domain-parallel preprocessing pipeline: pool semantics, the objmap
+   resolve memo, batched delivery, range-filter accounting, and the
+   determinism contract — tool output must be byte-identical for any
+   domain count, with and without fault injection. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+module Pool = Pasta_util.Domain_pool
+
+(* ------------------------------------------------------------------ *)
+(* Domain pool                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_pool_map_order () =
+  let pool = Pool.create 4 in
+  (* 64 >= 4 * size, so this goes through the pooled path, not the
+     sequential cutoff. *)
+  let out = Pool.map pool 64 (fun i -> i * i) in
+  Pool.shutdown pool;
+  check_int "length" 64 (Array.length out);
+  Array.iteri (fun i v -> check_int "index order" (i * i) v) out
+
+let test_pool_size_one_inline () =
+  let pool = Pool.create 1 in
+  let seen = ref [] in
+  Pool.run pool 8 (fun i -> seen := i :: !seen);
+  Pool.shutdown pool;
+  Alcotest.(check (list int))
+    "size-1 pool runs inline, in index order"
+    [ 0; 1; 2; 3; 4; 5; 6; 7 ]
+    (List.rev !seen)
+
+let test_pool_small_job_inline () =
+  let pool = Pool.create 4 in
+  (* Below the cutoff (n < 4 * size) the caller runs everything itself,
+     so even with workers parked the order is sequential. *)
+  let seen = ref [] in
+  Pool.run pool 8 (fun i -> seen := i :: !seen);
+  Pool.shutdown pool;
+  Alcotest.(check (list int))
+    "small jobs run inline" [ 0; 1; 2; 3; 4; 5; 6; 7 ] (List.rev !seen)
+
+let test_pool_reuse () =
+  let pool = Pool.create 3 in
+  let a = Pool.map pool 24 (fun i -> i + 1) in
+  let b = Pool.map pool 24 (fun i -> i * 2) in
+  Pool.shutdown pool;
+  check_int "first job" (24 * 25 / 2) (Array.fold_left ( + ) 0 a);
+  check_int "second job on the same pool" (24 * 23) (Array.fold_left ( + ) 0 b)
+
+let test_pool_exception () =
+  let pool = Pool.create 2 in
+  Alcotest.check_raises "exception propagates" (Failure "boom") (fun () ->
+      Pool.run pool 32 (fun i -> if i = 17 then failwith "boom"));
+  (* The failed job drains fully; the pool stays usable. *)
+  let out = Pool.map pool 16 (fun i -> i) in
+  Pool.shutdown pool;
+  check_int "pool survives a raising job" 15 out.(15)
+
+(* ------------------------------------------------------------------ *)
+(* Objmap resolve memo                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_objmap_memo () =
+  let m = Pasta.Objmap.create () in
+  Pasta.Objmap.on_alloc m ~addr:0x1000 ~bytes:4096 ~managed:false;
+  let h0, m0 = Pasta.Objmap.memo_stats m in
+  check_int "no hits before any resolve" 0 h0;
+  ignore (Pasta.Objmap.resolve m 0x1000);
+  ignore (Pasta.Objmap.resolve m 0x1800);
+  ignore (Pasta.Objmap.resolve m 0x1fff);
+  let h, ms = Pasta.Objmap.memo_stats m in
+  check_int "sequential lookups hit the memo" 2 h;
+  check_int "first lookup misses" (m0 + 1) ms;
+  (* A registry mutation must invalidate the memo: the same address now
+     resolves to the tensor covering it, not the stale allocation. *)
+  Pasta.Objmap.on_tensor_alloc m ~ptr:0x1000 ~bytes:4096 ~tag:"t";
+  (match Pasta.Objmap.resolve m 0x1200 with
+  | Pasta.Objmap.Tensor _ -> ()
+  | o -> Alcotest.failf "memo not invalidated: got %s" (Pasta.Objmap.obj_label o));
+  let _, ms' = Pasta.Objmap.memo_stats m in
+  check_bool "post-mutation lookup was a miss" true (ms' > ms)
+
+let test_processor_memo_counters () =
+  let p = Pasta.Processor.create ~device:0 () in
+  let m = Pasta.Processor.objmap p in
+  Pasta.Objmap.on_alloc m ~addr:0x1000 ~bytes:4096 ~managed:false;
+  ignore (Pasta.Objmap.resolve m 0x1000);
+  ignore (Pasta.Objmap.resolve m 0x1004);
+  let st = Pasta.Processor.stats p in
+  check_int "hits surfaced in processor stats" 1 st.Pasta.Processor.objmap_memo_hits;
+  check_int "misses surfaced in processor stats" 1 st.Pasta.Processor.objmap_memo_misses
+
+(* ------------------------------------------------------------------ *)
+(* Determinism across domain counts                                    *)
+(* ------------------------------------------------------------------ *)
+
+let bert_inference ctx () =
+  let m = Dlfw.Bert.build ~batch:1 ~seq:64 ~layers:2 ~dim:64 ~heads:4 ctx in
+  Dlfw.Model.inference_iter ctx m
+
+(* One BERT-inference run under the fine-grained parallel hotness tool at
+   the given domain count; returns everything a divergence could show in. *)
+let fine_run ?fault_seed domains =
+  Pasta.Config.set "ACCEL_PROF_DOMAINS" (string_of_int domains);
+  let device = Gpusim.Device.create Gpusim.Arch.a100 in
+  let ctx = Dlfw.Ctx.create device in
+  let hot = Pasta_tools.Hotness.create () in
+  let faults = Option.map (fun seed -> Gpusim.Faults.create ~seed ()) fault_seed in
+  let (), result =
+    Pasta.Session.run ?faults ~sample_rate:256
+      ~tool:(Pasta_tools.Hotness.tool_fine hot)
+      device (bert_inference ctx)
+  in
+  Dlfw.Ctx.destroy ctx;
+  Pasta.Config.unset "ACCEL_PROF_DOMAINS";
+  ( result.Pasta.Session.events_seen,
+    result.Pasta.Session.health.Pasta.Session.batches_delivered,
+    Format.asprintf "%t" result.Pasta.Session.report )
+
+let check_identical runs =
+  match runs with
+  | [] -> ()
+  | (d0, (e0, b0, r0)) :: rest ->
+      List.iter
+        (fun (d, (e, b, r)) ->
+          let label what = Printf.sprintf "%s: %d vs %d domains" what d0 d in
+          check_int (label "events seen") e0 e;
+          check_int (label "batches delivered") b0 b;
+          check_bool (label "report byte-identical") true (String.equal r0 r))
+        rest
+
+let test_determinism_across_domains () =
+  check_identical (List.map (fun d -> (d, fine_run d)) [ 1; 2; 8 ])
+
+let test_determinism_under_faults () =
+  (* Same pinned injector seed at every domain count: the fault pattern is
+     part of the input, so the output must still not depend on domains. *)
+  check_identical
+    (List.map (fun d -> (d, fine_run ~fault_seed:24285L d)) [ 1; 2; 8 ])
+
+(* ------------------------------------------------------------------ *)
+(* Batched delivery vs the legacy per-record path                      *)
+(* ------------------------------------------------------------------ *)
+
+(* A Cpu_sanitizer probe in three shapes: the legacy per-record path, the
+   batched path with a per-record-only tool (the processor must unpack
+   batches into the identical record stream), and the batched path with a
+   batch-aware tool (records arrive packed, accounting must still match). *)
+let sanitizer_count ?range ?(batch_aware = false) ~batch_delivery () =
+  Pasta.Config.set "ACCEL_PROF_BATCH_DELIVERY" (if batch_delivery then "1" else "0");
+  let device = Gpusim.Device.create Gpusim.Arch.a100 in
+  let ctx = Dlfw.Ctx.create device in
+  let records = ref 0 and weight = ref 0 and addr_sum = ref 0 in
+  let base = Pasta.Tool.default ~fine_grained:Pasta.Tool.Cpu_sanitizer "probe" in
+  let tool =
+    if batch_aware then
+      {
+        base with
+        Pasta.Tool.on_access_batch =
+          Some
+            (fun _ b ->
+              let module W = Gpusim.Warp in
+              records := !records + b.W.b_len;
+              for i = 0 to b.W.b_len - 1 do
+                weight := !weight + b.W.weights.(i);
+                addr_sum := !addr_sum + b.W.addrs.(i)
+              done);
+      }
+    else
+      {
+        base with
+        Pasta.Tool.on_access =
+          (fun _ a ->
+            incr records;
+            weight := !weight + a.Pasta.Event.weight;
+            addr_sum := !addr_sum + a.Pasta.Event.addr);
+      }
+  in
+  let (), result =
+    Pasta.Session.run ?range ~sample_rate:64 ~tool device (bert_inference ctx)
+  in
+  Dlfw.Ctx.destroy ctx;
+  Pasta.Config.unset "ACCEL_PROF_BATCH_DELIVERY";
+  (!records, !weight, !addr_sum, result.Pasta.Session.health)
+
+let test_batch_vs_per_record_equivalence () =
+  let r0, w0, s0, h0 = sanitizer_count ~batch_delivery:false () in
+  let r1, w1, s1, h1 = sanitizer_count ~batch_delivery:true () in
+  let r2, w2, s2, h2 = sanitizer_count ~batch_aware:true ~batch_delivery:true () in
+  check_bool "records flowed" true (r0 > 0);
+  check_int "unpacked batches = legacy record count" r0 r1;
+  check_int "unpacked batches = legacy weight sum" w0 w1;
+  check_int "unpacked batches = legacy address checksum" s0 s1;
+  check_int "packed batches = legacy record count" r0 r2;
+  check_int "packed batches = legacy weight sum" w0 w2;
+  check_int "packed batches = legacy address checksum" s0 s2;
+  check_bool "batch-aware tool sees packed batches" true
+    (h2.Pasta.Session.batches_delivered > 0);
+  (* [batches_delivered] counts batch-aware deliveries only. *)
+  check_int "per-record tools count none" 0 h1.Pasta.Session.batches_delivered;
+  check_int "legacy path counts none" 0 h0.Pasta.Session.batches_delivered
+
+(* ------------------------------------------------------------------ *)
+(* Merged summary invariants                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_summary_weight_sums () =
+  let device = Gpusim.Device.create Gpusim.Arch.a100 in
+  let ctx = Dlfw.Ctx.create device in
+  let summaries = ref 0 and bad = ref 0 in
+  let tool =
+    {
+      (Pasta.Tool.default ~fine_grained:Pasta.Tool.Gpu_parallel "sums") with
+      Pasta.Tool.on_device_summary =
+        (fun _ s ->
+          incr summaries;
+          let osum =
+            List.fold_left (fun a (_, w) -> a + w) 0 s.Pasta.Devagg.objects
+          and bsum =
+            List.fold_left (fun a (_, w) -> a + w) 0 s.Pasta.Devagg.blocks
+          in
+          (* Objects, blocks and the total are three tallies of the same
+             records; sharding and merging must not lose or double-count. *)
+          if osum <> s.Pasta.Devagg.true_accesses then incr bad;
+          if bsum <> s.Pasta.Devagg.true_accesses then incr bad;
+          if s.Pasta.Devagg.sampled_records > s.Pasta.Devagg.true_accesses then
+            incr bad;
+          (* Coalesced intervals must come out sorted and disjoint. *)
+          let rec sorted = function
+            | (b, l) :: ((b', _) :: _ as rest) ->
+                b < l && l < b' && sorted rest
+            | [ (b, l) ] -> b < l
+            | [] -> true
+          in
+          if not (sorted s.Pasta.Devagg.coalesced) then incr bad)
+    }
+  in
+  let (), _ = Pasta.Session.run ~sample_rate:128 ~tool device (bert_inference ctx) in
+  Dlfw.Ctx.destroy ctx;
+  check_bool "summaries flowed" true (!summaries > 0);
+  check_int "invariant violations" 0 !bad
+
+(* ------------------------------------------------------------------ *)
+(* Range-filter accounting                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_filtered_accounting () =
+  let all, _, _, h_all = sanitizer_count ~batch_delivery:true () in
+  let part, _, _, h =
+    sanitizer_count ~range:(Pasta.Range.create ~start_grid:8 ()) ~batch_delivery:true ()
+  in
+  check_int "unfiltered run filters nothing" 0 h_all.Pasta.Session.accesses_filtered;
+  check_int "lossless policy: no drops" 0 h.Pasta.Session.records_dropped;
+  check_bool "early kernels were filtered" true
+    (h.Pasta.Session.accesses_filtered > 0);
+  (* Filtering withholds, it doesn't lose: delivered + filtered must equal
+     what an unfiltered run delivers. *)
+  check_int "delivered + filtered = total" all
+    (part + h.Pasta.Session.accesses_filtered)
+
+let suite =
+  [
+    ("pool map preserves index order", `Quick, test_pool_map_order);
+    ("pool of size 1 runs inline", `Quick, test_pool_size_one_inline);
+    ("small jobs run inline", `Quick, test_pool_small_job_inline);
+    ("pool is reusable across jobs", `Quick, test_pool_reuse);
+    ("pool propagates exceptions", `Quick, test_pool_exception);
+    ("objmap resolve memo", `Quick, test_objmap_memo);
+    ("memo counters in processor stats", `Quick, test_processor_memo_counters);
+    ("identical output at 1/2/8 domains", `Quick, test_determinism_across_domains);
+    ("identical output under faults", `Quick, test_determinism_under_faults);
+    ("batched = per-record stream", `Quick, test_batch_vs_per_record_equivalence);
+    ("summary weight sums", `Quick, test_summary_weight_sums);
+    ("range-filter accounting adds up", `Quick, test_filtered_accounting);
+  ]

@@ -83,6 +83,7 @@ let test_sanitizer_host_analysis () =
        {
          buffer_records = 1000;
          on_record = (fun _ a -> weight := !weight + a.Warp.weight);
+         on_batch = None;
          per_record_us = 0.1;
        });
   let k = mk_kernel d ~bytes:8192 ~accesses:12345 in
@@ -112,6 +113,7 @@ let test_sanitizer_buffer_stall () =
                  incr flushed_batches;
                  last := info.Device.grid_id
                end);
+           on_batch = None;
            per_record_us = 0.1;
          });
     let k = mk_kernel d ~bytes:65536 ~accesses:100000 in
@@ -129,7 +131,7 @@ let test_sanitizer_invalid_buffer () =
     (fun () ->
       Vendor.Sanitizer.patch_module s
         (Vendor.Sanitizer.Host_analysis
-           { buffer_records = 0; on_record = (fun _ _ -> ()); per_record_us = 0.1 }))
+           { buffer_records = 0; on_record = (fun _ _ -> ()); on_batch = None; per_record_us = 0.1 }))
 
 (* ---- NVBit ---- *)
 
@@ -179,6 +181,7 @@ let test_nvbit_costlier_than_sanitizer () =
              {
                buffer_records = Vendor.Sanitizer.default_buffer_records;
                on_record = (fun _ _ -> ());
+               on_batch = None;
                per_record_us = Costmodel.sanitizer_host_per_record_us;
              }))
   in
