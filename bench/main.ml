@@ -836,6 +836,116 @@ let pipeline () =
   close_out oc;
   Format.fprintf ppf "wrote BENCH_pipeline.json@."
 
+(* ------------------------------------------------------------------ *)
+
+(* Record/replay: a live simulate+analyze run with a trace capture riding
+   along, vs re-driving the recorded op stream through the same tool
+   offline.  Replay skips simulation and instrumentation entirely, so it
+   should be substantially faster while reproducing the report byte for
+   byte. *)
+
+let replay_live ~sample_cap ~iters ~capture =
+  let device = Gpusim.Device.create Gpusim.Arch.a100 in
+  let ctx = Dlfw.Ctx.create device in
+  let hot = Pasta_tools.Hotness.create () in
+  let t0 = Unix.gettimeofday () in
+  let session =
+    Pasta.Session.attach ~sample_rate:sample_cap ?capture
+      ~tool:(Pasta_tools.Hotness.tool_fine hot)
+      device
+  in
+  let model = Runner.build ctx "BERT" in
+  Runner.run ctx model ~mode:Runner.Inference ~iters;
+  let result = Pasta.Session.detach session in
+  let wall = Unix.gettimeofday () -. t0 in
+  Dlfw.Ctx.destroy ctx;
+  (wall, result)
+
+let replay_offline path =
+  let hot = Pasta_tools.Hotness.create () in
+  let t0 = Unix.gettimeofday () in
+  let o =
+    Pasta.Replay.run ~mode:Pasta.Ptrace.Strict
+      ~tool:(Pasta_tools.Hotness.tool_fine hot)
+      path
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  (wall, o)
+
+let replay () =
+  section
+    "Record/replay: live simulate+analyze vs offline trace replay (BERT \
+     inference, fine-grained hotness)";
+  let sample_cap = 4096 and iters = 1 and reps = 3 in
+  let path = Filename.temp_file "pasta_bench" ".ptrace" in
+  let best f =
+    let runs = List.init reps (fun _ -> f ()) in
+    List.fold_left
+      (fun (w0, r0) (w, r) -> if w < w0 then (w, r) else (w0, r0))
+      (List.hd runs) (List.tl runs)
+  in
+  let live_wall, live_result =
+    best (fun () -> replay_live ~sample_cap ~iters ~capture:None)
+  in
+  (* the recording run overwrites [path] each rep; the last trace is the
+     one replayed below, and every rep's trace is structurally identical *)
+  let rec_wall, rec_result =
+    best (fun () -> replay_live ~sample_cap ~iters ~capture:(Some path))
+  in
+  let replay_wall, outcome = best (fun () -> replay_offline path) in
+  let live_report = Format.asprintf "%t" rec_result.Pasta.Session.report in
+  let replay_report = Format.asprintf "%t" outcome.Pasta.Replay.report in
+  let identical = String.equal live_report replay_report in
+  let h = rec_result.Pasta.Session.health in
+  let row name wall =
+    [
+      name;
+      Printf.sprintf "%.1f" (1000.0 *. wall);
+      Printf.sprintf "%.2fx" (live_wall /. wall);
+    ]
+  in
+  Pasta_util.Texttab.render ppf
+    ~header:[ "configuration"; "wall (ms)"; "speedup vs live" ]
+    ~align:[ Pasta_util.Texttab.Left; Right; Right ]
+    [
+      row "live (simulate+analyze)" live_wall;
+      row "live + capture" rec_wall;
+      row "replay (trace -> tool)" replay_wall;
+    ];
+  Format.fprintf ppf
+    "@.trace: %d ops, %d bytes, %d chunks; replay report %s live@."
+    h.Pasta.Session.events_recorded h.Pasta.Session.bytes_written
+    h.Pasta.Session.chunks
+    (if identical then "byte-identical to" else "DIVERGES from");
+  let b = Buffer.create 1024 in
+  Printf.bprintf b "{\n";
+  Printf.bprintf b "  \"experiment\": \"replay\",\n";
+  Printf.bprintf b "  \"workload\": \"BERT-inference\",\n";
+  Printf.bprintf b "  \"sample_cap\": %d,\n  \"iters\": %d,\n" sample_cap iters;
+  Printf.bprintf b "  \"live_wall_s\": %.6f,\n" live_wall;
+  Printf.bprintf b "  \"record_wall_s\": %.6f,\n" rec_wall;
+  Printf.bprintf b "  \"replay_wall_s\": %.6f,\n" replay_wall;
+  Printf.bprintf b "  \"replay_speedup_vs_live\": %.3f,\n"
+    (live_wall /. replay_wall);
+  Printf.bprintf b "  \"capture_overhead_vs_live\": %.3f,\n"
+    (rec_wall /. live_wall);
+  Printf.bprintf b
+    "  \"trace\": { \"ops\": %d, \"bytes\": %d, \"chunks\": %d },\n"
+    h.Pasta.Session.events_recorded h.Pasta.Session.bytes_written
+    h.Pasta.Session.chunks;
+  Printf.bprintf b "  \"replay_ops\": %d,\n" outcome.Pasta.Replay.ops_replayed;
+  Printf.bprintf b "  \"live_report_md5\": \"%s\",\n"
+    (Digest.to_hex (Digest.string live_report));
+  Printf.bprintf b "  \"replay_report_md5\": \"%s\",\n"
+    (Digest.to_hex (Digest.string replay_report));
+  Printf.bprintf b "  \"identical_reports\": %b\n}\n" identical;
+  let oc = open_out "BENCH_replay.json" in
+  output_string oc (Buffer.contents b);
+  close_out oc;
+  Format.fprintf ppf "wrote BENCH_replay.json@.";
+  Sys.remove path;
+  ignore live_result
+
 (* Tiny divergence gate for `dune build @perf-smoke` (part of runtest):
    the batched path must see exactly the records the per-record path
    sees, and its output must not depend on the domain count. *)
@@ -879,6 +989,7 @@ let experiments =
     ("ablation", ablation);
     ("bechamel", bechamel_benches);
     ("pipeline", pipeline);
+    ("replay", replay);
   ]
 
 (* Run one experiment, optionally capturing its output into

@@ -6,6 +6,10 @@
      accelprof -t kernel_freq BERT
      accelprof -t memory_charact --mode train --gpu rtx3060 GPT-2
      accelprof -t hotness --start-grid 100 --end-grid 200 BERT
+     accelprof record run.ptrace -t hotness BERT
+     accelprof replay run.ptrace --tools hotness,kernel_freq
+     accelprof trace stat run.ptrace
+     accelprof trace diff a.ptrace b.ptrace
      accelprof list-tools *)
 
 open Cmdliner
@@ -95,7 +99,8 @@ let health_arg =
     & info [ "health" ]
         ~doc:
           "Print the pipeline health report: tool failures and quarantines, \
-           bounded-buffer drop counts, watchdog trips and injected-fault totals.")
+           bounded-buffer drop counts, watchdog trips, trace-capture/replay \
+           accounting and injected-fault totals.")
 
 let inject_faults_arg =
   Arg.(
@@ -121,14 +126,32 @@ let trace_arg =
         ~doc:"Also write a chrome://tracing / Perfetto trace of the run to \
               $(docv).")
 
-let model_arg =
+let tolerant_arg =
+  Arg.(
+    value & flag
+    & info [ "tolerant" ]
+        ~doc:
+          "Skip corrupt trace chunks instead of failing on the first CRC or \
+           framing violation (ACCEL_PROF_TRACE_STRICT=0).")
+
+let model_pos p =
   Arg.(
     value
-    & pos 0 (some string) None
+    & pos p (some string) None
     & info [] ~docv:"MODEL" ~doc:"Workload: AN, RN-18, RN-34, BERT, GPT-2 or Whisper.")
 
-let run_profile tool_name gpu mode iters sample_rate domains start_grid end_grid verbose
-    health inject_faults fault_seed trace model =
+(* Shared workload driver for `accelprof MODEL` and `accelprof record`.
+   [capture] streams the main session's op stream to a .ptrace file;
+   [default_tool] lets `record` fall back to the passthrough capture tool
+   when no analysis is selected. *)
+let run_workload ?capture ?default_tool tool_name gpu mode iters sample_rate
+    domains start_grid end_grid verbose health inject_faults fault_seed trace
+    model =
+  (* Registry key for the trace header, so replay can re-resolve the same
+     tool (display names are not unique across tool variants). *)
+  let capture_meta =
+    match tool_name with Some n -> Some n | None -> Pasta.Config.tool_name ()
+  in
   Pasta_tools.Tools.register_all ();
   if inject_faults then Pasta.Config.set "ACCEL_PROF_INJECT_FAULTS" "1";
   Option.iter
@@ -148,7 +171,10 @@ let run_profile tool_name gpu mode iters sample_rate domains start_grid end_grid
       let tool =
         match tool_name with
         | Some name -> Option.map (fun mk -> mk ()) (Pasta.Registry.find name)
-        | None -> Pasta.Registry.resolve_from_config ()
+        | None -> (
+            match Pasta.Registry.resolve_from_config () with
+            | Some t -> Some t
+            | None -> default_tool)
       in
       match tool with
       | None ->
@@ -176,7 +202,8 @@ let run_profile tool_name gpu mode iters sample_rate domains start_grid end_grid
               trace
           in
           let (), result =
-            Pasta.Session.run ~range ?sample_rate ~tool device (fun () ->
+            Pasta.Session.run ~range ?sample_rate ?capture ?capture_meta ~tool
+              device (fun () ->
                 let model = Dlfw.Runner.build ctx abbr in
                 Dlfw.Runner.run ctx model ~mode ~iters)
           in
@@ -187,6 +214,14 @@ let run_profile tool_name gpu mode iters sample_rate domains start_grid end_grid
               Format.printf "[accelprof] trace written to %s (%d events)@." path
                 (Pasta.Trace_export.event_count tx))
             tracer;
+          Option.iter
+            (fun path ->
+              Format.printf
+                "[accelprof] ptrace written to %s (%d ops, %d bytes, %d chunks)@."
+                path result.Pasta.Session.health.Pasta.Session.events_recorded
+                result.Pasta.Session.health.Pasta.Session.bytes_written
+                result.Pasta.Session.health.Pasta.Session.chunks)
+            capture;
           if verbose then
             Format.printf
               "[accelprof] tool=%s gpu=%s %s-%s x%d: %d kernels, %d events seen, %d \
@@ -204,19 +239,201 @@ let run_profile tool_name gpu mode iters sample_rate domains start_grid end_grid
           Dlfw.Ctx.destroy ctx;
           `Ok ())
 
-let profile_cmd =
+let run_profile tool_name gpu mode iters sample_rate domains start_grid end_grid
+    verbose health inject_faults fault_seed trace model =
+  run_workload tool_name gpu mode iters sample_rate domains start_grid end_grid
+    verbose health inject_faults fault_seed trace model
+
+let profile_term =
+  Term.(
+    ret
+      (const run_profile $ tool_arg $ gpu_arg $ mode_arg $ iters_arg $ sample_arg
+     $ domains_arg $ start_grid_arg $ end_grid_arg $ verbose_arg $ health_arg
+     $ inject_faults_arg $ fault_seed_arg $ trace_arg $ model_pos 0))
+
+(* --- record ------------------------------------------------------- *)
+
+let out_pos =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"OUT.ptrace" ~doc:"Trace file to write.")
+
+let run_record out tool_name gpu mode iters sample_rate domains start_grid
+    end_grid verbose health inject_faults fault_seed model =
+  run_workload ~capture:out
+    ~default_tool:(Pasta.Capture.passthrough ())
+    tool_name gpu mode iters sample_rate domains start_grid end_grid verbose
+    health inject_faults fault_seed None model
+
+let record_cmd =
   let term =
     Term.(
       ret
-        (const run_profile $ tool_arg $ gpu_arg $ mode_arg $ iters_arg $ sample_arg
-       $ domains_arg $ start_grid_arg $ end_grid_arg $ verbose_arg $ health_arg
-       $ inject_faults_arg $ fault_seed_arg $ trace_arg $ model_arg))
+        (const run_record $ out_pos $ tool_arg $ gpu_arg $ mode_arg $ iters_arg
+       $ sample_arg $ domains_arg $ start_grid_arg $ end_grid_arg $ verbose_arg
+       $ health_arg $ inject_faults_arg $ fault_seed_arg $ model_pos 1))
   in
-  let info =
-    Cmd.info "accelprof" ~version:"1.0.0"
-      ~doc:"run a PASTA analysis tool against a simulated DL workload"
+  Cmd.v
+    (Cmd.info "record"
+       ~doc:
+         "run a workload and capture its submission-level op stream to a \
+          .ptrace file; without $(b,--tool), a passthrough capture tool \
+          records fine-grained batches with no analysis")
+    term
+
+(* --- replay ------------------------------------------------------- *)
+
+let in_pos =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"IN.ptrace" ~doc:"Trace file to replay.")
+
+let tools_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "tools" ] ~docv:"T1,T2"
+        ~doc:
+          "Comma-separated tools to re-drive over the trace; defaults to the \
+           tool recorded in the trace header, then \\$PASTA_TOOL.")
+
+let replay_mode tolerant =
+  if tolerant then Pasta.Ptrace.Tolerant
+  else if Pasta.Config.trace_strict () then Pasta.Ptrace.Strict
+  else Pasta.Ptrace.Tolerant
+
+let run_replay path tools tolerant start_grid end_grid verbose health =
+  Pasta_tools.Tools.register_all ();
+  let mode = replay_mode tolerant in
+  let tool_names =
+    match tools with
+    | Some s ->
+        String.split_on_char ',' s |> List.map String.trim
+        |> List.filter (fun s -> s <> "")
+    | None -> (
+        match
+          (try Some (Pasta.Ptrace.read_header_of_file path)
+           with Pasta.Ptrace.Corrupt _ | Sys_error _ -> None)
+        with
+        | Some h
+          when h.Pasta.Ptrace.h_meta <> ""
+               && Pasta.Registry.find h.Pasta.Ptrace.h_meta <> None ->
+            [ h.Pasta.Ptrace.h_meta ]
+        | _ -> ( match Pasta.Config.tool_name () with Some t -> [ t ] | None -> []))
   in
-  Cmd.v info term
+  if tool_names = [] then
+    `Error
+      ( false,
+        Printf.sprintf
+          "no tool: pass --tools (available: %s) or record with an analysis tool"
+          (String.concat ", " (Pasta.Registry.names ())) )
+  else
+    let unknown =
+      List.filter (fun n -> Pasta.Registry.find n = None) tool_names
+    in
+    if unknown <> [] then
+      `Error
+        ( false,
+          Printf.sprintf "unknown tool(s) %s; available: %s"
+            (String.concat ", " unknown)
+            (String.concat ", " (Pasta.Registry.names ())) )
+    else
+      match
+        List.iter
+          (fun name ->
+            let tool =
+              match Pasta.Registry.find name with
+              | Some mk -> mk ()
+              | None -> assert false
+            in
+            let range = Pasta.Range.create ?start_grid ?end_grid () in
+            let o = Pasta.Replay.run ~mode ~range ~tool path in
+            if verbose || health then
+              Format.printf
+                "[accelprof] replay tool=%s %s: %d ops, %d chunks (%d skipped), \
+                 %.2f ms simulated@."
+                o.Pasta.Replay.tool_name path o.Pasta.Replay.ops_replayed
+                o.Pasta.Replay.chunks o.Pasta.Replay.chunks_skipped
+                (o.Pasta.Replay.elapsed_us /. 1000.0);
+            o.Pasta.Replay.report Format.std_formatter)
+          tool_names
+      with
+      | () -> `Ok ()
+      | exception Pasta.Ptrace.Corrupt msg ->
+          `Error (false, Printf.sprintf "corrupt trace: %s (try --tolerant)" msg)
+      | exception Sys_error msg -> `Error (false, msg)
+
+let replay_cmd =
+  let term =
+    Term.(
+      ret
+        (const run_replay $ in_pos $ tools_arg $ tolerant_arg $ start_grid_arg
+       $ end_grid_arg $ verbose_arg $ health_arg))
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "re-drive a recorded .ptrace through the full tool pipeline offline; \
+          replaying the recording run's tool reproduces its report byte for \
+          byte")
+    term
+
+(* --- trace stat / diff -------------------------------------------- *)
+
+let trace_pos p doc =
+  Arg.(required & pos p (some string) None & info [] ~docv:"FILE" ~doc)
+
+let run_stat path tolerant =
+  match Pasta.Replay.stat ~mode:(replay_mode tolerant) path with
+  | s ->
+      Format.printf "%a" Pasta.Replay.pp_stat s;
+      `Ok ()
+  | exception Pasta.Ptrace.Corrupt msg ->
+      `Error (false, Printf.sprintf "corrupt trace: %s (try --tolerant)" msg)
+  | exception Sys_error msg -> `Error (false, msg)
+
+let run_diff a b tolerant =
+  let mode = replay_mode tolerant in
+  match Pasta.Replay.diff ~mode a b with
+  | Pasta.Replay.Identical _ as d ->
+      Format.printf "%a" Pasta.Replay.pp_divergence d;
+      `Ok ()
+  | d ->
+      Format.printf "%a" Pasta.Replay.pp_divergence d;
+      (* differing traces exit nonzero, like diff(1) *)
+      exit 1
+  | exception Pasta.Ptrace.Corrupt msg ->
+      `Error (false, Printf.sprintf "corrupt trace: %s (try --tolerant)" msg)
+  | exception Sys_error msg -> `Error (false, msg)
+
+let stat_cmd =
+  Cmd.v
+    (Cmd.info "stat" ~doc:"summarize a .ptrace: header, sizes, op-kind histogram")
+    Term.(ret (const run_stat $ trace_pos 0 "Trace file to inspect." $ tolerant_arg))
+
+let diff_cmd =
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:
+         "structurally compare two .ptrace op streams (chunking and interning \
+          layout are ignored); exits 1 when they diverge")
+    Term.(
+      ret
+        (const run_diff $ trace_pos 0 "First trace." $ trace_pos 1 "Second trace."
+       $ tolerant_arg))
+
+let trace_cmd =
+  Cmd.group
+    (Cmd.info "trace" ~doc:"inspect and compare recorded .ptrace files")
+    [ stat_cmd; diff_cmd ]
+
+let main_cmd =
+  Cmd.group ~default:profile_term
+    (Cmd.info "accelprof" ~version:"1.0.0"
+       ~doc:"run a PASTA analysis tool against a simulated DL workload")
+    [ record_cmd; replay_cmd; trace_cmd ]
 
 let () =
   (* "list-tools" is a convenience alias; everything else goes through the
@@ -225,4 +442,4 @@ let () =
     Pasta_tools.Tools.register_all ();
     List.iter print_endline (Pasta.Registry.names ())
   end
-  else exit (Cmd.eval profile_cmd)
+  else exit (Cmd.eval main_cmd)

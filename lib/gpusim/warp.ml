@@ -77,6 +77,28 @@ let iter_batch b ~f =
     f (batch_get b i)
   done
 
+let batch_of_arrays ~region ~chunk ~pc ~addrs ~sizes ~warps ~weights ~writes =
+  let len = Array.length addrs in
+  if
+    Array.length sizes <> len
+    || Array.length warps <> len
+    || Array.length weights <> len
+    || Bytes.length writes <> len
+  then invalid_arg "Warp.batch_of_arrays: array lengths differ";
+  if region < 0 || chunk < 0 || pc < 0 then
+    invalid_arg "Warp.batch_of_arrays: negative header field";
+  {
+    b_region = region;
+    b_chunk = chunk;
+    b_pc = pc;
+    b_len = len;
+    addrs;
+    sizes;
+    warps;
+    weights;
+    writes;
+  }
+
 type chunk_spec = {
   cs_region : Kernel.region;
   cs_region_idx : int;

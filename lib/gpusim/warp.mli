@@ -54,6 +54,20 @@ val batch_weight : batch -> int
 val batch_get : batch -> int -> access
 val iter_batch : batch -> f:(access -> unit) -> unit
 
+val batch_of_arrays :
+  region:int ->
+  chunk:int ->
+  pc:int ->
+  addrs:int array ->
+  sizes:int array ->
+  warps:int array ->
+  weights:int array ->
+  writes:Bytes.t ->
+  batch
+(** Rebuild a batch from its parts — the stable accessor trace decoders
+    use.  Validates that every array has the same length and that the
+    header fields are non-negative; the arrays are adopted, not copied. *)
+
 type chunk_spec = private {
   cs_region : Kernel.region;
   cs_region_idx : int;

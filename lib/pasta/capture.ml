@@ -1,0 +1,45 @@
+type t = {
+  cap_writer : Ptrace.writer;
+  cap_proc : Processor.t;
+  mutable cap_open : bool;
+}
+
+let sync_stats t =
+  let st = Processor.stats t.cap_proc in
+  st.Processor.bytes_written <- Ptrace.writer_bytes t.cap_writer;
+  st.Processor.chunks <- Ptrace.writer_chunks t.cap_writer
+
+let start ?chunk_bytes ?meta proc path =
+  let writer =
+    Ptrace.create_writer ?chunk_bytes ?meta ~device:(Processor.device proc) path
+  in
+  let st = Processor.stats proc in
+  let t = { cap_writer = writer; cap_proc = proc; cap_open = true } in
+  Processor.set_sink proc (fun ~time_us op ->
+      Ptrace.write_op writer ~time_us op;
+      st.Processor.events_recorded <- st.Processor.events_recorded + 1;
+      st.Processor.bytes_written <- Ptrace.writer_bytes writer;
+      st.Processor.chunks <- Ptrace.writer_chunks writer);
+  t
+
+let finish t =
+  if t.cap_open then begin
+    t.cap_open <- false;
+    Processor.clear_sink t.cap_proc;
+    Ptrace.close_writer t.cap_writer;
+    sync_stats t
+  end
+
+let ops t = Ptrace.writer_ops t.cap_writer
+let bytes t = Ptrace.writer_bytes t.cap_writer
+let chunks t = Ptrace.writer_chunks t.cap_writer
+
+let passthrough () =
+  let tool = Tool.default ~fine_grained:Tool.Cpu_sanitizer "capture" in
+  {
+    tool with
+    Tool.on_access_batch = Some (fun _ _ -> ());
+    report =
+      (fun ppf ->
+        Format.fprintf ppf "capture: passthrough recording, no analysis@.");
+  }

@@ -1,0 +1,34 @@
+(** Trace capture: stream a live session's submission-level op stream to
+    a [.ptrace] file.
+
+    A capture installs itself as the processor's sink, so it observes
+    every submission — coarse events, packed access batches, region
+    aggregates, kernel-end flush points — in arrival order, before range
+    filtering and buffering.  Memory stays bounded: ops are encoded into
+    a chunk buffer that is flushed to disk whenever it reaches the chunk
+    size ({!Config.trace_chunk_bytes} by default).
+
+    The capture keeps the processor's [events_recorded],
+    [bytes_written] and [chunks] stats current, so session health
+    reports cover it. *)
+
+type t
+
+val start : ?chunk_bytes:int -> ?meta:string -> Processor.t -> string -> t
+(** [start proc path] opens [path] and taps [proc].  At most one sink
+    per processor: starting a capture replaces any existing sink. *)
+
+val finish : t -> unit
+(** Detach the sink, flush the final chunk and close the file.
+    Idempotent. *)
+
+val ops : t -> int
+(** Submission ops recorded so far. *)
+
+val bytes : t -> int
+val chunks : t -> int
+
+val passthrough : unit -> Tool.t
+(** A record-only tool: requests [Cpu_sanitizer] instrumentation with
+    batch delivery and does nothing with it, so [accelprof record] can
+    capture a fine-grained trace without running an analysis. *)

@@ -63,3 +63,20 @@ let fault_seed () =
   match Option.bind (get "ACCEL_PROF_FAULT_SEED") Int64.of_string_opt with
   | Some s -> s
   | None -> 0x5EEDL
+
+(* --- Trace capture / replay knobs --- *)
+
+let trace_path () =
+  match get "ACCEL_PROF_TRACE" with
+  | Some p when p <> "" -> Some p
+  | _ -> None
+
+let trace_chunk_bytes () =
+  match get_int "ACCEL_PROF_TRACE_CHUNK_KB" with
+  | Some n when n > 0 -> n * 1024
+  | _ -> 256 * 1024
+
+let trace_strict () =
+  match get "ACCEL_PROF_TRACE_STRICT" with
+  | Some ("0" | "false" | "no" | "off" | "tolerant") -> false
+  | _ -> true

@@ -61,3 +61,20 @@ val inject_faults : unit -> bool
 
 val fault_seed : unit -> int64
 (** [ACCEL_PROF_FAULT_SEED]: seed for injected faults (default 0x5EED). *)
+
+(** {2 Trace capture / replay knobs} *)
+
+val trace_path : unit -> string option
+(** [ACCEL_PROF_TRACE]: when set, every attached session also streams its
+    unified event stream to this [.ptrace] file. *)
+
+val trace_chunk_bytes : unit -> int
+(** [ACCEL_PROF_TRACE_CHUNK_KB]: capture chunk size in KiB (default 256).
+    Each chunk is independently framed and CRC-protected; smaller chunks
+    bound capture memory tighter and lose less to a corrupt chunk,
+    larger chunks compress the framing overhead. *)
+
+val trace_strict : unit -> bool
+(** [ACCEL_PROF_TRACE_STRICT]: replay verification mode.  Strict (the
+    default) fails on any CRC or framing violation; [0]/[off]/[tolerant]
+    skips corrupt chunks and keeps going. *)

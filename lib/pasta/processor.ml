@@ -15,7 +15,25 @@ type stats = {
   mutable batches_delivered : int;
   mutable objmap_memo_hits : int;
   mutable objmap_memo_misses : int;
+  mutable events_recorded : int;
+  mutable bytes_written : int;
+  mutable chunks : int;
+  mutable chunks_skipped : int;
+  mutable replay_events : int;
 }
+
+(* Submission-level operations, as seen by a trace sink.  One constructor
+   per processor entry point: a recorded op stream re-driven through the
+   same entry points reproduces the exact callback sequence the live tool
+   saw — the replay contract. *)
+type sink_op =
+  | Sk_event of Event.payload
+  | Sk_access of Event.kernel_info * Event.mem_access
+  | Sk_batch of Event.kernel_info * Gpusim.Warp.batch
+  | Sk_region of Event.kernel_info * Event.region_summary
+  | Sk_flush_summary of Event.kernel_info
+  | Sk_flush_parallel of Event.kernel_info
+  | Sk_profile of Event.kernel_info * Gpusim.Kernel.profile
 
 type pending_region = { p_base : int; p_extent : int; p_accesses : int; p_written : bool }
 
@@ -44,6 +62,8 @@ type t = {
   mutable last_time_us : float;
   mutable pending : (int * pending_region list) option;
       (** (grid_id, regions) of the kernel currently being aggregated *)
+  mutable sink : (time_us:float -> sink_op -> unit) option;
+      (** trace-capture tap, fed every submission before range filtering *)
 }
 
 let create ?range ?buffer_capacity ?overflow_policy ~device () =
@@ -75,6 +95,11 @@ let create ?range ?buffer_capacity ?overflow_policy ~device () =
         batches_delivered = 0;
         objmap_memo_hits = 0;
         objmap_memo_misses = 0;
+        events_recorded = 0;
+        bytes_written = 0;
+        chunks = 0;
+        chunks_skipped = 0;
+        replay_events = 0;
       };
     buf = Ring_buffer.create ~capacity;
     policy;
@@ -83,10 +108,12 @@ let create ?range ?buffer_capacity ?overflow_policy ~device () =
     incidents = [];
     last_time_us = 0.0;
     pending = None;
+    sink = None;
   }
 
 let objmap t = t.objmap
 let range t = t.range
+let device t = t.device
 
 let stats t =
   let hits, misses = Objmap.memo_stats t.objmap in
@@ -96,6 +123,12 @@ let stats t =
 
 let set_pool t p = t.pool <- Some p
 let clear_pool t = t.pool <- None
+
+let set_sink t f = t.sink <- Some f
+let clear_sink t = t.sink <- None
+
+let tap t ~time_us op =
+  match t.sink with None -> () | Some f -> f ~time_us op
 let guard t = t.guard
 let tool t = Option.map Guard.tool t.guard
 let incidents t = List.rev t.incidents
@@ -256,6 +289,7 @@ let buffer_item t item =
     max t.stats.records_buffered_peak t.buffered_records
 
 let submit t ~time_us payload =
+  tap t ~time_us (Sk_event payload);
   t.stats.events_seen <- t.stats.events_seen + 1;
   t.last_time_us <- time_us;
   update_registry t payload;
@@ -272,6 +306,8 @@ let submit t ~time_us payload =
     dispatch t { Event.device = t.device; time_us; payload }
 
 let submit_region t (info : Event.kernel_info) ~base ~extent ~accesses ~written =
+  tap t ~time_us:t.last_time_us
+    (Sk_region (info, { Event.base; extent; accesses; written }));
   let region = { p_base = base; p_extent = extent; p_accesses = accesses; p_written = written } in
   match t.pending with
   | Some (gid, regions) when gid = info.Event.grid_id ->
@@ -279,6 +315,7 @@ let submit_region t (info : Event.kernel_info) ~base ~extent ~accesses ~written 
   | _ -> t.pending <- Some (info.Event.grid_id, [ region ])
 
 let flush_kernel_summary t ~time_us (info : Event.kernel_info) =
+  tap t ~time_us (Sk_flush_summary info);
   match t.pending with
   | Some (gid, regions) when gid = info.Event.grid_id ->
       t.pending <- None;
@@ -329,6 +366,7 @@ let flush_kernel_summary t ~time_us (info : Event.kernel_info) =
   | _ -> ()
 
 let submit_access t ~time_us (info : Event.kernel_info) access =
+  tap t ~time_us (Sk_access (info, access));
   t.stats.events_seen <- t.stats.events_seen + 1;
   t.last_time_us <- time_us;
   if Range.active t.range ~grid_id:info.Event.grid_id then
@@ -336,6 +374,7 @@ let submit_access t ~time_us (info : Event.kernel_info) access =
   else t.stats.accesses_filtered <- t.stats.accesses_filtered + 1
 
 let submit_access_batch t ~time_us (info : Event.kernel_info) batch =
+  tap t ~time_us (Sk_batch (info, batch));
   let len = Gpusim.Warp.batch_len batch in
   t.stats.events_seen <- t.stats.events_seen + len;
   t.last_time_us <- time_us;
@@ -343,11 +382,33 @@ let submit_access_batch t ~time_us (info : Event.kernel_info) batch =
     buffer_item t (B_batch (info, batch, time_us))
   else t.stats.accesses_filtered <- t.stats.accesses_filtered + len
 
-(* Kernel-end reduction for [Gpu_parallel] tools: drain this kernel's
-   batches, aggregate each shard (over the pool when one is installed),
-   merge in deterministic order, and hand the tool a single summary.  Raw
-   records never reach the tool. *)
-let flush_parallel_summary t ~time_us (info : Event.kernel_info) =
+(* Deliver a device summary to the tool.  Called with a freshly merged
+   aggregate on the live path, and with the recorded aggregate when a
+   trace is replayed (the trace stores the [Device_summary] payload right
+   after its flush marker, so replay re-drives it here instead of paying
+   the aggregation again).  The [tap] makes re-recording a replayed run
+   reproduce the original op stream. *)
+let submit_device_summary t ~time_us (info : Event.kernel_info) summary =
+  tap t ~time_us (Sk_event (Event.Device_summary { kernel = info; summary }));
+  t.last_time_us <- time_us;
+  if Range.active t.range ~grid_id:info.Event.grid_id then begin
+    t.stats.summaries_flushed <- t.stats.summaries_flushed + 1;
+    dispatch t
+      {
+        Event.device = t.device;
+        time_us;
+        payload = Event.Device_summary { kernel = info; summary };
+      };
+    guard_call t Guard.On_device_summary (fun tool ->
+        tool.Tool.on_device_summary info summary)
+  end
+
+(* Drain this kernel's buffered batches at kernel end: batches belonging
+   to other kernels are delivered as-is, this kernel's are returned for
+   aggregation (live) or discarded (replay, which re-drives the recorded
+   summary instead). *)
+let drain_parallel t ~time_us (info : Event.kernel_info) =
+  tap t ~time_us (Sk_flush_parallel info);
   t.last_time_us <- time_us;
   let items = Ring_buffer.drain t.buf in
   t.buffered_records <- 0;
@@ -359,12 +420,16 @@ let flush_parallel_summary t ~time_us (info : Event.kernel_info) =
       items
   in
   List.iter (deliver_item t) others;
-  let batches =
-    Array.of_list
-      (List.filter_map (function B_batch (_, b, _) -> Some b | B_one _ -> None) mine)
-  in
+  Array.of_list
+    (List.filter_map (function B_batch (_, b, _) -> Some b | B_one _ -> None) mine)
+
+(* Kernel-end reduction for [Gpu_parallel] tools: drain this kernel's
+   batches, aggregate each shard (over the pool when one is installed),
+   merge in deterministic order, and hand the tool a single summary.  Raw
+   records never reach the tool. *)
+let flush_parallel_summary t ~time_us (info : Event.kernel_info) =
+  let batches = drain_parallel t ~time_us info in
   if Array.length batches > 0 then begin
-    t.stats.summaries_flushed <- t.stats.summaries_flushed + 1;
     let view = Objmap.view t.objmap in
     let shards =
       match t.pool with
@@ -373,18 +438,19 @@ let flush_parallel_summary t ~time_us (info : Event.kernel_info) =
               Devagg.aggregate view batches.(i))
       | _ -> Array.map (Devagg.aggregate view) batches
     in
-    let summary = Devagg.merge shards in
-    dispatch t
-      {
-        Event.device = t.device;
-        time_us;
-        payload = Event.Device_summary { kernel = info; summary };
-      };
-    guard_call t Guard.On_device_summary (fun tool ->
-        tool.Tool.on_device_summary info summary)
+    submit_device_summary t ~time_us info (Devagg.merge shards)
   end
 
+(* Replay path for a recorded flush marker: the aggregate this flush
+   produced live is stored in the trace right after the marker, so the
+   buffered batches are dropped here and the summary is re-driven through
+   {!submit_device_summary} when the reader reaches it. *)
+let flush_parallel_drop t ~time_us (info : Event.kernel_info) =
+  let (_ : Gpusim.Warp.batch array) = drain_parallel t ~time_us info in
+  ()
+
 let submit_profile t ~time_us (info : Event.kernel_info) profile =
+  tap t ~time_us (Sk_profile (info, profile));
   t.stats.events_seen <- t.stats.events_seen + 1;
   t.last_time_us <- time_us;
   if Range.active t.range ~grid_id:info.Event.grid_id then begin

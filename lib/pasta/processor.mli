@@ -39,7 +39,29 @@ type stats = {
       (** packed batches handed to a batch-aware tool *)
   mutable objmap_memo_hits : int;  (** {!Objmap} resolve-memo hits *)
   mutable objmap_memo_misses : int;
+  mutable events_recorded : int;
+      (** submission-level ops written by an attached trace capture *)
+  mutable bytes_written : int;  (** bytes the capture has flushed to disk *)
+  mutable chunks : int;  (** trace chunks written (capture) or read (replay) *)
+  mutable chunks_skipped : int;
+      (** corrupt chunks skipped by a tolerant replay *)
+  mutable replay_events : int;
+      (** submission-level ops re-driven from a recorded trace *)
 }
+
+type sink_op =
+  | Sk_event of Event.payload
+  | Sk_access of Event.kernel_info * Event.mem_access
+  | Sk_batch of Event.kernel_info * Gpusim.Warp.batch
+  | Sk_region of Event.kernel_info * Event.region_summary
+  | Sk_flush_summary of Event.kernel_info
+  | Sk_flush_parallel of Event.kernel_info
+  | Sk_profile of Event.kernel_info * Gpusim.Kernel.profile
+      (** Submission-level operations, one constructor per processor entry
+          point.  A sink sees every submission in arrival order, before
+          range filtering and buffering — a recorded op stream re-driven
+          through the same entry points reproduces the exact callback
+          sequence the live tool saw. *)
 
 type t
 
@@ -65,6 +87,9 @@ val guard : t -> Guard.t option
 val objmap : t -> Objmap.t
 val range : t -> Range.t
 
+val device : t -> int
+(** The device id this processor stamps on dispatched events. *)
+
 val stats : t -> stats
 (** Live counters; the objmap memo fields are refreshed on each call. *)
 
@@ -74,6 +99,12 @@ val set_pool : t -> Pasta_util.Domain_pool.t -> unit
     results, serially. *)
 
 val clear_pool : t -> unit
+
+val set_sink : t -> (time_us:float -> sink_op -> unit) -> unit
+(** Install a trace-capture tap.  At most one sink is active; the sink
+    must not call back into the processor. *)
+
+val clear_sink : t -> unit
 
 val incidents : t -> Event.t list
 (** Supervision incidents ({!Event.Tool_quarantined} so far) in emission
@@ -117,7 +148,24 @@ val flush_parallel_summary : t -> time_us:float -> Event.kernel_info -> unit
     kernel's batches, aggregate shards (on the installed pool when
     present), merge deterministically and dispatch one
     {!Event.Device_summary} plus the tool's [on_device_summary].  Buffered
-    items belonging to other kernels are delivered normally. *)
+    items belonging to other kernels are delivered normally.  The merged
+    aggregate is also tapped to the sink (as an [Sk_event] carrying the
+    {!Event.Device_summary} payload), so a trace stores each flush's
+    result right after its marker and replay need not aggregate again. *)
+
+val submit_device_summary :
+  t -> time_us:float -> Event.kernel_info -> Devagg.summary -> unit
+(** Feed an already-computed device aggregate: dispatch the
+    {!Event.Device_summary} unified event and the tool's
+    [on_device_summary], subject to range filtering.  Replay uses this to
+    re-drive recorded aggregates byte-identically. *)
+
+val flush_parallel_drop : t -> time_us:float -> Event.kernel_info -> unit
+(** Replay-side counterpart of {!flush_parallel_summary}: drain the
+    finishing kernel's buffered batches without aggregating them
+    (delivering other kernels' buffered items normally).  The aggregate
+    this flush produced live is recorded in the trace and re-driven via
+    {!submit_device_summary}. *)
 
 val flush_records : t -> unit
 (** Drain the bounded record buffer to the tool now. *)

@@ -1,0 +1,1197 @@
+(* The .ptrace binary trace format.
+
+   A capture file is a small header followed by independent chunks:
+
+     header := magic "PTRC" | version byte | varint device | string meta
+     chunk  := varint payload_len | varint op_count
+             | u32le CRC-32 of payload | payload bytes
+
+   The payload is a sequence of submission-level ops ({!Processor.sink_op}
+   plus a simulated timestamp), varint-encoded: unsigned LEB128 for
+   counts/sizes, zigzag LEB128 for quantities that can be negative,
+   raw little-endian IEEE-754 for floats, length-prefixed bytes for
+   strings.  Kernel descriptors are interned *per chunk* — the first op of
+   a chunk referencing a kernel carries the full descriptor, later ops a
+   one-varint handle — so every chunk decodes on its own and a corrupt
+   chunk costs exactly its own ops and nothing downstream.
+
+   Compatibility rule: the version byte gates everything after the magic.
+   Additive evolution (new op tags, new payload tags) keeps the version;
+   readers reject unknown tags as corruption, which tolerant mode turns
+   into skipped chunks.  Any change to existing encodings bumps the
+   version, and readers refuse versions they don't know. *)
+
+exception Corrupt of string
+
+let corrupt fmt = Printf.ksprintf (fun s -> raise (Corrupt s)) fmt
+
+let magic = "PTRC"
+let version = 1
+
+(* ------------------------------------------------------------------ *)
+(* Encoding primitives                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let put_u buf n =
+  if n < 0 then invalid_arg "Ptrace.put_u: negative";
+  let n = ref n in
+  while !n >= 0x80 do
+    Buffer.add_char buf (Char.chr (!n land 0x7f lor 0x80));
+    n := !n lsr 7
+  done;
+  Buffer.add_char buf (Char.chr !n)
+
+let zigzag n = (n lsl 1) lxor (n asr (Sys.int_size - 1))
+let unzigzag u = (u lsr 1) lxor (- (u land 1))
+let put_z buf n = put_u buf (zigzag n)
+let put_f buf x = Buffer.add_int64_le buf (Int64.bits_of_float x)
+let put_bool buf b = Buffer.add_char buf (if b then '\001' else '\000')
+
+let put_str buf s =
+  put_u buf (String.length s);
+  Buffer.add_string buf s
+
+type cursor = { c_s : string; mutable c_pos : int; c_limit : int }
+
+let cursor ?(pos = 0) ?limit s =
+  let limit = match limit with Some l -> l | None -> String.length s in
+  { c_s = s; c_pos = pos; c_limit = limit }
+
+let at_end c = c.c_pos >= c.c_limit
+
+let get_byte c =
+  if c.c_pos >= c.c_limit then corrupt "truncated varint";
+  let b = Char.code c.c_s.[c.c_pos] in
+  c.c_pos <- c.c_pos + 1;
+  b
+
+let rec get_u_slow c acc shift =
+  let b = get_byte c in
+  if shift > 56 then corrupt "varint too long";
+  let acc = acc lor ((b land 0x7f) lsl shift) in
+  if b land 0x80 = 0 then acc else get_u_slow c acc (shift + 7)
+
+(* Single-byte values dominate real traces (sizes, warp ids, weights,
+   small address deltas), so the common case is inlined: one bounds
+   check, one unsafe read. *)
+let get_u c =
+  let pos = c.c_pos in
+  if pos >= c.c_limit then corrupt "truncated varint";
+  let b = Char.code (String.unsafe_get c.c_s pos) in
+  if b < 0x80 then begin
+    c.c_pos <- pos + 1;
+    b
+  end
+  else get_u_slow c 0 0
+
+let get_z c = unzigzag (get_u c)
+
+let get_f c =
+  if c.c_pos + 8 > c.c_limit then corrupt "truncated float";
+  let v = String.get_int64_le c.c_s c.c_pos in
+  c.c_pos <- c.c_pos + 8;
+  Int64.float_of_bits v
+
+let get_bool c = get_byte c <> 0
+
+let get_str c =
+  let len = get_u c in
+  if c.c_pos + len > c.c_limit then corrupt "truncated string";
+  let s = String.sub c.c_s c.c_pos len in
+  c.c_pos <- c.c_pos + len;
+  s
+
+(* ------------------------------------------------------------------ *)
+(* Domain-type codecs                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let put_api_phase buf = function
+  | `Enter -> put_u buf 0
+  | `Exit -> put_u buf 1
+
+let get_api_phase c =
+  match get_u c with
+  | 0 -> `Enter
+  | 1 -> `Exit
+  | n -> corrupt "bad api phase %d" n
+
+let put_frames buf frames =
+  put_u buf (List.length frames);
+  List.iter
+    (fun (f : Gpusim.Hostctx.frame) ->
+      put_str buf f.Gpusim.Hostctx.file;
+      put_u buf f.Gpusim.Hostctx.line;
+      put_str buf f.Gpusim.Hostctx.symbol)
+    frames
+
+let get_frames c =
+  let n = get_u c in
+  List.init n (fun _ ->
+      let file = get_str c in
+      let line = get_u c in
+      let symbol = get_str c in
+      { Gpusim.Hostctx.file; line; symbol })
+
+let put_dim3 buf (d : Gpusim.Dim3.t) =
+  put_u buf d.Gpusim.Dim3.x;
+  put_u buf d.Gpusim.Dim3.y;
+  put_u buf d.Gpusim.Dim3.z
+
+let get_dim3 c =
+  let x = get_u c in
+  let y = get_u c in
+  let z = get_u c in
+  { Gpusim.Dim3.x; y; z }
+
+let put_kernel_info_body buf (k : Event.kernel_info) =
+  put_u buf k.Event.device_id;
+  put_u buf k.Event.grid_id;
+  put_u buf k.Event.stream;
+  put_str buf k.Event.name;
+  put_dim3 buf k.Event.grid;
+  put_dim3 buf k.Event.block;
+  put_u buf k.Event.shared_bytes;
+  put_u buf (List.length k.Event.arg_ptrs);
+  List.iter (put_z buf) k.Event.arg_ptrs;
+  put_frames buf k.Event.py_stack;
+  put_frames buf k.Event.native_stack
+
+let get_kernel_info_body c =
+  let device_id = get_u c in
+  let grid_id = get_u c in
+  let stream = get_u c in
+  let name = get_str c in
+  let grid = get_dim3 c in
+  let block = get_dim3 c in
+  let shared_bytes = get_u c in
+  let nargs = get_u c in
+  let arg_ptrs = List.init nargs (fun _ -> get_z c) in
+  let py_stack = get_frames c in
+  let native_stack = get_frames c in
+  {
+    Event.device_id;
+    grid_id;
+    stream;
+    name;
+    grid;
+    block;
+    shared_bytes;
+    arg_ptrs;
+    py_stack;
+    native_stack;
+  }
+
+(* Per-chunk kernel interning.  The encoder keys on [grid_id] (launch ids
+   are unique per device, and every kernel_info of a launch is structurally
+   identical); the decoder keeps slots in definition order. *)
+
+type intern = { by_grid : (int, int) Hashtbl.t; mutable next : int }
+type extern = { by_slot : (int, Event.kernel_info) Hashtbl.t; mutable count : int }
+
+let intern () = { by_grid = Hashtbl.create 32; next = 0 }
+let extern () = { by_slot = Hashtbl.create 32; count = 0 }
+
+let put_kernel it buf (k : Event.kernel_info) =
+  match Hashtbl.find_opt it.by_grid k.Event.grid_id with
+  | Some slot -> put_u buf (slot + 1)
+  | None ->
+      Hashtbl.add it.by_grid k.Event.grid_id it.next;
+      it.next <- it.next + 1;
+      put_u buf 0;
+      put_kernel_info_body buf k
+
+let get_kernel ex c =
+  match get_u c with
+  | 0 ->
+      let k = get_kernel_info_body c in
+      Hashtbl.replace ex.by_slot ex.count k;
+      ex.count <- ex.count + 1;
+      k
+  | handle -> (
+      match Hashtbl.find_opt ex.by_slot (handle - 1) with
+      | Some k -> k
+      | None -> corrupt "undefined kernel handle %d" (handle - 1))
+
+let put_access buf (a : Event.mem_access) =
+  put_z buf a.Event.addr;
+  put_u buf a.Event.size;
+  put_bool buf a.Event.write;
+  put_u buf a.Event.pc;
+  put_u buf a.Event.warp;
+  put_u buf a.Event.weight
+
+let get_access c =
+  let addr = get_z c in
+  let size = get_u c in
+  let write = get_bool c in
+  let pc = get_u c in
+  let warp = get_u c in
+  let weight = get_u c in
+  { Event.addr; size; write; pc; warp; weight }
+
+(* Integer-column codec for batch payloads.  Simulated columns are
+   heavily structured — sizes are constant, weights take at most two
+   values, warp ids and address deltas are run- or two-valued — so the
+   writer picks, per column, whichever of four encodings is smallest:
+
+     tag 0 (raw)      len varints, one per element
+     tag 1 (rle)      varint run count, then (value, run length) pairs
+     tag 2 (two)      two varint values, then 1 bit per element
+     tag 3 (const)    a single varint value
+
+   Values must be non-negative (zigzag first for signed columns). *)
+let col_raw = 0
+let col_rle = 1
+let col_two = 2
+let col_const = 3
+
+let put_col buf a len =
+  if len = 0 then put_u buf col_raw
+  else begin
+    let v0 = a.(0) in
+    let second = ref v0 in
+    let distinct = ref 1 in
+    let runs = ref 1 in
+    for i = 1 to len - 1 do
+      let v = Array.unsafe_get a i in
+      if v <> Array.unsafe_get a (i - 1) then incr runs;
+      if !distinct = 1 then begin
+        if v <> v0 then begin
+          second := v;
+          distinct := 2
+        end
+      end
+      else if !distinct = 2 && v <> v0 && v <> !second then distinct := 3
+    done;
+    if !distinct = 1 then begin
+      put_u buf col_const;
+      put_u buf v0
+    end
+    else if !distinct = 2 then begin
+      put_u buf col_two;
+      put_u buf v0;
+      put_u buf !second;
+      let nbytes = (len + 7) / 8 in
+      let bits = Bytes.make nbytes '\000' in
+      for i = 0 to len - 1 do
+        if Array.unsafe_get a i = !second then
+          Bytes.unsafe_set bits (i / 8)
+            (Char.unsafe_chr
+               (Char.code (Bytes.unsafe_get bits (i / 8)) lor (1 lsl (i mod 8))))
+      done;
+      Buffer.add_bytes buf bits
+    end
+    else if 4 * !runs <= len then begin
+      put_u buf col_rle;
+      put_u buf !runs;
+      let i = ref 0 in
+      while !i < len do
+        let v = a.(!i) in
+        let j = ref !i in
+        while !j < len && a.(!j) = v do
+          incr j
+        done;
+        put_u buf v;
+        put_u buf (!j - !i);
+        i := !j
+      done
+    end
+    else begin
+      put_u buf col_raw;
+      for i = 0 to len - 1 do
+        put_u buf (Array.unsafe_get a i)
+      done
+    end
+  end
+
+let get_col c len =
+  let a = Array.make len 0 in
+  (match get_u c with
+  | 0 (* raw *) ->
+      for i = 0 to len - 1 do
+        Array.unsafe_set a i (get_u c)
+      done
+  | 1 (* rle *) ->
+      let nruns = get_u c in
+      let filled = ref 0 in
+      for _ = 1 to nruns do
+        let v = get_u c in
+        let r = get_u c in
+        if r <= 0 || r > len - !filled then corrupt "bad column run";
+        Array.fill a !filled r v;
+        filled := !filled + r
+      done;
+      if !filled <> len then corrupt "column rle covers %d of %d" !filled len
+  | 2 (* two *) ->
+      let v0 = get_u c in
+      let v1 = get_u c in
+      let nbytes = (len + 7) / 8 in
+      if c.c_pos + nbytes > c.c_limit then corrupt "truncated column bits";
+      for i = 0 to len - 1 do
+        Array.unsafe_set a i
+          (if
+             Char.code (String.unsafe_get c.c_s (c.c_pos + (i / 8)))
+             land (1 lsl (i mod 8))
+             <> 0
+           then v1
+           else v0)
+      done;
+      c.c_pos <- c.c_pos + nbytes
+  | 3 (* const *) -> Array.fill a 0 len (get_u c)
+  | n -> corrupt "bad column tag %d" n);
+  a
+
+(* Upper bound on a decoded batch: generated batches hold at most
+   {!Gpusim.Warp.chunk_records} records, but column compression means a
+   tiny payload can declare a huge length, so corrupt data must not be
+   able to force absurd allocations. *)
+let max_batch_len = 1 lsl 22
+
+let put_batch buf (b : Gpusim.Warp.batch) =
+  let module W = Gpusim.Warp in
+  put_u buf b.W.b_region;
+  put_u buf b.W.b_chunk;
+  put_u buf b.W.b_pc;
+  put_u buf b.W.b_len;
+  let len = b.W.b_len in
+  (* Addresses go through zigzag deltas first: generation chunks are
+     mostly monotone with near-constant stride, so the delta column
+     collapses under the column codec even when absolute addresses are
+     large. *)
+  let deltas = Array.make (max len 1) 0 in
+  let prev = ref 0 in
+  for i = 0 to len - 1 do
+    let a = Array.unsafe_get b.W.addrs i in
+    Array.unsafe_set deltas i (zigzag (a - !prev));
+    prev := a
+  done;
+  put_col buf deltas len;
+  put_col buf b.W.sizes len;
+  put_col buf b.W.warps len;
+  put_col buf b.W.weights len;
+  (* Write flags: constant for the whole batch in the common case, else
+     one bit per record.  Nonzero bytes all map to 1 either way. *)
+  let first_write = len > 0 && Bytes.get b.W.writes 0 <> '\000' in
+  let all_same = ref true in
+  for i = 1 to len - 1 do
+    if Bytes.unsafe_get b.W.writes i <> '\000' <> first_write then
+      all_same := false
+  done;
+  if !all_same then begin
+    put_u buf col_const;
+    put_bool buf first_write
+  end
+  else begin
+    put_u buf col_raw;
+    let nbytes = (len + 7) / 8 in
+    let bits = Bytes.make nbytes '\000' in
+    for i = 0 to len - 1 do
+      if Bytes.get b.W.writes i <> '\000' then
+        Bytes.set bits (i / 8)
+          (Char.chr (Char.code (Bytes.get bits (i / 8)) lor (1 lsl (i mod 8))))
+    done;
+    Buffer.add_bytes buf bits
+  end
+
+let get_batch c =
+  let region = get_u c in
+  let chunk = get_u c in
+  let pc = get_u c in
+  let len = get_u c in
+  if len > max_batch_len then corrupt "batch length %d exceeds limit" len;
+  let addrs = get_col c len in
+  (* prefix-sum the zigzag deltas back into absolute addresses in place *)
+  let prev = ref 0 in
+  for i = 0 to len - 1 do
+    prev := !prev + unzigzag (Array.unsafe_get addrs i);
+    Array.unsafe_set addrs i !prev
+  done;
+  let sizes = get_col c len in
+  let warps = get_col c len in
+  let weights = get_col c len in
+  let writes =
+    match get_u c with
+    | 3 (* const *) -> Bytes.make len (if get_bool c then '\001' else '\000')
+    | 0 (* raw bits *) ->
+        let nbytes = (len + 7) / 8 in
+        if c.c_pos + nbytes > c.c_limit then corrupt "truncated batch write-bits";
+        let writes = Bytes.make len '\000' in
+        (* byte-outer so the common all-zero (read-only) byte costs one test *)
+        for j = 0 to nbytes - 1 do
+          let byte = Char.code (String.unsafe_get c.c_s (c.c_pos + j)) in
+          if byte <> 0 then
+            for k = 0 to 7 do
+              let i = (j * 8) + k in
+              if i < len && byte land (1 lsl k) <> 0 then
+                Bytes.unsafe_set writes i '\001'
+            done
+        done;
+        c.c_pos <- c.c_pos + nbytes;
+        writes
+    | n -> corrupt "bad writes tag %d" n
+  in
+  Gpusim.Warp.batch_of_arrays ~region ~chunk ~pc ~addrs ~sizes ~warps ~weights
+    ~writes
+
+let put_obj buf = function
+  | Objmap.Tensor { ptr; bytes; tag } ->
+      put_u buf 0;
+      put_z buf ptr;
+      put_u buf bytes;
+      put_str buf tag
+  | Objmap.Device_alloc { ptr; bytes; managed } ->
+      put_u buf 1;
+      put_z buf ptr;
+      put_u buf bytes;
+      put_bool buf managed
+  | Objmap.Unknown addr ->
+      put_u buf 2;
+      put_z buf addr
+
+let get_obj c =
+  match get_u c with
+  | 0 ->
+      let ptr = get_z c in
+      let bytes = get_u c in
+      let tag = get_str c in
+      Objmap.Tensor { ptr; bytes; tag }
+  | 1 ->
+      let ptr = get_z c in
+      let bytes = get_u c in
+      let managed = get_bool c in
+      Objmap.Device_alloc { ptr; bytes; managed }
+  | 2 -> Objmap.Unknown (get_z c)
+  | n -> corrupt "bad object tag %d" n
+
+(* Summary pair lists ([blocks], [coalesced]) are sorted by their first
+   component: first components are stored as zigzag deltas from the
+   previous entry, second components relative to their own first (for
+   [coalesced] that turns an absolute interval end into its short
+   length).  The [coalesced] intervals of a strided kernel are perfectly
+   periodic — constant (start delta, length) repeated thousands of times
+   — so the writer counts maximal constant runs and switches to a
+   run-length form when it is smaller; a plain delta form remains for
+   irregular data. *)
+let pairs_plain = 0
+
+let pairs_rle = 1
+
+let count_pair_runs l =
+  let runs = ref 0 and prev = ref 0 and step = ref 0 and b0 = ref 0 in
+  let first = ref true in
+  List.iter
+    (fun (a, b) ->
+      let d = a - !prev and r = b - a in
+      prev := a;
+      if !first || d <> !step || r <> !b0 then begin
+        incr runs;
+        first := false;
+        step := d;
+        b0 := r
+      end)
+    l;
+  !runs
+
+let put_pair_list buf l =
+  let len = List.length l in
+  put_u buf len;
+  if len = 0 then ()
+  else begin
+    let runs = count_pair_runs l in
+    (* A run costs one extra varint; worth it when runs are long. *)
+    if 3 * runs <= 2 * len then begin
+      put_u buf pairs_rle;
+      let pending = ref 0 and prev = ref 0 and step = ref 0 and b0 = ref 0 in
+      let flush () =
+        if !pending > 0 then begin
+          put_u buf !pending;
+          put_z buf !step;
+          put_z buf !b0
+        end
+      in
+      List.iter
+        (fun (a, b) ->
+          let d = a - !prev and r = b - a in
+          prev := a;
+          if !pending > 0 && d = !step && r = !b0 then incr pending
+          else begin
+            flush ();
+            pending := 1;
+            step := d;
+            b0 := r
+          end)
+        l;
+      flush ()
+    end
+    else begin
+      put_u buf pairs_plain;
+      let prev = ref 0 in
+      List.iter
+        (fun (a, b) ->
+          put_z buf (a - !prev);
+          prev := a;
+          put_z buf (b - a))
+        l
+    end
+  end
+
+let get_pair_list c =
+  let n = get_u c in
+  if n = 0 then []
+  else begin
+    let prev = ref 0 in
+    match get_u c with
+    | t when t = pairs_plain ->
+        let rec go k acc =
+          if k = 0 then List.rev acc
+          else begin
+            let a = !prev + get_z c in
+            prev := a;
+            let b = a + get_z c in
+            go (k - 1) ((a, b) :: acc)
+          end
+        in
+        go n []
+    | t when t = pairs_rle ->
+        let acc = ref [] in
+        let remaining = ref n in
+        while !remaining > 0 do
+          let count = get_u c in
+          if count = 0 || count > !remaining then corrupt "bad pair run %d" count;
+          remaining := !remaining - count;
+          let step = get_z c in
+          let r = get_z c in
+          for _ = 1 to count do
+            prev := !prev + step;
+            acc := (!prev, !prev + r) :: !acc
+          done
+        done;
+        List.rev !acc
+    | t -> corrupt "bad pair-list tag %d" t
+  end
+
+let put_summary buf (s : Devagg.summary) =
+  put_u buf (List.length s.Devagg.objects);
+  List.iter
+    (fun (o, w) ->
+      put_obj buf o;
+      put_z buf w)
+    s.Devagg.objects;
+  put_pair_list buf s.Devagg.blocks;
+  put_pair_list buf s.Devagg.coalesced;
+  put_u buf s.Devagg.sampled_records;
+  put_u buf s.Devagg.true_accesses;
+  put_u buf s.Devagg.writes
+
+let get_summary c =
+  let nobj = get_u c in
+  let objects =
+    List.init nobj (fun _ ->
+        let o = get_obj c in
+        let w = get_z c in
+        (o, w))
+  in
+  let blocks = get_pair_list c in
+  let coalesced = get_pair_list c in
+  let sampled_records = get_u c in
+  let true_accesses = get_u c in
+  let writes = get_u c in
+  { Devagg.objects; blocks; coalesced; sampled_records; true_accesses; writes }
+
+let put_region buf (r : Event.region_summary) =
+  put_z buf r.Event.base;
+  put_u buf r.Event.extent;
+  put_u buf r.Event.accesses;
+  put_bool buf r.Event.written
+
+let get_region c =
+  let base = get_z c in
+  let extent = get_u c in
+  let accesses = get_u c in
+  let written = get_bool c in
+  { Event.base; extent; accesses; written }
+
+let put_profile buf (p : Gpusim.Kernel.profile) =
+  put_u buf p.Gpusim.Kernel.branches;
+  put_u buf p.Gpusim.Kernel.divergent_branches;
+  put_u buf p.Gpusim.Kernel.shared_accesses;
+  put_u buf p.Gpusim.Kernel.bank_conflicts;
+  put_f buf p.Gpusim.Kernel.barrier_stall_us;
+  put_f buf p.Gpusim.Kernel.value_min;
+  put_f buf p.Gpusim.Kernel.value_max;
+  put_u buf p.Gpusim.Kernel.redundant_loads
+
+let get_profile c =
+  let branches = get_u c in
+  let divergent_branches = get_u c in
+  let shared_accesses = get_u c in
+  let bank_conflicts = get_u c in
+  let barrier_stall_us = get_f c in
+  let value_min = get_f c in
+  let value_max = get_f c in
+  let redundant_loads = get_u c in
+  {
+    Gpusim.Kernel.branches;
+    divergent_branches;
+    shared_accesses;
+    bank_conflicts;
+    barrier_stall_us;
+    value_min;
+    value_max;
+    redundant_loads;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Event payloads                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let put_payload it buf (p : Event.payload) =
+  match p with
+  | Event.Driver_call { name; phase } ->
+      put_u buf 0;
+      put_str buf name;
+      put_api_phase buf phase
+  | Event.Runtime_call { name; phase } ->
+      put_u buf 1;
+      put_str buf name;
+      put_api_phase buf phase
+  | Event.Kernel_launch { info; phase = `Begin } ->
+      put_u buf 2;
+      put_kernel it buf info;
+      put_u buf 0
+  | Event.Kernel_launch { info; phase = `End s } ->
+      put_u buf 2;
+      put_kernel it buf info;
+      put_u buf 1;
+      put_f buf s.Event.duration_us;
+      put_u buf s.Event.true_accesses;
+      put_u buf s.Event.faulted_pages
+  | Event.Memory_copy { bytes; direction; stream } ->
+      put_u buf 3;
+      put_u buf bytes;
+      (match direction with
+      | `H2d -> put_u buf 0
+      | `D2h -> put_u buf 1
+      | `D2d -> put_u buf 2
+      | `P2p d ->
+          put_u buf 3;
+          put_u buf d);
+      put_u buf stream
+  | Event.Memory_set { addr; bytes; value } ->
+      put_u buf 4;
+      put_z buf addr;
+      put_u buf bytes;
+      put_z buf value
+  | Event.Memory_alloc { addr; bytes; managed } ->
+      put_u buf 5;
+      put_z buf addr;
+      put_u buf bytes;
+      put_bool buf managed
+  | Event.Memory_free { addr; bytes } ->
+      put_u buf 6;
+      put_z buf addr;
+      put_u buf bytes
+  | Event.Synchronization { scope } ->
+      put_u buf 7;
+      (match scope with
+      | `Device -> put_u buf 0
+      | `Stream s ->
+          put_u buf 1;
+          put_u buf s)
+  | Event.Global_access { kernel; access } ->
+      put_u buf 8;
+      put_kernel it buf kernel;
+      put_access buf access
+  | Event.Access_batch { kernel; batch } ->
+      put_u buf 9;
+      put_kernel it buf kernel;
+      put_batch buf batch
+  | Event.Device_summary { kernel; summary } ->
+      put_u buf 10;
+      put_kernel it buf kernel;
+      put_summary buf summary
+  | Event.Shared_access { kernel; access } ->
+      put_u buf 11;
+      put_kernel it buf kernel;
+      put_access buf access
+  | Event.Kernel_region { kernel; region } ->
+      put_u buf 12;
+      put_kernel it buf kernel;
+      put_region buf region
+  | Event.Barrier { kernel; count } ->
+      put_u buf 13;
+      put_kernel it buf kernel;
+      put_u buf count
+  | Event.Kernel_profile { kernel; profile } ->
+      put_u buf 14;
+      put_kernel it buf kernel;
+      put_profile buf profile
+  | Event.Operator { name; phase; seq } ->
+      put_u buf 15;
+      put_str buf name;
+      put_api_phase buf phase;
+      put_u buf seq
+  | Event.Tensor_alloc { ptr; bytes; pool_allocated; pool_reserved; tag } ->
+      put_u buf 16;
+      put_z buf ptr;
+      put_u buf bytes;
+      put_u buf pool_allocated;
+      put_u buf pool_reserved;
+      put_str buf tag
+  | Event.Tensor_free { ptr; bytes; pool_allocated; pool_reserved } ->
+      put_u buf 17;
+      put_z buf ptr;
+      put_u buf bytes;
+      put_u buf pool_allocated;
+      put_u buf pool_reserved
+  | Event.Annotation { label; phase } ->
+      put_u buf 18;
+      put_str buf label;
+      put_u buf (match phase with `Start -> 0 | `End -> 1)
+  | Event.Tool_quarantined { tool; failures } ->
+      put_u buf 19;
+      put_str buf tool;
+      put_u buf failures
+
+let get_payload ex c : Event.payload =
+  match get_u c with
+  | 0 ->
+      let name = get_str c in
+      let phase = get_api_phase c in
+      Event.Driver_call { name; phase }
+  | 1 ->
+      let name = get_str c in
+      let phase = get_api_phase c in
+      Event.Runtime_call { name; phase }
+  | 2 -> (
+      let info = get_kernel ex c in
+      match get_u c with
+      | 0 -> Event.Kernel_launch { info; phase = `Begin }
+      | 1 ->
+          let duration_us = get_f c in
+          let true_accesses = get_u c in
+          let faulted_pages = get_u c in
+          Event.Kernel_launch
+            { info; phase = `End { Event.duration_us; true_accesses; faulted_pages } }
+      | n -> corrupt "bad launch phase %d" n)
+  | 3 ->
+      let bytes = get_u c in
+      let direction =
+        match get_u c with
+        | 0 -> `H2d
+        | 1 -> `D2h
+        | 2 -> `D2d
+        | 3 -> `P2p (get_u c)
+        | n -> corrupt "bad copy direction %d" n
+      in
+      let stream = get_u c in
+      Event.Memory_copy { bytes; direction; stream }
+  | 4 ->
+      let addr = get_z c in
+      let bytes = get_u c in
+      let value = get_z c in
+      Event.Memory_set { addr; bytes; value }
+  | 5 ->
+      let addr = get_z c in
+      let bytes = get_u c in
+      let managed = get_bool c in
+      Event.Memory_alloc { addr; bytes; managed }
+  | 6 ->
+      let addr = get_z c in
+      let bytes = get_u c in
+      Event.Memory_free { addr; bytes }
+  | 7 ->
+      let scope =
+        match get_u c with
+        | 0 -> `Device
+        | 1 -> `Stream (get_u c)
+        | n -> corrupt "bad sync scope %d" n
+      in
+      Event.Synchronization { scope }
+  | 8 ->
+      let kernel = get_kernel ex c in
+      let access = get_access c in
+      Event.Global_access { kernel; access }
+  | 9 ->
+      let kernel = get_kernel ex c in
+      let batch = get_batch c in
+      Event.Access_batch { kernel; batch }
+  | 10 ->
+      let kernel = get_kernel ex c in
+      let summary = get_summary c in
+      Event.Device_summary { kernel; summary }
+  | 11 ->
+      let kernel = get_kernel ex c in
+      let access = get_access c in
+      Event.Shared_access { kernel; access }
+  | 12 ->
+      let kernel = get_kernel ex c in
+      let region = get_region c in
+      Event.Kernel_region { kernel; region }
+  | 13 ->
+      let kernel = get_kernel ex c in
+      let count = get_u c in
+      Event.Barrier { kernel; count }
+  | 14 ->
+      let kernel = get_kernel ex c in
+      let profile = get_profile c in
+      Event.Kernel_profile { kernel; profile }
+  | 15 ->
+      let name = get_str c in
+      let phase = get_api_phase c in
+      let seq = get_u c in
+      Event.Operator { name; phase; seq }
+  | 16 ->
+      let ptr = get_z c in
+      let bytes = get_u c in
+      let pool_allocated = get_u c in
+      let pool_reserved = get_u c in
+      let tag = get_str c in
+      Event.Tensor_alloc { ptr; bytes; pool_allocated; pool_reserved; tag }
+  | 17 ->
+      let ptr = get_z c in
+      let bytes = get_u c in
+      let pool_allocated = get_u c in
+      let pool_reserved = get_u c in
+      Event.Tensor_free { ptr; bytes; pool_allocated; pool_reserved }
+  | 18 ->
+      let label = get_str c in
+      let phase =
+        match get_u c with
+        | 0 -> `Start
+        | 1 -> `End
+        | n -> corrupt "bad annotation phase %d" n
+      in
+      Event.Annotation { label; phase }
+  | 19 ->
+      let tool = get_str c in
+      let failures = get_u c in
+      Event.Tool_quarantined { tool; failures }
+  | n -> corrupt "unknown payload tag %d" n
+
+(* ------------------------------------------------------------------ *)
+(* Submission ops                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let put_op it buf ~time_us (op : Processor.sink_op) =
+  (match op with
+  | Processor.Sk_event _ -> put_u buf 0
+  | Processor.Sk_access _ -> put_u buf 1
+  | Processor.Sk_batch _ -> put_u buf 2
+  | Processor.Sk_region _ -> put_u buf 3
+  | Processor.Sk_flush_summary _ -> put_u buf 4
+  | Processor.Sk_flush_parallel _ -> put_u buf 5
+  | Processor.Sk_profile _ -> put_u buf 6);
+  put_f buf time_us;
+  match op with
+  | Processor.Sk_event p -> put_payload it buf p
+  | Processor.Sk_access (k, a) ->
+      put_kernel it buf k;
+      put_access buf a
+  | Processor.Sk_batch (k, b) ->
+      put_kernel it buf k;
+      put_batch buf b
+  | Processor.Sk_region (k, r) ->
+      put_kernel it buf k;
+      put_region buf r
+  | Processor.Sk_flush_summary k | Processor.Sk_flush_parallel k ->
+      put_kernel it buf k
+  | Processor.Sk_profile (k, p) ->
+      put_kernel it buf k;
+      put_profile buf p
+
+let get_op ex c =
+  let tag = get_u c in
+  let time_us = get_f c in
+  let op =
+    match tag with
+    | 0 -> Processor.Sk_event (get_payload ex c)
+    | 1 ->
+        let k = get_kernel ex c in
+        let a = get_access c in
+        Processor.Sk_access (k, a)
+    | 2 ->
+        let k = get_kernel ex c in
+        let b = get_batch c in
+        Processor.Sk_batch (k, b)
+    | 3 ->
+        let k = get_kernel ex c in
+        let r = get_region c in
+        Processor.Sk_region (k, r)
+    | 4 -> Processor.Sk_flush_summary (get_kernel ex c)
+    | 5 -> Processor.Sk_flush_parallel (get_kernel ex c)
+    | 6 ->
+        let k = get_kernel ex c in
+        let p = get_profile c in
+        Processor.Sk_profile (k, p)
+    | n -> corrupt "unknown op tag %d" n
+  in
+  (time_us, op)
+
+let op_kind_name = function
+  | Processor.Sk_event p -> Event.kind_name p
+  | Processor.Sk_access _ -> "global_access"
+  | Processor.Sk_batch _ -> "access_batch"
+  | Processor.Sk_region _ -> "kernel_region"
+  | Processor.Sk_flush_summary _ -> "kernel_flush"
+  | Processor.Sk_flush_parallel _ -> "parallel_flush"
+  | Processor.Sk_profile _ -> "kernel_profile"
+
+let op_records = function
+  | Processor.Sk_access _ -> 1
+  | Processor.Sk_batch (_, b) -> Gpusim.Warp.batch_len b
+  | Processor.Sk_event (Event.Global_access _) -> 1
+  | Processor.Sk_event (Event.Access_batch { batch; _ }) ->
+      Gpusim.Warp.batch_len batch
+  | _ -> 0
+
+(* Standalone payload codec for property tests and ad-hoc tooling: a
+   fresh interning context per value, so the encoding is self-contained. *)
+
+let payload_to_string p =
+  let buf = Buffer.create 128 in
+  put_payload (intern ()) buf p;
+  Buffer.contents buf
+
+let op_to_string ~time_us op =
+  let buf = Buffer.create 128 in
+  put_op (intern ()) buf ~time_us op;
+  Buffer.contents buf
+
+let payload_of_string s =
+  let c = cursor s in
+  let p = get_payload (extern ()) c in
+  if not (at_end c) then corrupt "trailing bytes after payload";
+  p
+
+(* ------------------------------------------------------------------ *)
+(* Writer                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type writer = {
+  w_oc : out_channel;
+  w_buf : Buffer.t;
+  w_chunk_bytes : int;
+  mutable w_intern : intern;
+  mutable w_chunk_ops : int;
+  mutable w_ops : int;
+  mutable w_bytes : int;
+  mutable w_chunks : int;
+  mutable w_closed : bool;
+}
+
+let create_writer ?chunk_bytes ?(meta = "") ~device path =
+  let chunk_bytes =
+    match chunk_bytes with Some b when b > 0 -> b | _ -> Config.trace_chunk_bytes ()
+  in
+  let oc = open_out_bin path in
+  let hdr = Buffer.create 64 in
+  Buffer.add_string hdr magic;
+  Buffer.add_char hdr (Char.chr version);
+  put_u hdr device;
+  put_str hdr meta;
+  Buffer.output_buffer oc hdr;
+  {
+    w_oc = oc;
+    w_buf = Buffer.create (chunk_bytes + 4096);
+    w_chunk_bytes = chunk_bytes;
+    w_intern = intern ();
+    w_chunk_ops = 0;
+    w_ops = 0;
+    w_bytes = Buffer.length hdr;
+    w_chunks = 0;
+    w_closed = false;
+  }
+
+let flush_chunk w =
+  if w.w_chunk_ops > 0 then begin
+    let payload = Buffer.contents w.w_buf in
+    let frame = Buffer.create 16 in
+    put_u frame (String.length payload);
+    put_u frame w.w_chunk_ops;
+    Buffer.add_int32_le frame (Int32.of_int (Pasta_util.Crc32.string payload));
+    Buffer.output_buffer w.w_oc frame;
+    output_string w.w_oc payload;
+    w.w_bytes <- w.w_bytes + Buffer.length frame + String.length payload;
+    w.w_chunks <- w.w_chunks + 1;
+    Buffer.clear w.w_buf;
+    w.w_chunk_ops <- 0;
+    w.w_intern <- intern ()
+  end
+
+let write_op w ~time_us op =
+  if w.w_closed then invalid_arg "Ptrace.write_op: writer is closed";
+  put_op w.w_intern w.w_buf ~time_us op;
+  w.w_chunk_ops <- w.w_chunk_ops + 1;
+  w.w_ops <- w.w_ops + 1;
+  if Buffer.length w.w_buf >= w.w_chunk_bytes then flush_chunk w
+
+let close_writer w =
+  if not w.w_closed then begin
+    flush_chunk w;
+    close_out w.w_oc;
+    w.w_closed <- true
+  end
+
+let writer_ops w = w.w_ops
+let writer_bytes w = w.w_bytes + Buffer.length w.w_buf
+let writer_chunks w = w.w_chunks
+
+(* ------------------------------------------------------------------ *)
+(* Reader                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type mode = Strict | Tolerant
+
+type header = { h_version : int; h_device : int; h_meta : string }
+
+type read_stats = {
+  mutable r_ops : int;
+  mutable r_chunks : int;
+  mutable r_chunks_skipped : int;
+}
+
+let input_u ic =
+  let n = ref 0 and shift = ref 0 and continue = ref true in
+  while !continue do
+    let b = Char.code (input_char ic) in
+    if !shift > 56 then corrupt "varint too long";
+    n := !n lor ((b land 0x7f) lsl !shift);
+    shift := !shift + 7;
+    continue := b land 0x80 <> 0
+  done;
+  !n
+
+let read_header ic =
+  let m = really_input_string ic (String.length magic) in
+  if m <> magic then corrupt "bad magic %S (not a .ptrace file)" m;
+  let v = Char.code (input_char ic) in
+  if v <> version then corrupt "unsupported .ptrace version %d (expected %d)" v version;
+  let device = input_u ic in
+  let meta_len = input_u ic in
+  let meta = really_input_string ic meta_len in
+  { h_version = v; h_device = device; h_meta = meta }
+
+let read_header_of_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> try read_header ic with End_of_file -> corrupt "truncated header")
+
+(* Verify and decode one chunk payload to its ops, in op order.  A chunk
+   that fails the CRC, decodes badly or misses its declared op count
+   yields [Error] as a unit — none of its ops escape, so a corrupt chunk
+   is all-or-nothing for the caller. *)
+let decode_chunk ~index ~declared_ops ~expect payload =
+  if Pasta_util.Crc32.string payload <> expect then
+    Error (Printf.sprintf "chunk %d: CRC mismatch" index)
+  else
+    match
+      let ex = extern () in
+      let c = cursor payload in
+      let ops = ref [] in
+      while not (at_end c) do
+        let time_us, op = get_op ex c in
+        ops := (time_us, op) :: !ops
+      done;
+      !ops
+    with
+    | exception Corrupt msg -> Error (Printf.sprintf "chunk %d: %s" index msg)
+    | rev_ops ->
+        let decoded_ops = List.length rev_ops in
+        if decoded_ops <> declared_ops then
+          Error
+            (Printf.sprintf
+               "chunk %d: framing mismatch (%d ops declared, %d decoded)" index
+               declared_ops decoded_ops)
+        else Ok (Array.of_list (List.rev rev_ops))
+
+(* Stream the chunks of [path], calling [f] on every op of every intact
+   chunk.  Strict mode raises {!Corrupt} on the first CRC mismatch,
+   framing violation or truncation; tolerant mode counts the chunk as
+   skipped and moves on (a truncated tail ends the file).
+
+   Chunks are self-contained (per-chunk interning), so when a pool is
+   supplied they are CRC-checked and decoded in parallel, a bounded
+   window at a time; [f] is still applied strictly in chunk order. *)
+let read_file ?(mode = Strict) ?pool path ~f =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let header =
+        try read_header ic
+        with End_of_file -> corrupt "truncated header"
+      in
+      let stats = { r_ops = 0; r_chunks = 0; r_chunks_skipped = 0 } in
+      let fail_or_skip msg =
+        match mode with
+        | Strict -> corrupt "%s" msg
+        | Tolerant -> stats.r_chunks_skipped <- stats.r_chunks_skipped + 1
+      in
+      let chunk_index = ref 0 in
+      let next_frame () =
+        match input_u ic with
+        | exception End_of_file -> `Eof
+        | payload_len -> (
+            match
+              let declared_ops = input_u ic in
+              let crc_bytes = really_input_string ic 4 in
+              let payload = really_input_string ic payload_len in
+              (declared_ops, crc_bytes, payload)
+            with
+            | exception End_of_file -> `Truncated
+            | declared_ops, crc_bytes, payload ->
+                let expect =
+                  Int32.to_int (String.get_int32_le crc_bytes 0) land 0xFFFFFFFF
+                in
+                `Chunk (declared_ops, expect, payload))
+      in
+      let apply = function
+        | Ok ops ->
+            Array.iter (fun (time_us, op) -> f ~time_us op) ops;
+            stats.r_ops <- stats.r_ops + Array.length ops;
+            stats.r_chunks <- stats.r_chunks + 1
+        | Error msg -> fail_or_skip msg
+      in
+      let eof = ref false in
+      (match pool with
+      | Some p when Pasta_util.Domain_pool.size p > 1 ->
+          let window = 4 * Pasta_util.Domain_pool.size p in
+          (* a truncated tail is reported only after the intact chunks
+             read before it have been applied, as in the serial path *)
+          let tail_failure = ref None in
+          while not !eof do
+            let frames = ref [] and nframes = ref 0 in
+            while (not !eof) && !nframes < window do
+              match next_frame () with
+              | `Eof -> eof := true
+              | `Truncated ->
+                  tail_failure := Some "truncated chunk";
+                  eof := true
+              | `Chunk (declared_ops, expect, payload) ->
+                  frames := (!chunk_index, declared_ops, expect, payload) :: !frames;
+                  incr chunk_index;
+                  incr nframes
+            done;
+            let frames = Array.of_list (List.rev !frames) in
+            Pasta_util.Domain_pool.map p (Array.length frames) (fun i ->
+                let index, declared_ops, expect, payload = frames.(i) in
+                decode_chunk ~index ~declared_ops ~expect payload)
+            |> Array.iter apply
+          done;
+          Option.iter fail_or_skip !tail_failure
+      | _ ->
+          while not !eof do
+            match next_frame () with
+            | `Eof -> eof := true
+            | `Truncated ->
+                fail_or_skip "truncated chunk";
+                eof := true
+            | `Chunk (declared_ops, expect, payload) ->
+                apply
+                  (decode_chunk ~index:!chunk_index ~declared_ops ~expect
+                     payload);
+                incr chunk_index
+          done);
+      (header, stats))

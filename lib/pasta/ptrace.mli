@@ -1,0 +1,102 @@
+(** The [.ptrace] binary trace format: codec, chunked writer, chunked
+    reader.
+
+    A trace records the *submission-level* op stream of a live session
+    ({!Processor.sink_op} plus timestamps), so replaying it through a
+    fresh processor deterministically rebuilds every derived callback
+    (region summaries, buffering and guard behaviour) exactly as the
+    live run saw them.  The one derived result that is also stored is
+    each kernel-end {!Devagg.summary} (as a [Device_summary] payload
+    right after its flush marker): aggregation is deterministic, so
+    replay re-drives the recorded aggregate instead of paying the
+    reduction again.
+
+    Layout: a header (magic ["PTRC"], version byte, device id, free-form
+    meta string) followed by self-contained chunks, each framed with its
+    payload length, op count and a CRC-32 of the payload.  Kernel
+    descriptors are interned per chunk, so a corrupt chunk can be
+    skipped without poisoning the rest of the file.  See
+    docs/DEVELOPER_GUIDE.md for the byte-level spec and the
+    compatibility rule. *)
+
+exception Corrupt of string
+(** Raised on malformed input: bad magic, unsupported version, CRC
+    mismatch, framing violation or truncation. *)
+
+val version : int
+(** Format version this build writes and reads. *)
+
+(** {2 Writer} *)
+
+type writer
+
+val create_writer :
+  ?chunk_bytes:int -> ?meta:string -> device:int -> string -> writer
+(** [create_writer ~device path] opens [path] and writes the header.
+    [chunk_bytes] (default {!Config.trace_chunk_bytes}) bounds capture
+    memory: the op buffer is flushed as a framed chunk whenever it
+    reaches that size, and at {!close_writer}. *)
+
+val write_op : writer -> time_us:float -> Processor.sink_op -> unit
+
+val close_writer : writer -> unit
+(** Flush the final chunk and close the file.  Idempotent. *)
+
+val writer_ops : writer -> int
+val writer_bytes : writer -> int
+(** Bytes on disk plus the not-yet-flushed buffer. *)
+
+val writer_chunks : writer -> int
+
+(** {2 Reader} *)
+
+type mode = Strict | Tolerant
+
+type header = { h_version : int; h_device : int; h_meta : string }
+
+type read_stats = {
+  mutable r_ops : int;  (** ops decoded from intact chunks *)
+  mutable r_chunks : int;  (** intact chunks read *)
+  mutable r_chunks_skipped : int;  (** corrupt chunks skipped (tolerant) *)
+}
+
+val read_header_of_file : string -> header
+(** Parse just the header of a trace (cheap — no chunk is read). *)
+
+val read_file :
+  ?mode:mode ->
+  ?pool:Pasta_util.Domain_pool.t ->
+  string ->
+  f:(time_us:float -> Processor.sink_op -> unit) ->
+  header * read_stats
+(** Stream the chunks of a trace, calling [f] on every op in recorded
+    order.  [Strict] (default) raises {!Corrupt} on the first CRC
+    mismatch, framing violation or truncation; [Tolerant] skips the
+    offending chunk and keeps going.  A corrupt chunk is all-or-nothing:
+    none of its ops reach [f].  When [pool] is supplied (size > 1),
+    chunks are CRC-checked and decoded in parallel, a bounded window at
+    a time — chunks are self-contained, and [f] still runs in recorded
+    order, so results are identical to the serial read. *)
+
+(** {2 Inspection helpers} *)
+
+val op_kind_name : Processor.sink_op -> string
+(** Classifier for op histograms ([trace stat]); [Sk_event] ops report
+    their payload's {!Event.kind_name}. *)
+
+val op_records : Processor.sink_op -> int
+(** Fine-grained records the op carries (a batch counts its length). *)
+
+(** {2 Standalone payload codec}
+
+    Round-trip codec for a single {!Event.payload} with a fresh
+    kernel-interning context, used by property tests. *)
+
+val payload_to_string : Event.payload -> string
+
+val op_to_string : time_us:float -> Processor.sink_op -> string
+(** Canonical self-contained encoding of one op (fresh interning
+    context), used to fingerprint op streams for [trace diff]. *)
+
+val payload_of_string : string -> Event.payload
+(** Raises {!Corrupt} on malformed or trailing bytes. *)

@@ -1,0 +1,215 @@
+let default_mode = function
+  | Some m -> m
+  | None -> if Config.trace_strict () then Ptrace.Strict else Ptrace.Tolerant
+
+(* Chunk decoding parallelizes over the same process-wide pool a live
+   Session would install; decoded ops are still applied in recorded
+   order, so every result is identical to a serial read. *)
+let decode_pool () =
+  let dsize = Config.domains () in
+  if dsize > 1 then Some (Pasta_util.Domain_pool.global ~size:dsize) else None
+
+let apply proc ~time_us (op : Processor.sink_op) =
+  match op with
+  | Processor.Sk_event (Event.Annotation { label; phase = `Start }) ->
+      Processor.annot_start proc ~time_us label
+  | Processor.Sk_event (Event.Annotation { label; phase = `End }) ->
+      Processor.annot_end proc ~time_us label
+  | Processor.Sk_event (Event.Device_summary { kernel; summary }) ->
+      (* Recorded aggregate: re-drive it through the structured callback
+         instead of [submit] so the tool sees the same
+         [on_device_summary] the live run saw. *)
+      Processor.submit_device_summary proc ~time_us kernel summary
+  | Processor.Sk_event payload -> Processor.submit proc ~time_us payload
+  | Processor.Sk_access (k, a) -> Processor.submit_access proc ~time_us k a
+  | Processor.Sk_batch (k, b) -> Processor.submit_access_batch proc ~time_us k b
+  | Processor.Sk_region (k, r) ->
+      Processor.submit_region proc k ~base:r.Event.base ~extent:r.Event.extent
+        ~accesses:r.Event.accesses ~written:r.Event.written
+  | Processor.Sk_flush_summary k -> Processor.flush_kernel_summary proc ~time_us k
+  | Processor.Sk_flush_parallel k ->
+      (* The aggregate this flush produced is the next recorded
+         [Device_summary] op: drop the buffered batches instead of paying
+         the aggregation a second time. *)
+      Processor.flush_parallel_drop proc ~time_us k
+  | Processor.Sk_profile (k, p) -> Processor.submit_profile proc ~time_us k p
+
+let drive ?mode proc path =
+  let mode = default_mode mode in
+  let stats = Processor.stats proc in
+  let last_us = ref 0.0 in
+  let header, rstats =
+    Ptrace.read_file ~mode ?pool:(decode_pool ()) path ~f:(fun ~time_us op ->
+        if time_us > !last_us then last_us := time_us;
+        apply proc ~time_us op;
+        stats.Processor.replay_events <- stats.Processor.replay_events + 1)
+  in
+  Processor.flush_records proc;
+  stats.Processor.chunks <- rstats.Ptrace.r_chunks;
+  stats.Processor.chunks_skipped <- rstats.Ptrace.r_chunks_skipped;
+  (header, rstats, !last_us)
+
+type outcome = {
+  header : Ptrace.header;
+  tool_name : string;
+  ops_replayed : int;
+  chunks : int;
+  chunks_skipped : int;
+  elapsed_us : float;
+  processor : Processor.t;
+  report : Format.formatter -> unit;
+}
+
+let run ?mode ?range ~tool path =
+  let hdr = Ptrace.read_header_of_file path in
+  let proc = Processor.create ?range ~device:hdr.Ptrace.h_device () in
+  Processor.set_tool proc tool;
+  (* Match the live pipeline: kernel-end aggregation runs on the same
+     process-wide domain pool a Session would install.  Results are
+     identical for every pool size, so this only affects wall time. *)
+  Option.iter (Processor.set_pool proc) (decode_pool ());
+  let header, rstats, elapsed_us = drive ?mode proc path in
+  let report ppf =
+    try tool.Tool.report ppf
+    with exn ->
+      Format.fprintf ppf "tool %s: report failed (%s)@." tool.Tool.name
+        (Printexc.to_string exn)
+  in
+  {
+    header;
+    tool_name = tool.Tool.name;
+    ops_replayed = rstats.Ptrace.r_ops;
+    chunks = rstats.Ptrace.r_chunks;
+    chunks_skipped = rstats.Ptrace.r_chunks_skipped;
+    elapsed_us;
+    processor = proc;
+    report;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* trace stat                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type stat = {
+  s_header : Ptrace.header;
+  s_bytes : int;
+  s_ops : int;
+  s_records : int;
+  s_chunks : int;
+  s_chunks_skipped : int;
+  s_first_us : float;
+  s_last_us : float;
+  s_kinds : (string * int) list;
+}
+
+let stat ?mode path =
+  let mode = default_mode mode in
+  let kinds : (string, int) Hashtbl.t = Hashtbl.create 24 in
+  let records = ref 0 in
+  let first_us = ref infinity and last_us = ref neg_infinity in
+  let header, rstats =
+    Ptrace.read_file ~mode ?pool:(decode_pool ()) path ~f:(fun ~time_us op ->
+        if time_us < !first_us then first_us := time_us;
+        if time_us > !last_us then last_us := time_us;
+        records := !records + Ptrace.op_records op;
+        let k = Ptrace.op_kind_name op in
+        Hashtbl.replace kinds k (1 + Option.value ~default:0 (Hashtbl.find_opt kinds k)))
+  in
+  let kinds =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) kinds []
+    |> List.sort (fun (ka, na) (kb, nb) ->
+           match compare nb na with 0 -> compare ka kb | c -> c)
+  in
+  {
+    s_header = header;
+    s_bytes =
+      (try
+         let ic = open_in_bin path in
+         Fun.protect
+           ~finally:(fun () -> close_in ic)
+           (fun () -> in_channel_length ic)
+       with Sys_error _ -> 0);
+    s_ops = rstats.Ptrace.r_ops;
+    s_records = !records;
+    s_chunks = rstats.Ptrace.r_chunks;
+    s_chunks_skipped = rstats.Ptrace.r_chunks_skipped;
+    s_first_us = (if !first_us = infinity then 0.0 else !first_us);
+    s_last_us = (if !last_us = neg_infinity then 0.0 else !last_us);
+    s_kinds = kinds;
+  }
+
+let pp_stat ppf s =
+  Format.fprintf ppf "ptrace v%d  device %d%s@." s.s_header.Ptrace.h_version
+    s.s_header.Ptrace.h_device
+    (if s.s_header.Ptrace.h_meta = "" then ""
+     else Printf.sprintf "  meta %S" s.s_header.Ptrace.h_meta);
+  Format.fprintf ppf "  bytes            %d@." s.s_bytes;
+  Format.fprintf ppf "  ops              %d@." s.s_ops;
+  Format.fprintf ppf "  records          %d@." s.s_records;
+  Format.fprintf ppf "  chunks           %d (%d skipped)@." s.s_chunks
+    s.s_chunks_skipped;
+  Format.fprintf ppf "  span             %.1f .. %.1f us@." s.s_first_us
+    s.s_last_us;
+  List.iter
+    (fun (k, n) -> Format.fprintf ppf "  %-16s %d@." k n)
+    s.s_kinds
+
+(* ------------------------------------------------------------------ *)
+(* trace diff                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type divergence =
+  | Identical of int  (** op count *)
+  | Op_mismatch of { index : int; a : string; b : string }
+  | Length_mismatch of { a_ops : int; b_ops : int }
+
+(* Fingerprint every op with a canonical (interning-free) encoding; 16
+   bytes per op keeps memory flat even for long traces. *)
+let op_digests ?mode path =
+  let mode = default_mode mode in
+  let buf = Buffer.create 4096 in
+  let _, rstats =
+    Ptrace.read_file ~mode ?pool:(decode_pool ()) path ~f:(fun ~time_us op ->
+        Buffer.add_string buf (Digest.string (Ptrace.op_to_string ~time_us op)))
+  in
+  (rstats.Ptrace.r_ops, Buffer.contents buf)
+
+let describe_op ?mode path index =
+  let mode = default_mode mode in
+  let i = ref 0 in
+  let found = ref "<missing>" in
+  let _ =
+    Ptrace.read_file ~mode ?pool:(decode_pool ()) path ~f:(fun ~time_us op ->
+        if !i = index then
+          found := Printf.sprintf "%s @ %.1fus" (Ptrace.op_kind_name op) time_us;
+        incr i)
+  in
+  !found
+
+let diff ?mode a b =
+  let a_ops, da = op_digests ?mode a in
+  let b_ops, db = op_digests ?mode b in
+  if a_ops = b_ops && da = db then Identical a_ops
+  else begin
+    let n = min a_ops b_ops in
+    let rec first i =
+      if i >= n then None
+      else if String.sub da (i * 16) 16 <> String.sub db (i * 16) 16 then Some i
+      else first (i + 1)
+    in
+    match first 0 with
+    | Some index ->
+        Op_mismatch
+          { index; a = describe_op ?mode a index; b = describe_op ?mode b index }
+    | None -> Length_mismatch { a_ops; b_ops }
+  end
+
+let pp_divergence ppf = function
+  | Identical n -> Format.fprintf ppf "identical (%d ops)@." n
+  | Op_mismatch { index; a; b } ->
+      Format.fprintf ppf "first divergence at op %d:@.  a: %s@.  b: %s@." index
+        a b
+  | Length_mismatch { a_ops; b_ops } ->
+      Format.fprintf ppf
+        "common prefix identical; lengths differ (a: %d ops, b: %d ops)@."
+        a_ops b_ops

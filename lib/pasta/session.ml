@@ -17,6 +17,8 @@ type t = {
   dog : watchdog;
   installed_faults : Gpusim.Faults.t option;
       (* the injector this session installed (and must tear down) *)
+  capture : Capture.t option;
+      (* trace capture riding on this session's processor *)
 }
 
 type health = {
@@ -37,6 +39,11 @@ type health = {
   watchdog_trips : (string * float) list;
   fault_stats : Gpusim.Faults.stats option;
   incidents : Event.t list;
+  events_recorded : int;
+  bytes_written : int;
+  chunks : int;
+  chunks_skipped : int;
+  replay_events : int;
 }
 
 type result = {
@@ -54,7 +61,7 @@ let active : t list ref = ref []
 
 let watchdog_counter = ref 0
 
-let attach ?backend ?range ?sample_rate ?faults ~tool device =
+let attach ?backend ?range ?sample_rate ?faults ?capture ?capture_meta ~tool device =
   let kind =
     match backend with
     | Some k -> k
@@ -78,6 +85,19 @@ let attach ?backend ?range ?sample_rate ?faults ~tool device =
         Gpusim.Device.set_faults device f;
         Some f
     | _ -> None
+  in
+  (* Trace capture: an explicit path wins; otherwise the ACCEL_PROF_TRACE
+     knob streams every attached session to its file.  The sink is
+     installed before the backend attaches, so the very first event of
+     the run is already on tape. *)
+  let capture =
+    match (capture, Config.trace_path ()) with
+    | Some path, _ | None, Some path ->
+        let meta =
+          match capture_meta with Some m -> m | None -> tool.Tool.name
+        in
+        Some (Capture.start ~meta proc path)
+    | None, None -> None
   in
   let b = Backend.attach kind device ~processor:proc in
   Backend.enable_fine_grained b tool.Tool.fine_grained;
@@ -130,6 +150,7 @@ let attach ?backend ?range ?sample_rate ?faults ~tool device =
       saved_pool;
       dog;
       installed_faults;
+      capture;
     }
   in
   active := s :: !active;
@@ -162,6 +183,11 @@ let health_of s =
     watchdog_trips = List.rev s.dog.trips;
     fault_stats = Option.map Gpusim.Faults.stats (Gpusim.Device.faults s.device);
     incidents = Processor.incidents s.proc;
+    events_recorded = stats.Processor.events_recorded;
+    bytes_written = stats.Processor.bytes_written;
+    chunks = stats.Processor.chunks;
+    chunks_skipped = stats.Processor.chunks_skipped;
+    replay_events = stats.Processor.replay_events;
   }
 
 let pp_health ppf h =
@@ -191,6 +217,19 @@ let pp_health ppf h =
     (if h.accesses_filtered = 1 then "" else "s")
     h.batches_delivered
     (if h.batches_delivered = 1 then "" else "es");
+  if h.events_recorded > 0 then
+    Format.fprintf ppf "  trace capture: %d op%s, %d bytes, %d chunk%s@."
+      h.events_recorded
+      (if h.events_recorded = 1 then "" else "s")
+      h.bytes_written h.chunks
+      (if h.chunks = 1 then "" else "s");
+  if h.replay_events > 0 then
+    Format.fprintf ppf "  trace replay: %d op%s, %d chunk%s, %d skipped@."
+      h.replay_events
+      (if h.replay_events = 1 then "" else "s")
+      h.chunks
+      (if h.chunks = 1 then "" else "s")
+      h.chunks_skipped;
   (match h.watchdog_trips with
   | [] -> ()
   | trips ->
@@ -209,6 +248,9 @@ let detach s =
   active := List.filter (fun x -> x != s) !active;
   (* Anything still sitting in the bounded buffer belongs to the tool. *)
   Processor.flush_records s.proc;
+  (* Close the trace before health is sampled so the capture counters
+     are final. *)
+  Option.iter Capture.finish s.capture;
   Dl_hooks.detach s.dl;
   let health = health_of s in
   let phases = Vendor.Phases.add (Vendor.Phases.create ()) (Backend.phases s.backend) in
@@ -243,8 +285,8 @@ let detach s =
     report;
   }
 
-let run ?backend ?range ?sample_rate ?faults ~tool device f =
-  let s = attach ?backend ?range ?sample_rate ?faults ~tool device in
+let run ?backend ?range ?sample_rate ?faults ?capture ?capture_meta ~tool device f =
+  let s = attach ?backend ?range ?sample_rate ?faults ?capture ?capture_meta ~tool device in
   match f () with
   | v -> (v, detach s)
   | exception e ->

@@ -41,6 +41,11 @@ type health = {
   fault_stats : Gpusim.Faults.stats option;
       (** what the injector actually did, when fault injection was on *)
   incidents : Event.t list;  (** [Tool_quarantined] events, in order *)
+  events_recorded : int;  (** submission ops written by the trace capture *)
+  bytes_written : int;  (** [.ptrace] bytes produced *)
+  chunks : int;  (** trace chunks written (capture) or read (replay) *)
+  chunks_skipped : int;  (** corrupt chunks a tolerant replay skipped *)
+  replay_events : int;  (** ops re-driven from a recorded trace *)
 }
 
 val pp_health : Format.formatter -> health -> unit
@@ -61,6 +66,8 @@ val attach :
   ?range:Range.t ->
   ?sample_rate:int ->
   ?faults:Gpusim.Faults.t ->
+  ?capture:string ->
+  ?capture_meta:string ->
   tool:Tool.t ->
   Gpusim.Device.t ->
   t
@@ -71,7 +78,13 @@ val attach :
     injector on the device for the session's lifetime; without it, the
     [ACCEL_PROF_INJECT_FAULTS] knob creates one seeded from
     [ACCEL_PROF_FAULT_SEED].  A device that already carries an injector is
-    left untouched. *)
+    left untouched.  [capture] streams the session's submission-level op
+    stream to the given [.ptrace] file ({!Capture}); without it, the
+    [ACCEL_PROF_TRACE] knob does the same.  [capture_meta] is stored in
+    the trace header (default: the tool's display name; the CLI passes
+    the registry key so replay can re-resolve the tool).  The file is
+    closed at {!detach}, and {!result.health} accounts what was
+    recorded. *)
 
 val detach : t -> result
 
@@ -80,6 +93,8 @@ val run :
   ?range:Range.t ->
   ?sample_rate:int ->
   ?faults:Gpusim.Faults.t ->
+  ?capture:string ->
+  ?capture_meta:string ->
   tool:Tool.t ->
   Gpusim.Device.t ->
   (unit -> 'a) ->

@@ -156,6 +156,49 @@ let record t (e : Event.t) =
           tid = tid_memory;
           arg = [ ("bytes", string_of_int bytes) ];
         }
+  | Event.Device_summary { kernel; summary } ->
+      (* Instant on the kernel row, carrying the merged device-side
+         reduction: object count and exact weighted totals. *)
+      push t
+        {
+          name = Printf.sprintf "%s summary" kernel.Event.name;
+          cat = "device_summary";
+          ph = "i";
+          ts;
+          dur = None;
+          pid;
+          tid = tid_kernels;
+          arg =
+            [
+              ("objects", string_of_int (List.length summary.Devagg.objects));
+              ("true_accesses", string_of_int summary.Devagg.true_accesses);
+              ("writes", string_of_int summary.Devagg.writes);
+              ("sampled_records", string_of_int summary.Devagg.sampled_records);
+            ];
+        }
+  | Event.Kernel_profile { kernel; profile } ->
+      push t
+        {
+          name = Printf.sprintf "%s profile" kernel.Event.name;
+          cat = "kernel_profile";
+          ph = "i";
+          ts;
+          dur = None;
+          pid;
+          tid = tid_kernels;
+          arg =
+            [
+              ("branches", string_of_int profile.Gpusim.Kernel.branches);
+              ( "divergent_branches",
+                string_of_int profile.Gpusim.Kernel.divergent_branches );
+              ( "bank_conflicts",
+                string_of_int profile.Gpusim.Kernel.bank_conflicts );
+              ( "barrier_stall_us",
+                Printf.sprintf "%.3f" profile.Gpusim.Kernel.barrier_stall_us );
+              ( "redundant_loads",
+                string_of_int profile.Gpusim.Kernel.redundant_loads );
+            ];
+        }
   | _ -> ()
 
 let escape s =

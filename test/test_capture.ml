@@ -1,0 +1,498 @@
+(* Trace capture & replay: codec round-trips over the whole payload
+   vocabulary, corruption handling (strict vs tolerant), and the
+   headline contract — replaying a recorded run produces byte-identical
+   tool reports to the live run, at any domain count, with or without
+   fault injection. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let qtest = QCheck_alcotest.to_alcotest
+
+let ( let* ) x f = QCheck.Gen.( >>= ) x f
+
+(* ------------------------------------------------------------------ *)
+(* Payload generators                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let g_str = QCheck.Gen.(small_string ~gen:printable)
+let g_nat = QCheck.Gen.int_range 0 1_000_000
+let g_addr = QCheck.Gen.int_range 0 0x7FFF_FFFF
+
+(* All floats round-trip exactly through their IEEE bits; a rational grid
+   just keeps counterexamples readable. *)
+let g_f =
+  QCheck.Gen.map
+    (fun i -> float_of_int i /. 16.0)
+    (QCheck.Gen.int_range (-1_000_000_000) 1_000_000_000)
+
+let g_phase = QCheck.Gen.oneofl [ `Enter; `Exit ]
+
+let g_dim3 =
+  QCheck.Gen.map3
+    (fun x y z -> { Gpusim.Dim3.x; y; z })
+    (QCheck.Gen.int_range 1 256)
+    (QCheck.Gen.int_range 1 256)
+    (QCheck.Gen.int_range 1 64)
+
+let g_frame =
+  QCheck.Gen.map3
+    (fun file line symbol -> { Gpusim.Hostctx.file; line; symbol })
+    g_str g_nat g_str
+
+let g_info =
+  let* device_id = QCheck.Gen.int_range 0 7 in
+  let* grid_id = g_nat in
+  let* stream = QCheck.Gen.int_range 0 15 in
+  let* name = g_str in
+  let* grid = g_dim3 in
+  let* block = g_dim3 in
+  let* shared_bytes = QCheck.Gen.int_range 0 65536 in
+  let* arg_ptrs = QCheck.Gen.small_list g_addr in
+  let* py_stack = QCheck.Gen.small_list g_frame in
+  let* native_stack = QCheck.Gen.small_list g_frame in
+  QCheck.Gen.return
+    {
+      Pasta.Event.device_id;
+      grid_id;
+      stream;
+      name;
+      grid;
+      block;
+      shared_bytes;
+      arg_ptrs;
+      py_stack;
+      native_stack;
+    }
+
+let g_access =
+  let* addr = g_addr in
+  let* size = QCheck.Gen.int_range 1 16 in
+  let* write = QCheck.Gen.bool in
+  let* pc = g_nat in
+  let* warp = QCheck.Gen.int_range 0 2047 in
+  let* weight = QCheck.Gen.int_range 1 100_000 in
+  QCheck.Gen.return { Pasta.Event.addr; size; write; pc; warp; weight }
+
+let g_batch =
+  let* len = QCheck.Gen.int_range 1 64 in
+  let* region = QCheck.Gen.int_range 0 31 in
+  let* chunk = QCheck.Gen.int_range 0 255 in
+  let* pc = g_nat in
+  let* addrs = QCheck.Gen.array_repeat len g_addr in
+  let* sizes = QCheck.Gen.array_repeat len (QCheck.Gen.int_range 1 16) in
+  let* warps = QCheck.Gen.array_repeat len (QCheck.Gen.int_range 0 2047) in
+  let* weights = QCheck.Gen.array_repeat len (QCheck.Gen.int_range 1 100_000) in
+  let* wbits = QCheck.Gen.array_repeat len QCheck.Gen.bool in
+  let writes =
+    Bytes.init len (fun i -> if wbits.(i) then '\001' else '\000')
+  in
+  QCheck.Gen.return
+    (Gpusim.Warp.batch_of_arrays ~region ~chunk ~pc ~addrs ~sizes ~warps
+       ~weights ~writes)
+
+let g_obj =
+  QCheck.Gen.oneof
+    [
+      QCheck.Gen.map3
+        (fun ptr bytes tag -> Pasta.Objmap.Tensor { ptr; bytes; tag })
+        g_addr g_nat g_str;
+      QCheck.Gen.map3
+        (fun ptr bytes managed ->
+          Pasta.Objmap.Device_alloc { ptr; bytes; managed })
+        g_addr g_nat QCheck.Gen.bool;
+      QCheck.Gen.map (fun a -> Pasta.Objmap.Unknown a) g_addr;
+    ]
+
+let g_summary =
+  let* objects = QCheck.Gen.small_list (QCheck.Gen.pair g_obj g_nat) in
+  let* blocks = QCheck.Gen.small_list (QCheck.Gen.pair g_nat g_nat) in
+  let* coalesced = QCheck.Gen.small_list (QCheck.Gen.pair g_addr g_nat) in
+  let* sampled_records = g_nat in
+  let* true_accesses = g_nat in
+  let* writes = g_nat in
+  QCheck.Gen.return
+    {
+      Pasta.Devagg.objects;
+      blocks;
+      coalesced;
+      sampled_records;
+      true_accesses;
+      writes;
+    }
+
+let g_profile =
+  let* branches = g_nat in
+  let* divergent_branches = g_nat in
+  let* shared_accesses = g_nat in
+  let* bank_conflicts = g_nat in
+  let* barrier_stall_us = g_f in
+  let* value_min = g_f in
+  let* value_max = g_f in
+  let* redundant_loads = g_nat in
+  QCheck.Gen.return
+    {
+      Gpusim.Kernel.branches;
+      divergent_branches;
+      shared_accesses;
+      bank_conflicts;
+      barrier_stall_us;
+      value_min;
+      value_max;
+      redundant_loads;
+    }
+
+let g_direction =
+  QCheck.Gen.oneof
+    [
+      QCheck.Gen.oneofl [ `H2d; `D2h; `D2d ];
+      QCheck.Gen.map (fun d -> `P2p d) (QCheck.Gen.int_range 0 7);
+    ]
+
+(* One generator per payload constructor, so the round-trip property
+   provably covers the whole vocabulary. *)
+let payload_gens : (string * Pasta.Event.payload QCheck.Gen.t) list =
+  let open Pasta.Event in
+  [
+    ( "driver_call",
+      QCheck.Gen.map2 (fun name phase -> Driver_call { name; phase }) g_str
+        g_phase );
+    ( "runtime_call",
+      QCheck.Gen.map2 (fun name phase -> Runtime_call { name; phase }) g_str
+        g_phase );
+    ( "kernel_launch_begin",
+      QCheck.Gen.map (fun info -> Kernel_launch { info; phase = `Begin }) g_info
+    );
+    ( "kernel_launch_end",
+      let* info = g_info in
+      let* duration_us = g_f in
+      let* true_accesses = g_nat in
+      let* faulted_pages = g_nat in
+      QCheck.Gen.return
+        (Kernel_launch
+           { info; phase = `End { duration_us; true_accesses; faulted_pages } })
+    );
+    ( "memory_copy",
+      QCheck.Gen.map3
+        (fun bytes direction stream -> Memory_copy { bytes; direction; stream })
+        g_nat g_direction
+        (QCheck.Gen.int_range 0 15) );
+    ( "memory_set",
+      QCheck.Gen.map3
+        (fun addr bytes value -> Memory_set { addr; bytes; value })
+        g_addr g_nat
+        (QCheck.Gen.int_range (-128) 255) );
+    ( "memory_alloc",
+      QCheck.Gen.map3
+        (fun addr bytes managed -> Memory_alloc { addr; bytes; managed })
+        g_addr g_nat QCheck.Gen.bool );
+    ( "memory_free",
+      QCheck.Gen.map2 (fun addr bytes -> Memory_free { addr; bytes }) g_addr
+        g_nat );
+    ( "synchronization",
+      QCheck.Gen.map
+        (fun scope -> Synchronization { scope })
+        (QCheck.Gen.oneof
+           [
+             QCheck.Gen.return `Device;
+             QCheck.Gen.map (fun s -> `Stream s) (QCheck.Gen.int_range 0 15);
+           ]) );
+    ( "global_access",
+      QCheck.Gen.map2
+        (fun kernel access -> Global_access { kernel; access })
+        g_info g_access );
+    ( "access_batch",
+      QCheck.Gen.map2
+        (fun kernel batch -> Access_batch { kernel; batch })
+        g_info g_batch );
+    ( "device_summary",
+      QCheck.Gen.map2
+        (fun kernel summary -> Device_summary { kernel; summary })
+        g_info g_summary );
+    ( "shared_access",
+      QCheck.Gen.map2
+        (fun kernel access -> Shared_access { kernel; access })
+        g_info g_access );
+    ( "kernel_region",
+      let* kernel = g_info in
+      let* base = g_addr in
+      let* extent = g_nat in
+      let* accesses = g_nat in
+      let* written = QCheck.Gen.bool in
+      QCheck.Gen.return
+        (Kernel_region { kernel; region = { base; extent; accesses; written } })
+    );
+    ( "barrier",
+      QCheck.Gen.map2 (fun kernel count -> Barrier { kernel; count }) g_info
+        g_nat );
+    ( "kernel_profile",
+      QCheck.Gen.map2
+        (fun kernel profile -> Kernel_profile { kernel; profile })
+        g_info g_profile );
+    ( "operator",
+      QCheck.Gen.map3 (fun name phase seq -> Operator { name; phase; seq })
+        g_str g_phase g_nat );
+    ( "tensor_alloc",
+      let* ptr = g_addr in
+      let* bytes = g_nat in
+      let* pool_allocated = g_nat in
+      let* pool_reserved = g_nat in
+      let* tag = g_str in
+      QCheck.Gen.return
+        (Tensor_alloc { ptr; bytes; pool_allocated; pool_reserved; tag }) );
+    ( "tensor_free",
+      let* ptr = g_addr in
+      let* bytes = g_nat in
+      let* pool_allocated = g_nat in
+      let* pool_reserved = g_nat in
+      QCheck.Gen.return
+        (Tensor_free { ptr; bytes; pool_allocated; pool_reserved }) );
+    ( "annotation",
+      QCheck.Gen.map2 (fun label phase -> Annotation { label; phase }) g_str
+        (QCheck.Gen.oneofl [ `Start; `End ]) );
+    ( "tool_quarantined",
+      QCheck.Gen.map2 (fun tool failures -> Tool_quarantined { tool; failures })
+        g_str g_nat );
+  ]
+
+let g_payload = QCheck.Gen.oneof (List.map snd payload_gens)
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"ptrace codec: decode (encode p) = p" ~count:500
+    (QCheck.make g_payload ~print:(fun p -> Pasta.Event.kind_name p))
+    (fun p ->
+      Pasta.Ptrace.payload_of_string (Pasta.Ptrace.payload_to_string p) = p)
+
+(* The oneof above samples; this walks every constructor explicitly so a
+   broken branch can't hide behind generator luck. *)
+let test_roundtrip_each_constructor () =
+  let rand = Random.State.make [| 0x9a5a |] in
+  List.iter
+    (fun (name, gen) ->
+      for _ = 1 to 50 do
+        let p = QCheck.Gen.generate1 ~rand gen in
+        check_bool
+          (Printf.sprintf "%s round-trips" name)
+          true
+          (Pasta.Ptrace.payload_of_string (Pasta.Ptrace.payload_to_string p) = p)
+      done)
+    payload_gens;
+  check_int "every payload constructor has a generator" 21
+    (List.length payload_gens)
+
+(* ------------------------------------------------------------------ *)
+(* Corruption and truncation                                           *)
+(* ------------------------------------------------------------------ *)
+
+let temp_trace () = Filename.temp_file "pasta_test" ".ptrace"
+
+(* A small multi-chunk trace of synthetic ops. *)
+let write_sample ?(ops = 200) ?(chunk_bytes = 512) path =
+  let w = Pasta.Ptrace.create_writer ~chunk_bytes ~meta:"test" ~device:0 path in
+  for i = 0 to ops - 1 do
+    Pasta.Ptrace.write_op w ~time_us:(float_of_int i)
+      (Pasta.Processor.Sk_event
+         (Pasta.Event.Driver_call
+            { name = Printf.sprintf "cuLaunchKernel_%d" i; phase = `Enter }))
+  done;
+  Pasta.Ptrace.close_writer w;
+  Pasta.Ptrace.writer_chunks w
+
+let count_ops ~mode path =
+  let n = ref 0 in
+  let _, stats = Pasta.Ptrace.read_file ~mode path ~f:(fun ~time_us:_ _ -> incr n) in
+  (!n, stats)
+
+let test_roundtrip_file () =
+  let path = temp_trace () in
+  let chunks = write_sample path in
+  check_bool "multiple chunks written" true (chunks > 1);
+  let n, stats = count_ops ~mode:Pasta.Ptrace.Strict path in
+  check_int "all ops decoded" 200 n;
+  check_int "all chunks intact" chunks stats.Pasta.Ptrace.r_chunks;
+  check_int "nothing skipped" 0 stats.Pasta.Ptrace.r_chunks_skipped;
+  Sys.remove path
+
+let corrupt_byte path off =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let b = Bytes.create len in
+  really_input ic b 0 len;
+  close_in ic;
+  let off = if off < 0 then len + off else off in
+  Bytes.set b off (Char.chr (Char.code (Bytes.get b off) lxor 0xFF));
+  let oc = open_out_bin path in
+  output_bytes oc b;
+  close_out oc;
+  len
+
+let test_crc_corruption () =
+  let path = temp_trace () in
+  let chunks = write_sample path in
+  let len = corrupt_byte path (-20) (* inside the last chunk's payload *) in
+  check_bool "file long enough to corrupt" true (len > 40);
+  (match count_ops ~mode:Pasta.Ptrace.Strict path with
+  | exception Pasta.Ptrace.Corrupt msg ->
+      check_bool "strict names the CRC" true
+        (Astring_contains.contains msg "CRC")
+  | _ -> Alcotest.fail "strict mode must raise on a CRC mismatch");
+  let n, stats = count_ops ~mode:Pasta.Ptrace.Tolerant path in
+  check_int "one chunk skipped" 1 stats.Pasta.Ptrace.r_chunks_skipped;
+  check_int "other chunks survive" (chunks - 1) stats.Pasta.Ptrace.r_chunks;
+  check_bool "a prefix of ops still decodes" true (n > 0 && n < 200);
+  Sys.remove path
+
+let test_truncated_file () =
+  let path = temp_trace () in
+  let (_ : int) = write_sample path in
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let keep = len - 37 in
+  let b = Bytes.create keep in
+  really_input ic b 0 keep;
+  close_in ic;
+  let oc = open_out_bin path in
+  output_bytes oc b;
+  close_out oc;
+  (match count_ops ~mode:Pasta.Ptrace.Strict path with
+  | exception Pasta.Ptrace.Corrupt _ -> ()
+  | _ -> Alcotest.fail "strict mode must raise on truncation");
+  let n, stats = count_ops ~mode:Pasta.Ptrace.Tolerant path in
+  check_int "truncated tail counts as one skipped chunk" 1
+    stats.Pasta.Ptrace.r_chunks_skipped;
+  check_bool "intact prefix still decodes" true (n > 0);
+  Sys.remove path
+
+let test_truncated_header () =
+  let path = temp_trace () in
+  let oc = open_out_bin path in
+  output_string oc "PTR";
+  close_out oc;
+  (match Pasta.Ptrace.read_header_of_file path with
+  | exception Pasta.Ptrace.Corrupt _ -> ()
+  | _ -> Alcotest.fail "three bytes are not a header");
+  Sys.remove path
+
+let test_bad_payload_string () =
+  match Pasta.Ptrace.payload_of_string "\xff\xff\xff" with
+  | exception Pasta.Ptrace.Corrupt _ -> ()
+  | _ -> Alcotest.fail "garbage must not decode"
+
+(* ------------------------------------------------------------------ *)
+(* Live vs replay                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let bert_inference ctx () =
+  let m = Dlfw.Bert.build ~batch:1 ~seq:64 ~layers:2 ~dim:64 ~heads:4 ctx in
+  Dlfw.Model.inference_iter ctx m
+
+(* One live BERT run under the fine-grained parallel hotness tool with a
+   capture riding along; returns the live report and the trace path. *)
+let live_run ~domains path =
+  Pasta.Config.set "ACCEL_PROF_DOMAINS" (string_of_int domains);
+  let device = Gpusim.Device.create Gpusim.Arch.a100 in
+  let ctx = Dlfw.Ctx.create device in
+  let hot = Pasta_tools.Hotness.create () in
+  let (), result =
+    Pasta.Session.run ~sample_rate:256 ~capture:path
+      ~tool:(Pasta_tools.Hotness.tool_fine hot)
+      device (bert_inference ctx)
+  in
+  Dlfw.Ctx.destroy ctx;
+  Pasta.Config.unset "ACCEL_PROF_DOMAINS";
+  result
+
+let replay_report path =
+  let hot = Pasta_tools.Hotness.create () in
+  let o =
+    Pasta.Replay.run ~mode:Pasta.Ptrace.Strict
+      ~tool:(Pasta_tools.Hotness.tool_fine hot)
+      path
+  in
+  (o, Format.asprintf "%t" o.Pasta.Replay.report)
+
+let test_live_vs_replay domains () =
+  let path = temp_trace () in
+  let result = live_run ~domains path in
+  let live = Format.asprintf "%t" result.Pasta.Session.report in
+  let health = result.Pasta.Session.health in
+  check_bool "capture recorded ops" true
+    (health.Pasta.Session.events_recorded > 0);
+  check_bool "capture wrote bytes" true (health.Pasta.Session.bytes_written > 0);
+  check_bool "capture framed chunks" true (health.Pasta.Session.chunks > 0);
+  let o, replayed = replay_report path in
+  check_int "replay drove every recorded op"
+    health.Pasta.Session.events_recorded o.Pasta.Replay.ops_replayed;
+  check_bool "replay report digest equals live" true
+    (Digest.string live = Digest.string replayed);
+  check_bool "replay report byte-identical to live" true
+    (String.equal live replayed);
+  Sys.remove path
+
+(* Same recording analyzed twice must agree with itself, and a trace must
+   diff as identical to its own copy (chunk layout differences aside, two
+   live runs in one process legitimately differ — global operator
+   sequence numbers keep counting across sessions). *)
+let test_replay_deterministic () =
+  let a = temp_trace () and b = temp_trace () in
+  let (_ : Pasta.Session.result) = live_run ~domains:2 a in
+  let _, ra1 = replay_report a in
+  let _, ra2 = replay_report a in
+  check_bool "replay is repeatable" true (String.equal ra1 ra2);
+  (* byte-copy a -> b *)
+  let ic = open_in_bin a in
+  let len = in_channel_length ic in
+  let body = really_input_string ic len in
+  close_in ic;
+  let oc = open_out_bin b in
+  output_string oc body;
+  close_out oc;
+  (match Pasta.Replay.diff a b with
+  | Pasta.Replay.Identical n -> check_bool "diff sees ops" true (n > 0)
+  | d ->
+      Alcotest.failf "a trace diverged from its own copy: %s"
+        (Format.asprintf "%a" Pasta.Replay.pp_divergence d));
+  let s = Pasta.Replay.stat a in
+  check_bool "stat counts ops" true (s.Pasta.Replay.s_ops > 0);
+  check_bool "stat has a kind histogram" true (s.Pasta.Replay.s_kinds <> []);
+  check_int "stat skipped nothing" 0 s.Pasta.Replay.s_chunks_skipped;
+  Sys.remove a;
+  Sys.remove b
+
+let test_stat_diff_on_corrupt () =
+  let a = temp_trace () and b = temp_trace () in
+  let (_ : Pasta.Session.result) = live_run ~domains:1 a in
+  let (_ : Pasta.Session.result) = live_run ~domains:1 b in
+  (* Corrupt one file mid-payload: tolerant stat keeps going, and diff
+     against the pristine twin reports the divergence instead of dying. *)
+  let len = corrupt_byte a (-100) in
+  check_bool "trace is non-trivial" true (len > 200);
+  let s = Pasta.Replay.stat ~mode:Pasta.Ptrace.Tolerant a in
+  check_int "corrupt chunk skipped" 1 s.Pasta.Replay.s_chunks_skipped;
+  (match Pasta.Replay.diff ~mode:Pasta.Ptrace.Tolerant a b with
+  | Pasta.Replay.Identical _ ->
+      Alcotest.fail "a corrupted trace cannot equal its pristine twin"
+  | Pasta.Replay.Op_mismatch _ | Pasta.Replay.Length_mismatch _ -> ());
+  Sys.remove a;
+  Sys.remove b
+
+let suite =
+  [
+    qtest prop_roundtrip;
+    Alcotest.test_case "round-trip per constructor" `Quick
+      test_roundtrip_each_constructor;
+    Alcotest.test_case "multi-chunk file round-trip" `Quick test_roundtrip_file;
+    Alcotest.test_case "CRC corruption: strict fails, tolerant skips" `Quick
+      test_crc_corruption;
+    Alcotest.test_case "truncation: strict fails, tolerant keeps prefix" `Quick
+      test_truncated_file;
+    Alcotest.test_case "truncated header" `Quick test_truncated_header;
+    Alcotest.test_case "garbage payload string" `Quick test_bad_payload_string;
+    Alcotest.test_case "live vs replay: byte-identical report (1 domain)"
+      `Quick (test_live_vs_replay 1);
+    Alcotest.test_case "live vs replay: byte-identical report (4 domains)"
+      `Quick (test_live_vs_replay 4);
+    Alcotest.test_case "replay determinism + stat/diff round-trip" `Quick
+      test_replay_deterministic;
+    Alcotest.test_case "stat/diff on a corrupted trace" `Quick
+      test_stat_diff_on_corrupt;
+  ]

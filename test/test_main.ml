@@ -19,5 +19,6 @@ let () =
       ("faults", Test_faults.suite);
       ("streams", Test_streams.suite);
       ("pipeline", Test_pipeline.suite);
+      ("capture", Test_capture.suite);
       ("models", Test_models.suite);
     ]
