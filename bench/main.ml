@@ -946,6 +946,103 @@ let replay () =
   Sys.remove path;
   ignore live_result
 
+(* ------------------------------------------------------------------ *)
+
+(* Self-telemetry overhead: the same batched pipeline workload with the
+   framework's own observability off / basic / full.  The paper's
+   low-overhead claim, applied to PASTA itself: basic (always-on
+   attribution) must stay under 5% of the telemetry-off wall time. *)
+
+let telemetry_run ~sample_cap ~iters level =
+  Pasta.Config.set "ACCEL_PROF_TELEMETRY" level;
+  Pasta.Telemetry.refresh_level ();
+  Pasta.Telemetry.reset ();
+  let r = pipeline_run ~sample_cap ~iters (`Parallel 4) in
+  Pasta.Config.unset "ACCEL_PROF_TELEMETRY";
+  Pasta.Telemetry.refresh_level ();
+  r
+
+let telemetry () =
+  section
+    "Self-telemetry overhead: off vs basic vs full (BERT inference, batched \
+     hotness, 4 domains)";
+  let sample_cap = 4096 and iters = 1 and reps = 5 in
+  let best level =
+    let runs = List.init reps (fun _ -> telemetry_run ~sample_cap ~iters level) in
+    List.fold_left
+      (fun acc r -> if r.p_wall_s < acc.p_wall_s then r else acc)
+      (List.hd runs) (List.tl runs)
+  in
+  let off = best "off" in
+  let basic = best "basic" in
+  let full = best "full" in
+  (* One more full run whose attribution we keep for the report. *)
+  Pasta.Config.set "ACCEL_PROF_TELEMETRY" "full";
+  Pasta.Telemetry.refresh_level ();
+  Pasta.Telemetry.reset ();
+  let attr_run = pipeline_run ~sample_cap ~iters (`Parallel 4) in
+  let attr = Pasta.Telemetry.attribution () in
+  let overhead r = (r.p_wall_s -. off.p_wall_s) /. off.p_wall_s in
+  let row name r =
+    [
+      name;
+      Printf.sprintf "%.1f" (1000.0 *. r.p_wall_s);
+      Printf.sprintf "%+.1f%%" (100.0 *. overhead r);
+    ]
+  in
+  Pasta_util.Texttab.render ppf
+    ~header:[ "telemetry level"; "wall (ms)"; "overhead vs off" ]
+    ~align:[ Pasta_util.Texttab.Left; Right; Right ]
+    [ row "off" off; row "basic" basic; row "full" full ];
+  let identical =
+    String.equal off.p_report basic.p_report
+    && String.equal off.p_report full.p_report
+  in
+  Format.fprintf ppf
+    "@.tool output %s across telemetry levels; attribution (full run):@.%a@."
+    (if identical then "byte-identical" else "DIVERGES")
+    Pasta.Telemetry.pp_attribution attr;
+  Pasta.Config.unset "ACCEL_PROF_TELEMETRY";
+  Pasta.Telemetry.refresh_level ();
+  let basic_ok = overhead basic < 0.05 in
+  let b = Buffer.create 1024 in
+  Printf.bprintf b "{\n";
+  Printf.bprintf b "  \"experiment\": \"telemetry\",\n";
+  Printf.bprintf b "  \"workload\": \"BERT-inference-batched-4dom\",\n";
+  Printf.bprintf b "  \"sample_cap\": %d,\n  \"iters\": %d,\n  \"reps\": %d,\n"
+    sample_cap iters reps;
+  Printf.bprintf b "  \"off_wall_s\": %.6f,\n" off.p_wall_s;
+  Printf.bprintf b "  \"basic_wall_s\": %.6f,\n" basic.p_wall_s;
+  Printf.bprintf b "  \"full_wall_s\": %.6f,\n" full.p_wall_s;
+  Printf.bprintf b "  \"basic_overhead\": %.4f,\n" (overhead basic);
+  Printf.bprintf b "  \"full_overhead\": %.4f,\n" (overhead full);
+  Printf.bprintf b "  \"attribution_rows\": [\n";
+  let rows = attr.Pasta.Telemetry.at_rows in
+  List.iteri
+    (fun i r ->
+      Printf.bprintf b
+        "    { \"label\": \"%s\", \"self_us\": %.1f, \"count\": %d }%s\n"
+        r.Pasta.Telemetry.row_label r.Pasta.Telemetry.row_self_us
+        r.Pasta.Telemetry.row_count
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.bprintf b "  ],\n";
+  Printf.bprintf b "  \"attribution_total_us\": %.1f,\n"
+    attr.Pasta.Telemetry.at_total_us;
+  Printf.bprintf b "  \"identical_reports\": %b,\n" identical;
+  Printf.bprintf b "  \"basic_under_5pct\": %b\n}\n" basic_ok;
+  let oc = open_out "BENCH_telemetry.json" in
+  output_string oc (Buffer.contents b);
+  close_out oc;
+  Format.fprintf ppf "wrote BENCH_telemetry.json@.";
+  ignore attr_run;
+  if not basic_ok then begin
+    Format.fprintf ppf
+      "telemetry: FAIL - basic-level overhead %.1f%% exceeds the 5%% budget@."
+      (100.0 *. overhead basic);
+    exit 1
+  end
+
 (* Tiny divergence gate for `dune build @perf-smoke` (part of runtest):
    the batched path must see exactly the records the per-record path
    sees, and its output must not depend on the domain count. *)
@@ -990,6 +1087,7 @@ let experiments =
     ("bechamel", bechamel_benches);
     ("pipeline", pipeline);
     ("replay", replay);
+    ("telemetry", telemetry);
   ]
 
 (* Run one experiment, optionally capturing its output into

@@ -126,6 +126,45 @@ let trace_arg =
         ~doc:"Also write a chrome://tracing / Perfetto trace of the run to \
               $(docv).")
 
+let telemetry_arg =
+  Arg.(
+    value
+    & opt (some (enum [ ("off", "off"); ("basic", "basic"); ("full", "full") ])) None
+    & info [ "telemetry" ] ~docv:"LEVEL"
+        ~doc:
+          "Framework self-telemetry level (ACCEL_PROF_TELEMETRY): $(b,off), \
+           $(b,basic) (allocation-free self-time attribution, the default) or \
+           $(b,full) (per-span recording for export).")
+
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Write the framework's own telemetry spans as a Chrome/Perfetto \
+           trace to $(docv) (implies $(b,--telemetry full)). Combined with \
+           $(b,--trace), the workload timeline and the telemetry spans land \
+           in one file.")
+
+let metrics_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:
+          "Write pipeline and telemetry metrics in Prometheus text \
+           exposition format to $(docv).")
+
+let overhead_arg =
+  Arg.(
+    value & flag
+    & info [ "overhead-report" ]
+        ~doc:
+          "Print the self-time attribution table: wall time of the run split \
+           across simulate/handler/processor layers and each tool, summing \
+           to the measurement window.")
+
 let tolerant_arg =
   Arg.(
     value & flag
@@ -146,7 +185,7 @@ let model_pos p =
    when no analysis is selected. *)
 let run_workload ?capture ?default_tool tool_name gpu mode iters sample_rate
     domains start_grid end_grid verbose health inject_faults fault_seed trace
-    model =
+    telemetry trace_out metrics_out overhead model =
   (* Registry key for the trace header, so replay can re-resolve the same
      tool (display names are not unique across tool variants). *)
   let capture_meta =
@@ -160,6 +199,19 @@ let run_workload ?capture ?default_tool tool_name gpu mode iters sample_rate
   Option.iter
     (fun s -> Pasta.Config.set "ACCEL_PROF_FAULT_SEED" (Int64.to_string s))
     fault_seed;
+  (* Telemetry level: the explicit flag wins; exporters escalate to the
+     level they need (span export needs full, metrics/overhead need at
+     least basic). *)
+  Option.iter (fun l -> Pasta.Config.set "ACCEL_PROF_TELEMETRY" l) telemetry;
+  (match (trace_out, Pasta.Config.telemetry ()) with
+  | Some _, (`Off | `Basic) -> Pasta.Config.set "ACCEL_PROF_TELEMETRY" "full"
+  | _ -> ());
+  (match (metrics_out, overhead, Pasta.Config.telemetry ()) with
+  | Some _, _, `Off | _, true, `Off ->
+      Pasta.Config.set "ACCEL_PROF_TELEMETRY" "basic"
+  | _ -> ());
+  Pasta.Telemetry.refresh_level ();
+  Pasta.Telemetry.reset ();
   match model with
   | None -> `Error (true, "a MODEL argument is required (try list-tools or --help)")
   | Some abbr when not (List.mem abbr Dlfw.Runner.all_abbrs) ->
@@ -232,6 +284,32 @@ let run_workload ?capture ?default_tool tool_name gpu mode iters sample_rate
               result.Pasta.Session.events_dispatched
               (result.Pasta.Session.elapsed_us /. 1000.0)
               Vendor.Phases.pp result.Pasta.Session.phases;
+          (* Attribution is snapshotted before the exporters run, so the
+             report reflects the profiled run, not the export I/O. *)
+          if overhead then
+            Format.printf "[accelprof] %a@." Pasta.Telemetry.pp_attribution
+              (Pasta.Telemetry.attribution ());
+          (match trace_out with
+          | None -> ()
+          | Some path ->
+              (* With --trace also active, splice the telemetry spans into
+                 the workload timeline; alone, write them standalone. *)
+              (match tracer with
+              | Some (_, tx, _) ->
+                  Pasta.Trace_export.write_file
+                    ~extra:(Pasta.Telemetry.chrome_events ())
+                    tx path
+              | None -> Pasta.Telemetry.write_chrome_trace path);
+              Format.printf
+                "[accelprof] telemetry trace written to %s (%d spans)@." path
+                (Pasta.Telemetry.spans_recorded ()));
+          (match metrics_out with
+          | None -> ()
+          | Some path ->
+              Pasta.Telemetry.write_prometheus
+                ~extra:[ result.Pasta.Session.metrics ]
+                path;
+              Format.printf "[accelprof] metrics written to %s@." path);
           if health || inject_faults then
             Format.printf "[accelprof] %a@." Pasta.Session.pp_health
               result.Pasta.Session.health;
@@ -240,16 +318,19 @@ let run_workload ?capture ?default_tool tool_name gpu mode iters sample_rate
           `Ok ())
 
 let run_profile tool_name gpu mode iters sample_rate domains start_grid end_grid
-    verbose health inject_faults fault_seed trace model =
+    verbose health inject_faults fault_seed trace telemetry trace_out
+    metrics_out overhead model =
   run_workload tool_name gpu mode iters sample_rate domains start_grid end_grid
-    verbose health inject_faults fault_seed trace model
+    verbose health inject_faults fault_seed trace telemetry trace_out
+    metrics_out overhead model
 
 let profile_term =
   Term.(
     ret
       (const run_profile $ tool_arg $ gpu_arg $ mode_arg $ iters_arg $ sample_arg
      $ domains_arg $ start_grid_arg $ end_grid_arg $ verbose_arg $ health_arg
-     $ inject_faults_arg $ fault_seed_arg $ trace_arg $ model_pos 0))
+     $ inject_faults_arg $ fault_seed_arg $ trace_arg $ telemetry_arg
+     $ trace_out_arg $ metrics_out_arg $ overhead_arg $ model_pos 0))
 
 (* --- record ------------------------------------------------------- *)
 
@@ -260,11 +341,13 @@ let out_pos =
     & info [] ~docv:"OUT.ptrace" ~doc:"Trace file to write.")
 
 let run_record out tool_name gpu mode iters sample_rate domains start_grid
-    end_grid verbose health inject_faults fault_seed model =
+    end_grid verbose health inject_faults fault_seed telemetry trace_out
+    metrics_out overhead model =
   run_workload ~capture:out
     ~default_tool:(Pasta.Capture.passthrough ())
     tool_name gpu mode iters sample_rate domains start_grid end_grid verbose
-    health inject_faults fault_seed None model
+    health inject_faults fault_seed None telemetry trace_out metrics_out
+    overhead model
 
 let record_cmd =
   let term =
@@ -272,7 +355,8 @@ let record_cmd =
       ret
         (const run_record $ out_pos $ tool_arg $ gpu_arg $ mode_arg $ iters_arg
        $ sample_arg $ domains_arg $ start_grid_arg $ end_grid_arg $ verbose_arg
-       $ health_arg $ inject_faults_arg $ fault_seed_arg $ model_pos 1))
+       $ health_arg $ inject_faults_arg $ fault_seed_arg $ telemetry_arg
+       $ trace_out_arg $ metrics_out_arg $ overhead_arg $ model_pos 1))
   in
   Cmd.v
     (Cmd.info "record"

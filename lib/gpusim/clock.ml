@@ -1,10 +1,17 @@
-type t = { mutable now : float }
+type t = { mutable now : float; mutable observer : (float -> unit) option }
 
-let create () = { now = 0.0 }
+let create () = { now = 0.0; observer = None }
 let now_us t = t.now
+
+let notify t = match t.observer with None -> () | Some f -> f t.now
 
 let advance_us t d =
   if d < 0.0 then invalid_arg "Clock.advance_us: negative duration";
-  t.now <- t.now +. d
+  t.now <- t.now +. d;
+  notify t
 
-let reset t = t.now <- 0.0
+let reset t =
+  t.now <- 0.0;
+  notify t
+
+let set_observer t f = t.observer <- f

@@ -16,3 +16,9 @@ val advance_us : t -> float -> unit
     [Invalid_argument]. *)
 
 val reset : t -> unit
+
+val set_observer : t -> (float -> unit) option -> unit
+(** At most one observer, called with the new time after every advance (and
+    after {!reset}).  The telemetry layer uses this to mirror simulated
+    time onto its wall-clock spans; the hook must be cheap and must not
+    touch the clock. *)

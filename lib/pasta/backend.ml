@@ -28,6 +28,11 @@ let require_nvidia device name =
   | Gpusim.Arch.Amd | Gpusim.Arch.Google ->
       invalid_arg (name ^ ": requires an NVIDIA device")
 
+(* The event-handler layer: adapt one vendor callback into normalized
+   submissions.  The enclosing Handler span (begun at the vendor callback
+   boundary, see [attach] and the feeders) captures normalization plus
+   pump; dispatch time inside the processor is charged to its own layer by
+   the telemetry stack discipline. *)
 let pump t payloads =
   let time_us = D.now_us t.device in
   List.iter (fun p -> Processor.submit t.processor ~time_us p) payloads
@@ -48,23 +53,35 @@ let attach kind device ~processor =
           Vendor.Sanitizer.Synchronize;
         ];
       let t = { device; session = S_sanitizer s; processor } in
-      Vendor.Sanitizer.set_callback s (fun cb -> pump t (Normalize.of_sanitizer cb));
+      Vendor.Sanitizer.set_callback s (fun cb ->
+          Telemetry.begin_span Telemetry.Handler "handler.sanitizer";
+          pump t (Normalize.of_sanitizer cb);
+          Telemetry.end_span Telemetry.Handler);
       t
   | Nvbit ->
       require_nvidia device "Backend.attach(Nvbit)";
       let s = Vendor.Nvbit.attach device in
       let t = { device; session = S_nvbit s; processor } in
-      Vendor.Nvbit.at_cuda_event s (fun ev -> pump t (Normalize.of_nvbit ev));
+      Vendor.Nvbit.at_cuda_event s (fun ev ->
+          Telemetry.begin_span Telemetry.Handler "handler.nvbit";
+          pump t (Normalize.of_nvbit ev);
+          Telemetry.end_span Telemetry.Handler);
       t
   | Rocprofiler ->
       let s = Vendor.Rocprofiler.attach device in
       let t = { device; session = S_rocprofiler s; processor } in
-      Vendor.Rocprofiler.configure_callback s (fun r -> pump t (Normalize.of_rocprofiler r));
+      Vendor.Rocprofiler.configure_callback s (fun r ->
+          Telemetry.begin_span Telemetry.Handler "handler.rocprofiler";
+          pump t (Normalize.of_rocprofiler r);
+          Telemetry.end_span Telemetry.Handler);
       t
   | Xprof ->
       let s = Vendor.Xprof.attach device in
       let t = { device; session = S_xprof s; processor } in
-      Vendor.Xprof.configure_callback s (fun r -> pump t (Normalize.of_xprof r));
+      Vendor.Xprof.configure_callback s (fun r ->
+          Telemetry.begin_span Telemetry.Handler "handler.xprof";
+          pump t (Normalize.of_xprof r);
+          Telemetry.end_span Telemetry.Handler);
       t
 
 let detach t =
@@ -91,16 +108,21 @@ let phases t =
 let device t = t.device
 
 let region_feeder t (info : D.launch_info) (r : Gpusim.Kernel.region) =
+  Telemetry.begin_span Telemetry.Handler "handler.region";
   Processor.submit_region t.processor
     (Event.kernel_info_of_launch info)
     ~base:r.Gpusim.Kernel.base ~extent:r.Gpusim.Kernel.bytes
-    ~accesses:r.Gpusim.Kernel.accesses ~written:r.Gpusim.Kernel.write
+    ~accesses:r.Gpusim.Kernel.accesses ~written:r.Gpusim.Kernel.write;
+  Telemetry.end_span Telemetry.Handler
 
 let completion_feeder t (info : D.launch_info) (_ : D.exec_stats) =
+  Telemetry.begin_span Telemetry.Handler "handler.kernel_complete";
   Processor.flush_kernel_summary t.processor ~time_us:(D.now_us t.device)
-    (Event.kernel_info_of_launch info)
+    (Event.kernel_info_of_launch info);
+  Telemetry.end_span Telemetry.Handler
 
 let access_feeder t (info : D.launch_info) (a : Gpusim.Warp.access) =
+  Telemetry.begin_span Telemetry.Handler "handler.access";
   Processor.submit_access t.processor ~time_us:(D.now_us t.device)
     (Event.kernel_info_of_launch info)
     {
@@ -110,16 +132,21 @@ let access_feeder t (info : D.launch_info) (a : Gpusim.Warp.access) =
       pc = a.Gpusim.Warp.pc;
       warp = a.Gpusim.Warp.warp_id;
       weight = a.Gpusim.Warp.weight;
-    }
+    };
+  Telemetry.end_span Telemetry.Handler
 
 let batch_feeder t (info : D.launch_info) (b : Gpusim.Warp.batch) =
+  Telemetry.begin_span Telemetry.Handler "handler.batch";
   Processor.submit_access_batch t.processor ~time_us:(D.now_us t.device)
     (Event.kernel_info_of_launch info)
-    b
+    b;
+  Telemetry.end_span Telemetry.Handler
 
 let parallel_completion_feeder t (info : D.launch_info) (_ : D.exec_stats) =
+  Telemetry.begin_span Telemetry.Handler "handler.parallel_complete";
   Processor.flush_parallel_summary t.processor ~time_us:(D.now_us t.device)
-    (Event.kernel_info_of_launch info)
+    (Event.kernel_info_of_launch info);
+  Telemetry.end_span Telemetry.Handler
 
 let enable_fine_grained t mode =
   let map_bytes () = Objmap.map_bytes (Processor.objmap t.processor) in
@@ -171,9 +198,11 @@ let enable_fine_grained t mode =
              classes = Vendor.Sanitizer.all_instr_classes;
              on_profile =
                (fun info profile ->
+                 Telemetry.begin_span Telemetry.Handler "handler.profile";
                  Processor.submit_profile t.processor ~time_us:(D.now_us t.device)
                    (Event.kernel_info_of_launch info)
-                   profile);
+                   profile;
+                 Telemetry.end_span Telemetry.Handler);
            })
   | Tool.Cpu_sanitizer, _ ->
       invalid_arg "Backend: CPU-sanitizer analysis needs the Sanitizer backend"

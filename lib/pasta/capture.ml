@@ -1,32 +1,49 @@
+module Metric = Pasta_util.Metric
+
 type t = {
   cap_writer : Ptrace.writer;
   cap_proc : Processor.t;
+  c_recorded : Metric.counter;
+  c_bytes : Metric.counter;
+  c_chunks : Metric.counter;
   mutable cap_open : bool;
 }
 
 let sync_stats t =
-  let st = Processor.stats t.cap_proc in
-  st.Processor.bytes_written <- Ptrace.writer_bytes t.cap_writer;
-  st.Processor.chunks <- Ptrace.writer_chunks t.cap_writer
+  Metric.set t.c_bytes (Ptrace.writer_bytes t.cap_writer);
+  Metric.set t.c_chunks (Ptrace.writer_chunks t.cap_writer)
 
 let start ?chunk_bytes ?meta proc path =
   let writer =
     Ptrace.create_writer ?chunk_bytes ?meta ~device:(Processor.device proc) path
   in
-  let st = Processor.stats proc in
-  let t = { cap_writer = writer; cap_proc = proc; cap_open = true } in
+  let reg = Processor.metrics proc in
+  let t =
+    {
+      cap_writer = writer;
+      cap_proc = proc;
+      c_recorded = Metric.counter reg "pasta_events_recorded";
+      c_bytes = Metric.counter reg "pasta_bytes_written";
+      c_chunks = Metric.counter reg "pasta_trace_chunks";
+      cap_open = true;
+    }
+  in
   Processor.set_sink proc (fun ~time_us op ->
+      Telemetry.begin_span Telemetry.Capture_io "capture.write_op";
       Ptrace.write_op writer ~time_us op;
-      st.Processor.events_recorded <- st.Processor.events_recorded + 1;
-      st.Processor.bytes_written <- Ptrace.writer_bytes writer;
-      st.Processor.chunks <- Ptrace.writer_chunks writer);
+      Metric.incr t.c_recorded;
+      Metric.set t.c_bytes (Ptrace.writer_bytes writer);
+      Metric.set t.c_chunks (Ptrace.writer_chunks writer);
+      Telemetry.end_span Telemetry.Capture_io);
   t
 
 let finish t =
   if t.cap_open then begin
     t.cap_open <- false;
     Processor.clear_sink t.cap_proc;
+    Telemetry.begin_span Telemetry.Capture_io "capture.close";
     Ptrace.close_writer t.cap_writer;
+    Telemetry.end_span Telemetry.Capture_io;
     sync_stats t
   end
 

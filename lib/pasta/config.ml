@@ -64,6 +64,19 @@ let fault_seed () =
   | Some s -> s
   | None -> 0x5EEDL
 
+(* --- Self-telemetry knobs --- *)
+
+let telemetry () =
+  match Option.map String.lowercase_ascii (get "ACCEL_PROF_TELEMETRY") with
+  | Some ("off" | "0" | "false" | "no" | "none") -> `Off
+  | Some ("full" | "2") -> `Full
+  | Some _ | None -> `Basic
+
+let telemetry_spans () =
+  match get_int "ACCEL_PROF_TELEMETRY_SPANS" with
+  | Some n when n > 0 -> n
+  | _ -> 65536
+
 (* --- Trace capture / replay knobs --- *)
 
 let trace_path () =

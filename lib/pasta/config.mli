@@ -62,6 +62,19 @@ val inject_faults : unit -> bool
 val fault_seed : unit -> int64
 (** [ACCEL_PROF_FAULT_SEED]: seed for injected faults (default 0x5EED). *)
 
+(** {2 Self-telemetry knobs} *)
+
+val telemetry : unit -> [ `Off | `Basic | `Full ]
+(** [ACCEL_PROF_TELEMETRY]: the framework's self-observability level.
+    [off] disables the span layer entirely, [basic] (the default) keeps
+    allocation-free self-time attribution on, [full] additionally records
+    individual spans, tool latency histograms and ring-occupancy samples
+    for export. *)
+
+val telemetry_spans : unit -> int
+(** [ACCEL_PROF_TELEMETRY_SPANS]: capacity of the cyclic span store used
+    in [full] mode (default 65536); the newest spans win. *)
+
 (** {2 Trace capture / replay knobs} *)
 
 val trace_path : unit -> string option

@@ -61,6 +61,9 @@ let state_name = function
 
 type t = {
   the_tool : Tool.t;
+  slot : Telemetry.tool_slot;
+      (* telemetry attribution slot; resolved once so the per-callback
+         path does no hashing *)
   threshold : int;
   cooldown : int;
   on_trip : failures:int -> unit;
@@ -84,6 +87,7 @@ let create ?threshold ?cooldown_kernels ?(on_failure = fun _ -> ()) ~on_trip too
   if cooldown <= 0 then invalid_arg "Guard.create: cooldown must be positive";
   {
     the_tool = tool;
+    slot = Telemetry.tool_slot tool.Tool.name;
     threshold;
     cooldown;
     on_trip;
@@ -119,13 +123,24 @@ let record_failure t cb =
   t.window_failures <- t.window_failures + 1;
   t.on_failure cb
 
+(* Run the callback inside the tool's telemetry span.  A raising callback
+   still gets its wall time charged to the tool — that is exactly the time
+   a misbehaving (soon-quarantined) tool cost the pipeline. *)
+let timed t f =
+  Telemetry.begin_tool t.slot;
+  match f t.the_tool with
+  | () -> Telemetry.end_tool t.slot
+  | exception e ->
+      Telemetry.end_tool t.slot;
+      raise e
+
 let call t cb f =
   match state t with
   | Quarantined -> t.suppressed <- t.suppressed + 1
   | Half_open -> (
       (* One probe decides: success reinstates, failure re-quarantines for
          another full cooldown. *)
-      match f t.the_tool with
+      match timed t f with
       | () ->
           t.quarantined_since <- None;
           t.window_failures <- 0;
@@ -136,7 +151,7 @@ let call t cb f =
           t.quarantines <- t.quarantines + 1;
           t.on_trip ~failures:t.window_failures)
   | Closed -> (
-      match f t.the_tool with
+      match timed t f with
       | () -> ()
       | exception _ ->
           record_failure t cb;
@@ -147,7 +162,7 @@ let call t cb f =
           end)
 
 let guarded_report t ppf =
-  match t.the_tool.Tool.report ppf with
+  match timed t (fun tool -> tool.Tool.report ppf) with
   | () -> ()
   | exception e ->
       record_failure t Report;

@@ -1,5 +1,10 @@
 module Ring_buffer = Pasta_util.Ring_buffer
+module Metric = Pasta_util.Metric
 
+(* Legacy snapshot shape; see [stats] below.  The single source of truth is
+   the [counters] registry — this record is rebuilt from it on every call,
+   so the field names every existing caller and test relies on keep
+   working while exporters read the registry directly. *)
 type stats = {
   mutable events_seen : int;
   mutable events_dispatched : int;
@@ -21,6 +26,80 @@ type stats = {
   mutable chunks_skipped : int;
   mutable replay_events : int;
 }
+
+(* Every processor owns one metrics registry; handles below are the hot
+   paths' direct pointers into it. *)
+type counters = {
+  reg : Metric.t;
+  c_events_seen : Metric.counter;
+  c_events_dispatched : Metric.counter;
+  c_events_suppressed : Metric.counter;
+  c_kernels_seen : Metric.counter;
+  c_summaries_flushed : Metric.counter;
+  c_tool_failures : Metric.counter;
+  c_records_dropped : Metric.counter;
+  g_records_buffered_peak : Metric.gauge;
+  c_buffer_stalls : Metric.counter;
+  c_accesses_filtered : Metric.counter;
+  c_batches_delivered : Metric.counter;
+  c_objmap_memo_hits : Metric.counter;
+  c_objmap_memo_misses : Metric.counter;
+  c_events_recorded : Metric.counter;
+  c_bytes_written : Metric.counter;
+  c_chunks : Metric.counter;
+  c_chunks_skipped : Metric.counter;
+  c_replay_events : Metric.counter;
+}
+
+let callback_failures_metric = "pasta_callback_failures"
+
+let make_counters () =
+  let reg = Metric.create () in
+  let c ?help name = Metric.counter reg ?help name in
+  {
+    reg;
+    c_events_seen = c ~help:"normalized events submitted" "pasta_events_seen";
+    c_events_dispatched =
+      c ~help:"events delivered to the tool" "pasta_events_dispatched";
+    c_events_suppressed =
+      c ~help:"events withheld while the tool was quarantined"
+        "pasta_events_suppressed";
+    c_kernels_seen = c ~help:"kernel launches observed" "pasta_kernels_seen";
+    c_summaries_flushed =
+      c ~help:"kernel-end summaries flushed" "pasta_summaries_flushed";
+    c_tool_failures =
+      c ~help:"tool callback exceptions caught" "pasta_tool_failures";
+    c_records_dropped =
+      c ~help:"fine-grained records lost to buffer overflow"
+        "pasta_records_dropped";
+    g_records_buffered_peak =
+      Metric.gauge reg ~help:"bounded-buffer high-water mark, records"
+        "pasta_records_buffered_peak";
+    c_buffer_stalls =
+      c ~help:"producer stalls under the block overflow policy"
+        "pasta_buffer_stalls";
+    c_accesses_filtered =
+      c ~help:"access records withheld by the range filter"
+        "pasta_accesses_filtered";
+    c_batches_delivered =
+      c ~help:"packed batches handed to a batch-aware tool"
+        "pasta_batches_delivered";
+    c_objmap_memo_hits = c ~help:"objmap resolve-memo hits" "pasta_objmap_memo_hits";
+    c_objmap_memo_misses =
+      c ~help:"objmap resolve-memo misses" "pasta_objmap_memo_misses";
+    c_events_recorded =
+      c ~help:"submission-level ops written by trace capture"
+        "pasta_events_recorded";
+    c_bytes_written =
+      c ~help:"bytes the trace capture has flushed" "pasta_bytes_written";
+    c_chunks = c ~help:"trace chunks written (capture) or read (replay)" "pasta_trace_chunks";
+    c_chunks_skipped =
+      c ~help:"corrupt chunks skipped by a tolerant replay"
+        "pasta_trace_chunks_skipped";
+    c_replay_events =
+      c ~help:"submission-level ops re-driven from a recorded trace"
+        "pasta_replay_events";
+  }
 
 (* Submission-level operations, as seen by a trace sink.  One constructor
    per processor entry point: a recorded op stream re-driven through the
@@ -53,7 +132,7 @@ type t = {
   objmap : Objmap.t;
   range : Range.t;
   mutable guard : Guard.t option;
-  stats : stats;
+  ctr : counters;
   buf : buffered Ring_buffer.t;
   policy : Ring_buffer.overflow;
   mutable pool : Pasta_util.Domain_pool.t option;
@@ -79,28 +158,7 @@ let create ?range ?buffer_capacity ?overflow_policy ~device () =
     objmap = Objmap.create ();
     range;
     guard = None;
-    stats =
-      {
-        events_seen = 0;
-        events_dispatched = 0;
-        events_suppressed = 0;
-        kernels_seen = 0;
-        summaries_flushed = 0;
-        tool_failures = 0;
-        callback_failures = Hashtbl.create 8;
-        records_dropped = 0;
-        records_buffered_peak = 0;
-        buffer_stalls = 0;
-        accesses_filtered = 0;
-        batches_delivered = 0;
-        objmap_memo_hits = 0;
-        objmap_memo_misses = 0;
-        events_recorded = 0;
-        bytes_written = 0;
-        chunks = 0;
-        chunks_skipped = 0;
-        replay_events = 0;
-      };
+    ctr = make_counters ();
     buf = Ring_buffer.create ~capacity;
     policy;
     pool = None;
@@ -114,12 +172,42 @@ let create ?range ?buffer_capacity ?overflow_policy ~device () =
 let objmap t = t.objmap
 let range t = t.range
 let device t = t.device
+let metrics t = t.ctr.reg
 
 let stats t =
   let hits, misses = Objmap.memo_stats t.objmap in
-  t.stats.objmap_memo_hits <- hits;
-  t.stats.objmap_memo_misses <- misses;
-  t.stats
+  Metric.set t.ctr.c_objmap_memo_hits hits;
+  Metric.set t.ctr.c_objmap_memo_misses misses;
+  let callback_failures = Hashtbl.create 8 in
+  List.iter
+    (fun (name, labels, v) ->
+      if name = callback_failures_metric then
+        match List.assoc_opt "callback" labels with
+        | Some cb -> Hashtbl.replace callback_failures cb v
+        | None -> ())
+    (Metric.counter_samples t.ctr.reg);
+  {
+    events_seen = Metric.value t.ctr.c_events_seen;
+    events_dispatched = Metric.value t.ctr.c_events_dispatched;
+    events_suppressed = Metric.value t.ctr.c_events_suppressed;
+    kernels_seen = Metric.value t.ctr.c_kernels_seen;
+    summaries_flushed = Metric.value t.ctr.c_summaries_flushed;
+    tool_failures = Metric.value t.ctr.c_tool_failures;
+    callback_failures;
+    records_dropped = Metric.value t.ctr.c_records_dropped;
+    records_buffered_peak =
+      int_of_float (Metric.gauge_value t.ctr.g_records_buffered_peak);
+    buffer_stalls = Metric.value t.ctr.c_buffer_stalls;
+    accesses_filtered = Metric.value t.ctr.c_accesses_filtered;
+    batches_delivered = Metric.value t.ctr.c_batches_delivered;
+    objmap_memo_hits = hits;
+    objmap_memo_misses = misses;
+    events_recorded = Metric.value t.ctr.c_events_recorded;
+    bytes_written = Metric.value t.ctr.c_bytes_written;
+    chunks = Metric.value t.ctr.c_chunks;
+    chunks_skipped = Metric.value t.ctr.c_chunks_skipped;
+    replay_events = Metric.value t.ctr.c_replay_events;
+  }
 
 let set_pool t p = t.pool <- Some p
 let clear_pool t = t.pool <- None
@@ -143,10 +231,8 @@ let dispatch t (ev : Event.t) =
   | None -> ()
   | Some g ->
       (match Guard.state g with
-      | Guard.Quarantined ->
-          t.stats.events_suppressed <- t.stats.events_suppressed + 1
-      | Guard.Closed | Guard.Half_open ->
-          t.stats.events_dispatched <- t.stats.events_dispatched + 1);
+      | Guard.Quarantined -> Metric.incr t.ctr.c_events_suppressed
+      | Guard.Closed | Guard.Half_open -> Metric.incr t.ctr.c_events_dispatched);
       Guard.call g Guard.On_event (fun tool -> tool.Tool.on_event ev);
       (match ev.Event.payload with
       | Event.Kernel_launch { info; phase = `Begin } ->
@@ -177,14 +263,16 @@ let quarantine_incident t ~failures =
   dispatch t ev
 
 let set_tool t tool =
-  let stats = t.stats in
+  let ctr = t.ctr in
   let guard =
     Guard.create
       ~on_failure:(fun cb ->
-        stats.tool_failures <- stats.tool_failures + 1;
-        let name = Guard.callback_name cb in
-        let n = Option.value ~default:0 (Hashtbl.find_opt stats.callback_failures name) in
-        Hashtbl.replace stats.callback_failures name (n + 1))
+        Metric.incr ctr.c_tool_failures;
+        Metric.incr
+          (Metric.counter ctr.reg
+             ~help:"per-callback tool failures"
+             ~labels:[ ("callback", Guard.callback_name cb) ]
+             callback_failures_metric))
       ~on_trip:(fun ~failures -> quarantine_incident t ~failures)
       tool
   in
@@ -243,7 +331,7 @@ let deliver_batch t info batch time_us =
     | None -> false
   in
   if batch_aware then begin
-    t.stats.batches_delivered <- t.stats.batches_delivered + 1;
+    Metric.incr t.ctr.c_batches_delivered;
     dispatch t
       {
         Event.device = t.device;
@@ -266,36 +354,44 @@ let deliver_item t = function
   | B_batch (info, batch, time_us) -> deliver_batch t info batch time_us
 
 let flush_records t =
+  Telemetry.begin_span Telemetry.Ring "ring.drain";
   let items = Ring_buffer.drain t.buf in
   t.buffered_records <- 0;
+  Telemetry.sample_ring_occupancy 0;
+  Telemetry.end_span Telemetry.Ring;
   List.iter (deliver_item t) items
 
 let buffer_item t item =
+  Telemetry.begin_span Telemetry.Ring "ring.push";
   (match Ring_buffer.push_overflow t.buf ~overflow:t.policy item with
   | `Stored -> t.buffered_records <- t.buffered_records + buffered_count item
   | `Evicted old ->
-      t.stats.records_dropped <- t.stats.records_dropped + buffered_count old;
+      Metric.add t.ctr.c_records_dropped (buffered_count old);
       t.buffered_records <-
         t.buffered_records + buffered_count item - buffered_count old
-  | `Rejected -> t.stats.records_dropped <- t.stats.records_dropped + buffered_count item
+  | `Rejected -> Metric.add t.ctr.c_records_dropped (buffered_count item)
   | `Full ->
       (* Block: the producer stalls while the consumer drains, then the
          record lands; nothing is lost. *)
-      t.stats.buffer_stalls <- t.stats.buffer_stalls + 1;
+      Metric.incr t.ctr.c_buffer_stalls;
+      Telemetry.end_span Telemetry.Ring;
       flush_records t;
+      Telemetry.begin_span Telemetry.Ring "ring.push";
       let (_ : bool) = Ring_buffer.push t.buf item in
       t.buffered_records <- buffered_count item);
-  t.stats.records_buffered_peak <-
-    max t.stats.records_buffered_peak t.buffered_records
+  Metric.max_gauge t.ctr.g_records_buffered_peak (float_of_int t.buffered_records);
+  Telemetry.sample_ring_occupancy t.buffered_records;
+  Telemetry.end_span Telemetry.Ring
 
 let submit t ~time_us payload =
+  Telemetry.begin_span Telemetry.Dispatch "proc.submit";
   tap t ~time_us (Sk_event payload);
-  t.stats.events_seen <- t.stats.events_seen + 1;
+  Metric.incr t.ctr.c_events_seen;
   t.last_time_us <- time_us;
   update_registry t payload;
   (match payload with
   | Event.Kernel_launch { phase = `Begin; _ } ->
-      t.stats.kernels_seen <- t.stats.kernels_seen + 1;
+      Metric.incr t.ctr.c_kernels_seen;
       Option.iter Guard.note_kernel t.guard
   | Event.Kernel_launch { phase = `End _; _ } ->
       (* Kernel boundary: drain the record buffer so every record of this
@@ -303,7 +399,8 @@ let submit t ~time_us payload =
       flush_records t
   | _ -> ());
   if in_range t payload then
-    dispatch t { Event.device = t.device; time_us; payload }
+    dispatch t { Event.device = t.device; time_us; payload };
+  Telemetry.end_span Telemetry.Dispatch
 
 let submit_region t (info : Event.kernel_info) ~base ~extent ~accesses ~written =
   tap t ~time_us:t.last_time_us
@@ -315,12 +412,13 @@ let submit_region t (info : Event.kernel_info) ~base ~extent ~accesses ~written 
   | _ -> t.pending <- Some (info.Event.grid_id, [ region ])
 
 let flush_kernel_summary t ~time_us (info : Event.kernel_info) =
+  Telemetry.begin_span Telemetry.Dispatch "proc.flush_summary";
   tap t ~time_us (Sk_flush_summary info);
-  match t.pending with
+  (match t.pending with
   | Some (gid, regions) when gid = info.Event.grid_id ->
       t.pending <- None;
       t.last_time_us <- time_us;
-      t.stats.summaries_flushed <- t.stats.summaries_flushed + 1;
+      Metric.incr t.ctr.c_summaries_flushed;
       if Range.active t.range ~grid_id:info.Event.grid_id then begin
         (* Emit one Kernel_region event per raw region... *)
         List.iter
@@ -363,24 +461,29 @@ let flush_kernel_summary t ~time_us (info : Event.kernel_info) =
             Guard.call g Guard.On_mem_summary (fun tool ->
                 tool.Tool.on_mem_summary info summary)
       end
-  | _ -> ()
+  | _ -> ());
+  Telemetry.end_span Telemetry.Dispatch
 
 let submit_access t ~time_us (info : Event.kernel_info) access =
+  Telemetry.begin_span Telemetry.Dispatch "proc.submit_access";
   tap t ~time_us (Sk_access (info, access));
-  t.stats.events_seen <- t.stats.events_seen + 1;
+  Metric.incr t.ctr.c_events_seen;
   t.last_time_us <- time_us;
   if Range.active t.range ~grid_id:info.Event.grid_id then
     buffer_item t (B_one (info, access, time_us))
-  else t.stats.accesses_filtered <- t.stats.accesses_filtered + 1
+  else Metric.incr t.ctr.c_accesses_filtered;
+  Telemetry.end_span Telemetry.Dispatch
 
 let submit_access_batch t ~time_us (info : Event.kernel_info) batch =
+  Telemetry.begin_span Telemetry.Dispatch "proc.submit_batch";
   tap t ~time_us (Sk_batch (info, batch));
   let len = Gpusim.Warp.batch_len batch in
-  t.stats.events_seen <- t.stats.events_seen + len;
+  Metric.add t.ctr.c_events_seen len;
   t.last_time_us <- time_us;
   if Range.active t.range ~grid_id:info.Event.grid_id then
     buffer_item t (B_batch (info, batch, time_us))
-  else t.stats.accesses_filtered <- t.stats.accesses_filtered + len
+  else Metric.add t.ctr.c_accesses_filtered len;
+  Telemetry.end_span Telemetry.Dispatch
 
 (* Deliver a device summary to the tool.  Called with a freshly merged
    aggregate on the live path, and with the recorded aggregate when a
@@ -389,10 +492,11 @@ let submit_access_batch t ~time_us (info : Event.kernel_info) batch =
    the aggregation again).  The [tap] makes re-recording a replayed run
    reproduce the original op stream. *)
 let submit_device_summary t ~time_us (info : Event.kernel_info) summary =
+  Telemetry.begin_span Telemetry.Dispatch "proc.device_summary";
   tap t ~time_us (Sk_event (Event.Device_summary { kernel = info; summary }));
   t.last_time_us <- time_us;
   if Range.active t.range ~grid_id:info.Event.grid_id then begin
-    t.stats.summaries_flushed <- t.stats.summaries_flushed + 1;
+    Metric.incr t.ctr.c_summaries_flushed;
     dispatch t
       {
         Event.device = t.device;
@@ -401,7 +505,8 @@ let submit_device_summary t ~time_us (info : Event.kernel_info) summary =
       };
     guard_call t Guard.On_device_summary (fun tool ->
         tool.Tool.on_device_summary info summary)
-  end
+  end;
+  Telemetry.end_span Telemetry.Dispatch
 
 (* Drain this kernel's buffered batches at kernel end: batches belonging
    to other kernels are delivered as-is, this kernel's are returned for
@@ -410,8 +515,11 @@ let submit_device_summary t ~time_us (info : Event.kernel_info) summary =
 let drain_parallel t ~time_us (info : Event.kernel_info) =
   tap t ~time_us (Sk_flush_parallel info);
   t.last_time_us <- time_us;
+  Telemetry.begin_span Telemetry.Ring "ring.drain";
   let items = Ring_buffer.drain t.buf in
   t.buffered_records <- 0;
+  Telemetry.sample_ring_occupancy 0;
+  Telemetry.end_span Telemetry.Ring;
   let mine, others =
     List.partition
       (function
@@ -430,6 +538,7 @@ let drain_parallel t ~time_us (info : Event.kernel_info) =
 let flush_parallel_summary t ~time_us (info : Event.kernel_info) =
   let batches = drain_parallel t ~time_us info in
   if Array.length batches > 0 then begin
+    Telemetry.begin_span Telemetry.Devagg "devagg.aggregate";
     let view = Objmap.view t.objmap in
     let shards =
       match t.pool with
@@ -438,7 +547,9 @@ let flush_parallel_summary t ~time_us (info : Event.kernel_info) =
               Devagg.aggregate view batches.(i))
       | _ -> Array.map (Devagg.aggregate view) batches
     in
-    submit_device_summary t ~time_us info (Devagg.merge shards)
+    let merged = Devagg.merge shards in
+    Telemetry.end_span Telemetry.Devagg;
+    submit_device_summary t ~time_us info merged
   end
 
 (* Replay path for a recorded flush marker: the aggregate this flush
@@ -450,8 +561,9 @@ let flush_parallel_drop t ~time_us (info : Event.kernel_info) =
   ()
 
 let submit_profile t ~time_us (info : Event.kernel_info) profile =
+  Telemetry.begin_span Telemetry.Dispatch "proc.submit_profile";
   tap t ~time_us (Sk_profile (info, profile));
-  t.stats.events_seen <- t.stats.events_seen + 1;
+  Metric.incr t.ctr.c_events_seen;
   t.last_time_us <- time_us;
   if Range.active t.range ~grid_id:info.Event.grid_id then begin
     dispatch t
@@ -462,7 +574,8 @@ let submit_profile t ~time_us (info : Event.kernel_info) profile =
       };
     guard_call t Guard.On_kernel_profile (fun tool ->
         tool.Tool.on_kernel_profile info profile)
-  end
+  end;
+  Telemetry.end_span Telemetry.Dispatch
 
 let annot_start t ~time_us label =
   Range.annot_start t.range label;

@@ -12,7 +12,11 @@
     tool is counted, eventually quarantined, and never takes the workload
     down.  Fine-grained access records flow through a bounded
     {!Pasta_util.Ring_buffer} with a configurable overflow policy; drops
-    and stalls are accounted in {!stats}. *)
+    and stalls are accounted in the processor's metric registry.
+
+    All pipeline counters live in a per-processor {!Pasta_util.Metric}
+    registry ({!metrics}); {!stats} is a snapshot rebuilt from it, kept
+    for callers and health reports that read the record fields. *)
 
 type stats = {
   mutable events_seen : int;
@@ -91,7 +95,18 @@ val device : t -> int
 (** The device id this processor stamps on dispatched events. *)
 
 val stats : t -> stats
-(** Live counters; the objmap memo fields are refreshed on each call. *)
+(** Snapshot of the metric registry in the legacy record shape; the objmap
+    memo fields (and their metrics) are refreshed on each call.  Mutating
+    the returned record does not affect the registry. *)
+
+val metrics : t -> Pasta_util.Metric.t
+(** The processor's metric registry — the single source of truth for every
+    pipeline counter, exportable via {!Telemetry.prometheus}.  Capture and
+    replay resolve their counter handles from it at attach time
+    (find-or-create by name), so the names below are part of the stable
+    surface: [pasta_events_recorded], [pasta_bytes_written],
+    [pasta_trace_chunks], [pasta_trace_chunks_skipped],
+    [pasta_replay_events]. *)
 
 val set_pool : t -> Pasta_util.Domain_pool.t -> unit
 (** Install a domain pool for parallel kernel-end aggregation

@@ -36,18 +36,34 @@ let apply proc ~time_us (op : Processor.sink_op) =
 
 let drive ?mode proc path =
   let mode = default_mode mode in
-  let stats = Processor.stats proc in
+  let reg = Processor.metrics proc in
+  let c_replayed = Pasta_util.Metric.counter reg "pasta_replay_events" in
+  let c_chunks = Pasta_util.Metric.counter reg "pasta_trace_chunks" in
+  let c_skipped = Pasta_util.Metric.counter reg "pasta_trace_chunks_skipped" in
   let last_us = ref 0.0 in
-  let header, rstats =
+  (* The whole read is replay I/O; time spent re-driving ops through the
+     processor nests into the dispatch/ring/devagg spans and is charged to
+     those layers, leaving decode + disk time on the replay row.  A
+     [Ptrace.Corrupt] in strict mode must still pop the span. *)
+  Telemetry.begin_span Telemetry.Replay_io "replay.read";
+  match
     Ptrace.read_file ~mode ?pool:(decode_pool ()) path ~f:(fun ~time_us op ->
         if time_us > !last_us then last_us := time_us;
+        (* Mirror the recorded timeline where a live session mirrors the
+           device clock, so exported telemetry spans carry sim stamps. *)
+        Telemetry.note_sim_us time_us;
         apply proc ~time_us op;
-        stats.Processor.replay_events <- stats.Processor.replay_events + 1)
-  in
-  Processor.flush_records proc;
-  stats.Processor.chunks <- rstats.Ptrace.r_chunks;
-  stats.Processor.chunks_skipped <- rstats.Ptrace.r_chunks_skipped;
-  (header, rstats, !last_us)
+        Pasta_util.Metric.incr c_replayed)
+  with
+  | header, rstats ->
+      Processor.flush_records proc;
+      Telemetry.end_span Telemetry.Replay_io;
+      Pasta_util.Metric.set c_chunks rstats.Ptrace.r_chunks;
+      Pasta_util.Metric.set c_skipped rstats.Ptrace.r_chunks_skipped;
+      (header, rstats, !last_us)
+  | exception e ->
+      Telemetry.end_span Telemetry.Replay_io;
+      raise e
 
 type outcome = {
   header : Ptrace.header;

@@ -54,6 +54,7 @@ type result = {
   kernels : int;
   elapsed_us : float;
   health : health;
+  metrics : Pasta_util.Metric.t;
   report : Format.formatter -> unit;
 }
 
@@ -72,6 +73,14 @@ let attach ?backend ?range ?sample_rate ?faults ?capture ?capture_meta ~tool dev
   in
   let proc = Processor.create ?range ~device:(Gpusim.Device.id device) () in
   Processor.set_tool proc tool;
+  (* Self-telemetry: honour the knob as configured right now, and mirror
+     the device's simulated clock onto spans so exports can bridge the
+     wall and simulated timelines. *)
+  Telemetry.refresh_level ();
+  if Telemetry.enabled () then
+    Gpusim.Clock.set_observer
+      (Gpusim.Device.clock device)
+      (Some Telemetry.note_sim_us);
   (* Fault injection: an explicit injector wins; otherwise the config knob
      turns on a seeded one — but never stack a second injector onto a
      device that already has one (e.g. a tracer session riding along). *)
@@ -246,6 +255,10 @@ let pp_health ppf h =
 
 let detach s =
   active := List.filter (fun x -> x != s) !active;
+  (* Keep the clock observer while another session still profiles this
+     device (e.g. a tracer riding along); drop it with the last one. *)
+  if not (List.exists (fun x -> x.device == s.device) !active) then
+    Gpusim.Clock.set_observer (Gpusim.Device.clock s.device) None;
   (* Anything still sitting in the bounded buffer belongs to the tool. *)
   Processor.flush_records s.proc;
   (* Close the trace before health is sampled so the capture counters
@@ -282,6 +295,7 @@ let detach s =
     kernels = stats.Processor.kernels_seen;
     elapsed_us = Gpusim.Device.now_us s.device -. s.start_us;
     health;
+    metrics = Processor.metrics s.proc;
     report;
   }
 

@@ -58,6 +58,9 @@ type result = {
   kernels : int;
   elapsed_us : float;  (** simulated device time spent while attached *)
   health : health;  (** supervision-layer accounting *)
+  metrics : Pasta_util.Metric.t;
+      (** the processor's metric registry — every [health] counter in
+          exportable form; pass to {!Telemetry.prometheus} via [extra] *)
   report : Format.formatter -> unit;  (** the tool's report, exception-safe *)
 }
 

@@ -1,0 +1,129 @@
+(** Framework self-observability: spans, self-time attribution, metrics and
+    exporters — PASTA measuring PASTA (the paper's low-overhead claim made
+    checkable on our own pipeline).
+
+    The span layer is a stack discipline per domain: every wall-clock
+    interval between two instrumentation points is charged to whichever
+    span was on top while it elapsed (the empty stack charges to the
+    simulate/workload root).  Per-layer and per-tool self times therefore
+    sum {e exactly} to the wall time of the measurement window.
+
+    Levels ([ACCEL_PROF_TELEMETRY]):
+    - [Off] — every instrumentation point is a single int load.
+    - [Basic] (default) — self-time attribution only: two clock reads and a
+      few field writes per span, no allocation.
+    - [Full] — additionally records finished spans into a bounded cyclic
+      store, feeds per-tool latency histograms and samples ring-buffer
+      occupancy, for Chrome-trace / Prometheus export.
+
+    Unbalanced begin/end pairs are counted ({!mismatches}), never raised:
+    instrumentation must not be able to take the pipeline down. *)
+
+type level = Off | Basic | Full
+
+val level : unit -> level
+val set_level : level -> unit
+
+val refresh_level : unit -> unit
+(** Re-read {!Config.telemetry} (sessions call this on attach). *)
+
+val level_name : level -> string
+val enabled : unit -> bool
+
+(** Pipeline layers a span can belong to.  [Simulate] is the root and never
+    pushed explicitly. *)
+type cat =
+  | Simulate
+  | Handler
+  | Dispatch
+  | Ring
+  | Devagg
+  | Capture_io
+  | Replay_io
+  | Export
+
+val begin_span : cat -> string -> unit
+(** [begin_span cat name]: push a span.  [name] only matters in [Full] mode
+    (it labels the exported trace event); pass a static string so the basic
+    path stays allocation-free. *)
+
+val end_span : cat -> unit
+
+(** {2 Tool spans}
+
+    Per-tool attribution uses preregistered slots so the per-callback path
+    does no hashing; {!Guard} holds its tool's slot and wraps every
+    callback, which is what attributes quarantine-provoking (raising)
+    callbacks to the tool that caused them. *)
+
+type tool_slot
+
+val tool_slot : string -> tool_slot
+(** Find-or-create the slot for a tool name. *)
+
+val begin_tool : tool_slot -> unit
+val end_tool : tool_slot -> unit
+
+val note_sim_us : float -> unit
+(** Mirror of the simulated clock, stamped onto spans; fed by the
+    {!Gpusim.Clock} observer a session installs (replay feeds recorded
+    timestamps instead). *)
+
+val sample_ring_occupancy : int -> unit
+(** Record the bounded record-buffer occupancy for the exported counter
+    track ([Full] mode only; a no-op otherwise). *)
+
+val reset : unit -> unit
+(** Start a fresh measurement window: zero attribution state, tool slots,
+    the telemetry registry, the span store and occupancy samples. *)
+
+(** {2 Overhead attribution} *)
+
+type row = {
+  row_label : string;  (** layer description or ["tool:<name>"] *)
+  row_self_us : float;
+  row_count : int;  (** completed spans (layer) or callback calls (tool) *)
+}
+
+type attribution = { at_total_us : float; at_rows : row list }
+
+val attribution : unit -> attribution
+(** Snapshot for the calling domain (the coordinator; it blocks while the
+    pool maps, so worker time lands in the devagg row).  The rows' self
+    times sum exactly to [at_total_us] minus only the simulate row when the
+    stack discipline was respected — in practice: rows including the
+    simulate root sum to the total by construction. *)
+
+val pp_attribution : Format.formatter -> attribution -> unit
+
+(** {2 Exporters} *)
+
+val registry : unit -> Pasta_util.Metric.t
+(** Telemetry's own metric registry (tool latency histograms, span/mismatch
+    counters, per-layer gauges after {!prometheus}). *)
+
+val chrome_events : unit -> string list
+(** Rendered Chrome trace-event JSON objects: one ["X"] event per stored
+    span (wall-clock timeline, pid 1000, with [sim_t0_us]/[sim_t1_us]
+    args bridging to the simulated timeline) plus a ["C"] counter track of
+    ring-buffer occupancy.  Splice into {!Trace_export.to_json}'s [extra]
+    for a combined workload + telemetry trace. *)
+
+val write_chrome_trace : string -> unit
+(** Standalone [{"traceEvents":[...]}] file from {!chrome_events}. *)
+
+val prometheus : ?extra:Pasta_util.Metric.t list -> unit -> string
+(** Text exposition of [extra @ [registry ()]] (pass a processor's registry
+    to include pipeline counters), after folding attribution state into
+    gauges. *)
+
+val write_prometheus : ?extra:Pasta_util.Metric.t list -> string -> unit
+
+(** {2 Introspection (tests)} *)
+
+val depth : unit -> int
+(** Current nesting depth of the calling domain's span stack. *)
+
+val mismatches : unit -> int
+val spans_recorded : unit -> int
+val span_buffer : unit -> Pasta_util.Span_buf.t

@@ -235,22 +235,28 @@ let json_of_event e =
   Buffer.add_char buf '}';
   Buffer.contents buf
 
-let to_json t =
+let to_json ?(extra = []) t =
   let buf = Buffer.create 4096 in
+  let emitted = ref 0 in
+  let emit s =
+    if !emitted > 0 then Buffer.add_char buf ',';
+    incr emitted;
+    Buffer.add_string buf s
+  in
   Buffer.add_string buf {|{"traceEvents":[|};
-  List.iteri
-    (fun i e ->
-      if i > 0 then Buffer.add_char buf ',';
-      Buffer.add_string buf (json_of_event e))
-    (List.rev t.events);
+  List.iter (fun e -> emit (json_of_event e)) (List.rev t.events);
+  (* [extra]: pre-rendered trace-event objects (e.g.
+     {!Telemetry.chrome_events}) spliced into the same array, so one file
+     carries the workload and the framework's self-telemetry. *)
+  List.iter emit extra;
   Buffer.add_string buf {|],"displayTimeUnit":"ms"}|};
   Buffer.contents buf
 
-let write_file t path =
+let write_file ?extra t path =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (to_json t))
+    (fun () -> output_string oc (to_json ?extra t))
 
 let tool t =
   {

@@ -21,11 +21,15 @@ val record : t -> Event.t -> unit
 val event_count : t -> int
 (** Trace events materialized so far. *)
 
-val to_json : t -> string
+val to_json : ?extra:string list -> t -> string
 (** The complete trace as a JSON object
-    [{"traceEvents": [...], "displayTimeUnit": "ms"}].  Deterministic. *)
+    [{"traceEvents": [...], "displayTimeUnit": "ms"}].  Deterministic.
+    [extra] splices pre-rendered trace-event JSON objects (e.g.
+    {!Telemetry.chrome_events}) into the same array, producing one file
+    that carries both the workload timeline (simulated clock, device
+    pids) and the framework's self-telemetry (wall clock, pid 1000). *)
 
-val write_file : t -> string -> unit
+val write_file : ?extra:string list -> t -> string -> unit
 (** Write {!to_json} to the given path. *)
 
 val tool : t -> Tool.t

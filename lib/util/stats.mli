@@ -1,6 +1,7 @@
 (** Descriptive statistics over float samples: the summary columns of the
     paper's Table V (min / avg / median / 90th percentile) plus a few extras
-    used by the benches. *)
+    used by the benches and the telemetry latency histograms (p99 for tail
+    visibility). *)
 
 type summary = {
   count : int;
@@ -10,6 +11,7 @@ type summary = {
   mean : float;
   median : float;
   p90 : float;
+  p99 : float;
   stddev : float;
 }
 

@@ -1,0 +1,69 @@
+(* Source-hygiene checker, run as part of the default [dune runtest] via
+   the root [fmt-check] alias.  ocamlformat is not part of the toolchain,
+   so full style enforcement is out of reach; this enforces the invariants
+   the tree actually maintains and that ocamlformat would otherwise own:
+
+   - no tab characters in OCaml sources or dune files,
+   - no trailing whitespace,
+   - LF line endings (no CR),
+   - every file ends with exactly one newline.
+
+   Usage: fmt_check DIR...  — walks each directory recursively, checks
+   every [.ml]/[.mli]/[.mll]/[.mly] file and every file named [dune],
+   prints one line per violation and exits 1 if any were found. *)
+
+let violations = ref 0
+
+let complain path line what =
+  incr violations;
+  Printf.eprintf "%s:%d: %s\n" path line what
+
+let wanted path =
+  match Filename.basename path with
+  | "dune" -> true
+  | base -> (
+      match Filename.extension base with
+      | ".ml" | ".mli" | ".mll" | ".mly" -> true
+      | _ -> false)
+
+let check_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let body = really_input_string ic len in
+  close_in ic;
+  if len > 0 then begin
+    let line = ref 1 in
+    String.iteri
+      (fun i c ->
+        (match c with
+        | '\t' -> complain path !line "tab character"
+        | '\r' -> complain path !line "CR line ending"
+        | ' ' when i + 1 < len && body.[i + 1] = '\n' ->
+            complain path !line "trailing whitespace"
+        | _ -> ());
+        if c = '\n' then incr line)
+      body;
+    if body.[len - 1] <> '\n' then
+      complain path !line "no newline at end of file"
+    else if len > 1 && body.[len - 2] = '\n' then
+      complain path (!line - 1) "trailing blank line at end of file"
+  end
+
+let rec walk path =
+  if Sys.is_directory path then
+    Array.iter
+      (fun entry ->
+        if entry <> "_build" && entry.[0] <> '.' then
+          walk (Filename.concat path entry))
+      (Sys.readdir path)
+  else if wanted path then check_file path
+
+let () =
+  let roots =
+    match List.tl (Array.to_list Sys.argv) with [] -> [ "." ] | l -> l
+  in
+  List.iter walk roots;
+  if !violations > 0 then begin
+    Printf.eprintf "fmt_check: %d violation(s)\n" !violations;
+    exit 1
+  end

@@ -21,4 +21,5 @@ let () =
       ("pipeline", Test_pipeline.suite);
       ("capture", Test_capture.suite);
       ("models", Test_models.suite);
+      ("telemetry", Test_telemetry.suite);
     ]

@@ -1,0 +1,660 @@
+(* Self-telemetry: span-stack invariants under arbitrary begin/end
+   sequences, exporter well-formedness (Chrome trace JSON, Prometheus
+   text exposition), exact self-time attribution (rows sum to the window),
+   deterministic metric counts across live vs replay, and quarantine-time
+   attribution for a raising tool. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+let qtest = QCheck_alcotest.to_alcotest
+
+module T = Pasta.Telemetry
+
+(* Drive the level through the config knob, not {!T.set_level}: sessions
+   call [refresh_level] on attach, which re-reads the knob and would
+   silently undo a bare set_level. *)
+let with_level name f =
+  Pasta.Config.set "ACCEL_PROF_TELEMETRY" name;
+  T.refresh_level ();
+  T.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Pasta.Config.unset "ACCEL_PROF_TELEMETRY";
+      T.refresh_level ())
+    f
+
+(* ------------------------------------------------------------------ *)
+(* Span-stack discipline (qcheck)                                      *)
+(* ------------------------------------------------------------------ *)
+
+let cats = [| T.Handler; T.Dispatch; T.Ring; T.Devagg |]
+
+type op = Begin of int | End of int
+
+let g_op =
+  QCheck.Gen.(
+    map2
+      (fun b i -> if b then Begin i else End i)
+      bool
+      (int_range 0 (Array.length cats - 1)))
+
+let g_ops = QCheck.Gen.(list_size (int_range 0 200) g_op)
+
+let print_ops ops =
+  String.concat ";"
+    (List.map
+       (function
+         | Begin i -> Printf.sprintf "B%d" i
+         | End i -> Printf.sprintf "E%d" i)
+       ops)
+
+(* Reference model of the stack discipline: a bounded stack of category
+   indices with a skip counter past the capacity and a mismatch counter
+   for unbalanced or mislabeled ends.  Mirrors telemetry.ml exactly. *)
+let model_apply ops =
+  let cap = 64 in
+  let stack = ref [] and depth = ref 0 and skipped = ref 0 in
+  let mismatches = ref 0 in
+  List.iter
+    (function
+      | Begin i ->
+          if !skipped > 0 || !depth >= cap then incr skipped
+          else begin
+            stack := i :: !stack;
+            incr depth
+          end
+      | End i ->
+          if !skipped > 0 then decr skipped
+          else if !depth = 0 then incr mismatches
+          else begin
+            let top = List.hd !stack in
+            stack := List.tl !stack;
+            decr depth;
+            if top <> i then incr mismatches
+          end)
+    ops;
+  (!depth + !skipped, !mismatches)
+
+let prop_span_stack =
+  QCheck.Test.make ~count:300
+    ~name:"span stack: depth and mismatches match the reference model"
+    (QCheck.make ~print:print_ops g_ops)
+    (fun ops ->
+      with_level "full" (fun () ->
+          List.iter
+            (function
+              | Begin i -> T.begin_span cats.(i) "prop"
+              | End i -> T.end_span cats.(i))
+            ops;
+          let depth, mismatches = model_apply ops in
+          T.depth () = depth && T.mismatches () = mismatches))
+
+let prop_balanced_no_mismatch =
+  QCheck.Test.make ~count:200
+    ~name:"well-nested sequences leave an empty stack and no mismatches"
+    QCheck.(make ~print:Print.(list int) Gen.(list_size (int_range 0 40) (int_range 0 3)))
+    (fun is ->
+      with_level "full" (fun () ->
+          (* Open in order, close in reverse: always well-nested. *)
+          List.iter (fun i -> T.begin_span cats.(i) "nest") is;
+          List.iter (fun i -> T.end_span cats.(i)) (List.rev is);
+          T.depth () = 0 && T.mismatches () = 0))
+
+(* ------------------------------------------------------------------ *)
+(* Minimal JSON parser (validation only)                               *)
+(* ------------------------------------------------------------------ *)
+
+exception Bad_json of string
+
+type json =
+  | J_null
+  | J_bool of bool
+  | J_num of float
+  | J_str of string
+  | J_arr of json list
+  | J_obj of (string * json) list
+
+let parse_json (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let fail msg = raise (Bad_json (Printf.sprintf "%s at %d" msg !pos)) in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    if peek () = Some c then advance () else fail (Printf.sprintf "expected %c" c)
+  in
+  let literal lit v =
+    String.iter expect lit;
+    v
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+          advance ();
+          match peek () with
+          | Some (('"' | '\\' | '/') as c) ->
+              Buffer.add_char buf c;
+              advance ();
+              go ()
+          | Some 'n' | Some 't' | Some 'r' | Some 'b' | Some 'f' ->
+              advance ();
+              go ()
+          | Some 'u' ->
+              advance ();
+              for _ = 1 to 4 do
+                match peek () with
+                | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> advance ()
+                | _ -> fail "bad \\u escape"
+              done;
+              go ()
+          | _ -> fail "bad escape")
+      | Some c when Char.code c < 0x20 -> fail "raw control char in string"
+      | Some c ->
+          Buffer.add_char buf c;
+          advance ();
+          go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c -> is_num_char c | None -> false) do
+      advance ()
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "bad number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          J_obj []
+        end
+        else begin
+          let rec members acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                members ((k, v) :: acc)
+            | Some '}' ->
+                advance ();
+                List.rev ((k, v) :: acc)
+            | _ -> fail "expected , or }"
+          in
+          J_obj (members [])
+        end
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          J_arr []
+        end
+        else begin
+          let rec elems acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                elems (v :: acc)
+            | Some ']' ->
+                advance ();
+                List.rev (v :: acc)
+            | _ -> fail "expected , or ]"
+          in
+          J_arr (elems [])
+        end
+    | Some '"' -> J_str (parse_string ())
+    | Some 't' -> literal "true" (J_bool true)
+    | Some 'f' -> literal "false" (J_bool false)
+    | Some 'n' -> literal "null" J_null
+    | Some ('-' | '0' .. '9') -> J_num (parse_number ())
+    | _ -> fail "unexpected character"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* ------------------------------------------------------------------ *)
+(* Workload drivers                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let bert_inference ctx () =
+  let m = Dlfw.Bert.build ~batch:1 ~seq:64 ~layers:2 ~dim:64 ~heads:4 ctx in
+  Dlfw.Model.inference_iter ctx m
+
+(* One live BERT run under fine-grained parallel hotness, optionally
+   recording a trace; telemetry state is NOT reset here so callers
+   control the window. *)
+let live_run ?capture ~domains () =
+  Pasta.Config.set "ACCEL_PROF_DOMAINS" (string_of_int domains);
+  let device = Gpusim.Device.create Gpusim.Arch.a100 in
+  let ctx = Dlfw.Ctx.create device in
+  let hot = Pasta_tools.Hotness.create () in
+  let (), result =
+    Pasta.Session.run ~sample_rate:256 ?capture
+      ~tool:(Pasta_tools.Hotness.tool_fine hot)
+      device (bert_inference ctx)
+  in
+  Dlfw.Ctx.destroy ctx;
+  Pasta.Config.unset "ACCEL_PROF_DOMAINS";
+  result
+
+let temp_file ext = Filename.temp_file "pasta_telemetry" ext
+
+(* ------------------------------------------------------------------ *)
+(* Attribution                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_rows_sum_to_total () =
+  with_level "basic" (fun () ->
+      let (_ : Pasta.Session.result) = live_run ~domains:1 () in
+      let a = T.attribution () in
+      let sum =
+        List.fold_left (fun acc r -> acc +. r.T.row_self_us) 0.0 a.T.at_rows
+      in
+      check_bool "window is non-trivial" true (a.T.at_total_us > 0.0);
+      let err = abs_float (sum -. a.T.at_total_us) /. a.T.at_total_us in
+      if err > 0.01 then
+        Alcotest.failf "rows sum %.1fus vs total %.1fus (%.3f%% off)" sum
+          a.T.at_total_us (100.0 *. err);
+      check_bool "has a handler row" true
+        (List.exists (fun r -> r.T.row_label = "handler (vendor adapt)") a.T.at_rows);
+      check_bool "has a processor row" true
+        (List.exists
+           (fun r -> r.T.row_label = "processor (dispatch)" && r.T.row_count > 0)
+           a.T.at_rows);
+      check_bool "has the tool row" true
+        (List.exists
+           (fun r -> r.T.row_label = "tool:hotness_fine" && r.T.row_count > 0)
+           a.T.at_rows);
+      check_int "stack drained" 0 (T.depth ());
+      check_int "no mismatches" 0 (T.mismatches ()))
+
+let test_off_is_inert () =
+  with_level "off" (fun () ->
+      let (_ : Pasta.Session.result) = live_run ~domains:1 () in
+      let a = T.attribution () in
+      List.iter
+        (fun r ->
+          if r.T.row_label <> "simulate + workload" then
+            Alcotest.failf "level off attributed %s" r.T.row_label)
+        a.T.at_rows;
+      check_int "no spans recorded" 0 (T.spans_recorded ()))
+
+(* A tool whose kernel-begin callback burns visible wall time and then
+   raises: the guard must still charge that time to the tool, and the
+   span stack must stay balanced through the exception path. *)
+let test_quarantined_tool_attributed () =
+  with_level "basic" (fun () ->
+      Pasta.Config.set "ACCEL_PROF_GUARD_THRESHOLD" "2";
+      let spin_us = 200.0 in
+      let spin () =
+        let t0 = Unix.gettimeofday () in
+        while (Unix.gettimeofday () -. t0) *. 1e6 < spin_us do
+          ()
+        done
+      in
+      let crashy =
+        {
+          (Pasta.Tool.default "crashy") with
+          Pasta.Tool.on_kernel_begin =
+            (fun _ ->
+              spin ();
+              failwith "boom");
+        }
+      in
+      let proc = Pasta.Processor.create ~device:0 () in
+      Pasta.Processor.set_tool proc crashy;
+      let info grid_id =
+        {
+          Pasta.Event.device_id = 0;
+          grid_id;
+          stream = 0;
+          name = "k";
+          grid = Gpusim.Dim3.make 1;
+          block = Gpusim.Dim3.make 32;
+          shared_bytes = 0;
+          arg_ptrs = [];
+          py_stack = [];
+          native_stack = [];
+        }
+      in
+      for g = 1 to 4 do
+        Pasta.Processor.submit proc
+          ~time_us:(float_of_int g)
+          (Pasta.Event.Kernel_launch { info = info g; phase = `Begin })
+      done;
+      let st = Pasta.Processor.stats proc in
+      check_bool "tool failed at least twice" true
+        (st.Pasta.Processor.tool_failures >= 2);
+      check_string "tool is quarantined" "quarantined"
+        (match Pasta.Processor.guard proc with
+        | Some g -> Pasta.Guard.state_name (Pasta.Guard.state g)
+        | None -> "<none>");
+      let a = T.attribution () in
+      let tool_row =
+        List.find_opt (fun r -> r.T.row_label = "tool:crashy") a.T.at_rows
+      in
+      (match tool_row with
+      | None -> Alcotest.fail "no tool:crashy attribution row"
+      | Some r ->
+          check_bool "raising callbacks charged to the tool" true
+            (r.T.row_self_us >= 2.0 *. spin_us *. 0.5);
+          check_bool "calls counted" true (r.T.row_count >= 2));
+      check_int "stack balanced through exceptions" 0 (T.depth ());
+      check_int "no span mismatches" 0 (T.mismatches ());
+      Pasta.Config.unset "ACCEL_PROF_GUARD_THRESHOLD")
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace export                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_chrome_trace_parses () =
+  with_level "full" (fun () ->
+      let (_ : Pasta.Session.result) = live_run ~domains:1 () in
+      check_bool "spans were recorded" true (T.spans_recorded () > 0);
+      let path = temp_file ".json" in
+      T.write_chrome_trace path;
+      let j = parse_json (read_file path) in
+      Sys.remove path;
+      match j with
+      | J_obj fields -> (
+          match List.assoc_opt "traceEvents" fields with
+          | Some (J_arr evs) ->
+              check_bool "trace has events" true (List.length evs > 0);
+              let phases = Hashtbl.create 4 in
+              List.iter
+                (fun ev ->
+                  match ev with
+                  | J_obj f ->
+                      (match List.assoc_opt "ph" f with
+                      | Some (J_str ph) -> Hashtbl.replace phases ph ()
+                      | _ -> Alcotest.fail "event without ph");
+                      (match List.assoc_opt "name" f with
+                      | Some (J_str _) -> ()
+                      | _ -> Alcotest.fail "event without name");
+                      (* Duration events must carry both clock domains. *)
+                      if List.assoc_opt "ph" f = Some (J_str "X") then begin
+                        (match List.assoc_opt "dur" f with
+                        | Some (J_num d) ->
+                            check_bool "dur >= 0" true (d >= 0.0)
+                        | _ -> Alcotest.fail "X event without dur");
+                        match List.assoc_opt "args" f with
+                        | Some (J_obj args) ->
+                            check_bool "sim_t0_us arg" true
+                              (List.mem_assoc "sim_t0_us" args);
+                            check_bool "sim_t1_us arg" true
+                              (List.mem_assoc "sim_t1_us" args)
+                        | _ -> Alcotest.fail "X event without args"
+                      end
+                  | _ -> Alcotest.fail "non-object event")
+                evs;
+              check_bool "has X span events" true (Hashtbl.mem phases "X");
+              check_bool "has M metadata events" true (Hashtbl.mem phases "M")
+          | _ -> Alcotest.fail "no traceEvents array")
+      | _ -> Alcotest.fail "top level is not an object")
+
+let test_merged_trace_parses () =
+  with_level "full" (fun () ->
+      Pasta.Config.set "ACCEL_PROF_DOMAINS" "1";
+      let device = Gpusim.Device.create Gpusim.Arch.a100 in
+      let ctx = Dlfw.Ctx.create device in
+      let tx = Pasta.Trace_export.create () in
+      let (), (_ : Pasta.Session.result) =
+        Pasta.Session.run
+          ~tool:(Pasta.Trace_export.tool tx)
+          device
+          (fun () ->
+            let m = Dlfw.Bert.build ~batch:1 ~seq:64 ~layers:2 ~dim:64 ~heads:4 ctx in
+            Dlfw.Model.inference_iter ctx m)
+      in
+      Dlfw.Ctx.destroy ctx;
+      Pasta.Config.unset "ACCEL_PROF_DOMAINS";
+      let merged = Pasta.Trace_export.to_json ~extra:(T.chrome_events ()) tx in
+      match parse_json merged with
+      | J_obj fields -> (
+          match List.assoc_opt "traceEvents" fields with
+          | Some (J_arr evs) ->
+              (* Both process groups must be present: device pids from the
+                 workload exporter, pid 1000 from telemetry. *)
+              let pids = Hashtbl.create 4 in
+              List.iter
+                (function
+                  | J_obj f -> (
+                      match List.assoc_opt "pid" f with
+                      | Some (J_num p) -> Hashtbl.replace pids (int_of_float p) ()
+                      | _ -> ())
+                  | _ -> ())
+                evs;
+              check_bool "telemetry pid present" true (Hashtbl.mem pids 1000);
+              check_bool "a workload pid present" true
+                (Hashtbl.fold (fun p _ acc -> acc || p <> 1000) pids false)
+          | _ -> Alcotest.fail "no traceEvents array")
+      | _ -> Alcotest.fail "merged trace is not an object")
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus exposition grammar                                       *)
+(* ------------------------------------------------------------------ *)
+
+let is_name_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = ':'
+
+let is_name_char c = is_name_start c || (c >= '0' && c <= '9')
+
+let check_metric_name line what s =
+  if s = "" || not (is_name_start s.[0]) || not (String.for_all is_name_char s)
+  then Alcotest.failf "bad %s %S in line %S" what s line
+
+(* One sample line: name{label="value",...} number *)
+let check_sample_line line =
+  let n = String.length line in
+  let i = ref 0 in
+  while !i < n && is_name_char line.[!i] do
+    incr i
+  done;
+  check_metric_name line "metric name" (String.sub line 0 !i);
+  if !i < n && line.[!i] = '{' then begin
+    incr i;
+    let rec labels () =
+      let ls = !i in
+      while !i < n && is_name_char line.[!i] do
+        incr i
+      done;
+      check_metric_name line "label name" (String.sub line ls (!i - ls));
+      if !i >= n || line.[!i] <> '=' then
+        Alcotest.failf "missing = in labels of %S" line;
+      incr i;
+      if !i >= n || line.[!i] <> '"' then
+        Alcotest.failf "unquoted label value in %S" line;
+      incr i;
+      let fin = ref false in
+      while not !fin do
+        if !i >= n then Alcotest.failf "unterminated label value in %S" line;
+        (match line.[!i] with
+        | '\\' -> incr i (* skip the escaped char below *)
+        | '"' -> fin := true
+        | _ -> ());
+        incr i
+      done;
+      if !i < n && line.[!i] = ',' then begin
+        incr i;
+        labels ()
+      end
+      else if !i < n && line.[!i] = '}' then incr i
+      else Alcotest.failf "expected , or } in %S" line
+    in
+    labels ()
+  end;
+  if !i >= n || line.[!i] <> ' ' then
+    Alcotest.failf "expected space before value in %S" line;
+  let v = String.sub line (!i + 1) (n - !i - 1) in
+  match float_of_string_opt v with
+  | Some _ -> ()
+  | None -> Alcotest.failf "non-numeric sample value %S in %S" v line
+
+let base_name s =
+  let strip suf s =
+    if String.length s > String.length suf
+       && String.sub s (String.length s - String.length suf) (String.length suf)
+          = suf
+    then String.sub s 0 (String.length s - String.length suf)
+    else s
+  in
+  strip "_sum" (strip "_count" s)
+
+let test_prometheus_grammar () =
+  with_level "full" (fun () ->
+      let result = live_run ~domains:2 () in
+      let body = T.prometheus ~extra:[ result.Pasta.Session.metrics ] () in
+      check_bool "exposition is non-empty" true (String.length body > 0);
+      let typed = Hashtbl.create 32 in
+      let lines = String.split_on_char '\n' body in
+      List.iter
+        (fun line ->
+          if line = "" then ()
+          else if String.length line > 7 && String.sub line 0 7 = "# HELP " then ()
+          else if String.length line > 7 && String.sub line 0 7 = "# TYPE " then begin
+            let rest = String.sub line 7 (String.length line - 7) in
+            match String.split_on_char ' ' rest with
+            | [ name; kind ] ->
+                check_metric_name line "typed name" name;
+                if not (List.mem kind [ "counter"; "gauge"; "summary" ]) then
+                  Alcotest.failf "unknown TYPE %S" kind;
+                if Hashtbl.mem typed name then
+                  Alcotest.failf "duplicate TYPE for %s" name;
+                Hashtbl.add typed name ()
+            | _ -> Alcotest.failf "malformed TYPE line %S" line
+          end
+          else if String.length line > 0 && line.[0] = '#' then
+            Alcotest.failf "unknown comment line %S" line
+          else begin
+            check_sample_line line;
+            (* every sample must appear under a preceding TYPE block *)
+            let name =
+              let i = ref 0 in
+              while
+                !i < String.length line
+                && is_name_char line.[!i]
+              do
+                incr i
+              done;
+              String.sub line 0 !i
+            in
+            if not (Hashtbl.mem typed name || Hashtbl.mem typed (base_name name))
+            then Alcotest.failf "sample %s before its TYPE" name
+          end)
+        lines;
+      (* the pipeline counters made it into the merged exposition *)
+      check_bool "pipeline counter exported" true
+        (Hashtbl.mem typed "pasta_events_seen");
+      check_bool "telemetry metric exported" true
+        (Hashtbl.mem typed "pasta_tool_callback_us"))
+
+(* ------------------------------------------------------------------ *)
+(* Live vs replay: metric counts are deterministic                     *)
+(* ------------------------------------------------------------------ *)
+
+(* The deterministic subset: counters driven purely by the op stream.
+   Capture/replay accounting legitimately differs between the two runs
+   and is excluded. *)
+let curated =
+  [
+    "pasta_events_seen";
+    "pasta_events_dispatched";
+    "pasta_events_suppressed";
+    "pasta_kernels_seen";
+    "pasta_summaries_flushed";
+    "pasta_tool_failures";
+    "pasta_records_dropped";
+    "pasta_buffer_stalls";
+    "pasta_accesses_filtered";
+    "pasta_batches_delivered";
+  ]
+
+let snapshot reg =
+  List.map
+    (fun name ->
+      (name, Option.value ~default:0 (Pasta_util.Metric.find_counter reg name)))
+    curated
+
+let test_replay_metric_counts domains () =
+  with_level "basic" (fun () ->
+      let path = temp_file ".ptrace" in
+      let result = live_run ~capture:path ~domains () in
+      let live = snapshot result.Pasta.Session.metrics in
+      let hot = Pasta_tools.Hotness.create () in
+      let o =
+        Pasta.Replay.run ~mode:Pasta.Ptrace.Strict
+          ~tool:(Pasta_tools.Hotness.tool_fine hot)
+          path
+      in
+      Sys.remove path;
+      let replayed = snapshot (Pasta.Processor.metrics o.Pasta.Replay.processor) in
+      List.iter2
+        (fun (name, lv) (_, rv) ->
+          check_int (Printf.sprintf "%s live = replay (%d domains)" name domains)
+            lv rv)
+        live replayed;
+      check_bool "events actually flowed" true
+        (List.assoc "pasta_events_seen" live > 0))
+
+(* ------------------------------------------------------------------ *)
+
+let suite =
+  [
+    Alcotest.test_case "attribution rows sum to the window" `Quick
+      test_rows_sum_to_total;
+    Alcotest.test_case "level off attributes nothing" `Quick test_off_is_inert;
+    Alcotest.test_case "quarantined tool time is attributed" `Quick
+      test_quarantined_tool_attributed;
+    qtest prop_span_stack;
+    qtest prop_balanced_no_mismatch;
+    Alcotest.test_case "chrome trace parses as JSON" `Quick
+      test_chrome_trace_parses;
+    Alcotest.test_case "merged workload+telemetry trace parses" `Quick
+      test_merged_trace_parses;
+    Alcotest.test_case "prometheus exposition grammar" `Quick
+      test_prometheus_grammar;
+    Alcotest.test_case "live vs replay metric counts, 1 domain" `Quick
+      (test_replay_metric_counts 1);
+    Alcotest.test_case "live vs replay metric counts, 4 domains" `Quick
+      (test_replay_metric_counts 4);
+  ]
