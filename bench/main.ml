@@ -583,7 +583,7 @@ let ablation () =
         let tool =
           { tool with Pasta.Tool.on_access = (fun i a -> incr seen; tool.Pasta.Tool.on_access i a) }
         in
-        let session = Pasta.Session.attach ~sample_rate:cap ~tool device in
+        let session = Pasta.Session.attach ~sample_cap:cap ~tool device in
         ignore (Runner.run_default ctx "BERT" ~mode:Runner.Inference);
         let _ = Pasta.Session.detach session in
         let r = MC.result mc in
@@ -754,7 +754,7 @@ let pipeline_run ~sample_cap ~iters kind =
         (tool, fun () -> Format.asprintf "%t" (fun ppf -> Pasta_tools.Hotness.report hot ppf))
   in
   let t0 = Unix.gettimeofday () in
-  let session = Pasta.Session.attach ~sample_rate:sample_cap ~tool device in
+  let session = Pasta.Session.attach ~sample_cap:sample_cap ~tool device in
   let model = Runner.build ctx "BERT" in
   Runner.run ctx model ~mode:Runner.Inference ~iters;
   let (_ : Pasta.Session.result) = Pasta.Session.detach session in
@@ -850,7 +850,7 @@ let replay_live ~sample_cap ~iters ~capture =
   let hot = Pasta_tools.Hotness.create () in
   let t0 = Unix.gettimeofday () in
   let session =
-    Pasta.Session.attach ~sample_rate:sample_cap ?capture
+    Pasta.Session.attach ~sample_cap:sample_cap ?capture
       ~tool:(Pasta_tools.Hotness.tool_fine hot)
       device
   in
@@ -1043,6 +1043,211 @@ let telemetry () =
     exit 1
   end
 
+(* ------------------------------------------------------------------ *)
+
+(* Sampling: overhead vs estimate-error tradeoff at fixed rates and
+   under the adaptive governor.  Fine-grained hotness over BERT
+   inference; per-block heat comes straight from the weighted Devagg
+   summaries, so sampled runs report inverse-probability estimates.
+   Overhead is the telemetry attribution fraction — the same signal the
+   governor steers on — which keeps the budget gate meaningful even
+   though the simulated workload is wall-clock cheap. *)
+
+type sampling_run = {
+  s_wall_s : float;
+  s_frac : float;  (* framework self-time fraction over the run's window *)
+  s_records : int;  (* records that actually crossed the pipeline *)
+  s_heat : (int, float) Hashtbl.t;  (* absolute 2 MiB block -> weighted heat *)
+  s_rate : float;  (* rate in force when the session detached *)
+  s_snapshot : Pasta.Sampler.snapshot option;
+}
+
+let sampling_run ~sample_cap ~iters spec =
+  let device = Gpusim.Device.create Gpusim.Arch.a100 in
+  let ctx = Dlfw.Ctx.create device in
+  let hot = Pasta_tools.Hotness.create () in
+  let heat = Hashtbl.create 512 in
+  let records = ref 0 in
+  let base = Pasta_tools.Hotness.tool_fine hot in
+  let tool =
+    {
+      base with
+      Pasta.Tool.on_device_summary =
+        (fun info s ->
+          records := !records + s.Pasta.Devagg.sampled_records;
+          List.iter
+            (fun (b, c) ->
+              let prev = Option.value ~default:0.0 (Hashtbl.find_opt heat b) in
+              Hashtbl.replace heat b (prev +. float_of_int c))
+            s.Pasta.Devagg.blocks;
+          base.Pasta.Tool.on_device_summary info s);
+    }
+  in
+  let total0, over0 = Pasta.Telemetry.overhead_snapshot () in
+  let t0 = Unix.gettimeofday () in
+  let session =
+    match spec with
+    | `Exact -> Pasta.Session.attach ~sample_cap ~tool device
+    | `Fixed r -> Pasta.Session.attach ~sample_cap ~sample_rate:r ~tool device
+    | `Auto budget -> Pasta.Session.attach ~sample_cap ~overhead_budget:budget ~tool device
+  in
+  let model = Runner.build ctx "BERT" in
+  Runner.run ctx model ~mode:Runner.Inference ~iters;
+  let result = Pasta.Session.detach session in
+  let wall = Unix.gettimeofday () -. t0 in
+  let total1, over1 = Pasta.Telemetry.overhead_snapshot () in
+  Dlfw.Ctx.destroy ctx;
+  let dt = total1 -. total0 in
+  let snap = result.Pasta.Session.health.Pasta.Session.sampling in
+  {
+    s_wall_s = wall;
+    s_frac = (if dt > 0.0 then (over1 -. over0) /. dt else 0.0);
+    s_records = !records;
+    s_heat = heat;
+    s_rate = (match snap with Some sn -> sn.Pasta.Sampler.sn_rate | None -> 1.0);
+    s_snapshot = snap;
+  }
+
+let top_blocks ?(n = 10) heat =
+  Hashtbl.fold (fun b c acc -> (b, c) :: acc) heat []
+  |> List.sort (fun (b1, c1) (b2, c2) ->
+         match compare c2 c1 with 0 -> compare b1 b2 | c -> c)
+  |> List.filteri (fun i _ -> i < n)
+  |> List.map fst
+
+(* Does [heat]'s top-10 match the exact run's top-10 ranking, up to ties
+   in the exact data?  Blocks whose true heat is within 1% of the exact
+   rank-10 value are interchangeable — which of them a sampled run ranks
+   10th vs 11th is noise, not error.  The ranking matches when no block
+   strictly hotter than that tie band is missing from the sampled top-10
+   and no block outside the band intrudes into it. *)
+let top10_matches ~exact heat =
+  let exact_heat b = Option.value ~default:0.0 (Hashtbl.find_opt exact b) in
+  match List.rev (top_blocks exact) with
+  | [] -> Hashtbl.length heat = 0
+  | b10 :: _ ->
+      let h10 = exact_heat b10 in
+      let sampled = top_blocks heat in
+      let no_intruder = List.for_all (fun b -> exact_heat b >= 0.99 *. h10) sampled in
+      let none_missed =
+        Hashtbl.fold
+          (fun b c acc -> acc && (c <= 1.01 *. h10 || List.mem b sampled))
+          exact true
+      in
+      no_intruder && none_missed
+
+(* Relative L1 error of the weighted block estimates against the exact
+   (rate 1.0) run, over the union of observed blocks. *)
+let est_error ~exact heat =
+  let union = Hashtbl.copy exact in
+  Hashtbl.iter
+    (fun b _ -> if not (Hashtbl.mem union b) then Hashtbl.replace union b 0.0)
+    heat;
+  let num = ref 0.0 and den = ref 0.0 in
+  Hashtbl.iter
+    (fun b ex ->
+      let es = Option.value ~default:0.0 (Hashtbl.find_opt heat b) in
+      num := !num +. Float.abs (es -. ex);
+      den := !den +. Float.abs ex)
+    union;
+  if !den > 0.0 then !num /. !den else 0.0
+
+let sampling () =
+  section
+    "Sampling: overhead vs estimate error at rates 1.0/0.5/0.1 and under the \
+     governor (BERT inference, fine hotness)";
+  let sample_cap = 4096 and iters = 1 and reps = 3 in
+  let budget = 0.35 in
+  let measure spec =
+    let runs = List.init reps (fun _ -> sampling_run ~sample_cap ~iters spec) in
+    let by_frac = List.sort (fun a b -> compare a.s_frac b.s_frac) runs in
+    let median_frac = (List.nth by_frac (reps / 2)).s_frac in
+    let best =
+      List.fold_left
+        (fun acc r -> if r.s_wall_s < acc.s_wall_s then r else acc)
+        (List.hd runs) (List.tl runs)
+    in
+    (best, median_frac)
+  in
+  let configs =
+    [
+      ("exact (rate 1.0)", `Exact);
+      ("fixed 0.5", `Fixed 0.5);
+      ("fixed 0.1", `Fixed 0.1);
+      (Printf.sprintf "auto (budget %.0f%%)" (100.0 *. budget), `Auto budget);
+    ]
+  in
+  let results = List.map (fun (name, spec) -> (name, measure spec)) configs in
+  let exact, _ = snd (List.hd results) in
+  let exact_top = top_blocks exact.s_heat in
+  let overlap heat =
+    List.length (List.filter (fun b -> List.mem b (top_blocks heat)) exact_top)
+  in
+  Pasta_util.Texttab.render ppf
+    ~header:
+      [ "configuration"; "rate"; "records"; "wall (ms)"; "self-time"; "est err"; "top-10" ]
+    ~align:
+      [ Pasta_util.Texttab.Left; Right; Right; Right; Right; Right; Right ]
+    (List.map
+       (fun (name, (r, frac)) ->
+         [
+           name;
+           Printf.sprintf "%.2f" r.s_rate;
+           string_of_int r.s_records;
+           Printf.sprintf "%.1f" (1000.0 *. r.s_wall_s);
+           Printf.sprintf "%.1f%%" (100.0 *. frac);
+           Printf.sprintf "%.3f" (est_error ~exact:exact.s_heat r.s_heat);
+           Printf.sprintf "%d/10" (overlap r.s_heat);
+         ])
+       results);
+  let auto, auto_frac =
+    snd (List.find (fun (name, _) -> String.length name >= 4 && String.sub name 0 4 = "auto") results)
+  in
+  (match auto.s_snapshot with
+  | Some sn -> Format.fprintf ppf "governor: %a@." Pasta.Sampler.pp_snapshot sn
+  | None -> ());
+  let auto_within = auto_frac <= budget +. 0.01 in
+  let top_match = top10_matches ~exact:exact.s_heat auto.s_heat in
+  let b = Buffer.create 1024 in
+  Printf.bprintf b "{\n";
+  Printf.bprintf b "  \"experiment\": \"sampling\",\n";
+  Printf.bprintf b "  \"workload\": \"BERT-inference-fine-hotness\",\n";
+  Printf.bprintf b "  \"sample_cap\": %d,\n  \"iters\": %d,\n  \"reps\": %d,\n"
+    sample_cap iters reps;
+  Printf.bprintf b "  \"budget\": %.2f,\n" budget;
+  Printf.bprintf b "  \"runs\": [\n";
+  List.iteri
+    (fun i (name, (r, frac)) ->
+      Printf.bprintf b
+        "    { \"config\": \"%s\", \"rate\": %.3f, \"records\": %d, \"wall_s\": \
+         %.6f, \"overhead_frac\": %.4f, \"est_error\": %.4f, \"top10_overlap\": \
+         %d, \"top10_match\": %b }%s\n"
+        name r.s_rate r.s_records r.s_wall_s frac
+        (est_error ~exact:exact.s_heat r.s_heat)
+        (overlap r.s_heat)
+        (top10_matches ~exact:exact.s_heat r.s_heat)
+        (if i = List.length results - 1 then "" else ","))
+    results;
+  Printf.bprintf b "  ],\n";
+  Printf.bprintf b "  \"auto_overhead_frac\": %.4f,\n" auto_frac;
+  Printf.bprintf b "  \"auto_within_budget\": %b,\n" auto_within;
+  Printf.bprintf b "  \"auto_top10_matches_exact\": %b\n}\n" top_match;
+  let oc = open_out "BENCH_sampling.json" in
+  output_string oc (Buffer.contents b);
+  close_out oc;
+  Format.fprintf ppf "wrote BENCH_sampling.json@.";
+  if not auto_within then begin
+    Format.fprintf ppf
+      "sampling: FAIL - governed overhead %.1f%% exceeds the %.0f%% budget (+1pp)@."
+      (100.0 *. auto_frac) (100.0 *. budget);
+    exit 1
+  end;
+  if not top_match then begin
+    Format.fprintf ppf
+      "sampling: FAIL - governed top-10 hot blocks diverge from the exact run@.";
+    exit 1
+  end
+
 (* Tiny divergence gate for `dune build @perf-smoke` (part of runtest):
    the batched path must see exactly the records the per-record path
    sees, and its output must not depend on the domain count. *)
@@ -1088,6 +1293,7 @@ let experiments =
     ("pipeline", pipeline);
     ("replay", replay);
     ("telemetry", telemetry);
+    ("sampling", sampling);
   ]
 
 (* Run one experiment, optionally capturing its output into

@@ -59,13 +59,57 @@ let iters_arg =
     & opt (some int) None
     & info [ "iters" ] ~docv:"N" ~doc:"Iterations (default: the per-model evaluation count).")
 
-let sample_arg =
+let sample_cap_arg =
   Arg.(
     value
     & opt (some int) None
-    & info [ "sample-rate" ] ~docv:"N"
+    & info [ "sample-cap" ] ~docv:"N"
         ~doc:"Max materialized trace records per kernel region \
               (ACCEL_PROF_ENV_SAMPLE_RATE).")
+
+let rate_conv =
+  Arg.conv
+    ( (fun s ->
+        match float_of_string_opt s with
+        | Some r when r > 0.0 && r <= 1.0 -> Ok r
+        | _ -> Error (`Msg (Printf.sprintf "bad sample rate %S (must be in (0, 1])" s))),
+      fun ppf r -> Format.fprintf ppf "%g" r )
+
+let sample_rate_arg =
+  Arg.(
+    value
+    & opt (some rate_conv) None
+    & info [ "sample-rate" ] ~docv:"RATE"
+        ~doc:
+          "Keep this fraction of fine-grained records, in (0, 1] \
+           (ACCEL_PROF_SAMPLE_RATE). Surviving records carry \
+           inverse-probability weights, so weighted statistics stay \
+           unbiased; reports annotate estimates with their sampling error.")
+
+let budget_conv =
+  Arg.conv
+    ( (fun s ->
+        match Pasta.Config.parse_budget s with
+        | Some f -> Ok f
+        | None ->
+            Error
+              (`Msg
+                (Printf.sprintf "bad overhead budget %S (use \"5%%\" or \"0.05\")" s))),
+      fun ppf f -> Format.fprintf ppf "%g" f )
+
+let budget_arg =
+  Arg.(
+    value
+    & opt (some budget_conv) None
+    & info [ "overhead-budget" ] ~docv:"PCT"
+        ~doc:
+          "Adaptive sampling: keep analysis overhead under this fraction of \
+           workload time, e.g. $(b,5%) or $(b,0.05) \
+           (ACCEL_PROF_OVERHEAD_BUDGET). A closed-loop governor lowers the \
+           record sampling rate when the measured overhead exceeds the \
+           budget and recovers it when there is headroom; combined with \
+           $(b,--sample-rate), that rate is the fallback when telemetry is \
+           off.")
 
 let domains_arg =
   Arg.(
@@ -183,9 +227,10 @@ let model_pos p =
    [capture] streams the main session's op stream to a .ptrace file;
    [default_tool] lets `record` fall back to the passthrough capture tool
    when no analysis is selected. *)
-let run_workload ?capture ?default_tool tool_name gpu mode iters sample_rate
-    domains start_grid end_grid verbose health inject_faults fault_seed trace
-    telemetry trace_out metrics_out overhead model =
+let run_workload ?capture ?default_tool tool_name gpu mode iters sample_cap
+    sample_rate overhead_budget domains start_grid end_grid verbose health
+    inject_faults fault_seed trace telemetry trace_out metrics_out overhead
+    model =
   (* Registry key for the trace header, so replay can re-resolve the same
      tool (display names are not unique across tool variants). *)
   let capture_meta =
@@ -254,8 +299,8 @@ let run_workload ?capture ?default_tool tool_name gpu mode iters sample_rate
               trace
           in
           let (), result =
-            Pasta.Session.run ~range ?sample_rate ?capture ?capture_meta ~tool
-              device (fun () ->
+            Pasta.Session.run ~range ?sample_cap ?sample_rate ?overhead_budget
+              ?capture ?capture_meta ~tool device (fun () ->
                 let model = Dlfw.Runner.build ctx abbr in
                 Dlfw.Runner.run ctx model ~mode ~iters)
           in
@@ -286,9 +331,14 @@ let run_workload ?capture ?default_tool tool_name gpu mode iters sample_rate
               Vendor.Phases.pp result.Pasta.Session.phases;
           (* Attribution is snapshotted before the exporters run, so the
              report reflects the profiled run, not the export I/O. *)
-          if overhead then
+          if overhead then begin
             Format.printf "[accelprof] %a@." Pasta.Telemetry.pp_attribution
               (Pasta.Telemetry.attribution ());
+            match result.Pasta.Session.health.Pasta.Session.sampling with
+            | Some sn ->
+                Format.printf "[accelprof] %a@." Pasta.Sampler.pp_snapshot sn
+            | None -> ()
+          end;
           (match trace_out with
           | None -> ()
           | Some path ->
@@ -317,18 +367,19 @@ let run_workload ?capture ?default_tool tool_name gpu mode iters sample_rate
           Dlfw.Ctx.destroy ctx;
           `Ok ())
 
-let run_profile tool_name gpu mode iters sample_rate domains start_grid end_grid
-    verbose health inject_faults fault_seed trace telemetry trace_out
-    metrics_out overhead model =
-  run_workload tool_name gpu mode iters sample_rate domains start_grid end_grid
-    verbose health inject_faults fault_seed trace telemetry trace_out
-    metrics_out overhead model
+let run_profile tool_name gpu mode iters sample_cap sample_rate overhead_budget
+    domains start_grid end_grid verbose health inject_faults fault_seed trace
+    telemetry trace_out metrics_out overhead model =
+  run_workload tool_name gpu mode iters sample_cap sample_rate overhead_budget
+    domains start_grid end_grid verbose health inject_faults fault_seed trace
+    telemetry trace_out metrics_out overhead model
 
 let profile_term =
   Term.(
     ret
-      (const run_profile $ tool_arg $ gpu_arg $ mode_arg $ iters_arg $ sample_arg
-     $ domains_arg $ start_grid_arg $ end_grid_arg $ verbose_arg $ health_arg
+      (const run_profile $ tool_arg $ gpu_arg $ mode_arg $ iters_arg
+     $ sample_cap_arg $ sample_rate_arg $ budget_arg $ domains_arg
+     $ start_grid_arg $ end_grid_arg $ verbose_arg $ health_arg
      $ inject_faults_arg $ fault_seed_arg $ trace_arg $ telemetry_arg
      $ trace_out_arg $ metrics_out_arg $ overhead_arg $ model_pos 0))
 
@@ -340,23 +391,24 @@ let out_pos =
     & pos 0 (some string) None
     & info [] ~docv:"OUT.ptrace" ~doc:"Trace file to write.")
 
-let run_record out tool_name gpu mode iters sample_rate domains start_grid
-    end_grid verbose health inject_faults fault_seed telemetry trace_out
-    metrics_out overhead model =
+let run_record out tool_name gpu mode iters sample_cap sample_rate
+    overhead_budget domains start_grid end_grid verbose health inject_faults
+    fault_seed telemetry trace_out metrics_out overhead model =
   run_workload ~capture:out
     ~default_tool:(Pasta.Capture.passthrough ())
-    tool_name gpu mode iters sample_rate domains start_grid end_grid verbose
-    health inject_faults fault_seed None telemetry trace_out metrics_out
-    overhead model
+    tool_name gpu mode iters sample_cap sample_rate overhead_budget domains
+    start_grid end_grid verbose health inject_faults fault_seed None telemetry
+    trace_out metrics_out overhead model
 
 let record_cmd =
   let term =
     Term.(
       ret
         (const run_record $ out_pos $ tool_arg $ gpu_arg $ mode_arg $ iters_arg
-       $ sample_arg $ domains_arg $ start_grid_arg $ end_grid_arg $ verbose_arg
-       $ health_arg $ inject_faults_arg $ fault_seed_arg $ telemetry_arg
-       $ trace_out_arg $ metrics_out_arg $ overhead_arg $ model_pos 1))
+       $ sample_cap_arg $ sample_rate_arg $ budget_arg $ domains_arg
+       $ start_grid_arg $ end_grid_arg $ verbose_arg $ health_arg
+       $ inject_faults_arg $ fault_seed_arg $ telemetry_arg $ trace_out_arg
+       $ metrics_out_arg $ overhead_arg $ model_pos 1))
   in
   Cmd.v
     (Cmd.info "record"

@@ -49,6 +49,7 @@ type t = {
   mutable instrument : instrument option;
   mutable grid_counter : int;
   mutable sample_cap : int;
+  mutable sample_rate : float;  (* fraction of materialized records kept *)
   mutable faults : Faults.t option;
   mutable pool : Pasta_util.Domain_pool.t option;
   stream_busy : (int, float) Hashtbl.t; (* stream -> absolute completion us *)
@@ -69,6 +70,7 @@ let create ?(id = 0) ?uvm_capacity ?(seed = 0x9A57AL) arch =
     instrument = None;
     grid_counter = 0;
     sample_cap = 128;
+    sample_rate = 1.0;
     faults = None;
     pool = None;
     stream_busy = Hashtbl.create 4;
@@ -87,6 +89,19 @@ let set_sample_cap t n =
   t.sample_cap <- n
 
 let sample_cap t = t.sample_cap
+
+let set_sample_rate t r =
+  if not (Float.is_finite r) || r <= 0.0 then
+    invalid_arg "Device.set_sample_rate: rate must be positive and finite";
+  t.sample_rate <- Float.min r 1.0
+
+let sample_rate t = t.sample_rate
+
+(* Salt appended to the per-chunk key so thinning decisions come from a
+   stream disjoint from the fill stream: at rate 1.0 no thinning draw is
+   ever made and the fill output is byte-identical to the unsampled
+   pipeline. *)
+let sampling_salt = 0x5A3D
 
 let add_probe t p = t.probes <- t.probes @ [ p ]
 let remove_probe t name =
@@ -232,6 +247,7 @@ let launch t ?(stream = 0) kernel =
                 fun b -> Faults.corrupt_batch ~rates ~seed:fseed ~grid_id:info.grid_id b
             | None -> fun _ -> 0
           in
+          let rate = t.sample_rate in
           let gen idx =
             let spec = specs.(idx) in
             let rng =
@@ -239,6 +255,20 @@ let launch t ?(stream = 0) kernel =
                 [| info.grid_id; spec.Warp.cs_region_idx; spec.Warp.cs_chunk |]
             in
             let b = Warp.fill_chunk ~rng ~warp_size:t.arch.Arch.warp_size spec in
+            let b =
+              if rate >= 1.0 then b
+              else
+                let srng =
+                  Pasta_util.Det_rng.of_key t.key_seed
+                    [|
+                      info.grid_id;
+                      spec.Warp.cs_region_idx;
+                      spec.Warp.cs_chunk;
+                      sampling_salt;
+                    |]
+                in
+                Warp.thin ~rng:srng ~rate b
+            in
             (b, corrupt b)
           in
           let results =
@@ -252,9 +282,12 @@ let launch t ?(stream = 0) kernel =
               (match t.faults with
               | Some f when corrupted > 0 -> Faults.note_corrupted f corrupted
               | _ -> ());
-              match i.on_access_batch with
-              | Some fb -> fb info b
-              | None -> Warp.iter_batch b ~f:(fun a -> i.on_access info a))
+              (* Thinning can empty a chunk; delivering a zero-record batch
+                 would only burn ring-buffer and dispatch work. *)
+              if Warp.batch_len b > 0 then
+                match i.on_access_batch with
+                | Some fb -> fb info b
+                | None -> Warp.iter_batch b ~f:(fun a -> i.on_access info a))
             results;
           Kernel.total_accesses kernel
         end

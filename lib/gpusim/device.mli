@@ -81,6 +81,18 @@ val set_sample_cap : t -> int -> unit
 
 val sample_cap : t -> int
 
+val set_sample_rate : t -> float -> unit
+(** Fraction of materialized records kept after chunk generation (default
+    1.0 = keep everything).  Rates below 1.0 thin each chunk through
+    {!Warp.thin} with a per-(grid, region, chunk) keyed stream salted
+    independently of the fill stream: thinning is byte-deterministic at any
+    domain count, composes with fault injection, and surviving records carry
+    inverse-probability weights so weighted statistics stay unbiased.
+    Values above 1.0 clamp to 1.0; raises [Invalid_argument] on
+    non-positive or non-finite rates. *)
+
+val sample_rate : t -> float
+
 (** {2 Profiling hooks} *)
 
 val add_probe : t -> probe -> unit

@@ -175,6 +175,59 @@ let fill_chunk ~rng ~warp_size spec =
     writes;
   }
 
+(* ---- Probabilistic thinning with inverse-probability reweighting ----- *)
+
+let thin ~rng ~rate b =
+  if rate >= 1.0 then b
+  else begin
+    let rate = Float.max rate 1e-6 in
+    let keep = Array.make (max 1 b.b_len) false in
+    let reweighted = Array.make (max 1 b.b_len) 0 in
+    let kept = ref 0 in
+    for i = 0 to b.b_len - 1 do
+      (* One keep draw per record, then (for kept records only) one
+         randomized-rounding draw: weight'/rate is split into its integer
+         part plus a Bernoulli on the fraction, so E[keep * weight'] equals
+         the original weight exactly — estimates stay unbiased even though
+         weights remain integers.  The draw order is fixed, so the kept set
+         is a pure function of the stream [rng] was derived from. *)
+      if Pasta_util.Det_rng.prob rng rate then begin
+        keep.(i) <- true;
+        let scaled = float_of_int b.weights.(i) /. rate in
+        let base = int_of_float (Float.floor scaled) in
+        let frac = scaled -. float_of_int base in
+        reweighted.(i) <- (base + if Pasta_util.Det_rng.prob rng frac then 1 else 0);
+        incr kept
+      end
+    done;
+    let n = !kept in
+    let addrs = Array.make (max 1 n) 0
+    and sizes = Array.make (max 1 n) access_size
+    and warps = Array.make (max 1 n) 0
+    and weights = Array.make (max 1 n) 0
+    and writes = Bytes.make n '\000' in
+    let j = ref 0 in
+    for i = 0 to b.b_len - 1 do
+      if keep.(i) then begin
+        addrs.(!j) <- b.addrs.(i);
+        sizes.(!j) <- b.sizes.(i);
+        warps.(!j) <- b.warps.(i);
+        weights.(!j) <- reweighted.(i);
+        Bytes.set writes !j (Bytes.get b.writes i);
+        incr j
+      end
+    done;
+    {
+      b with
+      b_len = n;
+      addrs = (if n = 0 then [||] else Array.sub addrs 0 n);
+      sizes = (if n = 0 then [||] else Array.sub sizes 0 n);
+      warps = (if n = 0 then [||] else Array.sub warps 0 n);
+      weights = (if n = 0 then [||] else Array.sub weights 0 n);
+      writes;
+    }
+  end
+
 let generate ~rng ~warp_size ~max_records_per_region k ~f =
   (* PCs must match the SASS listing: region i's access instruction is the
      second instruction of its access block, after a 3-instruction

@@ -88,6 +88,16 @@ val fill_chunk : rng:Pasta_util.Det_rng.t -> warp_size:int -> chunk_spec -> batc
     regions draw from [rng], which callers must derive per chunk with
     [Det_rng.of_key]. Safe to call from any domain. *)
 
+val thin : rng:Pasta_util.Det_rng.t -> rate:float -> batch -> batch
+(** [thin ~rng ~rate b] keeps each record of [b] independently with
+    probability [rate] and rescales surviving weights by [1/rate] using
+    randomized rounding, so the expectation of every weighted statistic is
+    unchanged (inverse-probability weighting with integer weights).  [rate
+    >= 1.0] returns [b] itself, physically unchanged.  Callers must derive
+    [rng] per chunk with [Det_rng.of_key] (with a salt distinct from the
+    fill stream) so thinning is deterministic for any domain count and
+    leaves the fill draws untouched. *)
+
 val generate :
   rng:Pasta_util.Det_rng.t ->
   warp_size:int ->

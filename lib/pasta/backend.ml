@@ -203,6 +203,33 @@ let enable_fine_grained t mode =
                    (Event.kernel_info_of_launch info)
                    profile;
                  Telemetry.end_span Telemetry.Handler);
+             on_shared_access =
+               Some
+                 (fun info a ->
+                   Telemetry.begin_span Telemetry.Handler "handler.shared";
+                   Processor.submit t.processor ~time_us:(D.now_us t.device)
+                     (Event.Shared_access
+                        {
+                          kernel = Event.kernel_info_of_launch info;
+                          access =
+                            {
+                              Event.addr = a.Gpusim.Warp.addr;
+                              size = a.Gpusim.Warp.size;
+                              write = a.Gpusim.Warp.write;
+                              pc = a.Gpusim.Warp.pc;
+                              warp = a.Gpusim.Warp.warp_id;
+                              weight = a.Gpusim.Warp.weight;
+                            };
+                        });
+                   Telemetry.end_span Telemetry.Handler);
+             on_barrier =
+               Some
+                 (fun info count ->
+                   Telemetry.begin_span Telemetry.Handler "handler.barrier";
+                   Processor.submit t.processor ~time_us:(D.now_us t.device)
+                     (Event.Barrier
+                        { kernel = Event.kernel_info_of_launch info; count });
+                   Telemetry.end_span Telemetry.Handler);
            })
   | Tool.Cpu_sanitizer, _ ->
       invalid_arg "Backend: CPU-sanitizer analysis needs the Sanitizer backend"

@@ -14,7 +14,32 @@ let get_int k = Option.bind (get k) int_of_string_opt
 let tool_name () = get "PASTA_TOOL"
 let start_grid_id () = get_int "START_GRID_ID"
 let end_grid_id () = get_int "END_GRID_ID"
-let sample_rate () = get_int "ACCEL_PROF_ENV_SAMPLE_RATE"
+let sample_cap () = get_int "ACCEL_PROF_ENV_SAMPLE_RATE"
+
+(* --- Adaptive sampling knobs --- *)
+
+let sampling_rate () =
+  match Option.bind (get "ACCEL_PROF_SAMPLE_RATE") float_of_string_opt with
+  | Some r when r > 0.0 && r <= 1.0 && Float.is_finite r -> Some r
+  | _ -> None
+
+(* Accepts "5%" (percent of workload time) or "0.05" (fraction). *)
+let parse_budget s =
+  let s = String.trim s in
+  if s = "" then None
+  else
+    let frac =
+      if s.[String.length s - 1] = '%' then
+        Option.map
+          (fun p -> p /. 100.0)
+          (float_of_string_opt (String.sub s 0 (String.length s - 1)))
+      else float_of_string_opt s
+    in
+    match frac with
+    | Some f when f > 0.0 && f <= 1.0 && Float.is_finite f -> Some f
+    | _ -> None
+
+let overhead_budget () = Option.bind (get "ACCEL_PROF_OVERHEAD_BUDGET") parse_budget
 
 (* --- Robustness / supervision knobs --- *)
 

@@ -17,7 +17,27 @@ val tool_name : unit -> string option
 
 val start_grid_id : unit -> int option
 val end_grid_id : unit -> int option
-val sample_rate : unit -> int option
+
+val sample_cap : unit -> int option
+(** [ACCEL_PROF_ENV_SAMPLE_RATE]: per-region cap on materialized records
+    (the paper artifact's integer knob — a cap, not a probability). *)
+
+(** {2 Adaptive sampling knobs} *)
+
+val sampling_rate : unit -> float option
+(** [ACCEL_PROF_SAMPLE_RATE]: fixed fraction of materialized records to
+    keep, in (0, 1].  [None] when unset or invalid; surviving records
+    carry inverse-probability weights so weighted statistics stay
+    unbiased. *)
+
+val parse_budget : string -> float option
+(** Parse an overhead budget: ["5%"] and ["0.05"] both mean 5% of
+    workload time.  [None] outside (0, 1] or on malformed input. *)
+
+val overhead_budget : unit -> float option
+(** [ACCEL_PROF_OVERHEAD_BUDGET]: target ceiling for analysis overhead as
+    a fraction of workload time; enables the closed-loop sampling
+    governor ({!Sampler}). *)
 
 (** {2 Robustness knobs}
 

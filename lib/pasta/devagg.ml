@@ -28,6 +28,7 @@ type summary = {
   sampled_records : int;
   true_accesses : int;
   writes : int;
+  est_rate : float;
 }
 
 (* Fuse overlapping or adjacent [base, limit) pairs of a base-sorted list. *)
@@ -195,7 +196,7 @@ let aggregate view (b : W.batch) =
     s_writes = !writes;
   }
 
-let merge shards =
+let merge ?(est_rate = 1.0) shards =
   let objects = Hashtbl.create 32 and blocks = Hashtbl.create 64 in
   let intervals = ref [] and records = ref 0 and weight = ref 0 and writes = ref 0 in
   Array.iter
@@ -232,7 +233,16 @@ let merge shards =
     sampled_records = !records;
     true_accesses = !weight;
     writes = !writes;
+    est_rate;
   }
+
+(* Relative standard error of an inverse-probability-weighted total built
+   from [n] kept records at rate [p]: sqrt((1-p) / (n*p)).  Zero for exact
+   (rate-1.0) summaries. *)
+let rel_stderr s =
+  if s.est_rate >= 1.0 || s.sampled_records = 0 then 0.0
+  else
+    sqrt ((1.0 -. s.est_rate) /. (float_of_int s.sampled_records *. s.est_rate))
 
 let pp ppf s =
   Format.fprintf ppf
@@ -240,4 +250,7 @@ let pp ppf s =
      accesses (%d writes)@]"
     (List.length s.objects) (List.length s.blocks)
     (List.length s.coalesced)
-    s.sampled_records s.true_accesses s.writes
+    s.sampled_records s.true_accesses s.writes;
+  if s.est_rate < 1.0 then
+    Format.fprintf ppf " [estimate, rate %.3f, ±%.1f%%]" s.est_rate
+      (100.0 *. rel_stderr s)

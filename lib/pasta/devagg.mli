@@ -23,10 +23,21 @@ type summary = {
   sampled_records : int;
   true_accesses : int;  (** sum of record weights *)
   writes : int;  (** weighted write accesses *)
+  est_rate : float;
+      (** effective sampling rate behind the counts: 1.0 means exact totals,
+          below 1.0 the weighted sums are unbiased estimates (records carry
+          inverse-probability weights from {!Gpusim.Warp.thin}) *)
 }
 
-val merge : shard array -> summary
+val merge : ?est_rate:float -> shard array -> summary
 (** Combine shards (callers pass them in chunk order; the result is in fact
-    order-insensitive because all counts are sums and outputs are sorted). *)
+    order-insensitive because all counts are sums and outputs are sorted).
+    [est_rate] (default 1.0) stamps the sampling rate the batches were
+    thinned at, so consumers can annotate estimates. *)
+
+val rel_stderr : summary -> float
+(** Relative standard error of the summary's weighted totals,
+    [sqrt ((1 - p) / (n * p))] for [n] kept records at rate [p]; [0.0] for
+    exact (rate-1.0) summaries. *)
 
 val pp : Format.formatter -> summary -> unit

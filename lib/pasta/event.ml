@@ -98,6 +98,34 @@ let kind_name = function
   | Annotation _ -> "annotation"
   | Tool_quarantined _ -> "tool_quarantined"
 
+(* One name per [payload] constructor, in declaration order.  The
+   coverage suite pattern-matches a sample of every constructor against
+   this list, so a new constructor that is not added here fails the
+   build (via [kind_name]) and then the tests. *)
+let all_kinds =
+  [
+    "driver_call";
+    "runtime_call";
+    "kernel_launch";
+    "memory_copy";
+    "memory_set";
+    "memory_alloc";
+    "memory_free";
+    "synchronization";
+    "global_access";
+    "access_batch";
+    "device_summary";
+    "shared_access";
+    "kernel_region";
+    "barrier";
+    "kernel_profile";
+    "operator";
+    "tensor_alloc";
+    "tensor_free";
+    "annotation";
+    "tool_quarantined";
+  ]
+
 let is_fine_grained = function
   | Global_access _ | Access_batch _ | Device_summary _ | Shared_access _
   | Kernel_region _ | Barrier _ | Kernel_profile _ ->

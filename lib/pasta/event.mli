@@ -92,6 +92,11 @@ type t = {
 val kind_name : payload -> string
 (** Short classifier used by filters and reports, e.g. "kernel_launch". *)
 
+val all_kinds : string list
+(** Every [kind_name] the vocabulary can produce, one per [payload]
+    constructor, in declaration order.  The coverage suite checks this
+    list against a sample of every constructor, so it cannot drift. *)
+
 val is_fine_grained : payload -> bool
 val is_dl_framework : payload -> bool
 

@@ -44,6 +44,8 @@ type counters = {
   c_batches_delivered : Metric.counter;
   c_objmap_memo_hits : Metric.counter;
   c_objmap_memo_misses : Metric.counter;
+  g_sample_rate : Metric.gauge;
+  c_rate_changes : Metric.counter;
   c_events_recorded : Metric.counter;
   c_bytes_written : Metric.counter;
   c_chunks : Metric.counter;
@@ -87,6 +89,15 @@ let make_counters () =
     c_objmap_memo_hits = c ~help:"objmap resolve-memo hits" "pasta_objmap_memo_hits";
     c_objmap_memo_misses =
       c ~help:"objmap resolve-memo misses" "pasta_objmap_memo_misses";
+    g_sample_rate =
+      (let g =
+         Metric.gauge reg ~help:"effective fine-grained sampling rate"
+           "pasta_sample_rate"
+       in
+       Metric.set_gauge g 1.0;
+       g);
+    c_rate_changes =
+      c ~help:"sampling-rate adjustments applied" "pasta_sample_rate_changes";
     c_events_recorded =
       c ~help:"submission-level ops written by trace capture"
         "pasta_events_recorded";
@@ -113,6 +124,10 @@ type sink_op =
   | Sk_flush_summary of Event.kernel_info
   | Sk_flush_parallel of Event.kernel_info
   | Sk_profile of Event.kernel_info * Gpusim.Kernel.profile
+  | Sk_rate of { sr_rate : float; sr_grid_id : int }
+      (** effective sampling-rate change, recorded at the launch it first
+          applies to; the implicit initial rate is 1.0, so rate-1.0 runs
+          never emit this op and their traces are unchanged *)
 
 type pending_region = { p_base : int; p_extent : int; p_accesses : int; p_written : bool }
 
@@ -141,6 +156,9 @@ type t = {
   mutable last_time_us : float;
   mutable pending : (int * pending_region list) option;
       (** (grid_id, regions) of the kernel currently being aggregated *)
+  mutable cur_rate : float;
+      (** effective sampling rate behind incoming batches (stamped onto
+          Devagg summaries as [est_rate]); updated through {!note_rate} *)
   mutable sink : (time_us:float -> sink_op -> unit) option;
       (** trace-capture tap, fed every submission before range filtering *)
 }
@@ -166,6 +184,7 @@ let create ?range ?buffer_capacity ?overflow_policy ~device () =
     incidents = [];
     last_time_us = 0.0;
     pending = None;
+    cur_rate = 1.0;
     sink = None;
   }
 
@@ -547,7 +566,7 @@ let flush_parallel_summary t ~time_us (info : Event.kernel_info) =
               Devagg.aggregate view batches.(i))
       | _ -> Array.map (Devagg.aggregate view) batches
     in
-    let merged = Devagg.merge shards in
+    let merged = Devagg.merge ~est_rate:t.cur_rate shards in
     Telemetry.end_span Telemetry.Devagg;
     submit_device_summary t ~time_us info merged
   end
@@ -576,6 +595,19 @@ let submit_profile t ~time_us (info : Event.kernel_info) profile =
         tool.Tool.on_kernel_profile info profile)
   end;
   Telemetry.end_span Telemetry.Dispatch
+
+(* Record an effective sampling-rate change.  Called by the sampler at the
+   launch the new rate first applies to, and by replay when it reaches a
+   recorded [Sk_rate] op; the tap makes re-recording a replayed run
+   reproduce the original rate schedule. *)
+let note_rate t ~time_us ~grid_id rate =
+  tap t ~time_us (Sk_rate { sr_rate = rate; sr_grid_id = grid_id });
+  t.last_time_us <- time_us;
+  t.cur_rate <- rate;
+  Metric.set_gauge t.ctr.g_sample_rate rate;
+  Metric.incr t.ctr.c_rate_changes
+
+let current_sample_rate t = t.cur_rate
 
 let annot_start t ~time_us label =
   Range.annot_start t.range label;

@@ -61,11 +61,15 @@ type sink_op =
   | Sk_flush_summary of Event.kernel_info
   | Sk_flush_parallel of Event.kernel_info
   | Sk_profile of Event.kernel_info * Gpusim.Kernel.profile
+  | Sk_rate of { sr_rate : float; sr_grid_id : int }
       (** Submission-level operations, one constructor per processor entry
           point.  A sink sees every submission in arrival order, before
           range filtering and buffering — a recorded op stream re-driven
           through the same entry points reproduces the exact callback
-          sequence the live tool saw. *)
+          sequence the live tool saw.  [Sk_rate] records an effective
+          sampling-rate change at the launch it first applies to; the
+          implicit initial rate is 1.0, so fixed rate-1.0 runs record no
+          such op and their op streams are unchanged. *)
 
 type t
 
@@ -184,6 +188,18 @@ val flush_parallel_drop : t -> time_us:float -> Event.kernel_info -> unit
 
 val flush_records : t -> unit
 (** Drain the bounded record buffer to the tool now. *)
+
+val note_rate : t -> time_us:float -> grid_id:int -> float -> unit
+(** Record that fine-grained generation runs at the given sampling rate
+    from launch [grid_id] on.  Taps an {!sink_op.Sk_rate} op (so the rate
+    schedule lands in captures and re-recording a replay reproduces it),
+    updates the [pasta_sample_rate] gauge and stamps subsequent
+    {!flush_parallel_summary} merges with the rate as
+    {!Devagg.summary.est_rate}.  Callers emit it only when the effective
+    rate changes; the implicit initial rate is 1.0. *)
+
+val current_sample_rate : t -> float
+(** The most recently noted effective sampling rate (1.0 initially). *)
 
 val submit_profile :
   t -> time_us:float -> Event.kernel_info -> Gpusim.Kernel.profile -> unit

@@ -26,7 +26,7 @@ exception Corrupt of string
 let corrupt fmt = Printf.ksprintf (fun s -> raise (Corrupt s)) fmt
 
 let magic = "PTRC"
-let version = 1
+let version = 2
 
 (* ------------------------------------------------------------------ *)
 (* Encoding primitives                                                 *)
@@ -581,7 +581,8 @@ let put_summary buf (s : Devagg.summary) =
   put_pair_list buf s.Devagg.coalesced;
   put_u buf s.Devagg.sampled_records;
   put_u buf s.Devagg.true_accesses;
-  put_u buf s.Devagg.writes
+  put_u buf s.Devagg.writes;
+  put_f buf s.Devagg.est_rate
 
 let get_summary c =
   let nobj = get_u c in
@@ -596,7 +597,8 @@ let get_summary c =
   let sampled_records = get_u c in
   let true_accesses = get_u c in
   let writes = get_u c in
-  { Devagg.objects; blocks; coalesced; sampled_records; true_accesses; writes }
+  let est_rate = get_f c in
+  { Devagg.objects; blocks; coalesced; sampled_records; true_accesses; writes; est_rate }
 
 let put_region buf (r : Event.region_summary) =
   put_z buf r.Event.base;
@@ -881,7 +883,8 @@ let put_op it buf ~time_us (op : Processor.sink_op) =
   | Processor.Sk_region _ -> put_u buf 3
   | Processor.Sk_flush_summary _ -> put_u buf 4
   | Processor.Sk_flush_parallel _ -> put_u buf 5
-  | Processor.Sk_profile _ -> put_u buf 6);
+  | Processor.Sk_profile _ -> put_u buf 6
+  | Processor.Sk_rate _ -> put_u buf 7);
   put_f buf time_us;
   match op with
   | Processor.Sk_event p -> put_payload it buf p
@@ -899,6 +902,9 @@ let put_op it buf ~time_us (op : Processor.sink_op) =
   | Processor.Sk_profile (k, p) ->
       put_kernel it buf k;
       put_profile buf p
+  | Processor.Sk_rate { sr_rate; sr_grid_id } ->
+      put_f buf sr_rate;
+      put_u buf sr_grid_id
 
 let get_op ex c =
   let tag = get_u c in
@@ -924,6 +930,10 @@ let get_op ex c =
         let k = get_kernel ex c in
         let p = get_profile c in
         Processor.Sk_profile (k, p)
+    | 7 ->
+        let sr_rate = get_f c in
+        let sr_grid_id = get_u c in
+        Processor.Sk_rate { sr_rate; sr_grid_id }
     | n -> corrupt "unknown op tag %d" n
   in
   (time_us, op)
@@ -936,6 +946,7 @@ let op_kind_name = function
   | Processor.Sk_flush_summary _ -> "kernel_flush"
   | Processor.Sk_flush_parallel _ -> "parallel_flush"
   | Processor.Sk_profile _ -> "kernel_profile"
+  | Processor.Sk_rate _ -> "sample_rate"
 
 let op_records = function
   | Processor.Sk_access _ -> 1

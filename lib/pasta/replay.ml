@@ -33,6 +33,11 @@ let apply proc ~time_us (op : Processor.sink_op) =
          the aggregation a second time. *)
       Processor.flush_parallel_drop proc ~time_us k
   | Processor.Sk_profile (k, p) -> Processor.submit_profile proc ~time_us k p
+  | Processor.Sk_rate { sr_rate; sr_grid_id } ->
+      (* Re-note the recorded rate schedule: downstream summaries regain
+         their estimate stamps, and re-recording a replay reproduces the
+         same [Sk_rate] stream. *)
+      Processor.note_rate proc ~time_us ~grid_id:sr_grid_id sr_rate
 
 let drive ?mode proc path =
   let mode = default_mode mode in

@@ -1,0 +1,186 @@
+(* The adaptive sampling governor: a closed feedback loop that keeps
+   fine-grained analysis overhead inside a user-set budget by steering the
+   device's record sampling rate.
+
+   The loop runs at kernel boundaries.  Each [observe] diffs the
+   self-telemetry attribution window against the previous reading to get
+   the overhead fraction of the just-elapsed window, folds in ring-buffer
+   pressure (drops or producer stalls mean the pipeline is already losing
+   data, regardless of what the clock says), and applies AIMD control:
+   multiplicative decrease (x0.5, floored at [min_rate]) on violation,
+   additive recovery (+0.05, capped at 1.0) once comfortably under
+   budget.  Multiplicative decrease converges in a handful of kernels even
+   from rate 1.0; additive recovery keeps the steady state from
+   oscillating.
+
+   The governor only decides the rate.  Determinism is preserved because
+   the chosen rate is recorded in the trace (Processor.note_rate ->
+   Sk_rate) before the launch it first applies to, and the thinning
+   streams themselves are keyed per (grid, region, chunk): replaying the
+   schedule reproduces the sampled stream byte-for-byte.
+
+   With telemetry at [Off] there is no overhead signal, so an [Auto]
+   governor cannot close the loop.  It must not silently pin rate 1.0 (the
+   user asked for bounded overhead); instead it degrades to a fixed
+   fallback rate and counts the blind windows so health reports can warn
+   about it. *)
+
+type mode = Fixed of float | Auto of { budget : float }
+
+let min_rate = 0.05
+let decrease_factor = 0.5
+let recovery_step = 0.05
+
+(* Recover only when the window sat comfortably under budget, so the rate
+   doesn't saw-tooth across the ceiling. *)
+let recovery_headroom = 0.8
+
+(* An Auto governor that loses its telemetry signal falls back to this
+   fixed rate unless the user pinned one via ACCEL_PROF_SAMPLE_RATE. *)
+let default_blind_rate = 0.1
+
+type t = {
+  mode : mode;
+  fallback : float;  (* rate used when Auto runs telemetry-blind *)
+  mutable rate : float;
+  mutable last_total_us : float;
+  mutable last_overhead_us : float;
+  mutable last_dropped : int;
+  mutable last_stalls : int;
+  mutable windows : int;
+  mutable adjustments : int;
+  mutable violations : int;
+  mutable floor_hits : int;
+  mutable blind_windows : int;
+}
+
+let create ?fallback mode =
+  let fallback =
+    match fallback with Some r -> r | None -> default_blind_rate
+  in
+  (match mode with
+  | Fixed r when not (r > 0.0 && r <= 1.0 && Float.is_finite r) ->
+      invalid_arg "Sampler.create: fixed rate must be in (0, 1]"
+  | Auto { budget } when not (budget > 0.0 && budget <= 1.0 && Float.is_finite budget)
+    ->
+      invalid_arg "Sampler.create: budget must be in (0, 1]"
+  | _ -> ());
+  if not (fallback > 0.0 && fallback <= 1.0 && Float.is_finite fallback) then
+    invalid_arg "Sampler.create: fallback rate must be in (0, 1]";
+  {
+    mode;
+    fallback;
+    (* Auto starts exact and backs off under violation, so short runs that
+       never threaten the budget stay unsampled. *)
+    rate = (match mode with Fixed r -> r | Auto _ -> 1.0);
+    last_total_us = 0.0;
+    last_overhead_us = 0.0;
+    last_dropped = 0;
+    last_stalls = 0;
+    windows = 0;
+    adjustments = 0;
+    violations = 0;
+    floor_hits = 0;
+    blind_windows = 0;
+  }
+
+let mode t = t.mode
+let rate t = t.rate
+
+let set_rate t r =
+  if r <> t.rate then begin
+    t.rate <- r;
+    t.adjustments <- t.adjustments + 1
+  end
+
+let observe t ~dropped ~stalls =
+  match t.mode with
+  | Fixed _ -> ()
+  | Auto { budget } ->
+      t.windows <- t.windows + 1;
+      if Telemetry.level () = Telemetry.Off then begin
+        (* Satellite contract: blind governors degrade to a fixed rate and
+           say so — never a silent rate-1.0. *)
+        t.blind_windows <- t.blind_windows + 1;
+        set_rate t t.fallback
+      end
+      else begin
+        let total, overhead = Telemetry.overhead_snapshot () in
+        let d_total = total -. t.last_total_us in
+        let d_over = overhead -. t.last_overhead_us in
+        t.last_total_us <- total;
+        t.last_overhead_us <- overhead;
+        let d_dropped = dropped - t.last_dropped in
+        let d_stalls = stalls - t.last_stalls in
+        t.last_dropped <- dropped;
+        t.last_stalls <- stalls;
+        let frac = if d_total > 0.0 then d_over /. d_total else 0.0 in
+        let pressured = d_dropped > 0 || d_stalls > 0 in
+        if frac > budget || pressured then begin
+          t.violations <- t.violations + 1;
+          let next = Float.max min_rate (t.rate *. decrease_factor) in
+          if next <= min_rate then t.floor_hits <- t.floor_hits + 1;
+          set_rate t next
+        end
+        else if frac < budget *. recovery_headroom && t.rate < 1.0 then
+          set_rate t (Float.min 1.0 (t.rate +. recovery_step))
+      end
+
+type snapshot = {
+  sn_mode : string;
+  sn_rate : float;
+  sn_windows : int;
+  sn_adjustments : int;
+  sn_violations : int;
+  sn_floor_hits : int;
+  sn_blind_windows : int;
+}
+
+let mode_name = function
+  | Fixed r -> Printf.sprintf "fixed %.3f" r
+  | Auto { budget } -> Printf.sprintf "auto (budget %.1f%%)" (100.0 *. budget)
+
+let snapshot t =
+  {
+    sn_mode = mode_name t.mode;
+    sn_rate = t.rate;
+    sn_windows = t.windows;
+    sn_adjustments = t.adjustments;
+    sn_violations = t.violations;
+    sn_floor_hits = t.floor_hits;
+    sn_blind_windows = t.blind_windows;
+  }
+
+let pp_snapshot ppf s =
+  Format.fprintf ppf
+    "sampling: %s, rate %.3f (%d window%s, %d adjustment%s, %d violation%s)"
+    s.sn_mode s.sn_rate s.sn_windows
+    (if s.sn_windows = 1 then "" else "s")
+    s.sn_adjustments
+    (if s.sn_adjustments = 1 then "" else "s")
+    s.sn_violations
+    (if s.sn_violations = 1 then "" else "s");
+  if s.sn_floor_hits > 0 then
+    Format.fprintf ppf ", floor %.2f hit %d time%s" min_rate s.sn_floor_hits
+      (if s.sn_floor_hits = 1 then "" else "s");
+  if s.sn_blind_windows > 0 then
+    Format.fprintf ppf
+      "@.  WARNING: telemetry off — governor ran blind for %d window%s at \
+       fixed fallback rate"
+      s.sn_blind_windows
+      (if s.sn_blind_windows = 1 then "" else "s")
+
+(* Resolve a governor from explicit arguments and the environment knobs.
+   A budget (argument or ACCEL_PROF_OVERHEAD_BUDGET) selects [Auto]; a
+   bare rate (argument or ACCEL_PROF_SAMPLE_RATE) selects [Fixed]; with
+   both, the budget governs and the rate serves as the blind fallback.
+   Neither -> no governor, rate stays 1.0. *)
+let of_config ?rate ?budget () =
+  let rate = match rate with Some r -> Some r | None -> Config.sampling_rate () in
+  let budget =
+    match budget with Some b -> Some b | None -> Config.overhead_budget ()
+  in
+  match (budget, rate) with
+  | Some b, fallback -> Some (create ?fallback (Auto { budget = b }))
+  | None, Some r -> Some (create (Fixed r))
+  | None, None -> None

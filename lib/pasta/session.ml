@@ -12,6 +12,10 @@ type t = {
   the_tool : Tool.t;
   start_us : float;
   saved_sample_cap : int;
+  saved_sample_rate : float;
+  sampler : Sampler.t option;
+  sampler_probe : string option;
+      (* the governor's hook-bus probe name, for teardown *)
   saved_pool : Pasta_util.Domain_pool.t option;
       (* whatever pool the device had before we attached *)
   dog : watchdog;
@@ -44,6 +48,7 @@ type health = {
   chunks : int;
   chunks_skipped : int;
   replay_events : int;
+  sampling : Sampler.snapshot option;
 }
 
 type result = {
@@ -62,7 +67,8 @@ let active : t list ref = ref []
 
 let watchdog_counter = ref 0
 
-let attach ?backend ?range ?sample_rate ?faults ?capture ?capture_meta ~tool device =
+let attach ?backend ?range ?sample_cap ?sample_rate ?overhead_budget ?faults
+    ?capture ?capture_meta ~tool device =
   let kind =
     match backend with
     | Some k -> k
@@ -122,9 +128,42 @@ let attach ?backend ?range ?sample_rate ?faults ?capture ?capture_meta ~tool dev
     Gpusim.Device.set_pool device p;
     Processor.set_pool proc p
   end;
-  (match (sample_rate, Config.sample_rate ()) with
+  (match (sample_cap, Config.sample_cap ()) with
   | Some r, _ | None, Some r -> Gpusim.Device.set_sample_cap device r
   | None, None -> ());
+  (* Adaptive sampling: a fixed rate or an overhead budget (argument or
+     environment) installs a governor.  The governor's probe runs at
+     launch boundaries: at Launch_begin it records any rate change
+     through the processor (so the schedule lands in captures) and points
+     the device at the new rate *before* materialization reads it; at
+     Launch_end it feeds the elapsed window back into the controller. *)
+  let saved_sample_rate = Gpusim.Device.sample_rate device in
+  let sampler = Sampler.of_config ?rate:sample_rate ?budget:overhead_budget () in
+  let sampler_probe =
+    match sampler with
+    | None -> None
+    | Some g ->
+        let name = Printf.sprintf "pasta-sampler-%d" !watchdog_counter in
+        Gpusim.Device.add_probe device
+          {
+            Gpusim.Device.probe_name = name;
+            on_event =
+              (function
+              | Gpusim.Device.Launch_begin info ->
+                  let r = Sampler.rate g in
+                  if r <> Processor.current_sample_rate proc then
+                    Processor.note_rate proc
+                      ~time_us:(Gpusim.Device.now_us device)
+                      ~grid_id:info.Gpusim.Device.grid_id r;
+                  Gpusim.Device.set_sample_rate device r
+              | Gpusim.Device.Launch_end _ ->
+                  let st = Processor.stats proc in
+                  Sampler.observe g ~dropped:st.Processor.records_dropped
+                    ~stalls:st.Processor.buffer_stalls
+              | _ -> ());
+          };
+        Some name
+  in
   incr watchdog_counter;
   let dog =
     {
@@ -156,6 +195,9 @@ let attach ?backend ?range ?sample_rate ?faults ?capture ?capture_meta ~tool dev
       the_tool = tool;
       start_us = Gpusim.Device.now_us device;
       saved_sample_cap;
+      saved_sample_rate;
+      sampler;
+      sampler_probe;
       saved_pool;
       dog;
       installed_faults;
@@ -197,6 +239,7 @@ let health_of s =
     chunks = stats.Processor.chunks;
     chunks_skipped = stats.Processor.chunks_skipped;
     replay_events = stats.Processor.replay_events;
+    sampling = Option.map Sampler.snapshot s.sampler;
   }
 
 let pp_health ppf h =
@@ -249,6 +292,9 @@ let pp_health ppf h =
           if i < 3 then Format.fprintf ppf "%s %s (%.0fus)" (if i > 0 then "," else "") name dur)
         trips;
       Format.fprintf ppf "@.");
+  (match h.sampling with
+  | None -> ()
+  | Some sn -> Format.fprintf ppf "  %a@." Sampler.pp_snapshot sn);
   match h.fault_stats with
   | None -> ()
   | Some fs -> Format.fprintf ppf "  injected faults: %a@." Gpusim.Faults.pp_stats fs
@@ -275,6 +321,8 @@ let detach s =
   | Some _ -> Gpusim.Device.clear_faults s.device
   | None -> ());
   Gpusim.Device.set_sample_cap s.device s.saved_sample_cap;
+  Option.iter (Gpusim.Device.remove_probe s.device) s.sampler_probe;
+  Gpusim.Device.set_sample_rate s.device s.saved_sample_rate;
   (* The global pool itself stays warm for the next session; only the
      device's installation reverts. *)
   (match s.saved_pool with
@@ -299,8 +347,12 @@ let detach s =
     report;
   }
 
-let run ?backend ?range ?sample_rate ?faults ?capture ?capture_meta ~tool device f =
-  let s = attach ?backend ?range ?sample_rate ?faults ?capture ?capture_meta ~tool device in
+let run ?backend ?range ?sample_cap ?sample_rate ?overhead_budget ?faults
+    ?capture ?capture_meta ~tool device f =
+  let s =
+    attach ?backend ?range ?sample_cap ?sample_rate ?overhead_budget ?faults
+      ?capture ?capture_meta ~tool device
+  in
   match f () with
   | v -> (v, detach s)
   | exception e ->

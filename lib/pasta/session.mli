@@ -46,6 +46,8 @@ type health = {
   chunks : int;  (** trace chunks written (capture) or read (replay) *)
   chunks_skipped : int;  (** corrupt chunks a tolerant replay skipped *)
   replay_events : int;  (** ops re-driven from a recorded trace *)
+  sampling : Sampler.snapshot option;
+      (** governor state when adaptive/fixed-rate sampling was active *)
 }
 
 val pp_health : Format.formatter -> health -> unit
@@ -67,7 +69,9 @@ type result = {
 val attach :
   ?backend:Backend.kind ->
   ?range:Range.t ->
-  ?sample_rate:int ->
+  ?sample_cap:int ->
+  ?sample_rate:float ->
+  ?overhead_budget:float ->
   ?faults:Gpusim.Faults.t ->
   ?capture:string ->
   ?capture_meta:string ->
@@ -76,8 +80,15 @@ val attach :
   t
 (** [backend] defaults per vendor ({!Backend.default_kind_for}), except
     that a tool requiring [Cpu_nvbit] forces the NVBit backend.
-    [sample_rate] caps materialized records per kernel region (defaults to
-    [ACCEL_PROF_ENV_SAMPLE_RATE] when set).  [faults] installs the given
+    [sample_cap] caps materialized records per kernel region (defaults to
+    [ACCEL_PROF_ENV_SAMPLE_RATE] when set).  [sample_rate] pins a fixed
+    record sampling rate in (0, 1] and [overhead_budget] enables the
+    adaptive {!Sampler} governor instead (both default to their
+    [ACCEL_PROF_SAMPLE_RATE] / [ACCEL_PROF_OVERHEAD_BUDGET] knobs; with
+    both set, the budget governs and the rate is the telemetry-blind
+    fallback).  Rate changes are recorded in any attached capture before
+    the launch they apply to, so replay reproduces the sampled stream
+    exactly.  [faults] installs the given
     injector on the device for the session's lifetime; without it, the
     [ACCEL_PROF_INJECT_FAULTS] knob creates one seeded from
     [ACCEL_PROF_FAULT_SEED].  A device that already carries an injector is
@@ -94,7 +105,9 @@ val detach : t -> result
 val run :
   ?backend:Backend.kind ->
   ?range:Range.t ->
-  ?sample_rate:int ->
+  ?sample_cap:int ->
+  ?sample_rate:float ->
+  ?overhead_budget:float ->
   ?faults:Gpusim.Faults.t ->
   ?capture:string ->
   ?capture_meta:string ->

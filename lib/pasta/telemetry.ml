@@ -366,6 +366,21 @@ let tool_rows () =
   Mutex.unlock slots_mu;
   List.sort (fun a b -> compare a.row_label b.row_label) rows
 
+(* Cheap feedback reading for the sampling governor: cumulative window
+   total and the part of it NOT charged to the simulate/workload root,
+   i.e. the framework's own overhead so far.  Callers diff successive
+   snapshots to get per-window readings.  No allocation beyond the tuple;
+   (0, 0) at level Off, where nothing is attributed. *)
+let overhead_snapshot () =
+  if !lvl = 0 then (0.0, 0.0)
+  else begin
+    let c = ctx () in
+    let now = now_us () in
+    charge c now;
+    let total = now -. !epoch in
+    (total, Float.max 0.0 (total -. c.self.(0)))
+  end
+
 (* Attribution covers the calling domain's context — the coordinator.  The
    coordinator blocks while the domain pool maps, so pool wall time shows
    up in the devagg row; workers are never instrumented directly. *)

@@ -87,6 +87,15 @@ type row = {
 
 type attribution = { at_total_us : float; at_rows : row list }
 
+val overhead_snapshot : unit -> float * float
+(** [(window_total_us, overhead_us)] for the calling domain: the wall time
+    of the measurement window so far and the part of it {e not} charged to
+    the simulate/workload root — the framework's cumulative self time.
+    The sampling governor ({!Sampler}) diffs successive snapshots for its
+    per-kernel feedback.  [(0., 0.)] at level [Off], where nothing is
+    attributed (governors must detect that case via {!level}, not infer it
+    from zeros). *)
+
 val attribution : unit -> attribution
 (** Snapshot for the calling domain (the coordinator; it blocks while the
     pool maps, so worker time lands in the devagg row).  The rows' self

@@ -33,6 +33,7 @@ let event_count t = t.count
 let tid_kernels = 1
 let tid_operators = 2
 let tid_memory = 3
+let tid_api = 4
 
 let record t (e : Event.t) =
   let pid = e.Event.device in
@@ -198,6 +199,47 @@ let record t (e : Event.t) =
               ( "redundant_loads",
                 string_of_int profile.Gpusim.Kernel.redundant_loads );
             ];
+        }
+  (* Host API surface: one instant per completed call keeps the row light
+     (the paired Enter carries no extra information in this vocabulary). *)
+  | Event.Driver_call { name; phase = `Exit } ->
+      push t
+        { name; cat = "driver_api"; ph = "i"; ts; dur = None; pid; tid = tid_api; arg = [] }
+  | Event.Runtime_call { name; phase = `Exit } ->
+      push t
+        { name; cat = "runtime_api"; ph = "i"; ts; dur = None; pid; tid = tid_api; arg = [] }
+  | Event.Driver_call { phase = `Enter; _ } | Event.Runtime_call { phase = `Enter; _ } -> ()
+  | Event.Memory_set { addr; bytes; value } ->
+      push t
+        {
+          name = "memset";
+          cat = "memory";
+          ph = "i";
+          ts;
+          dur = None;
+          pid;
+          tid = tid_memory;
+          arg =
+            [
+              ("addr", Printf.sprintf "0x%x" addr);
+              ("bytes", string_of_int bytes);
+              ("value", string_of_int value);
+            ];
+        }
+  | Event.Synchronization { scope } ->
+      push t
+        {
+          name =
+            (match scope with
+            | `Device -> "deviceSynchronize"
+            | `Stream s -> Printf.sprintf "streamSynchronize(%d)" s);
+          cat = "sync";
+          ph = "i";
+          ts;
+          dur = None;
+          pid;
+          tid = tid_api;
+          arg = [];
         }
   | _ -> ()
 

@@ -10,9 +10,24 @@ let conflict_rate r =
   if r.shared_accesses = 0 then 0.0
   else float_of_int r.bank_conflicts /. float_of_int r.shared_accesses
 
-type t = { table : (string, row) Hashtbl.t }
+type t = {
+  table : (string, row) Hashtbl.t;
+  (* Dynamic fine-grained stream, when the backend surfaces it: individual
+     weighted shared-memory transactions and per-kernel barrier counts. *)
+  mutable dyn_barriers : int;
+  mutable dyn_shared : int;
+}
 
-let create () = { table = Hashtbl.create 64 }
+let create () = { table = Hashtbl.create 64; dyn_barriers = 0; dyn_shared = 0 }
+let dynamic_barriers t = t.dyn_barriers
+let dynamic_shared t = t.dyn_shared
+
+let on_event t (ev : Pasta.Event.t) =
+  match ev.Pasta.Event.payload with
+  | Pasta.Event.Barrier { count; _ } -> t.dyn_barriers <- t.dyn_barriers + count
+  | Pasta.Event.Shared_access { access; _ } ->
+      t.dyn_shared <- t.dyn_shared + access.Pasta.Event.weight
+  | _ -> ()
 
 let observe t (info : Pasta.Event.kernel_info) (p : Gpusim.Kernel.profile) =
   let name = info.Pasta.Event.name in
@@ -54,12 +69,18 @@ let report t ppf =
             r.kernel (r.stall_us /. 1000.0)
             (100.0 *. conflict_rate r)
             r.launches)
-      rs
+      rs;
+    (* Only instruction-level sessions produce the dynamic stream, so runs
+       without it keep the report byte-identical. *)
+    if t.dyn_barriers > 0 || t.dyn_shared > 0 then
+      Format.fprintf ppf "  dynamic: %d barriers, %d shared-memory accesses@."
+        t.dyn_barriers t.dyn_shared
   end
 
 let tool t =
   {
     (Pasta.Tool.default ~fine_grained:Pasta.Tool.Instruction_level "barrier_stall") with
+    Pasta.Tool.on_event = on_event t;
     Pasta.Tool.on_kernel_profile = observe t;
     report = report t;
   }

@@ -30,4 +30,12 @@ val total_stall_us : t -> float
 val stall_fraction : t -> workload_us:float -> float
 (** Total stall time as a fraction of the given workload time. *)
 
+val dynamic_barriers : t -> int
+(** Barriers observed through the fine-grained [Barrier] event stream
+    (instruction-level sessions only; 0 elsewhere). *)
+
+val dynamic_shared : t -> int
+(** Weighted shared-memory transactions observed through the
+    fine-grained [Shared_access] event stream. *)
+
 val report : t -> Format.formatter -> unit

@@ -12,11 +12,20 @@ type t = {
   mutable samples : (float * int * float) list; (* (time_us, absolute block, accesses) *)
   mutable t_min : float;
   mutable t_max : float;
+  mutable est_rate_min : float;  (* lowest sampling rate behind any summary *)
+  mutable est_records : int;  (* kept records behind estimated summaries *)
 }
 
 let create ?(time_buckets = 48) () =
   if time_buckets <= 0 then invalid_arg "Hotness.create: time_buckets must be positive";
-  { time_buckets; samples = []; t_min = infinity; t_max = neg_infinity }
+  {
+    time_buckets;
+    samples = [];
+    t_min = infinity;
+    t_max = neg_infinity;
+    est_rate_min = 1.0;
+    est_records = 0;
+  }
 
 let add_region t ~time ~base ~extent ~accesses =
   if extent > 0 && accesses > 0 then begin
@@ -119,7 +128,20 @@ and report t ppf =
     Format.fprintf ppf "persistent-hot blocks (prefetch/pin candidates): %d@."
       (List.length hot);
     Format.fprintf ppf "bursty blocks (proactive-eviction candidates): %d@."
-      (List.length burst)
+      (List.length burst);
+    (* Exact (rate-1.0) runs print nothing extra, keeping their output
+       byte-identical to the pre-sampling pipeline. *)
+    if t.est_rate_min < 1.0 then
+      Format.fprintf ppf
+        "note: estimated from sampled records (min rate %.3f, %d records \
+         kept, worst-case ±%.1f%%)@."
+        t.est_rate_min t.est_records
+        (if t.est_records = 0 then 0.0
+         else
+           100.0
+           *. sqrt
+                ((1.0 -. t.est_rate_min)
+                /. (float_of_int t.est_records *. t.est_rate_min)))
   end
 
 (* Fine-grained variant: per-block counts come from the parallel
@@ -134,6 +156,12 @@ let tool_fine t =
         match ev.Pasta.Event.payload with
         | Pasta.Event.Device_summary { summary; _ } ->
             let time = ev.Pasta.Event.time_us in
+            if summary.Pasta.Devagg.est_rate < 1.0 then begin
+              if summary.Pasta.Devagg.est_rate < t.est_rate_min then
+                t.est_rate_min <- summary.Pasta.Devagg.est_rate;
+              t.est_records <-
+                t.est_records + summary.Pasta.Devagg.sampled_records
+            end;
             List.iter
               (fun (blk, count) ->
                 if count > 0 then begin

@@ -26,6 +26,9 @@ type t = {
   mutable peak_usage : int;
   mutable live_direct : int; (* non-pool runtime allocations *)
   current : (int, int) Hashtbl.t; (* obj_key -> obj_bytes for the running kernel *)
+  mutable est_rate_min : float;
+      (* lowest sampling rate behind any consumed summary; < 1.0 means the
+         working sets are sample-based estimates *)
 }
 
 let create ?(variant = Gpu) () =
@@ -37,6 +40,7 @@ let create ?(variant = Gpu) () =
     peak_usage = 0;
     live_direct = 0;
     current = Hashtbl.create 32;
+    est_rate_min = 1.0;
   }
 
 let variant t = t.var
@@ -99,7 +103,12 @@ let report t ppf =
         r.ws_min
         (r.ws_mean /. 1048576.0)
         (r.ws_median /. 1048576.0)
-        (r.ws_p90 /. 1048576.0)
+        (r.ws_p90 /. 1048576.0);
+      (* Rate-1.0 runs add nothing, so exact output stays byte-identical. *)
+      if t.est_rate_min < 1.0 then
+        Format.fprintf ppf
+          "  note: working sets estimated from sampled records (min rate %.3f)@."
+          t.est_rate_min
 
 let tool t =
   let fine_grained =
@@ -133,6 +142,8 @@ let tool t =
         Pasta.Tool.on_event = track_usage t;
         on_device_summary =
           (fun _info summary ->
+            if summary.Pasta.Devagg.est_rate < t.est_rate_min then
+              t.est_rate_min <- summary.Pasta.Devagg.est_rate;
             let bytes =
               List.fold_left
                 (fun acc (obj, count) ->
@@ -144,17 +155,28 @@ let tool t =
         report = report t;
       }
   | Cpu_sanitizer | Cpu_nvbit ->
+      let touch addr =
+        let obj = Pasta.Objmap.resolve t.own_objmap addr in
+        Hashtbl.replace t.current (Pasta.Objmap.obj_key obj)
+          (Pasta.Objmap.obj_bytes obj)
+      in
       {
         base with
         Pasta.Tool.on_event =
           (fun ev ->
             feed_own_objmap t ev;
             track_usage t ev);
-        on_access =
-          (fun _info access ->
-            let obj = Pasta.Objmap.resolve t.own_objmap access.Pasta.Event.addr in
-            Hashtbl.replace t.current (Pasta.Objmap.obj_key obj)
-              (Pasta.Objmap.obj_bytes obj));
+        on_access = (fun _info access -> touch access.Pasta.Event.addr);
+        (* The sanitizer path can hand records over as packed batches;
+           working sets only need the addresses, so consume them in place
+           instead of paying a per-record callback each. *)
+        on_access_batch =
+          (if t.var = Cpu_sanitizer then
+             Some
+               (fun _info batch ->
+                 Gpusim.Warp.iter_batch batch ~f:(fun a ->
+                     touch a.Gpusim.Warp.addr))
+           else None);
         on_kernel_end =
           (fun _ _ ->
             t.kernels <- t.kernels + 1;

@@ -37,6 +37,8 @@ type patch_mode =
   | Instruction_analysis of {
       classes : instr_class list;
       on_profile : D.launch_info -> Gpusim.Kernel.profile -> unit;
+      on_shared_access : (D.launch_info -> Gpusim.Warp.access -> unit) option;
+      on_barrier : (D.launch_info -> int -> unit) option;
     }
 
 let default_buffer_records = 4 * 1024 * 1024 / Cost.record_bytes
@@ -151,6 +153,29 @@ let mask_profile classes (p : Gpusim.Kernel.profile) =
   in
   (masked, instrumented)
 
+(* Shared-memory patching surfaces individual transactions, not just the
+   per-kernel aggregate.  The simulator's kernels carry only the dynamic
+   count, so we expand it into a bounded set of weighted records — a pure
+   function of the kernel, with weights summing exactly to the count, so
+   instruction-level runs stay byte-deterministic. *)
+let synth_shared_accesses ~(kernel : Gpusim.Kernel.t) ~total ~f =
+  if total > 0 then begin
+    let n = min 16 total in
+    let base = total / n and extra = total mod n in
+    let span = max kernel.Gpusim.Kernel.shared_bytes 128 in
+    for i = 0 to n - 1 do
+      f
+        {
+          Gpusim.Warp.addr = i * 128 mod span;
+          size = 4;
+          write = i land 1 = 1;
+          warp_id = i;
+          pc = 0x500 + (4 * i);
+          weight = base + (if i < extra then 1 else 0);
+        }
+    done
+  end
+
 let patch_module t mode =
   let arch = D.arch t.device in
   let instrument =
@@ -238,7 +263,7 @@ let patch_module t mode =
                 (Cost.memcpy_time_us arch ~bytes:(map_bytes ()) ~kind:`D2h);
               on_kernel_complete info stats);
         }
-    | Instruction_analysis { classes; on_profile } ->
+    | Instruction_analysis { classes; on_profile; on_shared_access; on_barrier } ->
         {
           D.instr_name = "sanitizer-instruction-analysis";
           materialize = false;
@@ -248,12 +273,25 @@ let patch_module t mode =
           on_access_batch = None;
           on_kernel_exit =
             (fun info _stats ->
+              let kernel = info.D.kernel in
               let masked, instrumented =
-                mask_profile classes info.D.kernel.Gpusim.Kernel.prof
+                mask_profile classes kernel.Gpusim.Kernel.prof
               in
               charge t ~phase:`Collect
                 (Cost.device_analysis_time_us arch ~accesses:instrumented
                    ~per_access_us:Cost.sanitizer_gpu_per_access_us);
+              (if List.mem Shared_mem classes then
+                 match on_shared_access with
+                 | Some f ->
+                     synth_shared_accesses ~kernel
+                       ~total:masked.Gpusim.Kernel.shared_accesses
+                       ~f:(fun a -> f info a)
+                 | None -> ());
+              (if List.mem Barrier_sync classes then
+                 match on_barrier with
+                 | Some f when kernel.Gpusim.Kernel.barriers > 0 ->
+                     f info kernel.Gpusim.Kernel.barriers
+                 | _ -> ());
               on_profile info masked);
         }
   in

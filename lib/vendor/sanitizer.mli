@@ -84,6 +84,17 @@ type patch_mode =
         Gpusim.Device.launch_info -> Gpusim.Kernel.profile -> unit;
           (** per-kernel behaviour aggregates, device-analyzed; fields of
               unpatched classes are zeroed *)
+      on_shared_access :
+        (Gpusim.Device.launch_info -> Gpusim.Warp.access -> unit) option;
+          (** individual shared-memory transactions, surfaced only when
+              [Shared_mem] is patched: a bounded set of weighted records
+              per kernel whose weights sum exactly to the kernel's dynamic
+              shared-access count (a pure function of the kernel, so runs
+              stay byte-deterministic) *)
+      on_barrier :
+        (Gpusim.Device.launch_info -> int -> unit) option;
+          (** per-kernel dynamic barrier count, surfaced only when
+              [Barrier_sync] is patched and the kernel has barriers *)
     }
       (** Instruction-level patching (paper §III-H): control-flow for
           branch-divergence analysis, shared-memory for bank conflicts,

@@ -1,0 +1,112 @@
+(* Wiring checker, run as part of the default [dune runtest] via the root
+   [wiring-check] alias.  Catches the two easiest ways for coverage to rot
+   silently:
+
+   - a test module that exists on disk but was never added to
+     [test/test_main.ml] — it would compile, sit in the executable and
+     never run;
+   - a [BENCH_*.json] artifact named anywhere under [bench/] (a gate, a
+     doc string, a comparison) with no [open_out "BENCH_*.json"] producer
+     left in the bench sources.
+
+   Usage: wiring_check TEST_DIR BENCH_DIR — prints one line per violation
+   and exits 1 if any were found. *)
+
+let violations = ref 0
+
+let complain path what =
+  incr violations;
+  Printf.eprintf "%s: %s\n" path what
+
+let read_file path =
+  let ic = open_in_bin path in
+  let body = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  body
+
+let contains haystack needle =
+  let h = String.length haystack and n = String.length needle in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let ml_files dir =
+  Sys.readdir dir |> Array.to_list
+  |> List.filter (fun f -> Filename.extension f = ".ml")
+  |> List.sort compare
+
+(* --- every test/test_*.ml is wired into test_main.ml --- *)
+
+let check_test_wiring dir =
+  let main = Filename.concat dir "test_main.ml" in
+  if not (Sys.file_exists main) then complain main "missing test driver"
+  else begin
+    let driver = read_file main in
+    List.iter
+      (fun f ->
+        if
+          String.length f > 5
+          && String.sub f 0 5 = "test_"
+          && f <> "test_main.ml"
+        then begin
+          let modname = String.capitalize_ascii (Filename.chop_extension f) in
+          if not (contains driver (modname ^ ".")) then
+            complain (Filename.concat dir f)
+              (Printf.sprintf "not wired into test_main.ml (no %s.suite)" modname)
+        end)
+      (ml_files dir)
+  end
+
+(* --- every BENCH_*.json named under bench/ has a producer --- *)
+
+(* Collect every "BENCH_<name>.json" literal occurring in [body]. *)
+let bench_names body =
+  let names = ref [] in
+  let len = String.length body in
+  let is_name_char c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_'
+  in
+  let i = ref 0 in
+  while !i < len do
+    if !i + 6 <= len && String.sub body !i 6 = "BENCH_" then begin
+      let j = ref (!i + 6) in
+      while !j < len && is_name_char body.[!j] do
+        incr j
+      done;
+      if !j + 5 <= len && String.sub body !j 5 = ".json" then begin
+        let name = String.sub body !i (!j + 5 - !i) in
+        if not (List.mem name !names) then names := name :: !names;
+        i := !j + 5
+      end
+      else i := !j
+    end
+    else incr i
+  done;
+  List.sort compare !names
+
+let check_bench_producers dir =
+  let bodies = List.map (fun f -> (f, read_file (Filename.concat dir f))) (ml_files dir) in
+  let all = List.concat_map (fun (_, body) -> bench_names body) bodies in
+  List.iter
+    (fun name ->
+      let produced =
+        List.exists
+          (fun (_, body) -> contains body (Printf.sprintf {|open_out "%s"|} name))
+          bodies
+      in
+      if not produced then
+        complain dir (Printf.sprintf "%s is named but nothing writes it" name))
+    (List.sort_uniq compare all)
+
+let () =
+  (match Array.to_list Sys.argv with
+  | [ _; test_dir; bench_dir ] ->
+      check_test_wiring test_dir;
+      check_bench_producers bench_dir
+  | _ ->
+      prerr_endline "usage: wiring_check TEST_DIR BENCH_DIR";
+      exit 2);
+  if !violations > 0 then begin
+    Printf.eprintf "wiring_check: %d violation%s\n" !violations
+      (if !violations = 1 then "" else "s");
+    exit 1
+  end

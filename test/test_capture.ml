@@ -110,6 +110,7 @@ let g_summary =
   let* sampled_records = g_nat in
   let* true_accesses = g_nat in
   let* writes = g_nat in
+  let* est_rate = QCheck.Gen.oneofl [ 1.0; 0.5; 0.25; 0.125 ] in
   QCheck.Gen.return
     {
       Pasta.Devagg.objects;
@@ -118,6 +119,7 @@ let g_summary =
       sampled_records;
       true_accesses;
       writes;
+      est_rate;
     }
 
 let g_profile =
@@ -393,7 +395,7 @@ let live_run ~domains path =
   let ctx = Dlfw.Ctx.create device in
   let hot = Pasta_tools.Hotness.create () in
   let (), result =
-    Pasta.Session.run ~sample_rate:256 ~capture:path
+    Pasta.Session.run ~sample_cap:256 ~capture:path
       ~tool:(Pasta_tools.Hotness.tool_fine hot)
       device (bert_inference ctx)
   in

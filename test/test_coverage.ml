@@ -133,50 +133,264 @@ let test_uvm_clips_to_range () =
   check_int "touch clipped too" 1 !f;
   Gpusim.Uvm.check_invariants u
 
-(* ---- Pretty-printer totality ---- *)
+(* ---- Event vocabulary: one sample per constructor ---- *)
+
+let sample_ki =
+  {
+    Pasta.Event.device_id = 0;
+    grid_id = 1;
+    stream = 0;
+    name = "k";
+    grid = Gpusim.Dim3.make 1;
+    block = Gpusim.Dim3.make 32;
+    shared_bytes = 0;
+    arg_ptrs = [];
+    py_stack = [];
+    native_stack = [];
+  }
+
+let sample_access =
+  { Pasta.Event.addr = 0; size = 4; write = true; pc = 16; warp = 0; weight = 2 }
+
+let sample_batch =
+  Gpusim.Warp.batch_of_arrays ~region:0 ~chunk:0 ~pc:16 ~addrs:[| 0; 64 |]
+    ~sizes:[| 4; 4 |] ~warps:[| 0; 1 |] ~weights:[| 1; 2 |]
+    ~writes:(Bytes.make 2 '\000')
+
+let sample_summary =
+  let om = Pasta.Objmap.create () in
+  Pasta.Devagg.merge [| Pasta.Devagg.aggregate (Pasta.Objmap.view om) sample_batch |]
+
+(* Exactly one payload per constructor; the [all_kinds] cross-check below
+   fails if a new constructor is added without extending this list. *)
+let sample_payloads =
+  [
+    Pasta.Event.Driver_call { name = "LaunchKernel"; phase = `Enter };
+    Pasta.Event.Runtime_call { name = "Memcpy"; phase = `Exit };
+    Pasta.Event.Kernel_launch
+      {
+        info = sample_ki;
+        phase = `End { Pasta.Event.duration_us = 1.0; true_accesses = 2; faulted_pages = 0 };
+      };
+    Pasta.Event.Memory_copy { bytes = 1; direction = `D2d; stream = 1 };
+    Pasta.Event.Memory_set { addr = 0; bytes = 16; value = 0 };
+    Pasta.Event.Memory_alloc { addr = 0; bytes = 16; managed = false };
+    Pasta.Event.Memory_free { addr = 0; bytes = 16 };
+    Pasta.Event.Synchronization { scope = `Stream 2 };
+    Pasta.Event.Global_access { kernel = sample_ki; access = sample_access };
+    Pasta.Event.Access_batch { kernel = sample_ki; batch = sample_batch };
+    Pasta.Event.Device_summary { kernel = sample_ki; summary = sample_summary };
+    Pasta.Event.Shared_access { kernel = sample_ki; access = sample_access };
+    Pasta.Event.Kernel_region
+      {
+        kernel = sample_ki;
+        region = { Pasta.Event.base = 0; extent = 4; accesses = 1; written = true };
+      };
+    Pasta.Event.Barrier { kernel = sample_ki; count = 3 };
+    Pasta.Event.Kernel_profile { kernel = sample_ki; profile = Gpusim.Kernel.no_profile };
+    Pasta.Event.Operator { name = "aten::x"; phase = `Exit; seq = 9 };
+    Pasta.Event.Tensor_alloc
+      { ptr = 0; bytes = 8; pool_allocated = 8; pool_reserved = 8; tag = "t" };
+    Pasta.Event.Tensor_free { ptr = 0; bytes = 8; pool_allocated = 0; pool_reserved = 8 };
+    Pasta.Event.Annotation { label = "r"; phase = `End };
+    Pasta.Event.Tool_quarantined { tool = "t"; failures = 3 };
+  ]
 
 let test_event_pp_total () =
-  let ki =
-    {
-      Pasta.Event.device_id = 0;
-      grid_id = 1;
-      stream = 0;
-      name = "k";
-      grid = Gpusim.Dim3.make 1;
-      block = Gpusim.Dim3.make 32;
-      shared_bytes = 0;
-      arg_ptrs = [];
-      py_stack = [];
-      native_stack = [];
-    }
-  in
-  let access = { Pasta.Event.addr = 0; size = 4; write = true; pc = 16; warp = 0; weight = 2 } in
-  let payloads =
-    [
-      Pasta.Event.Runtime_call { name = "Memcpy"; phase = `Exit };
-      Pasta.Event.Kernel_launch
-        { info = ki; phase = `End { Pasta.Event.duration_us = 1.0; true_accesses = 2; faulted_pages = 0 } };
-      Pasta.Event.Memory_set { addr = 0; bytes = 16; value = 0 };
-      Pasta.Event.Memory_free { addr = 0; bytes = 16 };
-      Pasta.Event.Synchronization { scope = `Stream 2 };
-      Pasta.Event.Global_access { kernel = ki; access };
-      Pasta.Event.Shared_access { kernel = ki; access };
-      Pasta.Event.Kernel_region
-        { kernel = ki; region = { Pasta.Event.base = 0; extent = 4; accesses = 1; written = true } };
-      Pasta.Event.Barrier { kernel = ki; count = 3 };
-      Pasta.Event.Operator { name = "aten::x"; phase = `Exit; seq = 9 };
-      Pasta.Event.Tensor_free { ptr = 0; bytes = 8; pool_allocated = 0; pool_reserved = 8 };
-      Pasta.Event.Annotation { label = "r"; phase = `End };
-      Pasta.Event.Memory_copy { bytes = 1; direction = `D2d; stream = 1 };
-    ]
-  in
   List.iter
     (fun payload ->
       let s =
         Format.asprintf "%a" Pasta.Event.pp { Pasta.Event.device = 0; time_us = 0.0; payload }
       in
       check_bool (Pasta.Event.kind_name payload) true (String.length s > 0))
-    payloads
+    sample_payloads
+
+let test_all_kinds_closed () =
+  let sorted l = List.sort compare l in
+  (* [all_kinds] lists each constructor's kind exactly once, and the
+     constructor samples above cover every one of them. *)
+  Alcotest.(check (list string))
+    "all_kinds matches the constructor samples"
+    (sorted Pasta.Event.all_kinds)
+    (sorted (List.map Pasta.Event.kind_name sample_payloads));
+  check_int "no duplicate kinds"
+    (List.length Pasta.Event.all_kinds)
+    (List.length (List.sort_uniq compare Pasta.Event.all_kinds))
+
+(* ---- Every event kind has a live producer ---- *)
+
+(* Sessions over each vendor backend and analysis model, all feeding one
+   [seen] table; at the end every kind in [Event.all_kinds] must have
+   appeared.  A constructor nothing can emit is dead vocabulary. *)
+let test_every_kind_produced () =
+  let seen = Hashtbl.create 64 in
+  let mark payload = Hashtbl.replace seen (Pasta.Event.kind_name payload) () in
+  let collector ?(fine = Pasta.Tool.No_fine_grained) ?(batch_aware = false) () =
+    {
+      (Pasta.Tool.default ~fine_grained:fine "collector") with
+      Pasta.Tool.on_event = (fun ev -> mark ev.Pasta.Event.payload);
+      on_access_batch = (if batch_aware then Some (fun _ _ -> ()) else None);
+    }
+  in
+  let collect ?fine ?batch_aware arch f =
+    let device = Gpusim.Device.create arch in
+    let ctx = Dlfw.Ctx.create device in
+    let (), result =
+      Pasta.Session.run ~tool:(collector ?fine ?batch_aware ()) device (fun () ->
+          f device ctx)
+    in
+    List.iter
+      (fun (e : Pasta.Event.t) -> mark e.Pasta.Event.payload)
+      result.Pasta.Session.health.Pasta.Session.incidents;
+    Dlfw.Ctx.destroy ctx
+  in
+  let relu ctx =
+    let x = Dlfw.Ops.new_tensor ctx [ 256 ] Dlfw.Dtype.F32 in
+    let y = Dlfw.Ops.relu ctx x in
+    Dlfw.Tensor.release x;
+    Dlfw.Tensor.release y
+  in
+  (* NVIDIA Sanitizer, coarse domains + framework hooks + annotations:
+     driver_call, kernel_launch, memory_copy/set/alloc/free,
+     synchronization, operator, tensor_alloc/free, annotation. *)
+  collect Gpusim.Arch.a100 (fun device ctx ->
+      Pasta.Session.start ~label:"roi" ();
+      relu ctx;
+      let a = Gpusim.Device.malloc device 4096 in
+      let base = a.Gpusim.Device_mem.base in
+      Gpusim.Device.memset device ~addr:base ~bytes:64 ~value:0 ();
+      Gpusim.Device.memcpy device ~dst:base ~src:base ~bytes:64
+        ~kind:Gpusim.Device.Device_to_device ();
+      Gpusim.Device.synchronize device;
+      Gpusim.Device.free device base;
+      Pasta.Session.end_ ~label:"roi" ());
+  (* AMD Rocprofiler: the only runtime_call producer. *)
+  collect Gpusim.Arch.mi300x (fun device _ctx ->
+      let a = Gpusim.Device.malloc device 4096 in
+      Gpusim.Device.memcpy device ~dst:a.Gpusim.Device_mem.base
+        ~src:a.Gpusim.Device_mem.base ~bytes:64
+        ~kind:Gpusim.Device.Device_to_device ();
+      Gpusim.Device.synchronize device);
+  (* Host trace analysis, per-record and batched: global_access /
+     access_batch. *)
+  collect ~fine:Pasta.Tool.Cpu_sanitizer Gpusim.Arch.a100 (fun _ ctx -> relu ctx);
+  collect ~fine:Pasta.Tool.Cpu_sanitizer ~batch_aware:true Gpusim.Arch.a100
+    (fun _ ctx -> relu ctx);
+  (* Device-resident analysis models: kernel_region / device_summary. *)
+  collect ~fine:Pasta.Tool.Gpu_accelerated Gpusim.Arch.a100 (fun _ ctx -> relu ctx);
+  collect ~fine:Pasta.Tool.Gpu_parallel Gpusim.Arch.a100 (fun _ ctx -> relu ctx);
+  (* Instruction-level patching: kernel_profile, shared_access, barrier.
+     Elementwise kernels use no shared memory — a GEMM does. *)
+  collect ~fine:Pasta.Tool.Instruction_level Gpusim.Arch.a100 (fun _ ctx ->
+      let x = Dlfw.Ops.new_tensor ctx [ 64; 64 ] Dlfw.Dtype.F32 in
+      let w = Dlfw.Ops.new_tensor ctx [ 64; 64 ] Dlfw.Dtype.F32 in
+      let y = Dlfw.Ops.linear ctx ~input:x ~weight:w ~bias:None ~m:64 ~k:64 ~n:64 in
+      List.iter Dlfw.Tensor.release [ x; w; y ]);
+  (* The supervision layer's own event, via a tripped circuit breaker. *)
+  collect Gpusim.Arch.a100 (fun device _ctx ->
+      let bomb =
+        {
+          (Pasta.Tool.default "bomb") with
+          Pasta.Tool.on_event = (fun _ -> failwith "boom");
+        }
+      in
+      let (), inner =
+        Pasta.Session.run ~tool:bomb device (fun () ->
+            for _ = 1 to 20 do
+              Gpusim.Device.synchronize device
+            done)
+      in
+      List.iter
+        (fun (e : Pasta.Event.t) -> mark e.Pasta.Event.payload)
+        inner.Pasta.Session.health.Pasta.Session.incidents);
+  List.iter
+    (fun kind -> check_bool ("produced: " ^ kind) true (Hashtbl.mem seen kind))
+    Pasta.Event.all_kinds
+
+(* ---- Every event kind has a registry consumer ---- *)
+
+(* kind -> a registered tool that actually uses it (not a wildcard
+   pass-through).  Kept by hand so removing a consumer breaks the test. *)
+let registry_consumers =
+  [
+    ("driver_call", "trace_export");
+    ("runtime_call", "trace_export");
+    ("kernel_launch", "kernel_freq");
+    ("memory_copy", "transfer");
+    ("memory_set", "trace_export");
+    ("memory_alloc", "memory_charact");
+    ("memory_free", "memory_charact");
+    ("synchronization", "trace_export");
+    ("global_access", "memory_charact_cs_cpu");
+    ("access_batch", "memory_charact_cs_cpu");
+    ("device_summary", "memory_charact_par");
+    ("shared_access", "barrier_stall");
+    ("kernel_region", "hotness");
+    ("barrier", "barrier_stall");
+    ("kernel_profile", "divergence");
+    ("operator", "op_summary");
+    ("tensor_alloc", "mem_timeline");
+    ("tensor_free", "mem_timeline");
+    ("annotation", "trace_export");
+    ("tool_quarantined", "trace_export");
+  ]
+
+let test_every_kind_consumed () =
+  Pasta_tools.Tools.register_all ();
+  Alcotest.(check (list string))
+    "consumer table covers the whole vocabulary"
+    (List.sort compare Pasta.Event.all_kinds)
+    (List.sort compare (List.map fst registry_consumers));
+  List.iter
+    (fun (kind, name) ->
+      check_bool
+        (Printf.sprintf "consumer of %s (%s) is registered" kind name)
+        true
+        (Pasta.Registry.find name <> None))
+    registry_consumers
+
+let test_consumers_functional () =
+  (* trace_export materializes the four API-surface kinds it just gained. *)
+  let tx = Pasta.Trace_export.create () in
+  List.iter
+    (fun payload ->
+      Pasta.Trace_export.record tx { Pasta.Event.device = 0; time_us = 1.0; payload })
+    [
+      Pasta.Event.Driver_call { name = "LaunchKernel"; phase = `Exit };
+      Pasta.Event.Runtime_call { name = "Memcpy"; phase = `Exit };
+      Pasta.Event.Memory_set { addr = 0; bytes = 16; value = 0 };
+      Pasta.Event.Synchronization { scope = `Device };
+    ];
+  check_int "api-surface instants materialized" 4 (Pasta.Trace_export.event_count tx);
+  let json = Pasta.Trace_export.to_json tx in
+  List.iter
+    (fun cat ->
+      check_bool ("trace has " ^ cat) true
+        (Astring_contains.contains json (Printf.sprintf {|"cat":"%s"|} cat)))
+    [ "driver_api"; "runtime_api"; "memory"; "sync" ];
+  (* barrier_stall consumes the dynamic fine-grained stream. *)
+  let b = Pasta_tools.Barrier_stall.create () in
+  let tool = Pasta_tools.Barrier_stall.tool b in
+  tool.Pasta.Tool.on_event
+    {
+      Pasta.Event.device = 0;
+      time_us = 1.0;
+      payload = Pasta.Event.Barrier { kernel = sample_ki; count = 3 };
+    };
+  tool.Pasta.Tool.on_event
+    {
+      Pasta.Event.device = 0;
+      time_us = 2.0;
+      payload = Pasta.Event.Shared_access { kernel = sample_ki; access = sample_access };
+    };
+  check_int "dynamic barriers counted" 3 (Pasta_tools.Barrier_stall.dynamic_barriers b);
+  check_int "dynamic shared weight counted" 2 (Pasta_tools.Barrier_stall.dynamic_shared b);
+  (* memory_charact's sanitizer-CPU variant opts into batch delivery. *)
+  let mc =
+    Pasta_tools.Memory_charact.tool
+      (Pasta_tools.Memory_charact.create ~variant:Pasta_tools.Memory_charact.Cpu_sanitizer ())
+  in
+  check_bool "CS-CPU is batch-aware" true (mc.Pasta.Tool.on_access_batch <> None)
 
 let test_misc_pps () =
   check_bool "arch pp" true (String.length (Format.asprintf "%a" Gpusim.Arch.pp Gpusim.Arch.tpu_v4) > 0);
@@ -263,6 +477,10 @@ let suite =
     ("allocator hard OOM", `Quick, test_allocator_hard_oom);
     ("uvm clips to range", `Quick, test_uvm_clips_to_range);
     ("event pp total", `Quick, test_event_pp_total);
+    ("all_kinds closed over constructors", `Quick, test_all_kinds_closed);
+    ("every kind has a producer", `Quick, test_every_kind_produced);
+    ("every kind has a registry consumer", `Quick, test_every_kind_consumed);
+    ("new consumers functional", `Quick, test_consumers_functional);
     ("misc pps", `Quick, test_misc_pps);
     ("processor without tool", `Quick, test_processor_without_tool);
     ("registry replacement", `Quick, test_registry_replacement);

@@ -55,14 +55,14 @@ let prop_profile_builders_valid =
 
 (* ---- Sanitizer instruction patching ---- *)
 
-let launch_profiled device prof =
+let launch_profiled ?(barriers = 0) device prof =
   let a = Gpusim.Device.malloc device 4096 in
   let k =
     Gpusim.Kernel.make ~name:"profiled_kernel" ~grid:(Gpusim.Dim3.make 4)
       ~block:(Gpusim.Dim3.make 64)
       ~regions:
         [ Gpusim.Kernel.region ~base:a.Gpusim.Device_mem.base ~bytes:4096 ~accesses:64 () ]
-      ~prof ()
+      ~shared_bytes:2048 ~barriers ~prof ()
   in
   ignore (Gpusim.Device.launch device k)
 
@@ -80,6 +80,8 @@ let test_instruction_analysis_masking () =
        {
          classes = [ Vendor.Sanitizer.Control_flow ];
          on_profile = (fun _ p -> seen := p);
+         on_shared_access = None;
+         on_barrier = None;
        });
   launch_profiled device rich_profile;
   check_int "branches visible" 1000 !seen.Gpusim.Kernel.branches;
@@ -96,17 +98,38 @@ let test_instruction_analysis_all_classes () =
   let device = Gpusim.Device.create Gpusim.Arch.a100 in
   let s = Vendor.Sanitizer.attach device in
   let seen = ref Gpusim.Kernel.no_profile in
+  let shared = ref [] in
+  let barriers = ref 0 in
   Vendor.Sanitizer.patch_module s
     (Vendor.Sanitizer.Instruction_analysis
        {
          classes = Vendor.Sanitizer.all_instr_classes;
          on_profile = (fun _ p -> seen := p);
+         on_shared_access = Some (fun _ a -> shared := a :: !shared);
+         on_barrier = Some (fun _ n -> barriers := !barriers + n);
        });
-  launch_profiled device rich_profile;
+  launch_profiled ~barriers:3 device rich_profile;
   check_int "shared" 500 !seen.Gpusim.Kernel.shared_accesses;
   check_int "conflicts" 50 !seen.Gpusim.Kernel.bank_conflicts;
   Alcotest.(check (float 1e-9)) "stall" 7.0 !seen.Gpusim.Kernel.barrier_stall_us;
-  check_int "redundant" 10 !seen.Gpusim.Kernel.redundant_loads
+  check_int "redundant" 10 !seen.Gpusim.Kernel.redundant_loads;
+  (* Synthesized shared-access records: bounded count, weights summing
+     exactly to the dynamic count, addresses inside the static allocation. *)
+  check_bool "shared records bounded" true
+    (List.length !shared > 0 && List.length !shared <= 16);
+  check_int "shared weights sum to dynamic count" 500
+    (List.fold_left (fun acc a -> acc + a.Gpusim.Warp.weight) 0 !shared);
+  check_bool "shared addrs in window" true
+    (List.for_all
+       (fun a -> a.Gpusim.Warp.addr >= 0 && a.Gpusim.Warp.addr < 2048)
+       !shared);
+  check_int "barrier count surfaced" 3 !barriers;
+  (* The synthesis is a pure function of the kernel: a second launch
+     produces the identical record list. *)
+  let first = !shared in
+  shared := [];
+  launch_profiled ~barriers:3 device rich_profile;
+  check_bool "synthesis deterministic" true (first = !shared)
 
 (* ---- Tools over a real model run ---- *)
 
@@ -156,7 +179,22 @@ let test_barrier_stall_tool () =
   | r :: _ ->
       check_bool "conflict rate bounded" true
         (Pasta_tools.Barrier_stall.conflict_rate r <= 1.0)
-  | [] -> Alcotest.fail "expected rows")
+  | [] -> Alcotest.fail "expected rows");
+  (* Instruction-level sessions surface the dynamic fine-grained stream;
+     its weighted shared count must agree with the per-kernel profiles. *)
+  check_bool "dynamic barriers observed" true
+    (Pasta_tools.Barrier_stall.dynamic_barriers b > 0);
+  let profile_shared =
+    List.fold_left
+      (fun acc r -> acc + r.Pasta_tools.Barrier_stall.shared_accesses)
+      0
+      (Pasta_tools.Barrier_stall.rows b)
+  in
+  check_int "dynamic shared weight matches profiles" profile_shared
+    (Pasta_tools.Barrier_stall.dynamic_shared b);
+  let report = Format.asprintf "%t" (Pasta_tools.Barrier_stall.report b) in
+  check_bool "report has dynamic line" true
+    (Astring_contains.contains report "dynamic:")
 
 let test_value_check_tool () =
   let v = Pasta_tools.Value_check.create () in

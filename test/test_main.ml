@@ -22,4 +22,5 @@ let () =
       ("capture", Test_capture.suite);
       ("models", Test_models.suite);
       ("telemetry", Test_telemetry.suite);
+      ("sampling", Test_sampling.suite);
     ]

@@ -300,7 +300,7 @@ let test_session_end_to_end () =
 let test_session_restores_sample_cap () =
   let device = mk_device () in
   Gpusim.Device.set_sample_cap device 99;
-  let s = Pasta.Session.attach ~sample_rate:7 ~tool:(Pasta.Tool.default "t") device in
+  let s = Pasta.Session.attach ~sample_cap:7 ~tool:(Pasta.Tool.default "t") device in
   check_int "cap applied" 7 (Gpusim.Device.sample_cap device);
   ignore (Pasta.Session.detach s);
   check_int "cap restored" 99 (Gpusim.Device.sample_cap device)

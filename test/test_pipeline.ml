@@ -109,7 +109,7 @@ let fine_run ?fault_seed domains =
   let hot = Pasta_tools.Hotness.create () in
   let faults = Option.map (fun seed -> Gpusim.Faults.create ~seed ()) fault_seed in
   let (), result =
-    Pasta.Session.run ?faults ~sample_rate:256
+    Pasta.Session.run ?faults ~sample_cap:256
       ~tool:(Pasta_tools.Hotness.tool_fine hot)
       device (bert_inference ctx)
   in
@@ -179,7 +179,7 @@ let sanitizer_count ?range ?(batch_aware = false) ~batch_delivery () =
       }
   in
   let (), result =
-    Pasta.Session.run ?range ~sample_rate:64 ~tool device (bert_inference ctx)
+    Pasta.Session.run ?range ~sample_cap:64 ~tool device (bert_inference ctx)
   in
   Dlfw.Ctx.destroy ctx;
   Pasta.Config.unset "ACCEL_PROF_BATCH_DELIVERY";
@@ -237,7 +237,7 @@ let test_summary_weight_sums () =
           if not (sorted s.Pasta.Devagg.coalesced) then incr bad)
     }
   in
-  let (), _ = Pasta.Session.run ~sample_rate:128 ~tool device (bert_inference ctx) in
+  let (), _ = Pasta.Session.run ~sample_cap:128 ~tool device (bert_inference ctx) in
   Dlfw.Ctx.destroy ctx;
   check_bool "summaries flowed" true (!summaries > 0);
   check_int "invariant violations" 0 !bad

@@ -269,7 +269,7 @@ let live_run ?capture ~domains () =
   let ctx = Dlfw.Ctx.create device in
   let hot = Pasta_tools.Hotness.create () in
   let (), result =
-    Pasta.Session.run ~sample_rate:256 ?capture
+    Pasta.Session.run ~sample_cap:256 ?capture
       ~tool:(Pasta_tools.Hotness.tool_fine hot)
       device (bert_inference ctx)
   in
