@@ -1248,6 +1248,151 @@ let sampling () =
     exit 1
   end
 
+(* ------------------------------------------------------------------ *)
+
+(* Fleet aggregation: tree reduction (fanout 8, domain pool) vs flat
+   concat (one merge node over every leaf) as the device count grows.
+   Leaves are synthesized by scaling one real per-shard summary, so the
+   bench times only the aggregation — the claim under test is that the
+   failure-aware tree's wall time grows sublinearly from 64 to 512
+   devices while the flat baseline grows linearly, with and without
+   injected merge-node corruption. *)
+
+let fleet_leaf_summary () =
+  let device = Gpusim.Device.create ~seed:42L Gpusim.Arch.a100 in
+  let acc = ref [] in
+  let tool =
+    {
+      (Pasta.Tool.default ~fine_grained:Pasta.Tool.Gpu_parallel "fleet-bench") with
+      Pasta.Tool.on_device_summary = (fun _ s -> acc := s :: !acc);
+    }
+  in
+  let (), _ =
+    Pasta.Session.run ~tool device (fun () ->
+        let buf = Gpusim.Device.malloc device (4 * 1024 * 1024) in
+        for _ = 1 to 3 do
+          ignore
+            (Gpusim.Device.launch device
+               (Gpusim.Kernel.make ~name:"fleet_bench_kernel"
+                  ~grid:(Gpusim.Dim3.make 64) ~block:(Gpusim.Dim3.make 128)
+                  ~regions:
+                    [
+                      Gpusim.Kernel.region ~base:buf.Gpusim.Device_mem.base
+                        ~bytes:(1 lsl 20) ~accesses:20_000 ();
+                    ]
+                  ()))
+        done)
+  in
+  Pasta.Devagg.merge_summaries (List.rev !acc)
+
+(* Uniform integer scaling keeps every Devagg.validate invariant (weights
+   still sum to the total), so scaled clones stand in for distinct
+   devices without running 512 sessions. *)
+let scale_summary k s =
+  {
+    s with
+    Pasta.Devagg.objects =
+      List.map (fun (o, w) -> (o, w * k)) s.Pasta.Devagg.objects;
+    blocks = List.map (fun (b, c) -> (b, c * k)) s.Pasta.Devagg.blocks;
+    sampled_records = s.Pasta.Devagg.sampled_records * k;
+    true_accesses = s.Pasta.Devagg.true_accesses * k;
+    writes = s.Pasta.Devagg.writes * k;
+  }
+
+let fleet_bench () =
+  section
+    "Fleet aggregation: failure-aware tree reduction vs flat concat, 64..512 \
+     devices";
+  let base = fleet_leaf_summary () in
+  let fanout = 8 and seed = 0x5eedL and reps = 5 in
+  let pool = Pasta_util.Domain_pool.global ~size:(Pasta.Config.domains ()) in
+  let best f =
+    let wall () =
+      let t0 = Unix.gettimeofday () in
+      ignore (f ());
+      Unix.gettimeofday () -. t0
+    in
+    List.init reps (fun _ -> wall ()) |> List.fold_left Float.min infinity
+  in
+  let sizes = [ 64; 128; 256; 512 ] in
+  let measure n =
+    let leaves = Array.init n (fun d -> Some (scale_summary (1 + (d mod 7)) base)) in
+    let summaries = Array.to_list leaves |> List.filter_map Fun.id in
+    let tree_us = 1.0e6 *. best (fun () -> Pasta.Fleet.reduce ~pool ~seed ~fanout leaves) in
+    let tree_fault_us =
+      1.0e6
+      *. best (fun () ->
+             Pasta.Fleet.reduce ~pool ~rates:Gpusim.Faults.default_fleet_rates
+               ~seed ~fanout leaves)
+    in
+    let flat_us = 1.0e6 *. best (fun () -> Pasta.Fleet.flat_merge summaries) in
+    let faulted =
+      Pasta.Fleet.reduce ~pool ~rates:Gpusim.Faults.default_fleet_rates ~seed
+        ~fanout leaves
+    in
+    let dropped =
+      List.fold_left
+        (fun acc (_, ds) -> acc + List.length ds)
+        0 faulted.Pasta.Fleet.red_dropped
+    in
+    (n, tree_us, tree_fault_us, flat_us, dropped)
+  in
+  let rows = List.map measure sizes in
+  Pasta_util.Texttab.render ppf
+    ~header:
+      [ "devices"; "tree (us)"; "tree+faults (us)"; "flat (us)"; "dropped" ]
+    ~align:[ Pasta_util.Texttab.Right; Right; Right; Right; Right ]
+    (List.map
+       (fun (n, t, tf, fl, d) ->
+         [
+           string_of_int n;
+           Printf.sprintf "%.1f" t;
+           Printf.sprintf "%.1f" tf;
+           Printf.sprintf "%.1f" fl;
+           string_of_int d;
+         ])
+       rows);
+  let at n = List.find (fun (m, _, _, _, _) -> m = n) rows in
+  let _, t64, _, f64, _ = at 64 and _, t512, _, f512, _ = at 512 in
+  let growth_tree = t512 /. t64 and growth_flat = f512 /. f64 in
+  (* 64 -> 512 is an 8x device growth: the tree is sublinear when its
+     wall time grows by less than that factor. *)
+  let sublinear = growth_tree < 8.0 in
+  Format.fprintf ppf
+    "@.64 -> 512 devices: tree wall grows %.2fx, flat grows %.2fx (%s)@."
+    growth_tree growth_flat
+    (if sublinear then "tree sublinear" else "tree NOT sublinear");
+  let b = Buffer.create 1024 in
+  Printf.bprintf b "{\n";
+  Printf.bprintf b "  \"experiment\": \"fleet\",\n";
+  Printf.bprintf b "  \"fanout\": %d,\n  \"reps\": %d,\n  \"pool_domains\": %d,\n"
+    fanout reps
+    (Pasta_util.Domain_pool.size pool);
+  Printf.bprintf b "  \"rows\": [\n";
+  List.iteri
+    (fun i (n, t, tf, fl, d) ->
+      Printf.bprintf b
+        "    { \"devices\": %d, \"tree_us\": %.1f, \"tree_faults_us\": %.1f, \
+         \"flat_us\": %.1f, \"dropped_with_faults\": %d }%s\n"
+        n t tf fl d
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.bprintf b "  ],\n";
+  Printf.bprintf b "  \"growth_tree_64_to_512\": %.3f,\n" growth_tree;
+  Printf.bprintf b "  \"growth_flat_64_to_512\": %.3f,\n" growth_flat;
+  Printf.bprintf b "  \"tree_sublinear\": %b\n}\n" sublinear;
+  let oc = open_out "BENCH_fleet.json" in
+  output_string oc (Buffer.contents b);
+  close_out oc;
+  Format.fprintf ppf "wrote BENCH_fleet.json@.";
+  if not sublinear then begin
+    Format.fprintf ppf
+      "fleet: FAIL - tree aggregation wall time grew %.2fx over an 8x device \
+       growth@."
+      growth_tree;
+    exit 1
+  end
+
 (* Tiny divergence gate for `dune build @perf-smoke` (part of runtest):
    the batched path must see exactly the records the per-record path
    sees, and its output must not depend on the domain count. *)
@@ -1294,6 +1439,7 @@ let experiments =
     ("replay", replay);
     ("telemetry", telemetry);
     ("sampling", sampling);
+    ("fleet", fleet_bench);
   ]
 
 (* Run one experiment, optionally capturing its output into

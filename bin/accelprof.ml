@@ -14,6 +14,13 @@
 
 open Cmdliner
 
+(* Satellite of the fleet PR: a run that *completed* but lost data — tools
+   quarantined, records dropped, fleet devices missing — must not exit 0.
+   Success paths set this and the process exits 3 ("degraded") instead;
+   real failures keep their usual nonzero codes. *)
+let exit_degraded = 3
+let degraded = ref false
+
 let arch_of_string = function
   | "a100" -> Ok Gpusim.Arch.a100
   | "rtx3060" -> Ok Gpusim.Arch.rtx3060
@@ -122,6 +129,37 @@ let domains_arg =
            machine's recommended domain count, capped at 8. Results are \
            identical for every value.")
 
+let devices_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "devices" ] ~docv:"N"
+        ~doc:
+          "Profile a fleet of $(docv) simulated devices instead of one \
+           workload: each device runs a seeded profiling shard under a \
+           per-device deadline with retried, backed-off attempts, and the \
+           per-device summaries merge through a failure-tolerant tree \
+           reduction. With $(b,--devices) > 1 the MODEL argument is ignored \
+           and the partial fleet report is printed.")
+
+let fleet_fanout_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "fleet-fanout" ] ~docv:"K"
+        ~doc:
+          "Merge-tree fanout for fleet aggregation, >= 2 \
+           (ACCEL_PROF_FLEET_FANOUT; default 8).")
+
+let strict_fleet_arg =
+  Arg.(
+    value & flag
+    & info [ "strict-fleet" ]
+        ~doc:
+          "Treat fleet devices absent from the aggregate (missing or \
+           dropped at a merge node) as a hard failure instead of \
+           completing with a partial report and the degraded exit code \
+           (ACCEL_PROF_STRICT_FLEET).")
+
 let start_grid_arg =
   Arg.(
     value
@@ -223,14 +261,90 @@ let model_pos p =
     & pos p (some string) None
     & info [] ~docv:"MODEL" ~doc:"Workload: AN, RN-18, RN-34, BERT, GPT-2 or Whisper.")
 
+(* Fleet path (--devices N > 1): the orchestrator drives its own seeded
+   per-device shards, so the MODEL/tool machinery is bypassed; [capture]
+   becomes the per-device trace prefix and [replay_traces] rebuilds the
+   result from a previous capture instead of running live. *)
+let fleet_cfg ~devices ~fanout ~inject_faults ~sample_rate ~overhead_budget
+    ~capture =
+  let cfg = Pasta.Fleet.default_cfg ~devices () in
+  {
+    cfg with
+    Pasta.Fleet.fanout = Option.value fanout ~default:cfg.Pasta.Fleet.fanout;
+    fault_rates =
+      (if inject_faults then Some Gpusim.Faults.default_fleet_rates
+       else cfg.Pasta.Fleet.fault_rates);
+    sample_rate =
+      (match sample_rate with
+      | Some _ -> sample_rate
+      | None -> cfg.Pasta.Fleet.sample_rate);
+    overhead_budget =
+      (match overhead_budget with
+      | Some _ -> overhead_budget
+      | None -> cfg.Pasta.Fleet.overhead_budget);
+    capture_prefix = capture;
+  }
+
+let run_fleet ?(replay_traces = false) ~devices ~fanout ~strict ~inject_faults
+    ~sample_rate ~overhead_budget ~capture ~metrics_out ~trace_out () =
+  let cfg =
+    fleet_cfg ~devices ~fanout ~inject_faults ~sample_rate ~overhead_budget
+      ~capture
+  in
+  match if replay_traces then Pasta.Fleet.replay cfg else Pasta.Fleet.run cfg with
+  | exception Invalid_argument msg -> `Error (false, msg)
+  | r ->
+      print_string r.Pasta.Fleet.report;
+      (if (not replay_traces) && capture <> None then
+         Option.iter
+           (fun prefix ->
+             Format.printf "[accelprof] fleet traces written to %s@."
+               (Pasta.Fleet.trace_path prefix 0 |> fun first ->
+                Printf.sprintf "%s .. %s" first
+                  (Pasta.Fleet.trace_path prefix (devices - 1))))
+           capture);
+      (match trace_out with
+      | None -> ()
+      | Some path ->
+          Pasta.Telemetry.write_chrome_trace path;
+          Format.printf "[accelprof] telemetry trace written to %s (%d spans)@."
+            path
+            (Pasta.Telemetry.spans_recorded ()));
+      (match metrics_out with
+      | None -> ()
+      | Some path ->
+          Pasta.Telemetry.write_prometheus ~extra:[ r.Pasta.Fleet.registry ]
+            path;
+          Format.printf "[accelprof] metrics written to %s@." path);
+      let absent =
+        List.fold_left
+          (fun acc (_, devs) -> acc + List.length devs)
+          r.Pasta.Fleet.missing r.Pasta.Fleet.dropped_at_merge
+      in
+      if strict && absent > 0 then
+        `Error
+          ( false,
+            Printf.sprintf
+              "fleet: %d device(s) missing from the aggregate (--strict-fleet)"
+              absent )
+      else begin
+        if
+          r.Pasta.Fleet.missing > 0
+          || r.Pasta.Fleet.quarantined_total > 0
+          || r.Pasta.Fleet.records_dropped > 0
+          || r.Pasta.Fleet.dropped_at_merge <> []
+        then degraded := true;
+        `Ok ()
+      end
+
 (* Shared workload driver for `accelprof MODEL` and `accelprof record`.
    [capture] streams the main session's op stream to a .ptrace file;
    [default_tool] lets `record` fall back to the passthrough capture tool
    when no analysis is selected. *)
 let run_workload ?capture ?default_tool tool_name gpu mode iters sample_cap
-    sample_rate overhead_budget domains start_grid end_grid verbose health
-    inject_faults fault_seed trace telemetry trace_out metrics_out overhead
-    model =
+    sample_rate overhead_budget domains devices fleet_fanout strict_fleet
+    start_grid end_grid verbose health inject_faults fault_seed trace telemetry
+    trace_out metrics_out overhead model =
   (* Registry key for the trace header, so replay can re-resolve the same
      tool (display names are not unique across tool variants). *)
   let capture_meta =
@@ -257,6 +371,14 @@ let run_workload ?capture ?default_tool tool_name gpu mode iters sample_cap
   | _ -> ());
   Pasta.Telemetry.refresh_level ();
   Pasta.Telemetry.reset ();
+  if strict_fleet then Pasta.Config.set "ACCEL_PROF_STRICT_FLEET" "1";
+  if devices < 1 then `Error (true, "--devices must be >= 1")
+  else if devices > 1 then
+    run_fleet ~devices ~fanout:fleet_fanout
+      ~strict:(Pasta.Config.strict_fleet ())
+      ~inject_faults ~sample_rate ~overhead_budget ~capture ~metrics_out
+      ~trace_out ()
+  else
   match model with
   | None -> `Error (true, "a MODEL argument is required (try list-tools or --help)")
   | Some abbr when not (List.mem abbr Dlfw.Runner.all_abbrs) ->
@@ -365,20 +487,27 @@ let run_workload ?capture ?default_tool tool_name gpu mode iters sample_cap
               result.Pasta.Session.health;
           result.Pasta.Session.report Format.std_formatter;
           Dlfw.Ctx.destroy ctx;
+          (* Data loss without hard failure: report it in the exit code. *)
+          let h = result.Pasta.Session.health in
+          if h.Pasta.Session.quarantines > 0 || h.Pasta.Session.records_dropped > 0
+          then degraded := true;
           `Ok ())
 
 let run_profile tool_name gpu mode iters sample_cap sample_rate overhead_budget
-    domains start_grid end_grid verbose health inject_faults fault_seed trace
-    telemetry trace_out metrics_out overhead model =
+    domains devices fleet_fanout strict_fleet start_grid end_grid verbose health
+    inject_faults fault_seed trace telemetry trace_out metrics_out overhead
+    model =
   run_workload tool_name gpu mode iters sample_cap sample_rate overhead_budget
-    domains start_grid end_grid verbose health inject_faults fault_seed trace
-    telemetry trace_out metrics_out overhead model
+    domains devices fleet_fanout strict_fleet start_grid end_grid verbose health
+    inject_faults fault_seed trace telemetry trace_out metrics_out overhead
+    model
 
 let profile_term =
   Term.(
     ret
       (const run_profile $ tool_arg $ gpu_arg $ mode_arg $ iters_arg
      $ sample_cap_arg $ sample_rate_arg $ budget_arg $ domains_arg
+     $ devices_arg $ fleet_fanout_arg $ strict_fleet_arg
      $ start_grid_arg $ end_grid_arg $ verbose_arg $ health_arg
      $ inject_faults_arg $ fault_seed_arg $ trace_arg $ telemetry_arg
      $ trace_out_arg $ metrics_out_arg $ overhead_arg $ model_pos 0))
@@ -392,13 +521,14 @@ let out_pos =
     & info [] ~docv:"OUT.ptrace" ~doc:"Trace file to write.")
 
 let run_record out tool_name gpu mode iters sample_cap sample_rate
-    overhead_budget domains start_grid end_grid verbose health inject_faults
-    fault_seed telemetry trace_out metrics_out overhead model =
+    overhead_budget domains devices fleet_fanout strict_fleet start_grid
+    end_grid verbose health inject_faults fault_seed telemetry trace_out
+    metrics_out overhead model =
   run_workload ~capture:out
     ~default_tool:(Pasta.Capture.passthrough ())
     tool_name gpu mode iters sample_cap sample_rate overhead_budget domains
-    start_grid end_grid verbose health inject_faults fault_seed None telemetry
-    trace_out metrics_out overhead model
+    devices fleet_fanout strict_fleet start_grid end_grid verbose health
+    inject_faults fault_seed None telemetry trace_out metrics_out overhead model
 
 let record_cmd =
   let term =
@@ -406,6 +536,7 @@ let record_cmd =
       ret
         (const run_record $ out_pos $ tool_arg $ gpu_arg $ mode_arg $ iters_arg
        $ sample_cap_arg $ sample_rate_arg $ budget_arg $ domains_arg
+       $ devices_arg $ fleet_fanout_arg $ strict_fleet_arg
        $ start_grid_arg $ end_grid_arg $ verbose_arg $ health_arg
        $ inject_faults_arg $ fault_seed_arg $ telemetry_arg $ trace_out_arg
        $ metrics_out_arg $ overhead_arg $ model_pos 1))
@@ -415,7 +546,9 @@ let record_cmd =
        ~doc:
          "run a workload and capture its submission-level op stream to a \
           .ptrace file; without $(b,--tool), a passthrough capture tool \
-          records fine-grained batches with no analysis")
+          records fine-grained batches with no analysis. With \
+          $(b,--devices) N > 1, OUT.ptrace is the per-device trace prefix \
+          (OUT.devNNN.ptrace) for the fleet shards")
     term
 
 (* --- replay ------------------------------------------------------- *)
@@ -440,8 +573,26 @@ let replay_mode tolerant =
   else if Pasta.Config.trace_strict () then Pasta.Ptrace.Strict
   else Pasta.Ptrace.Tolerant
 
-let run_replay path tools tolerant start_grid end_grid verbose health =
+let run_replay path tools tolerant devices fleet_fanout strict_fleet
+    inject_faults fault_seed start_grid end_grid verbose health =
   Pasta_tools.Tools.register_all ();
+  if inject_faults then Pasta.Config.set "ACCEL_PROF_INJECT_FAULTS" "1";
+  Option.iter
+    (fun s -> Pasta.Config.set "ACCEL_PROF_FAULT_SEED" (Int64.to_string s))
+    fault_seed;
+  if strict_fleet then Pasta.Config.set "ACCEL_PROF_STRICT_FLEET" "1";
+  if devices > 1 then begin
+    (* IN.ptrace is the prefix a fleet `record --devices N` wrote; the
+       cascade (same seed, same fault schedule) is rebuilt offline from
+       the per-device traces. *)
+    Pasta.Telemetry.refresh_level ();
+    Pasta.Telemetry.reset ();
+    run_fleet ~replay_traces:true ~devices ~fanout:fleet_fanout
+      ~strict:(Pasta.Config.strict_fleet ())
+      ~inject_faults ~sample_rate:None ~overhead_budget:None
+      ~capture:(Some path) ~metrics_out:None ~trace_out:None ()
+  end
+  else
   let mode = replay_mode tolerant in
   let tool_names =
     match tools with
@@ -505,8 +656,10 @@ let replay_cmd =
   let term =
     Term.(
       ret
-        (const run_replay $ in_pos $ tools_arg $ tolerant_arg $ start_grid_arg
-       $ end_grid_arg $ verbose_arg $ health_arg))
+        (const run_replay $ in_pos $ tools_arg $ tolerant_arg $ devices_arg
+       $ fleet_fanout_arg $ strict_fleet_arg $ inject_faults_arg
+       $ fault_seed_arg $ start_grid_arg $ end_grid_arg $ verbose_arg
+       $ health_arg))
   in
   Cmd.v
     (Cmd.info "replay"
@@ -578,4 +731,8 @@ let () =
     Pasta_tools.Tools.register_all ();
     List.iter print_endline (Pasta.Registry.names ())
   end
-  else exit (Cmd.eval main_cmd)
+  else
+    let code = Cmd.eval main_cmd in
+    (* A run that succeeded but lost data (quarantined tools, dropped
+       records, missing fleet devices) exits "degraded" rather than 0. *)
+    exit (if code = 0 && !degraded then exit_degraded else code)

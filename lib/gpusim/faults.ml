@@ -136,6 +136,57 @@ let ecc_check t mem =
         t.stats.ecc_addrs <- addr :: t.stats.ecc_addrs;
         Some addr
 
+(* --- Fleet-scale failure modes ------------------------------------ *)
+
+(* Unlike the single-device injector above, fleet decisions carry no
+   mutable state at all: every fate is a pure function of
+   (seed, device, attempt) or (seed, merge node, child), so a fleet run
+   reproduces the same crashes, stragglers and corrupted summaries for
+   any domain count — the property the tree reduction's byte-determinism
+   rests on. *)
+
+type fleet_rates = {
+  crash : float;
+  straggle : float;
+  straggle_factor : float;
+  corrupt_summary : float;
+}
+
+let default_fleet_rates =
+  { crash = 0.06; straggle = 0.08; straggle_factor = 8.0; corrupt_summary = 0.02 }
+
+(* Salt separating the fleet streams from the per-device generation and
+   batch-corruption streams even when seeds coincide. *)
+let fleet_salt = 0x9E3779B97F4A7C15L
+
+type device_fate = Healthy | Crash of int | Straggle of float
+
+let device_fate ~rates ~seed ~device ~attempt ~kernels =
+  let rng =
+    Pasta_util.Det_rng.of_key (Int64.logxor seed fleet_salt) [| device; attempt |]
+  in
+  let u = Pasta_util.Det_rng.float rng 1.0 in
+  if u < rates.crash then
+    (* Crash mid-kernel: pick the launch ordinal the device dies inside. *)
+    Crash (Pasta_util.Det_rng.int rng (max 1 kernels))
+  else if u < rates.crash +. rates.straggle then
+    (* Straggler slowdown: at least 2x, centred on [straggle_factor]. *)
+    Straggle
+      (Float.max 2.0
+         (rates.straggle_factor
+         *. (0.5 +. Pasta_util.Det_rng.float rng 1.0)))
+  else Healthy
+
+let corrupt_summary_at ~rates ~seed ~node ~child =
+  if rates.corrupt_summary <= 0.0 then false
+  else
+    let rng =
+      Pasta_util.Det_rng.of_key
+        (Int64.logxor seed (Int64.lognot fleet_salt))
+        [| node; child |]
+    in
+    Pasta_util.Det_rng.prob rng rates.corrupt_summary
+
 let pp_stats ppf s =
   Format.fprintf ppf
     "corrupted accesses %d, dropped events %d, duplicated events %d, ECC errors %d, \

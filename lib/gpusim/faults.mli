@@ -69,3 +69,43 @@ val ecc_check : t -> Device_mem.t -> int option
     single-bit error; [None] when no error fires this launch. *)
 
 val pp_stats : Format.formatter -> stats -> unit
+
+(** {2 Fleet-scale failure modes}
+
+    Whole-device failures for fleet profiling ({!Pasta.Fleet}-style
+    orchestration): a device crashing mid-kernel, a straggler running a
+    slowdown factor behind its peers, and a summary arriving corrupted at
+    a reduction merge node.  All decisions are {e pure} functions of the
+    seed and the decision's coordinates — no injector state — so a fleet
+    run reproduces the same failures bit-for-bit at any domain count. *)
+
+type fleet_rates = {
+  crash : float;  (** P(an attempt crashes mid-kernel) *)
+  straggle : float;  (** P(an attempt runs as a straggler) *)
+  straggle_factor : float;  (** central slowdown multiplier for stragglers *)
+  corrupt_summary : float;
+      (** P(a child summary arrives corrupted at a merge node) *)
+}
+
+val default_fleet_rates : fleet_rates
+(** Noticeable at fleet scale: a few percent of devices per attempt. *)
+
+type device_fate =
+  | Healthy
+  | Crash of int  (** crashes inside this launch ordinal (0-based) *)
+  | Straggle of float  (** wall-time slowdown factor, >= 2 *)
+
+val device_fate :
+  rates:fleet_rates ->
+  seed:int64 ->
+  device:int ->
+  attempt:int ->
+  kernels:int ->
+  device_fate
+(** Fate of one device attempt, keyed purely by [(seed, device, attempt)];
+    [kernels] bounds the crash point. *)
+
+val corrupt_summary_at :
+  rates:fleet_rates -> seed:int64 -> node:int -> child:int -> bool
+(** Whether the [child]'th input of merge node [node] arrives corrupted,
+    keyed purely by [(seed, node, child)]. *)

@@ -18,13 +18,17 @@ let start ?chunk_bytes ?meta proc path =
     Ptrace.create_writer ?chunk_bytes ?meta ~device:(Processor.device proc) path
   in
   let reg = Processor.metrics proc in
+  (* Resolve with the processor's device labels: every series in its
+     registry carries them, and a bare-name lookup would find-or-create a
+     parallel unlabeled series. *)
+  let labels = Processor.metric_labels proc in
   let t =
     {
       cap_writer = writer;
       cap_proc = proc;
-      c_recorded = Metric.counter reg "pasta_events_recorded";
-      c_bytes = Metric.counter reg "pasta_bytes_written";
-      c_chunks = Metric.counter reg "pasta_trace_chunks";
+      c_recorded = Metric.counter reg ~labels "pasta_events_recorded";
+      c_bytes = Metric.counter reg ~labels "pasta_bytes_written";
+      c_chunks = Metric.counter reg ~labels "pasta_trace_chunks";
       cap_open = true;
     }
   in

@@ -89,6 +89,33 @@ let fault_seed () =
   | Some s -> s
   | None -> 0x5EEDL
 
+(* --- Fleet profiling knobs --- *)
+
+let fleet_fanout () =
+  match get_int "ACCEL_PROF_FLEET_FANOUT" with
+  | Some n when n >= 2 -> n
+  | _ -> 8
+
+let fleet_deadline_us () =
+  match Option.bind (get "ACCEL_PROF_FLEET_DEADLINE_US") float_of_string_opt with
+  | Some v when v > 0.0 -> v
+  | _ -> 5_000_000.0
+
+let fleet_retries () =
+  match get_int "ACCEL_PROF_FLEET_RETRIES" with
+  | Some n when n >= 0 -> n
+  | _ -> 2
+
+let fleet_backoff_us () =
+  match Option.bind (get "ACCEL_PROF_FLEET_BACKOFF_US") float_of_string_opt with
+  | Some v when v >= 0.0 -> v
+  | _ -> 10_000.0
+
+let strict_fleet () =
+  match get "ACCEL_PROF_STRICT_FLEET" with
+  | Some ("1" | "true" | "yes" | "on") -> true
+  | _ -> false
+
 (* --- Self-telemetry knobs --- *)
 
 let telemetry () =

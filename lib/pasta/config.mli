@@ -82,6 +82,33 @@ val inject_faults : unit -> bool
 val fault_seed : unit -> int64
 (** [ACCEL_PROF_FAULT_SEED]: seed for injected faults (default 0x5EED). *)
 
+(** {2 Fleet profiling knobs}
+
+    Defaults are usable without any environment, like the robustness
+    knobs: fleet orchestration must configure itself even on a bare
+    machine. *)
+
+val fleet_fanout : unit -> int
+(** [ACCEL_PROF_FLEET_FANOUT]: children per merge node of the fleet
+    reduction tree (default 8, minimum 2). *)
+
+val fleet_deadline_us : unit -> float
+(** [ACCEL_PROF_FLEET_DEADLINE_US]: simulated per-device wall budget; a
+    device attempt finishing past it retries, and the final attempt's
+    late summary is delivered [Stale] (default 5e6 us). *)
+
+val fleet_retries : unit -> int
+(** [ACCEL_PROF_FLEET_RETRIES]: attempts after the first before a device
+    is declared missing (default 2). *)
+
+val fleet_backoff_us : unit -> float
+(** [ACCEL_PROF_FLEET_BACKOFF_US]: base of the exponential retry backoff,
+    jittered deterministically per (device, attempt) (default 1e4 us). *)
+
+val strict_fleet : unit -> bool
+(** [ACCEL_PROF_STRICT_FLEET]: promote missing devices from a degraded
+    partial report to a hard run failure (default off). *)
+
 (** {2 Self-telemetry knobs} *)
 
 val telemetry : unit -> [ `Off | `Basic | `Full ]

@@ -236,6 +236,92 @@ let merge ?(est_rate = 1.0) shards =
     est_rate;
   }
 
+(* Summary-level merge, for hierarchical (fleet) reduction: combine
+   already-merged per-device summaries into one.  All counts are sums and
+   every output list is kept sorted, so the result depends only on the
+   multiset of inputs — merge nodes can run on any domain in any order.
+   [est_rate] defaults to the record-weighted mean of the inputs' rates,
+   which keeps [rel_stderr] meaningful for the combined estimate. *)
+let merge_summaries ?est_rate summaries =
+  let objects = Hashtbl.create 64 and blocks = Hashtbl.create 128 in
+  let intervals = ref [] and records = ref 0 and weight = ref 0 and writes = ref 0 in
+  let rate_num = ref 0.0 in
+  List.iter
+    (fun s ->
+      List.iter
+        (fun (obj, w) ->
+          let key = Objmap.obj_key obj in
+          match Hashtbl.find_opt objects key with
+          | Some (o, acc) -> Hashtbl.replace objects key (o, acc + w)
+          | None -> Hashtbl.add objects key (obj, w))
+        s.objects;
+      List.iter
+        (fun (blk, w) ->
+          Hashtbl.replace blocks blk
+            (w + Option.value ~default:0 (Hashtbl.find_opt blocks blk)))
+        s.blocks;
+      intervals := merge_sorted s.coalesced !intervals;
+      records := !records + s.sampled_records;
+      weight := !weight + s.true_accesses;
+      writes := !writes + s.writes;
+      rate_num := !rate_num +. (s.est_rate *. float_of_int s.sampled_records))
+    summaries;
+  let est_rate =
+    match est_rate with
+    | Some r -> r
+    | None -> if !records = 0 then 1.0 else !rate_num /. float_of_int !records
+  in
+  {
+    objects =
+      List.sort
+        (fun (a, _) (b, _) -> compare (Objmap.obj_key a) (Objmap.obj_key b))
+        (Hashtbl.fold (fun _ ow acc -> ow :: acc) objects []);
+    blocks =
+      List.sort
+        (fun ((a, _) : int * int) (b, _) -> compare a b)
+        (Hashtbl.fold (fun b w acc -> (b, w) :: acc) blocks []);
+    coalesced = fuse !intervals;
+    sampled_records = !records;
+    true_accesses = !weight;
+    writes = !writes;
+    est_rate;
+  }
+
+(* Structural validation for failure-aware merge nodes.  Every record of a
+   well-formed summary lands in exactly one object and one block, so both
+   tallies must sum to [true_accesses]; output lists must be sorted with
+   positive counts.  A summary corrupted in flight (bit flips on the
+   counts, shuffled lists) fails one of these and the merge node drops it
+   instead of poisoning the reduction. *)
+let validate s =
+  let rec sorted_pos prev = function
+    | [] -> true
+    | (k, w) :: rest -> w > 0 && k > prev && sorted_pos k rest
+  in
+  let rec intervals_ok prev = function
+    | [] -> true
+    | (b, l) :: rest -> b >= prev && l > b && intervals_ok l rest
+  in
+  let osum = List.fold_left (fun acc (_, w) -> acc + w) 0 s.objects in
+  let bsum = List.fold_left (fun acc (_, w) -> acc + w) 0 s.blocks in
+  if s.true_accesses < 0 || s.sampled_records < 0 || s.writes < 0 then
+    Error "negative count"
+  else if s.writes > s.true_accesses then Error "writes exceed accesses"
+  else if osum <> s.true_accesses then Error "object weights do not sum to total"
+  else if bsum <> s.true_accesses then Error "block weights do not sum to total"
+  else if
+    not
+      (sorted_pos min_int
+         (List.map (fun (o, w) -> (Objmap.obj_key o, w)) s.objects))
+  then Error "object list unsorted or non-positive"
+  else if not (sorted_pos min_int s.blocks) then
+    Error "block list unsorted or non-positive"
+  else if not (intervals_ok min_int s.coalesced) then
+    Error "coalesced intervals unsorted or empty"
+  else if not (Float.is_finite s.est_rate) || s.est_rate <= 0.0 || s.est_rate > 1.0
+  then Error "est_rate outside (0, 1]"
+  else Ok ()
+
 (* Relative standard error of an inverse-probability-weighted total built
    from [n] kept records at rate [p]: sqrt((1-p) / (n*p)).  Zero for exact
    (rate-1.0) summaries. *)

@@ -35,6 +35,19 @@ val merge : ?est_rate:float -> shard array -> summary
     [est_rate] (default 1.0) stamps the sampling rate the batches were
     thinned at, so consumers can annotate estimates. *)
 
+val merge_summaries : ?est_rate:float -> summary list -> summary
+(** Combine already-merged summaries into one — the merge-node primitive
+    of a hierarchical (fleet) reduction.  Order-insensitive: counts are
+    sums and outputs are sorted, so any reduction tree over the same
+    inputs yields the same bytes.  [est_rate] defaults to the
+    record-weighted mean of the inputs' rates. *)
+
+val validate : summary -> (unit, string) result
+(** Structural integrity check for failure-aware merge nodes: object and
+    block weights must each sum to [true_accesses], output lists must be
+    sorted with positive counts, intervals disjoint, [est_rate] in
+    (0, 1].  [Error] names the violated invariant. *)
+
 val rel_stderr : summary -> float
 (** Relative standard error of the summary's weighted totals,
     [sqrt ((1 - p) / (n * p))] for [n] kept records at rate [p]; [0.0] for

@@ -1,0 +1,651 @@
+module Det_rng = Pasta_util.Det_rng
+module Metric = Pasta_util.Metric
+module Domain_pool = Pasta_util.Domain_pool
+
+(* Fleet-scale profiling: one orchestrator driving N per-device profiling
+   shards and merging their Devagg summaries through a fanout-K tree
+   reduction in which every merge node is failure-aware.
+
+   Determinism contract.  Everything that decides an outcome is either a
+   pure function of the fleet seed (device fates, merge-node corruption,
+   retry jitter — Gpusim.Faults fleet streams and Det_rng.of_key) or of
+   the simulated clock (per-attempt elapsed time, which a fresh seeded
+   device reproduces exactly).  Merge nodes are pure functions of their
+   children executed level-by-level over the domain pool, and
+   Domain_pool.map returns results in index order — so the final partial
+   report is byte-identical for any domain count, and a replay from the
+   per-device traces reproduces it.
+
+   Concurrency contract.  Device shards run SEQUENTIALLY on the
+   orchestrator (Session keeps unsynchronized per-process state: the
+   active-session list, the watchdog counter, the telemetry device);
+   only the merge levels of the reduction fan out over the pool. *)
+
+(* --- Reduction-tree topology ------------------------------------------ *)
+
+type plan_node = { pn_id : int; pn_children : int list }
+type plan = { pl_leaves : int; pl_fanout : int; pl_levels : plan_node array list }
+
+let plan ~fanout leaves =
+  if fanout < 2 then invalid_arg "Fleet.plan: fanout must be >= 2";
+  if leaves < 0 then invalid_arg "Fleet.plan: leaves must be >= 0";
+  if leaves = 0 then { pl_leaves = 0; pl_fanout = fanout; pl_levels = [] }
+  else begin
+    (* Merge-node ids are assigned level-major, so a node's id — and with
+       it the corruption stream keyed on it — depends only on (leaves,
+       fanout), never on execution order. *)
+    let next_id = ref 0 in
+    let rec build width acc =
+      let n = (width + fanout - 1) / fanout in
+      let nodes =
+        Array.init n (fun i ->
+            let lo = i * fanout in
+            let hi = min width (lo + fanout) in
+            {
+              pn_id = !next_id + i;
+              pn_children = List.init (hi - lo) (fun j -> lo + j);
+            })
+      in
+      next_id := !next_id + n;
+      let acc = nodes :: acc in
+      if n = 1 then List.rev acc else build n acc
+    in
+    { pl_leaves = leaves; pl_fanout = fanout; pl_levels = build leaves [] }
+  end
+
+let plan_nodes p =
+  List.fold_left (fun acc lvl -> acc + Array.length lvl) 0 p.pl_levels
+
+(* --- Failure-aware tree reduction ------------------------------------- *)
+
+type reduction = {
+  red_summary : Devagg.summary option;
+      (** the merged aggregate; [None] when nothing survived *)
+  red_devices : int list;  (** leaf ids that made it into the aggregate *)
+  red_dropped : (int * int list) list;
+      (** (merge node id, leaf ids lost there): summaries that arrived
+          corrupted or structurally invalid at a merge node, in node order *)
+  red_nodes : int;  (** merge nodes executed *)
+}
+
+(* What flows up the tree: the leaves carried so far and their merged
+   summary.  [None] summaries (missing leaves, fully-dropped subtrees)
+   flow as empty carriers so the topology never reshapes around
+   failures. *)
+type flow = { fl_devices : int list; fl_summary : Devagg.summary option }
+
+let corrupt_summary (s : Devagg.summary) =
+  (* A perturbation Devagg.validate always rejects: more writes than
+     accesses. *)
+  { s with Devagg.writes = s.Devagg.true_accesses + 1 }
+
+let merge_node ~rates ~seed (node : plan_node) (children : flow array) =
+  Telemetry.begin_span Telemetry.Fleet "fleet.merge";
+  let dropped = ref [] in
+  let keep = ref [] in
+  List.iteri
+    (fun pos child_ix ->
+      let child = children.(child_ix) in
+      match child.fl_summary with
+      | None -> ()
+      | Some s ->
+          let s =
+            match rates with
+            | Some rates
+              when Gpusim.Faults.corrupt_summary_at ~rates ~seed
+                     ~node:node.pn_id ~child:pos ->
+                corrupt_summary s
+            | _ -> s
+          in
+          (* Every merge input is validated, corrupted or not: a bad
+             summary is dropped and its leaves are reported missing at
+             this node rather than poisoning the aggregate. *)
+          (match Devagg.validate s with
+          | Ok () -> keep := (child.fl_devices, s) :: !keep
+          | Error _ -> dropped := child.fl_devices @ !dropped))
+    node.pn_children;
+  let keep = List.rev !keep in
+  let flow =
+    match keep with
+    | [] -> { fl_devices = []; fl_summary = None }
+    | keep ->
+        {
+          fl_devices = List.concat_map fst keep;
+          fl_summary = Some (Devagg.merge_summaries (List.map snd keep));
+        }
+  in
+  Telemetry.end_span Telemetry.Fleet;
+  (flow, (node.pn_id, List.sort compare !dropped))
+
+let reduce ?pool ?rates ~seed ~fanout (leaves : Devagg.summary option array) =
+  let n = Array.length leaves in
+  let p = plan ~fanout n in
+  let level_values =
+    ref
+      (Array.init n (fun i ->
+           {
+             fl_devices = (match leaves.(i) with Some _ -> [ i ] | None -> []);
+             fl_summary = leaves.(i);
+           }))
+  in
+  let dropped = ref [] in
+  let nodes = ref 0 in
+  List.iter
+    (fun lvl ->
+      let prev = !level_values in
+      let compute i = merge_node ~rates ~seed lvl.(i) prev in
+      let results =
+        match pool with
+        | Some pool when Domain_pool.size pool > 1 && Array.length lvl > 1 ->
+            Domain_pool.map pool (Array.length lvl) compute
+        | _ -> Array.init (Array.length lvl) compute
+      in
+      nodes := !nodes + Array.length lvl;
+      Array.iter
+        (fun (_, (node_id, d)) -> if d <> [] then dropped := (node_id, d) :: !dropped)
+        results;
+      level_values := Array.map fst results)
+    p.pl_levels;
+  let root =
+    if Array.length !level_values = 1 then !level_values.(0)
+    else { fl_devices = []; fl_summary = None }
+  in
+  {
+    red_summary = root.fl_summary;
+    red_devices = List.sort compare root.fl_devices;
+    red_dropped = List.sort compare (List.rev !dropped);
+    red_nodes = !nodes;
+  }
+
+let flat_merge = function
+  | [] -> None
+  | summaries -> Some (Devagg.merge_summaries summaries)
+
+(* --- Fleet configuration ---------------------------------------------- *)
+
+type cfg = {
+  devices : int;
+  fanout : int;
+  deadline_us : float;
+      (** per-device budget on cumulative simulated time (attempts +
+          backoff); a device over it retries, and a final attempt landing
+          past it is delivered [Stale] *)
+  retries : int;
+  backoff_base_us : float;
+  seed : int64;
+  kernels : int;  (** launches per device shard *)
+  accesses_per_kernel : int;
+  fault_rates : Gpusim.Faults.fleet_rates option;  (** [None]: no injection *)
+  sample_rate : float option;
+  overhead_budget : float option;  (** fleet budget, sliced per shard *)
+  capture_prefix : string option;
+      (** per-device traces at [<prefix>.devNNN.ptrace] *)
+}
+
+let default_cfg ?(devices = 4) () =
+  {
+    devices;
+    fanout = Config.fleet_fanout ();
+    deadline_us = Config.fleet_deadline_us ();
+    retries = Config.fleet_retries ();
+    backoff_base_us = Config.fleet_backoff_us ();
+    seed = Config.fault_seed ();
+    kernels = 3;
+    accesses_per_kernel = 20_000;
+    fault_rates = None;
+    sample_rate = None;
+    overhead_budget = None;
+    capture_prefix = None;
+  }
+
+let check_cfg cfg =
+  if cfg.devices < 1 then invalid_arg "Fleet: devices must be >= 1";
+  if cfg.fanout < 2 then invalid_arg "Fleet: fanout must be >= 2";
+  if cfg.retries < 0 then invalid_arg "Fleet: retries must be >= 0";
+  if cfg.kernels < 1 then invalid_arg "Fleet: kernels must be >= 1";
+  if not (cfg.deadline_us > 0.0) then invalid_arg "Fleet: deadline must be > 0"
+
+let trace_path prefix d = Printf.sprintf "%s.dev%03d.ptrace" prefix d
+
+(* --- Per-device outcomes ----------------------------------------------- *)
+
+type reason = Crashed | Quarantined | Timeout
+type status = Fresh | Stale | Missing of reason
+
+let reason_name = function
+  | Crashed -> "crashed"
+  | Quarantined -> "quarantined"
+  | Timeout -> "timeout"
+
+let status_name = function
+  | Fresh -> "fresh"
+  | Stale -> "stale"
+  | Missing r -> "missing:" ^ reason_name r
+
+type device_report = {
+  fr_dev : int;
+  fr_status : status;
+  fr_attempts : int;
+  fr_spent_us : float;  (** cumulative simulated time incl. retry backoff *)
+}
+
+exception Crash_injected of int
+
+let fate_of cfg d attempt =
+  match cfg.fault_rates with
+  | None -> Gpusim.Faults.Healthy
+  | Some rates ->
+      Gpusim.Faults.device_fate ~rates ~seed:cfg.seed ~device:d ~attempt
+        ~kernels:cfg.kernels
+
+(* Jittered exponential backoff, keyed purely by (seed, device, attempt)
+   so live runs and replays charge identical penalties. *)
+let backoff_salt = 0x5D1E_C4B7_A309_F21DL
+
+let backoff_us cfg ~device ~attempt =
+  let rng =
+    Det_rng.of_key (Int64.logxor cfg.seed backoff_salt) [| device; attempt |]
+  in
+  cfg.backoff_base_us
+  *. (2.0 ** float_of_int (attempt - 1))
+  *. (1.0 +. Det_rng.float rng 0.5)
+
+(* The retry cascade, shared verbatim by the live run and trace replay so
+   both derive the same statuses: [exec] either runs the shard (live) or
+   recalls its recorded elapsed time (replay).  Repeatedly-crashing
+   devices are quarantined through a fleet-level Guard whose threshold is
+   the attempt budget. *)
+let run_cascade cfg ~exec d =
+  let attempts = cfg.retries + 1 in
+  let give_up_us = cfg.deadline_us *. float_of_int attempts in
+  let quarantined = ref false in
+  let guard =
+    Guard.create ~threshold:attempts ~cooldown_kernels:max_int
+      ~on_trip:(fun ~failures:_ -> quarantined := true)
+      (Tool.default (Printf.sprintf "fleet-dev%d" d))
+  in
+  let result = ref None in
+  let rec go a ~spent ~last_crash =
+    if a >= attempts then
+      ((if last_crash then Missing Crashed else Missing Timeout), a, spent)
+    else if a > 0 && spent >= give_up_us then (Missing Timeout, a, spent)
+    else begin
+      let fate = fate_of cfg d a in
+      let spent =
+        if a = 0 then spent else spent +. backoff_us cfg ~device:d ~attempt:a
+      in
+      match exec ~attempt:a ~fate with
+      | `Crashed ->
+          (* Count the crash against the fleet guard; tripping it is what
+             quarantines a repeatedly-raising device. *)
+          Guard.call guard Guard.On_event (fun _ -> raise (Crash_injected a));
+          if !quarantined then (Missing Quarantined, a + 1, spent)
+          else go (a + 1) ~spent ~last_crash:true
+      | `Ran (summary, elapsed_us) -> (
+          let factor =
+            match fate with Gpusim.Faults.Straggle f -> f | _ -> 1.0
+          in
+          let spent = spent +. (elapsed_us *. factor) in
+          match summary with
+          | None ->
+              (* A shard that produced nothing is as good as crashed. *)
+              Guard.call guard Guard.On_event (fun _ -> raise (Crash_injected a));
+              if !quarantined then (Missing Quarantined, a + 1, spent)
+              else go (a + 1) ~spent ~last_crash:true
+          | Some s ->
+              if spent <= cfg.deadline_us then begin
+                result := Some s;
+                (Fresh, a + 1, spent)
+              end
+              else if a = attempts - 1 then begin
+                result := Some s;
+                (Stale, a + 1, spent)
+              end
+              else go (a + 1) ~spent ~last_crash:false)
+    end
+  in
+  let status, att, spent = go 0 ~spent:0.0 ~last_crash:false in
+  let summary =
+    match status with Fresh | Stale -> !result | Missing _ -> None
+  in
+  ({ fr_dev = d; fr_status = status; fr_attempts = att; fr_spent_us = spent },
+   summary)
+
+(* --- The live device shard --------------------------------------------- *)
+
+(* One profiling attempt on a fresh seeded device: the same synthetic
+   workload for every attempt (the device seed depends only on the device
+   id), so retries reproduce the summary a healthy first attempt would
+   have produced — which is what makes replay able to reconstruct the
+   cascade from a single recorded trace. *)
+let shard_workload cfg device d ~crash_at =
+  let buf = Gpusim.Device.malloc device ~tag:"fleet" (4 * 1024 * 1024) in
+  for k = 0 to cfg.kernels - 1 do
+    (match crash_at with
+    | Some c when k = c -> raise (Crash_injected k)
+    | _ -> ());
+    let kernel =
+      Gpusim.Kernel.make ~name:"fleet_kernel"
+        ~grid:(Gpusim.Dim3.make (64 + (32 * (d mod 4))))
+        ~block:(Gpusim.Dim3.make 128)
+        ~regions:
+          [
+            Gpusim.Kernel.region ~base:buf.Gpusim.Device_mem.base
+              ~bytes:(1 lsl 20)
+              ~accesses:(cfg.accesses_per_kernel + (997 * (k mod 7)))
+              ();
+          ]
+        ()
+    in
+    ignore (Gpusim.Device.launch device kernel)
+  done
+
+let accumulator_tool acc =
+  {
+    (Tool.default ~fine_grained:Tool.Gpu_parallel "fleet-agg") with
+    Tool.on_device_summary = (fun _ s -> acc := s :: !acc);
+  }
+
+type shard_stats = {
+  mutable sh_records_dropped : int;
+  mutable sh_tool_failures : int;
+}
+
+let live_exec cfg stats d ~budget_slice ~attempt ~fate =
+  let crash_at =
+    match fate with Gpusim.Faults.Crash k -> Some k | _ -> None
+  in
+  ignore attempt;
+  Telemetry.begin_span Telemetry.Fleet "fleet.device";
+  Fun.protect
+    ~finally:(fun () -> Telemetry.end_span Telemetry.Fleet)
+    (fun () ->
+      let dev_seed = Int64.add cfg.seed (Int64.of_int (d + 1)) in
+      let device = Gpusim.Device.create ~id:d ~seed:dev_seed Gpusim.Arch.a100 in
+      let acc = ref [] in
+      let tool = accumulator_tool acc in
+      let capture =
+        Option.map (fun p -> trace_path p d) cfg.capture_prefix
+      in
+      match
+        Session.run ?capture ?sample_rate:cfg.sample_rate
+          ?overhead_budget:budget_slice ~tool device (fun () ->
+            shard_workload cfg device d ~crash_at)
+      with
+      | exception Crash_injected _ -> `Crashed
+      | (), res ->
+          stats.sh_records_dropped <-
+            stats.sh_records_dropped + res.Session.health.Session.records_dropped;
+          stats.sh_tool_failures <-
+            stats.sh_tool_failures + res.Session.health.Session.tool_failures;
+          let summary =
+            match List.rev !acc with
+            | [] -> None
+            | l -> Some (Devagg.merge_summaries l)
+          in
+          `Ran (summary, res.Session.elapsed_us))
+
+(* --- Fleet result ------------------------------------------------------ *)
+
+type result = {
+  devices : device_report list;  (** per device, in id order *)
+  summary : Devagg.summary option;
+      (** coverage-re-weighted aggregate; [None] when nothing survived *)
+  dropped_at_merge : (int * int list) list;
+  fresh : int;
+  stale : int;
+  missing : int;
+  retries_total : int;
+  quarantined_total : int;
+  merge_nodes : int;
+  coverage : float;  (** aggregated devices / fleet size, in [0, 1] *)
+  records_dropped : int;  (** summed over all shard sessions *)
+  registry : Metric.t;  (** fleet counters, for [Telemetry.prometheus ~extra] *)
+  report : string;  (** deterministic partial report *)
+}
+
+let missing_with r reason =
+  List.filter_map
+    (fun d -> if d.fr_status = Missing reason then Some d.fr_dev else None)
+    r
+
+let render_report (cfg : cfg) ~devices ~red ~summary ~coverage ~retries_total
+    ~quarantined_total =
+  let buf = Buffer.create 1024 in
+  let ppf = Format.formatter_of_buffer buf in
+  let ids l = String.concat "," (List.map string_of_int l) in
+  let fresh = List.filter (fun d -> d.fr_status = Fresh) devices in
+  let stale = List.filter (fun d -> d.fr_status = Stale) devices in
+  let missing =
+    List.filter
+      (fun d -> match d.fr_status with Missing _ -> true | _ -> false)
+      devices
+  in
+  Format.fprintf ppf
+    "fleet report: %d devices, fanout %d, seed 0x%Lx, %d merge nodes@."
+    cfg.devices cfg.fanout cfg.seed red.red_nodes;
+  Format.fprintf ppf
+    "  delivered %d fresh, %d stale; %d missing; coverage %.1f%% (%d/%d \
+     aggregated)@."
+    (List.length fresh) (List.length stale) (List.length missing)
+    (100.0 *. coverage)
+    (List.length red.red_devices)
+    cfg.devices;
+  Format.fprintf ppf "  retries %d, quarantined %d@." retries_total
+    quarantined_total;
+  if stale <> [] then
+    Format.fprintf ppf "  stale devices: [%s]@."
+      (ids (List.map (fun d -> d.fr_dev) stale));
+  List.iter
+    (fun reason ->
+      let l = missing_with devices reason in
+      if l <> [] then
+        Format.fprintf ppf "  missing (%s): [%s]@." (reason_name reason) (ids l))
+    [ Crashed; Quarantined; Timeout ];
+  List.iter
+    (fun (node, devs) ->
+      Format.fprintf ppf "  dropped at merge node %d: [%s] (corrupt summary)@."
+        node (ids devs))
+    red.red_dropped;
+  List.iter
+    (fun d ->
+      Format.fprintf ppf "  device %3d: %-18s attempts %d, spent %.0f us@."
+        d.fr_dev (status_name d.fr_status) d.fr_attempts d.fr_spent_us)
+    devices;
+  (match summary with
+  | None -> Format.fprintf ppf "  aggregate: none (no summaries survived)@."
+  | Some s ->
+      Format.fprintf ppf
+        "  aggregate (weights re-scaled by coverage, rel. stderr %.4f):@."
+        (Devagg.rel_stderr s);
+      Format.fprintf ppf "    %a@." Devagg.pp s);
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf
+
+let make_registry ~(cfg : cfg) ~devices ~red ~retries_total ~quarantined_total ~coverage
+    =
+  let reg = Metric.create () in
+  let c ?labels name help = Metric.counter reg ~help ?labels name in
+  let set name help v = Metric.set (c name help) v in
+  set "fleet_devices_total" "devices in the fleet" cfg.devices;
+  set "fleet_devices_fresh" "devices delivering inside the deadline"
+    (List.length (List.filter (fun d -> d.fr_status = Fresh) devices));
+  set "fleet_devices_stale" "devices delivering past the deadline"
+    (List.length (List.filter (fun d -> d.fr_status = Stale) devices));
+  List.iter
+    (fun reason ->
+      Metric.set
+        (c
+           ~labels:[ ("reason", reason_name reason) ]
+           "fleet_devices_missing" "devices missing from the aggregate")
+        (List.length (missing_with devices reason)))
+    [ Crashed; Quarantined; Timeout ];
+  set "fleet_retries_total" "device attempts beyond the first" retries_total;
+  set "fleet_quarantined_total" "devices quarantined by the fleet guard"
+    quarantined_total;
+  set "fleet_merge_nodes_total" "merge nodes executed" red.red_nodes;
+  List.iter
+    (fun d ->
+      Metric.set
+        (c
+           ~labels:[ ("device", string_of_int d.fr_dev) ]
+           "fleet_device_attempts" "attempts per device")
+        d.fr_attempts)
+    devices;
+  List.iter
+    (fun (node, devs) ->
+      Metric.set
+        (c
+           ~labels:[ ("node", string_of_int node) ]
+           "fleet_merge_dropped" "summaries dropped at a merge node")
+        (List.length devs))
+    red.red_dropped;
+  Metric.set_gauge
+    (Metric.gauge reg ~help:"fraction of the fleet in the aggregate"
+       "fleet_coverage")
+    coverage;
+  reg
+
+let finish (cfg : cfg) ~devices ~stats ~leaves =
+  let pool =
+    if cfg.devices > 1 then Some (Domain_pool.global ~size:(Config.domains ()))
+    else None
+  in
+  let red =
+    reduce ?pool ?rates:cfg.fault_rates ~seed:cfg.seed ~fanout:cfg.fanout leaves
+  in
+  let coverage =
+    float_of_int (List.length red.red_devices) /. float_of_int cfg.devices
+  in
+  (* Inverse-probability re-weighting for the dropped-out devices: the
+     surviving weighted totals cover [coverage] of the fleet, so the
+     effective rate behind them shrinks by the same factor — downstream
+     consumers see the aggregate annotated as an estimate with the
+     correspondingly wider stderr. *)
+  let summary =
+    match red.red_summary with
+    | Some s when coverage < 1.0 && coverage > 0.0 ->
+        Some { s with Devagg.est_rate = s.Devagg.est_rate *. coverage }
+    | other -> other
+  in
+  let retries_total =
+    List.fold_left (fun acc d -> acc + (d.fr_attempts - 1)) 0 devices
+  in
+  let quarantined_total =
+    List.length (missing_with devices Quarantined)
+  in
+  let fresh = List.length (List.filter (fun d -> d.fr_status = Fresh) devices) in
+  let stale = List.length (List.filter (fun d -> d.fr_status = Stale) devices) in
+  let missing =
+    List.length
+      (List.filter
+         (fun d -> match d.fr_status with Missing _ -> true | _ -> false)
+         devices)
+  in
+  {
+    devices;
+    summary;
+    dropped_at_merge = red.red_dropped;
+    fresh;
+    stale;
+    missing;
+    retries_total;
+    quarantined_total;
+    merge_nodes = red.red_nodes;
+    coverage;
+    records_dropped = stats.sh_records_dropped;
+    registry =
+      make_registry ~cfg ~devices ~red ~retries_total ~quarantined_total
+        ~coverage;
+    report =
+      render_report cfg ~devices ~red ~summary ~coverage ~retries_total
+        ~quarantined_total;
+  }
+
+let run cfg =
+  check_cfg cfg;
+  Telemetry.begin_span Telemetry.Fleet "fleet.run";
+  Fun.protect
+    ~finally:(fun () -> Telemetry.end_span Telemetry.Fleet)
+    (fun () ->
+      let stats = { sh_records_dropped = 0; sh_tool_failures = 0 } in
+      let spent_overhead = ref 0.0 in
+      let leaves = Array.make cfg.devices None in
+      let devices =
+        List.init cfg.devices (fun d ->
+            (* Slice the fleet overhead budget across the remaining
+               shards; an overspending shard throttles its successors. *)
+            let budget_slice =
+              Option.map
+                (fun b ->
+                  Sampler.fleet_slice ~budget:b ~spent_frac:!spent_overhead
+                    ~shards_left:(cfg.devices - d))
+                cfg.overhead_budget
+            in
+            let report, summary =
+              run_cascade cfg ~exec:(live_exec cfg stats d ~budget_slice) d
+            in
+            (match cfg.overhead_budget with
+            | None -> ()
+            | Some _ ->
+                let total, over = Telemetry.overhead_snapshot () in
+                spent_overhead :=
+                  (if total > 0.0 then over /. total else 0.0)
+                  *. (float_of_int (d + 1) /. float_of_int cfg.devices));
+            leaves.(d) <- summary;
+            report)
+      in
+      finish cfg ~devices ~stats ~leaves)
+
+(* --- Replay ------------------------------------------------------------ *)
+
+(* Rebuild the same partial report from the per-device traces: fates,
+   jitter and corruption are recomputed from the seed; per-attempt elapsed
+   time is recovered from the recorded trace (every attempt of a device
+   runs the identical seeded workload, so one trace stands for them all);
+   the delivered summaries are re-driven through the same accumulator
+   tool.  Byte-identical to the live report as long as sampling was
+   deterministic (fixed rate or none — an Auto governor's wall-clock
+   feedback is not replayable). *)
+let replay cfg =
+  check_cfg cfg;
+  let prefix =
+    match cfg.capture_prefix with
+    | Some p -> p
+    | None -> invalid_arg "Fleet.replay: cfg.capture_prefix is required"
+  in
+  let stats = { sh_records_dropped = 0; sh_tool_failures = 0 } in
+  let leaves = Array.make cfg.devices None in
+  let devices =
+    List.init cfg.devices (fun d ->
+        let recorded = ref None in
+        let recall () =
+          match !recorded with
+          | Some r -> r
+          | None ->
+              let acc = ref [] in
+              let tool = accumulator_tool acc in
+              let r =
+                match Replay.run ~tool (trace_path prefix d) with
+                | outcome ->
+                    let summary =
+                      match List.rev !acc with
+                      | [] -> None
+                      | l -> Some (Devagg.merge_summaries l)
+                    in
+                    (summary, outcome.Replay.elapsed_us)
+                | exception _ -> (None, 0.0)
+              in
+              recorded := Some r;
+              r
+        in
+        let exec ~attempt:_ ~fate =
+          match fate with
+          | Gpusim.Faults.Crash _ -> `Crashed
+          | _ -> `Ran (recall ())
+        in
+        let report, summary = run_cascade cfg ~exec d in
+        leaves.(d) <- summary;
+        report)
+  in
+  finish cfg ~devices ~stats ~leaves

@@ -76,6 +76,12 @@ type t = {
   mutable quarantines : int;
   mutable reinstated : int;
   mutable suppressed : int;
+  mu : Mutex.t;
+      (* serializes state transitions so concurrent callers (fleet shards,
+         race tests) see a linearizable breaker.  Callbacks — the tool's
+         own and [on_trip]/[on_failure] — always run OUTSIDE the lock:
+         [on_trip] re-enters the guard through the processor's quarantine
+         incident, and a held lock there would self-deadlock. *)
 }
 
 let create ?threshold ?cooldown_kernels ?(on_failure = fun _ -> ()) ~on_trip tool =
@@ -100,7 +106,18 @@ let create ?threshold ?cooldown_kernels ?(on_failure = fun _ -> ()) ~on_trip too
     quarantines = 0;
     reinstated = 0;
     suppressed = 0;
+    mu = Mutex.create ();
   }
+
+let locked t f =
+  Mutex.lock t.mu;
+  match f () with
+  | v ->
+      Mutex.unlock t.mu;
+      v
+  | exception e ->
+      Mutex.unlock t.mu;
+      raise e
 
 let tool t = t.the_tool
 
@@ -109,19 +126,22 @@ let cooldown_elapsed t =
   | None -> false
   | Some since -> t.kernels - since >= t.cooldown
 
-let state t =
+(* Caller holds [t.mu]. *)
+let state_locked t =
   match t.quarantined_since with
   | None -> Closed
   | Some _ -> if cooldown_elapsed t then Half_open else Quarantined
 
-let note_kernel t = t.kernels <- t.kernels + 1
+let state t = locked t (fun () -> state_locked t)
+let note_kernel t = locked t (fun () -> t.kernels <- t.kernels + 1)
 
-let record_failure t cb =
+(* Caller holds [t.mu].  The [on_failure] callback is the caller's to fire
+   after releasing the lock. *)
+let record_failure_locked t cb =
   let i = callback_index cb in
   t.failures.(i) <- t.failures.(i) + 1;
   t.total <- t.total + 1;
-  t.window_failures <- t.window_failures + 1;
-  t.on_failure cb
+  t.window_failures <- t.window_failures + 1
 
 (* Run the callback inside the tool's telemetry span.  A raising callback
    still gets its wall time charged to the tool — that is exactly the time
@@ -135,49 +155,82 @@ let timed t f =
       raise e
 
 let call t cb f =
-  match state t with
-  | Quarantined -> t.suppressed <- t.suppressed + 1
-  | Half_open -> (
-      (* One probe decides: success reinstates, failure re-quarantines for
-         another full cooldown. *)
+  let action =
+    locked t (fun () ->
+        match state_locked t with
+        | Quarantined ->
+            t.suppressed <- t.suppressed + 1;
+            `Skip
+        | Half_open ->
+            (* Claim the probe: re-arm the quarantine clock so concurrent
+               callers observe [Quarantined] and suppress until this one
+               probe resolves.  One probe decides — success reinstates,
+               failure re-quarantines for another full cooldown. *)
+            t.quarantined_since <- Some t.kernels;
+            `Probe
+        | Closed -> `Run)
+  in
+  match action with
+  | `Skip -> ()
+  | `Probe -> (
       match timed t f with
       | () ->
-          t.quarantined_since <- None;
-          t.window_failures <- 0;
-          t.reinstated <- t.reinstated + 1
+          locked t (fun () ->
+              t.quarantined_since <- None;
+              t.window_failures <- 0;
+              t.reinstated <- t.reinstated + 1)
       | exception _ ->
-          record_failure t cb;
-          t.quarantined_since <- Some t.kernels;
-          t.quarantines <- t.quarantines + 1;
-          t.on_trip ~failures:t.window_failures)
-  | Closed -> (
+          let failures =
+            locked t (fun () ->
+                record_failure_locked t cb;
+                t.quarantined_since <- Some t.kernels;
+                t.quarantines <- t.quarantines + 1;
+                t.window_failures)
+          in
+          t.on_failure cb;
+          t.on_trip ~failures)
+  | `Run -> (
       match timed t f with
       | () -> ()
-      | exception _ ->
-          record_failure t cb;
-          if t.window_failures >= t.threshold then begin
-            t.quarantined_since <- Some t.kernels;
-            t.quarantines <- t.quarantines + 1;
-            t.on_trip ~failures:t.window_failures
-          end)
+      | exception _ -> (
+          let tripped =
+            locked t (fun () ->
+                record_failure_locked t cb;
+                (* Only the caller that crosses the threshold while the
+                   breaker is still closed trips it — a concurrent failure
+                   racing past the threshold must not double-trip. *)
+                if t.window_failures >= t.threshold && t.quarantined_since = None
+                then begin
+                  t.quarantined_since <- Some t.kernels;
+                  t.quarantines <- t.quarantines + 1;
+                  Some t.window_failures
+                end
+                else None)
+          in
+          t.on_failure cb;
+          match tripped with
+          | Some failures -> t.on_trip ~failures
+          | None -> ()))
 
 let guarded_report t ppf =
   match timed t (fun tool -> tool.Tool.report ppf) with
   | () -> ()
   | exception e ->
-      record_failure t Report;
+      locked t (fun () -> record_failure_locked t Report);
+      t.on_failure Report;
       Format.fprintf ppf "tool %s: report failed (%s)@." t.the_tool.Tool.name
         (Printexc.to_string e)
 
-let total_failures t = t.total
+let total_failures t = locked t (fun () -> t.total)
 
 let failures_by_callback t =
-  List.filter_map
-    (fun cb ->
-      let n = t.failures.(callback_index cb) in
-      if n > 0 then Some (callback_name cb, n) else None)
-    all_callbacks
+  locked t (fun () ->
+      List.filter_map
+        (fun cb ->
+          let n = t.failures.(callback_index cb) in
+          if n > 0 then Some (callback_name cb, n) else None)
+        all_callbacks)
 
-let quarantine_count t = t.quarantines
-let reinstated_count t = t.reinstated
-let suppressed_count t = t.suppressed
+let quarantine_count t = locked t (fun () -> t.quarantines)
+let reinstated_count t = locked t (fun () -> t.reinstated)
+let suppressed_count t = locked t (fun () -> t.suppressed)

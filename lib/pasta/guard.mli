@@ -10,7 +10,14 @@
     callback runs as a probe, and on success the tool is reinstated with a
     fresh failure budget.
 
-    The guard never raises and never lets a tool exception escape. *)
+    The guard never raises and never lets a tool exception escape.
+
+    The breaker is domain-safe: state transitions are serialized by an
+    internal mutex, so concurrent callers (fleet shards, tests racing
+    quarantine against half-open probes) observe a linearizable state
+    machine — at most one half-open probe is in flight, and a burst of
+    concurrent failures trips the breaker exactly once.  Tool callbacks and
+    the [on_trip]/[on_failure] hooks always run outside the lock. *)
 
 type callback =
   | On_event

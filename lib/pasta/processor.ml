@@ -55,9 +55,15 @@ type counters = {
 
 let callback_failures_metric = "pasta_callback_failures"
 
-let make_counters () =
+(* Every series a processor owns carries its device id as a label, so
+   expositions merged across a fleet ([Telemetry.prometheus ~extra]) keep
+   per-device resolution instead of colliding on bare names. *)
+let device_labels device = [ ("device", string_of_int device) ]
+
+let make_counters ~device () =
   let reg = Metric.create () in
-  let c ?help name = Metric.counter reg ?help name in
+  let labels = device_labels device in
+  let c ?help name = Metric.counter reg ?help ~labels name in
   {
     reg;
     c_events_seen = c ~help:"normalized events submitted" "pasta_events_seen";
@@ -76,7 +82,7 @@ let make_counters () =
         "pasta_records_dropped";
     g_records_buffered_peak =
       Metric.gauge reg ~help:"bounded-buffer high-water mark, records"
-        "pasta_records_buffered_peak";
+        ~labels "pasta_records_buffered_peak";
     c_buffer_stalls =
       c ~help:"producer stalls under the block overflow policy"
         "pasta_buffer_stalls";
@@ -92,7 +98,7 @@ let make_counters () =
     g_sample_rate =
       (let g =
          Metric.gauge reg ~help:"effective fine-grained sampling rate"
-           "pasta_sample_rate"
+           ~labels "pasta_sample_rate"
        in
        Metric.set_gauge g 1.0;
        g);
@@ -176,7 +182,7 @@ let create ?range ?buffer_capacity ?overflow_policy ~device () =
     objmap = Objmap.create ();
     range;
     guard = None;
-    ctr = make_counters ();
+    ctr = make_counters ~device ();
     buf = Ring_buffer.create ~capacity;
     policy;
     pool = None;
@@ -192,6 +198,7 @@ let objmap t = t.objmap
 let range t = t.range
 let device t = t.device
 let metrics t = t.ctr.reg
+let metric_labels t = device_labels t.device
 
 let stats t =
   let hits, misses = Objmap.memo_stats t.objmap in
@@ -290,7 +297,7 @@ let set_tool t tool =
         Metric.incr
           (Metric.counter ctr.reg
              ~help:"per-callback tool failures"
-             ~labels:[ ("callback", Guard.callback_name cb) ]
+             ~labels:(("callback", Guard.callback_name cb) :: device_labels t.device)
              callback_failures_metric))
       ~on_trip:(fun ~failures -> quarantine_incident t ~failures)
       tool

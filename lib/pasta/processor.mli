@@ -105,12 +105,19 @@ val stats : t -> stats
 
 val metrics : t -> Pasta_util.Metric.t
 (** The processor's metric registry — the single source of truth for every
-    pipeline counter, exportable via {!Telemetry.prometheus}.  Capture and
-    replay resolve their counter handles from it at attach time
-    (find-or-create by name), so the names below are part of the stable
-    surface: [pasta_events_recorded], [pasta_bytes_written],
-    [pasta_trace_chunks], [pasta_trace_chunks_skipped],
-    [pasta_replay_events]. *)
+    pipeline counter, exportable via {!Telemetry.prometheus}.  Every series
+    carries a [("device", "<id>")] label ({!metric_labels}), so fleet-wide
+    expositions keep per-device resolution.  Capture and replay resolve
+    their counter handles from it at attach time (find-or-create by name
+    and device labels), so the names below are part of the stable surface:
+    [pasta_events_recorded], [pasta_bytes_written], [pasta_trace_chunks],
+    [pasta_trace_chunks_skipped], [pasta_replay_events]. *)
+
+val metric_labels : t -> (string * string) list
+(** The label set every series in {!metrics} carries:
+    [[("device", string_of_int (device t))]].  Lookups into the registry
+    (capture, replay, tests) must pass these labels or they will
+    find-or-create a parallel unlabeled series. *)
 
 val set_pool : t -> Pasta_util.Domain_pool.t -> unit
 (** Install a domain pool for parallel kernel-end aggregation

@@ -42,9 +42,14 @@ let apply proc ~time_us (op : Processor.sink_op) =
 let drive ?mode proc path =
   let mode = default_mode mode in
   let reg = Processor.metrics proc in
-  let c_replayed = Pasta_util.Metric.counter reg "pasta_replay_events" in
-  let c_chunks = Pasta_util.Metric.counter reg "pasta_trace_chunks" in
-  let c_skipped = Pasta_util.Metric.counter reg "pasta_trace_chunks_skipped" in
+  (* Labels must match the processor's series or these lookups would
+     find-or-create parallel unlabeled ones. *)
+  let labels = Processor.metric_labels proc in
+  let c_replayed = Pasta_util.Metric.counter reg ~labels "pasta_replay_events" in
+  let c_chunks = Pasta_util.Metric.counter reg ~labels "pasta_trace_chunks" in
+  let c_skipped =
+    Pasta_util.Metric.counter reg ~labels "pasta_trace_chunks_skipped"
+  in
   let last_us = ref 0.0 in
   (* The whole read is replay I/O; time spent re-driving ops through the
      processor nests into the dispatch/ring/devagg spans and is charged to

@@ -184,3 +184,17 @@ let of_config ?rate ?budget () =
   | Some b, fallback -> Some (create ?fallback (Auto { budget = b }))
   | None, Some r -> Some (create (Fixed r))
   | None, None -> None
+
+(* A fleet splits one overhead budget across its device shards.  Shards run
+   sequentially on the coordinator, so the fair slice for the next shard is
+   what remains of the budget divided by the shards still to run; a shard
+   that overspent shrinks its successors' slices instead of blowing the
+   fleet total.  Clamped into (0, 1] because a slice of 0 would disable
+   the governor a caller asked for. *)
+let fleet_slice ~budget ~spent_frac ~shards_left =
+  if not (budget > 0.0 && budget <= 1.0 && Float.is_finite budget) then
+    invalid_arg "Sampler.fleet_slice: budget must be in (0, 1]";
+  if shards_left <= 0 then invalid_arg "Sampler.fleet_slice: shards_left <= 0";
+  let remaining = Float.max 0.0 (budget -. Float.max 0.0 spent_frac) in
+  let slice = remaining /. float_of_int shards_left in
+  Float.max 0.001 (Float.min 1.0 slice)

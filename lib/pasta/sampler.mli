@@ -41,6 +41,14 @@ val of_config : ?rate:float -> ?budget:float -> unit -> t option
     selects [Auto]; a bare rate selects [Fixed]; with both, the budget
     governs and the rate is the blind fallback; neither yields [None]. *)
 
+val fleet_slice : budget:float -> spent_frac:float -> shards_left:int -> float
+(** Overhead-budget slice for the next of [shards_left] sequential fleet
+    shards, given the fraction already [spent_frac] by earlier shards:
+    [(budget - spent) / shards_left], clamped into [[0.001, 1.0]] so an
+    overspent budget throttles successors instead of disabling their
+    governors.  Raises [Invalid_argument] on a budget outside (0, 1] or
+    non-positive [shards_left]. *)
+
 val mode : t -> mode
 
 val rate : t -> float

@@ -83,6 +83,8 @@ let attach ?backend ?range ?sample_cap ?sample_rate ?overhead_budget ?faults
      the device's simulated clock onto spans so exports can bridge the
      wall and simulated timelines. *)
   Telemetry.refresh_level ();
+  (* Spans recorded while this session is attached carry the device id. *)
+  Telemetry.set_device (Gpusim.Device.id device);
   if Telemetry.enabled () then
     Gpusim.Clock.set_observer
       (Gpusim.Device.clock device)
@@ -303,8 +305,11 @@ let detach s =
   active := List.filter (fun x -> x != s) !active;
   (* Keep the clock observer while another session still profiles this
      device (e.g. a tracer riding along); drop it with the last one. *)
-  if not (List.exists (fun x -> x.device == s.device) !active) then
+  if not (List.exists (fun x -> x.device == s.device) !active) then begin
     Gpusim.Clock.set_observer (Gpusim.Device.clock s.device) None;
+    if Telemetry.current_device () = Gpusim.Device.id s.device then
+      Telemetry.set_device (-1)
+  end;
   (* Anything still sitting in the bounded buffer belongs to the tool. *)
   Processor.flush_records s.proc;
   (* Close the trace before health is sampled so the capture counters

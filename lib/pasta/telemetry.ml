@@ -55,6 +55,7 @@ type cat =
   | Capture_io  (* trace capture encode + write *)
   | Replay_io   (* trace decode + re-drive loop *)
   | Export      (* telemetry's own exporters *)
+  | Fleet       (* fleet orchestration: device attempts, merge nodes *)
 
 let cat_index = function
   | Simulate -> 0
@@ -65,8 +66,9 @@ let cat_index = function
   | Capture_io -> 5
   | Replay_io -> 6
   | Export -> 7
+  | Fleet -> 8
 
-let cat_count = 8
+let cat_count = 9
 
 let cat_label_of_index = function
   | 0 -> "simulate"
@@ -77,6 +79,7 @@ let cat_label_of_index = function
   | 5 -> "capture"
   | 6 -> "replay"
   | 7 -> "export"
+  | 8 -> "fleet"
   | _ -> "unknown"
 
 let cat_describe_of_index = function
@@ -88,6 +91,7 @@ let cat_describe_of_index = function
   | 5 -> "capture I/O"
   | 6 -> "replay I/O"
   | 7 -> "telemetry export"
+  | 8 -> "fleet orchestration"
   | _ -> "unknown"
 
 (* --- Registry and tool slots ------------------------------------------ *)
@@ -153,6 +157,7 @@ let stack_cap = 64
 
 type ctx = {
   cx_id : int;  (* domain id at creation *)
+  mutable cx_dev : int;  (* device this context is profiling, -1 none *)
   stack : frame array;
   mutable depth : int;
   mutable skipped : int;  (* virtual frames beyond [stack_cap] *)
@@ -169,6 +174,7 @@ let make_frame () =
 let make_ctx () =
   {
     cx_id = (Domain.self () :> int);
+    cx_dev = -1;
     stack = Array.init stack_cap (fun _ -> make_frame ());
     depth = 0;
     skipped = 0;
@@ -181,6 +187,12 @@ let make_ctx () =
 
 let ctx_key = Domain.DLS.new_key make_ctx
 let ctx () = Domain.DLS.get ctx_key
+
+(* Which device this domain's instrumentation is attributed to.  Sessions
+   set it at attach and clear it (-1) at detach; fleet shards set it per
+   attempt.  Per-domain, so concurrent merge workers stay unattributed. *)
+let set_device d = (ctx ()).cx_dev <- d
+let current_device () = (ctx ()).cx_dev
 
 (* Epoch of the current measurement window ([reset] moves it). *)
 let epoch = ref (now_us ())
@@ -255,6 +267,7 @@ let record_span c (f : frame) now =
       Span_buf.sp_name = name;
       sp_cat = cat_name;
       sp_tid = c.cx_id;
+      sp_dev = c.cx_dev;
       sp_depth = c.depth;
       sp_wall0_us = f.f_t0;
       sp_dur_us = now -. f.f_t0;
@@ -460,12 +473,13 @@ let chrome_events () =
           end;
           add
             (Printf.sprintf
-               {|{"name":"%s","cat":"%s","ph":"X","ts":%.3f,"dur":%.3f,"pid":%d,"tid":%d,"args":{"sim_t0_us":%.3f,"sim_t1_us":%.3f}}|}
+               {|{"name":"%s","cat":"%s","ph":"X","ts":%.3f,"dur":%.3f,"pid":%d,"tid":%d,"args":{"device":%d,"sim_t0_us":%.3f,"sim_t1_us":%.3f}}|}
                (json_escape sp.Span_buf.sp_name)
                (json_escape sp.Span_buf.sp_cat)
                (sp.Span_buf.sp_wall0_us -. !epoch)
                sp.Span_buf.sp_dur_us telemetry_pid sp.Span_buf.sp_tid
-               sp.Span_buf.sp_sim0_us sp.Span_buf.sp_sim1_us)));
+               sp.Span_buf.sp_dev sp.Span_buf.sp_sim0_us
+               sp.Span_buf.sp_sim1_us)));
   List.iter
     (fun (t, v) ->
       add

@@ -41,6 +41,7 @@ type cat =
   | Capture_io
   | Replay_io
   | Export
+  | Fleet
 
 val begin_span : cat -> string -> unit
 (** [begin_span cat name]: push a span.  [name] only matters in [Full] mode
@@ -68,6 +69,14 @@ val note_sim_us : float -> unit
 (** Mirror of the simulated clock, stamped onto spans; fed by the
     {!Gpusim.Clock} observer a session installs (replay feeds recorded
     timestamps instead). *)
+
+val set_device : int -> unit
+(** Device id the calling domain's spans are attributed to ([-1] none).
+    Sessions set it on attach and clear it on detach; fleet shards set it
+    per attempt.  Every span recorded afterwards carries the id
+    ([Span_buf.sp_dev], the ["device"] arg of exported trace events). *)
+
+val current_device : unit -> int
 
 val sample_ring_occupancy : int -> unit
 (** Record the bounded record-buffer occupancy for the exported counter

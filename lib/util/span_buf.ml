@@ -6,6 +6,7 @@ type span = {
   sp_name : string;
   sp_cat : string;
   sp_tid : int;       (* recording domain id *)
+  sp_dev : int;       (* device the recording context was profiling, -1 none *)
   sp_depth : int;     (* nesting depth at begin, 0 = outermost *)
   sp_wall0_us : float;
   sp_dur_us : float;
@@ -18,6 +19,7 @@ let dummy =
     sp_name = "";
     sp_cat = "";
     sp_tid = 0;
+    sp_dev = -1;
     sp_depth = 0;
     sp_wall0_us = 0.0;
     sp_dur_us = 0.0;

@@ -7,6 +7,7 @@ type span = {
   sp_name : string;
   sp_cat : string;
   sp_tid : int;  (** recording domain id *)
+  sp_dev : int;  (** device the recording context was profiling, [-1] none *)
   sp_depth : int;  (** nesting depth at begin, 0 = outermost *)
   sp_wall0_us : float;  (** wall-clock begin, absolute microseconds *)
   sp_dur_us : float;

@@ -1,13 +1,16 @@
 (* Wiring checker, run as part of the default [dune runtest] via the root
-   [wiring-check] alias.  Catches the two easiest ways for coverage to rot
-   silently:
+   [wiring-check] alias.  Catches the three easiest ways for coverage to
+   rot silently:
 
    - a test module that exists on disk but was never added to
      [test/test_main.ml] — it would compile, sit in the executable and
      never run;
    - a [BENCH_*.json] artifact named anywhere under [bench/] (a gate, a
      doc string, a comparison) with no [open_out "BENCH_*.json"] producer
-     left in the bench sources.
+     left in the bench sources;
+   - a dune alias defined in [test/dune] (an env-variant re-run like
+     [@faults] or [@fleet]) that is missing from the [runtest] alias deps
+     — it would only fire when invoked by hand.
 
    Usage: wiring_check TEST_DIR BENCH_DIR — prints one line per violation
    and exits 1 if any were found. *)
@@ -56,6 +59,73 @@ let check_test_wiring dir =
       (ml_files dir)
   end
 
+(* --- every alias defined in test/dune rides the default runtest --- *)
+
+let index_of body from needle =
+  let h = String.length body and n = String.length needle in
+  let rec go i =
+    if i + n > h then None
+    else if String.sub body i n = needle then Some i
+    else go (i + 1)
+  in
+  if n = 0 then Some from else go from
+
+(* End of the s-expression opening at [start] (which must point at '('). *)
+let sexp_end body start =
+  let len = String.length body in
+  let depth = ref 0 and i = ref start and stop = ref (-1) in
+  while !stop < 0 && !i < len do
+    (match body.[!i] with
+    | '(' -> incr depth
+    | ')' ->
+        decr depth;
+        if !depth = 0 then stop := !i + 1
+    | _ -> ());
+    incr i
+  done;
+  if !stop < 0 then len else !stop
+
+let check_alias_wiring dir =
+  let path = Filename.concat dir "dune" in
+  if not (Sys.file_exists path) then complain path "missing dune file"
+  else begin
+    let body = read_file path in
+    match index_of body 0 "(name runtest)" with
+    | None -> complain path "no (alias (name runtest)) block"
+    | Some rp ->
+        let deps_start, deps_end =
+          match index_of body rp "(deps" with
+          | Some d -> (d, sexp_end body d)
+          | None -> (rp, rp)
+        in
+        let deps = String.sub body deps_start (deps_end - deps_start) in
+        let is_name_char c =
+          (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c = '-' || c = '_'
+        in
+        let rec scan i =
+          match index_of body i "(alias " with
+          | None -> ()
+          | Some p ->
+              let j = ref (p + 7) in
+              while !j < String.length body && is_name_char body.[!j] do
+                incr j
+              done;
+              let name = String.sub body (p + 7) (!j - (p + 7)) in
+              (* skip the runtest block itself, empty names (the
+                 "(alias (name ...))" form) and references inside deps *)
+              if
+                name <> "" && name <> "runtest"
+                && not (p >= deps_start && p < deps_end)
+                && not (contains deps (Printf.sprintf "(alias %s)" name))
+              then
+                complain path
+                  (Printf.sprintf "alias %s is defined but not in the runtest deps"
+                     name);
+              scan !j
+        in
+        scan 0
+  end
+
 (* --- every BENCH_*.json named under bench/ has a producer --- *)
 
 (* Collect every "BENCH_<name>.json" literal occurring in [body]. *)
@@ -101,6 +171,7 @@ let () =
   (match Array.to_list Sys.argv with
   | [ _; test_dir; bench_dir ] ->
       check_test_wiring test_dir;
+      check_alias_wiring test_dir;
       check_bench_producers bench_dir
   | _ ->
       prerr_endline "usage: wiring_check TEST_DIR BENCH_DIR";

@@ -23,4 +23,5 @@ let () =
       ("models", Test_models.suite);
       ("telemetry", Test_telemetry.suite);
       ("sampling", Test_sampling.suite);
+      ("fleet", Test_fleet.suite);
     ]

@@ -609,10 +609,17 @@ let curated =
     "pasta_batches_delivered";
   ]
 
+(* Pipeline counters now carry a ("device", id) label; summing across
+   label sets keeps the comparison independent of the device ids the two
+   runs happened to draw. *)
 let snapshot reg =
+  let samples = Pasta_util.Metric.counter_samples reg in
   List.map
     (fun name ->
-      (name, Option.value ~default:0 (Pasta_util.Metric.find_counter reg name)))
+      ( name,
+        List.fold_left
+          (fun acc (n, _, v) -> if n = name then acc + v else acc)
+          0 samples ))
     curated
 
 let test_replay_metric_counts domains () =
