@@ -764,77 +764,186 @@ let pipeline_run ~sample_cap ~iters kind =
   Pasta.Config.unset "ACCEL_PROF_BATCH_DELIVERY";
   { p_records = !records; p_wall_s = wall; p_report = render () }
 
+(* One configuration measured [reps] times: the median wall time is the
+   headline (robust against a stray GC pause or scheduler hiccup in either
+   direction), the min is reported alongside as the best case. *)
+type pipeline_summary = {
+  pm_records : int;
+  pm_wall_median : float;
+  pm_wall_min : float;
+  pm_report : string;
+}
+
+let pipeline_summarize runs =
+  let walls = List.map (fun r -> r.p_wall_s) runs |> List.sort compare in
+  let median =
+    let a = Array.of_list walls in
+    let n = Array.length a in
+    if n land 1 = 1 then a.(n / 2) else 0.5 *. (a.((n / 2) - 1) +. a.(n / 2))
+  in
+  let first = List.hd runs in
+  (* Record counts and reports are deterministic per configuration; check
+     rather than assume, so a rep-to-rep divergence can't hide. *)
+  List.iter
+    (fun r ->
+      if r.p_records <> first.p_records || r.p_report <> first.p_report then begin
+        prerr_endline "pipeline: FAIL - output diverges across repetitions";
+        exit 1
+      end)
+    runs;
+  {
+    pm_records = first.p_records;
+    pm_wall_median = median;
+    pm_wall_min = List.hd walls;
+    pm_report = first.p_report;
+  }
+
 let pipeline () =
   section
     "Pipeline: per-record delivery vs batched parallel preprocessing (BERT inference, \
      fine-grained hotness)";
-  let sample_cap = 4096 and iters = 1 and reps = 3 in
-  let best kind =
-    let runs = List.init reps (fun _ -> pipeline_run ~sample_cap ~iters kind) in
-    List.fold_left
-      (fun acc r -> if r.p_wall_s < acc.p_wall_s then r else acc)
-      (List.hd runs) (List.tl runs)
-  in
-  let serial = best `Serial in
-  let par = List.map (fun d -> (d, best (`Parallel d))) [ 1; 2; 4; 8 ] in
-  let rps r = float_of_int r.p_records /. r.p_wall_s in
+  let sample_cap = 4096 and iters = 1 and reps = 9 in
+  let kinds = [| `Serial; `Parallel 1; `Parallel 2; `Parallel 4; `Parallel 8 |] in
+  (* One unmeasured warmup pass per configuration (page cache, branch
+     predictors, pool creation), then the timed reps run round-robin
+     across configurations with a compacted heap, so slow machine drift
+     lands evenly on every configuration instead of on whichever
+     happened to run last.  Each round starts one configuration later
+     than the previous one: within a round the heap and allocator state
+     degrade slightly from first slot to last, and rotating the start
+     spreads that position cost across configurations instead of always
+     taxing the same one. *)
+  Array.iter (fun k -> ignore (pipeline_run ~sample_cap ~iters k)) kinds;
+  let n_kinds = Array.length kinds in
+  let samples = Array.map (fun _ -> ref []) kinds in
+  for rep = 0 to reps - 1 do
+    for slot = 0 to n_kinds - 1 do
+      let i = (slot + rep) mod n_kinds in
+      Gc.compact ();
+      samples.(i) := pipeline_run ~sample_cap ~iters kinds.(i) :: !(samples.(i))
+    done
+  done;
+  let summarize i = pipeline_summarize (List.rev !(samples.(i))) in
+  let serial = summarize 0 in
+  let par = List.mapi (fun i d -> (d, summarize (i + 1))) [ 1; 2; 4; 8 ] in
+  let rps r = float_of_int r.pm_records /. r.pm_wall_median in
+  let speedup r = serial.pm_wall_median /. r.pm_wall_median in
   let row name r =
     [
       name;
-      string_of_int r.p_records;
-      Printf.sprintf "%.1f" (1000.0 *. r.p_wall_s);
+      string_of_int r.pm_records;
+      Printf.sprintf "%.1f" (1000.0 *. r.pm_wall_median);
+      Printf.sprintf "%.1f" (1000.0 *. r.pm_wall_min);
       Printf.sprintf "%.2e" (rps r);
-      Printf.sprintf "%.2fx" (serial.p_wall_s /. r.p_wall_s);
+      Printf.sprintf "%.2fx" (speedup r);
     ]
   in
   Pasta_util.Texttab.render ppf
-    ~header:[ "configuration"; "records"; "wall (ms)"; "records/s"; "speedup" ]
-    ~align:[ Pasta_util.Texttab.Left; Right; Right; Right; Right ]
+    ~header:
+      [ "configuration"; "records"; "median (ms)"; "min (ms)"; "records/s"; "speedup" ]
+    ~align:[ Pasta_util.Texttab.Left; Right; Right; Right; Right; Right ]
     (row "serial (per-record)" serial
     :: List.map
          (fun (d, r) ->
            row (Printf.sprintf "batched, %d domain%s" d (if d = 1 then "" else "s")) r)
          par);
-  let digests = List.map (fun (d, r) -> (d, Digest.to_hex (Digest.string r.p_report))) par in
+  Format.fprintf ppf
+    "@.%d reps per configuration; wall times are medians, speedups from medians.@." reps;
+  (match List.assoc_opt 2 par with
+  | Some r ->
+      (* The old 2-domain anomaly (2.06x vs 2.83x at 1 domain) was
+         oversubscription: every extra domain past the hardware's
+         parallelism just timeshares a core through the job mutex.
+         Domain_pool now claims guided blocks and clamps spawned workers
+         to [Domain.recommended_domain_count], so extra requested domains
+         can no longer make the pipeline slower. *)
+      Format.fprintf ppf
+        "2-domain scheduling (guided claiming, pool clamped to %d-core hardware): %.2fx \
+         vs serial@."
+        (Domain.recommended_domain_count ())
+        (speedup r)
+  | None -> ());
+  let digests = List.map (fun (d, r) -> (d, Digest.to_hex (Digest.string r.pm_report))) par in
   let deterministic =
     match digests with
     | [] -> true
     | (_, d0) :: rest -> List.for_all (fun (_, d) -> d = d0) rest
   in
-  Format.fprintf ppf "@.tool output %s across domain counts (md5 %s)@."
+  Format.fprintf ppf "tool output %s across domain counts (md5 %s)@."
     (if deterministic then "byte-identical" else "DIVERGES")
     (match digests with (_, d) :: _ -> d | [] -> "-");
   let b = Buffer.create 1024 in
   Printf.bprintf b "{\n";
   Printf.bprintf b "  \"experiment\": \"pipeline\",\n";
   Printf.bprintf b "  \"workload\": \"BERT-inference\",\n";
-  Printf.bprintf b "  \"sample_cap\": %d,\n  \"iters\": %d,\n" sample_cap iters;
+  Printf.bprintf b "  \"sample_cap\": %d,\n  \"iters\": %d,\n  \"reps\": %d,\n" sample_cap
+    iters reps;
+  Printf.bprintf b "  \"hardware_parallelism\": %d,\n" (Domain.recommended_domain_count ());
   Printf.bprintf b
-    "  \"serial\": { \"records\": %d, \"wall_s\": %.6f, \"records_per_sec\": %.1f },\n"
-    serial.p_records serial.p_wall_s (rps serial);
+    "  \"serial\": { \"records\": %d, \"wall_median_s\": %.6f, \"wall_min_s\": %.6f, \
+     \"records_per_sec\": %.1f },\n"
+    serial.pm_records serial.pm_wall_median serial.pm_wall_min (rps serial);
   Printf.bprintf b "  \"parallel\": [\n";
   List.iteri
     (fun i (d, r) ->
       Printf.bprintf b
-        "    { \"domains\": %d, \"records\": %d, \"wall_s\": %.6f, \"records_per_sec\": \
-         %.1f, \"speedup_vs_serial\": %.3f, \"digest\": \"%s\" }%s\n"
-        d r.p_records r.p_wall_s (rps r)
-        (serial.p_wall_s /. r.p_wall_s)
-        (Digest.to_hex (Digest.string r.p_report))
+        "    { \"domains\": %d, \"records\": %d, \"wall_median_s\": %.6f, \
+         \"wall_min_s\": %.6f, \"records_per_sec\": %.1f, \"speedup_vs_serial\": %.3f, \
+         \"digest\": \"%s\" }%s\n"
+        d r.pm_records r.pm_wall_median r.pm_wall_min (rps r) (speedup r)
+        (Digest.to_hex (Digest.string r.pm_report))
         (if i = List.length par - 1 then "" else ","))
     par;
   Printf.bprintf b "  ],\n";
-  let sp4 =
-    match List.assoc_opt 4 par with
-    | Some r -> serial.p_wall_s /. r.p_wall_s
-    | None -> 0.0
+  let sp d = match List.assoc_opt d par with Some r -> speedup r | None -> 0.0 in
+  (* Measurement noise floor: the worst relative gap between a batched
+     configuration's median and best wall across the reps.  Once the pool
+     clamps to hardware parallelism, configurations past the core count
+     execute identical code, so speedup differences inside this band are
+     sampling error, not scheduling regressions; the monotonicity gate
+     below compares at this resolution.  On hardware with enough cores
+     for every configuration the band still applies, but genuine scaling
+     regressions dwarf it. *)
+  let noise_floor =
+    List.fold_left
+      (fun acc (_, r) ->
+        Float.max acc ((r.pm_wall_median -. r.pm_wall_min) /. r.pm_wall_median))
+      0.0 par
   in
-  Printf.bprintf b "  \"speedup_4_domains_vs_serial\": %.3f,\n" sp4;
+  let monotone_raw =
+    let rec go = function
+      | (_, a) :: ((_, b) :: _ as rest) ->
+          speedup a <= speedup b && go rest
+      | _ -> true
+    in
+    go par
+  in
+  Printf.bprintf b "  \"speedup_4_domains_vs_serial\": %.3f,\n" (sp 4);
+  Printf.bprintf b "  \"speedup_8_domains_vs_serial\": %.3f,\n" (sp 8);
+  Printf.bprintf b "  \"speedup_noise_floor\": %.4f,\n" noise_floor;
+  Printf.bprintf b "  \"speedup_monotone_1_to_8\": %b,\n" monotone_raw;
   Printf.bprintf b "  \"deterministic_across_domains\": %b\n}\n" deterministic;
   let oc = open_out "BENCH_pipeline.json" in
   output_string oc (Buffer.contents b);
   close_out oc;
-  Format.fprintf ppf "wrote BENCH_pipeline.json@."
+  Format.fprintf ppf "wrote BENCH_pipeline.json@.";
+  if not deterministic then begin
+    prerr_endline "pipeline: FAIL - parallel tool output diverges across domain counts";
+    exit 1
+  end;
+  if sp 8 < sp 4 *. (1.0 -. noise_floor) then begin
+    Printf.eprintf
+      "pipeline: FAIL - 8-domain speedup (%.2fx) below 4-domain speedup (%.2fx) beyond \
+       the %.1f%% measurement noise floor\n"
+      (sp 8) (sp 4) (100.0 *. noise_floor);
+    exit 1
+  end
+  else if sp 8 < sp 4 then
+    Format.fprintf ppf
+      "8-domain speedup (%.2fx) within the %.1f%% noise floor of 4-domain (%.2fx); \
+       configurations past the %d-core clamp run identical code@."
+      (sp 8) (100.0 *. noise_floor) (sp 4)
+      (Domain.recommended_domain_count ())
 
 (* ------------------------------------------------------------------ *)
 
@@ -1399,7 +1508,9 @@ let fleet_bench () =
 let pipeline_smoke () =
   let sample_cap = 64 and iters = 1 in
   let serial = pipeline_run ~sample_cap ~iters `Serial in
-  let par = List.map (fun d -> (d, pipeline_run ~sample_cap ~iters (`Parallel d))) [ 1; 2; 4 ] in
+  let par =
+    List.map (fun d -> (d, pipeline_run ~sample_cap ~iters (`Parallel d))) [ 1; 2; 4; 8 ]
+  in
   let digests = List.map (fun (_, r) -> Digest.to_hex (Digest.string r.p_report)) par in
   let same_digest =
     match digests with [] -> true | d :: rest -> List.for_all (( = ) d) rest
@@ -1414,7 +1525,7 @@ let pipeline_smoke () =
       (String.concat "/" (List.map (fun (_, r) -> string_of_int r.p_records) par));
     exit 1
   end;
-  Printf.printf "perf-smoke: OK - %d records, identical output at 1/2/4 domains (md5 %s)\n"
+  Printf.printf "perf-smoke: OK - %d records, identical output at 1/2/4/8 domains (md5 %s)\n"
     serial.p_records
     (match digests with d :: _ -> d | [] -> "-")
 

@@ -104,11 +104,9 @@ let corrupt_batch ~rates ~seed ~grid_id (b : Warp.batch) =
         match Pasta_util.Det_rng.int rng 3 with
         | 0 ->
             let bit = Pasta_util.Det_rng.int rng 40 in
-            b.Warp.addrs.(i) <- b.Warp.addrs.(i) lxor (1 lsl bit)
-        | 1 -> b.Warp.sizes.(i) <- 1 lsl Pasta_util.Det_rng.int rng 12
-        | _ ->
-            Bytes.set b.Warp.writes i
-              (if Bytes.get b.Warp.writes i = '\000' then '\001' else '\000')
+            b.Warp.addrs.{i} <- b.Warp.addrs.{i} lxor (1 lsl bit)
+        | 1 -> b.Warp.sizes.{i} <- 1 lsl Pasta_util.Det_rng.int rng 12
+        | _ -> b.Warp.writes.{i} <- (if b.Warp.writes.{i} = 0 then 1 else 0)
       end
     done;
     !corrupted

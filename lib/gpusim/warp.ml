@@ -39,7 +39,7 @@ let region_records ~rng ~warp_size ~max_records (r : Kernel.region) ~pc ~f =
     done
   end
 
-(* ---- Chunked generation into packed batches ------------------------- *)
+(* ---- Chunked generation into packed columnar batches ----------------- *)
 
 (* Fixed shard size, deliberately independent of how many domains will run
    the chunks: the chunk layout — and therefore every derived RNG stream —
@@ -47,46 +47,82 @@ let region_records ~rng ~warp_size ~max_records (r : Kernel.region) ~pc ~f =
    for any domain count. *)
 let chunk_records = 1024
 
+(* Struct-of-arrays columns.  [Bigarray.int] elements read and write as
+   unboxed native [int]s (unlike the int64/int32 kinds, which box on every
+   access), so the hot loops below never allocate per record.  Sizes fit in
+   16 bits (fault injection caps them at [1 lsl 11]) and write flags in one
+   byte. *)
+type int_col = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+type size_col = (int, Bigarray.int16_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+type flag_col = (int, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+let alloc_int_col n : int_col = Bigarray.Array1.create Bigarray.int Bigarray.c_layout n
+let alloc_size_col n : size_col =
+  Bigarray.Array1.create Bigarray.int16_unsigned Bigarray.c_layout n
+let alloc_flag_col n : flag_col =
+  Bigarray.Array1.create Bigarray.int8_unsigned Bigarray.c_layout n
+
 type batch = {
   b_region : int;
   b_chunk : int;
   b_pc : int;
   b_len : int;
-  addrs : int array;
-  sizes : int array;
-  warps : int array;
-  weights : int array;
-  writes : Bytes.t;  (* one 0/1 byte per record *)
+  addrs : int_col;
+  sizes : size_col;
+  warps : int_col;
+  weights : int_col;
+  writes : flag_col;  (* one 0/1 element per record *)
 }
 
 let batch_len b = b.b_len
-let batch_weight b = Array.fold_left ( + ) 0 b.weights
+
+let batch_weight b =
+  let s = ref 0 in
+  for i = 0 to b.b_len - 1 do
+    s := !s + Bigarray.Array1.unsafe_get b.weights i
+  done;
+  !s
 
 let batch_get b i =
   {
-    addr = b.addrs.(i);
-    size = b.sizes.(i);
-    write = Bytes.get b.writes i <> '\000';
-    warp_id = b.warps.(i);
+    addr = b.addrs.{i};
+    size = b.sizes.{i};
+    write = b.writes.{i} <> 0;
+    warp_id = b.warps.{i};
     pc = b.b_pc;
-    weight = b.weights.(i);
+    weight = b.weights.{i};
   }
 
 let iter_batch b ~f =
+  (* The per-record fallback spends its life in this loop, so read the
+     columns unchecked — [i] is bounded by [b_len], which every
+     constructor checks against the column dims. *)
   for i = 0 to b.b_len - 1 do
-    f (batch_get b i)
+    f
+      {
+        addr = Bigarray.Array1.unsafe_get b.addrs i;
+        size = Bigarray.Array1.unsafe_get b.sizes i;
+        write = Bigarray.Array1.unsafe_get b.writes i <> 0;
+        warp_id = Bigarray.Array1.unsafe_get b.warps i;
+        pc = b.b_pc;
+        weight = Bigarray.Array1.unsafe_get b.weights i;
+      }
   done
 
-let batch_of_arrays ~region ~chunk ~pc ~addrs ~sizes ~warps ~weights ~writes =
-  let len = Array.length addrs in
-  if
-    Array.length sizes <> len
-    || Array.length warps <> len
-    || Array.length weights <> len
-    || Bytes.length writes <> len
-  then invalid_arg "Warp.batch_of_arrays: array lengths differ";
+let check_header ~who ~region ~chunk ~pc =
   if region < 0 || chunk < 0 || pc < 0 then
-    invalid_arg "Warp.batch_of_arrays: negative header field";
+    invalid_arg (who ^ ": negative header field")
+
+let batch_of_columns ~region ~chunk ~pc ~(addrs : int_col) ~(sizes : size_col)
+    ~(warps : int_col) ~(weights : int_col) ~(writes : flag_col) =
+  let len = Bigarray.Array1.dim addrs in
+  if
+    Bigarray.Array1.dim sizes <> len
+    || Bigarray.Array1.dim warps <> len
+    || Bigarray.Array1.dim weights <> len
+    || Bigarray.Array1.dim writes <> len
+  then invalid_arg "Warp.batch_of_columns: column lengths differ";
+  check_header ~who:"Warp.batch_of_columns" ~region ~chunk ~pc;
   {
     b_region = region;
     b_chunk = chunk;
@@ -97,6 +133,39 @@ let batch_of_arrays ~region ~chunk ~pc ~addrs ~sizes ~warps ~weights ~writes =
     warps;
     weights;
     writes;
+  }
+
+let batch_of_arrays ~region ~chunk ~pc ~addrs ~sizes ~warps ~weights ~writes =
+  let len = Array.length addrs in
+  if
+    Array.length sizes <> len
+    || Array.length warps <> len
+    || Array.length weights <> len
+    || Bytes.length writes <> len
+  then invalid_arg "Warp.batch_of_arrays: array lengths differ";
+  check_header ~who:"Warp.batch_of_arrays" ~region ~chunk ~pc;
+  let c_addrs = alloc_int_col len
+  and c_sizes = alloc_size_col len
+  and c_warps = alloc_int_col len
+  and c_weights = alloc_int_col len
+  and c_writes = alloc_flag_col len in
+  for i = 0 to len - 1 do
+    c_addrs.{i} <- addrs.(i);
+    c_sizes.{i} <- sizes.(i);
+    c_warps.{i} <- warps.(i);
+    c_weights.{i} <- weights.(i);
+    c_writes.{i} <- (if Bytes.get writes i <> '\000' then 1 else 0)
+  done;
+  {
+    b_region = region;
+    b_chunk = chunk;
+    b_pc = pc;
+    b_len = len;
+    addrs = c_addrs;
+    sizes = c_sizes;
+    warps = c_warps;
+    weights = c_weights;
+    writes = c_writes;
   }
 
 type chunk_spec = {
@@ -141,16 +210,19 @@ let fill_chunk ~rng ~warp_size spec =
   let n = spec.cs_n and len = spec.cs_len in
   let base_weight = r.Kernel.accesses / n and extra = r.Kernel.accesses mod n in
   let span = max 1 (r.Kernel.bytes - access_size) in
-  let addrs = Array.make len 0
-  and sizes = Array.make len access_size
-  and warps = Array.make len 0
-  and weights = Array.make len 0
-  and writes = Bytes.make len (if r.Kernel.write then '\001' else '\000') in
+  let addrs = alloc_int_col len
+  and sizes = alloc_size_col len
+  and warps = alloc_int_col len
+  and weights = alloc_int_col len
+  and writes = alloc_flag_col len in
+  Bigarray.Array1.fill sizes access_size;
+  Bigarray.Array1.fill writes (if r.Kernel.write then 1 else 0);
   for j = 0 to len - 1 do
     let i = spec.cs_start + j in
     (* Same sampling formulas as [region_records]; [Random] draws from the
        chunk-keyed stream so the values do not depend on which domain — or
-       in which order — chunks execute. *)
+       in which order — chunks execute.  Records land in the columns
+       directly; no intermediate [access] values are built. *)
     let offset =
       match r.Kernel.pattern with
       | Kernel.Sequential -> span * i / n
@@ -159,9 +231,10 @@ let fill_chunk ~rng ~warp_size spec =
           s * i mod span
       | Kernel.Random -> Pasta_util.Det_rng.int rng span
     in
-    addrs.(j) <- r.Kernel.base + offset;
-    warps.(j) <- i * warp_size mod max warp_size (span / access_size) / warp_size;
-    weights.(j) <- (base_weight + if i < extra then 1 else 0)
+    Bigarray.Array1.unsafe_set addrs j (r.Kernel.base + offset);
+    Bigarray.Array1.unsafe_set warps j
+      (i * warp_size mod max warp_size (span / access_size) / warp_size);
+    Bigarray.Array1.unsafe_set weights j (base_weight + if i < extra then 1 else 0)
   done;
   {
     b_region = spec.cs_region_idx;
@@ -181,8 +254,11 @@ let thin ~rng ~rate b =
   if rate >= 1.0 then b
   else begin
     let rate = Float.max rate 1e-6 in
-    let keep = Array.make (max 1 b.b_len) false in
-    let reweighted = Array.make (max 1 b.b_len) 0 in
+    let addrs = alloc_int_col b.b_len
+    and sizes = alloc_size_col b.b_len
+    and warps = alloc_int_col b.b_len
+    and weights = alloc_int_col b.b_len
+    and writes = alloc_flag_col b.b_len in
     let kept = ref 0 in
     for i = 0 to b.b_len - 1 do
       (* One keep draw per record, then (for kept records only) one
@@ -190,41 +266,32 @@ let thin ~rng ~rate b =
          part plus a Bernoulli on the fraction, so E[keep * weight'] equals
          the original weight exactly — estimates stay unbiased even though
          weights remain integers.  The draw order is fixed, so the kept set
-         is a pure function of the stream [rng] was derived from. *)
+         is a pure function of the stream [rng] was derived from.  Kept
+         records compact straight into the output columns in one pass. *)
       if Pasta_util.Det_rng.prob rng rate then begin
-        keep.(i) <- true;
-        let scaled = float_of_int b.weights.(i) /. rate in
+        let scaled = float_of_int b.weights.{i} /. rate in
         let base = int_of_float (Float.floor scaled) in
         let frac = scaled -. float_of_int base in
-        reweighted.(i) <- (base + if Pasta_util.Det_rng.prob rng frac then 1 else 0);
+        let w = base + if Pasta_util.Det_rng.prob rng frac then 1 else 0 in
+        let j = !kept in
+        addrs.{j} <- b.addrs.{i};
+        sizes.{j} <- b.sizes.{i};
+        warps.{j} <- b.warps.{i};
+        weights.{j} <- w;
+        writes.{j} <- b.writes.{i};
         incr kept
       end
     done;
     let n = !kept in
-    let addrs = Array.make (max 1 n) 0
-    and sizes = Array.make (max 1 n) access_size
-    and warps = Array.make (max 1 n) 0
-    and weights = Array.make (max 1 n) 0
-    and writes = Bytes.make n '\000' in
-    let j = ref 0 in
-    for i = 0 to b.b_len - 1 do
-      if keep.(i) then begin
-        addrs.(!j) <- b.addrs.(i);
-        sizes.(!j) <- b.sizes.(i);
-        warps.(!j) <- b.warps.(i);
-        weights.(!j) <- reweighted.(i);
-        Bytes.set writes !j (Bytes.get b.writes i);
-        incr j
-      end
-    done;
+    (* [Array1.sub] is a zero-copy view of the same buffer. *)
     {
       b with
       b_len = n;
-      addrs = (if n = 0 then [||] else Array.sub addrs 0 n);
-      sizes = (if n = 0 then [||] else Array.sub sizes 0 n);
-      warps = (if n = 0 then [||] else Array.sub warps 0 n);
-      weights = (if n = 0 then [||] else Array.sub weights 0 n);
-      writes;
+      addrs = Bigarray.Array1.sub addrs 0 n;
+      sizes = Bigarray.Array1.sub sizes 0 n;
+      warps = Bigarray.Array1.sub warps 0 n;
+      weights = Bigarray.Array1.sub weights 0 n;
+      writes = Bigarray.Array1.sub writes 0 n;
     }
   end
 

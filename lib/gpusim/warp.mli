@@ -33,19 +33,41 @@ val chunk_records : int
 (** Records per generation chunk (fixed; the determinism contract depends on
     it being independent of the domain count). *)
 
+type int_col = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+(** Unboxed native-int column: reads and writes never allocate (the
+    int64/int32 Bigarray kinds would box every element access). *)
+
+type size_col = (int, Bigarray.int16_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+(** Access-size column; stores the low 16 bits (fault injection caps sizes
+    at [1 lsl 11], so real values always fit). *)
+
+type flag_col = (int, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+(** Write-flag column, one 0/1 element per record. *)
+
+val alloc_int_col : int -> int_col
+val alloc_size_col : int -> size_col
+val alloc_flag_col : int -> flag_col
+(** Fresh uninitialized columns of the given length (for decoders filling
+    every element). *)
+
 type batch = private {
   b_region : int;  (** region index within the kernel *)
   b_chunk : int;  (** chunk index within the region *)
   b_pc : int;  (** PC shared by every record of the region *)
   b_len : int;
-  addrs : int array;
-  sizes : int array;
-  warps : int array;
-  weights : int array;
-  writes : Bytes.t;  (** one 0/1 byte per record *)
+  addrs : int_col;
+  sizes : size_col;
+  warps : int_col;
+  weights : int_col;
+  writes : flag_col;  (** one 0/1 element per record *)
 }
-(** A packed chunk of sampled records.  Mutable internals are exposed
-    read-only; fault injection mutates them through {!Faults}. *)
+(** A packed struct-of-arrays chunk of sampled records.  The header fields
+    are immutable; the Bigarray columns are shared, not copied, by every
+    consumer downstream (zero-copy).  Ownership rule: after a batch is
+    handed to the processor, the *fault injector* ({!Faults}) is the only
+    writer; tools must treat columns as read-only.  A batch produced by
+    {!thin} may be a sub-view of a longer buffer — always bound loops by
+    [b_len], never by the underlying buffer size. *)
 
 val batch_len : batch -> int
 val batch_weight : batch -> int
@@ -64,9 +86,26 @@ val batch_of_arrays :
   weights:int array ->
   writes:Bytes.t ->
   batch
-(** Rebuild a batch from its parts — the stable accessor trace decoders
-    use.  Validates that every array has the same length and that the
-    header fields are non-negative; the arrays are adopted, not copied. *)
+(** Rebuild a batch from boxed parts — the stable compatibility
+    constructor tests and synthetic producers use.  Validates that every
+    array has the same length and that the header fields are non-negative;
+    the arrays are *copied* into fresh columns (callers keep ownership of
+    their inputs). *)
+
+val batch_of_columns :
+  region:int ->
+  chunk:int ->
+  pc:int ->
+  addrs:int_col ->
+  sizes:size_col ->
+  warps:int_col ->
+  weights:int_col ->
+  writes:flag_col ->
+  batch
+(** Adopt columns zero-copy — the constructor trace decoders use.  The
+    batch aliases the given Bigarrays; callers must not retain writable
+    references.  Validates equal column lengths and non-negative header
+    fields. *)
 
 type chunk_spec = private {
   cs_region : Kernel.region;

@@ -60,6 +60,7 @@ let passthrough () =
   {
     tool with
     Tool.on_access_batch = Some (fun _ _ -> ());
+    on_access_columns = Some (fun _ _ -> ());
     report =
       (fun ppf ->
         Format.fprintf ppf "capture: passthrough recording, no analysis@.");

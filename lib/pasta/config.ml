@@ -73,6 +73,11 @@ let batch_delivery () =
   | Some ("0" | "false" | "no" | "off") -> false
   | _ -> true
 
+let columnar () =
+  match get "ACCEL_PROF_COLUMNAR" with
+  | Some ("0" | "false" | "no" | "off") -> false
+  | _ -> true
+
 let domains () =
   let cap = max 1 (min 8 (Domain.recommended_domain_count ())) in
   match get_int "ACCEL_PROF_DOMAINS" with

@@ -69,6 +69,14 @@ val batch_delivery : unit -> bool
     restores the legacy one-callback-per-record path — same results,
     higher overhead; kept as an A/B switch for overhead studies. *)
 
+val columnar : unit -> bool
+(** [ACCEL_PROF_COLUMNAR]: use the zero-copy columnar hot path — direct
+    {!Tool.t.on_access_columns} delivery with no per-dispatch event
+    wrapping, and per-domain device aggregation merged once per kernel
+    (default).  Setting it to [0]/[off] restores the legacy per-chunk
+    shard path and event-wrapped batch dispatch — same bytes, higher
+    overhead; kept as an escape hatch and equivalence oracle. *)
+
 val domains : unit -> int
 (** [ACCEL_PROF_DOMAINS]: domain-pool size for parallel device-side
     preprocessing.  Defaults to [Domain.recommended_domain_count ()]

@@ -97,6 +97,85 @@ let is_sorted (a : int array) n =
   done;
   !ok
 
+(* Merge the sorted pair runs [lo, mid) and [mid, hi) — pair indices over
+   flat [base, limit) storage — from [src] into [dst], lexicographically
+   and stably. *)
+let merge_runs (src : int array) (dst : int array) lo mid hi =
+  let i = ref lo and j = ref mid and k = ref lo in
+  while !i < mid && !j < hi do
+    let ib = src.(2 * !i) and il = src.((2 * !i) + 1) in
+    let jb = src.(2 * !j) and jl = src.((2 * !j) + 1) in
+    if ib < jb || (ib = jb && il <= jl) then begin
+      dst.(2 * !k) <- ib;
+      dst.((2 * !k) + 1) <- il;
+      incr i
+    end
+    else begin
+      dst.(2 * !k) <- jb;
+      dst.((2 * !k) + 1) <- jl;
+      incr j
+    end;
+    incr k
+  done;
+  if !i < mid then Array.blit src (2 * !i) dst (2 * !k) (2 * (mid - !i))
+  else if !j < hi then Array.blit src (2 * !j) dst (2 * !k) (2 * (hi - !j))
+
+(* Lexicographic sort of [base, limit) pairs stored flat as
+   [a.(2i), a.(2i+1)], by natural (run-detecting) bottom-up merge using
+   caller-provided scratch ([scratch] >= 2*npairs ints, [bounds] and
+   [bounds2] >= npairs+1 each — contents ignored, clobbered).  The input
+   here is always a concatenation of a few long already-sorted segments —
+   per-chunk coalesced runs, one group per worker — which is exactly the
+   shape that drives quicksort's median-of-three pivots quadratic, and
+   that a run merge sorts in O(n log runs).  Already-sorted input is
+   detected for free (one run, no work). *)
+let sort_pairs_in ~(bounds : int array) ~(bounds2 : int array)
+    ~(scratch : int array) (a : int array) npairs =
+  if npairs > 1 then begin
+    let nruns = ref 1 in
+    bounds.(0) <- 0;
+    for i = 1 to npairs - 1 do
+      let pb = a.(2 * (i - 1)) and b = a.(2 * i) in
+      if pb > b || (pb = b && a.((2 * (i - 1)) + 1) > a.((2 * i) + 1)) then begin
+        bounds.(!nruns) <- i;
+        incr nruns
+      end
+    done;
+    if !nruns > 1 then begin
+      bounds.(!nruns) <- npairs;
+      let src = ref a and dst = ref scratch in
+      let bs = ref bounds and bd = ref bounds2 in
+      let n = ref !nruns in
+      while !n > 1 do
+        let m = ref 0 and r = ref 0 in
+        while !r < !n do
+          if !r + 1 < !n then begin
+            merge_runs !src !dst (!bs).(!r) (!bs).(!r + 1) (!bs).(!r + 2);
+            (!bd).(!m) <- (!bs).(!r);
+            incr m;
+            r := !r + 2
+          end
+          else begin
+            let lo = (!bs).(!r) and hi = (!bs).(!r + 1) in
+            Array.blit !src (2 * lo) !dst (2 * lo) (2 * (hi - lo));
+            (!bd).(!m) <- lo;
+            incr m;
+            incr r
+          end
+        done;
+        (!bd).(!m) <- npairs;
+        n := !m;
+        let ts = !src in
+        src := !dst;
+        dst := ts;
+        let tb = !bs in
+        bs := !bd;
+        bd := tb
+      done;
+      if !src != a then Array.blit !src 0 a 0 (2 * npairs)
+    end
+  end
+
 (* Access sizes fit comfortably below this, so an interval packs into one
    immediate int as [addr * pack + size]; sorting the packed array orders
    by (addr, size) without boxing anything. *)
@@ -129,7 +208,8 @@ let aggregate view (b : W.batch) =
         (!cur_blk_w + Option.value ~default:0 (Hashtbl.find_opt blocks !cur_blk))
   in
   for i = 0 to b.W.b_len - 1 do
-    let addr = b.W.addrs.(i) and w = b.W.weights.(i) in
+    let addr = Bigarray.Array1.unsafe_get b.W.addrs i
+    and w = Bigarray.Array1.unsafe_get b.W.weights i in
     let obj =
       if addr >= !memo_base && addr < !memo_limit then !memo_obj
       else
@@ -158,8 +238,10 @@ let aggregate view (b : W.batch) =
       cur_blk_w := w
     end;
     weight := !weight + w;
-    if Bytes.get b.W.writes i <> '\000' then writes := !writes + w;
-    ivals.(i) <- (addr * ival_pack) + min (ival_pack - 1) b.W.sizes.(i)
+    if Bigarray.Array1.unsafe_get b.W.writes i <> 0 then writes := !writes + w;
+    ivals.(i) <-
+      (addr * ival_pack)
+      + min (ival_pack - 1) (Bigarray.Array1.unsafe_get b.W.sizes i)
   done;
   flush_obj ();
   flush_blk ();
@@ -230,6 +312,347 @@ let merge ?(est_rate = 1.0) shards =
         (fun ((a, _) : int * int) (b, _) -> compare a b)
         (Hashtbl.fold (fun b w acc -> (b, w) :: acc) blocks []);
     coalesced = fuse !intervals;
+    sampled_records = !records;
+    true_accesses = !weight;
+    writes = !writes;
+    est_rate;
+  }
+
+(* ---- Per-domain accumulators (columnar hot path) --------------------- *)
+
+(* One accumulator per worker domain, reused across every chunk that worker
+   reduces (and, via {!accum_reset}, across kernels): batches flush their
+   run-length tallies into persistent hashtables and their {e per-chunk
+   coalesced} intervals into a growable flat pair array, so the interval
+   lists, the fresh per-chunk hashtables and the quadratic [merge_sorted]
+   accumulation of [aggregate]+[merge] all disappear.  Everything is merged
+   exactly once per kernel in [merge_accums].
+
+   Coalescing per chunk before appending matters: generation chunks are
+   usually address-sorted already, so the per-chunk pass is a sort-free
+   linear scan that shrinks ~10^3 records to a handful of intervals —
+   deferring raw records to kernel end would force a full O(n log n) sort
+   of the concatenation there, which is never sorted across chunks.
+
+   Determinism: the interval multiset, the weighted tallies and the count
+   sums are all independent of which worker reduced which chunk, and
+   [merge_accums] sorts before producing output, so the summary is
+   byte-identical to the per-chunk [aggregate]+[merge] path at any domain
+   count — coalescing computes connected components under the same
+   overlap-or-touch closure whichever way the records are grouped. *)
+
+(* Mutable table cells: tallies bump in place instead of re-inserting a
+   fresh (value, bucket-cons) pair per run flush — access streams that
+   alternate between two objects flush on every record, and a
+   [find_opt]+[replace] round-trip there allocates ~8 words/record. *)
+type ocell = { oc_obj : Objmap.obj; mutable oc_w : int }
+type bcell = { mutable bc_w : int }
+
+type accum = {
+  a_objects : (int, ocell) Hashtbl.t;
+  a_blocks : (int, bcell) Hashtbl.t;
+  mutable a_ivals : int array;
+      (* coalesced [base, limit) pairs, flat: a_ivals.(2k), a_ivals.(2k+1).
+         Unlike the packed per-record form, a coalesced interval can span
+         an arbitrary number of records, so limits need their own slot. *)
+  mutable a_nivals : int;  (* ints used in [a_ivals]; always even *)
+  mutable a_scratch : int array;  (* per-chunk packed records, reused *)
+  mutable a_records : int;
+  mutable a_weight : int;
+  mutable a_writes : int;
+  (* Merge arena, used through the {e first} accumulator of the array
+     handed to [merge_accums] and reused every kernel, so the per-kernel
+     merge allocates no arrays (the output summary's lists are the only
+     per-kernel allocation left). *)
+  mutable a_cat : int array;  (* concatenated pairs (multi-accum merges only) *)
+  mutable a_sscratch : int array;  (* run-merge scratch, 2*npairs ints *)
+  mutable a_bounds : int array;  (* run boundaries, npairs+1 ints *)
+  mutable a_bounds2 : int array;
+}
+
+let accum_create () =
+  {
+    a_objects = Hashtbl.create 32;
+    a_blocks = Hashtbl.create 64;
+    a_ivals = Array.make 512 0;
+    a_nivals = 0;
+    a_scratch = Array.make W.chunk_records 0;
+    a_records = 0;
+    a_weight = 0;
+    a_writes = 0;
+    a_cat = [||];
+    a_sscratch = [||];
+    a_bounds = [||];
+    a_bounds2 = [||];
+  }
+
+(* Reusable buffer sizing: double until [need] fits, never zeroing live
+   contents (callers overwrite before reading). *)
+let ensure_ints arr need =
+  if Array.length arr >= need then arr
+  else begin
+    let cap = ref (max 512 (Array.length arr)) in
+    while !cap < need do
+      cap := 2 * !cap
+    done;
+    Array.make !cap 0
+  end
+
+(* [Hashtbl.clear] keeps the grown bucket arrays, so a reused accumulator
+   reaches its steady-state footprint after the first kernel and stops
+   allocating. *)
+let accum_reset acc =
+  Hashtbl.clear acc.a_objects;
+  Hashtbl.clear acc.a_blocks;
+  acc.a_nivals <- 0;
+  acc.a_records <- 0;
+  acc.a_weight <- 0;
+  acc.a_writes <- 0
+
+let accum_reserve acc extra =
+  let need = acc.a_nivals + extra in
+  if need > Array.length acc.a_ivals then begin
+    let cap = ref (2 * Array.length acc.a_ivals) in
+    while !cap < need do
+      cap := 2 * !cap
+    done;
+    let grown = Array.make !cap 0 in
+    Array.blit acc.a_ivals 0 grown 0 acc.a_nivals;
+    acc.a_ivals <- grown
+  end
+
+let accum_add acc view (b : W.batch) =
+  if Array.length acc.a_scratch < b.W.b_len then
+    acc.a_scratch <- Array.make (max b.W.b_len (2 * Array.length acc.a_scratch)) 0;
+  let ivals = acc.a_scratch in
+  let weight = ref 0 and writes = ref 0 in
+  (* Same run-length accumulation as [aggregate], flushing into the
+     accumulator's persistent tables instead of fresh per-chunk ones. *)
+  let memo_base = ref min_int and memo_limit = ref min_int in
+  let memo_obj = ref (Objmap.Unknown 0) in
+  let cur_key = ref min_int and cur_obj = ref (Objmap.Unknown 0) and cur_w = ref 0 in
+  let cur_blk = ref min_int and cur_blk_w = ref 0 in
+  (* Two-slot rotation cache over the cells the runs land in: interleaved
+     streams (A,B,A,B,...) flush on every record, and the cache turns
+     those flushes into a compare and an in-place bump — no hashing. *)
+  let oc0_key = ref min_int and oc0 = ref { oc_obj = Objmap.Unknown 0; oc_w = 0 } in
+  let oc1_key = ref min_int and oc1 = ref !oc0 in
+  let bc0_key = ref min_int and bc0 = ref { bc_w = 0 } in
+  let bc1_key = ref min_int and bc1 = ref !bc0 in
+  let flush_obj () =
+    if !cur_w > 0 then begin
+      let key = !cur_key in
+      if key = !oc0_key then !oc0.oc_w <- !oc0.oc_w + !cur_w
+      else if key = !oc1_key then begin
+        let c = !oc1 in
+        c.oc_w <- c.oc_w + !cur_w;
+        oc1_key := !oc0_key;
+        oc1 := !oc0;
+        oc0_key := key;
+        oc0 := c
+      end
+      else begin
+        let c =
+          match Hashtbl.find_opt acc.a_objects key with
+          | Some c -> c
+          | None ->
+              let c = { oc_obj = !cur_obj; oc_w = 0 } in
+              Hashtbl.add acc.a_objects key c;
+              c
+        in
+        c.oc_w <- c.oc_w + !cur_w;
+        oc1_key := !oc0_key;
+        oc1 := !oc0;
+        oc0_key := key;
+        oc0 := c
+      end
+    end
+  in
+  let flush_blk () =
+    if !cur_blk_w > 0 then begin
+      let key = !cur_blk in
+      if key = !bc0_key then !bc0.bc_w <- !bc0.bc_w + !cur_blk_w
+      else if key = !bc1_key then begin
+        let c = !bc1 in
+        c.bc_w <- c.bc_w + !cur_blk_w;
+        bc1_key := !bc0_key;
+        bc1 := !bc0;
+        bc0_key := key;
+        bc0 := c
+      end
+      else begin
+        let c =
+          match Hashtbl.find_opt acc.a_blocks key with
+          | Some c -> c
+          | None ->
+              let c = { bc_w = 0 } in
+              Hashtbl.add acc.a_blocks key c;
+              c
+        in
+        c.bc_w <- c.bc_w + !cur_blk_w;
+        bc1_key := !bc0_key;
+        bc1 := !bc0;
+        bc0_key := key;
+        bc0 := c
+      end
+    end
+  in
+  let addrs = b.W.addrs
+  and weights = b.W.weights
+  and wflags = b.W.writes
+  and sizes = b.W.sizes in
+  (* Sortedness of the packed column is tracked while packing — one flag
+     update per record instead of a separate full scan afterwards. *)
+  let sorted = ref true in
+  let prev_packed = ref min_int in
+  for i = 0 to b.W.b_len - 1 do
+    let addr = Bigarray.Array1.unsafe_get addrs i
+    and w = Bigarray.Array1.unsafe_get weights i in
+    let obj =
+      if addr >= !memo_base && addr < !memo_limit then !memo_obj
+      else
+        match Objmap.resolve_view view addr with
+        | Objmap.Unknown _ as u -> u
+        | obj ->
+            let base = Objmap.obj_key obj in
+            memo_base := base;
+            memo_limit := base + Objmap.obj_bytes obj;
+            memo_obj := obj;
+            obj
+    in
+    let key = Objmap.obj_key obj in
+    if key = !cur_key then cur_w := !cur_w + w
+    else begin
+      flush_obj ();
+      cur_key := key;
+      cur_obj := obj;
+      cur_w := w
+    end;
+    let blk = addr / block_bytes in
+    if blk = !cur_blk then cur_blk_w := !cur_blk_w + w
+    else begin
+      flush_blk ();
+      cur_blk := blk;
+      cur_blk_w := w
+    end;
+    weight := !weight + w;
+    if Bigarray.Array1.unsafe_get wflags i <> 0 then writes := !writes + w;
+    let packed =
+      (addr * ival_pack) + min (ival_pack - 1) (Bigarray.Array1.unsafe_get sizes i)
+    in
+    if packed < !prev_packed then sorted := false;
+    prev_packed := packed;
+    Array.unsafe_set ivals i packed
+  done;
+  flush_obj ();
+  flush_blk ();
+  let n = b.W.b_len in
+  if n > 0 then begin
+    (* Sequential chunks arrive already sorted; only strided/random
+       layouts pay for the sort. *)
+    if not !sorted then qsort ivals 0 (n - 1);
+    (* Coalesce the chunk and append the surviving [base, limit) pairs. *)
+    accum_reserve acc (2 * n);
+    let out = acc.a_ivals in
+    let k = ref acc.a_nivals in
+    let cb = ref (Array.unsafe_get ivals 0 / ival_pack) in
+    let cl = ref (!cb + (Array.unsafe_get ivals 0 mod ival_pack)) in
+    for i = 1 to n - 1 do
+      let p = Array.unsafe_get ivals i in
+      let base = p / ival_pack in
+      let limit = base + (p mod ival_pack) in
+      if base <= !cl then (if limit > !cl then cl := limit)
+      else begin
+        out.(!k) <- !cb;
+        out.(!k + 1) <- !cl;
+        k := !k + 2;
+        cb := base;
+        cl := limit
+      end
+    done;
+    out.(!k) <- !cb;
+    out.(!k + 1) <- !cl;
+    acc.a_nivals <- !k + 2
+  end;
+  acc.a_records <- acc.a_records + b.W.b_len;
+  acc.a_weight <- acc.a_weight + !weight;
+  acc.a_writes <- acc.a_writes + !writes
+
+let merge_accums ?(est_rate = 1.0) accums =
+  let objects = Hashtbl.create 32 and blocks = Hashtbl.create 64 in
+  let records = ref 0 and weight = ref 0 and writes = ref 0 in
+  let total = Array.fold_left (fun n a -> n + a.a_nivals) 0 accums in
+  let a0 = accums.(0) in
+  (* Single-accumulator merges (one worker lane) sort [a0]'s own pair
+     buffer in place — no concatenation copy; the buffer is dead after
+     this merge anyway ([accum_reset] empties it before the next kernel).
+     Multi-accumulator merges concatenate into the reused arena. *)
+  let ivals =
+    if Array.length accums = 1 then a0.a_ivals
+    else begin
+      a0.a_cat <- ensure_ints a0.a_cat total;
+      let filled = ref 0 in
+      Array.iter
+        (fun a ->
+          Array.blit a.a_ivals 0 a0.a_cat !filled a.a_nivals;
+          filled := !filled + a.a_nivals)
+        accums;
+      a0.a_cat
+    end
+  in
+  Array.iter
+    (fun a ->
+      Hashtbl.iter
+        (fun key (c : ocell) ->
+          match Hashtbl.find_opt objects key with
+          | Some (o, acc) -> Hashtbl.replace objects key (o, acc + c.oc_w)
+          | None -> Hashtbl.add objects key (c.oc_obj, c.oc_w))
+        a.a_objects;
+      Hashtbl.iter
+        (fun blk (c : bcell) ->
+          Hashtbl.replace blocks blk
+            (c.bc_w + Option.value ~default:0 (Hashtbl.find_opt blocks blk)))
+        a.a_blocks;
+      records := !records + a.a_records;
+      weight := !weight + a.a_weight;
+      writes := !writes + a.a_writes)
+    accums;
+  (* The single pair sort makes the interval multiset canonical, so worker
+     assignment and arrival order cannot leak into the output.  Chunks were
+     coalesced on the way in, so this sorts intervals, not records. *)
+  let coalesced =
+    let npairs = total / 2 in
+    if npairs = 0 then []
+    else begin
+      a0.a_sscratch <- ensure_ints a0.a_sscratch (2 * npairs);
+      a0.a_bounds <- ensure_ints a0.a_bounds (npairs + 1);
+      a0.a_bounds2 <- ensure_ints a0.a_bounds2 (npairs + 1);
+      sort_pairs_in ~bounds:a0.a_bounds ~bounds2:a0.a_bounds2
+        ~scratch:a0.a_sscratch ivals npairs;
+      let out = ref [] in
+      let cb = ref ivals.(0) and cl = ref ivals.(1) in
+      for i = 1 to npairs - 1 do
+        let base = ivals.(2 * i) and limit = ivals.((2 * i) + 1) in
+        if base <= !cl then (if limit > !cl then cl := limit)
+        else begin
+          out := (!cb, !cl) :: !out;
+          cb := base;
+          cl := limit
+        end
+      done;
+      List.rev ((!cb, !cl) :: !out)
+    end
+  in
+  {
+    objects =
+      List.sort
+        (fun (a, _) (b, _) -> compare (Objmap.obj_key a) (Objmap.obj_key b))
+        (Hashtbl.fold (fun _ ow acc -> ow :: acc) objects []);
+    blocks =
+      List.sort
+        (fun ((a, _) : int * int) (b, _) -> compare a b)
+        (Hashtbl.fold (fun b w acc -> (b, w) :: acc) blocks []);
+    coalesced;
     sampled_records = !records;
     true_accesses = !weight;
     writes = !writes;

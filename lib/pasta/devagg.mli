@@ -35,6 +35,34 @@ val merge : ?est_rate:float -> shard array -> summary
     [est_rate] (default 1.0) stamps the sampling rate the batches were
     thinned at, so consumers can annotate estimates. *)
 
+type accum
+(** A per-worker-domain accumulator for the columnar hot path: reused
+    across every chunk the worker reduces, it appends packed intervals to
+    a preallocated flat array and weighted tallies to persistent tables.
+    NOT safe for concurrent use — one accumulator per worker. *)
+
+val accum_create : unit -> accum
+
+val accum_reset : accum -> unit
+(** Empty the accumulator for reuse on the next kernel while keeping its
+    grown tables and buffers, so a long-lived accumulator reaches a
+    steady-state footprint and stops allocating. *)
+
+val accum_add : accum -> Objmap.view -> Gpusim.Warp.batch -> unit
+(** Reduce one batch into the accumulator: run-length tallies into the
+    persistent tables, plus a per-chunk coalesce (sort-free for the usual
+    address-sorted chunks) whose surviving intervals are appended to a
+    flat pair buffer.  No per-chunk table or list allocations. *)
+
+val merge_accums : ?est_rate:float -> accum array -> summary
+(** Merge per-worker accumulators once per kernel: sums the tallies,
+    sorts the concatenated {e already per-chunk-coalesced} intervals —
+    intervals, not records — and coalesces them in a single pass.
+    Byte-identical to [merge (Array.map (aggregate view) batches)] for
+    the same records, at any domain count — coalescing computes the same
+    connected components under the same overlap-or-touch closure
+    whichever way the records are grouped. *)
+
 val merge_summaries : ?est_rate:float -> summary list -> summary
 (** Combine already-merged summaries into one — the merge-node primitive
     of a hierarchical (fleet) reduction.  Order-insensitive: counts are

@@ -84,12 +84,69 @@ let resolve t addr =
 
 let memo_stats t = (t.memo_hits, t.memo_misses)
 
-(* Immutable snapshot for worker domains: the maps are persistent, so a view
-   shares structure with the registry but never observes later mutations. *)
-type view = { v_allocs : alloc_rec Imap.t; v_tensors : tensor_rec Imap.t }
+(* Immutable snapshot for worker domains, flattened to sorted arrays with
+   the [obj] values prebuilt: the aggregation hot loop calls
+   {!resolve_view} on every memo miss, and the persistent-map lookup both
+   walks pointer-chasing tree nodes and allocates (a closure, options, a
+   fresh [obj] record) per call — at alternating-object access streams
+   that is several words for every record.  Binary search over flat base
+   arrays returning a preallocated [obj] does the same resolution with
+   zero allocation.  Snapshots are taken once per kernel flush, so the
+   [O(objects)] build cost is noise. *)
+type view = {
+  vt_base : int array;  (* tensor base addrs, ascending *)
+  vt_limit : int array;
+  vt_obj : obj array;
+  va_base : int array;  (* device allocs, ascending *)
+  va_limit : int array;
+  va_obj : obj array;
+}
 
-let view t = { v_allocs = t.allocs; v_tensors = t.tensors }
-let resolve_view v addr = resolve_uncached v.v_tensors v.v_allocs addr
+let flatten n fold =
+  let base = Array.make n 0 and limit = Array.make n 0 in
+  let objs = Array.make n (Unknown 0) in
+  let i = ref 0 in
+  fold (fun b lim o ->
+      base.(!i) <- b;
+      limit.(!i) <- lim;
+      objs.(!i) <- o;
+      incr i);
+  (base, limit, objs)
+
+let view t =
+  let vt_base, vt_limit, vt_obj =
+    flatten (Imap.cardinal t.tensors) (fun emit ->
+        Imap.iter
+          (fun ptr r -> emit ptr (ptr + r.t_bytes) (Tensor { ptr; bytes = r.t_bytes; tag = r.tag }))
+          t.tensors)
+  in
+  let va_base, va_limit, va_obj =
+    flatten (Imap.cardinal t.allocs) (fun emit ->
+        Imap.iter
+          (fun ptr r ->
+            emit ptr (ptr + r.a_bytes)
+              (Device_alloc { ptr; bytes = r.a_bytes; managed = r.managed }))
+          t.allocs)
+  in
+  { vt_base; vt_limit; vt_obj; va_base; va_limit; va_obj }
+
+(* Index of the last base [<= addr], or [-1]. *)
+let find_le (base : int array) addr =
+  let lo = ref 0 and hi = ref (Array.length base) in
+  while !hi - !lo > 0 do
+    let mid = (!lo + !hi) / 2 in
+    if Array.unsafe_get base mid <= addr then lo := mid + 1 else hi := mid
+  done;
+  !lo - 1
+
+let resolve_view v addr =
+  let ti = find_le v.vt_base addr in
+  if ti >= 0 && addr < Array.unsafe_get v.vt_limit ti then Array.unsafe_get v.vt_obj ti
+  else begin
+    let ai = find_le v.va_base addr in
+    if ai >= 0 && addr < Array.unsafe_get v.va_limit ai then Array.unsafe_get v.va_obj ai
+    else Unknown addr
+  end
 
 let live_objects t = Imap.cardinal t.allocs + Imap.cardinal t.tensors
 let live_allocs t = List.map (fun (b, r) -> (b, r.a_bytes)) (Imap.bindings t.allocs)

@@ -42,6 +42,7 @@ type counters = {
   c_buffer_stalls : Metric.counter;
   c_accesses_filtered : Metric.counter;
   c_batches_delivered : Metric.counter;
+  c_deprecated_batch_tools : Metric.counter;
   c_objmap_memo_hits : Metric.counter;
   c_objmap_memo_misses : Metric.counter;
   g_sample_rate : Metric.gauge;
@@ -92,6 +93,11 @@ let make_counters ~device () =
     c_batches_delivered =
       c ~help:"packed batches handed to a batch-aware tool"
         "pasta_batches_delivered";
+    c_deprecated_batch_tools =
+      c
+        ~help:"tools observed on the deprecated event-wrapped on_access_batch \
+               path (counted once per processor)"
+        "pasta_deprecated_batch_tools";
     c_objmap_memo_hits = c ~help:"objmap resolve-memo hits" "pasta_objmap_memo_hits";
     c_objmap_memo_misses =
       c ~help:"objmap resolve-memo misses" "pasta_objmap_memo_misses";
@@ -157,6 +163,14 @@ type t = {
   buf : buffered Ring_buffer.t;
   policy : Ring_buffer.overflow;
   mutable pool : Pasta_util.Domain_pool.t option;
+  columnar : bool;
+      (** zero-copy columnar delivery and per-domain aggregation
+          ([ACCEL_PROF_COLUMNAR], snapshotted at creation) *)
+  mutable legacy_batch_noted : bool;
+      (* the deprecation counter fires once per processor, not per batch *)
+  mutable dev_accums : Devagg.accum array;
+      (* per-worker aggregation state, reused across kernels; sized to the
+         pool on first parallel flush *)
   mutable buffered_records : int;  (* records currently in [buf] *)
   mutable incidents : Event.t list; (* most recent first *)
   mutable last_time_us : float;
@@ -186,6 +200,9 @@ let create ?range ?buffer_capacity ?overflow_policy ~device () =
     buf = Ring_buffer.create ~capacity;
     policy;
     pool = None;
+    columnar = Config.columnar ();
+    legacy_batch_noted = false;
+    dev_accums = [||];
     buffered_records = 0;
     incidents = [];
     last_time_us = 0.0;
@@ -351,12 +368,28 @@ let deliver_record t (info, access, time_us) =
   guard_call t Guard.On_access (fun tool -> tool.Tool.on_access info access)
 
 let deliver_batch t info batch time_us =
-  let batch_aware =
+  let columns_aware, batch_aware =
     match tool t with
-    | Some tl -> tl.Tool.on_access_batch <> None
-    | None -> false
+    | Some tl ->
+        (t.columnar && tl.Tool.on_access_columns <> None,
+         tl.Tool.on_access_batch <> None)
+    | None -> (false, false)
   in
-  if batch_aware then begin
+  if columns_aware then begin
+    (* Zero-copy columnar delivery: the tool reads the batch's Bigarray
+       columns in place — no [Event.t] wrapper, no per-record closures,
+       nothing allocated per dispatch. *)
+    Metric.incr t.ctr.c_batches_delivered;
+    guard_call t Guard.On_access_batch (fun tool ->
+        match tool.Tool.on_access_columns with
+        | Some f -> f info batch
+        | None -> ())
+  end
+  else if batch_aware then begin
+    if not t.legacy_batch_noted then begin
+      t.legacy_batch_noted <- true;
+      Metric.incr t.ctr.c_deprecated_batch_tools
+    end;
     Metric.incr t.ctr.c_batches_delivered;
     dispatch t
       {
@@ -566,14 +599,53 @@ let flush_parallel_summary t ~time_us (info : Event.kernel_info) =
   if Array.length batches > 0 then begin
     Telemetry.begin_span Telemetry.Devagg "devagg.aggregate";
     let view = Objmap.view t.objmap in
-    let shards =
-      match t.pool with
-      | Some p when Pasta_util.Domain_pool.size p > 1 && Array.length batches > 1 ->
-          Pasta_util.Domain_pool.map p (Array.length batches) (fun i ->
-              Devagg.aggregate view batches.(i))
-      | _ -> Array.map (Devagg.aggregate view) batches
+    let merged =
+      if t.columnar then begin
+        (* Columnar path: one accumulator per worker slot, merged exactly
+           once per kernel.  [run_sharded] guarantees a slot is never
+           executed by two domains at once, so the accumulators need no
+           locks; [merge_accums] sorts before emitting, so the summary
+           does not depend on the chunk-to-worker assignment. *)
+        let want =
+          match t.pool with
+          | Some p -> Pasta_util.Domain_pool.parallelism p
+          | None -> 1
+        in
+        (* Accumulators live as long as the processor: kernel N reuses the
+           tables and buffers kernel N-1 grew, so steady state allocates
+           nothing per kernel beyond the summary itself. *)
+        let accums =
+          if Array.length t.dev_accums <> want then begin
+            t.dev_accums <- Array.init want (fun _ -> Devagg.accum_create ());
+            t.dev_accums
+          end
+          else begin
+            Array.iter Devagg.accum_reset t.dev_accums;
+            t.dev_accums
+          end
+        in
+        (match t.pool with
+        | Some p when want > 1 && Array.length batches > 1 ->
+            Pasta_util.Domain_pool.run_sharded p (Array.length batches)
+              (fun ~worker i -> Devagg.accum_add accums.(worker) view batches.(i))
+        | _ ->
+            let acc = accums.(0) in
+            Array.iter (Devagg.accum_add acc view) batches);
+        Devagg.merge_accums ~est_rate:t.cur_rate accums
+      end
+      else begin
+        (* Legacy per-chunk shard path, kept as the equivalence oracle. *)
+        let shards =
+          match t.pool with
+          | Some p when Pasta_util.Domain_pool.size p > 1 && Array.length batches > 1
+            ->
+              Pasta_util.Domain_pool.map p (Array.length batches) (fun i ->
+                  Devagg.aggregate view batches.(i))
+          | _ -> Array.map (Devagg.aggregate view) batches
+        in
+        Devagg.merge ~est_rate:t.cur_rate shards
+      end
     in
-    let merged = Devagg.merge ~est_rate:t.cur_rate shards in
     Telemetry.end_span Telemetry.Devagg;
     submit_device_summary t ~time_us info merged
   end

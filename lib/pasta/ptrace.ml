@@ -245,16 +245,22 @@ let col_rle = 1
 let col_two = 2
 let col_const = 3
 
-let put_col buf a len =
+(* Generic over the element accessor, so the same codec serves both plain
+   int arrays (the delta scratch) and the batch's Bigarray columns — the
+   live capture path reads columns in place, with no boxed copy on the
+   encode side. *)
+let put_colf buf ~(get : int -> int) len =
   if len = 0 then put_u buf col_raw
   else begin
-    let v0 = a.(0) in
+    let v0 = get 0 in
     let second = ref v0 in
     let distinct = ref 1 in
     let runs = ref 1 in
+    let prev = ref v0 in
     for i = 1 to len - 1 do
-      let v = Array.unsafe_get a i in
-      if v <> Array.unsafe_get a (i - 1) then incr runs;
+      let v = get i in
+      if v <> !prev then incr runs;
+      prev := v;
       if !distinct = 1 then begin
         if v <> v0 then begin
           second := v;
@@ -274,7 +280,7 @@ let put_col buf a len =
       let nbytes = (len + 7) / 8 in
       let bits = Bytes.make nbytes '\000' in
       for i = 0 to len - 1 do
-        if Array.unsafe_get a i = !second then
+        if get i = !second then
           Bytes.unsafe_set bits (i / 8)
             (Char.unsafe_chr
                (Char.code (Bytes.unsafe_get bits (i / 8)) lor (1 lsl (i mod 8))))
@@ -286,9 +292,9 @@ let put_col buf a len =
       put_u buf !runs;
       let i = ref 0 in
       while !i < len do
-        let v = a.(!i) in
+        let v = get !i in
         let j = ref !i in
-        while !j < len && a.(!j) = v do
+        while !j < len && get !j = v do
           incr j
         done;
         put_u buf v;
@@ -299,17 +305,20 @@ let put_col buf a len =
     else begin
       put_u buf col_raw;
       for i = 0 to len - 1 do
-        put_u buf (Array.unsafe_get a i)
+        put_u buf (get i)
       done
     end
   end
 
-let get_col c len =
-  let a = Array.make len 0 in
-  (match get_u c with
+let put_col buf (a : int array) len = put_colf buf ~get:(Array.unsafe_get a) len
+
+(* Decode one column through an element setter — columns decode straight
+   into their final Bigarray storage, no intermediate int array. *)
+let get_colf c ~(set : int -> int -> unit) len =
+  match get_u c with
   | 0 (* raw *) ->
       for i = 0 to len - 1 do
-        Array.unsafe_set a i (get_u c)
+        set i (get_u c)
       done
   | 1 (* rle *) ->
       let nruns = get_u c in
@@ -318,7 +327,9 @@ let get_col c len =
         let v = get_u c in
         let r = get_u c in
         if r <= 0 || r > len - !filled then corrupt "bad column run";
-        Array.fill a !filled r v;
+        for i = !filled to !filled + r - 1 do
+          set i v
+        done;
         filled := !filled + r
       done;
       if !filled <> len then corrupt "column rle covers %d of %d" !filled len
@@ -328,7 +339,7 @@ let get_col c len =
       let nbytes = (len + 7) / 8 in
       if c.c_pos + nbytes > c.c_limit then corrupt "truncated column bits";
       for i = 0 to len - 1 do
-        Array.unsafe_set a i
+        set i
           (if
              Char.code (String.unsafe_get c.c_s (c.c_pos + (i / 8)))
              land (1 lsl (i mod 8))
@@ -337,9 +348,12 @@ let get_col c len =
            else v0)
       done;
       c.c_pos <- c.c_pos + nbytes
-  | 3 (* const *) -> Array.fill a 0 len (get_u c)
-  | n -> corrupt "bad column tag %d" n);
-  a
+  | 3 (* const *) ->
+      let v = get_u c in
+      for i = 0 to len - 1 do
+        set i v
+      done
+  | n -> corrupt "bad column tag %d" n
 
 (* Upper bound on a decoded batch: generated batches hold at most
    {!Gpusim.Warp.chunk_records} records, but column compression means a
@@ -361,20 +375,20 @@ let put_batch buf (b : Gpusim.Warp.batch) =
   let deltas = Array.make (max len 1) 0 in
   let prev = ref 0 in
   for i = 0 to len - 1 do
-    let a = Array.unsafe_get b.W.addrs i in
+    let a = Bigarray.Array1.unsafe_get b.W.addrs i in
     Array.unsafe_set deltas i (zigzag (a - !prev));
     prev := a
   done;
   put_col buf deltas len;
-  put_col buf b.W.sizes len;
-  put_col buf b.W.warps len;
-  put_col buf b.W.weights len;
+  put_colf buf ~get:(fun i -> Bigarray.Array1.unsafe_get b.W.sizes i) len;
+  put_colf buf ~get:(fun i -> Bigarray.Array1.unsafe_get b.W.warps i) len;
+  put_colf buf ~get:(fun i -> Bigarray.Array1.unsafe_get b.W.weights i) len;
   (* Write flags: constant for the whole batch in the common case, else
-     one bit per record.  Nonzero bytes all map to 1 either way. *)
-  let first_write = len > 0 && Bytes.get b.W.writes 0 <> '\000' in
+     one bit per record.  Nonzero flags all map to 1 either way. *)
+  let first_write = len > 0 && b.W.writes.{0} <> 0 in
   let all_same = ref true in
   for i = 1 to len - 1 do
-    if Bytes.unsafe_get b.W.writes i <> '\000' <> first_write then
+    if Bigarray.Array1.unsafe_get b.W.writes i <> 0 <> first_write then
       all_same := false
   done;
   if !all_same then begin
@@ -386,7 +400,7 @@ let put_batch buf (b : Gpusim.Warp.batch) =
     let nbytes = (len + 7) / 8 in
     let bits = Bytes.make nbytes '\000' in
     for i = 0 to len - 1 do
-      if Bytes.get b.W.writes i <> '\000' then
+      if Bigarray.Array1.unsafe_get b.W.writes i <> 0 then
         Bytes.set bits (i / 8)
           (Char.chr (Char.code (Bytes.get bits (i / 8)) lor (1 lsl (i mod 8))))
     done;
@@ -399,39 +413,46 @@ let get_batch c =
   let pc = get_u c in
   let len = get_u c in
   if len > max_batch_len then corrupt "batch length %d exceeds limit" len;
-  let addrs = get_col c len in
+  let module W = Gpusim.Warp in
+  (* Columns decode straight into their final Bigarray storage and the
+     batch adopts them zero-copy ([batch_of_columns]): replay hands the
+     processor the very buffers the decoder filled. *)
+  let addrs = W.alloc_int_col len in
+  get_colf c ~set:(fun i v -> Bigarray.Array1.unsafe_set addrs i v) len;
   (* prefix-sum the zigzag deltas back into absolute addresses in place *)
   let prev = ref 0 in
   for i = 0 to len - 1 do
-    prev := !prev + unzigzag (Array.unsafe_get addrs i);
-    Array.unsafe_set addrs i !prev
+    prev := !prev + unzigzag (Bigarray.Array1.unsafe_get addrs i);
+    Bigarray.Array1.unsafe_set addrs i !prev
   done;
-  let sizes = get_col c len in
-  let warps = get_col c len in
-  let weights = get_col c len in
-  let writes =
-    match get_u c with
-    | 3 (* const *) -> Bytes.make len (if get_bool c then '\001' else '\000')
-    | 0 (* raw bits *) ->
-        let nbytes = (len + 7) / 8 in
-        if c.c_pos + nbytes > c.c_limit then corrupt "truncated batch write-bits";
-        let writes = Bytes.make len '\000' in
-        (* byte-outer so the common all-zero (read-only) byte costs one test *)
-        for j = 0 to nbytes - 1 do
-          let byte = Char.code (String.unsafe_get c.c_s (c.c_pos + j)) in
-          if byte <> 0 then
-            for k = 0 to 7 do
-              let i = (j * 8) + k in
-              if i < len && byte land (1 lsl k) <> 0 then
-                Bytes.unsafe_set writes i '\001'
-            done
-        done;
-        c.c_pos <- c.c_pos + nbytes;
-        writes
-    | n -> corrupt "bad writes tag %d" n
-  in
-  Gpusim.Warp.batch_of_arrays ~region ~chunk ~pc ~addrs ~sizes ~warps ~weights
-    ~writes
+  let sizes = W.alloc_size_col len in
+  get_colf c ~set:(fun i v -> Bigarray.Array1.unsafe_set sizes i v) len;
+  let warps = W.alloc_int_col len in
+  get_colf c ~set:(fun i v -> Bigarray.Array1.unsafe_set warps i v) len;
+  let weights = W.alloc_int_col len in
+  get_colf c ~set:(fun i v -> Bigarray.Array1.unsafe_set weights i v) len;
+  let writes = W.alloc_flag_col len in
+  (match get_u c with
+  | 3 (* const *) ->
+      if len > 0 then Bigarray.Array1.fill writes (if get_bool c then 1 else 0)
+      else ignore (get_bool c)
+  | 0 (* raw bits *) ->
+      let nbytes = (len + 7) / 8 in
+      if c.c_pos + nbytes > c.c_limit then corrupt "truncated batch write-bits";
+      if len > 0 then Bigarray.Array1.fill writes 0;
+      (* byte-outer so the common all-zero (read-only) byte costs one test *)
+      for j = 0 to nbytes - 1 do
+        let byte = Char.code (String.unsafe_get c.c_s (c.c_pos + j)) in
+        if byte <> 0 then
+          for k = 0 to 7 do
+            let i = (j * 8) + k in
+            if i < len && byte land (1 lsl k) <> 0 then
+              Bigarray.Array1.unsafe_set writes i 1
+          done
+      done;
+      c.c_pos <- c.c_pos + nbytes
+  | n -> corrupt "bad writes tag %d" n);
+  W.batch_of_columns ~region ~chunk ~pc ~addrs ~sizes ~warps ~weights ~writes
 
 let put_obj buf = function
   | Objmap.Tensor { ptr; bytes; tag } ->

@@ -103,6 +103,8 @@ type tool_slot = {
   ts_name : string;
   mutable ts_self_us : float;
   mutable ts_calls : int;
+  mutable ts_minor_w : float;  (* minor words allocated while on top *)
+  mutable ts_major_w : float;  (* major words allocated while on top *)
   ts_hist : Metric.histogram;  (* per-callback latency, observed in Full *)
 }
 
@@ -122,6 +124,8 @@ let tool_slot name =
               ts_name = name;
               ts_self_us = 0.0;
               ts_calls = 0;
+              ts_minor_w = 0.0;
+              ts_major_w = 0.0;
               ts_hist =
                 Metric.histogram reg
                   ~help:"tool callback latency, microseconds"
@@ -138,6 +142,8 @@ let dummy_slot =
     ts_name = "";
     ts_self_us = 0.0;
     ts_calls = 0;
+    ts_minor_w = 0.0;
+    ts_major_w = 0.0;
     ts_hist = Metric.histogram (Metric.create ()) ~samples:1 "dummy";
   }
 
@@ -164,6 +170,10 @@ type ctx = {
   mutable last : float;   (* wall time of the last attribution switch *)
   self : float array;     (* per-category self time, us *)
   counts : int array;     (* per-category completed spans *)
+  self_minor : float array;  (* per-category minor words allocated *)
+  self_major : float array;  (* per-category major words allocated *)
+  mutable last_minor : float;  (* Gc minor-words reading at the last switch *)
+  mutable last_major : float;
   mutable mismatches : int;
   mutable spans : int;    (* spans recorded to the store (Full) *)
 }
@@ -172,6 +182,7 @@ let make_frame () =
   { f_cat = 0; f_slot = dummy_slot; f_name = ""; f_t0 = 0.0; f_sim0 = 0.0 }
 
 let make_ctx () =
+  let minor0, _, major0 = Gc.counters () in
   {
     cx_id = (Domain.self () :> int);
     cx_dev = -1;
@@ -181,6 +192,10 @@ let make_ctx () =
     last = now_us ();
     self = Array.make cat_count 0.0;
     counts = Array.make cat_count 0;
+    self_minor = Array.make cat_count 0.0;
+    self_major = Array.make cat_count 0.0;
+    last_minor = minor0;
+    last_major = major0;
     mismatches = 0;
     spans = 0;
   }
@@ -237,6 +252,33 @@ let occ_samples () =
 let charge c now =
   let dt = now -. c.last in
   c.last <- now;
+  (* Gc words are attributed under exactly the same stack discipline as
+     wall time, so per-stage allocation (the zero-copy proof) sums to the
+     domain's total by construction.  Reading the Gc counters costs real
+     time and allocates on every instrumentation point, which the Basic
+     level cannot afford on per-record spans — allocation attribution is
+     a Full-level feature (the columns read 0 at Basic). *)
+  if !lvl > 1 then begin
+    let minor, _, major = Gc.counters () in
+    let dmin = minor -. c.last_minor and dmaj = major -. c.last_major in
+    c.last_minor <- minor;
+    c.last_major <- major;
+    if c.depth = 0 then begin
+      c.self_minor.(0) <- c.self_minor.(0) +. dmin;
+      c.self_major.(0) <- c.self_major.(0) +. dmaj
+    end
+    else begin
+      let f = c.stack.(c.depth - 1) in
+      if f.f_cat >= 0 then begin
+        c.self_minor.(f.f_cat) <- c.self_minor.(f.f_cat) +. dmin;
+        c.self_major.(f.f_cat) <- c.self_major.(f.f_cat) +. dmaj
+      end
+      else begin
+        f.f_slot.ts_minor_w <- f.f_slot.ts_minor_w +. dmin;
+        f.f_slot.ts_major_w <- f.f_slot.ts_major_w +. dmaj
+      end
+    end
+  end;
   if c.depth = 0 then c.self.(0) <- c.self.(0) +. dt
   else begin
     let f = c.stack.(c.depth - 1) in
@@ -345,13 +387,20 @@ let reset () =
   c.skipped <- 0;
   Array.fill c.self 0 cat_count 0.0;
   Array.fill c.counts 0 cat_count 0;
+  Array.fill c.self_minor 0 cat_count 0.0;
+  Array.fill c.self_major 0 cat_count 0.0;
+  (let minor0, _, major0 = Gc.counters () in
+   c.last_minor <- minor0;
+   c.last_major <- major0);
   c.mismatches <- 0;
   c.spans <- 0;
   Mutex.lock slots_mu;
   Hashtbl.iter
     (fun _ s ->
       s.ts_self_us <- 0.0;
-      s.ts_calls <- 0)
+      s.ts_calls <- 0;
+      s.ts_minor_w <- 0.0;
+      s.ts_major_w <- 0.0)
     slots;
   Mutex.unlock slots_mu;
   Metric.reset reg;
@@ -361,7 +410,13 @@ let reset () =
 
 (* --- Overhead attribution ---------------------------------------------- *)
 
-type row = { row_label : string; row_self_us : float; row_count : int }
+type row = {
+  row_label : string;
+  row_self_us : float;
+  row_count : int;
+  row_minor_words : float;
+  row_major_words : float;
+}
 type attribution = { at_total_us : float; at_rows : row list }
 
 let tool_rows () =
@@ -371,7 +426,8 @@ let tool_rows () =
       (fun _ s acc ->
         if s.ts_calls > 0 || s.ts_self_us > 0.0 then
           { row_label = "tool:" ^ s.ts_name; row_self_us = s.ts_self_us;
-            row_count = s.ts_calls }
+            row_count = s.ts_calls; row_minor_words = s.ts_minor_w;
+            row_major_words = s.ts_major_w }
           :: acc
         else acc)
       slots []
@@ -408,6 +464,8 @@ let attribution () =
           row_label = cat_describe_of_index i;
           row_self_us = c.self.(i);
           row_count = c.counts.(i);
+          row_minor_words = c.self_minor.(i);
+          row_major_words = c.self_major.(i);
         })
     |> List.filter (fun r -> r.row_self_us > 0.0 || r.row_count > 0)
   in
@@ -415,20 +473,31 @@ let attribution () =
 
 let pp_attribution ppf a =
   let sum = List.fold_left (fun acc r -> acc +. r.row_self_us) 0.0 a.at_rows in
+  let sum_minor =
+    List.fold_left (fun acc r -> acc +. r.row_minor_words) 0.0 a.at_rows
+  in
+  let sum_major =
+    List.fold_left (fun acc r -> acc +. r.row_major_words) 0.0 a.at_rows
+  in
   Format.fprintf ppf "overhead attribution (self wall time, level %s):@."
     (level_name (level ()));
-  Format.fprintf ppf "  %-28s %12s %7s %10s@." "layer" "self (ms)" "share"
-    "spans";
+  Format.fprintf ppf "  %-28s %12s %7s %10s %12s %12s@." "layer" "self (ms)"
+    "share" "spans" "minor (kw)" "major (kw)";
   List.iter
     (fun r ->
-      Format.fprintf ppf "  %-28s %12.3f %6.1f%% %10d@." r.row_label
+      Format.fprintf ppf "  %-28s %12.3f %6.1f%% %10d %12.1f %12.1f@."
+        r.row_label
         (r.row_self_us /. 1000.0)
         (if a.at_total_us > 0.0 then 100.0 *. r.row_self_us /. a.at_total_us
          else 0.0)
-        r.row_count)
+        r.row_count
+        (r.row_minor_words /. 1000.0)
+        (r.row_major_words /. 1000.0))
     a.at_rows;
-  Format.fprintf ppf "  %-28s %12.3f %6.1f%%@." "total" (a.at_total_us /. 1000.0)
+  Format.fprintf ppf "  %-28s %12.3f %6.1f%% %10s %12.1f %12.1f@." "total"
+    (a.at_total_us /. 1000.0)
     (if a.at_total_us > 0.0 then 100.0 *. sum /. a.at_total_us else 0.0)
+    "" (sum_minor /. 1000.0) (sum_major /. 1000.0)
 
 (* --- Chrome trace-event export ------------------------------------------ *)
 
@@ -520,7 +589,15 @@ let sync_metrics () =
     Metric.set_gauge
       (Metric.gauge reg ~help:"self wall time per pipeline layer"
          ~labels:[ ("layer", cat_label_of_index i) ] "pasta_layer_self_us")
-      c.self.(i)
+      c.self.(i);
+    Metric.set_gauge
+      (Metric.gauge reg ~help:"minor words allocated per pipeline layer"
+         ~labels:[ ("layer", cat_label_of_index i) ] "pasta_layer_minor_words")
+      c.self_minor.(i);
+    Metric.set_gauge
+      (Metric.gauge reg ~help:"major words allocated per pipeline layer"
+         ~labels:[ ("layer", cat_label_of_index i) ] "pasta_layer_major_words")
+      c.self_major.(i)
   done;
   Mutex.lock slots_mu;
   Hashtbl.iter

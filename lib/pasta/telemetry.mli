@@ -92,6 +92,13 @@ type row = {
   row_label : string;  (** layer description or ["tool:<name>"] *)
   row_self_us : float;
   row_count : int;  (** completed spans (layer) or callback calls (tool) *)
+  row_minor_words : float;
+      (** Gc minor words allocated while this row was the innermost open
+          span — attributed under the same stack discipline as self time.
+          Sampled only at level [Full] (the counter read costs time and
+          allocates, which Basic cannot afford on per-record spans);
+          reads 0 at [Basic]. *)
+  row_major_words : float;  (** Gc major (heap) words, same discipline. *)
 }
 
 type attribution = { at_total_us : float; at_rows : row list }

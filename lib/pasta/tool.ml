@@ -24,6 +24,7 @@ type t = {
   on_device_summary : Event.kernel_info -> Devagg.summary -> unit;
   on_access : Event.kernel_info -> Event.mem_access -> unit;
   on_access_batch : (Event.kernel_info -> Gpusim.Warp.batch -> unit) option;
+  on_access_columns : (Event.kernel_info -> Gpusim.Warp.batch -> unit) option;
   on_kernel_profile : Event.kernel_info -> Gpusim.Kernel.profile -> unit;
   on_operator : string -> Event.api_phase -> int -> unit;
   on_tensor : [ `Alloc of int * int * string | `Free of int * int ] -> unit;
@@ -41,6 +42,7 @@ let default ?(fine_grained = No_fine_grained) name =
     on_device_summary = (fun _ _ -> ());
     on_access = (fun _ _ -> ());
     on_access_batch = None;
+    on_access_columns = None;
     on_kernel_profile = (fun _ _ -> ());
     on_operator = (fun _ _ _ -> ());
     on_tensor = ignore;

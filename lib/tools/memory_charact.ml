@@ -177,6 +177,17 @@ let tool t =
                  Gpusim.Warp.iter_batch batch ~f:(fun a ->
                      touch a.Gpusim.Warp.addr))
            else None);
+        on_access_columns =
+          (* Columnar delivery: read the address column straight off the
+             batch — no per-record boxing at all. *)
+          (if t.var = Cpu_sanitizer then
+             Some
+               (fun _info batch ->
+                 let module W = Gpusim.Warp in
+                 for i = 0 to batch.W.b_len - 1 do
+                   touch (Bigarray.Array1.unsafe_get batch.W.addrs i)
+                 done)
+           else None);
         on_kernel_end =
           (fun _ _ ->
             t.kernels <- t.kernels + 1;

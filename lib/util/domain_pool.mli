@@ -10,10 +10,21 @@
 type t
 
 val create : int -> t
-(** [create size] makes a pool of [size] compute lanes ([size - 1] spawned
-    domains).  Raises [Invalid_argument] if [size < 1]. *)
+(** [create size] makes a pool of [size] requested compute lanes.  At most
+    [Domain.recommended_domain_count () - 1] worker domains are actually
+    spawned: sizing a pool past the hardware's parallelism cannot make it
+    faster, only thrash the scheduler (domains timesharing one core through
+    the job mutex), so the pool clamps silently and {!parallelism} reports
+    what it will really use.  Raises [Invalid_argument] if [size < 1]. *)
 
 val size : t -> int
+(** The requested size, as passed to {!create}. *)
+
+val parallelism : t -> int
+(** Compute lanes the pool actually uses: spawned workers plus the caller,
+    i.e. [min (size t) (Domain.recommended_domain_count ())] as observed at
+    creation.  Callers sizing per-slot accumulators should use this, not
+    {!size}. *)
 
 val run : t -> int -> (int -> unit) -> unit
 (** [run t n f] evaluates [f i] for every [i] in [\[0, n)], distributing
@@ -23,6 +34,15 @@ val run : t -> int -> (int -> unit) -> unit
     work.  [f] must be safe to call from multiple domains; index execution
     order is unspecified.  If any [f i] raises, the first exception
     observed is re-raised after the job drains. *)
+
+val run_sharded : t -> int -> (worker:int -> int -> unit) -> unit
+(** [run_sharded t n f] is {!run} with the executing compute lane made
+    visible: [f ~worker i] receives the worker slot in [\[0, parallelism t)]
+    that claimed index [i].  The submitting caller is always slot [0]; spawned
+    worker [k] is slot [k + 1].  At most one domain executes under a given
+    slot at any time, so callers may keep one mutable accumulator per slot
+    and touch it without synchronization.  Which indices land on which
+    slot is unspecified (guided block claiming). *)
 
 val map : t -> int -> (int -> 'a) -> 'a array
 (** [map t n f] is [\[| f 0; ...; f (n-1) |\]] computed over the pool; the

@@ -10,7 +10,10 @@
      left in the bench sources;
    - a dune alias defined in [test/dune] (an env-variant re-run like
      [@faults] or [@fleet]) that is missing from the [runtest] alias deps
-     — it would only fire when invoked by hand.
+     — it would only fire when invoked by hand;
+   - a load-bearing alias ([@columnar], [@faults], ...) or benchmark
+     artifact deleted outright, or the [BENCH_pipeline.json] producer
+     dropping its honest-statistics fields (rep count, median/min walls).
 
    Usage: wiring_check TEST_DIR BENCH_DIR — prints one line per violation
    and exits 1 if any were found. *)
@@ -126,6 +129,60 @@ let check_alias_wiring dir =
         scan 0
   end
 
+(* --- load-bearing aliases and artifacts must exist at all --- *)
+
+(* The generic checks above only catch an alias that exists but fell off
+   the runtest deps, or an artifact that is named but never written.  An
+   alias or producer deleted outright would pass both, so the suites and
+   benchmark gates the acceptance pipeline leans on are pinned here by
+   name. *)
+let required_aliases = [ "faults"; "trace"; "sampling"; "columnar"; "fleet" ]
+
+let check_required_aliases dir =
+  let path = Filename.concat dir "dune" in
+  if Sys.file_exists path then begin
+    let body = read_file path in
+    List.iter
+      (fun name ->
+        if not (contains body (Printf.sprintf "(alias %s)" name)) then
+          complain path
+            (Printf.sprintf "required alias %s is not defined" name))
+      required_aliases
+  end
+
+(* BENCH_pipeline.json is the perf-acceptance artifact: it must have a
+   producer, and the producer must still emit the honest-statistics
+   fields (multi-rep medians and minima, not single-shot walls). *)
+(* The field needles match the escaped JSON-key literals as they appear
+   in the OCaml bench source (["\"reps\""] prints from [{|\"reps\"|}]). *)
+let required_bench_fields =
+  [ ("BENCH_pipeline.json", [ {|\"reps\"|}; "wall_median_s"; "wall_min_s" ]);
+    ("BENCH_telemetry.json", [ {|\"reps\"|} ]) ]
+
+let check_required_bench dir =
+  let bodies =
+    List.map (fun f -> read_file (Filename.concat dir f)) (ml_files dir)
+  in
+  List.iter
+    (fun (artifact, fields) ->
+      let producer =
+        List.find_opt
+          (fun body -> contains body (Printf.sprintf {|open_out "%s"|} artifact))
+          bodies
+      in
+      match producer with
+      | None ->
+          complain dir (Printf.sprintf "no producer writes %s" artifact)
+      | Some body ->
+          List.iter
+            (fun field ->
+              if not (contains body field) then
+                complain dir
+                  (Printf.sprintf "%s producer no longer emits %s" artifact
+                     field))
+            fields)
+    required_bench_fields
+
 (* --- every BENCH_*.json named under bench/ has a producer --- *)
 
 (* Collect every "BENCH_<name>.json" literal occurring in [body]. *)
@@ -172,7 +229,9 @@ let () =
   | [ _; test_dir; bench_dir ] ->
       check_test_wiring test_dir;
       check_alias_wiring test_dir;
-      check_bench_producers bench_dir
+      check_required_aliases test_dir;
+      check_bench_producers bench_dir;
+      check_required_bench bench_dir
   | _ ->
       prerr_endline "usage: wiring_check TEST_DIR BENCH_DIR";
       exit 2);

@@ -23,5 +23,6 @@ let () =
       ("models", Test_models.suite);
       ("telemetry", Test_telemetry.suite);
       ("sampling", Test_sampling.suite);
+      ("columnar", Test_columnar.suite);
       ("fleet", Test_fleet.suite);
     ]

@@ -164,8 +164,8 @@ let sanitizer_count ?range ?(batch_aware = false) ~batch_delivery () =
               let module W = Gpusim.Warp in
               records := !records + b.W.b_len;
               for i = 0 to b.W.b_len - 1 do
-                weight := !weight + b.W.weights.(i);
-                addr_sum := !addr_sum + b.W.addrs.(i)
+                weight := !weight + b.W.weights.{i};
+                addr_sum := !addr_sum + b.W.addrs.{i}
               done);
       }
     else
